@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the Paillier substrate: key generation,
+//! encryption, decryption and homomorphic addition across key sizes — the raw
+//! numbers behind the §6.4 encryption-overhead discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dubhe_he::{EncryptedVector, Keypair};
+use rand::SeedableRng;
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier_keygen");
+    group.sample_size(10);
+    for bits in [256u64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| Keypair::generate(bits, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encrypt_decrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier_scalar");
+    for bits in [256u64, 512, 1024] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let (pk, sk) = Keypair::generate(bits, &mut rng).split();
+        group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |b, _| {
+            b.iter(|| pk.encrypt_u64(123_456, &mut rng));
+        });
+        let ct = pk.encrypt_u64(123_456, &mut rng);
+        group.bench_with_input(BenchmarkId::new("decrypt", bits), &bits, |b, _| {
+            b.iter(|| sk.decrypt_u64(&ct));
+        });
+        let other = pk.encrypt_u64(7, &mut rng);
+        group.bench_with_input(BenchmarkId::new("homomorphic_add", bits), &bits, |b, _| {
+            b.iter(|| ct.add(&other).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_registry_vector(c: &mut Criterion) {
+    // The protocol object of §6.4: a length-56 one-hot registry.
+    let mut group = c.benchmark_group("paillier_registry56");
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let (pk, sk) = Keypair::generate(512, &mut rng).split();
+    let mut registry = vec![0u64; 56];
+    registry[10] = 1;
+    group.bench_function("encrypt_registry", |b| {
+        b.iter(|| EncryptedVector::encrypt_u64(&pk, &registry, &mut rng));
+    });
+    let enc = EncryptedVector::encrypt_u64(&pk, &registry, &mut rng);
+    let enc2 = EncryptedVector::encrypt_u64(&pk, &registry, &mut rng);
+    group.bench_function("aggregate_two_registries", |b| {
+        b.iter(|| enc.add(&enc2).unwrap());
+    });
+    group.bench_function("decrypt_registry", |b| {
+        b.iter(|| enc.decrypt_u64(&sk));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_keygen, bench_encrypt_decrypt, bench_registry_vector);
+criterion_main!(benches);

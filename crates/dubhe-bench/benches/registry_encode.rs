@@ -1,0 +1,69 @@
+//! Criterion benchmarks of registration (Algorithm 1) and codebook indexing —
+//! the per-client, per-epoch cost of joining Dubhe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+use dubhe_select::codebook::{rank_subset, RegistryLayout};
+use dubhe_select::registry::{register, register_all};
+use dubhe_select::DubheConfig;
+use rand::SeedableRng;
+
+fn client_distributions(family: DatasetFamily, n: usize) -> Vec<dubhe_data::ClassDistribution> {
+    let spec = FederatedSpec {
+        family,
+        rho: 10.0,
+        emd_avg: 1.5,
+        clients: n,
+        samples_per_client: 128,
+        test_samples_per_class: 1,
+        seed: 7,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    spec.build_partition(&mut rng).client_distributions()
+}
+
+fn bench_single_registration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_one_client");
+    let layouts = [
+        ("group1_C10", RegistryLayout::group1(), DubheConfig::group1()),
+        ("group2_C52", RegistryLayout::group2(), DubheConfig::group2()),
+    ];
+    for (name, layout, config) in layouts {
+        let family = if layout.classes() == 52 {
+            DatasetFamily::FemnistLike
+        } else {
+            DatasetFamily::MnistLike
+        };
+        let dists = client_distributions(family, 10);
+        let thresholds = config.effective_thresholds();
+        group.bench_function(name, |b| {
+            b.iter(|| register(&dists[0], &layout, &thresholds));
+        });
+    }
+    group.finish();
+}
+
+fn bench_registration_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_all_clients");
+    group.sample_size(10);
+    for n in [100usize, 1000] {
+        let dists = client_distributions(DatasetFamily::MnistLike, n);
+        let layout = RegistryLayout::group1();
+        let thresholds = DubheConfig::group1().effective_thresholds();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| register_all(&dists, &layout, &thresholds));
+        });
+    }
+    group.finish();
+}
+
+fn bench_codebook_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codebook_rank_subset");
+    group.bench_function("pair_of_10", |b| b.iter(|| rank_subset(&[3, 7], 10)));
+    group.bench_function("pair_of_52", |b| b.iter(|| rank_subset(&[11, 40], 52)));
+    group.bench_function("quintuple_of_52", |b| b.iter(|| rank_subset(&[1, 9, 20, 33, 51], 52)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_registration, bench_registration_epoch, bench_codebook_rank);
+criterion_main!(benches);

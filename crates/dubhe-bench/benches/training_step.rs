@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the local-training hot path: one client's local
+//! epoch, the parallel round across K = 20 clients, and the underlying matmul.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+use dubhe_fl::models::small_mlp;
+use dubhe_fl::{FlClient, LocalOptimizer, LocalTrainingConfig};
+use dubhe_ml::Matrix;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+fn build_clients(n: usize) -> (Vec<FlClient>, dubhe_ml::Sequential) {
+    let spec = FederatedSpec {
+        family: DatasetFamily::MnistLike,
+        rho: 10.0,
+        emd_avg: 1.0,
+        clients: n,
+        samples_per_client: 64,
+        test_samples_per_class: 1,
+        seed: 5,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let data = spec.build_dataset(&mut rng);
+    let clients = data
+        .client_data
+        .into_iter()
+        .enumerate()
+        .map(|(id, ds)| FlClient::new(id, ds))
+        .collect();
+    (clients, small_mlp(32, 10, 1))
+}
+
+fn bench_local_epoch(c: &mut Criterion) {
+    let (clients, model) = build_clients(4);
+    let config = LocalTrainingConfig {
+        epochs: 1,
+        batch_size: 8,
+        optimizer: LocalOptimizer::Sgd { lr: 0.05 },
+    };
+    c.bench_function("local_epoch_64_samples", |b| {
+        b.iter(|| clients[0].local_train(&model, &config, 1));
+    });
+}
+
+fn bench_parallel_round(c: &mut Criterion) {
+    let (clients, model) = build_clients(20);
+    let config = LocalTrainingConfig {
+        epochs: 1,
+        batch_size: 8,
+        optimizer: LocalOptimizer::Sgd { lr: 0.05 },
+    };
+    let mut group = c.benchmark_group("round_of_20_clients");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            clients
+                .iter()
+                .map(|cl| cl.local_train(&model, &config, 2))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("rayon_parallel", |b| {
+        b.iter(|| {
+            clients
+                .par_iter()
+                .map(|cl| cl.local_train(&model, &config, 2))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 128] {
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 13) as f32 * 0.1).collect());
+        let b_mat = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 7) as f32 * 0.2).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b_mat));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_epoch, bench_parallel_round, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 6: test-accuracy curves on MNIST-2/EMD and CIFAR10-10/EMD for
+//! Random, Dubhe and Greedy selection (EMD_avg in {0.5, 1.0, 1.5}).
+//!
+//! ```text
+//! cargo run --release -p dubhe-bench --bin fig6_accuracy_curves [-- --full]
+//! ```
+
+use dubhe_bench::{print_series, run_training, scaled_spec, ExperimentArgs, Method};
+use dubhe_data::federated::DatasetFamily;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct PanelResult {
+    dataset: String,
+    method: String,
+    accuracy_curve: Vec<f64>,
+    final_accuracy: f64,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    // The paper trains MNIST for 200 rounds and CIFAR10 for 1000; the quick
+    // configuration keeps the same panel structure at reduced length.
+    let (mnist_rounds, cifar_rounds, eval_every) =
+        if args.full { (200, 1000, 10) } else { (30, 50, 5) };
+
+    let mut results = Vec::new();
+    let mut summary: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+
+    for (family, rho, rounds) in [
+        (DatasetFamily::MnistLike, 2.0, mnist_rounds),
+        (DatasetFamily::CifarLike, 10.0, cifar_rounds),
+    ] {
+        for &emd in &[0.5, 1.0, 1.5] {
+            let spec = scaled_spec(family, rho, emd, args.full, args.seed);
+            println!("=== {} ===", spec.name());
+            for method in Method::all() {
+                let history =
+                    run_training(&spec, method, rounds, eval_every, 1, args.seed);
+                let acc: Vec<f64> = history.accuracy_curve().iter().map(|(_, a)| *a).collect();
+                print_series(method.name(), &acc);
+                let final_acc = history.average_accuracy_last(10).unwrap_or(0.0);
+                summary
+                    .entry(spec.name())
+                    .or_default()
+                    .push((method.name().to_string(), final_acc));
+                results.push(PanelResult {
+                    dataset: spec.name(),
+                    method: method.name().to_string(),
+                    accuracy_curve: acc,
+                    final_accuracy: final_acc,
+                });
+            }
+            println!();
+        }
+    }
+
+    println!("=== summary (average accuracy over the last evaluations) ===");
+    for (dataset, methods) in &summary {
+        let line: Vec<String> =
+            methods.iter().map(|(m, a)| format!("{m} {a:.3}")).collect();
+        println!("{dataset:<18} {}", line.join("   "));
+    }
+    println!(
+        "\nExpected shape: Dubhe tracks Greedy closely and both stay above Random, \
+         with the gap widening as EMD_avg grows (most visible on the CIFAR10-like task)."
+    );
+    dubhe_bench::dump_json("fig6_accuracy_curves", &results);
+}

@@ -1,0 +1,58 @@
+//! Figure 8: FEMNIST — accuracy curves of the three selection methods plus the
+//! population class proportion of one random round (52 classes).
+//!
+//! ```text
+//! cargo run --release -p dubhe-bench --bin fig8_femnist [-- --full]
+//! ```
+
+use dubhe_bench::{print_series, run_training, scaled_spec, ExperimentArgs, Method};
+use dubhe_data::federated::DatasetFamily;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Result {
+    method: String,
+    accuracy_curve: Vec<f64>,
+    final_accuracy: f64,
+    population_proportion_one_round: Vec<f64>,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    // The paper trains FEMNIST for 1500 rounds with E = 5; the quick run keeps
+    // the same structure at a fraction of the length.
+    let (rounds, eval_every) = if args.full { (1500, 25) } else { (30, 5) };
+    let spec = scaled_spec(DatasetFamily::FemnistLike, 13.64, 0.554, args.full, args.seed);
+    println!("Fig. 8: {} with {} clients, K = 20", spec.name(), spec.clients);
+
+    let mut results = Vec::new();
+    for method in Method::all() {
+        let history = run_training(&spec, method, rounds, eval_every, 1, args.seed);
+        let acc: Vec<f64> = history.accuracy_curve().iter().map(|(_, a)| *a).collect();
+        print_series(&format!("{} accuracy", method.name()), &acc);
+        let final_acc = history.average_accuracy_last(5).unwrap_or(0.0);
+        // Population class proportion of one (the last) round — the right-hand
+        // panel of Fig. 8.
+        let one_round = history.rounds.last().unwrap().population_distribution.clone();
+        println!(
+            "  final accuracy {:.3}; population proportion of one round: min {:.4} max {:.4} (uniform would be {:.4})",
+            final_acc,
+            one_round.iter().cloned().fold(f64::INFINITY, f64::min),
+            one_round.iter().cloned().fold(0.0, f64::max),
+            1.0 / 52.0
+        );
+        results.push(Fig8Result {
+            method: method.name().to_string(),
+            accuracy_curve: acc,
+            final_accuracy: final_acc,
+            population_proportion_one_round: one_round,
+        });
+    }
+
+    println!(
+        "\nPaper reference: Random 31.0%, Dubhe 36.4%, Greedy 37.4% test accuracy; the \
+         population proportion under Random follows the skewed global distribution while \
+         Dubhe's approaches the greedy selection's flatter profile."
+    );
+    dubhe_bench::dump_json("fig8_femnist", &results);
+}

@@ -1,0 +1,128 @@
+//! §6.4: encryption and communication overhead.
+//!
+//! Measures, on this machine and this Paillier implementation, the same
+//! quantities the paper reports:
+//!
+//! * plaintext and ciphertext sizes of a length-56 registry (group 1) and a
+//!   length-53 registry / 52-class distribution (group 2);
+//! * encryption and decryption latency per registry;
+//! * the communication-count model (K check-ins per round, N registry
+//!   transfers per registration, ~H*K multi-time transfers);
+//! * the BatchCrypt-style packed alternative, quantifying how much of the
+//!   element-wise overhead packing removes.
+//!
+//! Uses 2048-bit keys like the paper by default; pass `--key-bits 512` for a
+//! quick run.
+//!
+//! ```text
+//! cargo run --release -p dubhe-bench --bin overhead_report [-- --key-bits 512]
+//! ```
+
+use dubhe_he::packing::Packer;
+use dubhe_he::transport::{measure_packed, measure_vector, CommunicationCount};
+use dubhe_he::{EncryptedVector, FixedPointCodec, Keypair};
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct OverheadRow {
+    object: String,
+    length: usize,
+    plaintext_bytes: usize,
+    ciphertext_bytes: usize,
+    expansion: f64,
+    encrypt_ms: f64,
+    decrypt_ms: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let key_bits: u64 = args
+        .iter()
+        .position(|a| a == "--key-bits")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2048);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    println!("generating a {key_bits}-bit Paillier keypair ...");
+    let t = Instant::now();
+    let keypair = Keypair::generate(key_bits, &mut rng);
+    println!("keygen: {:.2?}\n", t.elapsed());
+    let (pk, sk) = keypair.split();
+
+    let mut rows = Vec::new();
+    let mut measure = |object: &str, values: &[u64]| {
+        let t = Instant::now();
+        let enc = EncryptedVector::encrypt_u64(&pk, values, &mut rng);
+        let encrypt_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let dec = enc.decrypt_u64(&sk);
+        let decrypt_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(dec, values, "round trip must be lossless");
+        let size = measure_vector(&enc);
+        rows.push(OverheadRow {
+            object: object.to_string(),
+            length: values.len(),
+            plaintext_bytes: size.plaintext_bytes,
+            ciphertext_bytes: size.ciphertext_bytes,
+            expansion: size.expansion_factor(),
+            encrypt_ms,
+            decrypt_ms,
+        });
+    };
+
+    // Group-1 registry (length 56) and group-2 registry (length 53), one-hot.
+    let mut registry56 = vec![0u64; 56];
+    registry56[10] = 1;
+    measure("registry G={1,2,10} (l=56)", &registry56);
+    let mut registry53 = vec![0u64; 53];
+    registry53[17] = 1;
+    measure("registry G={1,52} (l=53)", &registry53);
+
+    // Encrypted label distribution p_l over 52 classes (multi-time selection).
+    let codec = FixedPointCodec::default();
+    let p_l: Vec<f64> = (0..52).map(|i| if i == 3 { 0.49 } else { 0.01 }).collect();
+    measure("distribution p_l (C=52)", &codec.encode_vec(&p_l));
+
+    println!(
+        "{:<28} {:>4} {:>12} {:>13} {:>9} {:>11} {:>11}",
+        "object", "len", "plain (B)", "cipher (B)", "expand", "encrypt ms", "decrypt ms"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>4} {:>12} {:>13} {:>8.1}x {:>11.2} {:>11.2}",
+            r.object, r.length, r.plaintext_bytes, r.ciphertext_bytes, r.expansion,
+            r.encrypt_ms, r.decrypt_ms
+        );
+    }
+    println!(
+        "\nPaper reference (python-paillier, 2048-bit): 0.47-0.49 KB plaintexts expand to \
+         29.6-31.28 KB; encryption 6.9 s / decryption 1.9 s per registry. Our native \
+         implementation is faster in absolute terms; the expansion factor and the \
+         negligible-versus-training conclusion are what must match."
+    );
+
+    // Packed (BatchCrypt-style) alternative.
+    let packer = Packer::new(32, key_bits);
+    let packed = packer.encrypt(&pk, &registry56, &mut rng).expect("packing fits");
+    let packed_size = measure_packed(&packed);
+    println!(
+        "\npacked registry (32-bit slots): {} ciphertexts, {} B ({:.1}% of the element-wise payload)",
+        packed.ciphertext_count(),
+        packed_size.ciphertext_bytes,
+        100.0 * packed_size.ciphertext_bytes as f64 / rows[0].ciphertext_bytes as f64
+    );
+
+    // Communication-count model (paper §6.4).
+    println!("\ncommunication counts per round (K = 20, N = 1000, H = 10):");
+    let plain = CommunicationCount::per_round(20, 1000, 1, false);
+    let registration = CommunicationCount::per_round(20, 1000, 1, true);
+    let multi = CommunicationCount::per_round(20, 1000, 10, false);
+    println!("  classic FL round          : {} messages", plain.total());
+    println!("  + registration epoch      : {} messages", registration.total());
+    println!("  + multi-time selection    : {} messages", multi.total());
+
+    dubhe_bench::dump_json("overhead_report", &rows);
+}

@@ -1,0 +1,82 @@
+//! Table 1: the datasets used in the experiments.
+//!
+//! Regenerates the dataset inventory — for every (family, rho, EMD_avg)
+//! combination the paper lists, build the federation and report the *achieved*
+//! imbalance ratio, achieved EMD_avg and client count, confirming the
+//! generators hit the targets.
+//!
+//! ```text
+//! cargo run --release -p dubhe-bench --bin table1_datasets [-- --full]
+//! ```
+
+use dubhe_bench::{scaled_spec, ExperimentArgs};
+use dubhe_data::federated::DatasetFamily;
+use dubhe_data::partition::average_emd;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    target_rho: f64,
+    achieved_rho: f64,
+    target_emd: f64,
+    achieved_emd: f64,
+    clients: usize,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    println!("Table 1: datasets used in the experiments (targets vs achieved)");
+    println!(
+        "{:<22} {:>10} {:>13} {:>10} {:>13} {:>8}",
+        "dataset", "rho", "rho(achieved)", "EMD", "EMD(achieved)", "N"
+    );
+
+    let mut rows = Vec::new();
+    // Group 1: MNIST / CIFAR10 series with rho x EMD grids.
+    for family in [DatasetFamily::MnistLike, DatasetFamily::CifarLike] {
+        for &rho in &[10.0, 5.0, 2.0, 1.0] {
+            for &emd in &[0.0, 0.5, 1.0, 1.5] {
+                let spec = scaled_spec(family, rho, emd, args.full, args.seed);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+                let fp = spec.build_partition(&mut rng);
+                let achieved_emd = average_emd(fp.clients(), &fp.global);
+                let row = Row {
+                    dataset: spec.name(),
+                    target_rho: rho,
+                    achieved_rho: fp.global.imbalance_ratio(),
+                    target_emd: emd,
+                    achieved_emd,
+                    clients: fp.num_clients(),
+                };
+                println!(
+                    "{:<22} {:>10.2} {:>13.2} {:>10.2} {:>13.3} {:>8}",
+                    row.dataset, row.target_rho, row.achieved_rho, row.target_emd,
+                    row.achieved_emd, row.clients
+                );
+                rows.push(row);
+            }
+        }
+    }
+    // Group 2: FEMNIST.
+    let spec = scaled_spec(DatasetFamily::FemnistLike, 13.64, 0.554, args.full, args.seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+    let fp = spec.build_partition(&mut rng);
+    let row = Row {
+        dataset: spec.name(),
+        target_rho: 13.64,
+        achieved_rho: fp.global.imbalance_ratio(),
+        target_emd: 0.554,
+        achieved_emd: average_emd(fp.clients(), &fp.global),
+        clients: fp.num_clients(),
+    };
+    println!(
+        "{:<22} {:>10.2} {:>13.2} {:>10.2} {:>13.3} {:>8}",
+        row.dataset, row.target_rho, row.achieved_rho, row.target_emd, row.achieved_emd,
+        row.clients
+    );
+    rows.push(row);
+
+    dubhe_bench::dump_json("table1_datasets", &rows);
+}

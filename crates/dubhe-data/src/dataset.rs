@@ -1,0 +1,217 @@
+//! In-memory datasets and mini-batch iteration.
+
+use dubhe_ml::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::ClassDistribution;
+
+/// A supervised dataset: one feature row per sample plus integer labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset, checking that labels are in range and counts agree.
+    pub fn new(features: Matrix, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(features.rows(), labels.len(), "one label per feature row required");
+        assert!(classes > 0, "need at least one class");
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "labels must be smaller than the class count"
+        );
+        Dataset { features, labels, classes }
+    }
+
+    /// An empty dataset with the given feature dimension and class count.
+    pub fn empty(feature_dim: usize, classes: usize) -> Self {
+        Dataset { features: Matrix::zeros(0, feature_dim), labels: Vec::new(), classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes of the classification task.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Feature dimension per sample.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The full feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The label distribution of this dataset (the `p_l` of the paper).
+    pub fn class_distribution(&self) -> ClassDistribution {
+        ClassDistribution::from_labels(&self.labels, self.classes)
+    }
+
+    /// A new dataset containing the given sample indices (duplicates allowed,
+    /// which is how FedVC "duplicates samples" of small clients).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        for &i in indices {
+            assert!(i < self.len(), "subset index {i} out of range");
+        }
+        Dataset {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            classes: self.classes,
+        }
+    }
+
+    /// Concatenates two datasets over the same task.
+    pub fn merge(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.classes, other.classes, "class count mismatch");
+        assert_eq!(self.feature_dim(), other.feature_dim(), "feature dimension mismatch");
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(self.len() + other.len());
+        for i in 0..self.len() {
+            rows.push(self.features.row(i).to_vec());
+        }
+        for i in 0..other.len() {
+            rows.push(other.features.row(i).to_vec());
+        }
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        let features =
+            if rows.is_empty() { Matrix::zeros(0, self.feature_dim()) } else { Matrix::from_rows(&rows) };
+        Dataset { features, labels, classes: self.classes }
+    }
+
+    /// Shuffled mini-batches of at most `batch_size` samples.
+    ///
+    /// The last batch may be smaller. Batching a dataset with fewer samples
+    /// than `batch_size` yields a single batch with everything.
+    pub fn batches<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Vec<(Matrix, Vec<usize>)> {
+        assert!(batch_size > 0, "batch size must be positive");
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        indices
+            .chunks(batch_size)
+            .map(|chunk| {
+                let x = self.features.select_rows(chunk);
+                let y = chunk.iter().map(|&i| self.labels[i]).collect();
+                (x, y)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_rows(&[
+            vec![0.0, 0.1],
+            vec![1.0, 1.1],
+            vec![2.0, 2.1],
+            vec![3.0, 3.1],
+            vec![4.0, 4.1],
+        ]);
+        Dataset::new(features, vec![0, 1, 2, 0, 1], 3)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.classes(), 3);
+        assert_eq!(d.feature_dim(), 2);
+        assert_eq!(d.class_distribution().counts(), &[2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per feature row")]
+    fn mismatched_labels_panic() {
+        let _ = Dataset::new(Matrix::zeros(3, 2), vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the class count")]
+    fn out_of_range_label_panics() {
+        let _ = Dataset::new(Matrix::zeros(1, 2), vec![5], 3);
+    }
+
+    #[test]
+    fn subset_with_duplicates() {
+        let d = toy();
+        let s = d.subset(&[1, 1, 4]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[1, 1, 1]);
+        assert_eq!(s.features().row(0), s.features().row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subset_out_of_range_panics() {
+        let _ = toy().subset(&[99]);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let d = toy();
+        let m = d.merge(&d);
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.class_distribution().counts(), &[4, 4, 2]);
+    }
+
+    #[test]
+    fn batches_cover_every_sample_exactly_once() {
+        let d = toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let batches = d.batches(2, &mut rng);
+        assert_eq!(batches.len(), 3);
+        let total: usize = batches.iter().map(|(_, y)| y.len()).sum();
+        assert_eq!(total, 5);
+        let mut seen_labels: Vec<usize> = batches.iter().flat_map(|(_, y)| y.clone()).collect();
+        seen_labels.sort_unstable();
+        let mut expected = d.labels().to_vec();
+        expected.sort_unstable();
+        assert_eq!(seen_labels, expected);
+    }
+
+    #[test]
+    fn empty_dataset_has_no_batches() {
+        let d = Dataset::empty(4, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        assert!(d.batches(8, &mut rng).is_empty());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn batching_is_deterministic_given_seed() {
+        let d = toy();
+        let a = d.batches(2, &mut rand::rngs::StdRng::seed_from_u64(3));
+        let b = d.batches(2, &mut rand::rngs::StdRng::seed_from_u64(3));
+        assert_eq!(a.len(), b.len());
+        for ((xa, ya), (xb, yb)) in a.iter().zip(&b) {
+            assert_eq!(xa, xb);
+            assert_eq!(ya, yb);
+        }
+    }
+}

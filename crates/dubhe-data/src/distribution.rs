@@ -1,0 +1,299 @@
+//! Label (class) distributions and the distances the paper is built on.
+//!
+//! Three quantities drive every experiment:
+//!
+//! * the **imbalance ratio** ρ — most frequent class count divided by least
+//!   frequent class count of the *global* data (Table 1, Fig. 2a);
+//! * the **Earth Mover's Distance** between two label distributions, which for
+//!   categorical distributions over the same support reduces to the 1-norm
+//!   distance ‖p − q‖₁ used throughout the paper (EMD_avg, ‖p_o − p_u‖₁);
+//! * the **KL divergence** to the uniform distribution, which the greedy
+//!   baseline (Astraea) minimises when picking clients.
+
+use serde::{Deserialize, Serialize};
+
+/// A distribution over `C` classes stored as raw sample counts.
+///
+/// Proportions are derived lazily so the same type serves both "how many
+/// samples of each class does this client hold" and "what fraction of the
+/// participated data belongs to each class".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassDistribution {
+    counts: Vec<u64>,
+}
+
+impl ClassDistribution {
+    /// A distribution with zero samples in each of `classes` classes.
+    pub fn empty(classes: usize) -> Self {
+        assert!(classes > 0, "a distribution needs at least one class");
+        ClassDistribution { counts: vec![0; classes] }
+    }
+
+    /// Builds a distribution from per-class counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "a distribution needs at least one class");
+        ClassDistribution { counts }
+    }
+
+    /// Builds a distribution by counting integer labels.
+    pub fn from_labels(labels: &[usize], classes: usize) -> Self {
+        let mut counts = vec![0u64; classes];
+        for &l in labels {
+            assert!(l < classes, "label {l} out of range for {classes} classes");
+            counts[l] += 1;
+        }
+        ClassDistribution { counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-class sample counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `true` if no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Adds one sample of class `label`.
+    pub fn record(&mut self, label: usize) {
+        assert!(label < self.counts.len(), "label out of range");
+        self.counts[label] += 1;
+    }
+
+    /// Element-wise sum of two distributions (e.g. aggregating clients).
+    pub fn add(&self, other: &ClassDistribution) -> ClassDistribution {
+        assert_eq!(self.classes(), other.classes(), "class count mismatch");
+        ClassDistribution {
+            counts: self.counts.iter().zip(&other.counts).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    /// Per-class proportions. An empty distribution yields all zeros.
+    pub fn proportions(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.classes()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// The uniform proportion vector `p_u` with `1/C` per class.
+    pub fn uniform_proportions(classes: usize) -> Vec<f64> {
+        assert!(classes > 0);
+        vec![1.0 / classes as f64; classes]
+    }
+
+    /// Class imbalance ratio ρ = max count / min count.
+    ///
+    /// Returns `f64::INFINITY` when some class has zero samples but others do
+    /// not, and 1.0 for an empty distribution (no skew measurable).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let max = *self.counts.iter().max().expect("at least one class") as f64;
+        let min = *self.counts.iter().min().expect("at least one class") as f64;
+        if max == 0.0 {
+            return 1.0;
+        }
+        if min == 0.0 {
+            return f64::INFINITY;
+        }
+        max / min
+    }
+
+    /// EMD (1-norm distance) between this distribution and another.
+    pub fn emd(&self, other: &ClassDistribution) -> f64 {
+        l1_distance(&self.proportions(), &other.proportions())
+    }
+
+    /// EMD between this distribution's proportions and the uniform distribution.
+    pub fn emd_to_uniform(&self) -> f64 {
+        l1_distance(&self.proportions(), &Self::uniform_proportions(self.classes()))
+    }
+
+    /// KL divergence `KL(self ‖ uniform)`, the quantity the greedy baseline
+    /// minimises. Zero-probability classes contribute zero.
+    pub fn kl_to_uniform(&self) -> f64 {
+        let p = self.proportions();
+        let u = 1.0 / self.classes() as f64;
+        p.iter()
+            .filter(|&&pi| pi > 0.0)
+            .map(|&pi| pi * (pi / u).ln())
+            .sum()
+    }
+
+    /// The index of the most frequent class (ties broken toward lower index).
+    pub fn dominant_class(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Class indices ordered by decreasing count (ties toward lower index).
+    pub fn classes_by_frequency(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.classes()).collect();
+        idx.sort_by(|&a, &b| self.counts[b].cmp(&self.counts[a]).then(a.cmp(&b)));
+        idx
+    }
+}
+
+/// 1-norm distance between two proportion vectors: `Σ |p_i − q_i|`.
+///
+/// This is the "EMD" of the paper (and of Zhao et al. 2018): for categorical
+/// distributions over identical supports the Earth Mover's Distance with 0/1
+/// ground metric equals half the L1 distance, but the paper (like its
+/// references) reports the plain 1-norm, which ranges from 0 to 2.
+pub fn l1_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have the same support");
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// KL divergence `KL(p ‖ q)` for proportion vectors; `q_i = 0` with `p_i > 0`
+/// yields infinity.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have the same support");
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return f64::INFINITY;
+        }
+        acc += pi * (pi / qi).ln();
+    }
+    acc
+}
+
+/// Mean of several proportion vectors — the population distribution `p_o` of a
+/// selected client set (all clients weigh equally because FedVC equalises their
+/// sample counts).
+pub fn mean_proportions(distributions: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!distributions.is_empty(), "cannot average zero distributions");
+    let len = distributions[0].len();
+    let mut out = vec![0.0; len];
+    for d in distributions {
+        assert_eq!(d.len(), len, "all distributions must have the same support");
+        for (o, v) in out.iter_mut().zip(d) {
+            *o += v;
+        }
+    }
+    for o in &mut out {
+        *o /= distributions.len() as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_proportions() {
+        let d = ClassDistribution::from_labels(&[0, 0, 1, 2, 2, 2], 4);
+        assert_eq!(d.counts(), &[2, 1, 3, 0]);
+        assert_eq!(d.total(), 6);
+        let p = d.proportions();
+        assert!((p[0] - 2.0 / 6.0).abs() < 1e-12);
+        assert!((p[3] - 0.0).abs() < 1e-12);
+        assert_eq!(d.dominant_class(), 2);
+        assert_eq!(d.classes_by_frequency()[..2], [2, 0]);
+    }
+
+    #[test]
+    fn record_and_add() {
+        let mut d = ClassDistribution::empty(3);
+        assert!(d.is_empty());
+        d.record(1);
+        d.record(1);
+        d.record(2);
+        let e = ClassDistribution::from_counts(vec![5, 0, 1]);
+        assert_eq!(d.add(&e).counts(), &[5, 2, 2]);
+    }
+
+    #[test]
+    fn imbalance_ratio_cases() {
+        assert_eq!(ClassDistribution::from_counts(vec![10, 10]).imbalance_ratio(), 1.0);
+        assert_eq!(ClassDistribution::from_counts(vec![100, 10]).imbalance_ratio(), 10.0);
+        assert!(ClassDistribution::from_counts(vec![5, 0]).imbalance_ratio().is_infinite());
+        assert_eq!(ClassDistribution::empty(3).imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn emd_bounds_and_symmetry() {
+        let a = ClassDistribution::from_counts(vec![10, 0]);
+        let b = ClassDistribution::from_counts(vec![0, 10]);
+        assert!((a.emd(&b) - 2.0).abs() < 1e-12, "disjoint distributions have EMD 2");
+        assert_eq!(a.emd(&a), 0.0);
+        assert_eq!(a.emd(&b), b.emd(&a));
+    }
+
+    #[test]
+    fn emd_to_uniform_of_single_class() {
+        let d = ClassDistribution::from_counts(vec![10, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        // |1 - 0.1| + 9 * |0 - 0.1| = 0.9 + 0.9 = 1.8
+        assert!((d.emd_to_uniform() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_to_uniform_zero_for_uniform() {
+        let d = ClassDistribution::from_counts(vec![7, 7, 7, 7]);
+        assert!(d.kl_to_uniform().abs() < 1e-12);
+        let skew = ClassDistribution::from_counts(vec![97, 1, 1, 1]);
+        assert!(skew.kl_to_uniform() > 0.5);
+    }
+
+    #[test]
+    fn kl_divergence_edge_cases() {
+        let p = vec![0.5, 0.5, 0.0];
+        let q = vec![0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+        let q_zero = vec![1.0, 0.0, 0.0];
+        assert!(kl_divergence(&p, &q_zero).is_infinite());
+    }
+
+    #[test]
+    fn l1_distance_basic() {
+        assert_eq!(l1_distance(&[1.0, 0.0], &[0.0, 1.0]), 2.0);
+        assert_eq!(l1_distance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same support")]
+    fn l1_distance_mismatched_supports_panics() {
+        let _ = l1_distance(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn mean_proportions_averages() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert_eq!(mean_proportions(&[a, b]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 3 out of range")]
+    fn out_of_range_label_panics() {
+        let _ = ClassDistribution::from_labels(&[3], 3);
+    }
+
+    #[test]
+    fn uniform_proportions_sum_to_one() {
+        let u = ClassDistribution::uniform_proportions(52);
+        assert!((u.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

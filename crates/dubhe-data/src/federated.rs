@@ -1,0 +1,294 @@
+//! End-to-end construction of federated datasets in the paper's nomenclature.
+//!
+//! Datasets are named `"<Family>-<ρ>/<EMD_avg>"`, e.g. `CIFAR10-10/1.5`
+//! (Table 1). A [`FederatedSpec`] captures the family (which synthetic preset
+//! stands in for which image dataset), the global imbalance ratio ρ, the target
+//! client discrepancy EMD_avg and the client population, and can be *realised*
+//! at two levels:
+//!
+//! * [`FederatedSpec::build_partition`] — label distributions only. This is all
+//!   the client-selection experiments (Fig. 9, Fig. 10, Table 2's EMD* column)
+//!   need, and it scales to the paper's full 1000/8962-client populations.
+//! * [`FederatedSpec::build_dataset`] — additionally materialises synthetic
+//!   feature data per client plus a balanced test set, for the training
+//!   experiments (Fig. 2, 6, 7, 8).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::distribution::ClassDistribution;
+use crate::partition::{partition_clients, ClientPartition, Partition, PartitionConfig};
+use crate::skew::global_distribution;
+use crate::synthetic::{generate_balanced_test_set, generate_dataset, SyntheticConfig};
+
+/// Which image dataset a synthetic task stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetFamily {
+    /// 10 easy classes (stands in for MNIST).
+    MnistLike,
+    /// 10 hard classes (stands in for CIFAR10).
+    CifarLike,
+    /// 52 moderately hard classes (stands in for FEMNIST letters).
+    FemnistLike,
+}
+
+impl DatasetFamily {
+    /// The synthetic-generator preset for this family.
+    pub fn synthetic_config(&self) -> SyntheticConfig {
+        match self {
+            DatasetFamily::MnistLike => SyntheticConfig::mnist_like(),
+            DatasetFamily::CifarLike => SyntheticConfig::cifar_like(),
+            DatasetFamily::FemnistLike => SyntheticConfig::femnist_like(),
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetFamily::MnistLike => "MNIST",
+            DatasetFamily::CifarLike => "CIFAR10",
+            DatasetFamily::FemnistLike => "FEMNIST",
+        }
+    }
+
+    /// Number of classes of this family.
+    pub fn classes(&self) -> usize {
+        self.synthetic_config().classes
+    }
+}
+
+/// Full specification of a federated dataset in the paper's parameterisation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FederatedSpec {
+    /// Which task family.
+    pub family: DatasetFamily,
+    /// Global class imbalance ratio ρ.
+    pub rho: f64,
+    /// Target average client-to-global EMD.
+    pub emd_avg: f64,
+    /// Number of (virtual) clients `N`.
+    pub clients: usize,
+    /// Samples per client.
+    pub samples_per_client: u64,
+    /// Samples per class in the balanced test set.
+    pub test_samples_per_class: u64,
+    /// Seed for partitioning and data generation.
+    pub seed: u64,
+}
+
+impl FederatedSpec {
+    /// The group-1 configuration of the paper (MNIST / CIFAR10, N = 1000).
+    pub fn group1(family: DatasetFamily, rho: f64, emd_avg: f64) -> Self {
+        assert!(family != DatasetFamily::FemnistLike, "group 1 is MNIST/CIFAR10");
+        FederatedSpec {
+            family,
+            rho,
+            emd_avg,
+            clients: 1000,
+            samples_per_client: 128,
+            test_samples_per_class: 50,
+            seed: 42,
+        }
+    }
+
+    /// The group-2 configuration of the paper (FEMNIST, N = 8962, ρ = 13.64,
+    /// EMD_avg = 0.554 per Table 1).
+    pub fn group2() -> Self {
+        FederatedSpec {
+            family: DatasetFamily::FemnistLike,
+            rho: 13.64,
+            emd_avg: 0.554,
+            clients: 8962,
+            samples_per_client: 32,
+            test_samples_per_class: 20,
+            seed: 42,
+        }
+    }
+
+    /// The paper-style name, e.g. `CIFAR10-10/1.5`.
+    pub fn name(&self) -> String {
+        format!("{}-{}/{}", self.family.name(), self.rho, self.emd_avg)
+    }
+
+    /// Number of classes of the underlying task.
+    pub fn classes(&self) -> usize {
+        self.family.classes()
+    }
+
+    /// Builds the label-distribution level of the dataset (no features).
+    pub fn build_partition<R: Rng + ?Sized>(&self, rng: &mut R) -> FederatedPartition {
+        let total_samples = self.samples_per_client * self.clients as u64;
+        let global = global_distribution(self.classes(), self.rho, total_samples);
+        let cfg = PartitionConfig {
+            clients: self.clients,
+            samples_per_client: self.samples_per_client,
+            target_emd: self.emd_avg,
+        };
+        let partition = partition_clients(&global, &cfg, rng);
+        FederatedPartition { spec: *self, global, partition }
+    }
+
+    /// Builds the full dataset: client feature data plus a balanced test set.
+    pub fn build_dataset<R: Rng + ?Sized>(&self, rng: &mut R) -> FederatedDataset {
+        let partition = self.build_partition(rng);
+        let synth = self.family.synthetic_config();
+        let client_data: Vec<Dataset> = partition
+            .partition
+            .clients
+            .iter()
+            .map(|c| generate_dataset(&synth, &c.distribution, rng))
+            .collect();
+        let test = generate_balanced_test_set(&synth, self.test_samples_per_class, rng);
+        FederatedDataset { partition, client_data, test }
+    }
+}
+
+/// Label-distribution level realisation of a [`FederatedSpec`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FederatedPartition {
+    /// The generating specification.
+    pub spec: FederatedSpec,
+    /// The global label distribution.
+    pub global: ClassDistribution,
+    /// The per-client partition.
+    pub partition: Partition,
+}
+
+impl FederatedPartition {
+    /// Per-client label distributions in client order.
+    pub fn client_distributions(&self) -> Vec<ClassDistribution> {
+        self.partition.clients.iter().map(|c| c.distribution.clone()).collect()
+    }
+
+    /// The client partitions.
+    pub fn clients(&self) -> &[ClientPartition] {
+        &self.partition.clients
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.partition.clients.len()
+    }
+}
+
+/// Full realisation of a [`FederatedSpec`] including synthetic features.
+#[derive(Debug, Clone)]
+pub struct FederatedDataset {
+    /// The label-distribution level.
+    pub partition: FederatedPartition,
+    /// One feature dataset per client (same order as `partition.clients`).
+    pub client_data: Vec<Dataset>,
+    /// The balanced test set.
+    pub test: Dataset,
+}
+
+impl FederatedDataset {
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.client_data.len()
+    }
+
+    /// The generating specification.
+    pub fn spec(&self) -> &FederatedSpec {
+        &self.partition.spec
+    }
+
+    /// Per-client label distributions.
+    pub fn client_distributions(&self) -> Vec<ClassDistribution> {
+        self.partition.client_distributions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_follow_the_papers_convention() {
+        let spec = FederatedSpec {
+            family: DatasetFamily::CifarLike,
+            rho: 10.0,
+            emd_avg: 1.5,
+            clients: 100,
+            samples_per_client: 64,
+            test_samples_per_class: 10,
+            seed: 1,
+        };
+        assert_eq!(spec.name(), "CIFAR10-10/1.5");
+        assert_eq!(FederatedSpec::group2().name(), "FEMNIST-13.64/0.554");
+    }
+
+    #[test]
+    fn partition_hits_rho_and_emd_targets() {
+        let spec = FederatedSpec {
+            family: DatasetFamily::MnistLike,
+            rho: 10.0,
+            emd_avg: 1.0,
+            clients: 300,
+            samples_per_client: 100,
+            test_samples_per_class: 10,
+            seed: 2,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+        let fp = spec.build_partition(&mut rng);
+        assert_eq!(fp.num_clients(), 300);
+        assert!((fp.global.imbalance_ratio() - 10.0).abs() < 0.5);
+        assert!((fp.partition.achieved_emd - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn full_dataset_materialises_features_and_balanced_test() {
+        let spec = FederatedSpec {
+            family: DatasetFamily::CifarLike,
+            rho: 5.0,
+            emd_avg: 0.5,
+            clients: 20,
+            samples_per_client: 30,
+            test_samples_per_class: 5,
+            seed: 3,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+        let ds = spec.build_dataset(&mut rng);
+        assert_eq!(ds.num_clients(), 20);
+        for (client, plan) in ds.client_data.iter().zip(ds.partition.clients()) {
+            assert_eq!(client.len() as u64, 30);
+            assert_eq!(&client.class_distribution(), &plan.distribution);
+        }
+        assert_eq!(ds.test.class_distribution().imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn group1_and_group2_presets_match_table1() {
+        let g1 = FederatedSpec::group1(DatasetFamily::MnistLike, 2.0, 0.5);
+        assert_eq!(g1.clients, 1000);
+        assert_eq!(g1.classes(), 10);
+        let g2 = FederatedSpec::group2();
+        assert_eq!(g2.clients, 8962);
+        assert_eq!(g2.classes(), 52);
+        assert!((g2.rho - 13.64).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "group 1 is MNIST/CIFAR10")]
+    fn group1_rejects_femnist() {
+        let _ = FederatedSpec::group1(DatasetFamily::FemnistLike, 2.0, 0.5);
+    }
+
+    #[test]
+    fn build_is_deterministic_given_seed() {
+        let spec = FederatedSpec {
+            family: DatasetFamily::MnistLike,
+            rho: 2.0,
+            emd_avg: 0.5,
+            clients: 30,
+            samples_per_client: 40,
+            test_samples_per_class: 4,
+            seed: 9,
+        };
+        let a = spec.build_partition(&mut rand::rngs::StdRng::seed_from_u64(9));
+        let b = spec.build_partition(&mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(a.client_distributions(), b.client_distributions());
+    }
+}

@@ -1,0 +1,286 @@
+//! Partitioning the global data pool into client datasets with a target
+//! inter-client discrepancy EMD_avg.
+//!
+//! The paper characterises client heterogeneity by
+//! `EMD_avg = (1/N) Σ_k ‖p_k − p_g‖₁` — the average 1-norm distance between a
+//! client's label distribution and the global label distribution — and
+//! evaluates on datasets with EMD_avg ∈ {0, 0.5, 1.0, 1.5}.
+//!
+//! We generate client label distributions as mixtures
+//!
+//! ```text
+//! p_k = (1 − α)·p_g + α·δ_{c_k}
+//! ```
+//!
+//! where `δ_{c_k}` is a point mass on client `k`'s *anchor class* `c_k`, drawn
+//! from the global distribution so that the expectation over clients stays
+//! `p_g`. Since `‖p_k − p_g‖₁ = α·‖δ_c − p_g‖₁ = 2α(1 − p_g(c))`, a single
+//! mixing coefficient α hits any requested EMD_avg up to the achievable maximum
+//! `2(1 − Σ_c p_g(c)²)` (α = 1 means every client holds a single class, the
+//! paper's "second extreme case").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::ClassDistribution;
+
+/// The label-distribution plan for one client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientPartition {
+    /// Client index in `[0, N)`.
+    pub client_id: usize,
+    /// The anchor (dominating) class of the mixture.
+    pub anchor_class: usize,
+    /// Per-class sample counts for this client.
+    pub distribution: ClassDistribution,
+}
+
+/// Configuration for [`partition_clients`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Number of clients `N`.
+    pub clients: usize,
+    /// Samples held by each client (before FedVC virtualisation).
+    pub samples_per_client: u64,
+    /// Target average EMD between client distributions and the global one.
+    pub target_emd: f64,
+}
+
+/// The outcome of partitioning: per-client plans plus the achieved EMD.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partition {
+    /// One entry per client.
+    pub clients: Vec<ClientPartition>,
+    /// Mixing coefficient α actually used.
+    pub alpha: f64,
+    /// The achieved average EMD (may differ slightly from the target because of
+    /// integer rounding of per-class counts).
+    pub achieved_emd: f64,
+}
+
+/// The maximum EMD_avg achievable for a given global distribution, reached when
+/// every client holds a single class (α = 1).
+pub fn max_achievable_emd(global: &ClassDistribution) -> f64 {
+    let p = global.proportions();
+    2.0 * (1.0 - p.iter().map(|v| v * v).sum::<f64>())
+}
+
+/// Splits the global pool into `config.clients` clients whose average distance
+/// to the global distribution is `config.target_emd`.
+///
+/// Anchor classes are sampled from the global distribution so the *expected*
+/// population distribution under full participation equals the global one.
+///
+/// # Panics
+/// Panics if the target EMD is negative or exceeds the achievable maximum by
+/// more than a small tolerance (the caller asked for more heterogeneity than
+/// the global skew permits).
+pub fn partition_clients<R: Rng + ?Sized>(
+    global: &ClassDistribution,
+    config: &PartitionConfig,
+    rng: &mut R,
+) -> Partition {
+    assert!(config.clients > 0, "need at least one client");
+    assert!(config.samples_per_client > 0, "clients need at least one sample");
+    assert!(config.target_emd >= 0.0, "EMD cannot be negative");
+    let max_emd = max_achievable_emd(global);
+    assert!(
+        config.target_emd <= max_emd + 1e-9,
+        "target EMD {} exceeds the achievable maximum {:.3} for this global distribution",
+        config.target_emd,
+        max_emd
+    );
+
+    let p_g = global.proportions();
+    let classes = global.classes();
+    let alpha = if max_emd == 0.0 { 0.0 } else { config.target_emd / max_emd };
+
+    // Cumulative distribution for anchor-class sampling.
+    let mut cumulative = Vec::with_capacity(classes);
+    let mut acc = 0.0;
+    for &p in &p_g {
+        acc += p;
+        cumulative.push(acc);
+    }
+
+    let mut clients = Vec::with_capacity(config.clients);
+    let mut emd_sum = 0.0;
+    for client_id in 0..config.clients {
+        let u: f64 = rng.gen();
+        let anchor_class = cumulative.iter().position(|&c| u <= c).unwrap_or(classes - 1);
+        // Mixture proportions for this client.
+        let mix: Vec<f64> = (0..classes)
+            .map(|j| {
+                let point = if j == anchor_class { 1.0 } else { 0.0 };
+                (1.0 - alpha) * p_g[j] + alpha * point
+            })
+            .collect();
+        let counts = if config.samples_per_client >= classes as u64 {
+            proportions_to_counts_allowing_zero(&mix, config.samples_per_client)
+        } else {
+            // Very small clients: just put everything on the top classes.
+            top_heavy_counts(&mix, config.samples_per_client)
+        };
+        let distribution = ClassDistribution::from_counts(counts);
+        emd_sum += distribution.emd(global);
+        clients.push(ClientPartition { client_id, anchor_class, distribution });
+    }
+
+    Partition { clients, alpha, achieved_emd: emd_sum / config.clients as f64 }
+}
+
+/// Largest-remainder rounding that allows zero-count classes (client datasets
+/// legitimately miss classes; the global generator must not).
+fn proportions_to_counts_allowing_zero(proportions: &[f64], total: u64) -> Vec<u64> {
+    let sum: f64 = proportions.iter().sum();
+    let ideal: Vec<f64> = proportions.iter().map(|p| p / sum * total as f64).collect();
+    let mut counts: Vec<u64> = ideal.iter().map(|v| v.floor() as u64).collect();
+    let mut assigned: u64 = counts.iter().sum();
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = ideal[a] - ideal[a].floor();
+        let rb = ideal[b] - ideal[b].floor();
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut i = 0;
+    let n_classes = counts.len();
+    while assigned < total {
+        counts[order[i % n_classes]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    counts
+}
+
+/// For clients with fewer samples than classes: fill the largest-proportion
+/// classes first, one sample each, weighted by proportion.
+fn top_heavy_counts(proportions: &[f64], total: u64) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..proportions.len()).collect();
+    order.sort_by(|&a, &b| proportions[b].partial_cmp(&proportions[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut counts = vec![0u64; proportions.len()];
+    let mut remaining = total;
+    // Give the anchor class the bulk, then spread singles.
+    if let Some(&first) = order.first() {
+        let bulk = ((total as f64) * proportions[first]).round() as u64;
+        let bulk = bulk.min(remaining);
+        counts[first] += bulk;
+        remaining -= bulk;
+    }
+    let mut i = 0;
+    while remaining > 0 {
+        counts[order[i % order.len()]] += 1;
+        remaining -= 1;
+        i += 1;
+    }
+    counts
+}
+
+/// Average EMD between each client's distribution and the global distribution —
+/// the `EMD_avg` column of Table 1.
+pub fn average_emd(clients: &[ClientPartition], global: &ClassDistribution) -> f64 {
+    if clients.is_empty() {
+        return 0.0;
+    }
+    clients.iter().map(|c| c.distribution.emd(global)).sum::<f64>() / clients.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skew::global_distribution;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn zero_emd_clients_match_global() {
+        let global = global_distribution(10, 10.0, 100_000);
+        let cfg = PartitionConfig { clients: 50, samples_per_client: 1000, target_emd: 0.0 };
+        let part = partition_clients(&global, &cfg, &mut rng());
+        assert_eq!(part.clients.len(), 50);
+        assert!(part.achieved_emd < 0.05, "achieved {}", part.achieved_emd);
+        for c in &part.clients {
+            assert_eq!(c.distribution.total(), 1000);
+        }
+    }
+
+    #[test]
+    fn achieved_emd_tracks_target() {
+        let global = global_distribution(10, 10.0, 100_000);
+        for &target in &[0.5f64, 1.0, 1.5] {
+            let cfg = PartitionConfig { clients: 200, samples_per_client: 500, target_emd: target };
+            let part = partition_clients(&global, &cfg, &mut rng());
+            assert!(
+                (part.achieved_emd - target).abs() < 0.12,
+                "target {target}, achieved {}",
+                part.achieved_emd
+            );
+        }
+    }
+
+    #[test]
+    fn average_emd_helper_matches_partition_report() {
+        let global = global_distribution(10, 5.0, 50_000);
+        let cfg = PartitionConfig { clients: 100, samples_per_client: 200, target_emd: 1.0 };
+        let part = partition_clients(&global, &cfg, &mut rng());
+        let recomputed = average_emd(&part.clients, &global);
+        assert!((recomputed - part.achieved_emd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchor_classes_follow_global_distribution() {
+        let global = global_distribution(10, 10.0, 100_000);
+        let cfg = PartitionConfig { clients: 5000, samples_per_client: 100, target_emd: 1.5 };
+        let part = partition_clients(&global, &cfg, &mut rng());
+        let p_g = global.proportions();
+        let mut anchor_counts = vec![0usize; 10];
+        for c in &part.clients {
+            anchor_counts[c.anchor_class] += 1;
+        }
+        // Each class should anchor a share of clients proportional to its
+        // global frequency; in particular the most frequent class must anchor
+        // far more clients than the least frequent one.
+        for class in 0..10 {
+            let frac = anchor_counts[class] as f64 / 5000.0;
+            assert!((frac - p_g[class]).abs() < 0.05, "class {class}: {frac} vs {}", p_g[class]);
+        }
+        assert!(anchor_counts[0] > 3 * anchor_counts[9]);
+    }
+
+    #[test]
+    fn max_achievable_emd_bounds() {
+        let uniform = ClassDistribution::from_counts(vec![10; 10]);
+        assert!((max_achievable_emd(&uniform) - 1.8).abs() < 1e-9);
+        let single = ClassDistribution::from_counts(vec![100, 0, 0]);
+        assert!(max_achievable_emd(&single) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the achievable maximum")]
+    fn unreachable_target_panics() {
+        let global = ClassDistribution::from_counts(vec![100, 0, 0]);
+        let cfg = PartitionConfig { clients: 10, samples_per_client: 10, target_emd: 1.0 };
+        let _ = partition_clients(&global, &cfg, &mut rng());
+    }
+
+    #[test]
+    fn tiny_clients_still_get_exact_sample_counts() {
+        let global = global_distribution(52, 13.64, 100_000);
+        let cfg = PartitionConfig { clients: 100, samples_per_client: 20, target_emd: 0.554 };
+        let part = partition_clients(&global, &cfg, &mut rng());
+        for c in &part.clients {
+            assert_eq!(c.distribution.total(), 20);
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_given_seed() {
+        let global = global_distribution(10, 2.0, 10_000);
+        let cfg = PartitionConfig { clients: 20, samples_per_client: 50, target_emd: 1.0 };
+        let a = partition_clients(&global, &cfg, &mut rand::rngs::StdRng::seed_from_u64(7));
+        let b = partition_clients(&global, &cfg, &mut rand::rngs::StdRng::seed_from_u64(7));
+        assert_eq!(a.clients, b.clients);
+    }
+}

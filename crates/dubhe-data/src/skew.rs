@@ -1,0 +1,166 @@
+//! Global class-skew generation (half-normal profile, target imbalance ratio ρ).
+//!
+//! The paper "simulate[s] the imbalanced property of data by sampling datasets
+//! with half-normal distributions" and controls the skew with the imbalance
+//! ratio ρ = (size of most frequent class) / (size of least frequent class).
+//!
+//! We reproduce that: class proportions follow the density of a half-normal
+//! distribution evaluated at equally spaced points, scaled so the ratio between
+//! the largest and smallest proportion is exactly ρ. ρ = 1 degenerates to the
+//! uniform distribution.
+
+use crate::distribution::ClassDistribution;
+
+/// Generates per-class proportions with a half-normal profile and exact
+/// max/min ratio ρ.
+///
+/// # Panics
+/// Panics if `classes == 0` or `rho < 1`.
+pub fn half_normal_proportions(classes: usize, rho: f64) -> Vec<f64> {
+    assert!(classes > 0, "need at least one class");
+    assert!(rho >= 1.0, "imbalance ratio must be >= 1, got {rho}");
+    if classes == 1 || rho == 1.0 {
+        return vec![1.0 / classes as f64; classes];
+    }
+    // Half-normal density ∝ exp(-x²/2). Choose x_max so that
+    // density(0)/density(x_max) = exp(x_max²/2) = ρ  ⇒  x_max = sqrt(2 ln ρ).
+    let x_max = (2.0 * rho.ln()).sqrt();
+    let raw: Vec<f64> = (0..classes)
+        .map(|j| {
+            let x = x_max * j as f64 / (classes - 1) as f64;
+            (-x * x / 2.0).exp()
+        })
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|v| v / sum).collect()
+}
+
+/// Turns target proportions into integer per-class sample counts totalling
+/// `total_samples`, using largest-remainder rounding so the total is exact and
+/// every class with positive proportion receives at least one sample.
+pub fn proportions_to_counts(proportions: &[f64], total_samples: u64) -> Vec<u64> {
+    assert!(!proportions.is_empty(), "need at least one class");
+    assert!(
+        total_samples as usize >= proportions.len(),
+        "need at least one sample per class: {total_samples} samples for {} classes",
+        proportions.len()
+    );
+    let sum: f64 = proportions.iter().sum();
+    assert!(sum > 0.0, "proportions must not all be zero");
+
+    let ideal: Vec<f64> = proportions.iter().map(|p| p / sum * total_samples as f64).collect();
+    let mut counts: Vec<u64> = ideal.iter().map(|v| v.floor().max(1.0) as u64).collect();
+    let mut assigned: u64 = counts.iter().sum();
+
+    // Largest remainder for the leftovers; steal from the biggest classes if we
+    // overshot because of the at-least-one rule.
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = ideal[a] - ideal[a].floor();
+        let rb = ideal[b] - ideal[b].floor();
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut i = 0;
+    let n_classes = counts.len();
+    while assigned < total_samples {
+        counts[order[i % n_classes]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    let mut by_size: Vec<usize> = (0..counts.len()).collect();
+    while assigned > total_samples {
+        by_size.sort_by(|&a, &b| counts[b].cmp(&counts[a]));
+        let target = by_size[0];
+        if counts[target] > 1 {
+            counts[target] -= 1;
+            assigned -= 1;
+        } else {
+            break;
+        }
+    }
+    counts
+}
+
+/// Convenience wrapper producing a [`ClassDistribution`] for a given ρ.
+pub fn global_distribution(classes: usize, rho: f64, total_samples: u64) -> ClassDistribution {
+    let proportions = half_normal_proportions(classes, rho);
+    ClassDistribution::from_counts(proportions_to_counts(&proportions, total_samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_one_is_uniform() {
+        let p = half_normal_proportions(10, 1.0);
+        assert!(p.iter().all(|&v| (v - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn proportions_sum_to_one_and_hit_target_ratio() {
+        for &rho in &[2.0, 5.0, 10.0, 13.64] {
+            let p = half_normal_proportions(10, rho);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let max = p.iter().cloned().fold(f64::MIN, f64::max);
+            let min = p.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(
+                (max / min - rho).abs() < 1e-6,
+                "rho {rho}: achieved ratio {}",
+                max / min
+            );
+        }
+    }
+
+    #[test]
+    fn proportions_are_monotonically_decreasing() {
+        let p = half_normal_proportions(10, 10.0);
+        for w in p.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn counts_total_is_exact() {
+        let p = half_normal_proportions(10, 10.0);
+        for &total in &[100u64, 1000, 12_345, 60_000] {
+            let counts = proportions_to_counts(&p, total);
+            assert_eq!(counts.iter().sum::<u64>(), total);
+            assert!(counts.iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn counts_ratio_close_to_rho() {
+        let d = global_distribution(10, 10.0, 50_000);
+        let rho = d.imbalance_ratio();
+        assert!((rho - 10.0).abs() / 10.0 < 0.05, "achieved rho {rho}");
+    }
+
+    #[test]
+    fn femnist_like_ratio_from_table1() {
+        // Table 1 lists FEMNIST with rho = 13.64 over 52 classes.
+        let d = global_distribution(52, 13.64, 80_000);
+        assert!((d.imbalance_ratio() - 13.64).abs() < 1.0);
+        assert_eq!(d.classes(), 52);
+    }
+
+    #[test]
+    #[should_panic(expected = "imbalance ratio must be >= 1")]
+    fn rho_below_one_panics() {
+        let _ = half_normal_proportions(10, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample per class")]
+    fn too_few_samples_panics() {
+        let p = half_normal_proportions(10, 2.0);
+        let _ = proportions_to_counts(&p, 5);
+    }
+
+    #[test]
+    fn single_class_degenerates_gracefully() {
+        assert_eq!(half_normal_proportions(1, 5.0), vec![1.0]);
+        assert_eq!(proportions_to_counts(&[1.0], 10), vec![10]);
+    }
+}

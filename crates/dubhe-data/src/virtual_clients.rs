@@ -1,0 +1,171 @@
+//! FedVC virtual clients (Hsu et al., "Federated Visual Classification with
+//! Real-World Data Distribution").
+//!
+//! The paper adopts FedVC as an auxiliary so that every participating client
+//! contributes exactly `N_VC` samples per round and aggregation becomes a plain
+//! average (Eq. 1): clients with large datasets are *split* into several
+//! virtual clients, clients with small datasets *duplicate* samples until they
+//! reach `N_VC`. All of Dubhe's "clients" are virtual clients.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// One virtual client: a fixed-size dataset plus provenance information.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VirtualClient {
+    /// Identifier of the virtual client (dense, `0..V`).
+    pub id: usize,
+    /// Index of the physical client this virtual client was carved from.
+    pub physical_id: usize,
+    /// Exactly `N_VC` samples.
+    pub dataset: Dataset,
+}
+
+/// Splits/duplicates physical client datasets into virtual clients of exactly
+/// `n_vc` samples each.
+///
+/// * a physical client with `m >= n_vc` samples produces `floor(m / n_vc)`
+///   virtual clients from disjoint shuffled chunks (the remainder tops up the
+///   last chunk by re-using earlier samples);
+/// * a physical client with `0 < m < n_vc` samples produces one virtual client
+///   whose samples are repeated cyclically until `n_vc` is reached;
+/// * empty physical clients produce nothing.
+pub fn virtualize<R: Rng + ?Sized>(
+    physical: &[Dataset],
+    n_vc: usize,
+    rng: &mut R,
+) -> Vec<VirtualClient> {
+    assert!(n_vc > 0, "virtual client size must be positive");
+    let mut out = Vec::new();
+    for (physical_id, ds) in physical.iter().enumerate() {
+        if ds.is_empty() {
+            continue;
+        }
+        let mut indices: Vec<usize> = (0..ds.len()).collect();
+        indices.shuffle(rng);
+        if ds.len() < n_vc {
+            // Duplicate cyclically.
+            let repeated: Vec<usize> = (0..n_vc).map(|i| indices[i % indices.len()]).collect();
+            out.push(VirtualClient { id: out.len(), physical_id, dataset: ds.subset(&repeated) });
+            continue;
+        }
+        let chunks = ds.len() / n_vc;
+        for chunk in 0..chunks {
+            let start = chunk * n_vc;
+            let slice: Vec<usize> = indices[start..start + n_vc].to_vec();
+            out.push(VirtualClient { id: out.len(), physical_id, dataset: ds.subset(&slice) });
+        }
+    }
+    out
+}
+
+/// Summary statistics of a virtualisation (for experiment logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualizationStats {
+    /// Number of physical clients that produced at least one virtual client.
+    pub physical_clients: usize,
+    /// Number of virtual clients produced.
+    pub virtual_clients: usize,
+    /// The fixed per-client sample count `N_VC`.
+    pub n_vc: usize,
+}
+
+/// Computes [`VirtualizationStats`] for a set of virtual clients.
+pub fn stats(virtual_clients: &[VirtualClient], n_vc: usize) -> VirtualizationStats {
+    let mut physical: Vec<usize> = virtual_clients.iter().map(|v| v.physical_id).collect();
+    physical.sort_unstable();
+    physical.dedup();
+    VirtualizationStats {
+        physical_clients: physical.len(),
+        virtual_clients: virtual_clients.len(),
+        n_vc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::ClassDistribution;
+    use crate::synthetic::{generate_dataset, SyntheticConfig};
+    use rand::SeedableRng;
+
+    fn dataset_with(counts: Vec<u64>) -> Dataset {
+        let cfg = SyntheticConfig::mnist_like();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        generate_dataset(&cfg, &ClassDistribution::from_counts(counts), &mut rng)
+    }
+
+    #[test]
+    fn large_client_is_split_into_chunks() {
+        let ds = dataset_with(vec![30, 30, 0, 0, 0, 0, 0, 0, 0, 0]); // 60 samples
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let vcs = virtualize(&[ds], 20, &mut rng);
+        assert_eq!(vcs.len(), 3);
+        assert!(vcs.iter().all(|v| v.dataset.len() == 20));
+        assert!(vcs.iter().all(|v| v.physical_id == 0));
+    }
+
+    #[test]
+    fn small_client_duplicates_samples() {
+        let ds = dataset_with(vec![3, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let vcs = virtualize(&[ds], 10, &mut rng);
+        assert_eq!(vcs.len(), 1);
+        assert_eq!(vcs[0].dataset.len(), 10);
+        // Only class 0 present, so all labels are 0.
+        assert!(vcs[0].dataset.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_clients_are_skipped_and_ids_are_dense() {
+        let a = dataset_with(vec![25, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let empty = Dataset::empty(32, 10);
+        let b = dataset_with(vec![0, 25, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let vcs = virtualize(&[a, empty, b], 20, &mut rng);
+        assert_eq!(vcs.len(), 2);
+        assert_eq!(vcs[0].id, 0);
+        assert_eq!(vcs[1].id, 1);
+        assert_eq!(vcs[0].physical_id, 0);
+        assert_eq!(vcs[1].physical_id, 2);
+    }
+
+    #[test]
+    fn virtualisation_preserves_label_distribution_shape() {
+        // A client with 90% class 0 and 10% class 1 should produce virtual
+        // clients whose pooled distribution is still roughly 90/10.
+        let ds = dataset_with(vec![90, 10, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let vcs = virtualize(&[ds], 25, &mut rng);
+        assert_eq!(vcs.len(), 4);
+        let mut pooled = ClassDistribution::empty(10);
+        for v in &vcs {
+            pooled = pooled.add(&v.dataset.class_distribution());
+        }
+        let p = pooled.proportions();
+        assert!((p[0] - 0.9).abs() < 1e-9);
+        assert!((p[1] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_count_physical_and_virtual() {
+        let a = dataset_with(vec![40, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let b = dataset_with(vec![0, 20, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let vcs = virtualize(&[a, b], 20, &mut rng);
+        let s = stats(&vcs, 20);
+        assert_eq!(s.physical_clients, 2);
+        assert_eq!(s.virtual_clients, 3);
+        assert_eq!(s.n_vc, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_nvc_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let _ = virtualize(&[], 0, &mut rng);
+    }
+}

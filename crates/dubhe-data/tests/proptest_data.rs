@@ -1,0 +1,110 @@
+//! Property-based tests of the data substrate: distribution metrics, skew
+//! generation and client partitioning.
+
+use dubhe_data::partition::{max_achievable_emd, partition_clients, PartitionConfig};
+use dubhe_data::{
+    global_distribution, half_normal_proportions, kl_divergence, l1_distance,
+    proportions_to_counts, ClassDistribution,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn counts_vec() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1000, 2..30)
+        .prop_filter("not all zero", |v| v.iter().sum::<u64>() > 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn emd_is_a_metric_on_distributions(a in counts_vec(), b in counts_vec()) {
+        let len = a.len().min(b.len());
+        let da = ClassDistribution::from_counts(a[..len].to_vec());
+        let db = ClassDistribution::from_counts(b[..len].to_vec());
+        if da.total() == 0 || db.total() == 0 {
+            return Ok(());
+        }
+        // Symmetry, identity, range [0, 2].
+        prop_assert!((da.emd(&db) - db.emd(&da)).abs() < 1e-12);
+        prop_assert!(da.emd(&da).abs() < 1e-12);
+        prop_assert!(da.emd(&db) >= 0.0 && da.emd(&db) <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn l1_distance_triangle_inequality(
+        a in prop::collection::vec(0.0f64..1.0, 5),
+        b in prop::collection::vec(0.0f64..1.0, 5),
+        c in prop::collection::vec(0.0f64..1.0, 5),
+    ) {
+        let norm = |v: &[f64]| -> Vec<f64> {
+            let s: f64 = v.iter().sum::<f64>().max(1e-12);
+            v.iter().map(|x| x / s).collect()
+        };
+        let (a, b, c) = (norm(&a), norm(&b), norm(&c));
+        prop_assert!(l1_distance(&a, &c) <= l1_distance(&a, &b) + l1_distance(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn kl_divergence_is_nonnegative_and_zero_iff_equal(p in counts_vec()) {
+        let d = ClassDistribution::from_counts(p);
+        if d.total() == 0 {
+            return Ok(());
+        }
+        let props = d.proportions();
+        prop_assert!(kl_divergence(&props, &props).abs() < 1e-12);
+        prop_assert!(d.kl_to_uniform() >= -1e-12);
+    }
+
+    #[test]
+    fn half_normal_hits_requested_ratio(classes in 2usize..60, rho in 1.0f64..50.0) {
+        let p = half_normal_proportions(classes, rho);
+        prop_assert_eq!(p.len(), classes);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let max = p.iter().cloned().fold(f64::MIN, f64::max);
+        let min = p.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!((max / min - rho).abs() < 1e-6 * rho.max(1.0));
+        // Monotone non-increasing profile.
+        prop_assert!(p.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn counts_rounding_preserves_total(classes in 1usize..60, rho in 1.0f64..30.0, scale in 1u64..100) {
+        let total = classes as u64 * 100 * scale;
+        let p = half_normal_proportions(classes, rho);
+        let counts = proportions_to_counts(&p, total);
+        prop_assert_eq!(counts.iter().sum::<u64>(), total);
+        prop_assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn partition_respects_sample_counts_and_emd_bounds(
+        rho in 1.0f64..12.0,
+        emd_frac in 0.0f64..0.95,
+        clients in 10usize..120,
+        seed in any::<u64>(),
+    ) {
+        let global = global_distribution(10, rho, 100_000);
+        let target = emd_frac * max_achievable_emd(&global);
+        let cfg = PartitionConfig { clients, samples_per_client: 64, target_emd: target };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let partition = partition_clients(&global, &cfg, &mut rng);
+        prop_assert_eq!(partition.clients.len(), clients);
+        for c in &partition.clients {
+            prop_assert_eq!(c.distribution.total(), 64);
+            prop_assert!(c.anchor_class < 10);
+            // A client's distance to the global distribution never exceeds 2.
+            prop_assert!(c.distribution.emd(&global) <= 2.0 + 1e-9);
+        }
+        prop_assert!(partition.achieved_emd <= 2.0);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&partition.alpha));
+    }
+
+    #[test]
+    fn proportions_always_sum_to_one(counts in counts_vec()) {
+        let d = ClassDistribution::from_counts(counts);
+        if d.total() > 0 {
+            prop_assert!((d.proportions().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Server-side aggregation of local updates.
+//!
+//! The paper adopts FedVC, under which every participating (virtual) client
+//! holds exactly `N_VC` samples and the global model is the *uniform* average
+//! of the local models (Eq. 1). Classic sample-weighted FedAvg is also provided
+//! for ablations.
+
+use dubhe_ml::model::{average_weights, weighted_average_weights};
+use serde::{Deserialize, Serialize};
+
+use crate::client::LocalUpdate;
+
+/// Which aggregation rule the server applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Uniform average over participants (FedVC, Eq. 1) — the paper's setting.
+    FedVcUniform,
+    /// Sample-count-weighted average (original FedAvg).
+    FedAvgWeighted,
+}
+
+/// Aggregates local updates into the next global weight vector.
+///
+/// # Panics
+/// Panics if `updates` is empty or the weight vectors disagree in length.
+pub fn aggregate(updates: &[LocalUpdate], rule: Aggregation) -> Vec<f32> {
+    assert!(!updates.is_empty(), "cannot aggregate zero updates");
+    let weight_sets: Vec<Vec<f32>> = updates.iter().map(|u| u.weights.clone()).collect();
+    match rule {
+        Aggregation::FedVcUniform => average_weights(&weight_sets),
+        Aggregation::FedAvgWeighted => {
+            let counts: Vec<usize> = updates.iter().map(|u| u.samples).collect();
+            weighted_average_weights(&weight_sets, &counts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(id: usize, weights: Vec<f32>, samples: usize) -> LocalUpdate {
+        LocalUpdate { client_id: id, weights, samples, mean_loss: 0.0 }
+    }
+
+    #[test]
+    fn uniform_aggregation_ignores_sample_counts() {
+        let updates = vec![update(0, vec![0.0, 0.0], 1000), update(1, vec![2.0, 4.0], 1)];
+        assert_eq!(aggregate(&updates, Aggregation::FedVcUniform), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_aggregation_respects_sample_counts() {
+        let updates = vec![update(0, vec![0.0, 0.0], 3), update(1, vec![4.0, 4.0], 1)];
+        assert_eq!(aggregate(&updates, Aggregation::FedAvgWeighted), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn single_update_is_identity() {
+        let updates = vec![update(0, vec![1.5, -2.5], 10)];
+        assert_eq!(aggregate(&updates, Aggregation::FedVcUniform), vec![1.5, -2.5]);
+        assert_eq!(aggregate(&updates, Aggregation::FedAvgWeighted), vec![1.5, -2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot aggregate zero updates")]
+    fn empty_aggregation_panics() {
+        let _ = aggregate(&[], Aggregation::FedVcUniform);
+    }
+}

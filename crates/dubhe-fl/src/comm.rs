@@ -1,0 +1,139 @@
+//! Communication accounting for the §6.4 overhead study.
+//!
+//! The paper measures overhead in *times of communication*: a classic FL round
+//! needs `K` check-ins; Dubhe adds `N` registry transfers whenever a
+//! registration epoch happens and ≈ `H·K` encrypted-distribution transfers per
+//! round when multi-time selection is used for client determination.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative communication ledger of a federated run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommLedger {
+    /// Per-round entries.
+    pub rounds: Vec<RoundComm>,
+}
+
+/// Communication of a single round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundComm {
+    /// Check-in messages (always `K`).
+    pub check_in_messages: usize,
+    /// Registry transfers (N on registration rounds, 0 otherwise).
+    pub registration_messages: usize,
+    /// Multi-time selection transfers (≈ `H·K` when enabled).
+    pub multi_time_messages: usize,
+    /// Ciphertext bytes moved this round (registries + encrypted distributions).
+    pub ciphertext_bytes: usize,
+    /// Model-update bytes moved this round (the dominant cost in real FL).
+    pub model_bytes: usize,
+}
+
+impl RoundComm {
+    /// Total messages of the round.
+    pub fn total_messages(&self) -> usize {
+        self.check_in_messages + self.registration_messages + self.multi_time_messages
+    }
+}
+
+impl CommLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        CommLedger::default()
+    }
+
+    /// Records one round.
+    pub fn record(&mut self, round: RoundComm) {
+        self.rounds.push(round);
+    }
+
+    /// Total messages over the whole run.
+    pub fn total_messages(&self) -> usize {
+        self.rounds.iter().map(RoundComm::total_messages).sum()
+    }
+
+    /// Total Dubhe-specific messages (registration + multi-time).
+    pub fn dubhe_overhead_messages(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.registration_messages + r.multi_time_messages)
+            .sum()
+    }
+
+    /// Total ciphertext bytes (Dubhe-specific payloads).
+    pub fn total_ciphertext_bytes(&self) -> usize {
+        self.rounds.iter().map(|r| r.ciphertext_bytes).sum()
+    }
+
+    /// Total model bytes (payloads any FL system must move).
+    pub fn total_model_bytes(&self) -> usize {
+        self.rounds.iter().map(|r| r.model_bytes).sum()
+    }
+
+    /// Fraction of transferred bytes attributable to Dubhe (ciphertext /
+    /// (ciphertext + model)). The paper argues this is negligible because
+    /// registries are KBs while models are MBs–GBs.
+    pub fn ciphertext_byte_fraction(&self) -> f64 {
+        let total = self.total_ciphertext_bytes() + self.total_model_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_ciphertext_bytes() as f64 / total as f64
+    }
+}
+
+/// Bytes needed to ship one flat model update (4 bytes per `f32` parameter).
+pub fn model_update_bytes(param_count: usize) -> usize {
+    param_count * std::mem::size_of::<f32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(reg: usize, mt: usize, ct: usize, model: usize) -> RoundComm {
+        RoundComm {
+            check_in_messages: 20,
+            registration_messages: reg,
+            multi_time_messages: mt,
+            ciphertext_bytes: ct,
+            model_bytes: model,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate_across_rounds() {
+        let mut ledger = CommLedger::new();
+        ledger.record(round(1000, 0, 30_000, 1_000_000));
+        ledger.record(round(0, 200, 6_000, 1_000_000));
+        assert_eq!(ledger.total_messages(), 20 + 1000 + 20 + 200);
+        assert_eq!(ledger.dubhe_overhead_messages(), 1200);
+        assert_eq!(ledger.total_ciphertext_bytes(), 36_000);
+        assert_eq!(ledger.total_model_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn ciphertext_fraction_is_small_when_models_dominate() {
+        let mut ledger = CommLedger::new();
+        ledger.record(round(1000, 0, 31_000, 50_000_000));
+        assert!(ledger.ciphertext_byte_fraction() < 0.001);
+        let empty = CommLedger::new();
+        assert_eq!(empty.ciphertext_byte_fraction(), 0.0);
+    }
+
+    #[test]
+    fn model_bytes_scale_with_parameters() {
+        assert_eq!(model_update_bytes(1_000), 4_000);
+        assert_eq!(model_update_bytes(0), 0);
+    }
+
+    #[test]
+    fn per_round_message_model_matches_paper() {
+        // Plain round: K = 20 check-ins only.
+        assert_eq!(round(0, 0, 0, 0).total_messages(), 20);
+        // Registration round with N = 1000 clients.
+        assert_eq!(round(1000, 0, 0, 0).total_messages(), 1020);
+        // Multi-time round with H = 10, K = 20.
+        assert_eq!(round(0, 200, 0, 0).total_messages(), 220);
+    }
+}

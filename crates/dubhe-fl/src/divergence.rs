@@ -1,0 +1,163 @@
+//! Weight divergence instrumentation (§4.2, Eq. 2).
+//!
+//! The paper bounds `‖ω_f − ω*‖` — the distance between the federated weights
+//! and the weights of centralized training on uniformly distributed data — by
+//! terms proportional to the per-client EMD (term ①) and to `‖p_o − p_u‖₁`
+//! (term ②). This module provides the centralized reference trainer and a
+//! divergence tracker so experiments can measure the empirical counterpart of
+//! the bound.
+
+use dubhe_data::Dataset;
+use dubhe_ml::Sequential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::client::{LocalTrainingConfig, LocalUpdate};
+
+/// Trains a copy of `model` centrally on `data` for `rounds × epochs` passes —
+/// the `ω*` reference of Eq. (2) when `data` is the balanced pool.
+pub fn centralized_reference(
+    model: &Sequential,
+    data: &Dataset,
+    config: &LocalTrainingConfig,
+    rounds: usize,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    assert!(rounds > 0, "need at least one round");
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let mut reference = model.clone();
+    let mut optimizer = config.optimizer.build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_round = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        for _ in 0..config.epochs {
+            for (x, y) in data.batches(config.batch_size, &mut rng) {
+                reference.train_batch(&x, &y, optimizer.as_mut());
+            }
+        }
+        per_round.push(reference.get_weights());
+    }
+    per_round
+}
+
+/// L2 distance between two flat weight vectors.
+pub fn weight_distance(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "weight vectors must have the same length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Average pairwise L2 distance between client updates in one round — the
+/// empirical counterpart of the client-drift term ① of Eq. (2).
+pub fn update_dispersion(updates: &[LocalUpdate]) -> f64 {
+    if updates.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..updates.len() {
+        for j in (i + 1)..updates.len() {
+            total += weight_distance(&updates[i].weights, &updates[j].weights);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// A per-round divergence trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceTrace {
+    /// `‖ω_f − ω*‖` per round.
+    pub divergence: Vec<f64>,
+}
+
+impl DivergenceTrace {
+    /// Records one round's divergence.
+    pub fn record(&mut self, federated_weights: &[f32], reference_weights: &[f32]) {
+        self.divergence.push(weight_distance(federated_weights, reference_weights));
+    }
+
+    /// The final divergence value.
+    pub fn last(&self) -> Option<f64> {
+        self.divergence.last().copied()
+    }
+
+    /// The mean divergence over all recorded rounds.
+    pub fn mean(&self) -> f64 {
+        if self.divergence.is_empty() {
+            return 0.0;
+        }
+        self.divergence.iter().sum::<f64>() / self.divergence.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LocalOptimizer;
+    use crate::models::small_mlp;
+    use dubhe_data::{generate_balanced_test_set, SyntheticConfig};
+
+    fn quick_config() -> LocalTrainingConfig {
+        LocalTrainingConfig {
+            epochs: 1,
+            batch_size: 8,
+            optimizer: LocalOptimizer::Sgd { lr: 0.05 },
+        }
+    }
+
+    #[test]
+    fn weight_distance_basics() {
+        assert_eq!(weight_distance(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((weight_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_weight_vectors_panic() {
+        let _ = weight_distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn centralized_reference_trains_and_returns_per_round_weights() {
+        let cfg = SyntheticConfig::mnist_like();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = generate_balanced_test_set(&cfg, 10, &mut rng);
+        let model = small_mlp(32, 10, 0);
+        let per_round = centralized_reference(&model, &data, &quick_config(), 3, 2);
+        assert_eq!(per_round.len(), 3);
+        // Weights keep moving between rounds.
+        assert_ne!(per_round[0], per_round[1]);
+        assert_ne!(per_round[1], per_round[2]);
+        // And they moved away from the initial model.
+        assert!(weight_distance(&model.get_weights(), &per_round[0]) > 0.0);
+    }
+
+    #[test]
+    fn dispersion_is_zero_for_identical_updates_and_positive_otherwise() {
+        let a = LocalUpdate { client_id: 0, weights: vec![1.0, 1.0], samples: 1, mean_loss: 0.0 };
+        let b = LocalUpdate { client_id: 1, weights: vec![1.0, 1.0], samples: 1, mean_loss: 0.0 };
+        assert_eq!(update_dispersion(&[a.clone(), b.clone()]), 0.0);
+        let c = LocalUpdate { client_id: 2, weights: vec![2.0, 1.0], samples: 1, mean_loss: 0.0 };
+        assert!(update_dispersion(&[a.clone(), c]) > 0.0);
+        assert_eq!(update_dispersion(&[a]), 0.0, "fewer than two updates has no dispersion");
+    }
+
+    #[test]
+    fn trace_records_and_summarises() {
+        let mut trace = DivergenceTrace::default();
+        trace.record(&[0.0, 0.0], &[3.0, 4.0]);
+        trace.record(&[0.0, 0.0], &[0.0, 0.0]);
+        assert_eq!(trace.divergence.len(), 2);
+        assert_eq!(trace.last(), Some(0.0));
+        assert!((trace.mean() - 2.5).abs() < 1e-9);
+        assert_eq!(DivergenceTrace::default().mean(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-round metrics collected by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything recorded about one federated round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index starting at 0.
+    pub round: usize,
+    /// Test accuracy of the global model after aggregation (None on rounds
+    /// where evaluation was skipped).
+    pub test_accuracy: Option<f64>,
+    /// Mean local training loss over the participants.
+    pub mean_local_loss: f32,
+    /// ‖p_o − p_u‖₁ of the participated data this round.
+    pub population_unbiasedness: f64,
+    /// The population (participated-data) label distribution `p_o`.
+    pub population_distribution: Vec<f64>,
+    /// The clients that participated.
+    pub selected_clients: Vec<usize>,
+}
+
+/// The full trace of a federated run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct History {
+    /// One record per round, in order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History { rounds: Vec::new() }
+    }
+
+    /// Appends a round record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.rounds.push(record);
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// `true` if no rounds were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The accuracy curve: `(round, accuracy)` for rounds that were evaluated.
+    pub fn accuracy_curve(&self) -> Vec<(usize, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.test_accuracy.map(|a| (r.round, a)))
+            .collect()
+    }
+
+    /// The final evaluated accuracy, if any round was evaluated.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.rounds.iter().rev().find_map(|r| r.test_accuracy)
+    }
+
+    /// The paper's Fig. 7 metric: average accuracy over the last `n` *evaluated*
+    /// rounds.
+    pub fn average_accuracy_last(&self, n: usize) -> Option<f64> {
+        assert!(n > 0, "need at least one round to average");
+        let evaluated: Vec<f64> =
+            self.rounds.iter().filter_map(|r| r.test_accuracy).collect();
+        if evaluated.is_empty() {
+            return None;
+        }
+        let tail = &evaluated[evaluated.len().saturating_sub(n)..];
+        Some(tail.iter().sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Mean ‖p_o − p_u‖₁ over all rounds.
+    pub fn mean_unbiasedness(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.population_unbiasedness).sum::<f64>() / self.rounds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, acc: Option<f64>, unb: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            test_accuracy: acc,
+            mean_local_loss: 1.0,
+            population_unbiasedness: unb,
+            population_distribution: vec![0.5, 0.5],
+            selected_clients: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn accuracy_curve_skips_unevaluated_rounds() {
+        let mut h = History::new();
+        h.push(record(0, Some(0.1), 1.0));
+        h.push(record(1, None, 0.9));
+        h.push(record(2, Some(0.3), 0.8));
+        assert_eq!(h.accuracy_curve(), vec![(0, 0.1), (2, 0.3)]);
+        assert_eq!(h.final_accuracy(), Some(0.3));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn last_n_average_uses_evaluated_rounds_only() {
+        let mut h = History::new();
+        for i in 0..10 {
+            let acc = if i % 2 == 0 { Some(i as f64 / 10.0) } else { None };
+            h.push(record(i, acc, 1.0));
+        }
+        // Evaluated accuracies: 0.0, 0.2, 0.4, 0.6, 0.8; last 2 -> 0.7.
+        assert!((h.average_accuracy_last(2).unwrap() - 0.7).abs() < 1e-12);
+        // Asking for more rounds than evaluated falls back to all of them.
+        assert!((h.average_accuracy_last(50).unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history_reports_none_and_zero() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert_eq!(h.final_accuracy(), None);
+        assert_eq!(h.average_accuracy_last(5), None);
+        assert_eq!(h.mean_unbiasedness(), 0.0);
+    }
+
+    #[test]
+    fn mean_unbiasedness_averages_rounds() {
+        let mut h = History::new();
+        h.push(record(0, None, 1.0));
+        h.push(record(1, None, 0.5));
+        assert!((h.mean_unbiasedness() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_window_panics() {
+        let mut h = History::new();
+        h.push(record(0, Some(0.5), 1.0));
+        let _ = h.average_accuracy_last(0);
+    }
+}

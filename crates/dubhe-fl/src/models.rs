@@ -1,0 +1,90 @@
+//! Reference model architectures for the experiments.
+//!
+//! The paper uses the CNN of Reddi et al. for MNIST/FEMNIST and a ResNet-18 for
+//! CIFAR10. Our synthetic substitutes are feature vectors rather than images,
+//! so the standard model is a two-hidden-layer MLP; a small convolutional
+//! variant is provided for experiments that want to exercise the Conv2d path
+//! (treating the feature vector as a 1×H×W patch).
+
+use dubhe_ml::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A two-hidden-layer MLP: `features → hidden → hidden/2 → classes`.
+pub fn mlp(features: usize, hidden: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(features > 0 && hidden >= 2 && classes > 0, "invalid MLP dimensions");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new(vec![
+        Dense::new(features, hidden, &mut rng).boxed(),
+        ReLU::new().boxed(),
+        Dense::new(hidden, hidden / 2, &mut rng).boxed(),
+        ReLU::new().boxed(),
+        Dense::new(hidden / 2, classes, &mut rng).boxed(),
+    ])
+}
+
+/// A compact single-hidden-layer MLP for fast laptop-scale federated runs.
+pub fn small_mlp(features: usize, classes: usize, seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new(vec![
+        Dense::new(features, 64, &mut rng).boxed(),
+        ReLU::new().boxed(),
+        Dense::new(64, classes, &mut rng).boxed(),
+    ])
+}
+
+/// A small convolutional network treating the `height × width` feature vector
+/// as a one-channel image — the stand-in for the paper's CNN models.
+pub fn small_cnn(height: usize, width: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(height >= 3 && width >= 3, "input too small for a 3x3 convolution");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let conv = Conv2d::new(1, 4, 3, height, width, 1, &mut rng);
+    let conv_out = conv.output_len();
+    Sequential::new(vec![
+        conv.boxed(),
+        ReLU::new().boxed(),
+        Flatten::new().boxed(),
+        Dense::new(conv_out, 32, &mut rng).boxed(),
+        ReLU::new().boxed(),
+        Dense::new(32, classes, &mut rng).boxed(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dubhe_ml::Matrix;
+
+    #[test]
+    fn mlp_shapes_and_determinism() {
+        let a = mlp(32, 64, 10, 7);
+        let b = mlp(32, 64, 10, 7);
+        assert_eq!(a.get_weights(), b.get_weights(), "same seed, same init");
+        assert_eq!(a.param_count(), 32 * 64 + 64 + 64 * 32 + 32 + 32 * 10 + 10);
+        let c = mlp(32, 64, 10, 8);
+        assert_ne!(a.get_weights(), c.get_weights());
+    }
+
+    #[test]
+    fn small_mlp_forward_produces_class_logits() {
+        let mut m = small_mlp(16, 5, 1);
+        let x = Matrix::zeros(3, 16);
+        let logits = m.forward(&x);
+        assert_eq!(logits.shape(), (3, 5));
+    }
+
+    #[test]
+    fn small_cnn_accepts_flattened_patches() {
+        let mut m = small_cnn(6, 8, 10, 2);
+        let x = Matrix::zeros(2, 48);
+        let logits = m.forward(&x);
+        assert_eq!(logits.shape(), (2, 10));
+        assert!(m.param_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MLP dimensions")]
+    fn zero_feature_mlp_panics() {
+        let _ = mlp(0, 64, 10, 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! The federated-learning simulator: select → broadcast → local train (in
+//! parallel) → aggregate → evaluate, round after round.
+
+use dubhe_data::{l1_distance, ClassDistribution, Dataset};
+use dubhe_ml::Sequential;
+use dubhe_select::multi_time_select;
+use dubhe_select::selector::{population_distribution, ClientSelector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::{aggregate, Aggregation};
+use crate::client::{FlClient, LocalTrainingConfig};
+use crate::comm::{model_update_bytes, CommLedger, RoundComm};
+use crate::history::{History, RoundRecord};
+
+/// Run-level configuration of a federated simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Number of federated rounds.
+    pub rounds: usize,
+    /// Evaluate the global model on the test set every `eval_every` rounds
+    /// (the final round is always evaluated).
+    pub eval_every: usize,
+    /// Local-training hyper-parameters (E, B, optimizer).
+    pub local: LocalTrainingConfig,
+    /// Aggregation rule (the paper uses FedVC's uniform average).
+    pub aggregation: Aggregation,
+    /// Number of tentative tries `H` of the multi-time selection (1 = one-off).
+    pub multi_time_h: usize,
+    /// Master seed; every round derives its own sub-seed from it.
+    pub seed: u64,
+    /// Train the selected clients in parallel with rayon.
+    pub parallel: bool,
+}
+
+impl SimulationConfig {
+    /// A sensible default for laptop-scale experiments.
+    pub fn quick(rounds: usize, seed: u64) -> Self {
+        SimulationConfig {
+            rounds,
+            eval_every: 1,
+            local: LocalTrainingConfig {
+                epochs: 1,
+                batch_size: 8,
+                optimizer: crate::client::LocalOptimizer::Sgd { lr: 0.05 },
+            },
+            aggregation: Aggregation::FedVcUniform,
+            multi_time_h: 1,
+            seed,
+            parallel: true,
+        }
+    }
+}
+
+/// A complete federated system: clients, test set, global model and a selector.
+pub struct FlSimulation {
+    clients: Vec<FlClient>,
+    client_distributions: Vec<ClassDistribution>,
+    test: Dataset,
+    global_model: Sequential,
+    selector: Box<dyn ClientSelector>,
+    config: SimulationConfig,
+    ledger: CommLedger,
+}
+
+impl FlSimulation {
+    /// Assembles a simulation.
+    ///
+    /// # Panics
+    /// Panics if there are no clients, the test set is empty, or the selector's
+    /// population disagrees with the number of clients.
+    pub fn new(
+        clients: Vec<FlClient>,
+        test: Dataset,
+        global_model: Sequential,
+        selector: Box<dyn ClientSelector>,
+        config: SimulationConfig,
+    ) -> Self {
+        assert!(!clients.is_empty(), "a federation needs at least one client");
+        assert!(!test.is_empty(), "the test set must not be empty");
+        assert_eq!(
+            selector.population(),
+            clients.len(),
+            "selector population ({}) must match the number of clients ({})",
+            selector.population(),
+            clients.len()
+        );
+        assert!(config.rounds > 0, "need at least one round");
+        assert!(config.eval_every > 0, "eval_every must be positive");
+        assert!(config.multi_time_h >= 1, "H must be at least 1");
+        let client_distributions = clients.iter().map(FlClient::distribution).collect();
+        FlSimulation {
+            clients,
+            client_distributions,
+            test,
+            global_model,
+            selector,
+            config,
+            ledger: CommLedger::new(),
+        }
+    }
+
+    /// Convenience constructor from per-client datasets.
+    pub fn from_datasets(
+        datasets: Vec<Dataset>,
+        test: Dataset,
+        global_model: Sequential,
+        selector: Box<dyn ClientSelector>,
+        config: SimulationConfig,
+    ) -> Self {
+        let clients = datasets
+            .into_iter()
+            .enumerate()
+            .map(|(id, ds)| FlClient::new(id, ds))
+            .collect();
+        FlSimulation::new(clients, test, global_model, selector, config)
+    }
+
+    /// The per-client label distributions.
+    pub fn client_distributions(&self) -> &[ClassDistribution] {
+        &self.client_distributions
+    }
+
+    /// The current global model.
+    pub fn global_model(&self) -> &Sequential {
+        &self.global_model
+    }
+
+    /// The communication ledger accumulated so far.
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// The name of the selector in use.
+    pub fn selector_name(&self) -> &'static str {
+        self.selector.name()
+    }
+
+    /// Runs one round and returns its record.
+    pub fn run_round(&mut self, round: usize) -> RoundRecord {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(round as u64 * 0x5851_F42D));
+
+        // 1. Client selection (optionally multi-time, §5.3.1).
+        let selected = if self.config.multi_time_h > 1 {
+            multi_time_select(
+                self.selector.as_mut(),
+                &self.client_distributions,
+                self.config.multi_time_h,
+                &mut rng,
+            )
+            .selected
+        } else {
+            self.selector.select(&mut rng)
+        };
+        assert!(!selected.is_empty(), "selector returned an empty participant set");
+
+        // 2. Broadcast + local training (parallel across clients).
+        let round_seed = self.config.seed ^ (round as u64);
+        let global = &self.global_model;
+        let local_cfg = &self.config.local;
+        let updates: Vec<_> = if self.config.parallel {
+            selected
+                .par_iter()
+                .map(|&id| self.clients[id].local_train(global, local_cfg, round_seed))
+                .collect()
+        } else {
+            selected
+                .iter()
+                .map(|&id| self.clients[id].local_train(global, local_cfg, round_seed))
+                .collect()
+        };
+
+        // 3. Aggregation (Eq. 1).
+        let new_weights = aggregate(&updates, self.config.aggregation);
+        self.global_model.set_weights(&new_weights);
+
+        // 4. Evaluation and bookkeeping.
+        let evaluate =
+            round % self.config.eval_every == 0 || round + 1 == self.config.rounds;
+        let test_accuracy = if evaluate {
+            Some(self.global_model.accuracy(self.test.features(), self.test.labels()))
+        } else {
+            None
+        };
+        let p_o = population_distribution(&selected, &self.client_distributions);
+        let p_u = vec![1.0 / p_o.len() as f64; p_o.len()];
+        let unbiasedness = l1_distance(&p_o, &p_u);
+        let mean_local_loss =
+            updates.iter().map(|u| u.mean_loss).sum::<f32>() / updates.len() as f32;
+
+        let k = selected.len();
+        self.ledger.record(RoundComm {
+            check_in_messages: k,
+            registration_messages: if round == 0 && self.selector.name() == "Dubhe" {
+                self.clients.len()
+            } else {
+                0
+            },
+            multi_time_messages: if self.config.multi_time_h > 1 {
+                self.config.multi_time_h * k
+            } else {
+                0
+            },
+            ciphertext_bytes: 0,
+            model_bytes: 2 * k * model_update_bytes(self.global_model.param_count()),
+        });
+
+        RoundRecord {
+            round,
+            test_accuracy,
+            mean_local_loss,
+            population_unbiasedness: unbiasedness,
+            population_distribution: p_o,
+            selected_clients: selected,
+        }
+    }
+
+    /// Runs the configured number of rounds and returns the history.
+    pub fn run(&mut self) -> History {
+        let mut history = History::new();
+        for round in 0..self.config.rounds {
+            history.push(self.run_round(round));
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::small_mlp;
+    use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+    use dubhe_select::{DubheConfig, DubheSelector, RandomSelector};
+
+    fn build_federation(
+        clients: usize,
+        rho: f64,
+        emd: f64,
+        seed: u64,
+    ) -> (Vec<Dataset>, Dataset, Vec<ClassDistribution>) {
+        let spec = FederatedSpec {
+            family: DatasetFamily::MnistLike,
+            rho,
+            emd_avg: emd,
+            clients,
+            samples_per_client: 32,
+            test_samples_per_class: 20,
+            seed,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = spec.build_dataset(&mut rng);
+        let dists = ds.client_distributions();
+        (ds.client_data, ds.test, dists)
+    }
+
+    #[test]
+    fn a_short_run_produces_history_and_learns_something() {
+        let (client_data, test, _) = build_federation(30, 2.0, 0.5, 1);
+        let selector = Box::new(RandomSelector::new(30, 10));
+        let model = small_mlp(32, 10, 0);
+        let mut config = SimulationConfig::quick(8, 7);
+        config.local.optimizer = crate::client::LocalOptimizer::Sgd { lr: 0.1 };
+        let mut sim = FlSimulation::from_datasets(client_data, test, model, selector, config);
+        let history = sim.run();
+        assert_eq!(history.len(), 8);
+        let first = history.rounds[0].test_accuracy.unwrap();
+        let last = history.final_accuracy().unwrap();
+        assert!(last > first, "accuracy should improve: {first} -> {last}");
+        assert_eq!(sim.ledger().rounds.len(), 8);
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_are_identical() {
+        let (client_data, test, _) = build_federation(20, 2.0, 1.0, 2);
+        let build = |parallel: bool| {
+            let selector = Box::new(RandomSelector::new(20, 5));
+            let model = small_mlp(32, 10, 3);
+            let mut config = SimulationConfig::quick(3, 11);
+            config.parallel = parallel;
+            FlSimulation::from_datasets(client_data.clone(), test.clone(), model, selector, config)
+        };
+        let hist_par = build(true).run();
+        let hist_seq = build(false).run();
+        assert_eq!(hist_par, hist_seq, "parallelism must not change results");
+    }
+
+    #[test]
+    fn dubhe_selector_plugs_into_the_simulator() {
+        let (client_data, test, dists) = build_federation(60, 10.0, 1.5, 3);
+        let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+        let model = small_mlp(32, 10, 4);
+        let config = SimulationConfig::quick(3, 13);
+        let mut sim = FlSimulation::from_datasets(client_data, test, model, selector, config);
+        assert_eq!(sim.selector_name(), "Dubhe");
+        let history = sim.run();
+        assert_eq!(history.len(), 3);
+        // Registration messages are charged once (round 0).
+        assert_eq!(sim.ledger().rounds[0].registration_messages, 60);
+        assert_eq!(sim.ledger().rounds[1].registration_messages, 0);
+        for r in &history.rounds {
+            assert_eq!(r.selected_clients.len(), 20);
+            assert!(r.population_unbiasedness >= 0.0 && r.population_unbiasedness <= 2.0);
+        }
+    }
+
+    #[test]
+    fn multi_time_h_selects_more_balanced_rounds() {
+        let (client_data, test, dists) = build_federation(80, 10.0, 1.5, 4);
+        let run_with_h = |h: usize| {
+            let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+            let model = small_mlp(32, 10, 5);
+            let mut config = SimulationConfig::quick(4, 17);
+            config.multi_time_h = h;
+            let mut sim = FlSimulation::from_datasets(
+                client_data.clone(),
+                test.clone(),
+                model,
+                selector,
+                config,
+            );
+            sim.run().mean_unbiasedness()
+        };
+        let one_off = run_with_h(1);
+        let multi = run_with_h(10);
+        assert!(
+            multi <= one_off + 0.05,
+            "H=10 ({multi:.3}) should not be less balanced than H=1 ({one_off:.3})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the number of clients")]
+    fn mismatched_selector_population_panics() {
+        let (client_data, test, _) = build_federation(10, 1.0, 0.0, 5);
+        let selector = Box::new(RandomSelector::new(99, 5));
+        let model = small_mlp(32, 10, 6);
+        let config = SimulationConfig::quick(1, 1);
+        let _ = FlSimulation::from_datasets(client_data, test, model, selector, config);
+    }
+}

@@ -1,0 +1,220 @@
+//! A single Paillier ciphertext and its homomorphic operations.
+
+use num_bigint::BigUint;
+use num_traits::One;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::HeError;
+use crate::keys::PublicKey;
+
+/// An encryption of one integer under a [`PublicKey`].
+///
+/// The additive homomorphism of Paillier maps plaintext addition to ciphertext
+/// multiplication modulo `n²`:
+///
+/// * [`Ciphertext::add`] — `Enc(a) ⊕ Enc(b) = Enc(a + b)`
+/// * [`Ciphertext::add_plain`] — `Enc(a) ⊕ b = Enc(a + b)` without encrypting `b`
+/// * [`Ciphertext::mul_plain`] — `Enc(a)^k = Enc(a · k)`
+///
+/// These are exactly the operations the Dubhe server performs on registries and
+/// on encrypted label distributions: it can *sum* contributions but can never
+/// read them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ciphertext {
+    value: BigUint,
+    public: PublicKey,
+}
+
+impl Ciphertext {
+    /// Wraps a raw ciphertext value. Intended for use by key / vector code in
+    /// this crate and by deserialisation paths.
+    pub fn from_raw(value: BigUint, public: PublicKey) -> Self {
+        Ciphertext { value, public }
+    }
+
+    /// The raw group element in `Z*_{n²}`.
+    pub fn raw(&self) -> &BigUint {
+        &self.value
+    }
+
+    /// The public key this ciphertext was produced under.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    fn check_same_key(&self, other: &Ciphertext) -> Result<(), HeError> {
+        if self.public.n != other.public.n {
+            Err(HeError::KeyMismatch)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Homomorphic addition of two ciphertexts: `Dec(a ⊕ b) = Dec(a) + Dec(b) (mod n)`.
+    pub fn add(&self, other: &Ciphertext) -> Result<Ciphertext, HeError> {
+        self.check_same_key(other)?;
+        let value = (&self.value * &other.value) % &self.public.n_squared;
+        Ok(Ciphertext { value, public: self.public.clone() })
+    }
+
+    /// Adds a plaintext constant to the encrypted value.
+    pub fn add_plain(&self, plain: &BigUint) -> Result<Ciphertext, HeError> {
+        if plain >= &self.public.n {
+            return Err(HeError::PlaintextTooLarge);
+        }
+        // Multiplying by g^plain = (1 + plain·n) adds `plain` to the plaintext.
+        let g_to_m = (BigUint::one() + plain * &self.public.n) % &self.public.n_squared;
+        let value = (&self.value * g_to_m) % &self.public.n_squared;
+        Ok(Ciphertext { value, public: self.public.clone() })
+    }
+
+    /// Adds a `u64` plaintext constant.
+    pub fn add_plain_u64(&self, plain: u64) -> Ciphertext {
+        self.add_plain(&BigUint::from(plain))
+            .expect("u64 fits in the message space")
+    }
+
+    /// Multiplies the encrypted value by a plaintext scalar:
+    /// `Dec(cᵏ) = k · Dec(c) (mod n)`.
+    pub fn mul_plain(&self, k: &BigUint) -> Ciphertext {
+        let value = self.value.modpow(k, &self.public.n_squared);
+        Ciphertext { value, public: self.public.clone() }
+    }
+
+    /// Multiplies the encrypted value by a `u64` scalar.
+    pub fn mul_plain_u64(&self, k: u64) -> Ciphertext {
+        self.mul_plain(&BigUint::from(k))
+    }
+
+    /// Re-randomises the ciphertext by multiplying with a fresh encryption of
+    /// zero. The plaintext is unchanged but the ciphertext becomes unlinkable
+    /// to the original — used when an agent forwards aggregated values.
+    pub fn rerandomise<R: Rng + ?Sized>(&self, rng: &mut R) -> Ciphertext {
+        let r = self.public.sample_randomness(rng);
+        let r_to_n = r.modpow(&self.public.n, &self.public.n_squared);
+        let value = (&self.value * r_to_n) % &self.public.n_squared;
+        Ciphertext { value, public: self.public.clone() }
+    }
+
+    /// Serialized byte length of the raw ciphertext (used by the overhead study).
+    pub fn byte_len(&self) -> usize {
+        self.value.to_bytes_be().len()
+    }
+}
+
+/// Homomorphically sums an iterator of ciphertexts, returning `Enc(0)` for an
+/// empty iterator.
+pub fn sum_ciphertexts<'a, I>(public: &PublicKey, iter: I) -> Result<Ciphertext, HeError>
+where
+    I: IntoIterator<Item = &'a Ciphertext>,
+{
+    let mut acc = public.zero_ciphertext();
+    for ct in iter {
+        acc = acc.add(ct)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Keypair;
+    use rand::SeedableRng;
+
+    fn setup() -> (crate::PublicKey, crate::PrivateKey, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let (pk, sk) = kp.split();
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn homomorphic_addition_matches_plaintext_addition() {
+        let (pk, sk, mut rng) = setup();
+        for (a, b) in [(0u64, 0u64), (1, 2), (1000, 999), (123456, 654321)] {
+            let ca = pk.encrypt_u64(a, &mut rng);
+            let cb = pk.encrypt_u64(b, &mut rng);
+            let sum = ca.add(&cb).unwrap();
+            assert_eq!(sk.decrypt_u64(&sum), a + b);
+        }
+    }
+
+    #[test]
+    fn add_plain_matches() {
+        let (pk, sk, mut rng) = setup();
+        let c = pk.encrypt_u64(41, &mut rng);
+        assert_eq!(sk.decrypt_u64(&c.add_plain_u64(1)), 42);
+        assert_eq!(sk.decrypt_u64(&c.add_plain_u64(0)), 41);
+    }
+
+    #[test]
+    fn mul_plain_matches() {
+        let (pk, sk, mut rng) = setup();
+        let c = pk.encrypt_u64(7, &mut rng);
+        assert_eq!(sk.decrypt_u64(&c.mul_plain_u64(6)), 42);
+        assert_eq!(sk.decrypt_u64(&c.mul_plain_u64(0)), 0);
+        assert_eq!(sk.decrypt_u64(&c.mul_plain_u64(1)), 7);
+    }
+
+    #[test]
+    fn signed_addition_wraps_correctly() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_i64(-5, &mut rng);
+        let b = pk.encrypt_i64(3, &mut rng);
+        assert_eq!(sk.decrypt_i64(&a.add(&b).unwrap()).unwrap(), -2);
+        let c = pk.encrypt_i64(10, &mut rng);
+        assert_eq!(sk.decrypt_i64(&a.add(&c).unwrap()).unwrap(), 5);
+    }
+
+    #[test]
+    fn rerandomise_preserves_plaintext_but_changes_ciphertext() {
+        let (pk, sk, mut rng) = setup();
+        let c = pk.encrypt_u64(99, &mut rng);
+        let r = c.rerandomise(&mut rng);
+        assert_ne!(c.raw(), r.raw());
+        assert_eq!(sk.decrypt_u64(&r), 99);
+    }
+
+    #[test]
+    fn mixing_keys_is_rejected() {
+        let (pk1, _sk1, mut rng) = setup();
+        let kp2 = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let c1 = pk1.encrypt_u64(1, &mut rng);
+        let c2 = kp2.public.encrypt_u64(1, &mut rng);
+        assert_eq!(c1.add(&c2), Err(HeError::KeyMismatch));
+    }
+
+    #[test]
+    fn add_plain_rejects_oversized_plaintext() {
+        let (pk, _sk, mut rng) = setup();
+        let c = pk.encrypt_u64(1, &mut rng);
+        let too_big = pk.n.clone();
+        assert_eq!(c.add_plain(&too_big), Err(HeError::PlaintextTooLarge));
+    }
+
+    #[test]
+    fn sum_of_many_ciphertexts() {
+        let (pk, sk, mut rng) = setup();
+        let values: Vec<u64> = (0..25).collect();
+        let cts: Vec<_> = values.iter().map(|&v| pk.encrypt_u64(v, &mut rng)).collect();
+        let total = sum_ciphertexts(&pk, &cts).unwrap();
+        assert_eq!(sk.decrypt_u64(&total), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        let (pk, sk, _rng) = setup();
+        let total = sum_ciphertexts(&pk, std::iter::empty::<&Ciphertext>()).unwrap();
+        assert_eq!(sk.decrypt_u64(&total), 0);
+    }
+
+    #[test]
+    fn byte_len_close_to_twice_key_size() {
+        let (pk, _sk, mut rng) = setup();
+        let c = pk.encrypt_u64(123, &mut rng);
+        // Ciphertext lives mod n², i.e. about 2 × key bits.
+        let expected = (2 * crate::TEST_KEY_BITS as usize) / 8;
+        assert!(c.byte_len() <= expected && c.byte_len() >= expected - 8);
+    }
+}

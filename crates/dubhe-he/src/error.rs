@@ -1,0 +1,68 @@
+//! Error type shared by all dubhe-he operations.
+
+use std::fmt;
+
+/// Errors produced by the homomorphic-encryption layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeError {
+    /// Two ciphertexts (or vectors) were combined under different public keys.
+    KeyMismatch,
+    /// Vector operands have different lengths.
+    LengthMismatch { left: usize, right: usize },
+    /// A plaintext does not fit into the message space of the key.
+    PlaintextTooLarge,
+    /// A packed word would overflow its slot width.
+    PackingOverflow { slot_bits: u32, value: u64 },
+    /// The requested key size is too small to be usable.
+    KeyTooSmall { bits: u64, minimum: u64 },
+    /// Decryption produced a value outside the expected signed range.
+    SignedRangeOverflow,
+}
+
+impl fmt::Display for HeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeError::KeyMismatch => {
+                write!(f, "ciphertexts were produced under different public keys")
+            }
+            HeError::LengthMismatch { left, right } => {
+                write!(f, "encrypted vectors have different lengths: {left} vs {right}")
+            }
+            HeError::PlaintextTooLarge => {
+                write!(f, "plaintext does not fit in the Paillier message space")
+            }
+            HeError::PackingOverflow { slot_bits, value } => {
+                write!(f, "value {value} does not fit in a {slot_bits}-bit packing slot")
+            }
+            HeError::KeyTooSmall { bits, minimum } => {
+                write!(f, "key size {bits} bits is below the supported minimum {minimum}")
+            }
+            HeError::SignedRangeOverflow => {
+                write!(f, "decrypted value falls outside the signed encoding range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = HeError::LengthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+        let e = HeError::PackingOverflow { slot_bits: 16, value: 70000 };
+        assert!(e.to_string().contains("70000"));
+        assert!(HeError::KeyMismatch.to_string().contains("public keys"));
+        assert!(HeError::KeyTooSmall { bits: 8, minimum: 64 }.to_string().contains("minimum"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&HeError::KeyMismatch);
+    }
+}

@@ -1,0 +1,132 @@
+//! Fixed-point encoding of probability vectors.
+//!
+//! During multi-time selection each tentatively selected client sends its
+//! encrypted label distribution `p_l` (a probability vector summing to 1) to the
+//! server. Paillier encrypts integers, so distributions are scaled by a fixed
+//! factor and rounded; the homomorphic sum of scaled distributions decodes to
+//! the (scaled) population distribution `p_o` that the agent inspects.
+
+use serde::{Deserialize, Serialize};
+
+/// Default scaling factor: six decimal digits of precision, which keeps the
+/// rounding error of a 52-class distribution far below the distances the agent
+/// compares (‖p_o − p_u‖₁ ≈ 0.01 – 1.0).
+pub const DEFAULT_FIXED_SCALE: u64 = 1_000_000;
+
+/// Converts between `f64` probability vectors and scaled integer vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedPointCodec {
+    /// Multiplicative scale applied before rounding.
+    pub scale: u64,
+}
+
+impl Default for FixedPointCodec {
+    fn default() -> Self {
+        FixedPointCodec { scale: DEFAULT_FIXED_SCALE }
+    }
+}
+
+impl FixedPointCodec {
+    /// Creates a codec with an explicit scale.
+    pub fn new(scale: u64) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        FixedPointCodec { scale }
+    }
+
+    /// Encodes a probability (or any non-negative real) as a scaled integer.
+    pub fn encode(&self, value: f64) -> u64 {
+        assert!(value >= 0.0 && value.is_finite(), "value must be non-negative and finite");
+        (value * self.scale as f64).round() as u64
+    }
+
+    /// Decodes a scaled integer back to a real value.
+    pub fn decode(&self, value: u64) -> f64 {
+        value as f64 / self.scale as f64
+    }
+
+    /// Encodes a whole vector.
+    pub fn encode_vec(&self, values: &[f64]) -> Vec<u64> {
+        values.iter().map(|&v| self.encode(v)).collect()
+    }
+
+    /// Decodes a whole vector.
+    pub fn decode_vec(&self, values: &[u64]) -> Vec<f64> {
+        values.iter().map(|&v| self.decode(v)).collect()
+    }
+
+    /// Decodes an aggregated vector that is the sum of `count` encoded
+    /// distributions, returning the *average* distribution (what the agent
+    /// needs to compare against the uniform distribution).
+    pub fn decode_average(&self, values: &[u64], count: usize) -> Vec<f64> {
+        assert!(count > 0, "cannot average zero distributions");
+        values
+            .iter()
+            .map(|&v| v as f64 / (self.scale as f64 * count as f64))
+            .collect()
+    }
+
+    /// Worst-case absolute rounding error per element.
+    pub fn max_error(&self) -> f64 {
+        0.5 / self.scale as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip_within_precision() {
+        let codec = FixedPointCodec::default();
+        for v in [0.0, 0.1, 0.25, 0.333333, 0.9999, 1.0] {
+            let back = codec.decode(codec.encode(v));
+            assert!((back - v).abs() <= codec.max_error(), "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn vector_round_trip() {
+        let codec = FixedPointCodec::new(10_000);
+        let dist = vec![0.5, 0.25, 0.125, 0.125];
+        let decoded = codec.decode_vec(&codec.encode_vec(&dist));
+        for (a, b) in dist.iter().zip(&decoded) {
+            assert!((a - b).abs() <= codec.max_error());
+        }
+    }
+
+    #[test]
+    fn aggregated_average_matches_mean_distribution() {
+        let codec = FixedPointCodec::default();
+        let d1 = vec![1.0, 0.0];
+        let d2 = vec![0.0, 1.0];
+        let e1 = codec.encode_vec(&d1);
+        let e2 = codec.encode_vec(&d2);
+        let sum: Vec<u64> = e1.iter().zip(&e2).map(|(a, b)| a + b).collect();
+        let avg = codec.decode_average(&sum, 2);
+        assert!((avg[0] - 0.5).abs() < 1e-6);
+        assert!((avg[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_values_rejected() {
+        FixedPointCodec::default().encode(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        let _ = FixedPointCodec::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero")]
+    fn zero_count_average_rejected() {
+        FixedPointCodec::default().decode_average(&[1], 0);
+    }
+
+    #[test]
+    fn max_error_shrinks_with_scale() {
+        assert!(FixedPointCodec::new(1_000_000).max_error() < FixedPointCodec::new(100).max_error());
+    }
+}

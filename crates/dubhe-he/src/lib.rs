@@ -1,0 +1,99 @@
+//! # dubhe-he — additively homomorphic encryption substrate
+//!
+//! A from-scratch implementation of the [Paillier cryptosystem][paillier] used by
+//! the Dubhe client-selection protocol (ICPP '21). The paper relies on the
+//! additive homomorphism of Paillier so that the central server can aggregate
+//! client *registries* (one-hot encoded label-distribution summaries) and
+//! encrypted label distributions without ever learning any individual client's
+//! data distribution.
+//!
+//! The crate provides:
+//!
+//! * [`Keypair`], [`PublicKey`], [`PrivateKey`] — key generation with
+//!   Miller–Rabin prime search and CRT-accelerated decryption.
+//! * [`Ciphertext`] — a single encrypted value supporting `⊕` (ciphertext +
+//!   ciphertext), ciphertext + plaintext and ciphertext × plaintext-scalar.
+//! * [`EncryptedVector`] — element-wise encrypted integer vectors (the registry
+//!   and the encrypted label distribution `p_l` of the multi-time selection).
+//! * [`packing`] — BatchCrypt-style packing of many small counters into a single
+//!   plaintext, used to quantify how much of the HE overhead can be removed.
+//! * [`fixed`] — fixed-point encoding of probability vectors.
+//! * [`transport`] — serialized-size accounting used by the §6.4 overhead study.
+//!
+//! ## Example
+//!
+//! ```
+//! use dubhe_he::{Keypair, EncryptedVector};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // 512-bit keys keep doc-tests fast; experiments use 2048 bits like the paper.
+//! let keypair = Keypair::generate(512, &mut rng);
+//! let (pk, sk) = keypair.split();
+//!
+//! // Two clients register one-hot vectors; the server adds ciphertexts blindly.
+//! let a = EncryptedVector::encrypt_u64(&pk, &[0, 1, 0, 0], &mut rng);
+//! let b = EncryptedVector::encrypt_u64(&pk, &[0, 0, 1, 0], &mut rng);
+//! let aggregate = a.add(&b).unwrap();
+//! assert_eq!(aggregate.decrypt_u64(&sk), vec![0, 1, 1, 0]);
+//! ```
+//!
+//! [paillier]: https://link.springer.com/chapter/10.1007/3-540-48910-X_16
+
+pub mod ciphertext;
+pub mod error;
+pub mod fixed;
+pub mod keys;
+pub mod packing;
+pub mod prime;
+pub mod transport;
+pub mod vector;
+
+pub use ciphertext::Ciphertext;
+pub use error::HeError;
+pub use fixed::{FixedPointCodec, DEFAULT_FIXED_SCALE};
+pub use keys::{Keypair, PrivateKey, PublicKey};
+pub use packing::{PackedCiphertext, Packer};
+pub use transport::{ciphertext_size_bytes, public_key_size_bytes, TransportSize};
+pub use vector::EncryptedVector;
+
+/// Key size (in bits of the modulus `n`) used by the paper's evaluation.
+///
+/// The paper encrypts with 2048-bit Paillier keys, the setting adopted by FATE
+/// and BatchCrypt. Tests and doc-examples use smaller keys for speed; the
+/// overhead experiments use this constant.
+pub const PAPER_KEY_BITS: u64 = 2048;
+
+/// Key size recommended for unit tests: large enough to hold realistic registry
+/// counts, small enough that key generation takes milliseconds.
+pub const TEST_KEY_BITS: u64 = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn end_to_end_registry_aggregation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let kp = Keypair::generate(TEST_KEY_BITS, &mut rng);
+        let (pk, sk) = kp.split();
+
+        // Three clients, registry length 5, each flips exactly one bit.
+        let registries = [
+            vec![1u64, 0, 0, 0, 0],
+            vec![0u64, 0, 1, 0, 0],
+            vec![0u64, 0, 1, 0, 0],
+        ];
+        let mut total: Option<EncryptedVector> = None;
+        for r in &registries {
+            let enc = EncryptedVector::encrypt_u64(&pk, r, &mut rng);
+            total = Some(match total {
+                None => enc,
+                Some(t) => t.add(&enc).unwrap(),
+            });
+        }
+        let decrypted = total.unwrap().decrypt_u64(&sk);
+        assert_eq!(decrypted, vec![1, 0, 2, 0, 0]);
+    }
+}

@@ -1,0 +1,276 @@
+//! BatchCrypt-style plaintext packing.
+//!
+//! Encrypting the registry element-by-element costs one full Paillier ciphertext
+//! (≈ 2 × key-size bits) per position, which is where the 29–31 KB ciphertext
+//! sizes reported in §6.4 of the paper come from. The paper cites BatchCrypt
+//! [Zhang et al., ATC'20] as the state of the art for reducing this overhead in
+//! cross-silo FL: several small counters are packed into one large plaintext,
+//! encrypted as a single ciphertext, and the additive homomorphism then applies
+//! slot-wise as long as no slot overflows.
+//!
+//! Dubhe's registry counters are bounded by the number of clients (≤ 8962 in the
+//! paper), so a 32-bit slot can absorb billions of additions before overflow —
+//! packing is a safe and large win, which the `overhead_report` experiment
+//! quantifies.
+
+use num_bigint::BigUint;
+use num_traits::Zero;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ciphertext::Ciphertext;
+use crate::error::HeError;
+use crate::keys::{PrivateKey, PublicKey};
+
+/// Packs fixed-width unsigned slots into Paillier plaintexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packer {
+    /// Width of each slot in bits.
+    pub slot_bits: u32,
+    /// Key size (modulus bits) the packer is dimensioned for.
+    pub key_bits: u64,
+}
+
+impl Packer {
+    /// Creates a packer with the given slot width for the given key size.
+    ///
+    /// A safety margin of one slot is reserved so the packed value always stays
+    /// below the modulus.
+    pub fn new(slot_bits: u32, key_bits: u64) -> Self {
+        assert!(slot_bits >= 8 && slot_bits <= 64, "slot width must be in [8, 64]");
+        Packer { slot_bits, key_bits }
+    }
+
+    /// How many slots fit into a single plaintext.
+    pub fn slots_per_plaintext(&self) -> usize {
+        // Keep one slot of headroom below the modulus.
+        ((self.key_bits.saturating_sub(self.slot_bits as u64)) / self.slot_bits as u64) as usize
+    }
+
+    /// Maximum value a slot can hold.
+    pub fn slot_capacity(&self) -> u64 {
+        if self.slot_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.slot_bits) - 1
+        }
+    }
+
+    /// Packs `values` into as few plaintexts as possible.
+    ///
+    /// Returns [`HeError::PackingOverflow`] if any value exceeds the slot
+    /// capacity.
+    pub fn pack(&self, values: &[u64]) -> Result<Vec<BigUint>, HeError> {
+        let cap = self.slot_capacity();
+        for &v in values {
+            if v > cap {
+                return Err(HeError::PackingOverflow { slot_bits: self.slot_bits, value: v });
+            }
+        }
+        let per = self.slots_per_plaintext().max(1);
+        let mut out = Vec::with_capacity(values.len().div_ceil(per));
+        for chunk in values.chunks(per) {
+            let mut acc = BigUint::zero();
+            // Slot 0 occupies the least-significant bits.
+            for (i, &v) in chunk.iter().enumerate() {
+                acc |= BigUint::from(v) << (i as u32 * self.slot_bits);
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+
+    /// Unpacks plaintexts back into `count` slot values.
+    pub fn unpack(&self, plaintexts: &[BigUint], count: usize) -> Vec<u64> {
+        let per = self.slots_per_plaintext().max(1);
+        let mask = BigUint::from(self.slot_capacity());
+        let mut out = Vec::with_capacity(count);
+        'outer: for pt in plaintexts {
+            for i in 0..per {
+                if out.len() == count {
+                    break 'outer;
+                }
+                let slot = (pt >> (i as u32 * self.slot_bits)) & &mask;
+                let digits = slot.to_u64_digits();
+                out.push(if digits.is_empty() { 0 } else { digits[0] });
+            }
+        }
+        out.resize(count, 0);
+        out
+    }
+
+    /// Packs and encrypts `values` under `public`.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        public: &PublicKey,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Result<PackedCiphertext, HeError> {
+        let plaintexts = self.pack(values)?;
+        let mut cts = Vec::with_capacity(plaintexts.len());
+        for pt in &plaintexts {
+            cts.push(public.encrypt(pt, rng)?);
+        }
+        Ok(PackedCiphertext { ciphertexts: cts, count: values.len(), packer: *self })
+    }
+}
+
+/// A packed, encrypted vector of small counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedCiphertext {
+    ciphertexts: Vec<Ciphertext>,
+    count: usize,
+    packer: Packer,
+}
+
+impl PackedCiphertext {
+    /// Number of logical slots (original vector length).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of Paillier ciphertexts actually transmitted.
+    pub fn ciphertext_count(&self) -> usize {
+        self.ciphertexts.len()
+    }
+
+    /// Slot-wise homomorphic addition. The caller is responsible for ensuring
+    /// that no slot overflows (in Dubhe: at most `N` additions of one-hot
+    /// registries, far below the 2³²-1 capacity of the default packer).
+    pub fn add(&self, other: &PackedCiphertext) -> Result<PackedCiphertext, HeError> {
+        if self.count != other.count || self.ciphertexts.len() != other.ciphertexts.len() {
+            return Err(HeError::LengthMismatch { left: self.count, right: other.count });
+        }
+        let ciphertexts = self
+            .ciphertexts
+            .iter()
+            .zip(&other.ciphertexts)
+            .map(|(a, b)| a.add(b))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PackedCiphertext { ciphertexts, count: self.count, packer: self.packer })
+    }
+
+    /// Decrypts and unpacks back to the original counters.
+    pub fn decrypt(&self, private: &PrivateKey) -> Vec<u64> {
+        let plaintexts: Vec<BigUint> = self.ciphertexts.iter().map(|c| private.decrypt(c)).collect();
+        self.packer.unpack(&plaintexts, self.count)
+    }
+
+    /// Serialized ciphertext bytes (overhead accounting).
+    pub fn byte_len(&self) -> usize {
+        self.ciphertexts.iter().map(Ciphertext::byte_len).sum()
+    }
+}
+
+/// Default packer used by the overhead experiments: 32-bit slots dimensioned
+/// for the paper's 2048-bit keys.
+pub fn default_packer() -> Packer {
+    Packer::new(32, crate::PAPER_KEY_BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Keypair;
+    use rand::SeedableRng;
+
+    fn setup() -> (PublicKey, PrivateKey, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let (pk, sk) = kp.split();
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let p = Packer::new(16, 256);
+        let values: Vec<u64> = vec![0, 1, 2, 65535, 42, 7, 0, 9, 100];
+        let packed = p.pack(&values).unwrap();
+        assert_eq!(p.unpack(&packed, values.len()), values);
+    }
+
+    #[test]
+    fn slots_per_plaintext_reserves_headroom() {
+        let p = Packer::new(32, 2048);
+        assert_eq!(p.slots_per_plaintext(), (2048 - 32) / 32);
+        let p = Packer::new(16, 256);
+        assert_eq!(p.slots_per_plaintext(), (256 - 16) / 16);
+    }
+
+    #[test]
+    fn overflowing_slot_is_rejected() {
+        let p = Packer::new(16, 256);
+        assert_eq!(
+            p.pack(&[70_000]),
+            Err(HeError::PackingOverflow { slot_bits: 16, value: 70_000 })
+        );
+    }
+
+    #[test]
+    fn encrypted_packed_round_trip() {
+        let (pk, sk, mut rng) = setup();
+        let p = Packer::new(16, crate::TEST_KEY_BITS);
+        let values: Vec<u64> = (0..40).map(|i| i * 3).collect();
+        let enc = p.encrypt(&pk, &values, &mut rng).unwrap();
+        assert_eq!(enc.decrypt(&sk), values);
+        assert!(enc.ciphertext_count() < values.len(), "packing must reduce ciphertext count");
+    }
+
+    #[test]
+    fn packed_addition_is_slotwise() {
+        let (pk, sk, mut rng) = setup();
+        let p = Packer::new(16, crate::TEST_KEY_BITS);
+        let a: Vec<u64> = vec![1, 0, 3, 0, 5, 6];
+        let b: Vec<u64> = vec![0, 2, 0, 4, 5, 6];
+        let ea = p.encrypt(&pk, &a, &mut rng).unwrap();
+        let eb = p.encrypt(&pk, &b, &mut rng).unwrap();
+        let sum = ea.add(&eb).unwrap();
+        assert_eq!(sum.decrypt(&sk), vec![1, 2, 3, 4, 10, 12]);
+    }
+
+    #[test]
+    fn repeated_additions_stay_below_slot_capacity() {
+        let (pk, sk, mut rng) = setup();
+        let p = Packer::new(32, crate::TEST_KEY_BITS);
+        let one_hot: Vec<u64> = vec![0, 1, 0];
+        let mut acc = p.encrypt(&pk, &[0, 0, 0], &mut rng).unwrap();
+        for _ in 0..50 {
+            let c = p.encrypt(&pk, &one_hot, &mut rng).unwrap();
+            acc = acc.add(&c).unwrap();
+        }
+        assert_eq!(acc.decrypt(&sk), vec![0, 50, 0]);
+    }
+
+    #[test]
+    fn mismatched_counts_rejected() {
+        let (pk, _sk, mut rng) = setup();
+        let p = Packer::new(16, crate::TEST_KEY_BITS);
+        let a = p.encrypt(&pk, &[1, 2, 3], &mut rng).unwrap();
+        let b = p.encrypt(&pk, &[1, 2], &mut rng).unwrap();
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn packing_reduces_transport_size_vs_elementwise() {
+        let (pk, _sk, mut rng) = setup();
+        let values = vec![1u64; 56]; // registry length from the paper's group 1
+        let elementwise = crate::EncryptedVector::encrypt_u64(&pk, &values, &mut rng);
+        let packed = Packer::new(16, crate::TEST_KEY_BITS)
+            .encrypt(&pk, &values, &mut rng)
+            .unwrap();
+        assert!(packed.byte_len() < elementwise.byte_len() / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot width")]
+    fn invalid_slot_width_panics() {
+        let _ = Packer::new(4, 256);
+    }
+
+    #[test]
+    fn default_packer_matches_paper_key_size() {
+        let p = default_packer();
+        assert_eq!(p.key_bits, crate::PAPER_KEY_BITS);
+        assert_eq!(p.slot_bits, 32);
+    }
+}

@@ -1,0 +1,167 @@
+//! Transport-size accounting for the §6.4 overhead study.
+//!
+//! The paper reports that a length-56 registry is a 0.47–0.49 KB plaintext and
+//! expands to 29.6–31.28 KB of ciphertext under 2048-bit Paillier, and that an
+//! encrypted 52-class distribution is ≈ 29.1 KB. This module measures the same
+//! quantities for our implementation so the `overhead_report` experiment can
+//! print a like-for-like table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ciphertext::Ciphertext;
+use crate::keys::PublicKey;
+use crate::packing::PackedCiphertext;
+use crate::vector::EncryptedVector;
+
+/// Serialized sizes of one protocol object, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportSize {
+    /// Size of the plaintext representation (e.g. a `Vec<u64>` registry).
+    pub plaintext_bytes: usize,
+    /// Size of the ciphertext payload actually transmitted.
+    pub ciphertext_bytes: usize,
+}
+
+impl TransportSize {
+    /// Ciphertext expansion factor relative to the plaintext.
+    pub fn expansion_factor(&self) -> f64 {
+        if self.plaintext_bytes == 0 {
+            return 0.0;
+        }
+        self.ciphertext_bytes as f64 / self.plaintext_bytes as f64
+    }
+}
+
+/// Size in bytes of a single raw ciphertext under `public` (⌈2·|n|/8⌉).
+pub fn ciphertext_size_bytes(public: &PublicKey) -> usize {
+    (2 * public.bits as usize).div_ceil(8)
+}
+
+/// Size in bytes of the public key modulus.
+pub fn public_key_size_bytes(public: &PublicKey) -> usize {
+    (public.bits as usize).div_ceil(8)
+}
+
+/// Plaintext size of an integer vector, counting 8 bytes per element (how the
+/// paper's Python implementation would pickle a list of small ints is
+/// environment-specific; 8 bytes/element is the natural Rust wire size).
+pub fn plaintext_vector_bytes(len: usize) -> usize {
+    len * std::mem::size_of::<u64>()
+}
+
+/// Measures plaintext vs ciphertext size for an element-wise encrypted vector.
+pub fn measure_vector(vector: &EncryptedVector) -> TransportSize {
+    TransportSize {
+        plaintext_bytes: plaintext_vector_bytes(vector.len()),
+        ciphertext_bytes: vector.byte_len(),
+    }
+}
+
+/// Measures plaintext vs ciphertext size for a packed encrypted vector.
+pub fn measure_packed(packed: &PackedCiphertext) -> TransportSize {
+    TransportSize {
+        plaintext_bytes: plaintext_vector_bytes(packed.count()),
+        ciphertext_bytes: packed.byte_len(),
+    }
+}
+
+/// Measures a single ciphertext.
+pub fn measure_ciphertext(ct: &Ciphertext) -> TransportSize {
+    TransportSize { plaintext_bytes: std::mem::size_of::<u64>(), ciphertext_bytes: ct.byte_len() }
+}
+
+/// Communication-count model of one Dubhe round (paper §6.4):
+///
+/// * `K` check-in messages as in any FL system,
+/// * `N` registry transfers whenever a (re-)registration happens,
+/// * `≈ H·K` encrypted-distribution transfers when multi-time selection is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommunicationCount {
+    /// Baseline selection check-ins per round (`K`).
+    pub check_in: usize,
+    /// Registry transfers in a registration epoch (`N`), zero otherwise.
+    pub registration: usize,
+    /// Multi-time selection transfers per round (`≈ H·K`), zero when `H = 1`
+    /// and no tentative exchange happens.
+    pub multi_time: usize,
+}
+
+impl CommunicationCount {
+    /// Builds the per-round count model.
+    pub fn per_round(k: usize, n: usize, h: usize, registration_round: bool) -> Self {
+        CommunicationCount {
+            check_in: k,
+            registration: if registration_round { n } else { 0 },
+            multi_time: if h > 1 { h * k } else { 0 },
+        }
+    }
+
+    /// Total messages in the round.
+    pub fn total(&self) -> usize {
+        self.check_in + self.registration + self.multi_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Keypair;
+    use crate::packing::Packer;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ciphertext_size_is_twice_key_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        assert_eq!(ciphertext_size_bytes(&kp.public), 2 * crate::TEST_KEY_BITS as usize / 8);
+        assert_eq!(public_key_size_bytes(&kp.public), crate::TEST_KEY_BITS as usize / 8);
+    }
+
+    #[test]
+    fn vector_measurement_reports_expansion() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let v = EncryptedVector::encrypt_u64(&kp.public, &[1u64; 56], &mut rng);
+        let size = measure_vector(&v);
+        assert_eq!(size.plaintext_bytes, 56 * 8);
+        assert!(size.expansion_factor() > 1.0, "ciphertext must be larger than plaintext");
+    }
+
+    #[test]
+    fn packed_measurement_is_smaller_than_elementwise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let values = vec![3u64; 56];
+        let v = EncryptedVector::encrypt_u64(&kp.public, &values, &mut rng);
+        let p = Packer::new(16, crate::TEST_KEY_BITS).encrypt(&kp.public, &values, &mut rng).unwrap();
+        assert!(measure_packed(&p).ciphertext_bytes < measure_vector(&v).ciphertext_bytes);
+    }
+
+    #[test]
+    fn single_ciphertext_measurement() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(74);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let ct = kp.public.encrypt_u64(5, &mut rng);
+        let size = measure_ciphertext(&ct);
+        assert!(size.ciphertext_bytes > size.plaintext_bytes);
+    }
+
+    #[test]
+    fn expansion_factor_of_empty_plaintext_is_zero() {
+        let size = TransportSize { plaintext_bytes: 0, ciphertext_bytes: 10 };
+        assert_eq!(size.expansion_factor(), 0.0);
+    }
+
+    #[test]
+    fn communication_counts_match_paper_model() {
+        // Plain round: only K check-ins.
+        let plain = CommunicationCount::per_round(20, 1000, 1, false);
+        assert_eq!(plain.total(), 20);
+        // Registration round: + N registry transfers.
+        let reg = CommunicationCount::per_round(20, 1000, 1, true);
+        assert_eq!(reg.total(), 20 + 1000);
+        // Multi-time selection with H=10: + H*K transfers.
+        let mt = CommunicationCount::per_round(20, 1000, 10, false);
+        assert_eq!(mt.total(), 20 + 200);
+    }
+}

@@ -1,0 +1,227 @@
+//! Element-wise encrypted integer vectors.
+//!
+//! The two encrypted objects exchanged in Dubhe are vectors:
+//!
+//! * the **registry** `R^(t,k)` — a one-hot vector of length
+//!   `l = Σ_{i∈G} C-choose-i` filled in by each client during registration, and
+//! * the **scaled label distribution** `p_l` sent by tentatively selected
+//!   clients during multi-time selection.
+//!
+//! Both are encrypted element-by-element under the epoch public key; the server
+//! adds the vectors of all clients without decrypting anything.
+
+use num_bigint::BigUint;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ciphertext::Ciphertext;
+use crate::error::HeError;
+use crate::keys::{PrivateKey, PublicKey};
+
+/// A vector of Paillier ciphertexts sharing one public key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncryptedVector {
+    elements: Vec<Ciphertext>,
+    public: PublicKey,
+}
+
+impl EncryptedVector {
+    /// Encrypts a slice of `u64` values element-by-element.
+    pub fn encrypt_u64<R: Rng + ?Sized>(public: &PublicKey, values: &[u64], rng: &mut R) -> Self {
+        let elements = values.iter().map(|&v| public.encrypt_u64(v, rng)).collect();
+        EncryptedVector { elements, public: public.clone() }
+    }
+
+    /// Encrypts a slice of arbitrary-precision values.
+    pub fn encrypt<R: Rng + ?Sized>(
+        public: &PublicKey,
+        values: &[BigUint],
+        rng: &mut R,
+    ) -> Result<Self, HeError> {
+        let mut elements = Vec::with_capacity(values.len());
+        for v in values {
+            elements.push(public.encrypt(v, rng)?);
+        }
+        Ok(EncryptedVector { elements, public: public.clone() })
+    }
+
+    /// An all-zero encrypted vector of the given length (identity for sums).
+    pub fn zeros(public: &PublicKey, len: usize) -> Self {
+        let elements = (0..len).map(|_| public.zero_ciphertext()).collect();
+        EncryptedVector { elements, public: public.clone() }
+    }
+
+    /// Number of encrypted elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The public key the vector was encrypted under.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Access to the individual ciphertexts (e.g. for transport accounting).
+    pub fn elements(&self) -> &[Ciphertext] {
+        &self.elements
+    }
+
+    /// Element-wise homomorphic addition.
+    pub fn add(&self, other: &EncryptedVector) -> Result<EncryptedVector, HeError> {
+        if self.len() != other.len() {
+            return Err(HeError::LengthMismatch { left: self.len(), right: other.len() });
+        }
+        if self.public.n != other.public.n {
+            return Err(HeError::KeyMismatch);
+        }
+        let elements = self
+            .elements
+            .iter()
+            .zip(&other.elements)
+            .map(|(a, b)| a.add(b))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EncryptedVector { elements, public: self.public.clone() })
+    }
+
+    /// Element-wise plaintext-scalar multiplication.
+    pub fn mul_plain_u64(&self, k: u64) -> EncryptedVector {
+        let elements = self.elements.iter().map(|c| c.mul_plain_u64(k)).collect();
+        EncryptedVector { elements, public: self.public.clone() }
+    }
+
+    /// Decrypts every element to a `u64`.
+    pub fn decrypt_u64(&self, private: &PrivateKey) -> Vec<u64> {
+        self.elements.iter().map(|c| private.decrypt_u64(c)).collect()
+    }
+
+    /// Decrypts every element to an arbitrary-precision integer.
+    pub fn decrypt(&self, private: &PrivateKey) -> Vec<BigUint> {
+        self.elements.iter().map(|c| private.decrypt(c)).collect()
+    }
+
+    /// Total serialized size of the ciphertexts in bytes (overhead accounting).
+    pub fn byte_len(&self) -> usize {
+        self.elements.iter().map(Ciphertext::byte_len).sum()
+    }
+}
+
+/// Homomorphically sums a collection of encrypted vectors.
+///
+/// Returns `None` for an empty collection (there is no well-defined length).
+pub fn sum_vectors(vectors: &[EncryptedVector]) -> Result<Option<EncryptedVector>, HeError> {
+    let mut iter = vectors.iter();
+    let Some(first) = iter.next() else { return Ok(None) };
+    let mut acc = first.clone();
+    for v in iter {
+        acc = acc.add(v)?;
+    }
+    Ok(Some(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Keypair;
+    use rand::SeedableRng;
+
+    fn setup() -> (PublicKey, PrivateKey, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let (pk, sk) = kp.split();
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn vector_round_trip() {
+        let (pk, sk, mut rng) = setup();
+        let values = vec![0u64, 1, 2, 3, 4, 1000];
+        let enc = EncryptedVector::encrypt_u64(&pk, &values, &mut rng);
+        assert_eq!(enc.decrypt_u64(&sk), values);
+        assert_eq!(enc.len(), 6);
+        assert!(!enc.is_empty());
+    }
+
+    #[test]
+    fn vector_addition_is_elementwise() {
+        let (pk, sk, mut rng) = setup();
+        let a = EncryptedVector::encrypt_u64(&pk, &[1, 2, 3], &mut rng);
+        let b = EncryptedVector::encrypt_u64(&pk, &[10, 20, 30], &mut rng);
+        let sum = a.add(&b).unwrap();
+        assert_eq!(sum.decrypt_u64(&sk), vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let (pk, _sk, mut rng) = setup();
+        let a = EncryptedVector::encrypt_u64(&pk, &[1, 2, 3], &mut rng);
+        let b = EncryptedVector::encrypt_u64(&pk, &[1, 2], &mut rng);
+        assert_eq!(a.add(&b), Err(HeError::LengthMismatch { left: 3, right: 2 }));
+    }
+
+    #[test]
+    fn key_mismatch_is_rejected() {
+        let (pk, _sk, mut rng) = setup();
+        let kp2 = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let a = EncryptedVector::encrypt_u64(&pk, &[1], &mut rng);
+        let b = EncryptedVector::encrypt_u64(&kp2.public, &[1], &mut rng);
+        assert_eq!(a.add(&b), Err(HeError::KeyMismatch));
+    }
+
+    #[test]
+    fn zeros_are_identity() {
+        let (pk, sk, mut rng) = setup();
+        let a = EncryptedVector::encrypt_u64(&pk, &[5, 6, 7], &mut rng);
+        let z = EncryptedVector::zeros(&pk, 3);
+        assert_eq!(a.add(&z).unwrap().decrypt_u64(&sk), vec![5, 6, 7]);
+        assert_eq!(z.decrypt_u64(&sk), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let (pk, sk, mut rng) = setup();
+        let a = EncryptedVector::encrypt_u64(&pk, &[1, 2, 3], &mut rng);
+        assert_eq!(a.mul_plain_u64(4).decrypt_u64(&sk), vec![4, 8, 12]);
+    }
+
+    #[test]
+    fn sum_vectors_aggregates_all_clients() {
+        let (pk, sk, mut rng) = setup();
+        let regs: Vec<EncryptedVector> = (0..10)
+            .map(|i| {
+                let mut v = vec![0u64; 8];
+                v[i % 8] = 1;
+                EncryptedVector::encrypt_u64(&pk, &v, &mut rng)
+            })
+            .collect();
+        let total = sum_vectors(&regs).unwrap().unwrap();
+        assert_eq!(total.decrypt_u64(&sk), vec![2, 2, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn sum_vectors_empty_is_none() {
+        assert!(sum_vectors(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn vector_cannot_exceed_message_space() {
+        let (pk, _sk, mut rng) = setup();
+        let too_big = vec![pk.n.clone()];
+        assert_eq!(
+            EncryptedVector::encrypt(&pk, &too_big, &mut rng),
+            Err(HeError::PlaintextTooLarge)
+        );
+    }
+
+    #[test]
+    fn byte_len_scales_with_length() {
+        let (pk, _sk, mut rng) = setup();
+        let a = EncryptedVector::encrypt_u64(&pk, &[1; 4], &mut rng);
+        let b = EncryptedVector::encrypt_u64(&pk, &[1; 8], &mut rng);
+        assert!(b.byte_len() > a.byte_len());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the Paillier substrate.
+//!
+//! A single keypair is generated once (key generation dominates runtime) and all
+//! properties are checked against it with randomly drawn plaintexts.
+
+use std::sync::OnceLock;
+
+use dubhe_he::packing::Packer;
+use dubhe_he::{EncryptedVector, FixedPointCodec, Keypair, PrivateKey, PublicKey};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn keys() -> &'static (PublicKey, PrivateKey) {
+    static KEYS: OnceLock<(PublicKey, PrivateKey)> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xD0BE);
+        Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng).split()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn encrypt_decrypt_identity(m in any::<u64>(), seed in any::<u64>()) {
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ct = pk.encrypt_u64(m, &mut rng);
+        prop_assert_eq!(sk.decrypt_u64(&ct), m);
+    }
+
+    #[test]
+    fn homomorphic_add_matches_plain_add(a in 0u64..u32::MAX as u64,
+                                         b in 0u64..u32::MAX as u64,
+                                         seed in any::<u64>()) {
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ca = pk.encrypt_u64(a, &mut rng);
+        let cb = pk.encrypt_u64(b, &mut rng);
+        prop_assert_eq!(sk.decrypt_u64(&ca.add(&cb).unwrap()), a + b);
+    }
+
+    #[test]
+    fn scalar_multiplication_matches(a in 0u64..u32::MAX as u64,
+                                     k in 0u64..1000,
+                                     seed in any::<u64>()) {
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ca = pk.encrypt_u64(a, &mut rng);
+        prop_assert_eq!(sk.decrypt_u64(&ca.mul_plain_u64(k)), a * k);
+    }
+
+    #[test]
+    fn signed_round_trip(m in -(i32::MAX as i64)..(i32::MAX as i64), seed in any::<u64>()) {
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ct = pk.encrypt_i64(m, &mut rng);
+        prop_assert_eq!(sk.decrypt_i64(&ct).unwrap(), m);
+    }
+
+    #[test]
+    fn vector_homomorphism(values_a in prop::collection::vec(0u64..10_000, 1..24),
+                           seed in any::<u64>()) {
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let values_b: Vec<u64> = values_a.iter().map(|v| v.wrapping_mul(3) % 10_000).collect();
+        let ea = EncryptedVector::encrypt_u64(pk, &values_a, &mut rng);
+        let eb = EncryptedVector::encrypt_u64(pk, &values_b, &mut rng);
+        let sum = ea.add(&eb).unwrap().decrypt_u64(sk);
+        let expected: Vec<u64> = values_a.iter().zip(&values_b).map(|(a, b)| a + b).collect();
+        prop_assert_eq!(sum, expected);
+    }
+
+    #[test]
+    fn packing_round_trip(values in prop::collection::vec(0u64..=u16::MAX as u64, 1..80),
+                          seed in any::<u64>()) {
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let packer = Packer::new(16, dubhe_he::TEST_KEY_BITS);
+        let packed = packer.encrypt(pk, &values, &mut rng).unwrap();
+        prop_assert_eq!(packed.decrypt(sk), values);
+    }
+
+    #[test]
+    fn packed_addition_is_slotwise(values in prop::collection::vec(0u64..1000, 1..40),
+                                   seed in any::<u64>()) {
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let packer = Packer::new(32, dubhe_he::TEST_KEY_BITS);
+        let doubled: Vec<u64> = values.iter().map(|v| v * 2).collect();
+        let ea = packer.encrypt(pk, &values, &mut rng).unwrap();
+        let eb = packer.encrypt(pk, &values, &mut rng).unwrap();
+        prop_assert_eq!(ea.add(&eb).unwrap().decrypt(sk), doubled);
+    }
+
+    #[test]
+    fn fixed_point_error_bounded(values in prop::collection::vec(0.0f64..1.0, 1..64)) {
+        let codec = FixedPointCodec::default();
+        let decoded = codec.decode_vec(&codec.encode_vec(&values));
+        for (orig, back) in values.iter().zip(&decoded) {
+            prop_assert!((orig - back).abs() <= codec.max_error());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Weight initialisation schemes.
+//!
+//! The paper's models are initialised by PyTorch defaults (Kaiming-uniform for
+//! conv/linear layers). We provide He and Xavier initialisation with an explicit
+//! RNG so federated experiments are reproducible: every client starts from the
+//! *same* global model, which the simulator guarantees by initialising once on
+//! the server and broadcasting the weights.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// He (Kaiming) normal initialisation: `N(0, sqrt(2 / fan_in))`.
+///
+/// Appropriate for layers followed by ReLU activations.
+pub fn he_normal<R: Rng + ?Sized>(fan_in: usize, count: usize, rng: &mut R) -> Vec<f32> {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f64).sqrt();
+    let dist = Normal::new(0.0, std).expect("std is finite and positive");
+    (0..count).map(|_| dist.sample(rng) as f32).collect()
+}
+
+/// Xavier (Glorot) uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    fan_in: usize,
+    fan_out: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<f32> {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let dist = Uniform::new_inclusive(-a, a);
+    (0..count).map(|_| dist.sample(rng) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_has_expected_spread() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let w = he_normal(100, 10_000, &mut rng);
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        let var: f32 = w.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.01, "mean should be near zero, got {mean}");
+        let expected_var = 2.0 / 100.0;
+        assert!((var - expected_var).abs() < expected_var * 0.2, "variance {var} off target");
+    }
+
+    #[test]
+    fn xavier_uniform_is_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = (6.0f32 / 300.0).sqrt();
+        let w = xavier_uniform(100, 200, 5_000, &mut rng);
+        assert!(w.iter().all(|v| v.abs() <= a + 1e-6));
+        assert!(w.iter().any(|v| v.abs() > a * 0.5), "values should use the range");
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_given_seed() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(3);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(3);
+        assert_eq!(he_normal(10, 100, &mut r1), he_normal(10, 100, &mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in must be positive")]
+    fn zero_fan_in_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let _ = he_normal(0, 1, &mut rng);
+    }
+}

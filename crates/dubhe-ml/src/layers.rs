@@ -1,0 +1,720 @@
+//! Neural-network layers with manual backpropagation.
+//!
+//! Layers operate on batches stored as [`Matrix`] values: one sample per row.
+//! Convolutional layers interpret each row as a flattened `C × H × W` volume.
+//! Every layer caches whatever it needs during `forward` so that `backward` can
+//! compute parameter gradients and the gradient with respect to its input.
+//!
+//! Parameters and gradients are exposed as flat `f32` vectors so that the
+//! federated-learning simulator can average weights across clients (FedAvg /
+//! FedVC) without knowing anything about layer internals.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::init::he_normal;
+use crate::matrix::Matrix;
+
+/// A differentiable layer.
+pub trait Layer: Send + Sync {
+    /// Runs the layer on a batch and caches what `backward` needs.
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Propagates the gradient of the loss with respect to this layer's output
+    /// back to its input, storing parameter gradients internally.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize;
+
+    /// Appends this layer's parameters to `out` in a fixed order.
+    fn collect_params(&self, out: &mut Vec<f32>);
+
+    /// Appends this layer's most recent gradients to `out` (zeros if `backward`
+    /// has not run yet), in the same order as [`collect_params`].
+    ///
+    /// [`collect_params`]: Layer::collect_params
+    fn collect_grads(&self, out: &mut Vec<f32>);
+
+    /// Loads parameters from the front of `src`, returning how many values were
+    /// consumed.
+    fn load_params(&mut self, src: &[f32]) -> usize;
+
+    /// Clones the layer into a boxed trait object (models must be cloneable so
+    /// every federated client can own an independent copy).
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Helper to let concrete layers be boxed fluently: `Dense::new(...).boxed()`.
+pub trait IntoBoxedLayer: Layer + Sized + 'static {
+    /// Boxes the layer as a trait object.
+    fn boxed(self) -> Box<dyn Layer> {
+        Box::new(self)
+    }
+}
+impl<T: Layer + Sized + 'static> IntoBoxedLayer for T {}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+/// A fully connected layer: `y = x·W + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f32>,
+    cached_input: Option<Matrix>,
+    grad_weights: Matrix,
+    grad_bias: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-normal weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
+        assert!(inputs > 0 && outputs > 0, "dense layer dimensions must be positive");
+        let weights = Matrix::from_vec(inputs, outputs, he_normal(inputs, inputs * outputs, rng));
+        Dense {
+            weights,
+            bias: vec![0.0; outputs],
+            cached_input: None,
+            grad_weights: Matrix::zeros(inputs, outputs),
+            grad_bias: vec![0.0; outputs],
+        }
+    }
+
+    /// Input feature count.
+    pub fn inputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output feature count.
+    pub fn outputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Read access to the weight matrix (for inspection in tests).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.weights.rows(),
+            "dense layer expected {} inputs, got {}",
+            self.weights.rows(),
+            input.cols()
+        );
+        self.cached_input = Some(input.clone());
+        input.matmul(&self.weights).add_row_broadcast(&self.bias)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward on Dense layer");
+        self.grad_weights = input.matmul_tn(grad_output);
+        self.grad_bias = grad_output.sum_rows();
+        grad_output.matmul_nt(&self.weights)
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    fn collect_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.weights.data());
+        out.extend_from_slice(&self.bias);
+    }
+
+    fn collect_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.grad_weights.data());
+        out.extend_from_slice(&self.grad_bias);
+    }
+
+    fn load_params(&mut self, src: &[f32]) -> usize {
+        let w_len = self.weights.rows() * self.weights.cols();
+        let total = w_len + self.bias.len();
+        assert!(src.len() >= total, "not enough parameters to load Dense layer");
+        self.weights = Matrix::from_vec(self.weights.rows(), self.weights.cols(), src[..w_len].to_vec());
+        self.bias.copy_from_slice(&src[w_len..total]);
+        total
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+/// Element-wise rectified linear unit.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReLU {
+    cached_input: Option<Matrix>,
+}
+
+impl ReLU {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        ReLU { cached_input: None }
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.cached_input = Some(input.clone());
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward on ReLU layer");
+        grad_output.zip_with(input, |g, x| if x > 0.0 { g } else { 0.0 })
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn collect_params(&self, _out: &mut Vec<f32>) {}
+
+    fn collect_grads(&self, _out: &mut Vec<f32>) {}
+
+    fn load_params(&mut self, _src: &[f32]) -> usize {
+        0
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flatten
+// ---------------------------------------------------------------------------
+
+/// Identity layer kept for architectural parity with the paper's CNNs: batches
+/// are already stored as flattened rows, so flattening is a no-op, but keeping
+/// the layer makes model definitions read like their PyTorch counterparts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Flatten;
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        input.clone()
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        grad_output.clone()
+    }
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn collect_params(&self, _out: &mut Vec<f32>) {}
+
+    fn collect_grads(&self, _out: &mut Vec<f32>) {}
+
+    fn load_params(&mut self, _src: &[f32]) -> usize {
+        0
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+/// A 2-D convolution with stride 1 and zero padding, implemented via im2col.
+///
+/// Batches are matrices whose rows are flattened `in_channels × height × width`
+/// volumes; the output rows are flattened
+/// `out_channels × out_height × out_width` volumes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    height: usize,
+    width: usize,
+    /// Kernels stored as `(in_channels·k·k) × out_channels`.
+    weights: Matrix,
+    bias: Vec<f32>,
+    cached_cols: Option<Vec<Matrix>>,
+    grad_weights: Matrix,
+    grad_bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer for inputs of the given spatial size.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        height: usize,
+        width: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0 && in_channels > 0 && out_channels > 0);
+        assert!(
+            height + 2 * padding >= kernel && width + 2 * padding >= kernel,
+            "kernel larger than padded input"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        let weights = Matrix::from_vec(
+            fan_in,
+            out_channels,
+            he_normal(fan_in, fan_in * out_channels, rng),
+        );
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+            height,
+            width,
+            weights,
+            bias: vec![0.0; out_channels],
+            cached_cols: None,
+            grad_weights: Matrix::zeros(fan_in, out_channels),
+            grad_bias: vec![0.0; out_channels],
+        }
+    }
+
+    /// Output spatial height.
+    pub fn out_height(&self) -> usize {
+        self.height + 2 * self.padding - self.kernel + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_width(&self) -> usize {
+        self.width + 2 * self.padding - self.kernel + 1
+    }
+
+    /// Flattened output feature count per sample.
+    pub fn output_len(&self) -> usize {
+        self.out_channels * self.out_height() * self.out_width()
+    }
+
+    /// Flattened input feature count per sample.
+    pub fn input_len(&self) -> usize {
+        self.in_channels * self.height * self.width
+    }
+
+    /// im2col for one sample: result is `(out_h·out_w) × (in_c·k·k)`.
+    fn im2col(&self, sample: &[f32]) -> Matrix {
+        let oh = self.out_height();
+        let ow = self.out_width();
+        let k = self.kernel;
+        let pad = self.padding as isize;
+        let mut cols = Matrix::zeros(oh * ow, self.in_channels * k * k);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = oy * ow + ox;
+                let mut col_idx = 0;
+                for c in 0..self.in_channels {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            let ix = ox as isize + kx as isize - pad;
+                            let v = if iy >= 0
+                                && ix >= 0
+                                && (iy as usize) < self.height
+                                && (ix as usize) < self.width
+                            {
+                                sample[c * self.height * self.width
+                                    + iy as usize * self.width
+                                    + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            cols.set(row_idx, col_idx, v);
+                            col_idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    /// col2im (scatter-add) for one sample's gradient.
+    fn col2im(&self, cols: &Matrix) -> Vec<f32> {
+        let oh = self.out_height();
+        let ow = self.out_width();
+        let k = self.kernel;
+        let pad = self.padding as isize;
+        let mut sample = vec![0.0f32; self.input_len()];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = oy * ow + ox;
+                let mut col_idx = 0;
+                for c in 0..self.in_channels {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            let ix = ox as isize + kx as isize - pad;
+                            if iy >= 0
+                                && ix >= 0
+                                && (iy as usize) < self.height
+                                && (ix as usize) < self.width
+                            {
+                                sample[c * self.height * self.width
+                                    + iy as usize * self.width
+                                    + ix as usize] += cols.get(row_idx, col_idx);
+                            }
+                            col_idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+        sample
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.input_len(),
+            "conv layer expected rows of length {}, got {}",
+            self.input_len(),
+            input.cols()
+        );
+        let oh = self.out_height();
+        let ow = self.out_width();
+        let mut out = Matrix::zeros(input.rows(), self.output_len());
+        let mut cached = Vec::with_capacity(input.rows());
+        for s in 0..input.rows() {
+            let cols = self.im2col(input.row(s));
+            // (oh·ow) × out_channels
+            let conv = cols.matmul(&self.weights);
+            for oc in 0..self.out_channels {
+                for pos in 0..oh * ow {
+                    out.set(s, oc * oh * ow + pos, conv.get(pos, oc) + self.bias[oc]);
+                }
+            }
+            cached.push(cols);
+        }
+        self.cached_cols = Some(cached);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cached = self
+            .cached_cols
+            .as_ref()
+            .expect("backward called before forward on Conv2d layer");
+        let oh = self.out_height();
+        let ow = self.out_width();
+        let fan_in = self.in_channels * self.kernel * self.kernel;
+        let mut grad_w = Matrix::zeros(fan_in, self.out_channels);
+        let mut grad_b = vec![0.0f32; self.out_channels];
+        let mut grad_input = Matrix::zeros(grad_output.rows(), self.input_len());
+
+        for (s, cols) in cached.iter().enumerate() {
+            // Reshape this sample's output gradient into (oh·ow) × out_channels.
+            let mut g = Matrix::zeros(oh * ow, self.out_channels);
+            for oc in 0..self.out_channels {
+                for pos in 0..oh * ow {
+                    let v = grad_output.get(s, oc * oh * ow + pos);
+                    g.set(pos, oc, v);
+                    grad_b[oc] += v;
+                }
+            }
+            // dW += colsᵀ × g ; dCols = g × Wᵀ
+            grad_w = grad_w.add(&cols.matmul_tn(&g));
+            let d_cols = g.matmul_nt(&self.weights);
+            let d_sample = self.col2im(&d_cols);
+            for (c, v) in d_sample.into_iter().enumerate() {
+                grad_input.set(s, c, v);
+            }
+        }
+        self.grad_weights = grad_w;
+        self.grad_bias = grad_b;
+        grad_input
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    fn collect_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.weights.data());
+        out.extend_from_slice(&self.bias);
+    }
+
+    fn collect_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.grad_weights.data());
+        out.extend_from_slice(&self.grad_bias);
+    }
+
+    fn load_params(&mut self, src: &[f32]) -> usize {
+        let w_len = self.weights.rows() * self.weights.cols();
+        let total = w_len + self.bias.len();
+        assert!(src.len() >= total, "not enough parameters to load Conv2d layer");
+        self.weights = Matrix::from_vec(self.weights.rows(), self.weights.cols(), src[..w_len].to_vec());
+        self.bias.copy_from_slice(&src[w_len..total]);
+        total
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn dense_forward_shape_and_bias() {
+        let mut r = rng();
+        let mut layer = Dense::new(3, 2, &mut r);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), (2, 2));
+        // Second row is all-zero input, so output equals the bias (zeros).
+        assert_eq!(y.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_param_round_trip() {
+        let mut r = rng();
+        let mut layer = Dense::new(4, 3, &mut r);
+        let mut params = Vec::new();
+        layer.collect_params(&mut params);
+        assert_eq!(params.len(), layer.param_count());
+        let new_params: Vec<f32> = (0..params.len()).map(|i| i as f32 * 0.1).collect();
+        let consumed = layer.load_params(&new_params);
+        assert_eq!(consumed, params.len());
+        let mut back = Vec::new();
+        layer.collect_params(&mut back);
+        assert_eq!(back, new_params);
+    }
+
+    #[test]
+    fn relu_masks_negative_values_in_both_directions() {
+        let mut layer = ReLU::new();
+        let x = Matrix::from_rows(&[vec![-1.0, 2.0], vec![3.0, -4.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y, Matrix::from_rows(&[vec![0.0, 2.0], vec![3.0, 0.0]]));
+        let g = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let gx = layer.backward(&g);
+        assert_eq!(gx, Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]));
+    }
+
+    #[test]
+    fn flatten_is_identity() {
+        let mut layer = Flatten::new();
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert_eq!(layer.forward(&x), x);
+        assert_eq!(layer.backward(&x), x);
+        assert_eq!(layer.param_count(), 0);
+    }
+
+    #[test]
+    fn conv_output_dimensions() {
+        let mut r = rng();
+        let conv = Conv2d::new(2, 4, 3, 8, 8, 1, &mut r);
+        assert_eq!(conv.out_height(), 8);
+        assert_eq!(conv.out_width(), 8);
+        assert_eq!(conv.output_len(), 4 * 8 * 8);
+        let conv = Conv2d::new(1, 2, 3, 8, 8, 0, &mut r);
+        assert_eq!(conv.out_height(), 6);
+        assert_eq!(conv.output_len(), 2 * 6 * 6);
+    }
+
+    #[test]
+    fn conv_forward_matches_manual_convolution() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 2, 3, 3, 0, &mut r);
+        // Overwrite the kernel with a known one: [[1, 0], [0, 1]] and zero bias.
+        conv.load_params(&[1.0, 0.0, 0.0, 1.0, 0.0]);
+        // Input 3x3: 1..9
+        let x = Matrix::from_rows(&[(1..=9).map(|v| v as f32).collect()]);
+        let y = conv.forward(&x);
+        // Each output = top-left + bottom-right of the 2x2 window.
+        assert_eq!(y.row(0), &[1.0 + 5.0, 2.0 + 6.0, 4.0 + 8.0, 5.0 + 9.0]);
+    }
+
+    /// Numerical gradient check for a Dense->ReLU->Dense stack via central
+    /// differences on the softmax cross-entropy loss.
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut layer = Dense::new(3, 4, &mut r);
+        let x = Matrix::from_rows(&[vec![0.5, -0.2, 0.8], vec![1.0, 0.3, -0.7]]);
+        let labels = vec![1usize, 3usize];
+
+        // Analytic gradient.
+        let logits = layer.forward(&x);
+        let (_, grad_logits) = softmax_cross_entropy(&logits, &labels);
+        layer.backward(&grad_logits);
+        let mut analytic = Vec::new();
+        layer.collect_grads(&mut analytic);
+
+        // Numerical gradient.
+        let mut params = Vec::new();
+        layer.collect_params(&mut params);
+        let eps = 1e-3f32;
+        for idx in [0usize, 3, 7, 11, params.len() - 1] {
+            let mut plus = params.clone();
+            plus[idx] += eps;
+            layer.load_params(&plus);
+            let (loss_plus, _) = softmax_cross_entropy(&layer.forward(&x), &labels);
+            let mut minus = params.clone();
+            minus[idx] -= eps;
+            layer.load_params(&minus);
+            let (loss_minus, _) = softmax_cross_entropy(&layer.forward(&x), &labels);
+            layer.load_params(&params);
+            let numeric = (loss_plus - loss_minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 1e-2,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 2, 2, 4, 4, 0, &mut r);
+        let x = Matrix::from_rows(&[(0..16).map(|v| (v as f32) / 16.0).collect()]);
+        let labels = vec![5usize];
+
+        let out = conv.forward(&x);
+        let (_, grad_out) = softmax_cross_entropy(&out, &labels);
+        conv.backward(&grad_out);
+        let mut analytic = Vec::new();
+        conv.collect_grads(&mut analytic);
+
+        let mut params = Vec::new();
+        conv.collect_params(&mut params);
+        let eps = 1e-3f32;
+        for idx in [0usize, 2, 5, params.len() - 1] {
+            let mut plus = params.clone();
+            plus[idx] += eps;
+            conv.load_params(&plus);
+            let (loss_plus, _) = softmax_cross_entropy(&conv.forward(&x), &labels);
+            let mut minus = params.clone();
+            minus[idx] -= eps;
+            conv.load_params(&minus);
+            let (loss_minus, _) = softmax_cross_entropy(&conv.forward(&x), &labels);
+            conv.load_params(&params);
+            let numeric = (loss_plus - loss_minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 1e-2,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_differences() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 1, 2, 3, 3, 0, &mut r);
+        let base: Vec<f32> = (0..9).map(|v| (v as f32) / 9.0).collect();
+        let labels = vec![2usize];
+
+        let x = Matrix::from_rows(&[base.clone()]);
+        let out = conv.forward(&x);
+        let (_, grad_out) = softmax_cross_entropy(&out, &labels);
+        let grad_in = conv.backward(&grad_out);
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 4, 8] {
+            let mut plus = base.clone();
+            plus[idx] += eps;
+            let (lp, _) = softmax_cross_entropy(&conv.forward(&Matrix::from_rows(&[plus])), &labels);
+            let mut minus = base.clone();
+            minus[idx] -= eps;
+            let (lm, _) = softmax_cross_entropy(&conv.forward(&Matrix::from_rows(&[minus])), &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.get(0, idx)).abs() < 1e-2,
+                "input {idx}: numeric {numeric} vs analytic {}",
+                grad_in.get(0, idx)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 2, &mut r);
+        let g = Matrix::zeros(1, 2);
+        let _ = layer.backward(&g);
+    }
+
+    #[test]
+    fn boxed_layers_clone_independently() {
+        let mut r = rng();
+        let layer: Box<dyn Layer> = Dense::new(2, 2, &mut r).boxed();
+        let mut a = layer.clone();
+        let b = layer.clone();
+        let consumed = a.load_params(&[9.0; 6]);
+        assert_eq!(consumed, 6);
+        let mut pa = Vec::new();
+        let mut pb = Vec::new();
+        a.collect_params(&mut pa);
+        b.collect_params(&mut pb);
+        assert_ne!(pa, pb, "clones must not share storage");
+    }
+}

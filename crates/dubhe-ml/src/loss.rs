@@ -1,0 +1,181 @@
+//! Softmax cross-entropy — the loss used by every experiment in the paper.
+//!
+//! The weight-divergence analysis of §4.2 is derived for classification with
+//! cross-entropy loss, so this is the only loss the substrate needs. The
+//! combined softmax + cross-entropy keeps the backward pass numerically stable
+//! (`softmax(x) - onehot(y)` instead of differentiating through a log).
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Row-wise, numerically stable softmax.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    let cols = out.cols();
+    for r in 0..out.rows() {
+        let row_max = logits.row(r).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        {
+            let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+            for v in row.iter_mut() {
+                *v = (*v - row_max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Computes the mean cross-entropy loss of `logits` against integer `labels`
+/// and the gradient of that loss with respect to the logits.
+///
+/// Returns `(loss, grad)` where `grad` has the same shape as `logits` and is
+/// already divided by the batch size.
+///
+/// # Panics
+/// Panics if the number of labels differs from the number of rows or if a label
+/// is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "one label per row required");
+    let probs = softmax(logits);
+    let batch = logits.rows() as f32;
+    let classes = logits.cols();
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let p = probs.get(r, label).max(1e-12);
+        loss -= p.ln();
+        grad.set(r, label, grad.get(r, label) - 1.0);
+    }
+    (loss / batch, grad.scale(1.0 / batch))
+}
+
+/// Object wrapper around [`softmax_cross_entropy`] so training code can carry
+/// the loss around as a value (and future losses — e.g. the Ratio Loss the
+/// related-work section mentions — can slot in behind the same interface).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Computes `(loss, grad_logits)` for a batch.
+    pub fn compute(&self, logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+        softmax_cross_entropy(logits, labels)
+    }
+}
+
+/// Fraction of rows whose argmax matches the label.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "one label per row required");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let predictions = logits.argmax_rows();
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let p = softmax(&logits);
+        for r in 0..p.rows() {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Matrix::from_rows(&[vec![1.0, 2.0]]));
+        let b = softmax(&Matrix::from_rows(&[vec![1001.0, 1002.0]]));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        // Huge logits must not produce NaN.
+        let c = softmax(&Matrix::from_rows(&[vec![1e10, -1e10]]));
+        assert!(c.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Matrix::zeros(4, 10);
+        let labels = vec![0, 3, 5, 9];
+        let (loss, _) = softmax_cross_entropy(&logits, &labels);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_gives_near_zero_loss() {
+        let mut logits = Matrix::zeros(2, 3);
+        logits.set(0, 1, 50.0);
+        logits.set(1, 2, 50.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 2]);
+        assert!(loss < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Matrix::from_rows(&[vec![0.3, -0.2, 1.5], vec![2.0, 0.0, -1.0]]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..grad.rows() {
+            let sum: f32 = grad.row(r).iter().sum();
+            assert!(sum.abs() < 1e-6, "row {r} gradient sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[vec![0.1, -0.4, 0.7], vec![1.2, 0.3, -0.9]]);
+        let labels = vec![0usize, 2usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = logits.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let (lp, _) = softmax_cross_entropy(&plus, &labels);
+                let mut minus = logits.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let (lm, _) = softmax_cross_entropy(&minus, &labels);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!((numeric - grad.get(r, c)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let logits = Matrix::zeros(1, 3);
+        let _ = softmax_cross_entropy(&logits, &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn label_count_mismatch_panics() {
+        let logits = Matrix::zeros(2, 3);
+        let _ = softmax_cross_entropy(&logits, &[0]);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_argmax() {
+        let logits = Matrix::from_rows(&[
+            vec![0.9, 0.1],
+            vec![0.2, 0.8],
+            vec![0.6, 0.4],
+            vec![0.3, 0.7],
+        ]);
+        assert!((accuracy(&logits, &[0, 1, 1, 1]) - 0.75).abs() < 1e-9);
+        assert_eq!(accuracy(&Matrix::zeros(0, 2), &[]), 0.0);
+    }
+}

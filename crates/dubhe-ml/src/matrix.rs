@@ -1,0 +1,413 @@
+//! A small row-major `f32` matrix with the operations backpropagation needs.
+//!
+//! This is not a general-purpose linear-algebra library; it implements exactly
+//! what the layers in [`crate::layers`] use — matmul (optionally transposed on
+//! either side), element-wise maps, row reductions — with a rayon-parallel
+//! matmul for batch sizes that make the parallelism worthwhile.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Minimum number of result elements before matmul switches to rayon. Below
+/// this the thread-pool dispatch costs more than it saves.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of equally long rows.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A single row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Builds a new matrix from a subset of rows (used for mini-batching).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = self.cols;
+        let oc = other.cols;
+        let compute_row = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[r * n..(r + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * oc..(k + 1) * oc];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+        if self.rows * other.cols >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(oc)
+                .enumerate()
+                .for_each(compute_row);
+        } else {
+            out.data.chunks_mut(oc).enumerate().for_each(compute_row);
+        }
+        out
+    }
+
+    /// `selfᵀ × other` without materialising the transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` without materialising the transpose.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let compute_row = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[c * other.cols..(c + 1) * other.cols];
+                *o = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
+            }
+        };
+        if self.rows * other.rows >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(other.rows)
+                .enumerate()
+                .for_each(compute_row);
+        } else {
+            out.data.chunks_mut(other.rows).enumerate().for_each(compute_row);
+        }
+        out
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Element-wise combination of two equally shaped matrices.
+    pub fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in element-wise op");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Adds a row vector (broadcast over rows), e.g. a bias.
+    pub fn add_row_broadcast(&self, row: &[f32]) -> Matrix {
+        assert_eq!(row.len(), self.cols, "broadcast row length mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let slice = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (o, &b) in slice.iter_mut().zip(row) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sums each column into a row vector (used for bias gradients).
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element of each row (argmax over classes).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn wrong_data_length_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_from_vec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let mut id = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            id.set(i, i, 1.0);
+        }
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transposed_products_agree_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 0.5], vec![0.25, 2.0]]);
+        // aᵀ (3x2) × b (2x2)
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+        let c = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.5, 0.25, 0.125]]);
+        // a (2x3) × cᵀ (3x2)
+        assert_eq!(a.matmul_nt(&c), a.matmul(&c.transpose()));
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_matches_sequential() {
+        // Exceeds PAR_THRESHOLD to exercise the rayon path.
+        let n = 80;
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 7) as f32 * 0.5).collect());
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 5) as f32 * 0.25).collect());
+        let fast = a.matmul(&b);
+        // Reference computation.
+        let mut reference = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a.get(r, k) * b.get(k, c);
+                }
+                reference.set(r, c, acc);
+            }
+        }
+        for (x, y) in fast.data().iter().zip(reference.data()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn elementwise_operations() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![10.0, 20.0], vec![30.0, 40.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[vec![11.0, 22.0], vec![33.0, 44.0]]));
+        assert_eq!(b.sub(&a), Matrix::from_rows(&[vec![9.0, 18.0], vec![27.0, 36.0]]));
+        assert_eq!(a.hadamard(&a), Matrix::from_rows(&[vec![1.0, 4.0], vec![9.0, 16.0]]));
+        assert_eq!(a.scale(2.0), Matrix::from_rows(&[vec![2.0, 4.0], vec![6.0, 8.0]]));
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(
+            a.add_row_broadcast(&[10.0, 20.0]),
+            Matrix::from_rows(&[vec![11.0, 22.0], vec![13.0, 24.0]])
+        );
+        assert_eq!(a.sum_rows(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_and_norm() {
+        let a = Matrix::from_rows(&[vec![0.1, 0.9], vec![0.8, 0.2]]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+        let b = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        assert!((b.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn select_rows_builds_batches() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+        let batch = a.select_rows(&[2, 0]);
+        assert_eq!(batch, Matrix::from_rows(&[vec![3.0], vec![1.0]]));
+    }
+}

@@ -1,0 +1,332 @@
+//! The [`Sequential`] model container.
+//!
+//! A `Sequential` owns a stack of boxed [`Layer`]s and provides the operations
+//! the federated simulator needs:
+//!
+//! * `train_batch` — one forward/backward/update step on a mini-batch;
+//! * `get_weights` / `set_weights` — flat parameter vectors for FedAvg/FedVC
+//!   aggregation and for broadcasting the global model;
+//! * `accuracy` / `evaluate_loss` — test-set evaluation;
+//! * `weight_divergence` — the ‖ω_f − ω*‖ quantity from the paper's §4.2 bound.
+
+use crate::layers::Layer;
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::matrix::Matrix;
+use crate::optim::Optimizer;
+
+/// A feed-forward stack of layers trained with softmax cross-entropy.
+#[derive(Clone)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.summary())
+            .field("param_count", &self.param_count())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Builds a model from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!layers.is_empty(), "a model needs at least one layer");
+        Sequential { layers }
+    }
+
+    /// Layer names in order, e.g. `["Dense", "ReLU", "Dense"]`.
+    pub fn summary(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Runs the forward pass, returning the logits for a batch.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// One optimisation step on a mini-batch. Returns the batch loss.
+    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize], optimizer: &mut dyn Optimizer) -> f32 {
+        let logits = self.forward(x);
+        let (loss, grad_logits) = softmax_cross_entropy(&logits, labels);
+        // Backward through the stack.
+        let mut grad = grad_logits;
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        // Flatten, update, reload.
+        let mut params = self.get_weights();
+        let grads = self.get_gradients();
+        optimizer.step(&mut params, &grads);
+        self.set_weights(&params);
+        loss
+    }
+
+    /// All parameters as one flat vector (layer order, deterministic).
+    pub fn get_weights(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.collect_params(&mut out);
+        }
+        out
+    }
+
+    /// All gradients from the most recent backward pass as one flat vector.
+    pub fn get_gradients(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.collect_grads(&mut out);
+        }
+        // Layers that have not produced gradients yet contribute nothing; pad so
+        // the result always matches `param_count`.
+        out.resize(self.param_count(), 0.0);
+        out
+    }
+
+    /// Loads a flat parameter vector produced by [`get_weights`] (possibly from
+    /// a different replica of the same architecture — this is how the global
+    /// model is broadcast to clients).
+    ///
+    /// # Panics
+    /// Panics if `weights.len()` does not equal [`param_count`].
+    ///
+    /// [`get_weights`]: Sequential::get_weights
+    /// [`param_count`]: Sequential::param_count
+    pub fn set_weights(&mut self, weights: &[f32]) {
+        assert_eq!(
+            weights.len(),
+            self.param_count(),
+            "weight vector length {} does not match model parameter count {}",
+            weights.len(),
+            self.param_count()
+        );
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            offset += layer.load_params(&weights[offset..]);
+        }
+        debug_assert_eq!(offset, weights.len());
+    }
+
+    /// Mean loss over a dataset (no gradient bookkeeping is kept).
+    pub fn evaluate_loss(&mut self, x: &Matrix, labels: &[usize]) -> f32 {
+        let logits = self.forward(x);
+        let (loss, _) = softmax_cross_entropy(&logits, labels);
+        loss
+    }
+
+    /// Top-1 accuracy over a dataset.
+    pub fn accuracy(&mut self, x: &Matrix, labels: &[usize]) -> f64 {
+        let logits = self.forward(x);
+        accuracy(&logits, labels)
+    }
+
+    /// Per-class recall (fraction of samples of each class predicted
+    /// correctly); classes absent from `labels` report `None`.
+    pub fn per_class_recall(&mut self, x: &Matrix, labels: &[usize], classes: usize) -> Vec<Option<f64>> {
+        let logits = self.forward(x);
+        let preds = logits.argmax_rows();
+        let mut correct = vec![0usize; classes];
+        let mut total = vec![0usize; classes];
+        for (p, &l) in preds.iter().zip(labels) {
+            total[l] += 1;
+            if *p == l {
+                correct[l] += 1;
+            }
+        }
+        (0..classes)
+            .map(|c| if total[c] == 0 { None } else { Some(correct[c] as f64 / total[c] as f64) })
+            .collect()
+    }
+
+    /// L2 distance between this model's weights and another weight vector —
+    /// the weight divergence ‖ω_f − ω*‖ of the paper's Eq. (2).
+    pub fn weight_divergence(&self, reference: &[f32]) -> f64 {
+        let own = self.get_weights();
+        assert_eq!(own.len(), reference.len(), "weight divergence needs equal-sized models");
+        own.iter()
+            .zip(reference)
+            .map(|(a, b)| {
+                let d = (*a - *b) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Averages several equally shaped flat weight vectors — the uniform FedVC
+/// aggregation of Eq. (1). Lives here (rather than in dubhe-fl) so that model
+/// code and aggregation arithmetic can be tested together without a simulator.
+pub fn average_weights(weight_sets: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!weight_sets.is_empty(), "cannot average zero weight sets");
+    let len = weight_sets[0].len();
+    assert!(
+        weight_sets.iter().all(|w| w.len() == len),
+        "all weight vectors must have the same length"
+    );
+    let mut out = vec![0.0f32; len];
+    for w in weight_sets {
+        for (o, v) in out.iter_mut().zip(w) {
+            *o += v;
+        }
+    }
+    let scale = 1.0 / weight_sets.len() as f32;
+    for o in &mut out {
+        *o *= scale;
+    }
+    out
+}
+
+/// Weighted average of flat weight vectors (classic FedAvg, weights ∝ sample
+/// counts).
+pub fn weighted_average_weights(weight_sets: &[Vec<f32>], sample_counts: &[usize]) -> Vec<f32> {
+    assert_eq!(weight_sets.len(), sample_counts.len(), "one sample count per weight set");
+    assert!(!weight_sets.is_empty(), "cannot average zero weight sets");
+    let total: usize = sample_counts.iter().sum();
+    assert!(total > 0, "total sample count must be positive");
+    let len = weight_sets[0].len();
+    let mut out = vec![0.0f32; len];
+    for (w, &count) in weight_sets.iter().zip(sample_counts) {
+        assert_eq!(w.len(), len, "all weight vectors must have the same length");
+        let coeff = count as f32 / total as f32;
+        for (o, v) in out.iter_mut().zip(w) {
+            *o += coeff * v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, IntoBoxedLayer, ReLU};
+    use crate::optim::{Adam, Sgd};
+    use rand::SeedableRng;
+
+    fn small_model(seed: u64) -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Dense::new(3, 8, &mut rng).boxed(),
+            ReLU::new().boxed(),
+            Dense::new(8, 4, &mut rng).boxed(),
+        ])
+    }
+
+    #[test]
+    fn param_count_and_summary() {
+        let model = small_model(1);
+        assert_eq!(model.summary(), vec!["Dense", "ReLU", "Dense"]);
+        assert_eq!(model.param_count(), 3 * 8 + 8 + 8 * 4 + 4);
+    }
+
+    #[test]
+    fn get_set_weights_round_trip() {
+        let model = small_model(2);
+        let mut other = small_model(3);
+        assert_ne!(model.get_weights(), other.get_weights());
+        other.set_weights(&model.get_weights());
+        assert_eq!(model.get_weights(), other.get_weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match model parameter count")]
+    fn wrong_weight_length_panics() {
+        let mut model = small_model(4);
+        model.set_weights(&[0.0; 3]);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut model = small_model(5);
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ]);
+        let y = vec![0, 1, 2, 3];
+        let before = model.evaluate_loss(&x, &y);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..100 {
+            model.train_batch(&x, &y, &mut opt);
+        }
+        let after = model.evaluate_loss(&x, &y);
+        assert!(after < before * 0.5, "loss should at least halve: {before} -> {after}");
+        assert!(model.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn cloned_models_train_independently() {
+        let mut a = small_model(6);
+        let mut b = a.clone();
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let y = vec![1usize];
+        let mut opt = Sgd::new(0.1);
+        a.train_batch(&x, &y, &mut opt);
+        assert_ne!(a.get_weights(), b.get_weights());
+        // b is untouched and still evaluates.
+        let _ = b.accuracy(&x, &y);
+    }
+
+    #[test]
+    fn weight_divergence_is_zero_for_identical_models() {
+        let model = small_model(7);
+        assert_eq!(model.weight_divergence(&model.get_weights()), 0.0);
+        let mut shifted = model.get_weights();
+        shifted[0] += 3.0;
+        shifted[1] += 4.0;
+        assert!((model.weight_divergence(&shifted) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn per_class_recall_reports_missing_classes() {
+        let mut model = small_model(8);
+        let x = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        let recall = model.per_class_recall(&x, &[0, 1], 4);
+        assert_eq!(recall.len(), 4);
+        assert!(recall[2].is_none() && recall[3].is_none());
+    }
+
+    #[test]
+    fn uniform_average_matches_manual_mean() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![3.0f32, 4.0, 5.0];
+        assert_eq!(average_weights(&[a, b]), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn weighted_average_respects_sample_counts() {
+        let a = vec![0.0f32, 0.0];
+        let b = vec![10.0f32, 10.0];
+        let avg = weighted_average_weights(&[a, b], &[3, 1]);
+        assert_eq!(avg, vec![2.5, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero")]
+    fn empty_average_panics() {
+        let _ = average_weights(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_average_panics() {
+        let _ = average_weights(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn gradients_match_param_count_even_before_backward() {
+        let model = small_model(9);
+        assert_eq!(model.get_gradients().len(), model.param_count());
+    }
+}

@@ -1,0 +1,324 @@
+//! The registry codebook: a bijection between "categories" (sets of dominating
+//! classes) and positions in the concatenated one-hot registry vector.
+//!
+//! A client whose dominating classes are the `i`-subset `u ⊂ [C]` flips the bit
+//! at the position of `u` inside the block reserved for subsets of size `i`
+//! (Fig. 4 of the paper). Blocks exist for every `i` in the reference set `G`,
+//! so the registry length is `l = Σ_{i∈G} C-choose-i` — e.g. `G = {1, 2, 10}`
+//! over `C = 10` classes gives `10 + 45 + 1 = 56`, and `G = {1, 52}` over
+//! `C = 52` gives `52 + 1 = 53`, the lengths reported in §6.1.2.
+//!
+//! Subsets are ranked with the combinatorial number system (lexicographic rank
+//! of the sorted subset), giving O(i·C) rank/unrank with no table storage.
+
+use serde::{Deserialize, Serialize};
+
+/// Binomial coefficient `C(n, k)` as `u64` (saturating; the registry sizes used
+/// by Dubhe are far below overflow).
+pub fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u64 = 1;
+    for i in 0..k {
+        // Multiply before divide stays exact because the intermediate product
+        // of consecutive integers is divisible by (i + 1).
+        result = result.saturating_mul((n - i) as u64) / (i + 1) as u64;
+    }
+    result
+}
+
+/// Lexicographic rank of a strictly increasing `k`-subset of `[0, classes)`.
+pub fn rank_subset(subset: &[usize], classes: usize) -> u64 {
+    assert!(!subset.is_empty(), "cannot rank an empty subset");
+    assert!(
+        subset.windows(2).all(|w| w[0] < w[1]),
+        "subset must be strictly increasing: {subset:?}"
+    );
+    assert!(*subset.last().unwrap() < classes, "subset element out of range");
+    let k = subset.len();
+    let mut rank: u64 = 0;
+    let mut prev: isize = -1;
+    for (i, &element) in subset.iter().enumerate() {
+        for skipped in (prev + 1) as usize..element {
+            rank += binomial(classes - skipped - 1, k - i - 1);
+        }
+        prev = element as isize;
+    }
+    rank
+}
+
+/// Inverse of [`rank_subset`]: the `rank`-th (lexicographic) `k`-subset of
+/// `[0, classes)`.
+pub fn unrank_subset(mut rank: u64, k: usize, classes: usize) -> Vec<usize> {
+    assert!(k >= 1 && k <= classes, "subset size {k} out of range for {classes} classes");
+    assert!(rank < binomial(classes, k), "rank {rank} out of range");
+    let mut subset = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for remaining in (1..=k).rev() {
+        for candidate in start..classes {
+            let block = binomial(classes - candidate - 1, remaining - 1);
+            if rank < block {
+                subset.push(candidate);
+                start = candidate + 1;
+                break;
+            }
+            rank -= block;
+        }
+    }
+    subset
+}
+
+/// A client category: which classes dominate its local dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Category {
+    /// Sorted (ascending) dominating classes; length is a member of `G`.
+    pub classes: Vec<usize>,
+}
+
+impl Category {
+    /// Creates a category from (possibly unsorted) class indices.
+    pub fn new(mut classes: Vec<usize>) -> Self {
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(!classes.is_empty(), "a category needs at least one class");
+        Category { classes }
+    }
+
+    /// Number of dominating classes.
+    pub fn size(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// The registry layout for a task with `classes` classes and reference set `G`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistryLayout {
+    classes: usize,
+    reference_set: Vec<usize>,
+    block_offsets: Vec<usize>,
+    total_len: usize,
+}
+
+impl RegistryLayout {
+    /// Builds the layout. The reference set is sorted ascending; it must be
+    /// non-empty, contain only values in `[1, classes]` and include `classes`
+    /// itself (the "no dominating class" fallback, whose threshold is 0 —
+    /// §5.3.2).
+    pub fn new(classes: usize, reference_set: &[usize]) -> Self {
+        assert!(classes > 0, "need at least one class");
+        let mut g: Vec<usize> = reference_set.to_vec();
+        g.sort_unstable();
+        g.dedup();
+        assert!(!g.is_empty(), "the reference set G must not be empty");
+        assert!(
+            g.iter().all(|&i| i >= 1 && i <= classes),
+            "reference set entries must lie in [1, {classes}]"
+        );
+        assert!(
+            g.contains(&classes),
+            "the reference set must contain C = {classes} (the balanced-client fallback)"
+        );
+        let mut block_offsets = Vec::with_capacity(g.len());
+        let mut offset = 0usize;
+        for &i in &g {
+            block_offsets.push(offset);
+            offset += binomial(classes, i) as usize;
+        }
+        RegistryLayout { classes, reference_set: g, block_offsets, total_len: offset }
+    }
+
+    /// The layout used by the paper's group-1 experiments
+    /// (`C = 10`, `G = {1, 2, 10}`, registry length 56).
+    pub fn group1() -> Self {
+        RegistryLayout::new(10, &[1, 2, 10])
+    }
+
+    /// The layout used by the paper's group-2 experiments
+    /// (`C = 52`, `G = {1, 52}`, registry length 53).
+    pub fn group2() -> Self {
+        RegistryLayout::new(52, &[1, 52])
+    }
+
+    /// Number of classes `C`.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The sorted reference set `G`.
+    pub fn reference_set(&self) -> &[usize] {
+        &self.reference_set
+    }
+
+    /// Total registry length `l = Σ_{i∈G} C(C, i)`.
+    pub fn len(&self) -> usize {
+        self.total_len
+    }
+
+    /// `true` if the layout has no positions (cannot happen for valid layouts).
+    pub fn is_empty(&self) -> bool {
+        self.total_len == 0
+    }
+
+    /// The registry position of a category.
+    ///
+    /// # Panics
+    /// Panics if the category size is not in `G` or its classes are out of range.
+    pub fn position(&self, category: &Category) -> usize {
+        let size = category.size();
+        let block = self
+            .reference_set
+            .iter()
+            .position(|&i| i == size)
+            .unwrap_or_else(|| panic!("category size {size} is not in the reference set {:?}", self.reference_set));
+        self.block_offsets[block] + rank_subset(&category.classes, self.classes) as usize
+    }
+
+    /// The category encoded at a registry position (inverse of [`position`]).
+    ///
+    /// [`position`]: RegistryLayout::position
+    pub fn category_at(&self, position: usize) -> Category {
+        assert!(position < self.total_len, "position {position} out of range");
+        for (block, &i) in self.reference_set.iter().enumerate().rev() {
+            let offset = self.block_offsets[block];
+            if position >= offset {
+                let rank = (position - offset) as u64;
+                return Category { classes: unrank_subset(rank, i, self.classes) };
+            }
+        }
+        unreachable!("block offsets start at zero");
+    }
+
+    /// Iterates over every category in registry order (useful for debugging and
+    /// for the Fig. 10 registry-sparsity experiment).
+    pub fn categories(&self) -> impl Iterator<Item = Category> + '_ {
+        (0..self.total_len).map(|p| self.category_at(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_known_values() {
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 1), 10);
+        assert_eq!(binomial(10, 2), 45);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(52, 1), 52);
+        assert_eq!(binomial(52, 52), 1);
+        assert_eq!(binomial(5, 7), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn paper_registry_lengths() {
+        // §6.1.2: l1 = C(10,1) + C(10,2) + C(10,10) = 56, l2 = C(52,1) + C(52,52) = 53.
+        assert_eq!(RegistryLayout::group1().len(), 56);
+        assert_eq!(RegistryLayout::group2().len(), 53);
+    }
+
+    #[test]
+    fn rank_unrank_round_trip_all_pairs_of_ten() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let subset = vec![a, b];
+                let rank = rank_subset(&subset, 10);
+                assert!(rank < 45);
+                assert_eq!(unrank_subset(rank, 2, 10), subset);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_is_lexicographic() {
+        assert_eq!(rank_subset(&[0, 1], 10), 0);
+        assert_eq!(rank_subset(&[0, 2], 10), 1);
+        assert_eq!(rank_subset(&[0, 9], 10), 8);
+        assert_eq!(rank_subset(&[1, 2], 10), 9);
+        assert_eq!(rank_subset(&[8, 9], 10), 44);
+        assert_eq!(rank_subset(&[3], 10), 3);
+    }
+
+    #[test]
+    fn ranks_are_unique_and_dense_for_triples() {
+        let mut seen = vec![false; binomial(8, 3) as usize];
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                for c in (b + 1)..8 {
+                    let r = rank_subset(&[a, b, c], 8) as usize;
+                    assert!(!seen[r], "rank {r} occurred twice");
+                    seen[r] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_subset_panics() {
+        let _ = rank_subset(&[3, 1], 10);
+    }
+
+    #[test]
+    fn category_normalises_ordering() {
+        let c = Category::new(vec![7, 2]);
+        assert_eq!(c.classes, vec![2, 7]);
+        assert_eq!(c.size(), 2);
+    }
+
+    #[test]
+    fn position_and_category_round_trip_group1() {
+        let layout = RegistryLayout::group1();
+        for p in 0..layout.len() {
+            let cat = layout.category_at(p);
+            assert_eq!(layout.position(&cat), p);
+        }
+    }
+
+    #[test]
+    fn paper_figure4_example_position() {
+        // Fig. 4: a client with dominating classes (0, 1) under G = {1, 2, 10}
+        // fills the first slot of the pair block, i.e. position 10 (after the
+        // ten single-class slots).
+        let layout = RegistryLayout::group1();
+        assert_eq!(layout.position(&Category::new(vec![0, 1])), 10);
+        // The "no dominating class" category (all ten classes) occupies the
+        // final slot.
+        assert_eq!(layout.position(&Category::new((0..10).collect())), 55);
+    }
+
+    #[test]
+    fn blocks_are_laid_out_in_reference_set_order() {
+        let layout = RegistryLayout::new(6, &[1, 3, 6]);
+        assert_eq!(layout.len(), 6 + 20 + 1);
+        assert_eq!(layout.position(&Category::new(vec![0])), 0);
+        assert_eq!(layout.position(&Category::new(vec![0, 1, 2])), 6);
+        assert_eq!(layout.position(&Category::new((0..6).collect())), 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain C")]
+    fn missing_fallback_block_panics() {
+        let _ = RegistryLayout::new(10, &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not in the reference set")]
+    fn category_size_not_in_g_panics() {
+        let layout = RegistryLayout::group1();
+        let _ = layout.position(&Category::new(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn categories_iterator_covers_every_position() {
+        let layout = RegistryLayout::new(5, &[1, 2, 5]);
+        let cats: Vec<Category> = layout.categories().collect();
+        assert_eq!(cats.len(), layout.len());
+        assert_eq!(cats[0], Category::new(vec![0]));
+        assert_eq!(cats[5], Category::new(vec![0, 1]));
+    }
+}

@@ -1,0 +1,147 @@
+//! Configuration of the Dubhe client-selection system.
+
+use serde::{Deserialize, Serialize};
+
+use crate::codebook::RegistryLayout;
+
+/// All tunables of Dubhe for one FL system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DubheConfig {
+    /// Number of classes `C` of the classification task.
+    pub classes: usize,
+    /// Reference set `G`: the candidate numbers of dominating classes. Must
+    /// contain `classes` itself (the balanced-client fallback).
+    pub reference_set: Vec<usize>,
+    /// Per-`i` thresholds σᵢ (same order as the sorted reference set). The
+    /// threshold for `i = C` is forced to 0 as in the paper.
+    pub thresholds: Vec<f64>,
+    /// Target number of participating clients per round `K`.
+    pub k: usize,
+    /// Number of tentative tries `H` of the multi-time selection (1 = one-off).
+    pub multi_time_h: usize,
+    /// Paillier key size in bits for the secure protocol.
+    pub key_bits: u64,
+}
+
+impl DubheConfig {
+    /// The group-1 configuration of the paper: `C = 10`, `G = {1, 2, 10}`,
+    /// `K = 20`, with the σ₁ = 0.7, σ₂ = 0.1 optimum reported in §6.3.3.
+    pub fn group1() -> Self {
+        DubheConfig {
+            classes: 10,
+            reference_set: vec![1, 2, 10],
+            thresholds: vec![0.7, 0.1, 0.0],
+            k: 20,
+            multi_time_h: 1,
+            key_bits: 2048,
+        }
+    }
+
+    /// The group-2 configuration of the paper: `C = 52`, `G = {1, 52}`, `K = 20`.
+    pub fn group2() -> Self {
+        DubheConfig {
+            classes: 52,
+            reference_set: vec![1, 52],
+            thresholds: vec![0.5, 0.0],
+            k: 20,
+            multi_time_h: 1,
+            key_bits: 2048,
+        }
+    }
+
+    /// Checks internal consistency and returns the registry layout.
+    ///
+    /// # Panics
+    /// Panics when thresholds and reference set disagree in length, thresholds
+    /// fall outside `[0, 1]`, or `K` is zero.
+    pub fn validate(&self) -> RegistryLayout {
+        assert!(self.k > 0, "K must be positive");
+        assert!(self.multi_time_h >= 1, "H must be at least 1");
+        let layout = RegistryLayout::new(self.classes, &self.reference_set);
+        assert_eq!(
+            self.thresholds.len(),
+            layout.reference_set().len(),
+            "need exactly one threshold per reference-set entry ({} entries, {} thresholds)",
+            layout.reference_set().len(),
+            self.thresholds.len()
+        );
+        assert!(
+            self.thresholds.iter().all(|&s| (0.0..=1.0).contains(&s)),
+            "thresholds must lie in [0, 1]"
+        );
+        layout
+    }
+
+    /// The thresholds with σ_C forced to zero (the paper fixes the fallback
+    /// threshold; the stored value is ignored).
+    pub fn effective_thresholds(&self) -> Vec<f64> {
+        let layout = self.validate();
+        layout
+            .reference_set()
+            .iter()
+            .zip(&self.thresholds)
+            .map(|(&i, &s)| if i == self.classes { 0.0 } else { s })
+            .collect()
+    }
+
+    /// Returns a copy with different thresholds (used by the parameter search).
+    pub fn with_thresholds(&self, thresholds: Vec<f64>) -> Self {
+        DubheConfig { thresholds, ..self.clone() }
+    }
+
+    /// Returns a copy with a different multi-time `H`.
+    pub fn with_multi_time(&self, h: usize) -> Self {
+        DubheConfig { multi_time_h: h, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_presets_validate() {
+        let layout1 = DubheConfig::group1().validate();
+        assert_eq!(layout1.len(), 56);
+        let layout2 = DubheConfig::group2().validate();
+        assert_eq!(layout2.len(), 53);
+    }
+
+    #[test]
+    fn effective_thresholds_zero_the_fallback() {
+        let mut cfg = DubheConfig::group1();
+        cfg.thresholds = vec![0.7, 0.1, 0.9];
+        assert_eq!(cfg.effective_thresholds(), vec![0.7, 0.1, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one threshold per reference-set entry")]
+    fn mismatched_threshold_count_panics() {
+        let mut cfg = DubheConfig::group1();
+        cfg.thresholds = vec![0.7];
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be positive")]
+    fn zero_k_panics() {
+        let mut cfg = DubheConfig::group1();
+        cfg.k = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must lie in [0, 1]")]
+    fn out_of_range_threshold_panics() {
+        let mut cfg = DubheConfig::group1();
+        cfg.thresholds = vec![1.5, 0.1, 0.0];
+        cfg.validate();
+    }
+
+    #[test]
+    fn with_helpers_update_fields() {
+        let cfg = DubheConfig::group1();
+        assert_eq!(cfg.with_multi_time(10).multi_time_h, 10);
+        assert_eq!(cfg.with_thresholds(vec![0.5, 0.2, 0.0]).thresholds, vec![0.5, 0.2, 0.0]);
+    }
+}

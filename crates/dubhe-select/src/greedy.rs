@@ -1,0 +1,193 @@
+//! The greedy selection baseline (Astraea-style), the paper's "optimal bound".
+//!
+//! The server is assumed to know every client's label distribution in
+//! plaintext — exactly the privacy leak Dubhe exists to avoid — and greedily
+//! builds the participant set: starting from one random client, it repeatedly
+//! adds the client that minimises the KL divergence between the aggregated
+//! label distribution of the selected set and the uniform distribution. The
+//! time complexity is O(N·K), which is why the paper measures 0.13× (N = 1000)
+//! to 1.69× (N = 8962) extra selection time relative to the whole round.
+
+use dubhe_data::{kl_divergence, ClassDistribution};
+use rand::Rng;
+
+use crate::selector::{ClientId, ClientSelector};
+
+/// Greedy KL-minimising selector with plaintext knowledge of all distributions.
+#[derive(Debug, Clone)]
+pub struct GreedySelector {
+    /// Per-client label counts (plaintext — deliberately so, this is the
+    /// non-private baseline).
+    client_counts: Vec<Vec<u64>>,
+    classes: usize,
+    k: usize,
+}
+
+impl GreedySelector {
+    /// Creates a greedy selector from every client's label distribution.
+    pub fn new(client_distributions: &[ClassDistribution], k: usize) -> Self {
+        assert!(!client_distributions.is_empty(), "need at least one client");
+        assert!(k > 0 && k <= client_distributions.len(), "K must be in [1, N]");
+        let classes = client_distributions[0].classes();
+        assert!(
+            client_distributions.iter().all(|d| d.classes() == classes),
+            "all clients must share the same class space"
+        );
+        GreedySelector {
+            client_counts: client_distributions.iter().map(|d| d.counts().to_vec()).collect(),
+            classes,
+            k,
+        }
+    }
+
+    fn kl_of_counts(&self, counts: &[u64]) -> f64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return f64::INFINITY;
+        }
+        let p: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
+        let u = vec![1.0 / self.classes as f64; self.classes];
+        kl_divergence(&p, &u)
+    }
+}
+
+impl ClientSelector for GreedySelector {
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> Vec<ClientId> {
+        let n = self.client_counts.len();
+        let mut selected: Vec<ClientId> = Vec::with_capacity(self.k);
+        let mut in_set = vec![false; n];
+
+        // Seed with one random client (the paper: "first randomly selects a client").
+        let first = rng.gen_range(0..n);
+        selected.push(first);
+        in_set[first] = true;
+        let mut aggregate: Vec<u64> = self.client_counts[first].clone();
+
+        while selected.len() < self.k {
+            let mut best: Option<(ClientId, f64)> = None;
+            for candidate in 0..n {
+                if in_set[candidate] {
+                    continue;
+                }
+                // KL of the aggregate if this candidate joined.
+                let merged: Vec<u64> = aggregate
+                    .iter()
+                    .zip(&self.client_counts[candidate])
+                    .map(|(a, b)| a + b)
+                    .collect();
+                let kl = self.kl_of_counts(&merged);
+                let better = match best {
+                    None => true,
+                    Some((_, best_kl)) => kl < best_kl,
+                };
+                if better {
+                    best = Some((candidate, kl));
+                }
+            }
+            let (winner, _) = best.expect("fewer clients than K is rejected at construction");
+            in_set[winner] = true;
+            for (a, b) in aggregate.iter_mut().zip(&self.client_counts[winner]) {
+                *a += b;
+            }
+            selected.push(winner);
+        }
+        selected.sort_unstable();
+        selected
+    }
+
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn population(&self) -> usize {
+        self.client_counts.len()
+    }
+
+    fn target_participants(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::{population_unbiasedness, RandomSelector};
+    use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_balances_single_class_clients_perfectly() {
+        // 20 clients, each holding exactly one of 4 classes (5 clients per class).
+        let dists: Vec<ClassDistribution> = (0..20)
+            .map(|i| {
+                let mut counts = vec![0u64; 4];
+                counts[i % 4] = 10;
+                ClassDistribution::from_counts(counts)
+            })
+            .collect();
+        let mut sel = GreedySelector::new(&dists, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = sel.select(&mut rng);
+        assert_eq!(s.len(), 4);
+        // One client of each class => perfectly uniform population distribution.
+        assert!(population_unbiasedness(&s, &dists) < 1e-12);
+    }
+
+    #[test]
+    fn greedy_beats_random_on_skewed_data() {
+        let spec = FederatedSpec {
+            family: DatasetFamily::MnistLike,
+            rho: 10.0,
+            emd_avg: 1.5,
+            clients: 200,
+            samples_per_client: 100,
+            test_samples_per_class: 1,
+            seed: 5,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let fp = spec.build_partition(&mut rng);
+        let dists = fp.client_distributions();
+
+        let mut greedy = GreedySelector::new(&dists, 20);
+        let mut random = RandomSelector::new(200, 20);
+        let mut greedy_sum = 0.0;
+        let mut random_sum = 0.0;
+        for _ in 0..10 {
+            greedy_sum += population_unbiasedness(&greedy.select(&mut rng), &dists);
+            random_sum += population_unbiasedness(&random.select(&mut rng), &dists);
+        }
+        assert!(
+            greedy_sum < random_sum * 0.6,
+            "greedy ({greedy_sum}) should be much more balanced than random ({random_sum})"
+        );
+    }
+
+    #[test]
+    fn greedy_returns_distinct_sorted_clients() {
+        let dists: Vec<ClassDistribution> =
+            (0..30).map(|_| ClassDistribution::from_counts(vec![5, 5, 5])).collect();
+        let mut sel = GreedySelector::new(&dists, 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let s = sel.select(&mut rng);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(sel.name(), "Greedy");
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be in")]
+    fn k_larger_than_population_panics() {
+        let dists = vec![ClassDistribution::from_counts(vec![1, 1])];
+        let _ = GreedySelector::new(&dists, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same class space")]
+    fn inconsistent_class_spaces_panic() {
+        let dists = vec![
+            ClassDistribution::from_counts(vec![1, 1]),
+            ClassDistribution::from_counts(vec![1, 1, 1]),
+        ];
+        let _ = GreedySelector::new(&dists, 1);
+    }
+}

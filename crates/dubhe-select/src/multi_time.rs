@@ -1,0 +1,180 @@
+//! Multi-time selection (§5.3): repeat the tentative selection `H` times,
+//! evaluate each try's population distribution, and keep the best.
+//!
+//! Two consumers use the machinery:
+//!
+//! * **Client determination** (§5.3.1): the agent picks the try `h*` whose
+//!   population distribution is closest to uniform,
+//!   `h* = argmin_h ‖p_o,h − p_u‖₁`, and the clients of that try train.
+//! * **Parameter search** (§5.3.2): for a candidate threshold set, the agent
+//!   computes the *expected* population distribution over the `H` tries and the
+//!   server scans the parameter space for the thresholds minimising
+//!   `‖E_h(p_o,h) − p_u‖₁`.
+
+use dubhe_data::{l1_distance, mean_proportions, ClassDistribution};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::selector::{population_distribution, ClientId, ClientSelector};
+
+/// The outcome of one multi-time selection round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTimeOutcome {
+    /// The clients of the winning try `h*`.
+    pub selected: Vec<ClientId>,
+    /// Index of the winning try.
+    pub best_try: usize,
+    /// `EMD* = ‖p_o,h* − p_u‖₁`, the paper's Table 2 metric.
+    pub best_distance: f64,
+    /// `‖p_o,h − p_u‖₁` for every try, in order.
+    pub all_distances: Vec<f64>,
+    /// `‖E_h(p_o,h) − p_u‖₁` — the parameter-search objective.
+    pub expectation_distance: f64,
+}
+
+/// Runs `h` tentative selections with `selector` and returns the best.
+///
+/// # Panics
+/// Panics if `h == 0`.
+pub fn multi_time_select<S, R>(
+    selector: &mut S,
+    client_distributions: &[ClassDistribution],
+    h: usize,
+    rng: &mut R,
+) -> MultiTimeOutcome
+where
+    S: ClientSelector + ?Sized,
+    R: Rng,
+{
+    assert!(h >= 1, "multi-time selection needs at least one try");
+    let classes = client_distributions
+        .first()
+        .map(|d| d.classes())
+        .expect("need at least one client distribution");
+    let p_u = vec![1.0 / classes as f64; classes];
+
+    let mut tries: Vec<Vec<ClientId>> = Vec::with_capacity(h);
+    let mut populations: Vec<Vec<f64>> = Vec::with_capacity(h);
+    let mut distances: Vec<f64> = Vec::with_capacity(h);
+    for _ in 0..h {
+        let selected = selector.select(rng);
+        let p_o = population_distribution(&selected, client_distributions);
+        distances.push(l1_distance(&p_o, &p_u));
+        populations.push(p_o);
+        tries.push(selected);
+    }
+    let best_try = distances
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .expect("h >= 1");
+    let expectation = mean_proportions(&populations);
+    MultiTimeOutcome {
+        selected: tries[best_try].clone(),
+        best_try,
+        best_distance: distances[best_try],
+        all_distances: distances,
+        expectation_distance: l1_distance(&expectation, &p_u),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DubheConfig;
+    use crate::dubhe::DubheSelector;
+    use crate::selector::RandomSelector;
+    use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+    use rand::SeedableRng;
+
+    fn clients(n: usize, seed: u64) -> Vec<ClassDistribution> {
+        let spec = FederatedSpec {
+            family: DatasetFamily::MnistLike,
+            rho: 10.0,
+            emd_avg: 1.5,
+            clients: n,
+            samples_per_client: 100,
+            test_samples_per_class: 1,
+            seed,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        spec.build_partition(&mut rng).client_distributions()
+    }
+
+    #[test]
+    fn best_try_minimises_the_distance() {
+        let dists = clients(300, 1);
+        let mut sel = RandomSelector::new(300, 20);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let outcome = multi_time_select(&mut sel, &dists, 10, &mut rng);
+        assert_eq!(outcome.all_distances.len(), 10);
+        assert_eq!(outcome.selected.len(), 20);
+        let min = outcome.all_distances.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((outcome.best_distance - min).abs() < 1e-12);
+        assert!((outcome.all_distances[outcome.best_try] - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_try_is_equivalent_to_one_off_selection() {
+        let dists = clients(100, 3);
+        let mut sel = RandomSelector::new(100, 20);
+        let outcome = multi_time_select(
+            &mut sel,
+            &dists,
+            1,
+            &mut rand::rngs::StdRng::seed_from_u64(4),
+        );
+        let mut sel2 = RandomSelector::new(100, 20);
+        let direct = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            let sel_dyn: &mut dyn crate::selector::ClientSelector = &mut sel2;
+            sel_dyn.select(&mut rng)
+        };
+        assert_eq!(outcome.selected, direct);
+        assert_eq!(outcome.best_try, 0);
+    }
+
+    #[test]
+    fn more_tries_never_hurt_on_average() {
+        // Table 2: EMD* decreases as H grows. Check the trend statistically.
+        let dists = clients(500, 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let average_best = |h: usize, rng: &mut rand::rngs::StdRng| -> f64 {
+            let mut total = 0.0;
+            for _ in 0..15 {
+                let mut sel = DubheSelector::new(&dists, DubheConfig::group1());
+                total += multi_time_select(&mut sel, &dists, h, rng).best_distance;
+            }
+            total / 15.0
+        };
+        let h1 = average_best(1, &mut rng);
+        let h10 = average_best(10, &mut rng);
+        assert!(
+            h10 < h1,
+            "H=10 ({h10:.4}) should achieve lower EMD* than H=1 ({h1:.4}) on average"
+        );
+    }
+
+    #[test]
+    fn expectation_distance_is_reported() {
+        let dists = clients(200, 7);
+        let mut sel = DubheSelector::new(&dists, DubheConfig::group1());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let outcome = multi_time_select(&mut sel, &dists, 5, &mut rng);
+        assert!(outcome.expectation_distance >= 0.0 && outcome.expectation_distance <= 2.0);
+        // The expectation over tries is at least as balanced as the average try.
+        let mean_try: f64 =
+            outcome.all_distances.iter().sum::<f64>() / outcome.all_distances.len() as f64;
+        assert!(outcome.expectation_distance <= mean_try + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one try")]
+    fn zero_tries_panics() {
+        let dists = clients(50, 9);
+        let mut sel = RandomSelector::new(50, 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let _ = multi_time_select(&mut sel, &dists, 0, &mut rng);
+    }
+}

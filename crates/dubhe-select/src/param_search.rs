@@ -1,0 +1,228 @@
+//! Parameter search (§5.3.2): finding the registration thresholds σᵢ.
+//!
+//! Whenever the structure of the FL system changes (global data pattern, total
+//! client number, participation rate), the current thresholds may stop being
+//! appropriate. The search walks a grid of candidate thresholds; for each
+//! candidate the clients re-register, `H` tentative selections are performed
+//! and the *expected* population distribution over the tries is compared to the
+//! uniform distribution. The candidate minimising `‖E_h(p_o,h) − p_u‖₁` wins.
+//! The threshold for the fallback block (`i = C`) is always 0.
+
+use dubhe_data::ClassDistribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::DubheConfig;
+use crate::dubhe::DubheSelector;
+use crate::multi_time::multi_time_select;
+
+/// One evaluated candidate of the parameter search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The thresholds σᵢ (ordered like the sorted reference set).
+    pub thresholds: Vec<f64>,
+    /// The search objective `‖E_h(p_o,h) − p_u‖₁`.
+    pub objective: f64,
+    /// The best single-try distance observed while evaluating this candidate.
+    pub best_try_distance: f64,
+}
+
+/// The result of a full parameter search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The winning thresholds.
+    pub best_thresholds: Vec<f64>,
+    /// The winning objective value.
+    pub best_objective: f64,
+    /// Every evaluated candidate, in evaluation order.
+    pub candidates: Vec<Candidate>,
+}
+
+/// Grid definition for the parameter search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchGrid {
+    /// Candidate values tried for every non-fallback threshold.
+    pub values: Vec<f64>,
+    /// Number of tentative selections `H` per candidate.
+    pub tries_per_candidate: usize,
+}
+
+impl Default for SearchGrid {
+    fn default() -> Self {
+        SearchGrid { values: vec![0.1, 0.3, 0.5, 0.7, 0.9], tries_per_candidate: 5 }
+    }
+}
+
+/// Enumerates the full Cartesian grid over the non-fallback thresholds.
+fn enumerate_grid(values: &[f64], slots: usize) -> Vec<Vec<f64>> {
+    assert!(slots >= 1, "need at least one threshold slot");
+    let mut out: Vec<Vec<f64>> = vec![Vec::new()];
+    for _ in 0..slots {
+        let mut next = Vec::with_capacity(out.len() * values.len());
+        for prefix in &out {
+            for &v in values {
+                let mut candidate = prefix.clone();
+                candidate.push(v);
+                next.push(candidate);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Runs the parameter search for `config` over `grid`, returning the best
+/// thresholds (σ_C fixed to 0 is appended automatically).
+pub fn parameter_search<R: Rng>(
+    client_distributions: &[ClassDistribution],
+    config: &DubheConfig,
+    grid: &SearchGrid,
+    rng: &mut R,
+) -> SearchOutcome {
+    assert!(!grid.values.is_empty(), "the search grid must contain candidate values");
+    assert!(grid.tries_per_candidate >= 1, "need at least one try per candidate");
+    let layout = config.validate();
+    // One free threshold per reference-set entry except the fallback (i = C).
+    let free_slots = layout.reference_set().iter().filter(|&&i| i != config.classes).count();
+    assert!(free_slots >= 1, "the reference set has no searchable thresholds");
+
+    let mut candidates = Vec::new();
+    let mut best: Option<(Vec<f64>, f64)> = None;
+
+    for free in enumerate_grid(&grid.values, free_slots) {
+        // Reassemble the full threshold vector in reference-set order.
+        let mut thresholds = Vec::with_capacity(layout.reference_set().len());
+        let mut it = free.iter();
+        for &i in layout.reference_set() {
+            if i == config.classes {
+                thresholds.push(0.0);
+            } else {
+                thresholds.push(*it.next().expect("one value per free slot"));
+            }
+        }
+        let candidate_config = config.with_thresholds(thresholds.clone());
+        let mut selector = DubheSelector::new(client_distributions, candidate_config);
+        let outcome = multi_time_select(
+            &mut selector,
+            client_distributions,
+            grid.tries_per_candidate,
+            rng,
+        );
+        let objective = outcome.expectation_distance;
+        candidates.push(Candidate {
+            thresholds: thresholds.clone(),
+            objective,
+            best_try_distance: outcome.best_distance,
+        });
+        let better = match &best {
+            None => true,
+            Some((_, best_obj)) => objective < *best_obj,
+        };
+        if better {
+            best = Some((thresholds, objective));
+        }
+    }
+
+    let (best_thresholds, best_objective) = best.expect("grid is non-empty");
+    SearchOutcome { best_thresholds, best_objective, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::{population_unbiasedness, ClientSelector, RandomSelector};
+    use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+    use rand::SeedableRng;
+
+    fn clients(n: usize, seed: u64) -> Vec<ClassDistribution> {
+        let spec = FederatedSpec {
+            family: DatasetFamily::MnistLike,
+            rho: 10.0,
+            emd_avg: 1.5,
+            clients: n,
+            samples_per_client: 100,
+            test_samples_per_class: 1,
+            seed,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        spec.build_partition(&mut rng).client_distributions()
+    }
+
+    #[test]
+    fn grid_enumeration_is_cartesian() {
+        let grid = enumerate_grid(&[0.1, 0.5], 2);
+        assert_eq!(grid.len(), 4);
+        assert!(grid.contains(&vec![0.1, 0.1]));
+        assert!(grid.contains(&vec![0.5, 0.1]));
+    }
+
+    #[test]
+    fn search_explores_the_full_grid_and_picks_the_minimum() {
+        let dists = clients(300, 1);
+        let config = DubheConfig::group1();
+        let grid = SearchGrid { values: vec![0.3, 0.7], tries_per_candidate: 3 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let outcome = parameter_search(&dists, &config, &grid, &mut rng);
+        // Two free slots (i = 1, 2) with two values each -> 4 candidates.
+        assert_eq!(outcome.candidates.len(), 4);
+        let min = outcome
+            .candidates
+            .iter()
+            .map(|c| c.objective)
+            .fold(f64::INFINITY, f64::min);
+        assert!((outcome.best_objective - min).abs() < 1e-12);
+        // The winning thresholds keep sigma_C = 0.
+        assert_eq!(outcome.best_thresholds.len(), 3);
+        assert_eq!(*outcome.best_thresholds.last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn searched_thresholds_beat_random_selection() {
+        let dists = clients(500, 3);
+        let config = DubheConfig::group1();
+        let grid = SearchGrid { values: vec![0.1, 0.5, 0.7, 0.9], tries_per_candidate: 3 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let outcome = parameter_search(&dists, &config, &grid, &mut rng);
+
+        let tuned = config.with_thresholds(outcome.best_thresholds.clone());
+        let mut dubhe = DubheSelector::new(&dists, tuned);
+        let mut random = RandomSelector::new(500, 20);
+        let mut dubhe_sum = 0.0;
+        let mut random_sum = 0.0;
+        for _ in 0..20 {
+            dubhe_sum += population_unbiasedness(&dubhe.select(&mut rng), &dists);
+            random_sum += population_unbiasedness(&random.select(&mut rng), &dists);
+        }
+        assert!(dubhe_sum < random_sum, "tuned Dubhe ({dubhe_sum:.3}) vs random ({random_sum:.3})");
+    }
+
+    #[test]
+    fn group2_search_has_single_free_slot() {
+        let spec = FederatedSpec {
+            family: DatasetFamily::FemnistLike,
+            rho: 13.64,
+            emd_avg: 0.554,
+            clients: 200,
+            samples_per_client: 60,
+            test_samples_per_class: 1,
+            seed: 5,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let dists = spec.build_partition(&mut rng).client_distributions();
+        let config = DubheConfig::group2();
+        let grid = SearchGrid { values: vec![0.3, 0.6], tries_per_candidate: 2 };
+        let outcome = parameter_search(&dists, &config, &grid, &mut rng);
+        assert_eq!(outcome.candidates.len(), 2);
+        assert_eq!(outcome.best_thresholds.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate values")]
+    fn empty_grid_panics() {
+        let dists = clients(50, 6);
+        let config = DubheConfig::group1();
+        let grid = SearchGrid { values: vec![], tries_per_candidate: 2 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let _ = parameter_search(&dists, &config, &grid, &mut rng);
+    }
+}

@@ -1,0 +1,185 @@
+//! Probability calculation (Eq. 6–8): each client decides *by itself* whether
+//! to participate, using only the decrypted overall registry and its own
+//! category.
+//!
+//! `P^(t,k) = min(1, K / (R_A(u^(t,k)) · ‖R_A‖₀))`
+//!
+//! Every occupied category is expected to contribute the same number of clients
+//! (`K / ‖R_A‖₀`, Eq. 8), so classes appear as dominating classes with equal
+//! frequency and the population distribution is pushed toward uniform. Summing
+//! the probabilities over all clients gives an expected participation of
+//! exactly `K` (Eq. 7).
+
+use serde::{Deserialize, Serialize};
+
+/// The participation probability of a client in category-position `position`
+/// given the overall registry `overall` and the target participation `k`.
+///
+/// Returns 0 for clients whose category nobody registered (cannot happen for a
+/// client that registered itself, but callers may query hypothetical
+/// categories).
+pub fn participation_probability(overall: &[u64], position: usize, k: usize) -> f64 {
+    assert!(position < overall.len(), "registry position out of range");
+    assert!(k > 0, "K must be positive");
+    let count = overall[position];
+    if count == 0 {
+        return 0.0;
+    }
+    let nonzero = overall.iter().filter(|&&c| c > 0).count();
+    (k as f64 / (count as f64 * nonzero as f64)).min(1.0)
+}
+
+/// The expected number of participating clients when every registered client
+/// draws independently with [`participation_probability`] — Eq. (7) says this
+/// equals `K` whenever no probability saturates at 1.
+pub fn expected_participation(overall: &[u64], k: usize) -> f64 {
+    let nonzero = overall.iter().filter(|&&c| c > 0).count();
+    if nonzero == 0 {
+        return 0.0;
+    }
+    overall
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| c as f64 * (k as f64 / (c as f64 * nonzero as f64)).min(1.0))
+        .sum()
+}
+
+/// The expected number of participants from each occupied category — Eq. (8)
+/// says these are all equal to `K / ‖R_A‖₀` when no probability saturates.
+pub fn expected_per_category(overall: &[u64], k: usize) -> Vec<f64> {
+    let nonzero = overall.iter().filter(|&&c| c > 0).count();
+    overall
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                0.0
+            } else {
+                c as f64 * (k as f64 / (c as f64 * nonzero as f64)).min(1.0)
+            }
+        })
+        .collect()
+}
+
+/// Whether the "K < ‖R_A‖₀" pre-condition of Eq. (6) holds — the paper restricts
+/// `K` below the number of occupied categories so no probability reaches 1.
+pub fn saturation_free(overall: &[u64], k: usize) -> bool {
+    let nonzero = overall.iter().filter(|&&c| c > 0).count();
+    k < nonzero.max(1) || overall.iter().filter(|&&c| c > 0).all(|&c| c as usize * nonzero >= k)
+}
+
+/// Summary of one probability assignment (handy for experiment logs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilityProfile {
+    /// Number of occupied categories `‖R_A‖₀`.
+    pub occupied_categories: usize,
+    /// Expected total participation (Eq. 7).
+    pub expected_participants: f64,
+    /// Minimum and maximum per-client probability over occupied categories.
+    pub min_probability: f64,
+    /// Maximum per-client probability.
+    pub max_probability: f64,
+}
+
+/// Computes a [`ProbabilityProfile`] for an overall registry.
+pub fn profile(overall: &[u64], k: usize) -> ProbabilityProfile {
+    let occupied: Vec<usize> =
+        overall.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, _)| i).collect();
+    let probs: Vec<f64> =
+        occupied.iter().map(|&pos| participation_probability(overall, pos, k)).collect();
+    ProbabilityProfile {
+        occupied_categories: occupied.len(),
+        expected_participants: expected_participation(overall, k),
+        min_probability: probs.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_probability: probs.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_formula_matches_eq6() {
+        // 3 occupied categories with counts 5, 3, 2; K = 4.
+        let overall = vec![5, 0, 3, 2, 0];
+        // Category at position 0: min(1, 4 / (5*3)) = 4/15.
+        assert!((participation_probability(&overall, 0, 4) - 4.0 / 15.0).abs() < 1e-12);
+        assert!((participation_probability(&overall, 2, 4) - 4.0 / 9.0).abs() < 1e-12);
+        assert!((participation_probability(&overall, 3, 4) - 4.0 / 6.0).abs() < 1e-12);
+        // Unoccupied category -> probability 0.
+        assert_eq!(participation_probability(&overall, 1, 4), 0.0);
+    }
+
+    #[test]
+    fn probability_is_capped_at_one() {
+        // A single occupied category with one client and a large K.
+        let overall = vec![1, 0];
+        assert_eq!(participation_probability(&overall, 0, 100), 1.0);
+    }
+
+    #[test]
+    fn expected_participation_equals_k_without_saturation() {
+        let overall = vec![10, 7, 0, 25, 3, 12];
+        for k in [1usize, 2, 4] {
+            let e = expected_participation(&overall, k);
+            assert!((e - k as f64).abs() < 1e-9, "K={k}: expected {e}");
+        }
+    }
+
+    #[test]
+    fn expected_participation_saturates_gracefully() {
+        // With K larger than category_count * min_count the cap at 1 bites and
+        // the expectation falls below K but never exceeds the client count.
+        let overall = vec![1, 1, 1];
+        let e = expected_participation(&overall, 50);
+        assert!(e <= 3.0 + 1e-9);
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn per_category_expectations_are_equal() {
+        let overall = vec![10, 0, 40, 5, 0, 9];
+        let per = expected_per_category(&overall, 3);
+        let expected = 3.0 / 4.0; // K / ||R_A||_0
+        for (i, &c) in overall.iter().enumerate() {
+            if c > 0 {
+                assert!((per[i] - expected).abs() < 1e-9, "category {i}");
+            } else {
+                assert_eq!(per[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_registry_expects_zero() {
+        assert_eq!(expected_participation(&[0, 0, 0], 5), 0.0);
+    }
+
+    #[test]
+    fn profile_reports_ranges() {
+        let overall = vec![10, 0, 2, 8];
+        let p = profile(&overall, 3);
+        assert_eq!(p.occupied_categories, 3);
+        assert!((p.expected_participants - 3.0).abs() < 1e-9);
+        assert!(p.max_probability > p.min_probability);
+        assert!(p.max_probability <= 1.0);
+    }
+
+    #[test]
+    fn saturation_check() {
+        assert!(saturation_free(&[10, 10, 10, 10], 3));
+        assert!(!saturation_free(&[1, 1], 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "position out of range")]
+    fn out_of_range_position_panics() {
+        let _ = participation_probability(&[1, 2], 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be positive")]
+    fn zero_k_panics() {
+        let _ = participation_probability(&[1], 0, 0);
+    }
+}

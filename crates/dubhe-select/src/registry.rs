@@ -1,0 +1,267 @@
+//! Registration (Algorithm 1): turning a client's label distribution into a
+//! one-hot registry vector without revealing the distribution itself.
+//!
+//! The client walks the reference set `G` in ascending order. For each
+//! candidate count `i` it looks at its `i` most frequent classes; if the `i`-th
+//! most frequent class still holds at least a fraction σᵢ of the client's data,
+//! those `i` classes are declared *dominating*, the client's category is the
+//! corresponding `i`-subset, and the bit at that category's registry position
+//! is set. Because σ_C = 0, the walk always terminates at the "no dominating
+//! class" fallback for balanced clients.
+
+use dubhe_data::ClassDistribution;
+use serde::{Deserialize, Serialize};
+
+use crate::codebook::{Category, RegistryLayout};
+
+/// The outcome of registration for one client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Registration {
+    /// The client's category `u^(t,k)` (its dominating classes).
+    pub category: Category,
+    /// Which entry of the reference set matched (number of dominating classes).
+    pub dominating_count: usize,
+    /// The one-hot registry vector `R^(t,k)` of length `layout.len()`.
+    pub registry: Vec<u64>,
+    /// The registry position that was flipped to one.
+    pub position: usize,
+}
+
+/// Runs Algorithm 1 for a single client.
+///
+/// # Panics
+/// Panics if the distribution's class count differs from the layout's, if the
+/// distribution is empty, or if threshold count mismatches the reference set.
+pub fn register(
+    distribution: &ClassDistribution,
+    layout: &RegistryLayout,
+    thresholds: &[f64],
+) -> Registration {
+    assert_eq!(
+        distribution.classes(),
+        layout.classes(),
+        "distribution has {} classes, layout expects {}",
+        distribution.classes(),
+        layout.classes()
+    );
+    assert!(!distribution.is_empty(), "cannot register a client with no data");
+    assert_eq!(
+        thresholds.len(),
+        layout.reference_set().len(),
+        "need one threshold per reference-set entry"
+    );
+
+    let proportions = distribution.proportions();
+    let by_frequency = distribution.classes_by_frequency();
+
+    for (&i, &sigma) in layout.reference_set().iter().zip(thresholds) {
+        // Proportion of the i-th most frequent class (1-indexed i).
+        let mi = proportions[by_frequency[i - 1]];
+        let effective_sigma = if i == layout.classes() { 0.0 } else { sigma };
+        if mi >= effective_sigma {
+            let mut classes: Vec<usize> = by_frequency[..i].to_vec();
+            classes.sort_unstable();
+            let category = Category { classes };
+            let position = layout.position(&category);
+            let mut registry = vec![0u64; layout.len()];
+            registry[position] = 1;
+            return Registration { category, dominating_count: i, registry, position };
+        }
+    }
+    unreachable!("the C-sized fallback category always matches because σ_C = 0");
+}
+
+/// Registers every client and returns the individual registrations plus the
+/// plaintext overall registry `R_A = Σ_k R^(t,k)` (what all clients learn after
+/// decrypting the homomorphic sum).
+pub fn register_all(
+    distributions: &[ClassDistribution],
+    layout: &RegistryLayout,
+    thresholds: &[f64],
+) -> (Vec<Registration>, Vec<u64>) {
+    let mut overall = vec![0u64; layout.len()];
+    let registrations: Vec<Registration> = distributions
+        .iter()
+        .map(|d| {
+            let r = register(d, layout, thresholds);
+            overall[r.position] += 1;
+            r
+        })
+        .collect();
+    (registrations, overall)
+}
+
+/// Summary of an overall registry used by the Fig. 10 sparsity analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySummary {
+    /// Number of non-zero categories `‖R_A‖₀`.
+    pub nonzero_categories: usize,
+    /// Total registered clients (sum of all counts).
+    pub total_clients: u64,
+    /// Category / count pairs for every non-zero position, in registry order.
+    pub occupied: Vec<(Category, u64)>,
+    /// For each class, how many registered clients list it as dominating
+    /// (excluding the C-sized fallback category).
+    pub class_coverage: Vec<u64>,
+}
+
+/// Summarises an overall registry.
+pub fn summarize(overall: &[u64], layout: &RegistryLayout) -> RegistrySummary {
+    assert_eq!(overall.len(), layout.len(), "registry length mismatch");
+    let mut occupied = Vec::new();
+    let mut class_coverage = vec![0u64; layout.classes()];
+    for (pos, &count) in overall.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let cat = layout.category_at(pos);
+        if cat.size() != layout.classes() {
+            for &c in &cat.classes {
+                class_coverage[c] += count;
+            }
+        }
+        occupied.push((cat, count));
+    }
+    RegistrySummary {
+        nonzero_categories: occupied.len(),
+        total_clients: overall.iter().sum(),
+        occupied,
+        class_coverage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> RegistryLayout {
+        RegistryLayout::group1()
+    }
+
+    /// Paper thresholds for group 1: σ1 = 0.7, σ2 = 0.1, σ10 = 0.
+    const SIGMA: [f64; 3] = [0.7, 0.1, 0.0];
+
+    #[test]
+    fn single_dominating_class_registers_in_first_block() {
+        // 90% of the data in class 3.
+        let d = ClassDistribution::from_counts(vec![1, 1, 1, 90, 1, 1, 1, 1, 1, 2]);
+        let r = register(&d, &layout(), &SIGMA);
+        assert_eq!(r.dominating_count, 1);
+        assert_eq!(r.category, Category::new(vec![3]));
+        assert_eq!(r.position, 3);
+        assert_eq!(r.registry.iter().sum::<u64>(), 1);
+        assert_eq!(r.registry[3], 1);
+    }
+
+    #[test]
+    fn two_dominating_classes_register_in_pair_block() {
+        // Fig. 4 example: classes 0 and 1 both exceed σ2 but neither exceeds σ1.
+        let d = ClassDistribution::from_counts(vec![45, 45, 2, 2, 2, 1, 1, 1, 1, 0]);
+        let r = register(&d, &layout(), &SIGMA);
+        assert_eq!(r.dominating_count, 2);
+        assert_eq!(r.category, Category::new(vec![0, 1]));
+        assert_eq!(r.position, 10);
+    }
+
+    #[test]
+    fn balanced_client_falls_back_to_full_category() {
+        // With sigma_2 = 0.2 a perfectly uniform client matches no block except
+        // the C-sized fallback (position 55).
+        let d = ClassDistribution::from_counts(vec![10; 10]);
+        let r = register(&d, &layout(), &[0.7, 0.2, 0.0]);
+        assert_eq!(r.dominating_count, 10);
+        assert_eq!(r.position, 55);
+    }
+
+    #[test]
+    fn uniform_client_at_exact_sigma_boundary_counts_as_dominated() {
+        // Algorithm 1 uses ">= sigma_i"; with the paper's sigma_2 = 0.1 a
+        // perfectly uniform 10-class client sits exactly on the boundary and is
+        // classified into the pair block. This mirrors Fig. 10, where the
+        // fallback category R_{A,10} ends up empty.
+        let d = ClassDistribution::from_counts(vec![10; 10]);
+        let r = register(&d, &layout(), &SIGMA);
+        assert_eq!(r.dominating_count, 2);
+    }
+
+    #[test]
+    fn moderately_skewed_client_without_strong_pair_falls_back() {
+        // Top class has 30% (< σ1), second class has 8% (< σ2) -> fallback.
+        let d = ClassDistribution::from_counts(vec![30, 8, 8, 8, 8, 8, 8, 8, 7, 7]);
+        let r = register(&d, &layout(), &SIGMA);
+        assert_eq!(r.dominating_count, 10);
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive() {
+        // Exactly 70% on class 0 counts as dominating (>= σ1).
+        let d = ClassDistribution::from_counts(vec![70, 30, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let r = register(&d, &layout(), &SIGMA);
+        assert_eq!(r.dominating_count, 1);
+        assert_eq!(r.category, Category::new(vec![0]));
+    }
+
+    #[test]
+    fn register_all_accumulates_overall_registry() {
+        let clients = vec![
+            ClassDistribution::from_counts(vec![90, 1, 1, 1, 1, 1, 1, 1, 1, 2]),
+            ClassDistribution::from_counts(vec![95, 1, 1, 1, 1, 0, 0, 0, 0, 1]),
+            ClassDistribution::from_counts(vec![1, 1, 1, 90, 1, 1, 1, 1, 1, 2]),
+            ClassDistribution::from_counts(vec![10; 10]),
+        ];
+        // sigma_2 = 0.2 sends the uniform client to the fallback block.
+        let (regs, overall) = register_all(&clients, &layout(), &[0.7, 0.2, 0.0]);
+        assert_eq!(regs.len(), 4);
+        assert_eq!(overall.iter().sum::<u64>(), 4);
+        assert_eq!(overall[0], 2, "two clients dominated by class 0");
+        assert_eq!(overall[3], 1);
+        assert_eq!(overall[55], 1);
+    }
+
+    #[test]
+    fn summary_reports_sparsity_and_coverage() {
+        let clients = vec![
+            ClassDistribution::from_counts(vec![90, 1, 1, 1, 1, 1, 1, 1, 1, 2]),
+            ClassDistribution::from_counts(vec![45, 45, 2, 2, 2, 1, 1, 1, 1, 0]),
+            ClassDistribution::from_counts(vec![10; 10]),
+        ];
+        let (_, overall) = register_all(&clients, &layout(), &[0.7, 0.2, 0.0]);
+        let s = summarize(&overall, &layout());
+        assert_eq!(s.total_clients, 3);
+        assert_eq!(s.nonzero_categories, 3);
+        // Class 0 is dominating for two clients (single and pair), class 1 for one.
+        assert_eq!(s.class_coverage[0], 2);
+        assert_eq!(s.class_coverage[1], 1);
+        assert_eq!(s.class_coverage[9], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot register a client with no data")]
+    fn empty_client_panics() {
+        let d = ClassDistribution::empty(10);
+        let _ = register(&d, &layout(), &SIGMA);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout expects")]
+    fn class_count_mismatch_panics() {
+        let d = ClassDistribution::from_counts(vec![1; 5]);
+        let _ = register(&d, &layout(), &SIGMA);
+    }
+
+    #[test]
+    fn group2_layout_registers_52_class_clients() {
+        let layout = RegistryLayout::group2();
+        let sigma = [0.5, 0.0];
+        let mut counts = vec![1u64; 52];
+        counts[17] = 300; // class 17 strongly dominates
+        let d = ClassDistribution::from_counts(counts);
+        let r = register(&d, &layout, &sigma);
+        assert_eq!(r.dominating_count, 1);
+        assert_eq!(r.position, 17);
+        // A flat client falls into the final fallback slot (position 52).
+        let flat = ClassDistribution::from_counts(vec![5; 52]);
+        let r = register(&flat, &layout, &sigma);
+        assert_eq!(r.position, 52);
+    }
+}

@@ -1,0 +1,321 @@
+//! The secure protocol: what actually travels between clients, server and
+//! agent, and the guarantee that the server only ever handles ciphertexts.
+//!
+//! Per registration epoch (Fig. 4):
+//!
+//! 1. a randomly selected *agent* client generates a Paillier keypair and
+//!    dispatches it to all clients; the server receives only the public key;
+//! 2. every client fills its registry (Algorithm 1), encrypts it element-wise
+//!    and sends the ciphertext vector to the server;
+//! 3. the server homomorphically adds all encrypted registries and broadcasts
+//!    the encrypted total;
+//! 4. every client decrypts the total with the shared secret key and computes
+//!    its own participation probability (Eq. 6).
+//!
+//! The multi-time selection exchanges encrypted label distributions the same
+//! way: tentatively selected clients send `Enc(p_l)`, the server adds them and
+//! forwards `Enc(Σ p_l)` to the agent, which decrypts and evaluates
+//! `‖p_o,h − p_u‖₁` — the server never sees a plaintext distribution.
+
+use dubhe_data::ClassDistribution;
+use dubhe_he::{
+    ciphertext_size_bytes, transport::plaintext_vector_bytes, EncryptedVector, FixedPointCodec,
+    Keypair, PrivateKey, PublicKey,
+};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::codebook::RegistryLayout;
+use crate::config::DubheConfig;
+use crate::registry::{register, Registration};
+
+/// What the honest-but-curious server observes during one registration epoch.
+///
+/// The struct deliberately stores *only* ciphertext material and sizes; there
+/// is no way to construct it with plaintext registries, which is the
+/// compile-time embodiment of the paper's threat model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerView {
+    /// The epoch public key (the server may legitimately hold this).
+    pub public_key: PublicKey,
+    /// The encrypted registries received from clients, in arrival order.
+    pub encrypted_registries: Vec<EncryptedVector>,
+    /// The encrypted overall registry the server broadcasts back.
+    pub encrypted_total: Option<EncryptedVector>,
+    /// Bytes received from clients (ciphertext payloads only).
+    pub bytes_received: usize,
+    /// Number of client → server messages observed.
+    pub messages_received: usize,
+}
+
+impl ServerView {
+    fn new(public_key: PublicKey) -> Self {
+        ServerView {
+            public_key,
+            encrypted_registries: Vec::new(),
+            encrypted_total: None,
+            bytes_received: 0,
+            messages_received: 0,
+        }
+    }
+
+    /// The server's aggregation step: homomorphic sum of everything received.
+    fn aggregate(&mut self) {
+        let mut total: Option<EncryptedVector> = None;
+        for enc in &self.encrypted_registries {
+            total = Some(match total {
+                None => enc.clone(),
+                Some(t) => t.add(enc).expect("same epoch key and registry length"),
+            });
+        }
+        self.encrypted_total = total;
+    }
+}
+
+/// The result of a full secure registration epoch.
+#[derive(Debug, Clone)]
+pub struct SecureRegistrationEpoch {
+    /// Per-client registrations (each client knows its own, the server none).
+    pub registrations: Vec<Registration>,
+    /// The overall registry as decrypted by the clients.
+    pub overall_registry: Vec<u64>,
+    /// Everything the server saw.
+    pub server_view: ServerView,
+    /// Index of the client acting as the key-dispatching agent.
+    pub agent: usize,
+    /// Plaintext size of one registry in bytes (overhead reporting).
+    pub registry_plaintext_bytes: usize,
+    /// Ciphertext size of one registry in bytes (overhead reporting).
+    pub registry_ciphertext_bytes: usize,
+}
+
+/// Runs one secure registration epoch end-to-end.
+///
+/// `key_bits` is configurable so tests can run with small keys while the
+/// overhead experiments use the paper's 2048-bit setting.
+pub fn secure_registration<R: Rng + ?Sized>(
+    client_distributions: &[ClassDistribution],
+    config: &DubheConfig,
+    key_bits: u64,
+    rng: &mut R,
+) -> SecureRegistrationEpoch {
+    assert!(!client_distributions.is_empty(), "need at least one client");
+    let layout = config.validate();
+    let thresholds = config.effective_thresholds();
+
+    // 1. A random agent generates and dispatches the keypair.
+    let agent = rng.gen_range(0..client_distributions.len());
+    let keypair = Keypair::generate(key_bits, rng);
+    let (public_key, private_key) = keypair.split();
+
+    let mut server = ServerView::new(public_key.clone());
+    let mut registrations = Vec::with_capacity(client_distributions.len());
+
+    // 2. Clients register, encrypt and send.
+    for dist in client_distributions {
+        let registration = register(dist, &layout, &thresholds);
+        let encrypted = EncryptedVector::encrypt_u64(&public_key, &registration.registry, rng);
+        server.bytes_received += encrypted.byte_len();
+        server.messages_received += 1;
+        server.encrypted_registries.push(encrypted);
+        registrations.push(registration);
+    }
+
+    // 3. Server aggregates blindly and broadcasts.
+    server.aggregate();
+    let encrypted_total = server.encrypted_total.clone().expect("at least one client registered");
+
+    // 4. Clients decrypt the broadcast total.
+    let overall_registry = encrypted_total.decrypt_u64(&private_key);
+
+    SecureRegistrationEpoch {
+        registrations,
+        overall_registry,
+        server_view: server,
+        agent,
+        registry_plaintext_bytes: plaintext_vector_bytes(layout.len()),
+        registry_ciphertext_bytes: layout.len() * ciphertext_size_bytes(&public_key),
+    }
+}
+
+/// The agent-side view of one multi-time tentative try performed securely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecureTryOutcome {
+    /// The decrypted population distribution `p_o,h` of this try.
+    pub population: Vec<f64>,
+    /// `‖p_o,h − p_u‖₁`.
+    pub distance_to_uniform: f64,
+    /// Ciphertext bytes that crossed the network for this try.
+    pub ciphertext_bytes: usize,
+    /// Number of encrypted distribution messages (one per selected client).
+    pub messages: usize,
+}
+
+/// Securely evaluates one tentative client set: the selected clients encrypt
+/// their scaled label distributions, the server adds the ciphertexts, the agent
+/// decrypts the sum and measures the distance to uniform.
+pub fn secure_evaluate_try<R: Rng + ?Sized>(
+    selected: &[usize],
+    client_distributions: &[ClassDistribution],
+    public_key: &PublicKey,
+    private_key: &PrivateKey,
+    rng: &mut R,
+) -> SecureTryOutcome {
+    assert!(!selected.is_empty(), "cannot evaluate an empty tentative selection");
+    let codec = FixedPointCodec::default();
+    let classes = client_distributions[0].classes();
+
+    let mut server_sum: Option<EncryptedVector> = None;
+    let mut bytes = 0usize;
+    for &id in selected {
+        let proportions = client_distributions[id].proportions();
+        let scaled = codec.encode_vec(&proportions);
+        let encrypted = EncryptedVector::encrypt_u64(public_key, &scaled, rng);
+        bytes += encrypted.byte_len();
+        server_sum = Some(match server_sum {
+            None => encrypted,
+            Some(total) => total.add(&encrypted).expect("same key and length"),
+        });
+    }
+    let encrypted_sum = server_sum.expect("non-empty selection");
+
+    // Agent side: decrypt and average.
+    let decrypted = encrypted_sum.decrypt_u64(private_key);
+    let population = codec.decode_average(&decrypted, selected.len());
+    let p_u = vec![1.0 / classes as f64; classes];
+    let distance = dubhe_data::l1_distance(&population, &p_u);
+
+    SecureTryOutcome {
+        population,
+        distance_to_uniform: distance,
+        ciphertext_bytes: bytes,
+        messages: selected.len(),
+    }
+}
+
+/// Returns the registry layout used by `config` — re-exported here so callers
+/// of the secure API need only this module.
+pub fn layout_of(config: &DubheConfig) -> RegistryLayout {
+    config.validate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probability::participation_probability;
+    use crate::registry::register_all;
+    use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+    use rand::SeedableRng;
+
+    const TEST_KEY_BITS: u64 = 256;
+
+    fn clients(n: usize, seed: u64) -> Vec<ClassDistribution> {
+        let spec = FederatedSpec {
+            family: DatasetFamily::MnistLike,
+            rho: 10.0,
+            emd_avg: 1.5,
+            clients: n,
+            samples_per_client: 100,
+            test_samples_per_class: 1,
+            seed,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        spec.build_partition(&mut rng).client_distributions()
+    }
+
+    #[test]
+    fn secure_registration_matches_plaintext_aggregation() {
+        let dists = clients(30, 1);
+        let config = DubheConfig::group1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng);
+
+        // The decrypted overall registry equals the plaintext sum.
+        let layout = config.validate();
+        let (_, plaintext_overall) =
+            register_all(&dists, &layout, &config.effective_thresholds());
+        assert_eq!(epoch.overall_registry, plaintext_overall);
+        assert_eq!(epoch.registrations.len(), 30);
+        assert!(epoch.agent < 30);
+    }
+
+    #[test]
+    fn server_only_sees_ciphertexts() {
+        let dists = clients(10, 3);
+        let config = DubheConfig::group1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng);
+
+        // Every registry the server received is an EncryptedVector whose raw
+        // ciphertexts differ from the one-hot plaintext (the plaintext never
+        // appears on the wire), and two clients in the same category still send
+        // different ciphertexts thanks to encryption randomness.
+        let view = &epoch.server_view;
+        assert_eq!(view.messages_received, 10);
+        assert!(view.bytes_received > 0);
+        for (enc, reg) in view.encrypted_registries.iter().zip(&epoch.registrations) {
+            assert_eq!(enc.len(), reg.registry.len());
+            // Each transmitted element is a full-size ciphertext, not a 0/1 bit.
+            for ct in enc.elements() {
+                assert!(ct.byte_len() > 8, "ciphertext suspiciously small");
+            }
+        }
+        // Two clients (even in the same category) never send identical
+        // ciphertexts thanks to fresh encryption randomness.
+        let a = &view.encrypted_registries[0];
+        let b = &view.encrypted_registries[1];
+        assert_ne!(a.elements()[0].raw(), b.elements()[0].raw());
+    }
+
+    #[test]
+    fn probabilities_from_secure_epoch_sum_to_k() {
+        let dists = clients(200, 5);
+        let config = DubheConfig::group1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng);
+        let expected: f64 = epoch
+            .registrations
+            .iter()
+            .map(|r| participation_probability(&epoch.overall_registry, r.position, config.k))
+            .sum();
+        assert!((expected - config.k as f64).abs() < 1.0, "expected participation {expected}");
+    }
+
+    #[test]
+    fn ciphertext_expansion_is_reported() {
+        let dists = clients(5, 7);
+        let config = DubheConfig::group1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng);
+        assert_eq!(epoch.registry_plaintext_bytes, 56 * 8);
+        assert!(epoch.registry_ciphertext_bytes > epoch.registry_plaintext_bytes);
+    }
+
+    #[test]
+    fn secure_try_matches_plaintext_population() {
+        let dists = clients(40, 9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let keypair = Keypair::generate(TEST_KEY_BITS, &mut rng);
+        let (pk, sk) = keypair.split();
+        let selected: Vec<usize> = vec![0, 3, 7, 21, 33];
+        let outcome = secure_evaluate_try(&selected, &dists, &pk, &sk, &mut rng);
+        let plaintext = crate::selector::population_distribution(&selected, &dists);
+        for (a, b) in outcome.population.iter().zip(&plaintext) {
+            assert!((a - b).abs() < 1e-5, "secure {a} vs plaintext {b}");
+        }
+        let plain_dist = crate::selector::population_unbiasedness(&selected, &dists);
+        assert!((outcome.distance_to_uniform - plain_dist).abs() < 1e-4);
+        assert_eq!(outcome.messages, 5);
+        assert!(outcome.ciphertext_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tentative selection")]
+    fn empty_secure_try_panics() {
+        let dists = clients(5, 11);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let keypair = Keypair::generate(TEST_KEY_BITS, &mut rng);
+        let (pk, sk) = keypair.split();
+        let _ = secure_evaluate_try(&[], &dists, &pk, &sk, &mut rng);
+    }
+}

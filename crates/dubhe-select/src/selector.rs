@@ -1,0 +1,220 @@
+//! The [`ClientSelector`] abstraction and the random-selection baseline.
+//!
+//! A selector picks the subset `S_t` of clients that participates in round `t`.
+//! All three methods the paper evaluates (random, greedy, Dubhe) implement the
+//! same trait so the FL simulator and the experiment harness can swap them
+//! freely ("pluggable" in the paper's words).
+
+use dubhe_data::{l1_distance, ClassDistribution};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a (virtual) client: its index in `[0, N)`.
+pub type ClientId = usize;
+
+/// A client-selection policy.
+pub trait ClientSelector: Send {
+    /// Selects the clients that participate in one round.
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> Vec<ClientId>;
+
+    /// Human-readable name ("Random", "Greedy", "Dubhe") for logs and plots.
+    fn name(&self) -> &'static str;
+
+    /// The number of clients the selector draws from.
+    fn population(&self) -> usize;
+
+    /// The target number of participants per round.
+    fn target_participants(&self) -> usize;
+}
+
+/// The population (participated-data) label distribution `p_o` of a selected
+/// client set: the average of the selected clients' label proportions (all
+/// clients weigh equally because FedVC equalises their sample counts).
+pub fn population_distribution(
+    selected: &[ClientId],
+    client_distributions: &[ClassDistribution],
+) -> Vec<f64> {
+    assert!(!selected.is_empty(), "population distribution of an empty selection is undefined");
+    let classes = client_distributions
+        .first()
+        .map(|d| d.classes())
+        .expect("need at least one client distribution");
+    let mut acc = vec![0.0f64; classes];
+    for &id in selected {
+        assert!(id < client_distributions.len(), "selected client {id} out of range");
+        let p = client_distributions[id].proportions();
+        for (a, v) in acc.iter_mut().zip(&p) {
+            *a += v;
+        }
+    }
+    for a in &mut acc {
+        *a /= selected.len() as f64;
+    }
+    acc
+}
+
+/// `‖p_o − p_u‖₁` for a selected client set — the quantity Dubhe minimises
+/// (Eq. 3) and the y-axis of Fig. 9.
+pub fn population_unbiasedness(
+    selected: &[ClientId],
+    client_distributions: &[ClassDistribution],
+) -> f64 {
+    let p_o = population_distribution(selected, client_distributions);
+    let p_u = vec![1.0 / p_o.len() as f64; p_o.len()];
+    l1_distance(&p_o, &p_u)
+}
+
+/// Statistics of repeated selections (Fig. 9 reports the mean and standard
+/// deviation of ‖p_o − p_u‖₁ over 100 selections).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectionStats {
+    /// Mean of ‖p_o − p_u‖₁ across repetitions.
+    pub mean: f64,
+    /// Standard deviation of ‖p_o − p_u‖₁ across repetitions.
+    pub std: f64,
+    /// Number of repetitions.
+    pub repetitions: usize,
+}
+
+/// Runs a selector `repetitions` times and reports mean/std of ‖p_o − p_u‖₁.
+pub fn selection_stats<S: ClientSelector + ?Sized, R: Rng>(
+    selector: &mut S,
+    client_distributions: &[ClassDistribution],
+    repetitions: usize,
+    rng: &mut R,
+) -> SelectionStats {
+    assert!(repetitions > 0, "need at least one repetition");
+    let values: Vec<f64> = (0..repetitions)
+        .map(|_| {
+            let selected = selector.select(rng);
+            population_unbiasedness(&selected, client_distributions)
+        })
+        .collect();
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    SelectionStats { mean, std: var.sqrt(), repetitions }
+}
+
+/// The random-selection baseline: a uniform sample of `k` distinct clients.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomSelector {
+    population: usize,
+    k: usize,
+}
+
+impl RandomSelector {
+    /// Creates a random selector over `population` clients picking `k` each
+    /// round.
+    pub fn new(population: usize, k: usize) -> Self {
+        assert!(population > 0, "population must be positive");
+        assert!(k > 0 && k <= population, "K must be in [1, population]");
+        RandomSelector { population, k }
+    }
+}
+
+impl ClientSelector for RandomSelector {
+    fn select(&mut self, rng: &mut dyn rand::RngCore) -> Vec<ClientId> {
+        let mut ids: Vec<ClientId> = (0..self.population).collect();
+        ids.shuffle(rng);
+        ids.truncate(self.k);
+        ids.sort_unstable();
+        ids
+    }
+
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn population(&self) -> usize {
+        self.population
+    }
+
+    fn target_participants(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy_distributions() -> Vec<ClassDistribution> {
+        vec![
+            ClassDistribution::from_counts(vec![10, 0]),
+            ClassDistribution::from_counts(vec![0, 10]),
+            ClassDistribution::from_counts(vec![5, 5]),
+            ClassDistribution::from_counts(vec![8, 2]),
+        ]
+    }
+
+    #[test]
+    fn random_selection_is_distinct_and_sized() {
+        let mut sel = RandomSelector::new(100, 20);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = sel.select(&mut rng);
+        assert_eq!(s.len(), 20);
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20, "selected clients must be distinct");
+        assert!(s.iter().all(|&id| id < 100));
+        assert_eq!(sel.name(), "Random");
+        assert_eq!(sel.population(), 100);
+        assert_eq!(sel.target_participants(), 20);
+    }
+
+    #[test]
+    fn full_participation_selects_everyone() {
+        let mut sel = RandomSelector::new(10, 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        assert_eq!(sel.select(&mut rng), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be in")]
+    fn oversized_k_panics() {
+        let _ = RandomSelector::new(5, 6);
+    }
+
+    #[test]
+    fn population_distribution_averages_clients() {
+        let dists = toy_distributions();
+        let p = population_distribution(&[0, 1], &dists);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+        let p = population_distribution(&[0], &dists);
+        assert_eq!(p, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn unbiasedness_is_zero_for_balanced_selection() {
+        let dists = toy_distributions();
+        assert!(population_unbiasedness(&[0, 1], &dists) < 1e-12);
+        assert!((population_unbiasedness(&[0], &dists) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty selection")]
+    fn empty_selection_panics() {
+        let dists = toy_distributions();
+        let _ = population_distribution(&[], &dists);
+    }
+
+    #[test]
+    fn selection_stats_have_sane_ranges() {
+        let dists: Vec<ClassDistribution> = (0..50)
+            .map(|i| {
+                let mut counts = vec![1u64; 2];
+                counts[i % 2] = 20;
+                ClassDistribution::from_counts(counts)
+            })
+            .collect();
+        let mut sel = RandomSelector::new(50, 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let stats = selection_stats(&mut sel, &dists, 50, &mut rng);
+        assert!(stats.mean >= 0.0 && stats.mean <= 2.0);
+        assert!(stats.std >= 0.0);
+        assert_eq!(stats.repetitions, 50);
+    }
+}

@@ -1,0 +1,63 @@
+//! FEMNIST-scale client selection: the paper's group-2 setting with 8962
+//! clients over 52 classes (Table 1 / Fig. 8), selection-only so it runs in
+//! seconds at full population scale.
+//!
+//! ```text
+//! cargo run --release --example femnist_scale_selection
+//! ```
+
+use dubhe::data::federated::FederatedSpec;
+use dubhe::select::selector::selection_stats;
+use dubhe::{DubheConfig, DubheSelector, GreedySelector, RandomSelector};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    // The paper's group 2: FEMNIST letters, rho = 13.64, EMD_avg = 0.554,
+    // N = 8962 clients, K = 20 participants per round.
+    let spec = FederatedSpec::group2();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+    println!("building {} with {} clients ...", spec.name(), spec.clients);
+    let t = Instant::now();
+    let partition = spec.build_partition(&mut rng);
+    let dists = partition.client_distributions();
+    println!("built in {:.2?}", t.elapsed());
+    println!("global rho   : {:.2}", partition.global.imbalance_ratio());
+    println!("achieved EMD : {:.3}", partition.partition.achieved_emd);
+    println!();
+
+    let k = 20;
+    let reps = 20;
+
+    // Random selection: cheap but biased toward the skewed global distribution.
+    let t = Instant::now();
+    let mut random = RandomSelector::new(dists.len(), k);
+    let r = selection_stats(&mut random, &dists, reps, &mut rng);
+    let random_time = t.elapsed();
+
+    // Dubhe: one registration pass, then probability-driven participation.
+    let t = Instant::now();
+    let mut dubhe = DubheSelector::new(&dists, DubheConfig::group2());
+    let d = selection_stats(&mut dubhe, &dists, reps, &mut rng);
+    let dubhe_time = t.elapsed();
+
+    // Greedy: needs plaintext distributions and O(N*K) work per round — the
+    // paper reports 1.69x extra selection time at N = 8962.
+    let t = Instant::now();
+    let mut greedy = GreedySelector::new(&dists, k);
+    let g = selection_stats(&mut greedy, &dists, reps, &mut rng);
+    let greedy_time = t.elapsed();
+
+    println!("||p_o - p_u||_1 over {reps} selections of K = {k} out of {}:", dists.len());
+    println!("  Random : mean {:.4} +/- {:.4}   ({:.2?} total)", r.mean, r.std, random_time);
+    println!("  Dubhe  : mean {:.4} +/- {:.4}   ({:.2?} total)", d.mean, d.std, dubhe_time);
+    println!("  Greedy : mean {:.4} +/- {:.4}   ({:.2?} total)", g.mean, g.std, greedy_time);
+    println!();
+    println!(
+        "Dubhe reduces the distance to uniform by {:.1}% vs random while never \
+         revealing a client's label distribution; greedy needs {:.1}x Dubhe's time \
+         and full plaintext knowledge.",
+        100.0 * (1.0 - d.mean / r.mean),
+        greedy_time.as_secs_f64() / dubhe_time.as_secs_f64().max(1e-9),
+    );
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration tests of the full training stack: synthetic data →
+//! Dubhe selection → parallel local training → FedVC aggregation → evaluation.
+
+use dubhe::data::federated::{DatasetFamily, FederatedSpec};
+use dubhe::fl::models::small_mlp;
+use dubhe::fl::{Aggregation, LocalOptimizer};
+use dubhe::{DubheConfig, DubheSelector, FlSimulation, RandomSelector, SimulationConfig};
+use rand::SeedableRng;
+
+fn build(
+    family: DatasetFamily,
+    rho: f64,
+    emd: f64,
+    clients: usize,
+    seed: u64,
+) -> dubhe::data::FederatedDataset {
+    let spec = FederatedSpec {
+        family,
+        rho,
+        emd_avg: emd,
+        clients,
+        samples_per_client: 32,
+        test_samples_per_class: 15,
+        seed,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    spec.build_dataset(&mut rng)
+}
+
+fn quick_config(rounds: usize, seed: u64) -> SimulationConfig {
+    let mut config = SimulationConfig::quick(rounds, seed);
+    config.local.optimizer = LocalOptimizer::Sgd { lr: 0.1 };
+    config
+}
+
+#[test]
+fn federated_training_learns_on_balanced_data() {
+    let data = build(DatasetFamily::MnistLike, 1.0, 0.0, 30, 11);
+    let selector = Box::new(RandomSelector::new(30, 10));
+    let mut sim = FlSimulation::from_datasets(
+        data.client_data,
+        data.test,
+        small_mlp(32, 10, 1),
+        selector,
+        quick_config(12, 5),
+    );
+    let history = sim.run();
+    let final_acc = history.final_accuracy().unwrap();
+    assert!(final_acc > 0.5, "balanced federated MNIST-like should learn well, got {final_acc}");
+}
+
+#[test]
+fn dubhe_pipeline_trains_end_to_end_on_skewed_data() {
+    let data = build(DatasetFamily::MnistLike, 10.0, 1.5, 80, 13);
+    let dists = data.client_distributions();
+    let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+    let mut config = quick_config(10, 17);
+    config.multi_time_h = 5;
+    let mut sim = FlSimulation::from_datasets(
+        data.client_data,
+        data.test,
+        small_mlp(32, 10, 2),
+        selector,
+        config,
+    );
+    assert_eq!(sim.selector_name(), "Dubhe");
+    let history = sim.run();
+    assert_eq!(history.len(), 10);
+    let first = history.rounds[0].test_accuracy.unwrap();
+    let last = history.final_accuracy().unwrap();
+    assert!(last > first, "accuracy should improve: {first} -> {last}");
+    // Multi-time selection messages are accounted for.
+    assert!(sim.ledger().rounds[0].multi_time_messages > 0);
+}
+
+#[test]
+fn fedvc_uniform_and_fedavg_weighted_agree_when_sizes_are_equal() {
+    // All clients hold the same number of samples, so the two aggregation rules
+    // must produce identical global models.
+    let data = build(DatasetFamily::CifarLike, 2.0, 0.5, 20, 19);
+    let run = |aggregation: Aggregation| {
+        let selector = Box::new(RandomSelector::new(20, 8));
+        let mut config = quick_config(4, 23);
+        config.aggregation = aggregation;
+        let mut sim = FlSimulation::from_datasets(
+            data.client_data.clone(),
+            data.test.clone(),
+            small_mlp(32, 10, 3),
+            selector,
+            config,
+        );
+        sim.run()
+    };
+    let uniform = run(Aggregation::FedVcUniform);
+    let weighted = run(Aggregation::FedAvgWeighted);
+    assert_eq!(uniform, weighted);
+}
+
+#[test]
+fn skewed_random_selection_underperforms_its_balanced_counterpart() {
+    // The motivation experiment (Fig. 2a) in miniature: same client data volume,
+    // same training budget, but a heavily skewed global distribution with random
+    // selection produces lower accuracy on the balanced test set than the
+    // balanced-global case.
+    let rounds = 14;
+    let balanced = build(DatasetFamily::MnistLike, 1.0, 1.0, 60, 29);
+    let skewed = build(DatasetFamily::MnistLike, 10.0, 1.0, 60, 29);
+    let run = |data: &dubhe::data::FederatedDataset, seed: u64| {
+        let selector = Box::new(RandomSelector::new(60, 10));
+        let mut sim = FlSimulation::from_datasets(
+            data.client_data.clone(),
+            data.test.clone(),
+            small_mlp(32, 10, 4),
+            selector,
+            quick_config(rounds, seed),
+        );
+        sim.run().average_accuracy_last(5).unwrap()
+    };
+    let balanced_acc = run(&balanced, 31);
+    let skewed_acc = run(&skewed, 31);
+    assert!(
+        skewed_acc < balanced_acc + 0.02,
+        "skewed global data ({skewed_acc:.3}) should not beat balanced data ({balanced_acc:.3})"
+    );
+}
+
+#[test]
+fn histories_are_reproducible_across_identical_runs() {
+    let data = build(DatasetFamily::MnistLike, 5.0, 1.0, 40, 37);
+    let dists = data.client_distributions();
+    let run = || {
+        let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+        let mut sim = FlSimulation::from_datasets(
+            data.client_data.clone(),
+            data.test.clone(),
+            small_mlp(32, 10, 6),
+            selector,
+            quick_config(5, 41),
+        );
+        sim.run()
+    };
+    assert_eq!(run(), run(), "same seeds must give identical histories");
+}
