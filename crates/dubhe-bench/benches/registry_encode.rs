@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+use dubhe_he::{Keypair, PrecomputedEncryptor};
 use dubhe_select::codebook::{rank_subset, RegistryLayout};
-use dubhe_select::registry::{register, register_all};
+use dubhe_select::registry::{register, register_all, register_all_encrypted};
 use dubhe_select::DubheConfig;
 use rand::SeedableRng;
 
@@ -25,8 +26,16 @@ fn client_distributions(family: DatasetFamily, n: usize) -> Vec<dubhe_data::Clas
 fn bench_single_registration(c: &mut Criterion) {
     let mut group = c.benchmark_group("register_one_client");
     let layouts = [
-        ("group1_C10", RegistryLayout::group1(), DubheConfig::group1()),
-        ("group2_C52", RegistryLayout::group2(), DubheConfig::group2()),
+        (
+            "group1_C10",
+            RegistryLayout::group1(),
+            DubheConfig::group1(),
+        ),
+        (
+            "group2_C52",
+            RegistryLayout::group2(),
+            DubheConfig::group2(),
+        ),
     ];
     for (name, layout, config) in layouts {
         let family = if layout.classes() == 52 {
@@ -57,13 +66,38 @@ fn bench_registration_epoch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The full client-side crypto of one registration epoch: register every
+/// client and encrypt its one-hot registry under a shared fast encryptor.
+fn bench_encrypted_registration_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_all_encrypted");
+    group.sample_size(10);
+    let dists = client_distributions(DatasetFamily::MnistLike, 50);
+    let layout = RegistryLayout::group1();
+    let thresholds = DubheConfig::group1().effective_thresholds();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let (pk, _sk) = Keypair::generate(512, &mut rng).split();
+    let encryptor = PrecomputedEncryptor::new(&pk, &mut rng);
+    group.bench_function("50_clients_512bit", |b| {
+        b.iter(|| register_all_encrypted(&dists, &layout, &thresholds, &encryptor, &mut rng));
+    });
+    group.finish();
+}
+
 fn bench_codebook_rank(c: &mut Criterion) {
     let mut group = c.benchmark_group("codebook_rank_subset");
     group.bench_function("pair_of_10", |b| b.iter(|| rank_subset(&[3, 7], 10)));
     group.bench_function("pair_of_52", |b| b.iter(|| rank_subset(&[11, 40], 52)));
-    group.bench_function("quintuple_of_52", |b| b.iter(|| rank_subset(&[1, 9, 20, 33, 51], 52)));
+    group.bench_function("quintuple_of_52", |b| {
+        b.iter(|| rank_subset(&[1, 9, 20, 33, 51], 52))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_single_registration, bench_registration_epoch, bench_codebook_rank);
+criterion_group!(
+    benches,
+    bench_single_registration,
+    bench_registration_epoch,
+    bench_encrypted_registration_epoch,
+    bench_codebook_rank
+);
 criterion_main!(benches);

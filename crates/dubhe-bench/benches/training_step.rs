@@ -82,5 +82,10 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_local_epoch, bench_parallel_round, bench_matmul);
+criterion_group!(
+    benches,
+    bench_local_epoch,
+    bench_parallel_round,
+    bench_matmul
+);
 criterion_main!(benches);

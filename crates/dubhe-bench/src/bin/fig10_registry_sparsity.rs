@@ -54,7 +54,11 @@ fn main() {
         "Fig. 10: overall registry for N = 1000, rho = 10, EMD = 1.5, G = {{1, 2, 10}}, \
          sigma_1 = 0.7, sigma_2 = 0.1"
     );
-    println!("occupied categories ({} of {} positions):", summary.nonzero_categories, layout.len());
+    println!(
+        "occupied categories ({} of {} positions):",
+        summary.nonzero_categories,
+        layout.len()
+    );
     for (cat, count) in &summary.occupied {
         println!("  categories {:?} -> {count} clients", cat.classes);
     }
@@ -77,7 +81,9 @@ fn main() {
         *a /= repetitions as f64;
     }
     let global = fp.global.proportions();
-    println!("\naverage participated class proportion over {repetitions} selections (uniform = 0.100):");
+    println!(
+        "\naverage participated class proportion over {repetitions} selections (uniform = 0.100):"
+    );
     println!("{:>6} {:>10} {:>10}", "class", "global", "Dubhe p_o");
     for class in 0..config.classes {
         println!("{class:>6} {:>10.4} {:>10.4}", global[class], avg[class]);

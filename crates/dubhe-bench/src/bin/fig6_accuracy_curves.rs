@@ -22,8 +22,11 @@ fn main() {
     let args = ExperimentArgs::parse();
     // The paper trains MNIST for 200 rounds and CIFAR10 for 1000; the quick
     // configuration keeps the same panel structure at reduced length.
-    let (mnist_rounds, cifar_rounds, eval_every) =
-        if args.full { (200, 1000, 10) } else { (30, 50, 5) };
+    let (mnist_rounds, cifar_rounds, eval_every) = if args.full {
+        (200, 1000, 10)
+    } else {
+        (30, 50, 5)
+    };
 
     let mut results = Vec::new();
     let mut summary: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
@@ -36,8 +39,7 @@ fn main() {
             let spec = scaled_spec(family, rho, emd, args.full, args.seed);
             println!("=== {} ===", spec.name());
             for method in Method::all() {
-                let history =
-                    run_training(&spec, method, rounds, eval_every, 1, args.seed);
+                let history = run_training(&spec, method, rounds, eval_every, 1, args.seed);
                 let acc: Vec<f64> = history.accuracy_curve().iter().map(|(_, a)| *a).collect();
                 print_series(method.name(), &acc);
                 let final_acc = history.average_accuracy_last(10).unwrap_or(0.0);
@@ -58,8 +60,7 @@ fn main() {
 
     println!("=== summary (average accuracy over the last evaluations) ===");
     for (dataset, methods) in &summary {
-        let line: Vec<String> =
-            methods.iter().map(|(m, a)| format!("{m} {a:.3}")).collect();
+        let line: Vec<String> = methods.iter().map(|(m, a)| format!("{m} {a:.3}")).collect();
         println!("{dataset:<18} {}", line.join("   "));
     }
     println!(

@@ -35,8 +35,16 @@ fn main() {
     let mut cells = Vec::new();
     for &family in families {
         for method in Method::all() {
-            println!("=== {:?} / {} : avg accuracy over last {last_n} evals ===", family, method.name());
-            println!("{:>8} {}", "rho\\EMD", emds.map(|e| format!("{e:>8.1}")).join(" "));
+            println!(
+                "=== {:?} / {} : avg accuracy over last {last_n} evals ===",
+                family,
+                method.name()
+            );
+            println!(
+                "{:>8} {}",
+                "rho\\EMD",
+                emds.map(|e| format!("{e:>8.1}")).join(" ")
+            );
             for &rho in &rhos {
                 let mut row = Vec::new();
                 for &emd in &emds {

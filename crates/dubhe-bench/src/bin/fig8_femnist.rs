@@ -22,8 +22,18 @@ fn main() {
     // The paper trains FEMNIST for 1500 rounds with E = 5; the quick run keeps
     // the same structure at a fraction of the length.
     let (rounds, eval_every) = if args.full { (1500, 25) } else { (30, 5) };
-    let spec = scaled_spec(DatasetFamily::FemnistLike, 13.64, 0.554, args.full, args.seed);
-    println!("Fig. 8: {} with {} clients, K = 20", spec.name(), spec.clients);
+    let spec = scaled_spec(
+        DatasetFamily::FemnistLike,
+        13.64,
+        0.554,
+        args.full,
+        args.seed,
+    );
+    println!(
+        "Fig. 8: {} with {} clients, K = 20",
+        spec.name(),
+        spec.clients
+    );
 
     let mut results = Vec::new();
     for method in Method::all() {
@@ -33,7 +43,12 @@ fn main() {
         let final_acc = history.average_accuracy_last(5).unwrap_or(0.0);
         // Population class proportion of one (the last) round — the right-hand
         // panel of Fig. 8.
-        let one_round = history.rounds.last().unwrap().population_distribution.clone();
+        let one_round = history
+            .rounds
+            .last()
+            .unwrap()
+            .population_distribution
+            .clone();
         println!(
             "  final accuracy {:.3}; population proportion of one round: min {:.4} max {:.4} (uniform would be {:.4})",
             final_acc,

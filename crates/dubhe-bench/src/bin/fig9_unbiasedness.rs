@@ -28,7 +28,7 @@ struct Point {
 
 fn main() {
     let args = ExperimentArgs::parse();
-    let repetitions = if args.full { 100 } else { 100 };
+    let repetitions = if args.full { 1000 } else { 100 };
     let spec = FederatedSpec {
         family: DatasetFamily::MnistLike,
         rho: 10.0,
@@ -48,10 +48,7 @@ fn main() {
     let baseline = l1_distance(&p_g, &p_u);
     println!("Fig. 9: MNIST/CIFAR10-10/1.5, N = 1000, {repetitions} selections per point");
     println!("baseline ||p_g - p_u||_1 = {baseline:.4}\n");
-    println!(
-        "{:<8} {:>6} {:>12} {:>12}",
-        "method", "K", "mean", "std"
-    );
+    println!("{:<8} {:>6} {:>12} {:>12}", "method", "K", "mean", "std");
 
     let ks = [10usize, 20, 50, 100, 200, 500, 1000];
     let mut points = Vec::new();
@@ -63,7 +60,13 @@ fn main() {
             config.k = k;
             let mut selector = method.build(&dists, &config);
             let stats = selection_stats(selector.as_mut(), &dists, repetitions, &mut rng);
-            println!("{:<8} {:>6} {:>12.4} {:>12.4}", method.name(), k, stats.mean, stats.std);
+            println!(
+                "{:<8} {:>6} {:>12.4} {:>12.4}",
+                method.name(),
+                k,
+                stats.mean,
+                stats.std
+            );
             if k == 20 {
                 match method {
                     Method::Random => random_at_k20 = stats.mean,
@@ -73,7 +76,12 @@ fn main() {
                     Method::Greedy => {}
                 }
             }
-            points.push(Point { method: method.name().to_string(), k, mean: stats.mean, std: stats.std });
+            points.push(Point {
+                method: method.name().to_string(),
+                k,
+                mean: stats.mean,
+                std: stats.std,
+            });
         }
         println!();
     }

@@ -93,8 +93,13 @@ fn main() {
     for r in &rows {
         println!(
             "{:<28} {:>4} {:>12} {:>13} {:>8.1}x {:>11.2} {:>11.2}",
-            r.object, r.length, r.plaintext_bytes, r.ciphertext_bytes, r.expansion,
-            r.encrypt_ms, r.decrypt_ms
+            r.object,
+            r.length,
+            r.plaintext_bytes,
+            r.ciphertext_bytes,
+            r.expansion,
+            r.encrypt_ms,
+            r.decrypt_ms
         );
     }
     println!(
@@ -106,7 +111,9 @@ fn main() {
 
     // Packed (BatchCrypt-style) alternative.
     let packer = Packer::new(32, key_bits);
-    let packed = packer.encrypt(&pk, &registry56, &mut rng).expect("packing fits");
+    let packed = packer
+        .encrypt(&pk, &registry56, &mut rng)
+        .expect("packing fits");
     let packed_size = measure_packed(&packed);
     println!(
         "\npacked registry (32-bit slots): {} ciphertexts, {} B ({:.1}% of the element-wise payload)",
@@ -121,7 +128,10 @@ fn main() {
     let registration = CommunicationCount::per_round(20, 1000, 1, true);
     let multi = CommunicationCount::per_round(20, 1000, 10, false);
     println!("  classic FL round          : {} messages", plain.total());
-    println!("  + registration epoch      : {} messages", registration.total());
+    println!(
+        "  + registration epoch      : {} messages",
+        registration.total()
+    );
     println!("  + multi-time selection    : {} messages", multi.total());
 
     dubhe_bench::dump_json("overhead_report", &rows);

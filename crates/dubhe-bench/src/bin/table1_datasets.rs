@@ -52,15 +52,25 @@ fn main() {
                 };
                 println!(
                     "{:<22} {:>10.2} {:>13.2} {:>10.2} {:>13.3} {:>8}",
-                    row.dataset, row.target_rho, row.achieved_rho, row.target_emd,
-                    row.achieved_emd, row.clients
+                    row.dataset,
+                    row.target_rho,
+                    row.achieved_rho,
+                    row.target_emd,
+                    row.achieved_emd,
+                    row.clients
                 );
                 rows.push(row);
             }
         }
     }
     // Group 2: FEMNIST.
-    let spec = scaled_spec(DatasetFamily::FemnistLike, 13.64, 0.554, args.full, args.seed);
+    let spec = scaled_spec(
+        DatasetFamily::FemnistLike,
+        13.64,
+        0.554,
+        args.full,
+        args.seed,
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
     let fp = spec.build_partition(&mut rng);
     let row = Row {
@@ -73,7 +83,11 @@ fn main() {
     };
     println!(
         "{:<22} {:>10.2} {:>13.2} {:>10.2} {:>13.3} {:>8}",
-        row.dataset, row.target_rho, row.achieved_rho, row.target_emd, row.achieved_emd,
+        row.dataset,
+        row.target_rho,
+        row.achieved_rho,
+        row.target_emd,
+        row.achieved_emd,
         row.clients
     );
     rows.push(row);

@@ -89,7 +89,10 @@ fn main() {
         let (acc_m, acc_c) = if h == 1 {
             (acc_m_base, acc_c_base)
         } else {
-            (accuracy_for(DatasetFamily::MnistLike, h), accuracy_for(DatasetFamily::CifarLike, h))
+            (
+                accuracy_for(DatasetFamily::MnistLike, h),
+                accuracy_for(DatasetFamily::CifarLike, h),
+            )
         };
         let row = Row {
             h,

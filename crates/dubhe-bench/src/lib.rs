@@ -38,14 +38,19 @@ impl ExperimentArgs {
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let full = args.iter().any(|a| a == "--full");
-        let seed = value_after(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+        let seed = value_after(&args, "--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
         let part = value_after(&args, "--part");
         ExperimentArgs { full, seed, part }
     }
 }
 
 fn value_after(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// The three selection methods compared throughout the paper.

@@ -18,18 +18,30 @@ pub struct Dataset {
 impl Dataset {
     /// Builds a dataset, checking that labels are in range and counts agree.
     pub fn new(features: Matrix, labels: Vec<usize>, classes: usize) -> Self {
-        assert_eq!(features.rows(), labels.len(), "one label per feature row required");
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "one label per feature row required"
+        );
         assert!(classes > 0, "need at least one class");
         assert!(
             labels.iter().all(|&l| l < classes),
             "labels must be smaller than the class count"
         );
-        Dataset { features, labels, classes }
+        Dataset {
+            features,
+            labels,
+            classes,
+        }
     }
 
     /// An empty dataset with the given feature dimension and class count.
     pub fn empty(feature_dim: usize, classes: usize) -> Self {
-        Dataset { features: Matrix::zeros(0, feature_dim), labels: Vec::new(), classes }
+        Dataset {
+            features: Matrix::zeros(0, feature_dim),
+            labels: Vec::new(),
+            classes,
+        }
     }
 
     /// Number of samples.
@@ -83,7 +95,11 @@ impl Dataset {
     /// Concatenates two datasets over the same task.
     pub fn merge(&self, other: &Dataset) -> Dataset {
         assert_eq!(self.classes, other.classes, "class count mismatch");
-        assert_eq!(self.feature_dim(), other.feature_dim(), "feature dimension mismatch");
+        assert_eq!(
+            self.feature_dim(),
+            other.feature_dim(),
+            "feature dimension mismatch"
+        );
         let mut rows: Vec<Vec<f32>> = Vec::with_capacity(self.len() + other.len());
         for i in 0..self.len() {
             rows.push(self.features.row(i).to_vec());
@@ -93,16 +109,27 @@ impl Dataset {
         }
         let mut labels = self.labels.clone();
         labels.extend_from_slice(&other.labels);
-        let features =
-            if rows.is_empty() { Matrix::zeros(0, self.feature_dim()) } else { Matrix::from_rows(&rows) };
-        Dataset { features, labels, classes: self.classes }
+        let features = if rows.is_empty() {
+            Matrix::zeros(0, self.feature_dim())
+        } else {
+            Matrix::from_rows(&rows)
+        };
+        Dataset {
+            features,
+            labels,
+            classes: self.classes,
+        }
     }
 
     /// Shuffled mini-batches of at most `batch_size` samples.
     ///
     /// The last batch may be smaller. Batching a dataset with fewer samples
     /// than `batch_size` yields a single batch with everything.
-    pub fn batches<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Vec<(Matrix, Vec<usize>)> {
+    pub fn batches<R: Rng + ?Sized>(
+        &self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<(Matrix, Vec<usize>)> {
         assert!(batch_size > 0, "batch size must be positive");
         if self.is_empty() {
             return Vec::new();

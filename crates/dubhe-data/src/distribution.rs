@@ -26,12 +26,17 @@ impl ClassDistribution {
     /// A distribution with zero samples in each of `classes` classes.
     pub fn empty(classes: usize) -> Self {
         assert!(classes > 0, "a distribution needs at least one class");
-        ClassDistribution { counts: vec![0; classes] }
+        ClassDistribution {
+            counts: vec![0; classes],
+        }
     }
 
     /// Builds a distribution from per-class counts.
     pub fn from_counts(counts: Vec<u64>) -> Self {
-        assert!(!counts.is_empty(), "a distribution needs at least one class");
+        assert!(
+            !counts.is_empty(),
+            "a distribution needs at least one class"
+        );
         ClassDistribution { counts }
     }
 
@@ -75,7 +80,12 @@ impl ClassDistribution {
     pub fn add(&self, other: &ClassDistribution) -> ClassDistribution {
         assert_eq!(self.classes(), other.classes(), "class count mismatch");
         ClassDistribution {
-            counts: self.counts.iter().zip(&other.counts).map(|(a, b)| a + b).collect(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 
@@ -85,7 +95,10 @@ impl ClassDistribution {
         if total == 0 {
             return vec![0.0; self.classes()];
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 
     /// The uniform proportion vector `p_u` with `1/C` per class.
@@ -117,7 +130,10 @@ impl ClassDistribution {
 
     /// EMD between this distribution's proportions and the uniform distribution.
     pub fn emd_to_uniform(&self) -> f64 {
-        l1_distance(&self.proportions(), &Self::uniform_proportions(self.classes()))
+        l1_distance(
+            &self.proportions(),
+            &Self::uniform_proportions(self.classes()),
+        )
     }
 
     /// KL divergence `KL(self ‖ uniform)`, the quantity the greedy baseline
@@ -182,7 +198,10 @@ pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
 /// selected client set (all clients weigh equally because FedVC equalises their
 /// sample counts).
 pub fn mean_proportions(distributions: &[Vec<f64>]) -> Vec<f64> {
-    assert!(!distributions.is_empty(), "cannot average zero distributions");
+    assert!(
+        !distributions.is_empty(),
+        "cannot average zero distributions"
+    );
     let len = distributions[0].len();
     let mut out = vec![0.0; len];
     for d in distributions {
@@ -226,9 +245,17 @@ mod tests {
 
     #[test]
     fn imbalance_ratio_cases() {
-        assert_eq!(ClassDistribution::from_counts(vec![10, 10]).imbalance_ratio(), 1.0);
-        assert_eq!(ClassDistribution::from_counts(vec![100, 10]).imbalance_ratio(), 10.0);
-        assert!(ClassDistribution::from_counts(vec![5, 0]).imbalance_ratio().is_infinite());
+        assert_eq!(
+            ClassDistribution::from_counts(vec![10, 10]).imbalance_ratio(),
+            1.0
+        );
+        assert_eq!(
+            ClassDistribution::from_counts(vec![100, 10]).imbalance_ratio(),
+            10.0
+        );
+        assert!(ClassDistribution::from_counts(vec![5, 0])
+            .imbalance_ratio()
+            .is_infinite());
         assert_eq!(ClassDistribution::empty(3).imbalance_ratio(), 1.0);
     }
 
@@ -236,7 +263,10 @@ mod tests {
     fn emd_bounds_and_symmetry() {
         let a = ClassDistribution::from_counts(vec![10, 0]);
         let b = ClassDistribution::from_counts(vec![0, 10]);
-        assert!((a.emd(&b) - 2.0).abs() < 1e-12, "disjoint distributions have EMD 2");
+        assert!(
+            (a.emd(&b) - 2.0).abs() < 1e-12,
+            "disjoint distributions have EMD 2"
+        );
         assert_eq!(a.emd(&a), 0.0);
         assert_eq!(a.emd(&b), b.emd(&a));
     }

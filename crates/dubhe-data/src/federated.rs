@@ -80,7 +80,10 @@ pub struct FederatedSpec {
 impl FederatedSpec {
     /// The group-1 configuration of the paper (MNIST / CIFAR10, N = 1000).
     pub fn group1(family: DatasetFamily, rho: f64, emd_avg: f64) -> Self {
-        assert!(family != DatasetFamily::FemnistLike, "group 1 is MNIST/CIFAR10");
+        assert!(
+            family != DatasetFamily::FemnistLike,
+            "group 1 is MNIST/CIFAR10"
+        );
         FederatedSpec {
             family,
             rho,
@@ -126,7 +129,11 @@ impl FederatedSpec {
             target_emd: self.emd_avg,
         };
         let partition = partition_clients(&global, &cfg, rng);
-        FederatedPartition { spec: *self, global, partition }
+        FederatedPartition {
+            spec: *self,
+            global,
+            partition,
+        }
     }
 
     /// Builds the full dataset: client feature data plus a balanced test set.
@@ -140,7 +147,11 @@ impl FederatedSpec {
             .map(|c| generate_dataset(&synth, &c.distribution, rng))
             .collect();
         let test = generate_balanced_test_set(&synth, self.test_samples_per_class, rng);
-        FederatedDataset { partition, client_data, test }
+        FederatedDataset {
+            partition,
+            client_data,
+            test,
+        }
     }
 }
 
@@ -158,7 +169,11 @@ pub struct FederatedPartition {
 impl FederatedPartition {
     /// Per-client label distributions in client order.
     pub fn client_distributions(&self) -> Vec<ClassDistribution> {
-        self.partition.clients.iter().map(|c| c.distribution.clone()).collect()
+        self.partition
+            .clients
+            .iter()
+            .map(|c| c.distribution.clone())
+            .collect()
     }
 
     /// The client partitions.

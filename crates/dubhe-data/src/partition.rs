@@ -81,7 +81,10 @@ pub fn partition_clients<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Partition {
     assert!(config.clients > 0, "need at least one client");
-    assert!(config.samples_per_client > 0, "clients need at least one sample");
+    assert!(
+        config.samples_per_client > 0,
+        "clients need at least one sample"
+    );
     assert!(config.target_emd >= 0.0, "EMD cannot be negative");
     let max_emd = max_achievable_emd(global);
     assert!(
@@ -93,7 +96,11 @@ pub fn partition_clients<R: Rng + ?Sized>(
 
     let p_g = global.proportions();
     let classes = global.classes();
-    let alpha = if max_emd == 0.0 { 0.0 } else { config.target_emd / max_emd };
+    let alpha = if max_emd == 0.0 {
+        0.0
+    } else {
+        config.target_emd / max_emd
+    };
 
     // Cumulative distribution for anchor-class sampling.
     let mut cumulative = Vec::with_capacity(classes);
@@ -107,7 +114,10 @@ pub fn partition_clients<R: Rng + ?Sized>(
     let mut emd_sum = 0.0;
     for client_id in 0..config.clients {
         let u: f64 = rng.gen();
-        let anchor_class = cumulative.iter().position(|&c| u <= c).unwrap_or(classes - 1);
+        let anchor_class = cumulative
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(classes - 1);
         // Mixture proportions for this client.
         let mix: Vec<f64> = (0..classes)
             .map(|j| {
@@ -123,10 +133,18 @@ pub fn partition_clients<R: Rng + ?Sized>(
         };
         let distribution = ClassDistribution::from_counts(counts);
         emd_sum += distribution.emd(global);
-        clients.push(ClientPartition { client_id, anchor_class, distribution });
+        clients.push(ClientPartition {
+            client_id,
+            anchor_class,
+            distribution,
+        });
     }
 
-    Partition { clients, alpha, achieved_emd: emd_sum / config.clients as f64 }
+    Partition {
+        clients,
+        alpha,
+        achieved_emd: emd_sum / config.clients as f64,
+    }
 }
 
 /// Largest-remainder rounding that allows zero-count classes (client datasets
@@ -156,7 +174,11 @@ fn proportions_to_counts_allowing_zero(proportions: &[f64], total: u64) -> Vec<u
 /// classes first, one sample each, weighted by proportion.
 fn top_heavy_counts(proportions: &[f64], total: u64) -> Vec<u64> {
     let mut order: Vec<usize> = (0..proportions.len()).collect();
-    order.sort_by(|&a, &b| proportions[b].partial_cmp(&proportions[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        proportions[b]
+            .partial_cmp(&proportions[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut counts = vec![0u64; proportions.len()];
     let mut remaining = total;
     // Give the anchor class the bulk, then spread singles.
@@ -181,7 +203,11 @@ pub fn average_emd(clients: &[ClientPartition], global: &ClassDistribution) -> f
     if clients.is_empty() {
         return 0.0;
     }
-    clients.iter().map(|c| c.distribution.emd(global)).sum::<f64>() / clients.len() as f64
+    clients
+        .iter()
+        .map(|c| c.distribution.emd(global))
+        .sum::<f64>()
+        / clients.len() as f64
 }
 
 #[cfg(test)]
@@ -197,7 +223,11 @@ mod tests {
     #[test]
     fn zero_emd_clients_match_global() {
         let global = global_distribution(10, 10.0, 100_000);
-        let cfg = PartitionConfig { clients: 50, samples_per_client: 1000, target_emd: 0.0 };
+        let cfg = PartitionConfig {
+            clients: 50,
+            samples_per_client: 1000,
+            target_emd: 0.0,
+        };
         let part = partition_clients(&global, &cfg, &mut rng());
         assert_eq!(part.clients.len(), 50);
         assert!(part.achieved_emd < 0.05, "achieved {}", part.achieved_emd);
@@ -210,7 +240,11 @@ mod tests {
     fn achieved_emd_tracks_target() {
         let global = global_distribution(10, 10.0, 100_000);
         for &target in &[0.5f64, 1.0, 1.5] {
-            let cfg = PartitionConfig { clients: 200, samples_per_client: 500, target_emd: target };
+            let cfg = PartitionConfig {
+                clients: 200,
+                samples_per_client: 500,
+                target_emd: target,
+            };
             let part = partition_clients(&global, &cfg, &mut rng());
             assert!(
                 (part.achieved_emd - target).abs() < 0.12,
@@ -223,7 +257,11 @@ mod tests {
     #[test]
     fn average_emd_helper_matches_partition_report() {
         let global = global_distribution(10, 5.0, 50_000);
-        let cfg = PartitionConfig { clients: 100, samples_per_client: 200, target_emd: 1.0 };
+        let cfg = PartitionConfig {
+            clients: 100,
+            samples_per_client: 200,
+            target_emd: 1.0,
+        };
         let part = partition_clients(&global, &cfg, &mut rng());
         let recomputed = average_emd(&part.clients, &global);
         assert!((recomputed - part.achieved_emd).abs() < 1e-9);
@@ -232,10 +270,14 @@ mod tests {
     #[test]
     fn anchor_classes_follow_global_distribution() {
         let global = global_distribution(10, 10.0, 100_000);
-        let cfg = PartitionConfig { clients: 5000, samples_per_client: 100, target_emd: 1.5 };
+        let cfg = PartitionConfig {
+            clients: 5000,
+            samples_per_client: 100,
+            target_emd: 1.5,
+        };
         let part = partition_clients(&global, &cfg, &mut rng());
         let p_g = global.proportions();
-        let mut anchor_counts = vec![0usize; 10];
+        let mut anchor_counts = [0usize; 10];
         for c in &part.clients {
             anchor_counts[c.anchor_class] += 1;
         }
@@ -244,7 +286,11 @@ mod tests {
         // far more clients than the least frequent one.
         for class in 0..10 {
             let frac = anchor_counts[class] as f64 / 5000.0;
-            assert!((frac - p_g[class]).abs() < 0.05, "class {class}: {frac} vs {}", p_g[class]);
+            assert!(
+                (frac - p_g[class]).abs() < 0.05,
+                "class {class}: {frac} vs {}",
+                p_g[class]
+            );
         }
         assert!(anchor_counts[0] > 3 * anchor_counts[9]);
     }
@@ -261,14 +307,22 @@ mod tests {
     #[should_panic(expected = "exceeds the achievable maximum")]
     fn unreachable_target_panics() {
         let global = ClassDistribution::from_counts(vec![100, 0, 0]);
-        let cfg = PartitionConfig { clients: 10, samples_per_client: 10, target_emd: 1.0 };
+        let cfg = PartitionConfig {
+            clients: 10,
+            samples_per_client: 10,
+            target_emd: 1.0,
+        };
         let _ = partition_clients(&global, &cfg, &mut rng());
     }
 
     #[test]
     fn tiny_clients_still_get_exact_sample_counts() {
         let global = global_distribution(52, 13.64, 100_000);
-        let cfg = PartitionConfig { clients: 100, samples_per_client: 20, target_emd: 0.554 };
+        let cfg = PartitionConfig {
+            clients: 100,
+            samples_per_client: 20,
+            target_emd: 0.554,
+        };
         let part = partition_clients(&global, &cfg, &mut rng());
         for c in &part.clients {
             assert_eq!(c.distribution.total(), 20);
@@ -278,7 +332,11 @@ mod tests {
     #[test]
     fn partition_is_deterministic_given_seed() {
         let global = global_distribution(10, 2.0, 10_000);
-        let cfg = PartitionConfig { clients: 20, samples_per_client: 50, target_emd: 1.0 };
+        let cfg = PartitionConfig {
+            clients: 20,
+            samples_per_client: 50,
+            target_emd: 1.0,
+        };
         let a = partition_clients(&global, &cfg, &mut rand::rngs::StdRng::seed_from_u64(7));
         let b = partition_clients(&global, &cfg, &mut rand::rngs::StdRng::seed_from_u64(7));
         assert_eq!(a.clients, b.clients);

@@ -48,7 +48,10 @@ pub fn proportions_to_counts(proportions: &[f64], total_samples: u64) -> Vec<u64
     let sum: f64 = proportions.iter().sum();
     assert!(sum > 0.0, "proportions must not all be zero");
 
-    let ideal: Vec<f64> = proportions.iter().map(|p| p / sum * total_samples as f64).collect();
+    let ideal: Vec<f64> = proportions
+        .iter()
+        .map(|p| p / sum * total_samples as f64)
+        .collect();
     let mut counts: Vec<u64> = ideal.iter().map(|v| v.floor().max(1.0) as u64).collect();
     let mut assigned: u64 = counts.iter().sum();
 

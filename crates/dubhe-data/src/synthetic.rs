@@ -39,19 +39,37 @@ impl SyntheticConfig {
     /// MNIST-like preset: 10 well-separated classes (the paper reaches ≈ 0.97
     /// test accuracy, so the substitute must be easy).
     pub fn mnist_like() -> Self {
-        SyntheticConfig { classes: 10, feature_dim: 32, separation: 4.0, noise_std: 1.0, mean_seed: 101 }
+        SyntheticConfig {
+            classes: 10,
+            feature_dim: 32,
+            separation: 4.0,
+            noise_std: 1.0,
+            mean_seed: 101,
+        }
     }
 
     /// CIFAR10-like preset: 10 heavily overlapping classes (the paper plateaus
     /// around 0.5–0.6 accuracy, so the substitute must be genuinely hard).
     pub fn cifar_like() -> Self {
-        SyntheticConfig { classes: 10, feature_dim: 32, separation: 1.1, noise_std: 1.0, mean_seed: 202 }
+        SyntheticConfig {
+            classes: 10,
+            feature_dim: 32,
+            separation: 1.1,
+            noise_std: 1.0,
+            mean_seed: 202,
+        }
     }
 
     /// FEMNIST-like preset: 52 letter classes of moderate difficulty
     /// (the paper reports 0.31–0.37 accuracy).
     pub fn femnist_like() -> Self {
-        SyntheticConfig { classes: 52, feature_dim: 48, separation: 1.3, noise_std: 1.0, mean_seed: 303 }
+        SyntheticConfig {
+            classes: 52,
+            feature_dim: 48,
+            separation: 1.3,
+            noise_std: 1.0,
+            mean_seed: 303,
+        }
     }
 
     /// The fixed class-mean matrix (`classes × feature_dim`), deterministic in
@@ -198,8 +216,14 @@ mod tests {
         };
         let mnist_acc = train_and_eval(SyntheticConfig::mnist_like(), 1);
         let cifar_acc = train_and_eval(SyntheticConfig::cifar_like(), 1);
-        assert!(mnist_acc > 0.85, "mnist-like should be easy, got {mnist_acc}");
-        assert!(cifar_acc < mnist_acc, "cifar-like ({cifar_acc}) must be harder than mnist-like ({mnist_acc})");
+        assert!(
+            mnist_acc > 0.85,
+            "mnist-like should be easy, got {mnist_acc}"
+        );
+        assert!(
+            cifar_acc < mnist_acc,
+            "cifar-like ({cifar_acc}) must be harder than mnist-like ({mnist_acc})"
+        );
     }
 
     #[test]

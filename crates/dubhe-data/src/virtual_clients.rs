@@ -49,14 +49,22 @@ pub fn virtualize<R: Rng + ?Sized>(
         if ds.len() < n_vc {
             // Duplicate cyclically.
             let repeated: Vec<usize> = (0..n_vc).map(|i| indices[i % indices.len()]).collect();
-            out.push(VirtualClient { id: out.len(), physical_id, dataset: ds.subset(&repeated) });
+            out.push(VirtualClient {
+                id: out.len(),
+                physical_id,
+                dataset: ds.subset(&repeated),
+            });
             continue;
         }
         let chunks = ds.len() / n_vc;
         for chunk in 0..chunks {
             let start = chunk * n_vc;
             let slice: Vec<usize> = indices[start..start + n_vc].to_vec();
-            out.push(VirtualClient { id: out.len(), physical_id, dataset: ds.subset(&slice) });
+            out.push(VirtualClient {
+                id: out.len(),
+                physical_id,
+                dataset: ds.subset(&slice),
+            });
         }
     }
     out

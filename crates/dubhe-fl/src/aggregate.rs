@@ -40,26 +40,46 @@ mod tests {
     use super::*;
 
     fn update(id: usize, weights: Vec<f32>, samples: usize) -> LocalUpdate {
-        LocalUpdate { client_id: id, weights, samples, mean_loss: 0.0 }
+        LocalUpdate {
+            client_id: id,
+            weights,
+            samples,
+            mean_loss: 0.0,
+        }
     }
 
     #[test]
     fn uniform_aggregation_ignores_sample_counts() {
-        let updates = vec![update(0, vec![0.0, 0.0], 1000), update(1, vec![2.0, 4.0], 1)];
-        assert_eq!(aggregate(&updates, Aggregation::FedVcUniform), vec![1.0, 2.0]);
+        let updates = vec![
+            update(0, vec![0.0, 0.0], 1000),
+            update(1, vec![2.0, 4.0], 1),
+        ];
+        assert_eq!(
+            aggregate(&updates, Aggregation::FedVcUniform),
+            vec![1.0, 2.0]
+        );
     }
 
     #[test]
     fn weighted_aggregation_respects_sample_counts() {
         let updates = vec![update(0, vec![0.0, 0.0], 3), update(1, vec![4.0, 4.0], 1)];
-        assert_eq!(aggregate(&updates, Aggregation::FedAvgWeighted), vec![1.0, 1.0]);
+        assert_eq!(
+            aggregate(&updates, Aggregation::FedAvgWeighted),
+            vec![1.0, 1.0]
+        );
     }
 
     #[test]
     fn single_update_is_identity() {
         let updates = vec![update(0, vec![1.5, -2.5], 10)];
-        assert_eq!(aggregate(&updates, Aggregation::FedVcUniform), vec![1.5, -2.5]);
-        assert_eq!(aggregate(&updates, Aggregation::FedAvgWeighted), vec![1.5, -2.5]);
+        assert_eq!(
+            aggregate(&updates, Aggregation::FedVcUniform),
+            vec![1.5, -2.5]
+        );
+        assert_eq!(
+            aggregate(&updates, Aggregation::FedAvgWeighted),
+            vec![1.5, -2.5]
+        );
     }
 
     #[test]

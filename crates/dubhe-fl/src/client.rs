@@ -1,9 +1,10 @@
 //! A federated client: a fixed local dataset plus the local-training step.
 
 use dubhe_data::{ClassDistribution, Dataset};
+use dubhe_he::{EncryptedVector, FixedPointCodec, PrecomputedEncryptor};
 use dubhe_ml::{Adam, Optimizer, Sequential, Sgd};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Which local optimizer clients use. The paper's clients run Adam with
@@ -51,12 +52,20 @@ pub struct LocalTrainingConfig {
 impl LocalTrainingConfig {
     /// The paper's group-1 settings (`B = 8`, `E = 1`).
     pub fn group1() -> Self {
-        LocalTrainingConfig { epochs: 1, batch_size: 8, optimizer: LocalOptimizer::paper_default() }
+        LocalTrainingConfig {
+            epochs: 1,
+            batch_size: 8,
+            optimizer: LocalOptimizer::paper_default(),
+        }
     }
 
     /// The paper's group-2 settings (`B = 8`, `E = 5`).
     pub fn group2() -> Self {
-        LocalTrainingConfig { epochs: 5, batch_size: 8, optimizer: LocalOptimizer::paper_default() }
+        LocalTrainingConfig {
+            epochs: 5,
+            batch_size: 8,
+            optimizer: LocalOptimizer::paper_default(),
+        }
     }
 }
 
@@ -94,6 +103,22 @@ impl FlClient {
         self.dataset.class_distribution()
     }
 
+    /// Encrypts the client's scaled label distribution under the epoch key —
+    /// what a tentatively selected client sends the server during secure
+    /// multi-time selection (§5.3.1).
+    ///
+    /// Takes the epoch's shared [`PrecomputedEncryptor`] so all `≈ H·K`
+    /// encryptions of a round reuse one fixed-base table.
+    pub fn encrypt_distribution<R: Rng + ?Sized>(
+        &self,
+        codec: &FixedPointCodec,
+        encryptor: &PrecomputedEncryptor,
+        rng: &mut R,
+    ) -> EncryptedVector {
+        let scaled = codec.encode_vec(&self.distribution().proportions());
+        EncryptedVector::encrypt_u64_with(encryptor, &scaled, rng)
+    }
+
     /// Runs local training starting from the broadcast global weights.
     ///
     /// `round_seed` makes batching deterministic per (round, client) pair so
@@ -107,7 +132,9 @@ impl FlClient {
         assert!(config.epochs > 0, "need at least one local epoch");
         let mut model = global_model.clone();
         let mut optimizer = config.optimizer.build();
-        let mut rng = StdRng::seed_from_u64(round_seed ^ (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(
+            round_seed ^ (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let mut total_loss = 0.0f32;
         let mut batches_seen = 0usize;
         for _ in 0..config.epochs {
@@ -120,7 +147,11 @@ impl FlClient {
             client_id: self.id,
             weights: model.get_weights(),
             samples: self.dataset.len(),
-            mean_loss: if batches_seen == 0 { 0.0 } else { total_loss / batches_seen as f32 },
+            mean_loss: if batches_seen == 0 {
+                0.0
+            } else {
+                total_loss / batches_seen as f32
+            },
         }
     }
 }
@@ -128,13 +159,34 @@ impl FlClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dubhe_he::Keypair;
+
+    #[test]
+    fn encrypted_distribution_decrypts_to_the_scaled_proportions() {
+        let client = client_with(vec![12, 4, 4, 0, 0, 0, 0, 0, 0, 0], 0);
+        let mut rng = StdRng::seed_from_u64(41);
+        let (pk, sk) = Keypair::generate(256, &mut rng).split();
+        let encryptor = PrecomputedEncryptor::new(&pk, &mut rng);
+        let codec = FixedPointCodec::default();
+        let encrypted = client.encrypt_distribution(&codec, &encryptor, &mut rng);
+        let decrypted = codec.decode_vec(&encrypted.decrypt_u64(&sk));
+        for (d, p) in decrypted.iter().zip(client.distribution().proportions()) {
+            assert!(
+                (d - p).abs() <= codec.max_error(),
+                "decrypted {d} vs plaintext {p}"
+            );
+        }
+    }
     use dubhe_data::{generate_dataset, ClassDistribution as CD, SyntheticConfig};
     use dubhe_ml::prelude::*;
 
     fn client_with(counts: Vec<u64>, id: usize) -> FlClient {
         let cfg = SyntheticConfig::mnist_like();
         let mut rng = StdRng::seed_from_u64(id as u64 + 1);
-        FlClient::new(id, generate_dataset(&cfg, &CD::from_counts(counts), &mut rng))
+        FlClient::new(
+            id,
+            generate_dataset(&cfg, &CD::from_counts(counts), &mut rng),
+        )
     }
 
     fn model() -> Sequential {
@@ -171,13 +223,19 @@ mod tests {
         let b = client.local_train(&global, &cfg, 42);
         assert_eq!(a.weights, b.weights);
         let c = client.local_train(&global, &cfg, 43);
-        assert_ne!(a.weights, c.weights, "different round seeds shuffle differently");
+        assert_ne!(
+            a.weights, c.weights,
+            "different round seeds shuffle differently"
+        );
     }
 
     #[test]
     fn distribution_reflects_local_data() {
         let client = client_with(vec![3, 0, 7, 0, 0, 0, 0, 0, 0, 0], 5);
-        assert_eq!(client.distribution().counts(), &[3, 0, 7, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            client.distribution().counts(),
+            &[3, 0, 7, 0, 0, 0, 0, 0, 0, 0]
+        );
     }
 
     #[test]

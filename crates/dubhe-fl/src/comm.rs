@@ -87,6 +87,17 @@ pub fn model_update_bytes(param_count: usize) -> usize {
     param_count * std::mem::size_of::<f32>()
 }
 
+/// Ciphertext bytes of one element-wise encrypted vector of `len` slots under
+/// a `key_bits` Paillier key (each slot is one raw ciphertext, sized by
+/// `dubhe-he`'s transport model).
+///
+/// Used to charge registry transfers (length = registry size) and multi-time
+/// distribution transfers (length = class count) to the ledger without
+/// materialising the ciphertexts inside the simulator.
+pub fn encrypted_vector_bytes(len: usize, key_bits: u64) -> usize {
+    len * dubhe_he::transport::ciphertext_size_bytes_for(key_bits)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +136,15 @@ mod tests {
     fn model_bytes_scale_with_parameters() {
         assert_eq!(model_update_bytes(1_000), 4_000);
         assert_eq!(model_update_bytes(0), 0);
+    }
+
+    #[test]
+    fn encrypted_vector_bytes_match_the_paper_scale() {
+        // A length-56 registry under 2048-bit keys: 56 x 512 B = 28.7 KB,
+        // the right ballpark for the paper's reported 29.6-31.3 KB.
+        let bytes = encrypted_vector_bytes(56, 2048);
+        assert_eq!(bytes, 56 * 512);
+        assert!(bytes > 28_000 && bytes < 32_000);
     }
 
     #[test]

@@ -81,7 +81,8 @@ pub struct DivergenceTrace {
 impl DivergenceTrace {
     /// Records one round's divergence.
     pub fn record(&mut self, federated_weights: &[f32], reference_weights: &[f32]) {
-        self.divergence.push(weight_distance(federated_weights, reference_weights));
+        self.divergence
+            .push(weight_distance(federated_weights, reference_weights));
     }
 
     /// The final divergence value.
@@ -142,12 +143,31 @@ mod tests {
 
     #[test]
     fn dispersion_is_zero_for_identical_updates_and_positive_otherwise() {
-        let a = LocalUpdate { client_id: 0, weights: vec![1.0, 1.0], samples: 1, mean_loss: 0.0 };
-        let b = LocalUpdate { client_id: 1, weights: vec![1.0, 1.0], samples: 1, mean_loss: 0.0 };
+        let a = LocalUpdate {
+            client_id: 0,
+            weights: vec![1.0, 1.0],
+            samples: 1,
+            mean_loss: 0.0,
+        };
+        let b = LocalUpdate {
+            client_id: 1,
+            weights: vec![1.0, 1.0],
+            samples: 1,
+            mean_loss: 0.0,
+        };
         assert_eq!(update_dispersion(&[a.clone(), b.clone()]), 0.0);
-        let c = LocalUpdate { client_id: 2, weights: vec![2.0, 1.0], samples: 1, mean_loss: 0.0 };
+        let c = LocalUpdate {
+            client_id: 2,
+            weights: vec![2.0, 1.0],
+            samples: 1,
+            mean_loss: 0.0,
+        };
         assert!(update_dispersion(&[a.clone(), c]) > 0.0);
-        assert_eq!(update_dispersion(&[a]), 0.0, "fewer than two updates has no dispersion");
+        assert_eq!(
+            update_dispersion(&[a]),
+            0.0,
+            "fewer than two updates has no dispersion"
+        );
     }
 
     #[test]

@@ -65,8 +65,7 @@ impl History {
     /// rounds.
     pub fn average_accuracy_last(&self, n: usize) -> Option<f64> {
         assert!(n > 0, "need at least one round to average");
-        let evaluated: Vec<f64> =
-            self.rounds.iter().filter_map(|r| r.test_accuracy).collect();
+        let evaluated: Vec<f64> = self.rounds.iter().filter_map(|r| r.test_accuracy).collect();
         if evaluated.is_empty() {
             return None;
         }
@@ -79,7 +78,11 @@ impl History {
         if self.rounds.is_empty() {
             return 0.0;
         }
-        self.rounds.iter().map(|r| r.population_unbiasedness).sum::<f64>() / self.rounds.len() as f64
+        self.rounds
+            .iter()
+            .map(|r| r.population_unbiasedness)
+            .sum::<f64>()
+            / self.rounds.len() as f64
     }
 }
 
@@ -113,7 +116,11 @@ mod tests {
     fn last_n_average_uses_evaluated_rounds_only() {
         let mut h = History::new();
         for i in 0..10 {
-            let acc = if i % 2 == 0 { Some(i as f64 / 10.0) } else { None };
+            let acc = if i % 2 == 0 {
+                Some(i as f64 / 10.0)
+            } else {
+                None
+            };
             h.push(record(i, acc, 1.0));
         }
         // Evaluated accuracies: 0.0, 0.2, 0.4, 0.6, 0.8; last 2 -> 0.7.

@@ -95,18 +95,28 @@ mod tests {
                 config,
             );
             let history = sim.run();
-            (history.final_accuracy().unwrap(), history.mean_unbiasedness())
+            (
+                history.final_accuracy().unwrap(),
+                history.mean_unbiasedness(),
+            )
         };
 
         let (random_acc, random_unb) = run(Box::new(RandomSelector::new(60, 20)));
-        let (dubhe_acc, dubhe_unb) = run(Box::new(DubheSelector::new(&dists, DubheConfig::group1())));
+        let (dubhe_acc, dubhe_unb) =
+            run(Box::new(DubheSelector::new(&dists, DubheConfig::group1())));
         let (greedy_acc, greedy_unb) = run(Box::new(GreedySelector::new(&dists, 20)));
 
-        assert!(dubhe_unb < random_unb, "Dubhe ({dubhe_unb:.3}) vs random ({random_unb:.3})");
+        assert!(
+            dubhe_unb < random_unb,
+            "Dubhe ({dubhe_unb:.3}) vs random ({random_unb:.3})"
+        );
         assert!(greedy_unb <= dubhe_unb + 0.05);
         // Accuracy ordering is noisy at this scale; only require that the
         // balanced selectors are not substantially worse than random.
-        assert!(dubhe_acc > random_acc - 0.1, "dubhe {dubhe_acc} vs random {random_acc}");
+        assert!(
+            dubhe_acc > random_acc - 0.1,
+            "dubhe {dubhe_acc} vs random {random_acc}"
+        );
         assert!(greedy_acc > random_acc - 0.1);
     }
 }

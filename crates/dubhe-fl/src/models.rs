@@ -12,7 +12,10 @@ use rand::SeedableRng;
 
 /// A two-hidden-layer MLP: `features → hidden → hidden/2 → classes`.
 pub fn mlp(features: usize, hidden: usize, classes: usize, seed: u64) -> Sequential {
-    assert!(features > 0 && hidden >= 2 && classes > 0, "invalid MLP dimensions");
+    assert!(
+        features > 0 && hidden >= 2 && classes > 0,
+        "invalid MLP dimensions"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     Sequential::new(vec![
         Dense::new(features, hidden, &mut rng).boxed(),
@@ -36,7 +39,10 @@ pub fn small_mlp(features: usize, classes: usize, seed: u64) -> Sequential {
 /// A small convolutional network treating the `height × width` feature vector
 /// as a one-channel image — the stand-in for the paper's CNN models.
 pub fn small_cnn(height: usize, width: usize, classes: usize, seed: u64) -> Sequential {
-    assert!(height >= 3 && width >= 3, "input too small for a 3x3 convolution");
+    assert!(
+        height >= 3 && width >= 3,
+        "input too small for a 3x3 convolution"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let conv = Conv2d::new(1, 4, 3, height, width, 1, &mut rng);
     let conv_out = conv.output_len();

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::aggregate::{aggregate, Aggregation};
 use crate::client::{FlClient, LocalTrainingConfig};
-use crate::comm::{model_update_bytes, CommLedger, RoundComm};
+use crate::comm::{encrypted_vector_bytes, model_update_bytes, CommLedger, RoundComm};
 use crate::history::{History, RoundRecord};
 
 /// Run-level configuration of a federated simulation.
@@ -78,7 +78,10 @@ impl FlSimulation {
         selector: Box<dyn ClientSelector>,
         config: SimulationConfig,
     ) -> Self {
-        assert!(!clients.is_empty(), "a federation needs at least one client");
+        assert!(
+            !clients.is_empty(),
+            "a federation needs at least one client"
+        );
         assert!(!test.is_empty(), "the test set must not be empty");
         assert_eq!(
             selector.population(),
@@ -140,7 +143,8 @@ impl FlSimulation {
 
     /// Runs one round and returns its record.
     pub fn run_round(&mut self, round: usize) -> RoundRecord {
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(round as u64 * 0x5851_F42D));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed.wrapping_add(round as u64 * 0x5851_F42D));
 
         // 1. Client selection (optionally multi-time, §5.3.1).
         let selected = if self.config.multi_time_h > 1 {
@@ -154,7 +158,10 @@ impl FlSimulation {
         } else {
             self.selector.select(&mut rng)
         };
-        assert!(!selected.is_empty(), "selector returned an empty participant set");
+        assert!(
+            !selected.is_empty(),
+            "selector returned an empty participant set"
+        );
 
         // 2. Broadcast + local training (parallel across clients).
         let round_seed = self.config.seed ^ (round as u64);
@@ -178,9 +185,12 @@ impl FlSimulation {
 
         // 4. Evaluation and bookkeeping.
         let evaluate =
-            round % self.config.eval_every == 0 || round + 1 == self.config.rounds;
+            round.is_multiple_of(self.config.eval_every) || round + 1 == self.config.rounds;
         let test_accuracy = if evaluate {
-            Some(self.global_model.accuracy(self.test.features(), self.test.labels()))
+            Some(
+                self.global_model
+                    .accuracy(self.test.features(), self.test.labels()),
+            )
         } else {
             None
         };
@@ -191,19 +201,39 @@ impl FlSimulation {
             updates.iter().map(|u| u.mean_loss).sum::<f32>() / updates.len() as f32;
 
         let k = selected.len();
+        // Registration happens once (round 0) for selectors with a registry
+        // epoch; its ciphertext cost is N encrypted registries under the
+        // paper's 2048-bit keys. Multi-time selection moves ≈ H·K encrypted
+        // class distributions per round.
+        let registry_len = self.selector.registry_len();
+        let registration_round = round == 0 && registry_len.is_some();
+        let registry_ct_bytes = registry_len
+            .map(|len| encrypted_vector_bytes(len, dubhe_he::PAPER_KEY_BITS))
+            .unwrap_or(0);
+        let classes = p_o.len();
+        let multi_time_messages = if self.config.multi_time_h > 1 {
+            self.config.multi_time_h * k
+        } else {
+            0
+        };
+        let multi_time_ct_bytes = if registry_len.is_some() {
+            multi_time_messages * encrypted_vector_bytes(classes, dubhe_he::PAPER_KEY_BITS)
+        } else {
+            0
+        };
         self.ledger.record(RoundComm {
             check_in_messages: k,
-            registration_messages: if round == 0 && self.selector.name() == "Dubhe" {
+            registration_messages: if registration_round {
                 self.clients.len()
             } else {
                 0
             },
-            multi_time_messages: if self.config.multi_time_h > 1 {
-                self.config.multi_time_h * k
+            multi_time_messages,
+            ciphertext_bytes: if registration_round {
+                self.clients.len() * registry_ct_bytes + multi_time_ct_bytes
             } else {
-                0
+                multi_time_ct_bytes
             },
-            ciphertext_bytes: 0,
             model_bytes: 2 * k * model_update_bytes(self.global_model.param_count()),
         });
 

@@ -20,6 +20,10 @@ use crate::keys::PublicKey;
 /// These are exactly the operations the Dubhe server performs on registries and
 /// on encrypted label distributions: it can *sum* contributions but can never
 /// read them.
+///
+/// The stored key is a shared [`PublicKey`] *handle* — one `Arc` pointer, not
+/// an owned copy of the modulus — so a vector of ciphertexts stores its key
+/// material exactly once.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Ciphertext {
     value: BigUint,
@@ -44,7 +48,7 @@ impl Ciphertext {
     }
 
     fn check_same_key(&self, other: &Ciphertext) -> Result<(), HeError> {
-        if self.public.n != other.public.n {
+        if !self.public.same_key(&other.public) {
             Err(HeError::KeyMismatch)
         } else {
             Ok(())
@@ -54,19 +58,25 @@ impl Ciphertext {
     /// Homomorphic addition of two ciphertexts: `Dec(a ⊕ b) = Dec(a) + Dec(b) (mod n)`.
     pub fn add(&self, other: &Ciphertext) -> Result<Ciphertext, HeError> {
         self.check_same_key(other)?;
-        let value = (&self.value * &other.value) % &self.public.n_squared;
-        Ok(Ciphertext { value, public: self.public.clone() })
+        let value = (&self.value * &other.value) % self.public.n_squared();
+        Ok(Ciphertext {
+            value,
+            public: self.public.clone(),
+        })
     }
 
     /// Adds a plaintext constant to the encrypted value.
     pub fn add_plain(&self, plain: &BigUint) -> Result<Ciphertext, HeError> {
-        if plain >= &self.public.n {
+        if plain >= self.public.n() {
             return Err(HeError::PlaintextTooLarge);
         }
         // Multiplying by g^plain = (1 + plain·n) adds `plain` to the plaintext.
-        let g_to_m = (BigUint::one() + plain * &self.public.n) % &self.public.n_squared;
-        let value = (&self.value * g_to_m) % &self.public.n_squared;
-        Ok(Ciphertext { value, public: self.public.clone() })
+        let g_to_m = (BigUint::one() + plain * self.public.n()) % self.public.n_squared();
+        let value = (&self.value * g_to_m) % self.public.n_squared();
+        Ok(Ciphertext {
+            value,
+            public: self.public.clone(),
+        })
     }
 
     /// Adds a `u64` plaintext constant.
@@ -78,8 +88,11 @@ impl Ciphertext {
     /// Multiplies the encrypted value by a plaintext scalar:
     /// `Dec(cᵏ) = k · Dec(c) (mod n)`.
     pub fn mul_plain(&self, k: &BigUint) -> Ciphertext {
-        let value = self.value.modpow(k, &self.public.n_squared);
-        Ciphertext { value, public: self.public.clone() }
+        let value = self.value.modpow(k, self.public.n_squared());
+        Ciphertext {
+            value,
+            public: self.public.clone(),
+        }
     }
 
     /// Multiplies the encrypted value by a `u64` scalar.
@@ -92,9 +105,12 @@ impl Ciphertext {
     /// to the original — used when an agent forwards aggregated values.
     pub fn rerandomise<R: Rng + ?Sized>(&self, rng: &mut R) -> Ciphertext {
         let r = self.public.sample_randomness(rng);
-        let r_to_n = r.modpow(&self.public.n, &self.public.n_squared);
-        let value = (&self.value * r_to_n) % &self.public.n_squared;
-        Ciphertext { value, public: self.public.clone() }
+        let r_to_n = r.modpow(self.public.n(), self.public.n_squared());
+        let value = (&self.value * r_to_n) % self.public.n_squared();
+        Ciphertext {
+            value,
+            public: self.public.clone(),
+        }
     }
 
     /// Serialized byte length of the raw ciphertext (used by the overhead study).
@@ -189,7 +205,7 @@ mod tests {
     fn add_plain_rejects_oversized_plaintext() {
         let (pk, _sk, mut rng) = setup();
         let c = pk.encrypt_u64(1, &mut rng);
-        let too_big = pk.n.clone();
+        let too_big = pk.n().clone();
         assert_eq!(c.add_plain(&too_big), Err(HeError::PlaintextTooLarge));
     }
 
@@ -197,7 +213,10 @@ mod tests {
     fn sum_of_many_ciphertexts() {
         let (pk, sk, mut rng) = setup();
         let values: Vec<u64> = (0..25).collect();
-        let cts: Vec<_> = values.iter().map(|&v| pk.encrypt_u64(v, &mut rng)).collect();
+        let cts: Vec<_> = values
+            .iter()
+            .map(|&v| pk.encrypt_u64(v, &mut rng))
+            .collect();
         let total = sum_ciphertexts(&pk, &cts).unwrap();
         assert_eq!(sk.decrypt_u64(&total), values.iter().sum::<u64>());
     }
@@ -216,5 +235,20 @@ mod tests {
         // Ciphertext lives mod n², i.e. about 2 × key bits.
         let expected = (2 * crate::TEST_KEY_BITS as usize) / 8;
         assert!(c.byte_len() <= expected && c.byte_len() >= expected - 8);
+    }
+
+    #[test]
+    fn ciphertexts_share_the_key_handle() {
+        let (pk, _sk, mut rng) = setup();
+        let a = pk.encrypt_u64(1, &mut rng);
+        let b = pk.encrypt_u64(2, &mut rng);
+        // Cloning a ciphertext copies a pointer-sized key handle, not the
+        // multi-kilobit modulus: all ciphertexts alias one key allocation.
+        assert!(a.public_key().same_key(b.public_key()));
+        let c = a.clone();
+        assert!(std::ptr::eq(
+            c.public_key().n() as *const _,
+            a.public_key().n() as *const _,
+        ));
     }
 }

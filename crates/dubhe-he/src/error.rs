@@ -13,6 +13,9 @@ pub enum HeError {
     PlaintextTooLarge,
     /// A packed word would overflow its slot width.
     PackingOverflow { slot_bits: u32, value: u64 },
+    /// The packing slot width leaves no room for even one slot (plus the
+    /// overflow-headroom slot) in a plaintext of the given key size.
+    SlotTooWide { slot_bits: u32, key_bits: u64 },
     /// The requested key size is too small to be usable.
     KeyTooSmall { bits: u64, minimum: u64 },
     /// Decryption produced a value outside the expected signed range.
@@ -26,16 +29,35 @@ impl fmt::Display for HeError {
                 write!(f, "ciphertexts were produced under different public keys")
             }
             HeError::LengthMismatch { left, right } => {
-                write!(f, "encrypted vectors have different lengths: {left} vs {right}")
+                write!(
+                    f,
+                    "encrypted vectors have different lengths: {left} vs {right}"
+                )
             }
             HeError::PlaintextTooLarge => {
                 write!(f, "plaintext does not fit in the Paillier message space")
             }
             HeError::PackingOverflow { slot_bits, value } => {
-                write!(f, "value {value} does not fit in a {slot_bits}-bit packing slot")
+                write!(
+                    f,
+                    "value {value} does not fit in a {slot_bits}-bit packing slot"
+                )
+            }
+            HeError::SlotTooWide {
+                slot_bits,
+                key_bits,
+            } => {
+                write!(
+                    f,
+                    "{slot_bits}-bit slots do not fit into a {key_bits}-bit plaintext \
+                     (need at least one slot plus one slot of headroom)"
+                )
             }
             HeError::KeyTooSmall { bits, minimum } => {
-                write!(f, "key size {bits} bits is below the supported minimum {minimum}")
+                write!(
+                    f,
+                    "key size {bits} bits is below the supported minimum {minimum}"
+                )
             }
             HeError::SignedRangeOverflow => {
                 write!(f, "decrypted value falls outside the signed encoding range")
@@ -54,10 +76,23 @@ mod tests {
     fn display_messages_are_informative() {
         let e = HeError::LengthMismatch { left: 3, right: 5 };
         assert!(e.to_string().contains("3 vs 5"));
-        let e = HeError::PackingOverflow { slot_bits: 16, value: 70000 };
+        let e = HeError::PackingOverflow {
+            slot_bits: 16,
+            value: 70000,
+        };
         assert!(e.to_string().contains("70000"));
         assert!(HeError::KeyMismatch.to_string().contains("public keys"));
-        assert!(HeError::KeyTooSmall { bits: 8, minimum: 64 }.to_string().contains("minimum"));
+        assert!(HeError::KeyTooSmall {
+            bits: 8,
+            minimum: 64
+        }
+        .to_string()
+        .contains("minimum"));
+        let e = HeError::SlotTooWide {
+            slot_bits: 64,
+            key_bits: 64,
+        };
+        assert!(e.to_string().contains("64-bit slots"));
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub struct FixedPointCodec {
 
 impl Default for FixedPointCodec {
     fn default() -> Self {
-        FixedPointCodec { scale: DEFAULT_FIXED_SCALE }
+        FixedPointCodec {
+            scale: DEFAULT_FIXED_SCALE,
+        }
     }
 }
 
@@ -35,7 +37,10 @@ impl FixedPointCodec {
 
     /// Encodes a probability (or any non-negative real) as a scaled integer.
     pub fn encode(&self, value: f64) -> u64 {
-        assert!(value >= 0.0 && value.is_finite(), "value must be non-negative and finite");
+        assert!(
+            value >= 0.0 && value.is_finite(),
+            "value must be non-negative and finite"
+        );
         (value * self.scale as f64).round() as u64
     }
 
@@ -127,6 +132,8 @@ mod tests {
 
     #[test]
     fn max_error_shrinks_with_scale() {
-        assert!(FixedPointCodec::new(1_000_000).max_error() < FixedPointCodec::new(100).max_error());
+        assert!(
+            FixedPointCodec::new(1_000_000).max_error() < FixedPointCodec::new(100).max_error()
+        );
     }
 }

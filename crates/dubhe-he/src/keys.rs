@@ -11,53 +11,126 @@
 //! `p`, `q` of `n` for a ~4× speed-up compared to the textbook formula, exactly
 //! as production Paillier implementations (e.g. python-paillier used by the
 //! paper) do.
+//!
+//! ## Shared key handles
+//!
+//! A [`PublicKey`] is a cheap handle (`Arc` around the actual key material):
+//! cloning it — which every [`Ciphertext`] does — copies one pointer instead
+//! of two multi-kilobit integers. An encrypted length-`l` registry therefore
+//! stores the modulus once, not `l` times, which is what makes per-element
+//! ciphertext vectors affordable at production client counts.
+//!
+//! The handle also carries the lazily built fixed-base table behind
+//! [`PrecomputedEncryptor`](crate::PrecomputedEncryptor) (see [`crate::fast`]),
+//! so every consumer of the same key shares one table.
+
+use std::sync::{Arc, OnceLock};
 
 use num_bigint::{BigUint, RandBigInt};
 use num_integer::Integer;
-use num_traits::One;
+use num_traits::{One, Zero};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::ciphertext::Ciphertext;
 use crate::error::HeError;
+use crate::fast::FastBase;
 use crate::prime::{generate_prime_pair, mod_inverse};
 
 /// Minimum supported modulus size in bits.
 pub const MIN_KEY_BITS: u64 = 64;
+
+/// The actual public-key material, shared behind an [`Arc`] by every handle,
+/// ciphertext and vector produced under the key.
+#[derive(Debug)]
+pub(crate) struct PublicKeyInner {
+    /// The modulus `n = p·q`.
+    pub(crate) n: BigUint,
+    /// Cached `n²`, the ciphertext modulus.
+    pub(crate) n_squared: BigUint,
+    /// Number of bits in `n` (the nominal key size).
+    pub(crate) bits: u64,
+    /// Lazily built fixed-base table for precomputed encryption.
+    pub(crate) fast: OnceLock<FastBase>,
+}
 
 /// The public (encryption) half of a Paillier keypair.
 ///
 /// Everything a client needs to encrypt a registry, and everything the server
 /// needs to homomorphically add ciphertexts, is contained here. The server in
 /// Dubhe's honest-but-curious threat model holds *only* this key.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `PublicKey` is a shared handle: `clone()` is an `Arc` refcount bump, and
+/// equality first compares handle identity before falling back to comparing
+/// moduli.
+#[derive(Debug, Clone)]
 pub struct PublicKey {
-    /// The modulus `n = p·q`.
-    pub n: BigUint,
-    /// Cached `n²`, the ciphertext modulus.
-    pub n_squared: BigUint,
-    /// Number of bits in `n` (the nominal key size).
-    pub bits: u64,
+    inner: Arc<PublicKeyInner>,
 }
 
 impl PublicKey {
-    fn new(n: BigUint) -> Self {
+    pub(crate) fn new(n: BigUint) -> Self {
         let n_squared = &n * &n;
         let bits = n.bits();
-        PublicKey { n, n_squared, bits }
+        PublicKey {
+            inner: Arc::new(PublicKeyInner {
+                n,
+                n_squared,
+                bits,
+                fast: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// The modulus `n = p·q`.
+    pub fn n(&self) -> &BigUint {
+        &self.inner.n
+    }
+
+    /// The ciphertext modulus `n²`.
+    pub fn n_squared(&self) -> &BigUint {
+        &self.inner.n_squared
+    }
+
+    /// Number of bits in `n` (the nominal key size).
+    pub fn bits(&self) -> u64 {
+        self.inner.bits
+    }
+
+    /// `true` if both handles refer to the same key (pointer identity first,
+    /// modulus comparison as the slow path for deserialized copies).
+    pub fn same_key(&self, other: &PublicKey) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner.n == other.inner.n
+    }
+
+    /// The lazily initialised fixed-base table (built on first use with
+    /// randomness from `rng`, then shared by every handle to this key).
+    pub(crate) fn fast_base<R: Rng + ?Sized>(&self, rng: &mut R) -> &FastBase {
+        self.inner
+            .fast
+            .get_or_init(|| FastBase::new(&self.inner.n, &self.inner.n_squared, rng))
     }
 
     /// Half of the message space: plaintexts in `[0, n/2)` are non-negative,
     /// plaintexts in `(n/2, n)` encode negative values.
     pub fn signed_boundary(&self) -> BigUint {
-        &self.n >> 1u32
+        self.n() >> 1u32
     }
 
-    /// Encrypts an arbitrary-precision non-negative integer.
+    /// Encrypts an arbitrary-precision non-negative integer with textbook
+    /// `rⁿ` randomness.
+    ///
+    /// This is the reference path; bulk callers should prefer
+    /// [`PrecomputedEncryptor`](crate::PrecomputedEncryptor), which produces
+    /// identically decryptable ciphertexts several times faster.
     ///
     /// Returns [`HeError::PlaintextTooLarge`] if `m >= n`.
-    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Result<Ciphertext, HeError> {
-        if m >= &self.n {
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+    ) -> Result<Ciphertext, HeError> {
+        if m >= self.n() {
             return Err(HeError::PlaintextTooLarge);
         }
         let r = self.sample_randomness(rng);
@@ -72,12 +145,24 @@ impl PublicKey {
 
     /// Encrypts a signed integer using the `n/2` wrap-around convention.
     pub fn encrypt_i64<R: Rng + ?Sized>(&self, m: i64, rng: &mut R) -> Ciphertext {
-        let encoded = if m >= 0 {
+        let encoded = self.encode_i64(m);
+        self.encrypt(&encoded, rng)
+            .expect("encoded value is below n")
+    }
+
+    /// Maps a signed integer into the message space (`n/2` wrap-around).
+    pub(crate) fn encode_i64(&self, m: i64) -> BigUint {
+        if m >= 0 {
             BigUint::from(m as u64)
         } else {
-            &self.n - BigUint::from(m.unsigned_abs())
-        };
-        self.encrypt(&encoded, rng).expect("encoded value is below n")
+            self.n() - BigUint::from(m.unsigned_abs())
+        }
+    }
+
+    /// `g^m = (1 + n)^m = 1 + m·n (mod n²)` — the message component shared by
+    /// every encryption path.
+    pub(crate) fn g_to_m(&self, m: &BigUint) -> BigUint {
+        (BigUint::one() + m * self.n()) % self.n_squared()
     }
 
     /// Deterministic encryption with caller-provided randomness `r ∈ Z*_n`.
@@ -87,10 +172,9 @@ impl PublicKey {
     ///
     /// [`encrypt`]: PublicKey::encrypt
     pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
-        // g^m = (1 + n)^m = 1 + m·n (mod n²)
-        let g_to_m = (BigUint::one() + m * &self.n) % &self.n_squared;
-        let r_to_n = r.modpow(&self.n, &self.n_squared);
-        let value = (g_to_m * r_to_n) % &self.n_squared;
+        let g_to_m = self.g_to_m(m);
+        let r_to_n = r.modpow(self.n(), self.n_squared());
+        let value = (g_to_m * r_to_n) % self.n_squared();
         Ciphertext::from_raw(value, self.clone())
     }
 
@@ -103,22 +187,37 @@ impl PublicKey {
     /// Samples encryption randomness `r` uniformly from `Z*_n`.
     pub fn sample_randomness<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
         loop {
-            let r = rng.gen_biguint_below(&self.n);
-            if !r.is_zero_like() && r.gcd(&self.n).is_one() {
+            let r = rng.gen_biguint_below(self.n());
+            if !r.is_zero() && r.gcd(self.n()).is_one() {
                 return r;
             }
         }
     }
 }
 
-/// Small helper so `sample_randomness` reads naturally.
-trait ZeroLike {
-    fn is_zero_like(&self) -> bool;
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_key(other)
+    }
 }
-impl ZeroLike for BigUint {
-    fn is_zero_like(&self) -> bool {
-        use num_traits::Zero;
-        self.is_zero()
+
+impl Eq for PublicKey {}
+
+impl Serialize for PublicKey {
+    fn to_value(&self) -> Value {
+        // `n²`, `bits` and the fast-base table are all derived from `n`;
+        // serializing only the modulus keeps wire keys minimal.
+        Value::Object(vec![("n".to_string(), self.n().to_value())])
+    }
+}
+
+impl Deserialize for PublicKey {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let n = BigUint::from_value(serde::get_field(v, "n")?)?;
+        if n.is_zero() {
+            return Err(DeError::custom("public key modulus must be non-zero"));
+        }
+        Ok(PublicKey::new(n))
     }
 }
 
@@ -126,7 +225,7 @@ impl ZeroLike for BigUint {
 ///
 /// In Dubhe this key is dispatched by a randomly chosen *agent* client to all
 /// clients; the server never holds it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PrivateKey {
     /// The public key this private key belongs to.
     pub public: PublicKey,
@@ -146,12 +245,14 @@ pub struct PrivateKey {
     q_inv_p: BigUint,
 }
 
+impl Eq for PrivateKey {}
+
 impl PrivateKey {
     fn new(public: PublicKey, p: BigUint, q: BigUint) -> Self {
         let p_squared = &p * &p;
         let q_squared = &q * &q;
         let one = BigUint::one();
-        let g = &public.n + &one;
+        let g = public.n() + &one;
 
         let p_minus_1 = &p - &one;
         let q_minus_1 = &q - &one;
@@ -162,13 +263,21 @@ impl PrivateKey {
         let h_q = mod_inverse(&l_q, &q).expect("L_q invertible for valid key");
         let q_inv_p = mod_inverse(&(&q % &p), &p).expect("q invertible mod p");
 
-        PrivateKey { public, p, q, p_squared, q_squared, h_p, h_q, q_inv_p }
+        PrivateKey {
+            public,
+            p,
+            q,
+            p_squared,
+            q_squared,
+            h_p,
+            h_q,
+            q_inv_p,
+        }
     }
 
-    /// Decrypts a ciphertext to its arbitrary-precision plaintext in `[0, n)`.
-    pub fn decrypt(&self, ct: &Ciphertext) -> BigUint {
+    /// CRT decryption of a raw ciphertext value in `Z*_{n²}`.
+    fn decrypt_raw(&self, c: &BigUint) -> BigUint {
         let one = BigUint::one();
-        let c = ct.raw();
 
         // m_p = L_p(c^{p-1} mod p²) · h_p mod p
         let m_p = (l_function(&c.modpow(&(&self.p - &one), &self.p_squared), &self.p) * &self.h_p)
@@ -184,6 +293,32 @@ impl PrivateKey {
         };
         let t = (diff * &self.q_inv_p) % &self.p;
         m_q + &self.q * t
+    }
+
+    /// Decrypts a ciphertext to its arbitrary-precision plaintext in `[0, n)`.
+    pub fn decrypt(&self, ct: &Ciphertext) -> BigUint {
+        self.decrypt_raw(ct.raw())
+    }
+
+    /// Decrypts a batch of ciphertexts, fanning the per-element CRT
+    /// exponentiations out over all cores when the `parallel` feature is
+    /// enabled (it is by default).
+    ///
+    /// The CRT context (`h_p`, `h_q`, `q⁻¹ mod p`) is computed once per key at
+    /// construction and shared by every element, so batching has no redundant
+    /// setup; the win over a `decrypt` loop is pure parallelism.
+    pub fn decrypt_batch(&self, cts: &[Ciphertext]) -> Vec<BigUint> {
+        #[cfg(feature = "parallel")]
+        {
+            use rayon::prelude::*;
+            if cts.len() >= crate::vector::PARALLEL_THRESHOLD {
+                return cts
+                    .par_iter()
+                    .map(|ct| self.decrypt_raw(ct.raw()))
+                    .collect();
+            }
+        }
+        cts.iter().map(|ct| self.decrypt_raw(ct.raw())).collect()
     }
 
     /// Decrypts to `u64`, panicking if the plaintext does not fit. Registry
@@ -211,7 +346,7 @@ impl PrivateKey {
             };
             i64::try_from(v).map_err(|_| HeError::SignedRangeOverflow)
         } else {
-            let neg = &self.public.n - m;
+            let neg = self.public.n() - m;
             let digits = neg.to_u64_digits();
             let v = match digits.len() {
                 0 => 0u64,
@@ -291,7 +426,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
         let a = kp.public.encrypt_u64(5, &mut rng);
         let b = kp.public.encrypt_u64(5, &mut rng);
-        assert_ne!(a.raw(), b.raw(), "two encryptions of the same value must differ");
+        assert_ne!(
+            a.raw(),
+            b.raw(),
+            "two encryptions of the same value must differ"
+        );
         assert_eq!(kp.private.decrypt_u64(&a), kp.private.decrypt_u64(&b));
     }
 
@@ -309,8 +448,11 @@ mod tests {
     fn plaintext_larger_than_modulus_is_rejected() {
         let kp = keypair();
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);
-        let too_big = kp.public.n.clone() + BigUint::one();
-        assert_eq!(kp.public.encrypt(&too_big, &mut rng), Err(HeError::PlaintextTooLarge));
+        let too_big = kp.public.n().clone() + BigUint::one();
+        assert_eq!(
+            kp.public.encrypt(&too_big, &mut rng),
+            Err(HeError::PlaintextTooLarge)
+        );
     }
 
     #[test]
@@ -329,7 +471,7 @@ mod tests {
     #[test]
     fn signed_boundary_is_half_modulus() {
         let kp = keypair();
-        assert_eq!(kp.public.signed_boundary(), &kp.public.n >> 1u32);
+        assert_eq!(kp.public.signed_boundary(), kp.public.n() >> 1u32);
     }
 
     #[test]
@@ -341,5 +483,39 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(14);
         let ct = back.public.encrypt_u64(77, &mut rng);
         assert_eq!(kp.private.decrypt_u64(&ct), 77);
+    }
+
+    #[test]
+    fn cloned_handles_share_key_material() {
+        let kp = keypair();
+        let a = kp.public.clone();
+        let b = kp.public.clone();
+        assert!(a.same_key(&b));
+        // Handle clones are pointer copies, not key-material copies.
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+    }
+
+    #[test]
+    fn deserialized_key_equals_original_without_sharing_storage() {
+        let kp = keypair();
+        let json = serde_json::to_string(&kp.public).unwrap();
+        let back: PublicKey = serde_json::from_str(&json).unwrap();
+        assert!(!Arc::ptr_eq(&back.inner, &kp.public.inner));
+        assert_eq!(back, kp.public);
+        assert_eq!(back.n_squared(), kp.public.n_squared());
+        assert_eq!(back.bits(), kp.public.bits());
+    }
+
+    #[test]
+    fn batch_decrypt_matches_scalar_decrypt() {
+        let kp = keypair();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let cts: Vec<Ciphertext> = (0..40u64)
+            .map(|m| kp.public.encrypt_u64(m * 11, &mut rng))
+            .collect();
+        let batch = kp.private.decrypt_batch(&cts);
+        for (i, (ct, m)) in cts.iter().zip(&batch).enumerate() {
+            assert_eq!(&kp.private.decrypt(ct), m, "element {i} diverged");
+        }
     }
 }

@@ -10,11 +10,21 @@
 //! The crate provides:
 //!
 //! * [`Keypair`], [`PublicKey`], [`PrivateKey`] — key generation with
-//!   Miller–Rabin prime search and CRT-accelerated decryption.
+//!   Miller–Rabin prime search and CRT-accelerated (and batch-parallel)
+//!   decryption. `PublicKey` is a cheap shared handle: every ciphertext
+//!   references one key allocation instead of owning a copy.
+//! * [`PrecomputedEncryptor`] — the encryption hot path: per-key precomputed
+//!   `h = g₀ⁿ mod n²` with a windowed fixed-base power table, so ciphertext
+//!   randomness costs a short (256-bit) windowed exponentiation instead of a
+//!   full `rⁿ` (see [`fast`] for the construction and security argument).
+//!   [`EncryptedVector::encrypt_u64`] and the secure protocol use it by
+//!   default.
 //! * [`Ciphertext`] — a single encrypted value supporting `⊕` (ciphertext +
 //!   ciphertext), ciphertext + plaintext and ciphertext × plaintext-scalar.
 //! * [`EncryptedVector`] — element-wise encrypted integer vectors (the registry
-//!   and the encrypted label distribution `p_l` of the multi-time selection).
+//!   and the encrypted label distribution `p_l` of the multi-time selection),
+//!   with rayon-parallel encrypt/decrypt/sum behind the default-on `parallel`
+//!   feature.
 //! * [`packing`] — BatchCrypt-style packing of many small counters into a single
 //!   plaintext, used to quantify how much of the HE overhead can be removed.
 //! * [`fixed`] — fixed-point encoding of probability vectors.
@@ -42,6 +52,7 @@
 
 pub mod ciphertext;
 pub mod error;
+pub mod fast;
 pub mod fixed;
 pub mod keys;
 pub mod packing;
@@ -51,11 +62,12 @@ pub mod vector;
 
 pub use ciphertext::Ciphertext;
 pub use error::HeError;
+pub use fast::{PrecomputedEncryptor, RANDOMNESS_EXPONENT_BITS};
 pub use fixed::{FixedPointCodec, DEFAULT_FIXED_SCALE};
 pub use keys::{Keypair, PrivateKey, PublicKey};
 pub use packing::{PackedCiphertext, Packer};
 pub use transport::{ciphertext_size_bytes, public_key_size_bytes, TransportSize};
-pub use vector::EncryptedVector;
+pub use vector::{sum_vectors, sum_vectors_serial, EncryptedVector};
 
 /// Key size (in bits of the modulus `n`) used by the paper's evaluation.
 ///

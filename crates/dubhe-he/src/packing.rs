@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::ciphertext::Ciphertext;
 use crate::error::HeError;
+use crate::fast::PrecomputedEncryptor;
 use crate::keys::{PrivateKey, PublicKey};
+use crate::vector::EncryptedVector;
 
 /// Packs fixed-width unsigned slots into Paillier plaintexts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,14 +39,34 @@ impl Packer {
     /// A safety margin of one slot is reserved so the packed value always stays
     /// below the modulus.
     pub fn new(slot_bits: u32, key_bits: u64) -> Self {
-        assert!(slot_bits >= 8 && slot_bits <= 64, "slot width must be in [8, 64]");
-        Packer { slot_bits, key_bits }
+        assert!(
+            (8..=64).contains(&slot_bits),
+            "slot width must be in [8, 64]"
+        );
+        Packer {
+            slot_bits,
+            key_bits,
+        }
     }
 
-    /// How many slots fit into a single plaintext.
-    pub fn slots_per_plaintext(&self) -> usize {
-        // Keep one slot of headroom below the modulus.
-        ((self.key_bits.saturating_sub(self.slot_bits as u64)) / self.slot_bits as u64) as usize
+    /// How many slots fit into a single plaintext (with one slot of headroom
+    /// reserved below the modulus).
+    ///
+    /// Returns [`HeError::SlotTooWide`] when the answer would be zero — i.e.
+    /// when `slot_bits` approaches `key_bits` and not even one slot plus its
+    /// headroom fits. Earlier versions returned `0` here and `pack` silently
+    /// promoted it to one *headroom-less* slot per plaintext, risking
+    /// undetected overflow into the modulus.
+    pub fn slots_per_plaintext(&self) -> Result<usize, HeError> {
+        let per = ((self.key_bits.saturating_sub(self.slot_bits as u64)) / self.slot_bits as u64)
+            as usize;
+        if per == 0 {
+            return Err(HeError::SlotTooWide {
+                slot_bits: self.slot_bits,
+                key_bits: self.key_bits,
+            });
+        }
+        Ok(per)
     }
 
     /// Maximum value a slot can hold.
@@ -59,15 +81,19 @@ impl Packer {
     /// Packs `values` into as few plaintexts as possible.
     ///
     /// Returns [`HeError::PackingOverflow`] if any value exceeds the slot
-    /// capacity.
+    /// capacity, and [`HeError::SlotTooWide`] if the slot width leaves no
+    /// room in the plaintext.
     pub fn pack(&self, values: &[u64]) -> Result<Vec<BigUint>, HeError> {
         let cap = self.slot_capacity();
         for &v in values {
             if v > cap {
-                return Err(HeError::PackingOverflow { slot_bits: self.slot_bits, value: v });
+                return Err(HeError::PackingOverflow {
+                    slot_bits: self.slot_bits,
+                    value: v,
+                });
             }
         }
-        let per = self.slots_per_plaintext().max(1);
+        let per = self.slots_per_plaintext()?;
         let mut out = Vec::with_capacity(values.len().div_ceil(per));
         for chunk in values.chunks(per) {
             let mut acc = BigUint::zero();
@@ -81,8 +107,14 @@ impl Packer {
     }
 
     /// Unpacks plaintexts back into `count` slot values.
+    ///
+    /// # Panics
+    /// Panics if the slot width is invalid for the key size; `pack` rejects
+    /// such packers before any packed data can exist.
     pub fn unpack(&self, plaintexts: &[BigUint], count: usize) -> Vec<u64> {
-        let per = self.slots_per_plaintext().max(1);
+        let per = self
+            .slots_per_plaintext()
+            .expect("unpacking data that could never have been packed");
         let mask = BigUint::from(self.slot_capacity());
         let mut out = Vec::with_capacity(count);
         'outer: for pt in plaintexts {
@@ -99,7 +131,8 @@ impl Packer {
         out
     }
 
-    /// Packs and encrypts `values` under `public`.
+    /// Packs and encrypts `values` under `public`, through the key's shared
+    /// [`PrecomputedEncryptor`] fast path.
     pub fn encrypt<R: Rng + ?Sized>(
         &self,
         public: &PublicKey,
@@ -107,11 +140,34 @@ impl Packer {
         rng: &mut R,
     ) -> Result<PackedCiphertext, HeError> {
         let plaintexts = self.pack(values)?;
+        let cts = EncryptedVector::encrypt(public, &plaintexts, rng)?
+            .elements()
+            .to_vec();
+        Ok(PackedCiphertext {
+            ciphertexts: cts,
+            count: values.len(),
+            packer: *self,
+        })
+    }
+
+    /// Packs and encrypts `values` with an explicit fast encryptor (amortises
+    /// table setup across many clients of one epoch key).
+    pub fn encrypt_with<R: Rng + ?Sized>(
+        &self,
+        encryptor: &PrecomputedEncryptor,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Result<PackedCiphertext, HeError> {
+        let plaintexts = self.pack(values)?;
         let mut cts = Vec::with_capacity(plaintexts.len());
         for pt in &plaintexts {
-            cts.push(public.encrypt(pt, rng)?);
+            cts.push(encryptor.encrypt(pt, rng)?);
         }
-        Ok(PackedCiphertext { ciphertexts: cts, count: values.len(), packer: *self })
+        Ok(PackedCiphertext {
+            ciphertexts: cts,
+            count: values.len(),
+            packer: *self,
+        })
     }
 }
 
@@ -139,7 +195,10 @@ impl PackedCiphertext {
     /// registries, far below the 2³²-1 capacity of the default packer).
     pub fn add(&self, other: &PackedCiphertext) -> Result<PackedCiphertext, HeError> {
         if self.count != other.count || self.ciphertexts.len() != other.ciphertexts.len() {
-            return Err(HeError::LengthMismatch { left: self.count, right: other.count });
+            return Err(HeError::LengthMismatch {
+                left: self.count,
+                right: other.count,
+            });
         }
         let ciphertexts = self
             .ciphertexts
@@ -147,12 +206,16 @@ impl PackedCiphertext {
             .zip(&other.ciphertexts)
             .map(|(a, b)| a.add(b))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(PackedCiphertext { ciphertexts, count: self.count, packer: self.packer })
+        Ok(PackedCiphertext {
+            ciphertexts,
+            count: self.count,
+            packer: self.packer,
+        })
     }
 
-    /// Decrypts and unpacks back to the original counters.
+    /// Decrypts (batch CRT) and unpacks back to the original counters.
     pub fn decrypt(&self, private: &PrivateKey) -> Vec<u64> {
-        let plaintexts: Vec<BigUint> = self.ciphertexts.iter().map(|c| private.decrypt(c)).collect();
+        let plaintexts = private.decrypt_batch(&self.ciphertexts);
         self.packer.unpack(&plaintexts, self.count)
     }
 
@@ -192,9 +255,34 @@ mod tests {
     #[test]
     fn slots_per_plaintext_reserves_headroom() {
         let p = Packer::new(32, 2048);
-        assert_eq!(p.slots_per_plaintext(), (2048 - 32) / 32);
+        assert_eq!(p.slots_per_plaintext().unwrap(), (2048 - 32) / 32);
         let p = Packer::new(16, 256);
-        assert_eq!(p.slots_per_plaintext(), (256 - 16) / 16);
+        assert_eq!(p.slots_per_plaintext().unwrap(), (256 - 16) / 16);
+    }
+
+    #[test]
+    fn slot_width_at_or_above_key_size_is_an_error_not_a_silent_slot() {
+        // 64-bit slots in a 64-bit plaintext: no room for slot + headroom.
+        for (slot_bits, key_bits) in [(64u32, 64u64), (64, 127), (32, 63), (60, 100)] {
+            let p = Packer::new(slot_bits, key_bits);
+            assert_eq!(
+                p.slots_per_plaintext(),
+                Err(HeError::SlotTooWide {
+                    slot_bits,
+                    key_bits
+                })
+            );
+            assert_eq!(
+                p.pack(&[1, 2, 3]),
+                Err(HeError::SlotTooWide {
+                    slot_bits,
+                    key_bits
+                }),
+                "pack must refuse to emit headroom-less slots"
+            );
+        }
+        // One slot plus headroom is exactly the boundary case that stays ok.
+        assert_eq!(Packer::new(32, 64).slots_per_plaintext().unwrap(), 1);
     }
 
     #[test]
@@ -202,7 +290,10 @@ mod tests {
         let p = Packer::new(16, 256);
         assert_eq!(
             p.pack(&[70_000]),
-            Err(HeError::PackingOverflow { slot_bits: 16, value: 70_000 })
+            Err(HeError::PackingOverflow {
+                slot_bits: 16,
+                value: 70_000
+            })
         );
     }
 
@@ -213,7 +304,10 @@ mod tests {
         let values: Vec<u64> = (0..40).map(|i| i * 3).collect();
         let enc = p.encrypt(&pk, &values, &mut rng).unwrap();
         assert_eq!(enc.decrypt(&sk), values);
-        assert!(enc.ciphertext_count() < values.len(), "packing must reduce ciphertext count");
+        assert!(
+            enc.ciphertext_count() < values.len(),
+            "packing must reduce ciphertext count"
+        );
     }
 
     #[test]

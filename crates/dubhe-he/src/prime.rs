@@ -17,9 +17,9 @@ pub const MILLER_RABIN_ROUNDS: u32 = 40;
 /// Small primes used to cheaply reject most composite candidates before running
 /// Miller–Rabin.
 const SMALL_PRIMES: [u32; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Returns `true` if `n` is prime with overwhelming probability.
@@ -141,15 +141,24 @@ mod tests {
     fn small_primes_are_recognised() {
         let mut r = rng();
         for p in [2u32, 3, 5, 7, 97, 251] {
-            assert!(is_probable_prime(&BigUint::from(p), &mut r), "{p} should be prime");
+            assert!(
+                is_probable_prime(&BigUint::from(p), &mut r),
+                "{p} should be prime"
+            );
         }
     }
 
     #[test]
     fn small_composites_are_rejected() {
         let mut r = rng();
-        for c in [1u32, 4, 6, 9, 15, 21, 25, 100, 561 /* Carmichael */, 1105] {
-            assert!(!is_probable_prime(&BigUint::from(c), &mut r), "{c} should be composite");
+        for c in [
+            1u32, 4, 6, 9, 15, 21, 25, 100, 561, /* Carmichael */
+            1105,
+        ] {
+            assert!(
+                !is_probable_prime(&BigUint::from(c), &mut r),
+                "{c} should be composite"
+            );
         }
     }
 

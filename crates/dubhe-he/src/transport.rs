@@ -32,14 +32,21 @@ impl TransportSize {
     }
 }
 
+/// Size in bytes of a single raw ciphertext under a `bits`-bit modulus
+/// (⌈2·|n|/8⌉). The single source of the ciphertext size model — callers
+/// without a key in hand (e.g. the FL simulator's ledger) use this.
+pub fn ciphertext_size_bytes_for(bits: u64) -> usize {
+    (2 * bits as usize).div_ceil(8)
+}
+
 /// Size in bytes of a single raw ciphertext under `public` (⌈2·|n|/8⌉).
 pub fn ciphertext_size_bytes(public: &PublicKey) -> usize {
-    (2 * public.bits as usize).div_ceil(8)
+    ciphertext_size_bytes_for(public.bits())
 }
 
 /// Size in bytes of the public key modulus.
 pub fn public_key_size_bytes(public: &PublicKey) -> usize {
-    (public.bits as usize).div_ceil(8)
+    (public.bits() as usize).div_ceil(8)
 }
 
 /// Plaintext size of an integer vector, counting 8 bytes per element (how the
@@ -67,7 +74,10 @@ pub fn measure_packed(packed: &PackedCiphertext) -> TransportSize {
 
 /// Measures a single ciphertext.
 pub fn measure_ciphertext(ct: &Ciphertext) -> TransportSize {
-    TransportSize { plaintext_bytes: std::mem::size_of::<u64>(), ciphertext_bytes: ct.byte_len() }
+    TransportSize {
+        plaintext_bytes: std::mem::size_of::<u64>(),
+        ciphertext_bytes: ct.byte_len(),
+    }
 }
 
 /// Communication-count model of one Dubhe round (paper §6.4):
@@ -113,8 +123,14 @@ mod tests {
     fn ciphertext_size_is_twice_key_size() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(71);
         let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
-        assert_eq!(ciphertext_size_bytes(&kp.public), 2 * crate::TEST_KEY_BITS as usize / 8);
-        assert_eq!(public_key_size_bytes(&kp.public), crate::TEST_KEY_BITS as usize / 8);
+        assert_eq!(
+            ciphertext_size_bytes(&kp.public),
+            2 * crate::TEST_KEY_BITS as usize / 8
+        );
+        assert_eq!(
+            public_key_size_bytes(&kp.public),
+            crate::TEST_KEY_BITS as usize / 8
+        );
     }
 
     #[test]
@@ -124,7 +140,10 @@ mod tests {
         let v = EncryptedVector::encrypt_u64(&kp.public, &[1u64; 56], &mut rng);
         let size = measure_vector(&v);
         assert_eq!(size.plaintext_bytes, 56 * 8);
-        assert!(size.expansion_factor() > 1.0, "ciphertext must be larger than plaintext");
+        assert!(
+            size.expansion_factor() > 1.0,
+            "ciphertext must be larger than plaintext"
+        );
     }
 
     #[test]
@@ -133,7 +152,9 @@ mod tests {
         let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
         let values = vec![3u64; 56];
         let v = EncryptedVector::encrypt_u64(&kp.public, &values, &mut rng);
-        let p = Packer::new(16, crate::TEST_KEY_BITS).encrypt(&kp.public, &values, &mut rng).unwrap();
+        let p = Packer::new(16, crate::TEST_KEY_BITS)
+            .encrypt(&kp.public, &values, &mut rng)
+            .unwrap();
         assert!(measure_packed(&p).ciphertext_bytes < measure_vector(&v).ciphertext_bytes);
     }
 
@@ -148,7 +169,10 @@ mod tests {
 
     #[test]
     fn expansion_factor_of_empty_plaintext_is_zero() {
-        let size = TransportSize { plaintext_bytes: 0, ciphertext_bytes: 10 };
+        let size = TransportSize {
+            plaintext_bytes: 0,
+            ciphertext_bytes: 10,
+        };
         assert_eq!(size.expansion_factor(), 0.0);
     }
 

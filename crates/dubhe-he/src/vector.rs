@@ -9,17 +9,53 @@
 //!
 //! Both are encrypted element-by-element under the epoch public key; the server
 //! adds the vectors of all clients without decrypting anything.
+//!
+//! ## Hot path
+//!
+//! Vector encryption goes through the [`PrecomputedEncryptor`] by default: one
+//! shared fixed-base table per key, short-exponent randomness per element
+//! (see [`crate::fast`]). With the `parallel` feature (default-on) the
+//! per-element exponentiations of `encrypt`, `decrypt`, `add` and
+//! [`sum_vectors`] additionally fan out over all cores. Every fast/parallel
+//! path is bit-for-bit equivalent to the serial naive one, which the property
+//! tests assert.
 
 use num_bigint::BigUint;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::ciphertext::Ciphertext;
 use crate::error::HeError;
+use crate::fast::PrecomputedEncryptor;
 use crate::keys::{PrivateKey, PublicKey};
 
+/// Minimum number of elements before vector operations fan out over cores
+/// (below this the thread hand-off costs more than the modular arithmetic).
+pub(crate) const PARALLEL_THRESHOLD: usize = 8;
+
+/// Runs `f` over every index in `0..len`, in parallel when the `parallel`
+/// feature is on and the workload is large enough. Results keep input order.
+fn map_indexed<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        if len >= PARALLEL_THRESHOLD {
+            let indices: Vec<usize> = (0..len).collect();
+            return indices.par_iter().map(|&i| f(i)).collect();
+        }
+    }
+    (0..len).map(f).collect()
+}
+
 /// A vector of Paillier ciphertexts sharing one public key.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The key is stored once as a shared handle; elements alias it rather than
+/// owning per-element copies (see [`PublicKey`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct EncryptedVector {
     elements: Vec<Ciphertext>,
     public: PublicKey,
@@ -27,28 +63,97 @@ pub struct EncryptedVector {
 
 impl EncryptedVector {
     /// Encrypts a slice of `u64` values element-by-element.
+    ///
+    /// Uses the key's shared [`PrecomputedEncryptor`] fast path (building the
+    /// fixed-base table on the key's first vector encryption) and fans the
+    /// per-element work out over cores under the `parallel` feature.
     pub fn encrypt_u64<R: Rng + ?Sized>(public: &PublicKey, values: &[u64], rng: &mut R) -> Self {
-        let elements = values.iter().map(|&v| public.encrypt_u64(v, rng)).collect();
-        EncryptedVector { elements, public: public.clone() }
+        let encryptor = PrecomputedEncryptor::new(public, rng);
+        Self::encrypt_u64_with(&encryptor, values, rng)
     }
 
-    /// Encrypts a slice of arbitrary-precision values.
+    /// Encrypts a slice of `u64` values with an explicit fast encryptor.
+    ///
+    /// # Panics
+    /// Panics if a value does not fit in the message space — only possible
+    /// at the 64-bit minimum key size, and the same contract as the naive
+    /// [`PublicKey::encrypt_u64`] path.
+    pub fn encrypt_u64_with<R: Rng + ?Sized>(
+        encryptor: &PrecomputedEncryptor,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Self {
+        let public = encryptor.public_key().clone();
+        // n >= 2^64 makes every u64 a valid plaintext; only smaller moduli
+        // need the explicit range check.
+        if public.bits() <= 64 {
+            for &v in values {
+                assert!(
+                    &BigUint::from(v) < public.n(),
+                    "plaintext {v} exceeds the {}-bit Paillier message space",
+                    public.bits()
+                );
+            }
+        }
+        // RNG draws are sequential (cheap); the table exponentiations are the
+        // heavy part and run data-parallel.
+        let exponents = encryptor.sample_exponents(values.len(), rng);
+        let elements = map_indexed(values.len(), |i| {
+            let g_to_m = public.g_to_m(&BigUint::from(values[i]));
+            let value = (g_to_m * encryptor.randomizer_for(&exponents[i])) % public.n_squared();
+            Ciphertext::from_raw(value, public.clone())
+        });
+        EncryptedVector { elements, public }
+    }
+
+    /// Encrypts a slice of `u64` values with per-element textbook `rⁿ`
+    /// randomness — the reference path the benches compare the fast path
+    /// against. Semantically identical to [`encrypt_u64`], just slower.
+    ///
+    /// [`encrypt_u64`]: EncryptedVector::encrypt_u64
+    pub fn encrypt_u64_naive<R: Rng + ?Sized>(
+        public: &PublicKey,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Self {
+        let elements = values.iter().map(|&v| public.encrypt_u64(v, rng)).collect();
+        EncryptedVector {
+            elements,
+            public: public.clone(),
+        }
+    }
+
+    /// Encrypts a slice of arbitrary-precision values (fast path).
     pub fn encrypt<R: Rng + ?Sized>(
         public: &PublicKey,
         values: &[BigUint],
         rng: &mut R,
     ) -> Result<Self, HeError> {
-        let mut elements = Vec::with_capacity(values.len());
+        let encryptor = PrecomputedEncryptor::new(public, rng);
         for v in values {
-            elements.push(public.encrypt(v, rng)?);
+            if v >= public.n() {
+                return Err(HeError::PlaintextTooLarge);
+            }
         }
-        Ok(EncryptedVector { elements, public: public.clone() })
+        let exponents = encryptor.sample_exponents(values.len(), rng);
+        let elements = map_indexed(values.len(), |i| {
+            let g_to_m = public.g_to_m(&values[i]);
+            let value = (g_to_m * encryptor.randomizer_for(&exponents[i])) % public.n_squared();
+            Ciphertext::from_raw(value, public.clone())
+        });
+        Ok(EncryptedVector {
+            elements,
+            public: public.clone(),
+        })
     }
 
     /// An all-zero encrypted vector of the given length (identity for sums).
     pub fn zeros(public: &PublicKey, len: usize) -> Self {
         let elements = (0..len).map(|_| public.zero_ciphertext()).collect();
-        EncryptedVector { elements, public: public.clone() }
+        EncryptedVector {
+            elements,
+            public: public.clone(),
+        }
     }
 
     /// Number of encrypted elements.
@@ -74,34 +179,55 @@ impl EncryptedVector {
     /// Element-wise homomorphic addition.
     pub fn add(&self, other: &EncryptedVector) -> Result<EncryptedVector, HeError> {
         if self.len() != other.len() {
-            return Err(HeError::LengthMismatch { left: self.len(), right: other.len() });
+            return Err(HeError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
         }
-        if self.public.n != other.public.n {
+        if !self.public.same_key(&other.public) {
             return Err(HeError::KeyMismatch);
         }
-        let elements = self
-            .elements
-            .iter()
-            .zip(&other.elements)
-            .map(|(a, b)| a.add(b))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(EncryptedVector { elements, public: self.public.clone() })
+        let n_squared = self.public.n_squared();
+        let elements = map_indexed(self.len(), |i| {
+            let value = (self.elements[i].raw() * other.elements[i].raw()) % n_squared;
+            Ciphertext::from_raw(value, self.public.clone())
+        });
+        Ok(EncryptedVector {
+            elements,
+            public: self.public.clone(),
+        })
     }
 
     /// Element-wise plaintext-scalar multiplication.
     pub fn mul_plain_u64(&self, k: u64) -> EncryptedVector {
-        let elements = self.elements.iter().map(|c| c.mul_plain_u64(k)).collect();
-        EncryptedVector { elements, public: self.public.clone() }
+        let k = BigUint::from(k);
+        let elements = map_indexed(self.len(), |i| self.elements[i].mul_plain(&k));
+        EncryptedVector {
+            elements,
+            public: self.public.clone(),
+        }
     }
 
-    /// Decrypts every element to a `u64`.
+    /// Decrypts every element to a `u64` (batch CRT decryption, parallel
+    /// under the `parallel` feature).
     pub fn decrypt_u64(&self, private: &PrivateKey) -> Vec<u64> {
-        self.elements.iter().map(|c| private.decrypt_u64(c)).collect()
+        private
+            .decrypt_batch(&self.elements)
+            .into_iter()
+            .map(|m| {
+                let digits = m.to_u64_digits();
+                match digits.len() {
+                    0 => 0,
+                    1 => digits[0],
+                    _ => panic!("plaintext does not fit in u64: {m}"),
+                }
+            })
+            .collect()
     }
 
     /// Decrypts every element to an arbitrary-precision integer.
     pub fn decrypt(&self, private: &PrivateKey) -> Vec<BigUint> {
-        self.elements.iter().map(|c| private.decrypt(c)).collect()
+        private.decrypt_batch(&self.elements)
     }
 
     /// Total serialized size of the ciphertexts in bytes (overhead accounting).
@@ -110,15 +236,93 @@ impl EncryptedVector {
     }
 }
 
-/// Homomorphically sums a collection of encrypted vectors.
+impl Serialize for EncryptedVector {
+    fn to_value(&self) -> Value {
+        // The shared-handle story extends to the wire: the key is emitted
+        // once for the whole vector, never per element.
+        Value::Object(vec![
+            ("public".to_string(), self.public.to_value()),
+            (
+                "elements".to_string(),
+                Value::Array(self.elements.iter().map(|c| c.raw().to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for EncryptedVector {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let public = PublicKey::from_value(serde::get_field(v, "public")?)?;
+        let raw: Vec<BigUint> = Vec::from_value(serde::get_field(v, "elements")?)?;
+        let elements = raw
+            .into_iter()
+            .map(|value| Ciphertext::from_raw(value, public.clone()))
+            .collect();
+        Ok(EncryptedVector { elements, public })
+    }
+}
+
+/// Homomorphically sums a collection of encrypted vectors, fanning the
+/// independent per-position folds out over cores when `parallel` is enabled.
 ///
 /// Returns `None` for an empty collection (there is no well-defined length).
 pub fn sum_vectors(vectors: &[EncryptedVector]) -> Result<Option<EncryptedVector>, HeError> {
+    let Some(first) = vectors.first() else {
+        return Ok(None);
+    };
+    for v in &vectors[1..] {
+        if v.len() != first.len() {
+            return Err(HeError::LengthMismatch {
+                left: first.len(),
+                right: v.len(),
+            });
+        }
+        if !v.public.same_key(&first.public) {
+            return Err(HeError::KeyMismatch);
+        }
+    }
+    let public = first.public.clone();
+    let n_squared = public.n_squared();
+    let elements = map_indexed(first.len(), |i| {
+        let mut acc = first.elements[i].raw().clone();
+        for v in &vectors[1..] {
+            acc = (acc * v.elements[i].raw()) % n_squared;
+        }
+        Ciphertext::from_raw(acc, public.clone())
+    });
+    Ok(Some(EncryptedVector { elements, public }))
+}
+
+/// Reference implementation of [`sum_vectors`]: a strictly sequential
+/// left-to-right fold of [`EncryptedVector::add`]. Kept as the oracle the
+/// property tests compare the parallel path against bit-for-bit.
+pub fn sum_vectors_serial(vectors: &[EncryptedVector]) -> Result<Option<EncryptedVector>, HeError> {
     let mut iter = vectors.iter();
-    let Some(first) = iter.next() else { return Ok(None) };
+    let Some(first) = iter.next() else {
+        return Ok(None);
+    };
     let mut acc = first.clone();
     for v in iter {
-        acc = acc.add(v)?;
+        if v.len() != acc.len() {
+            return Err(HeError::LengthMismatch {
+                left: acc.len(),
+                right: v.len(),
+            });
+        }
+        if !v.public.same_key(&acc.public) {
+            return Err(HeError::KeyMismatch);
+        }
+        let n_squared = acc.public.n_squared();
+        let elements = acc
+            .elements
+            .iter()
+            .zip(&v.elements)
+            .map(|(a, b)| Ciphertext::from_raw((a.raw() * b.raw()) % n_squared, acc.public.clone()))
+            .collect();
+        acc = EncryptedVector {
+            elements,
+            public: acc.public.clone(),
+        };
     }
     Ok(Some(acc))
 }
@@ -147,6 +351,20 @@ mod tests {
     }
 
     #[test]
+    fn naive_and_fast_paths_decrypt_identically() {
+        let (pk, sk, mut rng) = setup();
+        let values = vec![7u64, 0, 13, 99, 1_000_000, 42, 5, 6, 7, 8];
+        let fast = EncryptedVector::encrypt_u64(&pk, &values, &mut rng);
+        let naive = EncryptedVector::encrypt_u64_naive(&pk, &values, &mut rng);
+        assert_eq!(fast.decrypt_u64(&sk), values);
+        assert_eq!(naive.decrypt_u64(&sk), values);
+        // Different randomness, same plaintexts: homomorphically compatible.
+        let doubled = fast.add(&naive).unwrap();
+        let expected: Vec<u64> = values.iter().map(|v| v * 2).collect();
+        assert_eq!(doubled.decrypt_u64(&sk), expected);
+    }
+
+    #[test]
     fn vector_addition_is_elementwise() {
         let (pk, sk, mut rng) = setup();
         let a = EncryptedVector::encrypt_u64(&pk, &[1, 2, 3], &mut rng);
@@ -160,7 +378,10 @@ mod tests {
         let (pk, _sk, mut rng) = setup();
         let a = EncryptedVector::encrypt_u64(&pk, &[1, 2, 3], &mut rng);
         let b = EncryptedVector::encrypt_u64(&pk, &[1, 2], &mut rng);
-        assert_eq!(a.add(&b), Err(HeError::LengthMismatch { left: 3, right: 2 }));
+        assert_eq!(
+            a.add(&b),
+            Err(HeError::LengthMismatch { left: 3, right: 2 })
+        );
     }
 
     #[test]
@@ -203,14 +424,51 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_serial_sums_agree_bit_for_bit() {
+        let (pk, sk, mut rng) = setup();
+        let regs: Vec<EncryptedVector> = (0..12)
+            .map(|i| {
+                let v: Vec<u64> = (0..20).map(|j| ((i * j) % 7) as u64).collect();
+                EncryptedVector::encrypt_u64(&pk, &v, &mut rng)
+            })
+            .collect();
+        let parallel = sum_vectors(&regs).unwrap().unwrap();
+        let serial = sum_vectors_serial(&regs).unwrap().unwrap();
+        for (p, s) in parallel.elements().iter().zip(serial.elements()) {
+            assert_eq!(p.raw(), s.raw(), "parallel and serial sums diverged");
+        }
+        assert_eq!(parallel.decrypt_u64(&sk), serial.decrypt_u64(&sk));
+    }
+
+    #[test]
     fn sum_vectors_empty_is_none() {
         assert!(sum_vectors(&[]).unwrap().is_none());
+        assert!(sum_vectors_serial(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn sum_vectors_rejects_mismatched_shapes() {
+        let (pk, _sk, mut rng) = setup();
+        let a = EncryptedVector::encrypt_u64(&pk, &[1, 2], &mut rng);
+        let b = EncryptedVector::encrypt_u64(&pk, &[1, 2, 3], &mut rng);
+        assert!(sum_vectors(&[a, b]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn fast_path_rejects_oversized_u64_at_minimum_key_size() {
+        // At the 64-bit minimum key size, n < 2^64, so u64::MAX overflows the
+        // message space; the fast path must refuse (like the naive path does)
+        // instead of silently encrypting u64::MAX mod n.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let kp = Keypair::generate(64, &mut rng);
+        let _ = EncryptedVector::encrypt_u64(&kp.public, &[u64::MAX], &mut rng);
     }
 
     #[test]
     fn vector_cannot_exceed_message_space() {
         let (pk, _sk, mut rng) = setup();
-        let too_big = vec![pk.n.clone()];
+        let too_big = vec![pk.n().clone()];
         assert_eq!(
             EncryptedVector::encrypt(&pk, &too_big, &mut rng),
             Err(HeError::PlaintextTooLarge)
@@ -223,5 +481,18 @@ mod tests {
         let a = EncryptedVector::encrypt_u64(&pk, &[1; 4], &mut rng);
         let b = EncryptedVector::encrypt_u64(&pk, &[1; 8], &mut rng);
         assert!(b.byte_len() > a.byte_len());
+    }
+
+    #[test]
+    fn serde_round_trip_emits_key_once() {
+        let (pk, sk, mut rng) = setup();
+        let values = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        let enc = EncryptedVector::encrypt_u64(&pk, &values, &mut rng);
+        let json = serde_json::to_string(&enc).unwrap();
+        // One "n" field for the whole vector, not one per element.
+        assert_eq!(json.matches("\"n\"").count(), 1);
+        let back: EncryptedVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.decrypt_u64(&sk), values);
+        assert_eq!(back, enc);
     }
 }

@@ -6,7 +6,10 @@
 use std::sync::OnceLock;
 
 use dubhe_he::packing::Packer;
-use dubhe_he::{EncryptedVector, FixedPointCodec, Keypair, PrivateKey, PublicKey};
+use dubhe_he::{
+    sum_vectors, sum_vectors_serial, EncryptedVector, FixedPointCodec, Keypair,
+    PrecomputedEncryptor, PrivateKey, PublicKey,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -91,6 +94,69 @@ proptest! {
         let ea = packer.encrypt(pk, &values, &mut rng).unwrap();
         let eb = packer.encrypt(pk, &values, &mut rng).unwrap();
         prop_assert_eq!(ea.add(&eb).unwrap().decrypt(sk), doubled);
+    }
+
+    #[test]
+    fn precomputed_encryptor_decrypts_like_explicit_randomness(m in any::<u64>(),
+                                                              seed in any::<u64>()) {
+        // The fast path must produce ciphertexts that decrypt to exactly the
+        // plaintext the textbook `rⁿ` path (via encrypt_with_randomness)
+        // produces for the same message.
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let encryptor = PrecomputedEncryptor::new(pk, &mut rng);
+        let fast = encryptor.encrypt(&num_bigint::BigUint::from(m), &mut rng).unwrap();
+        let r = pk.sample_randomness(&mut rng);
+        let naive = pk.encrypt_with_randomness(&num_bigint::BigUint::from(m), &r);
+        prop_assert_eq!(sk.decrypt(&fast), sk.decrypt(&naive));
+        prop_assert_eq!(sk.decrypt_u64(&fast), m);
+    }
+
+    #[test]
+    fn fast_and_naive_vectors_interoperate(values in prop::collection::vec(0u64..100_000, 1..24),
+                                           seed in any::<u64>()) {
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fast = EncryptedVector::encrypt_u64(pk, &values, &mut rng);
+        let naive = EncryptedVector::encrypt_u64_naive(pk, &values, &mut rng);
+        prop_assert_eq!(fast.decrypt_u64(sk), values.clone());
+        let sum = fast.add(&naive).unwrap().decrypt_u64(sk);
+        let expected: Vec<u64> = values.iter().map(|v| v * 2).collect();
+        prop_assert_eq!(sum, expected);
+    }
+
+    #[test]
+    fn parallel_and_serial_sum_vectors_agree_bit_for_bit(
+        lens in prop::collection::vec(0u64..50, 2..12),
+        width in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let vectors: Vec<EncryptedVector> = lens
+            .iter()
+            .map(|&base| {
+                let v: Vec<u64> = (0..width as u64).map(|j| base + j).collect();
+                EncryptedVector::encrypt_u64(pk, &v, &mut rng)
+            })
+            .collect();
+        let parallel = sum_vectors(&vectors).unwrap().unwrap();
+        let serial = sum_vectors_serial(&vectors).unwrap().unwrap();
+        for (p, s) in parallel.elements().iter().zip(serial.elements()) {
+            prop_assert_eq!(p.raw(), s.raw());
+        }
+        prop_assert_eq!(parallel.decrypt_u64(sk), serial.decrypt_u64(sk));
+    }
+
+    #[test]
+    fn batch_decryption_matches_elementwise(values in prop::collection::vec(0u64..1_000_000, 1..40),
+                                            seed in any::<u64>()) {
+        let (pk, sk) = keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let enc = EncryptedVector::encrypt_u64(pk, &values, &mut rng);
+        let batch = enc.decrypt_u64(sk);
+        let elementwise: Vec<u64> = enc.elements().iter().map(|c| sk.decrypt_u64(c)).collect();
+        prop_assert_eq!(batch, elementwise);
     }
 
     #[test]

@@ -46,7 +46,10 @@ mod tests {
         let var: f32 = w.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / w.len() as f32;
         assert!(mean.abs() < 0.01, "mean should be near zero, got {mean}");
         let expected_var = 2.0 / 100.0;
-        assert!((var - expected_var).abs() < expected_var * 0.2, "variance {var} off target");
+        assert!(
+            (var - expected_var).abs() < expected_var * 0.2,
+            "variance {var} off target"
+        );
     }
 
     #[test]
@@ -55,7 +58,10 @@ mod tests {
         let a = (6.0f32 / 300.0).sqrt();
         let w = xavier_uniform(100, 200, 5_000, &mut rng);
         assert!(w.iter().all(|v| v.abs() <= a + 1e-6));
-        assert!(w.iter().any(|v| v.abs() > a * 0.5), "values should use the range");
+        assert!(
+            w.iter().any(|v| v.abs() > a * 0.5),
+            "values should use the range"
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub struct Dense {
 impl Dense {
     /// Creates a dense layer with He-normal weights and zero bias.
     pub fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
-        assert!(inputs > 0 && outputs > 0, "dense layer dimensions must be positive");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "dense layer dimensions must be positive"
+        );
         let weights = Matrix::from_vec(inputs, outputs, he_normal(inputs, inputs * outputs, rng));
         Dense {
             weights,
@@ -147,8 +150,15 @@ impl Layer for Dense {
     fn load_params(&mut self, src: &[f32]) -> usize {
         let w_len = self.weights.rows() * self.weights.cols();
         let total = w_len + self.bias.len();
-        assert!(src.len() >= total, "not enough parameters to load Dense layer");
-        self.weights = Matrix::from_vec(self.weights.rows(), self.weights.cols(), src[..w_len].to_vec());
+        assert!(
+            src.len() >= total,
+            "not enough parameters to load Dense layer"
+        );
+        self.weights = Matrix::from_vec(
+            self.weights.rows(),
+            self.weights.cols(),
+            src[..w_len].to_vec(),
+        );
         self.bias.copy_from_slice(&src[w_len..total]);
         total
     }
@@ -458,11 +468,11 @@ impl Layer for Conv2d {
         for (s, cols) in cached.iter().enumerate() {
             // Reshape this sample's output gradient into (oh·ow) × out_channels.
             let mut g = Matrix::zeros(oh * ow, self.out_channels);
-            for oc in 0..self.out_channels {
+            for (oc, gb) in grad_b.iter_mut().enumerate() {
                 for pos in 0..oh * ow {
                     let v = grad_output.get(s, oc * oh * ow + pos);
                     g.set(pos, oc, v);
-                    grad_b[oc] += v;
+                    *gb += v;
                 }
             }
             // dW += colsᵀ × g ; dCols = g × Wᵀ
@@ -495,8 +505,15 @@ impl Layer for Conv2d {
     fn load_params(&mut self, src: &[f32]) -> usize {
         let w_len = self.weights.rows() * self.weights.cols();
         let total = w_len + self.bias.len();
-        assert!(src.len() >= total, "not enough parameters to load Conv2d layer");
-        self.weights = Matrix::from_vec(self.weights.rows(), self.weights.cols(), src[..w_len].to_vec());
+        assert!(
+            src.len() >= total,
+            "not enough parameters to load Conv2d layer"
+        );
+        self.weights = Matrix::from_vec(
+            self.weights.rows(),
+            self.weights.cols(),
+            src[..w_len].to_vec(),
+        );
         self.bias.copy_from_slice(&src[w_len..total]);
         total
     }
@@ -672,7 +689,7 @@ mod tests {
         let base: Vec<f32> = (0..9).map(|v| (v as f32) / 9.0).collect();
         let labels = vec![2usize];
 
-        let x = Matrix::from_rows(&[base.clone()]);
+        let x = Matrix::from_rows(std::slice::from_ref(&base));
         let out = conv.forward(&x);
         let (_, grad_out) = softmax_cross_entropy(&out, &labels);
         let grad_in = conv.backward(&grad_out);
@@ -681,10 +698,12 @@ mod tests {
         for idx in [0usize, 4, 8] {
             let mut plus = base.clone();
             plus[idx] += eps;
-            let (lp, _) = softmax_cross_entropy(&conv.forward(&Matrix::from_rows(&[plus])), &labels);
+            let (lp, _) =
+                softmax_cross_entropy(&conv.forward(&Matrix::from_rows(&[plus])), &labels);
             let mut minus = base.clone();
             minus[idx] -= eps;
-            let (lm, _) = softmax_cross_entropy(&conv.forward(&Matrix::from_rows(&[minus])), &labels);
+            let (lm, _) =
+                softmax_cross_entropy(&conv.forward(&Matrix::from_rows(&[minus])), &labels);
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - grad_in.get(0, idx)).abs() < 1e-2,

@@ -14,7 +14,11 @@ pub fn softmax(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
     let cols = out.cols();
     for r in 0..out.rows() {
-        let row_max = logits.row(r).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let row_max = logits
+            .row(r)
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         {
             let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
@@ -47,7 +51,10 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
     let mut loss = 0.0f32;
     let mut grad = probs.clone();
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let p = probs.get(r, label).max(1e-12);
         loss -= p.ln();
         grad.set(r, label, grad.get(r, label) - 1.0);
@@ -75,7 +82,11 @@ pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
         return 0.0;
     }
     let predictions = logits.argmax_rows();
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f64 / labels.len() as f64
 }
 

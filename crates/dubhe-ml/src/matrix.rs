@@ -23,7 +23,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -49,7 +53,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "all rows must have the same length");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -97,7 +105,11 @@ impl Matrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Matrix { rows: indices.len(), cols: self.cols, data }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Matrix product `self × other`.
@@ -173,7 +185,10 @@ impl Matrix {
                 .enumerate()
                 .for_each(compute_row);
         } else {
-            out.data.chunks_mut(other.rows).enumerate().for_each(compute_row);
+            out.data
+                .chunks_mut(other.rows)
+                .enumerate()
+                .for_each(compute_row);
         }
         out
     }
@@ -222,11 +237,20 @@ impl Matrix {
 
     /// Element-wise combination of two equally shaped matrices.
     pub fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in element-wise op");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in element-wise op"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -380,10 +404,22 @@ mod tests {
     fn elementwise_operations() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let b = Matrix::from_rows(&[vec![10.0, 20.0], vec![30.0, 40.0]]);
-        assert_eq!(a.add(&b), Matrix::from_rows(&[vec![11.0, 22.0], vec![33.0, 44.0]]));
-        assert_eq!(b.sub(&a), Matrix::from_rows(&[vec![9.0, 18.0], vec![27.0, 36.0]]));
-        assert_eq!(a.hadamard(&a), Matrix::from_rows(&[vec![1.0, 4.0], vec![9.0, 16.0]]));
-        assert_eq!(a.scale(2.0), Matrix::from_rows(&[vec![2.0, 4.0], vec![6.0, 8.0]]));
+        assert_eq!(
+            a.add(&b),
+            Matrix::from_rows(&[vec![11.0, 22.0], vec![33.0, 44.0]])
+        );
+        assert_eq!(
+            b.sub(&a),
+            Matrix::from_rows(&[vec![9.0, 18.0], vec![27.0, 36.0]])
+        );
+        assert_eq!(
+            a.hadamard(&a),
+            Matrix::from_rows(&[vec![1.0, 4.0], vec![9.0, 16.0]])
+        );
+        assert_eq!(
+            a.scale(2.0),
+            Matrix::from_rows(&[vec![2.0, 4.0], vec![6.0, 8.0]])
+        );
     }
 
     #[test]

@@ -56,7 +56,12 @@ impl Sequential {
     }
 
     /// One optimisation step on a mini-batch. Returns the batch loss.
-    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize], optimizer: &mut dyn Optimizer) -> f32 {
+    pub fn train_batch(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> f32 {
         let logits = self.forward(x);
         let (loss, grad_logits) = softmax_cross_entropy(&logits, labels);
         // Backward through the stack.
@@ -132,7 +137,12 @@ impl Sequential {
 
     /// Per-class recall (fraction of samples of each class predicted
     /// correctly); classes absent from `labels` report `None`.
-    pub fn per_class_recall(&mut self, x: &Matrix, labels: &[usize], classes: usize) -> Vec<Option<f64>> {
+    pub fn per_class_recall(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        classes: usize,
+    ) -> Vec<Option<f64>> {
         let logits = self.forward(x);
         let preds = logits.argmax_rows();
         let mut correct = vec![0usize; classes];
@@ -144,7 +154,13 @@ impl Sequential {
             }
         }
         (0..classes)
-            .map(|c| if total[c] == 0 { None } else { Some(correct[c] as f64 / total[c] as f64) })
+            .map(|c| {
+                if total[c] == 0 {
+                    None
+                } else {
+                    Some(correct[c] as f64 / total[c] as f64)
+                }
+            })
             .collect()
     }
 
@@ -152,7 +168,11 @@ impl Sequential {
     /// the weight divergence ‖ω_f − ω*‖ of the paper's Eq. (2).
     pub fn weight_divergence(&self, reference: &[f32]) -> f64 {
         let own = self.get_weights();
-        assert_eq!(own.len(), reference.len(), "weight divergence needs equal-sized models");
+        assert_eq!(
+            own.len(),
+            reference.len(),
+            "weight divergence needs equal-sized models"
+        );
         own.iter()
             .zip(reference)
             .map(|(a, b)| {
@@ -190,7 +210,11 @@ pub fn average_weights(weight_sets: &[Vec<f32>]) -> Vec<f32> {
 /// Weighted average of flat weight vectors (classic FedAvg, weights ∝ sample
 /// counts).
 pub fn weighted_average_weights(weight_sets: &[Vec<f32>], sample_counts: &[usize]) -> Vec<f32> {
-    assert_eq!(weight_sets.len(), sample_counts.len(), "one sample count per weight set");
+    assert_eq!(
+        weight_sets.len(),
+        sample_counts.len(),
+        "one sample count per weight set"
+    );
     assert!(!weight_sets.is_empty(), "cannot average zero weight sets");
     let total: usize = sample_counts.iter().sum();
     assert!(total > 0, "total sample count must be positive");
@@ -261,7 +285,10 @@ mod tests {
             model.train_batch(&x, &y, &mut opt);
         }
         let after = model.evaluate_loss(&x, &y);
-        assert!(after < before * 0.5, "loss should at least halve: {before} -> {after}");
+        assert!(
+            after < before * 0.5,
+            "loss should at least halve: {before} -> {after}"
+        );
         assert!(model.accuracy(&x, &y) > 0.9);
     }
 

@@ -36,14 +36,22 @@ impl Sgd {
     /// Plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -95,7 +103,15 @@ impl Adam {
     /// Adam with standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     /// The Adam configuration used in the paper's experiments (lr = 1e-4).
@@ -168,7 +184,10 @@ mod tests {
         };
         let plain = run(Sgd::new(0.02));
         let momentum = run(Sgd::with_momentum(0.02, 0.9));
-        assert!(momentum < plain, "momentum ({momentum}) should beat plain SGD ({plain})");
+        assert!(
+            momentum < plain,
+            "momentum ({momentum}) should beat plain SGD ({plain})"
+        );
     }
 
     #[test]
@@ -206,7 +225,10 @@ mod tests {
         let mut x2 = [5.0f32];
         opt.step(&mut x1, &[2.0]);
         opt2.step(&mut x2, &[2.0]);
-        assert_eq!(x1, x2, "after reset the optimizer must behave like a fresh one");
+        assert_eq!(
+            x1, x2,
+            "after reset the optimizer must behave like a fresh one"
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub fn rank_subset(subset: &[usize], classes: usize) -> u64 {
         subset.windows(2).all(|w| w[0] < w[1]),
         "subset must be strictly increasing: {subset:?}"
     );
-    assert!(*subset.last().unwrap() < classes, "subset element out of range");
+    assert!(
+        *subset.last().unwrap() < classes,
+        "subset element out of range"
+    );
     let k = subset.len();
     let mut rank: u64 = 0;
     let mut prev: isize = -1;
@@ -52,7 +55,10 @@ pub fn rank_subset(subset: &[usize], classes: usize) -> u64 {
 /// Inverse of [`rank_subset`]: the `rank`-th (lexicographic) `k`-subset of
 /// `[0, classes)`.
 pub fn unrank_subset(mut rank: u64, k: usize, classes: usize) -> Vec<usize> {
-    assert!(k >= 1 && k <= classes, "subset size {k} out of range for {classes} classes");
+    assert!(
+        k >= 1 && k <= classes,
+        "subset size {k} out of range for {classes} classes"
+    );
     assert!(rank < binomial(classes, k), "rank {rank} out of range");
     let mut subset = Vec::with_capacity(k);
     let mut start = 0usize;
@@ -126,7 +132,12 @@ impl RegistryLayout {
             block_offsets.push(offset);
             offset += binomial(classes, i) as usize;
         }
-        RegistryLayout { classes, reference_set: g, block_offsets, total_len: offset }
+        RegistryLayout {
+            classes,
+            reference_set: g,
+            block_offsets,
+            total_len: offset,
+        }
     }
 
     /// The layout used by the paper's group-1 experiments
@@ -171,7 +182,12 @@ impl RegistryLayout {
             .reference_set
             .iter()
             .position(|&i| i == size)
-            .unwrap_or_else(|| panic!("category size {size} is not in the reference set {:?}", self.reference_set));
+            .unwrap_or_else(|| {
+                panic!(
+                    "category size {size} is not in the reference set {:?}",
+                    self.reference_set
+                )
+            });
         self.block_offsets[block] + rank_subset(&category.classes, self.classes) as usize
     }
 
@@ -179,12 +195,17 @@ impl RegistryLayout {
     ///
     /// [`position`]: RegistryLayout::position
     pub fn category_at(&self, position: usize) -> Category {
-        assert!(position < self.total_len, "position {position} out of range");
+        assert!(
+            position < self.total_len,
+            "position {position} out of range"
+        );
         for (block, &i) in self.reference_set.iter().enumerate().rev() {
             let offset = self.block_offsets[block];
             if position >= offset {
                 let rank = (position - offset) as u64;
-                return Category { classes: unrank_subset(rank, i, self.classes) };
+                return Category {
+                    classes: unrank_subset(rank, i, self.classes),
+                };
             }
         }
         unreachable!("block offsets start at zero");

@@ -86,12 +86,18 @@ impl DubheConfig {
 
     /// Returns a copy with different thresholds (used by the parameter search).
     pub fn with_thresholds(&self, thresholds: Vec<f64>) -> Self {
-        DubheConfig { thresholds, ..self.clone() }
+        DubheConfig {
+            thresholds,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different multi-time `H`.
     pub fn with_multi_time(&self, h: usize) -> Self {
-        DubheConfig { multi_time_h: h, ..self.clone() }
+        DubheConfig {
+            multi_time_h: h,
+            ..self.clone()
+        }
     }
 }
 
@@ -142,6 +148,9 @@ mod tests {
     fn with_helpers_update_fields() {
         let cfg = DubheConfig::group1();
         assert_eq!(cfg.with_multi_time(10).multi_time_h, 10);
-        assert_eq!(cfg.with_thresholds(vec![0.5, 0.2, 0.0]).thresholds, vec![0.5, 0.2, 0.0]);
+        assert_eq!(
+            cfg.with_thresholds(vec![0.5, 0.2, 0.0]).thresholds,
+            vec![0.5, 0.2, 0.0]
+        );
     }
 }

@@ -81,7 +81,8 @@ impl DubheSelector {
     pub fn reregister(&mut self, client_distributions: &[ClassDistribution], thresholds: Vec<f64>) {
         self.config = self.config.with_thresholds(thresholds);
         let thresholds = self.config.effective_thresholds();
-        let (registrations, overall) = register_all(client_distributions, &self.layout, &thresholds);
+        let (registrations, overall) =
+            register_all(client_distributions, &self.layout, &thresholds);
         self.registrations = registrations;
         self.overall_registry = overall;
     }
@@ -98,15 +99,20 @@ impl DubheSelector {
     /// Adjusts a participation set to exactly `K` clients: uniformly add
     /// non-participating clients if too few volunteered, uniformly drop
     /// participants if too many did.
-    pub fn adjust_to_k<R: Rng + ?Sized>(&self, mut selected: Vec<ClientId>, rng: &mut R) -> Vec<ClientId> {
+    pub fn adjust_to_k<R: Rng + ?Sized>(
+        &self,
+        mut selected: Vec<ClientId>,
+        rng: &mut R,
+    ) -> Vec<ClientId> {
         let k = self.config.k;
         if selected.len() > k {
             selected.shuffle(rng);
             selected.truncate(k);
         } else if selected.len() < k {
             let chosen: std::collections::HashSet<ClientId> = selected.iter().copied().collect();
-            let mut others: Vec<ClientId> =
-                (0..self.population).filter(|id| !chosen.contains(id)).collect();
+            let mut others: Vec<ClientId> = (0..self.population)
+                .filter(|id| !chosen.contains(id))
+                .collect();
             others.shuffle(rng);
             selected.extend(others.into_iter().take(k - selected.len()));
         }
@@ -136,6 +142,10 @@ impl ClientSelector for DubheSelector {
 
     fn target_participants(&self) -> usize {
         self.config.k
+    }
+
+    fn registry_len(&self) -> Option<usize> {
+        Some(self.layout.len())
     }
 }
 
@@ -180,11 +190,19 @@ mod tests {
         let sel = DubheSelector::new(&dists, DubheConfig::group1());
         let expected: f64 = (0..1000).map(|id| sel.client_probability(id)).sum();
         // Eq. (7): the expectation equals K when no probability saturates.
-        assert!((expected - 20.0).abs() < 1.0, "expected volunteers {expected}");
+        assert!(
+            (expected - 20.0).abs() < 1.0,
+            "expected volunteers {expected}"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let mean_volunteers: f64 =
-            (0..50).map(|_| sel.proactive_participation(&mut rng).len() as f64).sum::<f64>() / 50.0;
-        assert!((mean_volunteers - 20.0).abs() < 4.0, "observed volunteers {mean_volunteers}");
+        let mean_volunteers: f64 = (0..50)
+            .map(|_| sel.proactive_participation(&mut rng).len() as f64)
+            .sum::<f64>()
+            / 50.0;
+        assert!(
+            (mean_volunteers - 20.0).abs() < 4.0,
+            "observed volunteers {mean_volunteers}"
+        );
     }
 
     #[test]
@@ -216,7 +234,10 @@ mod tests {
         // Every client in the same category has the same probability.
         let mut by_position: std::collections::HashMap<usize, Vec<f64>> = Default::default();
         for (id, reg) in sel.registrations().iter().enumerate() {
-            by_position.entry(reg.position).or_default().push(sel.client_probability(id));
+            by_position
+                .entry(reg.position)
+                .or_default()
+                .push(sel.client_probability(id));
         }
         for (pos, probs) in by_position {
             let first = probs[0];

@@ -27,14 +27,20 @@ impl GreedySelector {
     /// Creates a greedy selector from every client's label distribution.
     pub fn new(client_distributions: &[ClassDistribution], k: usize) -> Self {
         assert!(!client_distributions.is_empty(), "need at least one client");
-        assert!(k > 0 && k <= client_distributions.len(), "K must be in [1, N]");
+        assert!(
+            k > 0 && k <= client_distributions.len(),
+            "K must be in [1, N]"
+        );
         let classes = client_distributions[0].classes();
         assert!(
             client_distributions.iter().all(|d| d.classes() == classes),
             "all clients must share the same class space"
         );
         GreedySelector {
-            client_counts: client_distributions.iter().map(|d| d.counts().to_vec()).collect(),
+            client_counts: client_distributions
+                .iter()
+                .map(|d| d.counts().to_vec())
+                .collect(),
             classes,
             k,
         }
@@ -65,8 +71,8 @@ impl ClientSelector for GreedySelector {
 
         while selected.len() < self.k {
             let mut best: Option<(ClientId, f64)> = None;
-            for candidate in 0..n {
-                if in_set[candidate] {
+            for (candidate, &already_in) in in_set.iter().enumerate().take(n) {
+                if already_in {
                     continue;
                 }
                 // KL of the aggregate if this candidate joined.
@@ -164,8 +170,9 @@ mod tests {
 
     #[test]
     fn greedy_returns_distinct_sorted_clients() {
-        let dists: Vec<ClassDistribution> =
-            (0..30).map(|_| ClassDistribution::from_counts(vec![5, 5, 5])).collect();
+        let dists: Vec<ClassDistribution> = (0..30)
+            .map(|_| ClassDistribution::from_counts(vec![5, 5, 5]))
+            .collect();
         let mut sel = GreedySelector::new(&dists, 10);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let s = sel.select(&mut rng);

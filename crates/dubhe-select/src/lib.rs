@@ -68,10 +68,12 @@ pub use codebook::{binomial, Category, RegistryLayout};
 pub use config::DubheConfig;
 pub use dubhe::DubheSelector;
 pub use greedy::GreedySelector;
-pub use multi_time::{multi_time_select, MultiTimeOutcome};
+pub use multi_time::{
+    multi_time_select, secure_multi_time_select, MultiTimeOutcome, SecureMultiTimeOutcome,
+};
 pub use param_search::{parameter_search, SearchGrid, SearchOutcome};
 pub use probability::participation_probability;
-pub use registry::{register, register_all, Registration};
+pub use registry::{register, register_all, register_all_encrypted, Registration};
 pub use secure::{secure_evaluate_try, secure_registration, SecureRegistrationEpoch, ServerView};
 pub use selector::{
     population_distribution, population_unbiasedness, selection_stats, ClientId, ClientSelector,

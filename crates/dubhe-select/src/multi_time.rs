@@ -12,9 +12,11 @@
 //!   `‖E_h(p_o,h) − p_u‖₁`.
 
 use dubhe_data::{l1_distance, mean_proportions, ClassDistribution};
+use dubhe_he::{PrivateKey, PublicKey};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::secure::{secure_evaluate_try, SecureTryOutcome};
 use crate::selector::{population_distribution, ClientId, ClientSelector};
 
 /// The outcome of one multi-time selection round.
@@ -79,6 +81,81 @@ where
     }
 }
 
+/// The outcome of one *secure* multi-time selection round: the plaintext
+/// decision plus everything that crossed the network encrypted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecureMultiTimeOutcome {
+    /// The clients of the winning try `h*`.
+    pub selected: Vec<ClientId>,
+    /// Index of the winning try.
+    pub best_try: usize,
+    /// `EMD* = ‖p_o,h* − p_u‖₁` as measured by the agent on decrypted sums.
+    pub best_distance: f64,
+    /// The per-try secure evaluations, in order.
+    pub tries: Vec<SecureTryOutcome>,
+    /// Total ciphertext bytes across all tries (≈ `H·K` encrypted
+    /// distributions, the paper's §6.4 multi-time overhead).
+    pub ciphertext_bytes: usize,
+}
+
+/// Runs `h` tentative selections with the *secure* §5.3.1 exchange: each
+/// try's tentatively selected clients encrypt their scaled label
+/// distributions under the epoch key (fast precomputed-base path), the
+/// server homomorphically sums them, and the agent decrypts only the sums to
+/// pick `h* = argmin_h ‖p_o,h − p_u‖₁`.
+///
+/// Functionally equivalent to [`multi_time_select`] (the agent learns the
+/// same winning try); the difference is what the server sees — ciphertexts
+/// only — and what this costs, which the outcome reports.
+///
+/// # Panics
+/// Panics if `h == 0` or any try selects no clients.
+pub fn secure_multi_time_select<S, R>(
+    selector: &mut S,
+    client_distributions: &[ClassDistribution],
+    h: usize,
+    public_key: &PublicKey,
+    private_key: &PrivateKey,
+    rng: &mut R,
+) -> SecureMultiTimeOutcome
+where
+    S: ClientSelector + ?Sized,
+    R: Rng,
+{
+    assert!(h >= 1, "multi-time selection needs at least one try");
+    let mut tries: Vec<Vec<ClientId>> = Vec::with_capacity(h);
+    let mut outcomes: Vec<SecureTryOutcome> = Vec::with_capacity(h);
+    for _ in 0..h {
+        let selected = selector.select(rng);
+        let outcome = secure_evaluate_try(
+            &selected,
+            client_distributions,
+            public_key,
+            private_key,
+            rng,
+        );
+        outcomes.push(outcome);
+        tries.push(selected);
+    }
+    let best_try = outcomes
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.distance_to_uniform
+                .partial_cmp(&b.1.distance_to_uniform)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .expect("h >= 1");
+    SecureMultiTimeOutcome {
+        selected: tries[best_try].clone(),
+        best_try,
+        best_distance: outcomes[best_try].distance_to_uniform,
+        ciphertext_bytes: outcomes.iter().map(|o| o.ciphertext_bytes).sum(),
+        tries: outcomes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +163,7 @@ mod tests {
     use crate::dubhe::DubheSelector;
     use crate::selector::RandomSelector;
     use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+    use dubhe_he::Keypair;
     use rand::SeedableRng;
 
     fn clients(n: usize, seed: u64) -> Vec<ClassDistribution> {
@@ -110,7 +188,11 @@ mod tests {
         let outcome = multi_time_select(&mut sel, &dists, 10, &mut rng);
         assert_eq!(outcome.all_distances.len(), 10);
         assert_eq!(outcome.selected.len(), 20);
-        let min = outcome.all_distances.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = outcome
+            .all_distances
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!((outcome.best_distance - min).abs() < 1e-12);
         assert!((outcome.all_distances[outcome.best_try] - min).abs() < 1e-12);
     }
@@ -167,6 +249,36 @@ mod tests {
         let mean_try: f64 =
             outcome.all_distances.iter().sum::<f64>() / outcome.all_distances.len() as f64;
         assert!(outcome.expectation_distance <= mean_try + 1e-9);
+    }
+
+    #[test]
+    fn secure_multi_time_picks_the_argmin_try_over_decrypted_sums() {
+        let dists = clients(80, 11);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let (pk, sk) = Keypair::generate(256, &mut rng).split();
+
+        let mut sel = DubheSelector::new(&dists, DubheConfig::group1());
+        let secure = secure_multi_time_select(&mut sel, &dists, 5, &pk, &sk, &mut rng);
+
+        assert_eq!(secure.tries.len(), 5);
+        let min = secure
+            .tries
+            .iter()
+            .map(|t| t.distance_to_uniform)
+            .fold(f64::INFINITY, f64::min);
+        assert!((secure.best_distance - min).abs() < 1e-12);
+        assert!(
+            (secure.tries[secure.best_try].distance_to_uniform - min).abs() < 1e-12,
+            "best_try must index the minimising try"
+        );
+        // Every try's decrypted population is a probability distribution.
+        for t in &secure.tries {
+            assert!((t.population.iter().sum::<f64>() - 1.0).abs() < 1e-4);
+        }
+        assert!(secure.ciphertext_bytes > 0);
+        let per_try_messages: usize = secure.tries.iter().map(|t| t.messages).sum();
+        assert_eq!(per_try_messages, 5 * 20, "H tries x K clients");
+        assert_eq!(secure.selected.len(), 20);
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub struct SearchGrid {
 
 impl Default for SearchGrid {
     fn default() -> Self {
-        SearchGrid { values: vec![0.1, 0.3, 0.5, 0.7, 0.9], tries_per_candidate: 5 }
+        SearchGrid {
+            values: vec![0.1, 0.3, 0.5, 0.7, 0.9],
+            tries_per_candidate: 5,
+        }
     }
 }
 
@@ -79,12 +82,25 @@ pub fn parameter_search<R: Rng>(
     grid: &SearchGrid,
     rng: &mut R,
 ) -> SearchOutcome {
-    assert!(!grid.values.is_empty(), "the search grid must contain candidate values");
-    assert!(grid.tries_per_candidate >= 1, "need at least one try per candidate");
+    assert!(
+        !grid.values.is_empty(),
+        "the search grid must contain candidate values"
+    );
+    assert!(
+        grid.tries_per_candidate >= 1,
+        "need at least one try per candidate"
+    );
     let layout = config.validate();
     // One free threshold per reference-set entry except the fallback (i = C).
-    let free_slots = layout.reference_set().iter().filter(|&&i| i != config.classes).count();
-    assert!(free_slots >= 1, "the reference set has no searchable thresholds");
+    let free_slots = layout
+        .reference_set()
+        .iter()
+        .filter(|&&i| i != config.classes)
+        .count();
+    assert!(
+        free_slots >= 1,
+        "the reference set has no searchable thresholds"
+    );
 
     let mut candidates = Vec::new();
     let mut best: Option<(Vec<f64>, f64)> = None;
@@ -124,7 +140,11 @@ pub fn parameter_search<R: Rng>(
     }
 
     let (best_thresholds, best_objective) = best.expect("grid is non-empty");
-    SearchOutcome { best_thresholds, best_objective, candidates }
+    SearchOutcome {
+        best_thresholds,
+        best_objective,
+        candidates,
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +180,10 @@ mod tests {
     fn search_explores_the_full_grid_and_picks_the_minimum() {
         let dists = clients(300, 1);
         let config = DubheConfig::group1();
-        let grid = SearchGrid { values: vec![0.3, 0.7], tries_per_candidate: 3 };
+        let grid = SearchGrid {
+            values: vec![0.3, 0.7],
+            tries_per_candidate: 3,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let outcome = parameter_search(&dists, &config, &grid, &mut rng);
         // Two free slots (i = 1, 2) with two values each -> 4 candidates.
@@ -180,7 +203,10 @@ mod tests {
     fn searched_thresholds_beat_random_selection() {
         let dists = clients(500, 3);
         let config = DubheConfig::group1();
-        let grid = SearchGrid { values: vec![0.1, 0.5, 0.7, 0.9], tries_per_candidate: 3 };
+        let grid = SearchGrid {
+            values: vec![0.1, 0.5, 0.7, 0.9],
+            tries_per_candidate: 3,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let outcome = parameter_search(&dists, &config, &grid, &mut rng);
 
@@ -193,7 +219,10 @@ mod tests {
             dubhe_sum += population_unbiasedness(&dubhe.select(&mut rng), &dists);
             random_sum += population_unbiasedness(&random.select(&mut rng), &dists);
         }
-        assert!(dubhe_sum < random_sum, "tuned Dubhe ({dubhe_sum:.3}) vs random ({random_sum:.3})");
+        assert!(
+            dubhe_sum < random_sum,
+            "tuned Dubhe ({dubhe_sum:.3}) vs random ({random_sum:.3})"
+        );
     }
 
     #[test]
@@ -210,7 +239,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let dists = spec.build_partition(&mut rng).client_distributions();
         let config = DubheConfig::group2();
-        let grid = SearchGrid { values: vec![0.3, 0.6], tries_per_candidate: 2 };
+        let grid = SearchGrid {
+            values: vec![0.3, 0.6],
+            tries_per_candidate: 2,
+        };
         let outcome = parameter_search(&dists, &config, &grid, &mut rng);
         assert_eq!(outcome.candidates.len(), 2);
         assert_eq!(outcome.best_thresholds.len(), 2);
@@ -221,7 +253,10 @@ mod tests {
     fn empty_grid_panics() {
         let dists = clients(50, 6);
         let config = DubheConfig::group1();
-        let grid = SearchGrid { values: vec![], tries_per_candidate: 2 };
+        let grid = SearchGrid {
+            values: vec![],
+            tries_per_candidate: 2,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let _ = parameter_search(&dists, &config, &grid, &mut rng);
     }

@@ -64,7 +64,11 @@ pub fn expected_per_category(overall: &[u64], k: usize) -> Vec<f64> {
 /// `K` below the number of occupied categories so no probability reaches 1.
 pub fn saturation_free(overall: &[u64], k: usize) -> bool {
     let nonzero = overall.iter().filter(|&&c| c > 0).count();
-    k < nonzero.max(1) || overall.iter().filter(|&&c| c > 0).all(|&c| c as usize * nonzero >= k)
+    k < nonzero.max(1)
+        || overall
+            .iter()
+            .filter(|&&c| c > 0)
+            .all(|&c| c as usize * nonzero >= k)
 }
 
 /// Summary of one probability assignment (handy for experiment logs).
@@ -82,10 +86,16 @@ pub struct ProbabilityProfile {
 
 /// Computes a [`ProbabilityProfile`] for an overall registry.
 pub fn profile(overall: &[u64], k: usize) -> ProbabilityProfile {
-    let occupied: Vec<usize> =
-        overall.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, _)| i).collect();
-    let probs: Vec<f64> =
-        occupied.iter().map(|&pos| participation_probability(overall, pos, k)).collect();
+    let occupied: Vec<usize> = overall
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, _)| i)
+        .collect();
+    let probs: Vec<f64> = occupied
+        .iter()
+        .map(|&pos| participation_probability(overall, pos, k))
+        .collect();
     ProbabilityProfile {
         occupied_categories: occupied.len(),
         expected_participants: expected_participation(overall, k),

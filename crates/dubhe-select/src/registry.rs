@@ -10,6 +10,8 @@
 //! class" fallback for balanced clients.
 
 use dubhe_data::ClassDistribution;
+use dubhe_he::{EncryptedVector, PrecomputedEncryptor};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::codebook::{Category, RegistryLayout};
@@ -44,7 +46,10 @@ pub fn register(
         distribution.classes(),
         layout.classes()
     );
-    assert!(!distribution.is_empty(), "cannot register a client with no data");
+    assert!(
+        !distribution.is_empty(),
+        "cannot register a client with no data"
+    );
     assert_eq!(
         thresholds.len(),
         layout.reference_set().len(),
@@ -65,7 +70,12 @@ pub fn register(
             let position = layout.position(&category);
             let mut registry = vec![0u64; layout.len()];
             registry[position] = 1;
-            return Registration { category, dominating_count: i, registry, position };
+            return Registration {
+                category,
+                dominating_count: i,
+                registry,
+                position,
+            };
         }
     }
     unreachable!("the C-sized fallback category always matches because σ_C = 0");
@@ -89,6 +99,34 @@ pub fn register_all(
         })
         .collect();
     (registrations, overall)
+}
+
+/// Registers every client and encrypts each one-hot registry under the epoch
+/// key — the client-side half of Fig. 4's secure registration.
+///
+/// All clients share `encryptor` (and through it the key's one fixed-base
+/// table), so the per-epoch precomputation is paid once, not `N` times; the
+/// per-client encryption itself runs the short-exponent fast path and, with
+/// `dubhe-he`'s default `parallel` feature, fans out over cores.
+pub fn register_all_encrypted<R: Rng + ?Sized>(
+    distributions: &[ClassDistribution],
+    layout: &RegistryLayout,
+    thresholds: &[f64],
+    encryptor: &PrecomputedEncryptor,
+    rng: &mut R,
+) -> (Vec<Registration>, Vec<EncryptedVector>) {
+    let mut registrations = Vec::with_capacity(distributions.len());
+    let mut encrypted = Vec::with_capacity(distributions.len());
+    for d in distributions {
+        let r = register(d, layout, thresholds);
+        encrypted.push(EncryptedVector::encrypt_u64_with(
+            encryptor,
+            &r.registry,
+            rng,
+        ));
+        registrations.push(r);
+    }
+    (registrations, encrypted)
 }
 
 /// Summary of an overall registry used by the Fig. 10 sparsity analysis.

@@ -19,15 +19,15 @@
 
 use dubhe_data::ClassDistribution;
 use dubhe_he::{
-    ciphertext_size_bytes, transport::plaintext_vector_bytes, EncryptedVector, FixedPointCodec,
-    Keypair, PrivateKey, PublicKey,
+    ciphertext_size_bytes, sum_vectors, transport::plaintext_vector_bytes, EncryptedVector,
+    FixedPointCodec, Keypair, PrecomputedEncryptor, PrivateKey, PublicKey,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::codebook::RegistryLayout;
 use crate::config::DubheConfig;
-use crate::registry::{register, Registration};
+use crate::registry::{register_all_encrypted, Registration};
 
 /// What the honest-but-curious server observes during one registration epoch.
 ///
@@ -59,16 +59,11 @@ impl ServerView {
         }
     }
 
-    /// The server's aggregation step: homomorphic sum of everything received.
+    /// The server's aggregation step: homomorphic sum of everything received,
+    /// parallel across registry positions (`dubhe-he`'s `parallel` feature).
     fn aggregate(&mut self) {
-        let mut total: Option<EncryptedVector> = None;
-        for enc in &self.encrypted_registries {
-            total = Some(match total {
-                None => enc.clone(),
-                Some(t) => t.add(enc).expect("same epoch key and registry length"),
-            });
-        }
-        self.encrypted_total = total;
+        self.encrypted_total =
+            sum_vectors(&self.encrypted_registries).expect("same epoch key and registry length");
     }
 }
 
@@ -103,27 +98,31 @@ pub fn secure_registration<R: Rng + ?Sized>(
     let layout = config.validate();
     let thresholds = config.effective_thresholds();
 
-    // 1. A random agent generates and dispatches the keypair.
+    // 1. A random agent generates and dispatches the keypair, paying the
+    //    epoch's one-time fixed-base precomputation up front so every
+    //    client's encryption runs the short-exponent fast path.
     let agent = rng.gen_range(0..client_distributions.len());
     let keypair = Keypair::generate(key_bits, rng);
     let (public_key, private_key) = keypair.split();
+    let encryptor = PrecomputedEncryptor::new(&public_key, rng);
 
     let mut server = ServerView::new(public_key.clone());
-    let mut registrations = Vec::with_capacity(client_distributions.len());
 
     // 2. Clients register, encrypt and send.
-    for dist in client_distributions {
-        let registration = register(dist, &layout, &thresholds);
-        let encrypted = EncryptedVector::encrypt_u64(&public_key, &registration.registry, rng);
+    let (registrations, encrypted_registries) =
+        register_all_encrypted(client_distributions, &layout, &thresholds, &encryptor, rng);
+    for encrypted in encrypted_registries {
         server.bytes_received += encrypted.byte_len();
         server.messages_received += 1;
         server.encrypted_registries.push(encrypted);
-        registrations.push(registration);
     }
 
     // 3. Server aggregates blindly and broadcasts.
     server.aggregate();
-    let encrypted_total = server.encrypted_total.clone().expect("at least one client registered");
+    let encrypted_total = server
+        .encrypted_total
+        .clone()
+        .expect("at least one client registered");
 
     // 4. Clients decrypt the broadcast total.
     let overall_registry = encrypted_total.decrypt_u64(&private_key);
@@ -161,23 +160,28 @@ pub fn secure_evaluate_try<R: Rng + ?Sized>(
     private_key: &PrivateKey,
     rng: &mut R,
 ) -> SecureTryOutcome {
-    assert!(!selected.is_empty(), "cannot evaluate an empty tentative selection");
+    assert!(
+        !selected.is_empty(),
+        "cannot evaluate an empty tentative selection"
+    );
     let codec = FixedPointCodec::default();
     let classes = client_distributions[0].classes();
 
-    let mut server_sum: Option<EncryptedVector> = None;
+    // Every tentatively selected client shares the epoch key's fixed-base
+    // table; encryption of the scaled distributions is the fast path.
+    let encryptor = PrecomputedEncryptor::new(public_key, rng);
+    let mut encrypted_distributions = Vec::with_capacity(selected.len());
     let mut bytes = 0usize;
     for &id in selected {
         let proportions = client_distributions[id].proportions();
         let scaled = codec.encode_vec(&proportions);
-        let encrypted = EncryptedVector::encrypt_u64(public_key, &scaled, rng);
+        let encrypted = EncryptedVector::encrypt_u64_with(&encryptor, &scaled, rng);
         bytes += encrypted.byte_len();
-        server_sum = Some(match server_sum {
-            None => encrypted,
-            Some(total) => total.add(&encrypted).expect("same key and length"),
-        });
+        encrypted_distributions.push(encrypted);
     }
-    let encrypted_sum = server_sum.expect("non-empty selection");
+    let encrypted_sum = sum_vectors(&encrypted_distributions)
+        .expect("same key and length")
+        .expect("non-empty selection");
 
     // Agent side: decrypt and average.
     let decrypted = encrypted_sum.decrypt_u64(private_key);
@@ -232,8 +236,7 @@ mod tests {
 
         // The decrypted overall registry equals the plaintext sum.
         let layout = config.validate();
-        let (_, plaintext_overall) =
-            register_all(&dists, &layout, &config.effective_thresholds());
+        let (_, plaintext_overall) = register_all(&dists, &layout, &config.effective_thresholds());
         assert_eq!(epoch.overall_registry, plaintext_overall);
         assert_eq!(epoch.registrations.len(), 30);
         assert!(epoch.agent < 30);
@@ -278,7 +281,10 @@ mod tests {
             .iter()
             .map(|r| participation_probability(&epoch.overall_registry, r.position, config.k))
             .sum();
-        assert!((expected - config.k as f64).abs() < 1.0, "expected participation {expected}");
+        assert!(
+            (expected - config.k as f64).abs() < 1.0,
+            "expected participation {expected}"
+        );
     }
 
     #[test]

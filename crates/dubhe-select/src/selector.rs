@@ -26,6 +26,13 @@ pub trait ClientSelector: Send {
 
     /// The target number of participants per round.
     fn target_participants(&self) -> usize;
+
+    /// Length of the encrypted registry this selector's registration epoch
+    /// exchanges, or `None` for selectors with no registration phase.
+    /// Used by the FL simulator to charge ciphertext bytes to the ledger.
+    fn registry_len(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The population (participated-data) label distribution `p_o` of a selected
@@ -35,14 +42,20 @@ pub fn population_distribution(
     selected: &[ClientId],
     client_distributions: &[ClassDistribution],
 ) -> Vec<f64> {
-    assert!(!selected.is_empty(), "population distribution of an empty selection is undefined");
+    assert!(
+        !selected.is_empty(),
+        "population distribution of an empty selection is undefined"
+    );
     let classes = client_distributions
         .first()
         .map(|d| d.classes())
         .expect("need at least one client distribution");
     let mut acc = vec![0.0f64; classes];
     for &id in selected {
-        assert!(id < client_distributions.len(), "selected client {id} out of range");
+        assert!(
+            id < client_distributions.len(),
+            "selected client {id} out of range"
+        );
         let p = client_distributions[id].proportions();
         for (a, v) in acc.iter_mut().zip(&p) {
             *a += v;
@@ -93,7 +106,11 @@ pub fn selection_stats<S: ClientSelector + ?Sized, R: Rng>(
         .collect();
     let mean = values.iter().sum::<f64>() / values.len() as f64;
     let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
-    SelectionStats { mean, std: var.sqrt(), repetitions }
+    SelectionStats {
+        mean,
+        std: var.sqrt(),
+        repetitions,
+    }
 }
 
 /// The random-selection baseline: a uniform sample of `k` distinct clients.

@@ -13,9 +13,8 @@ use rand::SeedableRng;
 
 /// A strategy producing a non-empty 10-class count vector.
 fn counts_10() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..200, 10).prop_filter("at least one sample", |v| {
-        v.iter().sum::<u64>() > 0
-    })
+    prop::collection::vec(0u64..200, 10)
+        .prop_filter("at least one sample", |v| v.iter().sum::<u64>() > 0)
 }
 
 proptest! {

@@ -48,10 +48,22 @@ fn main() {
     let g = selection_stats(&mut greedy, &dists, reps, &mut rng);
     let greedy_time = t.elapsed();
 
-    println!("||p_o - p_u||_1 over {reps} selections of K = {k} out of {}:", dists.len());
-    println!("  Random : mean {:.4} +/- {:.4}   ({:.2?} total)", r.mean, r.std, random_time);
-    println!("  Dubhe  : mean {:.4} +/- {:.4}   ({:.2?} total)", d.mean, d.std, dubhe_time);
-    println!("  Greedy : mean {:.4} +/- {:.4}   ({:.2?} total)", g.mean, g.std, greedy_time);
+    println!(
+        "||p_o - p_u||_1 over {reps} selections of K = {k} out of {}:",
+        dists.len()
+    );
+    println!(
+        "  Random : mean {:.4} +/- {:.4}   ({:.2?} total)",
+        r.mean, r.std, random_time
+    );
+    println!(
+        "  Dubhe  : mean {:.4} +/- {:.4}   ({:.2?} total)",
+        d.mean, d.std, dubhe_time
+    );
+    println!(
+        "  Greedy : mean {:.4} +/- {:.4}   ({:.2?} total)",
+        g.mean, g.std, greedy_time
+    );
     println!();
     println!(
         "Dubhe reduces the distance to uniform by {:.1}% vs random while never \

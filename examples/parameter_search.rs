@@ -27,7 +27,10 @@ fn main() {
     println!("federation: {} with {} clients", spec.name(), dists.len());
 
     let base = DubheConfig::group1();
-    let grid = SearchGrid { values: vec![0.1, 0.3, 0.5, 0.7, 0.9], tries_per_candidate: 5 };
+    let grid = SearchGrid {
+        values: vec![0.1, 0.3, 0.5, 0.7, 0.9],
+        tries_per_candidate: 5,
+    };
     println!(
         "searching sigma_1, sigma_2 over {:?} with H = {} tries per candidate ...",
         grid.values, grid.tries_per_candidate
@@ -51,8 +54,10 @@ fn main() {
     let reps = 50;
     let mut random = RandomSelector::new(dists.len(), base.k);
     let mut default_dubhe = DubheSelector::new(&dists, base.clone());
-    let mut tuned_dubhe =
-        DubheSelector::new(&dists, base.with_thresholds(outcome.best_thresholds.clone()));
+    let mut tuned_dubhe = DubheSelector::new(
+        &dists,
+        base.with_thresholds(outcome.best_thresholds.clone()),
+    );
     let r = selection_stats(&mut random, &dists, reps, &mut rng);
     let d0 = selection_stats(&mut default_dubhe, &dists, reps, &mut rng);
     let d1 = selection_stats(&mut tuned_dubhe, &dists, reps, &mut rng);

@@ -35,8 +35,14 @@ fn main() {
     let dists = data.client_distributions();
     println!("federation   : {}", spec.name());
     println!("clients      : {}", data.num_clients());
-    println!("global rho   : {:.2}", data.partition.global.imbalance_ratio());
-    println!("achieved EMD : {:.3}", data.partition.partition.achieved_emd);
+    println!(
+        "global rho   : {:.2}",
+        data.partition.global.imbalance_ratio()
+    );
+    println!(
+        "achieved EMD : {:.3}",
+        data.partition.partition.achieved_emd
+    );
     println!();
 
     // ------------------------------------------------------------------
@@ -53,7 +59,10 @@ fn main() {
         ("Dubhe", dubhe.select(&mut rng)),
         ("Greedy", greedy.select(&mut rng)),
     ] {
-        println!("  {name:<7}: {:.4}", population_unbiasedness(&selected, &dists));
+        println!(
+            "  {name:<7}: {:.4}",
+            population_unbiasedness(&selected, &dists)
+        );
     }
     println!();
 
@@ -66,7 +75,10 @@ fn main() {
     println!("  Random : {:.4} +/- {:.4}", r.mean, r.std);
     println!("  Dubhe  : {:.4} +/- {:.4}", d.mean, d.std);
     println!("  Greedy : {:.4} +/- {:.4}", g.mean, g.std);
-    println!("  Dubhe reduces the gap by {:.1}% vs random", 100.0 * (1.0 - d.mean / r.mean));
+    println!(
+        "  Dubhe reduces the gap by {:.1}% vs random",
+        100.0 * (1.0 - d.mean / r.mean)
+    );
     println!();
 
     // ------------------------------------------------------------------
@@ -84,7 +96,10 @@ fn main() {
         config,
     );
     let history = sim.run();
-    println!("federated training with Dubhe selection ({} rounds):", history.len());
+    println!(
+        "federated training with Dubhe selection ({} rounds):",
+        history.len()
+    );
     for (round, acc) in history.accuracy_curve().iter().step_by(3) {
         println!("  round {round:>3}: test accuracy {acc:.3}");
     }

@@ -40,8 +40,14 @@ fn main() {
     println!("== secure registration epoch ({key_bits}-bit Paillier) ==");
     let epoch = secure_registration(&clients, &config, key_bits, &mut rng);
     println!("agent client              : #{}", epoch.agent);
-    println!("registries received       : {}", epoch.server_view.messages_received);
-    println!("ciphertext bytes received : {}", epoch.server_view.bytes_received);
+    println!(
+        "registries received       : {}",
+        epoch.server_view.messages_received
+    );
+    println!(
+        "ciphertext bytes received : {}",
+        epoch.server_view.bytes_received
+    );
     println!(
         "one registry              : {} B plaintext -> {} B ciphertext ({:.0}x expansion)",
         epoch.registry_plaintext_bytes,
@@ -61,14 +67,20 @@ fn main() {
     println!("\nper-client probabilities (first 10 clients):");
     for (id, reg) in epoch.registrations.iter().take(10).enumerate() {
         let p = participation_probability(&epoch.overall_registry, reg.position, config.k);
-        println!("  client {id:>2}: dominating classes {:?} -> P = {p:.3}", reg.category.classes);
+        println!(
+            "  client {id:>2}: dominating classes {:?} -> P = {p:.3}",
+            reg.category.classes
+        );
     }
     let expected: f64 = epoch
         .registrations
         .iter()
         .map(|r| participation_probability(&epoch.overall_registry, r.position, config.k))
         .sum();
-    println!("expected participants (Eq. 7): {expected:.2} (target K = {})", config.k);
+    println!(
+        "expected participants (Eq. 7): {expected:.2} (target K = {})",
+        config.k
+    );
 
     // A secure multi-time tentative try: the agent learns only the aggregate.
     println!("\n== secure tentative try (encrypted p_l aggregation) ==");
@@ -78,5 +90,8 @@ fn main() {
     let outcome = secure_evaluate_try(&selected, &clients, &pk, &sk, &mut rng);
     println!("tentative clients          : {}", outcome.messages);
     println!("ciphertext bytes exchanged : {}", outcome.ciphertext_bytes);
-    println!("agent-side ||p_o - p_u||_1 : {:.4}", outcome.distance_to_uniform);
+    println!(
+        "agent-side ||p_o - p_u||_1 : {:.4}",
+        outcome.distance_to_uniform
+    );
 }

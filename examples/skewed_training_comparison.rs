@@ -67,12 +67,18 @@ fn main() {
         history
     };
 
-    let random = run("Random selection", Box::new(RandomSelector::new(dists.len(), 20)));
+    let random = run(
+        "Random selection",
+        Box::new(RandomSelector::new(dists.len(), 20)),
+    );
     let dubhe = run(
         "Dubhe selection",
         Box::new(DubheSelector::new(&dists, DubheConfig::group1())),
     );
-    let greedy = run("Greedy selection", Box::new(GreedySelector::new(&dists, 20)));
+    let greedy = run(
+        "Greedy selection",
+        Box::new(GreedySelector::new(&dists, 20)),
+    );
 
     println!("\n=== summary (higher accuracy / lower unbiasedness is better) ===");
     for (name, h) in [("Random", &random), ("Dubhe", &dubhe), ("Greedy", &greedy)] {

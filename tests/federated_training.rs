@@ -46,7 +46,10 @@ fn federated_training_learns_on_balanced_data() {
     );
     let history = sim.run();
     let final_acc = history.final_accuracy().unwrap();
-    assert!(final_acc > 0.5, "balanced federated MNIST-like should learn well, got {final_acc}");
+    assert!(
+        final_acc > 0.5,
+        "balanced federated MNIST-like should learn well, got {final_acc}"
+    );
 }
 
 #[test]

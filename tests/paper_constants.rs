@@ -44,7 +44,10 @@ fn expected_participation_identity_eq7() {
         (vec![100, 1_000, 10_000], 2),
     ] {
         let e = expected_participation(&overall, k);
-        assert!((e - k as f64).abs() < 1e-9, "overall {overall:?}, K={k}: expectation {e}");
+        assert!(
+            (e - k as f64).abs() < 1e-9,
+            "overall {overall:?}, K={k}: expectation {e}"
+        );
     }
 }
 
@@ -61,7 +64,7 @@ fn paillier_2048_ciphertext_size_matches_paper_registry_sizes() {
     assert_eq!(ciphertext_size_bytes(&kp.public), 64);
     let bytes_per_2048_ciphertext = 2 * 2048 / 8;
     let registry_bytes = 56 * bytes_per_2048_ciphertext;
-    assert!(registry_bytes >= 28_000 && registry_bytes <= 32_000);
+    assert!((28_000..=32_000).contains(&registry_bytes));
 }
 
 #[test]

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A deliberately small timing harness with criterion's authoring surface:
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], `b.iter(..)` and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical analysis it
+//! runs a fixed warm-up plus a timed batch and prints mean time per
+//! iteration. `--test` (what CI's bench-smoke job passes) runs every
+//! benchmark body exactly once, so benches double as compile-and-run checks.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id built from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id built from a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; drives the measured loop.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_nanos: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.last_nanos = 0.0;
+            self.iterations = 1;
+            return;
+        }
+        // Warm-up and calibration: find an iteration count that fills a
+        // minimal measurement window, capped to keep slow benches bounded.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(10));
+        let target = Duration::from_millis(300);
+        let iters = (target.as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.last_nanos = elapsed.as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.1} ns")
+    }
+}
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in harness self-calibrates.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in harness self-calibrates.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            last_nanos: 0.0,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (purely cosmetic in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: test_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a stand-alone function.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            last_nanos: 0.0,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        let label = name.to_string();
+        self.report(&label, &bencher);
+        self
+    }
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        if self.test_mode {
+            println!("test {label} ... ok");
+        } else {
+            println!(
+                "{label:<55} {:>12}/iter ({} iterations)",
+                format_nanos(bencher.last_nanos),
+                bencher.iterations
+            );
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("demo");
+        let mut runs = 0u32;
+        group.sample_size(10).bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.finish();
+        assert_eq!(runs, 1, "test mode must run the body exactly once");
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("encrypt", 1024).to_string(),
+            "encrypt/1024"
+        );
+        assert_eq!(BenchmarkId::from_parameter(256).to_string(), "256");
+    }
+}

@@ -1,0 +1,233 @@
+//! Signed arbitrary-precision integers (sign + magnitude).
+//!
+//! Only the surface needed by the workspace's extended-GCD / modular-inverse
+//! code is provided.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{AddAssign, Mul, Rem, Sub};
+
+use num_integer::{ExtendedGcd, Integer};
+use num_traits::{One, Zero};
+
+use crate::biguint::BigUint;
+
+/// The sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// Negative.
+    Minus,
+    /// Zero.
+    NoSign,
+    /// Positive.
+    Plus,
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Builds a signed integer from a sign and magnitude (zero magnitudes are
+    /// normalised to `NoSign`).
+    pub fn from_biguint(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt {
+                sign: Sign::NoSign,
+                mag,
+            }
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Converts to a [`BigUint`], or `None` when negative.
+    pub fn to_biguint(&self) -> Option<BigUint> {
+        match self.sign {
+            Sign::Minus => None,
+            _ => Some(self.mag.clone()),
+        }
+    }
+
+    fn neg(&self) -> Self {
+        let sign = match self.sign {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+            Sign::NoSign => Sign::NoSign,
+        };
+        BigInt {
+            sign,
+            mag: self.mag.clone(),
+        }
+    }
+
+    fn add_ref(&self, other: &Self) -> Self {
+        match (self.sign, other.sign) {
+            (Sign::NoSign, _) => other.clone(),
+            (_, Sign::NoSign) => self.clone(),
+            (a, b) if a == b => BigInt::from_biguint(a, self.mag.add_ref(&other.mag)),
+            _ => match self.mag.cmp(&other.mag) {
+                Ordering::Equal => BigInt::from_biguint(Sign::NoSign, BigUint::zero()),
+                Ordering::Greater => BigInt::from_biguint(self.sign, self.mag.sub_ref(&other.mag)),
+                Ordering::Less => BigInt::from_biguint(other.sign, other.mag.sub_ref(&self.mag)),
+            },
+        }
+    }
+
+    fn sub_ref(&self, other: &Self) -> Self {
+        self.add_ref(&other.neg())
+    }
+
+    fn mul_ref(&self, other: &Self) -> Self {
+        let sign = match (self.sign, other.sign) {
+            (Sign::NoSign, _) | (_, Sign::NoSign) => Sign::NoSign,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        BigInt::from_biguint(sign, self.mag.mul_ref(&other.mag))
+    }
+
+    /// Truncated division (quotient rounds toward zero, remainder takes the
+    /// dividend's sign), matching `num-bigint`.
+    fn div_rem_ref(&self, other: &Self) -> (Self, Self) {
+        let (q_mag, r_mag) = self.mag.div_rem_ref(&other.mag);
+        let q_sign = match (self.sign, other.sign) {
+            (Sign::NoSign, _) => Sign::NoSign,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        (
+            BigInt::from_biguint(q_sign, q_mag),
+            BigInt::from_biguint(self.sign, r_mag),
+        )
+    }
+}
+
+impl Zero for BigInt {
+    fn zero() -> Self {
+        BigInt {
+            sign: Sign::NoSign,
+            mag: BigUint::zero(),
+        }
+    }
+    fn is_zero(&self) -> bool {
+        self.sign == Sign::NoSign
+    }
+}
+
+impl One for BigInt {
+    fn one() -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
+    }
+    fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.mag.is_one()
+    }
+}
+
+impl Integer for BigInt {
+    fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self> {
+        let (mut old_r, mut r) = (self.clone(), other.clone());
+        let (mut old_s, mut s) = (BigInt::one(), BigInt::zero());
+        let (mut old_t, mut t) = (BigInt::zero(), BigInt::one());
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem_ref(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            let new_s = old_s.sub_ref(&q.mul_ref(&s));
+            old_s = std::mem::replace(&mut s, new_s);
+            let new_t = old_t.sub_ref(&q.mul_ref(&t));
+            old_t = std::mem::replace(&mut t, new_t);
+        }
+        // Normalise the gcd to be non-negative.
+        if old_r.sign == Sign::Minus {
+            old_r = old_r.neg();
+            old_s = old_s.neg();
+            old_t = old_t.neg();
+        }
+        ExtendedGcd {
+            gcd: old_r,
+            x: old_s,
+            y: old_t,
+        }
+    }
+}
+
+impl Rem<&BigInt> for BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem_ref(rhs).1
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl Sub<&BigInt> for BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self.sub_ref(rhs)
+    }
+}
+
+impl Mul<&BigInt> for BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        self.mul_ref(rhs)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            f.write_str("-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> BigInt {
+        let sign = match v.cmp(&0) {
+            Ordering::Less => Sign::Minus,
+            Ordering::Equal => Sign::NoSign,
+            Ordering::Greater => Sign::Plus,
+        };
+        BigInt::from_biguint(sign, BigUint::from(v.unsigned_abs()))
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        for (a, b) in [(240i64, 46i64), (17, 5), (12, 8), (1, 1)] {
+            let e = int(a).extended_gcd(&int(b));
+            let lhs = int(a).mul_ref(&e.x).add_ref(&int(b).mul_ref(&e.y));
+            assert_eq!(lhs, e.gcd, "Bezout failed for ({a}, {b})");
+        }
+        let e = int(240).extended_gcd(&int(46));
+        assert_eq!(e.gcd, int(2));
+    }
+
+    #[test]
+    fn rem_takes_dividend_sign() {
+        let r = int(-7) % &int(3);
+        assert_eq!(r, int(-1));
+        let mut r = int(-1);
+        r += &int(3);
+        assert_eq!(r, int(2));
+    }
+}

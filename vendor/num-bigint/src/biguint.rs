@@ -1,0 +1,845 @@
+//! Unsigned arbitrary-precision integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOrAssign, Div, Mul, Rem, Shl, Shr, ShrAssign, Sub};
+use std::str::FromStr;
+
+use num_integer::Integer;
+use num_traits::{One, Zero};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Limbs are base-2⁶⁴, little-endian, normalised (no trailing zero limbs;
+/// zero is the empty limb vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() as u64 * 64 - top.leading_zeros() as u64,
+        }
+    }
+
+    /// Sets or clears the bit at position `bit` (LSB = 0), growing as needed.
+    pub fn set_bit(&mut self, bit: u64, value: bool) {
+        let limb = (bit / 64) as usize;
+        let mask = 1u64 << (bit % 64);
+        if value {
+            if self.limbs.len() <= limb {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= mask;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !mask;
+            while self.limbs.last() == Some(&0) {
+                self.limbs.pop();
+            }
+        }
+    }
+
+    /// The little-endian 64-bit digits (empty for zero), matching
+    /// `num_bigint::BigUint::to_u64_digits`.
+    pub fn to_u64_digits(&self) -> Vec<u64> {
+        self.limbs.clone()
+    }
+
+    /// Big-endian bytes without leading zeros (`[0]` for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.limbs.is_empty() {
+            return vec![0];
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let first = out.iter().position(|&b| b != 0).unwrap_or(out.len() - 1);
+        out.split_off(first)
+    }
+
+    /// Builds a value from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    fn cmp_mag(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    pub(crate) fn add_ref(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u128;
+        for (i, &limb) in long.iter().enumerate() {
+            let s = limb as u128 + *short.get(i).unwrap_or(&0) as u128 + carry;
+            out.push(s as u64);
+            carry = s >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - other`; panics on underflow (matching `num-bigint`).
+    pub(crate) fn sub_ref(&self, other: &Self) -> Self {
+        assert!(
+            self.cmp_mag(other) != Ordering::Less,
+            "BigUint subtraction underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i128 - *other.limbs.get(i).unwrap_or(&0) as i128 - borrow;
+            if d < 0 {
+                out.push((d + (1i128 << 64)) as u64);
+                borrow = 1;
+            } else {
+                out.push(d as u64);
+                borrow = 0;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    pub(crate) fn mul_ref(&self, other: &Self) -> Self {
+        if self.limbs.is_empty() || other.limbs.is_empty() {
+            return BigUint::default();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let s = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let s = out[k] as u128 + carry;
+                out[k] = s as u64;
+                carry = s >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Quotient and remainder (Knuth's Algorithm D). Panics on division by zero.
+    pub(crate) fn div_rem_ref(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.limbs.is_empty(), "division by zero");
+        if self.cmp_mag(divisor) == Ordering::Less {
+            return (BigUint::default(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u128;
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut rem = 0u128;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            return (
+                BigUint::from_limbs(q),
+                BigUint::from_limbs(vec![rem as u64]),
+            );
+        }
+
+        // Knuth D, base 2^64, following the divmnu64 structure.
+        let shift = divisor.limbs.last().unwrap().leading_zeros();
+        let vn = divisor.shl_bits(shift as usize).limbs;
+        let mut un = self.shl_bits(shift as usize).limbs;
+        let n = vn.len();
+        let m = un.len().saturating_sub(n);
+        un.push(0);
+        let mut q = vec![0u64; m + 1];
+        let b = 1u128 << 64;
+
+        for j in (0..=m).rev() {
+            let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = top / vn[n - 1] as u128;
+            let mut rhat = top % vn[n - 1] as u128;
+            while qhat >= b || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128) {
+                qhat -= 1;
+                rhat += vn[n - 1] as u128;
+                if rhat >= b {
+                    break;
+                }
+            }
+
+            // Multiply and subtract (signed-borrow formulation).
+            let mut k = 0i128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128;
+                let t = un[i + j] as i128 - k - (p as u64) as i128;
+                un[i + j] = t as u64;
+                k = (p >> 64) as i128 - (t >> 64);
+            }
+            let t = un[j + n] as i128 - k;
+            un[j + n] = t as u64;
+
+            q[j] = qhat as u64;
+            if t < 0 {
+                // Rare over-estimate: add the divisor back.
+                q[j] -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[i + j] as u128 + vn[i] as u128 + carry;
+                    un[i + j] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+        }
+
+        un.truncate(n);
+        let rem = BigUint::from_limbs(un).shr_bits(shift as usize);
+        (BigUint::from_limbs(q), rem)
+    }
+
+    pub(crate) fn shl_bits(&self, bits: usize) -> Self {
+        if self.limbs.is_empty() || bits == 0 {
+            let mut limbs = vec![0; bits / 64];
+            limbs.extend_from_slice(&self.limbs);
+            return BigUint::from_limbs(if bits == 0 { self.limbs.clone() } else { limbs });
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.limbs {
+                out.push((limb << bit_shift) | carry);
+                carry = limb >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    pub(crate) fn shr_bits(&self, bits: usize) -> Self {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::default();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let mut limb = src[i] >> bit_shift;
+                if i + 1 < src.len() {
+                    limb |= src[i + 1] << (64 - bit_shift);
+                }
+                out.push(limb);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Modular exponentiation: `self^exponent mod modulus`.
+    ///
+    /// Uses windowed Montgomery multiplication for odd moduli (the Paillier
+    /// case — `n²`, `p²` and `q²` are always odd) and falls back to binary
+    /// square-and-multiply with explicit reduction otherwise.
+    pub fn modpow(&self, exponent: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.limbs.is_empty(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::default();
+        }
+        if exponent.limbs.is_empty() {
+            return BigUint::one();
+        }
+        if modulus.limbs[0] & 1 == 1 {
+            let ctx = MontgomeryContext::new(modulus);
+            return ctx.pow(&(self % modulus), exponent);
+        }
+        // Even modulus: plain square-and-multiply.
+        let mut base = self % modulus;
+        let mut result = BigUint::one();
+        for i in 0..exponent.bits() {
+            if exponent.limbs[(i / 64) as usize] >> (i % 64) & 1 == 1 {
+                result = result.mul_ref(&base).div_rem_ref(modulus).1;
+            }
+            base = base.mul_ref(&base).div_rem_ref(modulus).1;
+        }
+        result
+    }
+
+    fn to_decimal(&self) -> String {
+        if self.limbs.is_empty() {
+            return "0".to_string();
+        }
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+        let chunk = BigUint::from(CHUNK);
+        let mut rest = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !rest.limbs.is_empty() {
+            let (q, r) = rest.div_rem_ref(&chunk);
+            parts.push(*r.limbs.first().unwrap_or(&0));
+            rest = q;
+        }
+        let mut s = parts.pop().unwrap().to_string();
+        for part in parts.into_iter().rev() {
+            s.push_str(&format!("{part:019}"));
+        }
+        s
+    }
+}
+
+/// Montgomery context for a fixed odd modulus (CIOS multiplication).
+pub(crate) struct MontgomeryContext {
+    m: Vec<u64>,
+    m_prime: u64,
+    /// R² mod m, used to map into the Montgomery domain.
+    r_squared: Vec<u64>,
+    modulus: BigUint,
+}
+
+impl MontgomeryContext {
+    pub(crate) fn new(modulus: &BigUint) -> Self {
+        debug_assert!(modulus.limbs[0] & 1 == 1);
+        let k = modulus.limbs.len();
+        // -m⁻¹ mod 2⁶⁴ via Newton iteration.
+        let m0 = modulus.limbs[0];
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let m_prime = inv.wrapping_neg();
+        let r_squared = BigUint::one()
+            .shl_bits(128 * k)
+            .div_rem_ref(modulus)
+            .1
+            .limbs_padded(k);
+        MontgomeryContext {
+            m: modulus.limbs.clone(),
+            m_prime,
+            r_squared,
+            modulus: modulus.clone(),
+        }
+    }
+
+    /// CIOS Montgomery product `a·b·R⁻¹ mod m` over k-limb operands.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.m.len();
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter().take(k) {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // Reduce: make t divisible by 2⁶⁴ and shift down one limb.
+            let u = t[0].wrapping_mul(self.m_prime);
+            let mut carry = (t[0] as u128 + u as u128 * self.m[0] as u128) >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + u as u128 * self.m[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1].wrapping_add((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        // Conditional final subtraction to bring t below m.
+        let over = t[k] != 0 || {
+            let mut ge = true;
+            for j in (0..k).rev() {
+                match t[j].cmp(&self.m[j]) {
+                    Ordering::Greater => break,
+                    Ordering::Less => {
+                        ge = false;
+                        break;
+                    }
+                    Ordering::Equal => {}
+                }
+            }
+            ge
+        };
+        if over {
+            let mut borrow = 0i128;
+            for (tj, &mj) in t.iter_mut().zip(&self.m) {
+                let d = *tj as i128 - mj as i128 - borrow;
+                if d < 0 {
+                    *tj = (d + (1i128 << 64)) as u64;
+                    borrow = 1;
+                } else {
+                    *tj = d as u64;
+                    borrow = 0;
+                }
+            }
+            t[k] = (t[k] as i128 - borrow) as u64;
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Windowed exponentiation (4-bit fixed window).
+    fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        let k = self.m.len();
+        let base_mont = self.mont_mul(&base.limbs_padded(k), &self.r_squared);
+        // one in Montgomery form: R mod m = mont_mul(1, R²).
+        let mut one = vec![0u64; k];
+        one[0] = 1;
+        let one_mont = self.mont_mul(&one, &self.r_squared);
+
+        // Precompute base^d for d in [0, 15].
+        let mut table = Vec::with_capacity(16);
+        table.push(one_mont.clone());
+        table.push(base_mont.clone());
+        for i in 2..16 {
+            let prev: &Vec<u64> = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_mont));
+        }
+
+        let bits = exponent.bits();
+        let windows = bits.div_ceil(4);
+        let mut acc = one_mont;
+        for w in (0..windows).rev() {
+            if w + 1 != windows {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut digit = 0usize;
+            for b in (0..4).rev() {
+                let bit = w * 4 + b;
+                if bit < bits {
+                    let set = exponent.limbs[(bit / 64) as usize] >> (bit % 64) & 1;
+                    digit = (digit << 1) | set as usize;
+                }
+            }
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+            }
+        }
+        // Back out of the Montgomery domain.
+        let reduced = self.mont_mul(&acc, &one);
+        let out = BigUint::from_limbs(reduced);
+        debug_assert!(out < self.modulus);
+        out
+    }
+}
+
+impl BigUint {
+    fn limbs_padded(&self, k: usize) -> Vec<u64> {
+        let mut v = self.limbs.clone();
+        v.resize(k.max(v.len()), 0);
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trait implementations
+// ---------------------------------------------------------------------------
+
+impl Zero for BigUint {
+    fn zero() -> Self {
+        BigUint::default()
+    }
+    fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+}
+
+impl One for BigUint {
+    fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+    fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+}
+
+impl Integer for BigUint {
+    fn gcd(&self, other: &Self) -> Self {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.limbs.is_empty() {
+            let r = a.div_rem_ref(&b).1;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_mag(other)
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigUint {
+            fn from(v: $t) -> Self {
+                let mut v = v as u128;
+                let mut limbs = Vec::with_capacity(2);
+                while v != 0 {
+                    limbs.push(v as u64);
+                    v >>= 64;
+                }
+                BigUint { limbs }
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$inner(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$inner(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$inner(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$inner(rhs)
+            }
+        }
+    };
+}
+
+impl BigUint {
+    fn rem_ref(&self, rhs: &Self) -> Self {
+        self.div_rem_ref(rhs).1
+    }
+    fn div_ref(&self, rhs: &Self) -> Self {
+        self.div_rem_ref(rhs).0
+    }
+}
+
+impl_binop!(Add, add, add_ref);
+impl_binop!(Sub, sub, sub_ref);
+impl_binop!(Mul, mul, mul_ref);
+impl_binop!(Rem, rem, rem_ref);
+impl_binop!(Div, div, div_ref);
+
+impl Shl<u32> for BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u32) -> BigUint {
+        self.shl_bits(bits as usize)
+    }
+}
+
+impl Shl<u32> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u32) -> BigUint {
+        self.shl_bits(bits as usize)
+    }
+}
+
+impl Shr<u32> for BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u32) -> BigUint {
+        self.shr_bits(bits as usize)
+    }
+}
+
+impl Shr<u32> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u32) -> BigUint {
+        self.shr_bits(bits as usize)
+    }
+}
+
+impl ShrAssign<u32> for BigUint {
+    fn shr_assign(&mut self, bits: u32) {
+        *self = self.shr_bits(bits as usize);
+    }
+}
+
+impl BitOrAssign<BigUint> for BigUint {
+    fn bitor_assign(&mut self, rhs: BigUint) {
+        if rhs.limbs.len() > self.limbs.len() {
+            self.limbs.resize(rhs.limbs.len(), 0);
+        }
+        for (i, limb) in rhs.limbs.iter().enumerate() {
+            self.limbs[i] |= limb;
+        }
+    }
+}
+
+impl BitAnd<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn bitand(self, rhs: &BigUint) -> BigUint {
+        let len = self.limbs.len().min(rhs.limbs.len());
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            out.push(self.limbs[i] & rhs.limbs[i]);
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+/// Error produced when parsing a decimal string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError;
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid decimal big integer")
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigUintError);
+        }
+        let ten_pow_19 = BigUint::from(10_000_000_000_000_000_000u64);
+        let mut out = BigUint::default();
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + 19).min(bytes.len());
+            let chunk: u64 = s[i..end].parse().map_err(|_| ParseBigUintError)?;
+            let scale = if end - i == 19 {
+                ten_pow_19.clone()
+            } else {
+                BigUint::from(10u64.pow((end - i) as u32))
+            };
+            out = out.mul_ref(&scale).add_ref(&BigUint::from(chunk));
+            i = end;
+        }
+        Ok(out)
+    }
+}
+
+impl serde::Serialize for BigUint {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_decimal())
+    }
+}
+
+impl serde::Deserialize for BigUint {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => s
+                .parse()
+                .map_err(|_| serde::DeError::custom("invalid BigUint string")),
+            serde::Value::UInt(u) => Ok(BigUint::from(*u)),
+            _ => Err(serde::DeError::custom("expected a decimal string")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551615",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+            "123456789012345678901234567890123456789012345678901234567890",
+        ] {
+            assert_eq!(big(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_u128() {
+        let cases: [(u128, u128); 6] = [
+            (0, 7),
+            (u64::MAX as u128, u64::MAX as u128),
+            (u64::MAX as u128 + 1, 3),
+            (123_456_789_012_345_678_901, 987_654_321),
+            (u128::MAX / 2, 2),
+            (99, 100),
+        ];
+        for (a, b) in cases {
+            let (ba, bb) = (BigUint::from(a), BigUint::from(b));
+            assert_eq!((&ba + &bb).to_string(), (a + b).to_string());
+            assert_eq!((&ba * &bb).to_string(), (a * b).to_string());
+            if let (Some(q), Some(r)) = (a.checked_div(b), a.checked_rem(b)) {
+                assert_eq!((&ba / &bb).to_string(), q.to_string());
+                assert_eq!((&ba % &bb).to_string(), r.to_string());
+            }
+            if a >= b {
+                assert_eq!((&ba - &bb).to_string(), (a - b).to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_limb_division_exercises_add_back() {
+        // Quotient-estimate correction paths need divisors with small top limbs.
+        let a = big("340282366920938463463374607431768211455000000000000000001");
+        let b = big("18446744073709551617");
+        let (q, r) = a.div_rem_ref(&b);
+        assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn modpow_matches_naive() {
+        let m = big("1000000007");
+        let base = big("1234567");
+        let exp = big("65537");
+        // naive
+        let mut acc = BigUint::one();
+        for _ in 0..65537u32 {
+            acc = acc.mul_ref(&base).div_rem_ref(&m).1;
+        }
+        assert_eq!(base.modpow(&exp, &m), acc);
+    }
+
+    #[test]
+    fn modpow_large_odd_modulus_fermat() {
+        // 2^61 - 1 is prime: a^(p-1) ≡ 1 (mod p).
+        let p = (BigUint::one() << 61u32) - BigUint::one();
+        let a = big("123456789123456789");
+        let exp = &p - BigUint::one();
+        assert!(a.modpow(&exp, &p).is_one());
+    }
+
+    #[test]
+    fn modpow_even_modulus_fallback() {
+        let m = BigUint::from(1u64 << 32);
+        let r = BigUint::from(3u64).modpow(&BigUint::from(20u64), &m);
+        assert_eq!(r.to_string(), 3u64.pow(20).rem_euclid(1 << 32).to_string());
+    }
+
+    #[test]
+    fn bits_and_set_bit() {
+        let mut v = BigUint::default();
+        assert_eq!(v.bits(), 0);
+        v.set_bit(127, true);
+        assert_eq!(v.bits(), 128);
+        v.set_bit(0, true);
+        assert!(!v.is_even());
+        v.set_bit(127, false);
+        assert_eq!(v.bits(), 1);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let v = big("123456789012345678901234567890");
+        assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+        assert_eq!(BigUint::default().to_bytes_be(), vec![0]);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(
+            BigUint::from(54u32).gcd(&BigUint::from(24u32)),
+            BigUint::from(6u32)
+        );
+        assert_eq!(
+            BigUint::from(17u32).gcd(&BigUint::from(5u32)),
+            BigUint::one()
+        );
+    }
+
+    #[test]
+    fn shifts() {
+        let one = BigUint::one();
+        assert_eq!((&one << 64u32).to_string(), "18446744073709551616");
+        assert_eq!(((&one << 64u32) >> 64u32), one);
+        let mut d = BigUint::from(8u32);
+        d >>= 1;
+        assert_eq!(d, BigUint::from(4u32));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `num-bigint` crate.
+//!
+//! Arbitrary-precision unsigned/signed integers with the API surface the
+//! Dubhe workspace uses. The representation is a little-endian `Vec<u64>` of
+//! limbs with no trailing zeros. Division is Knuth's Algorithm D;
+//! [`BigUint::modpow`] uses Montgomery multiplication (CIOS) with a 4-bit
+//! window for odd moduli — the operation every Paillier encryption,
+//! decryption and re-randomisation bottoms out in.
+
+mod bigint;
+mod biguint;
+mod rand_support;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use rand_support::RandBigInt;

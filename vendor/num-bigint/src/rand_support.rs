@@ -1,0 +1,66 @@
+//! Random big-integer generation (the `RandBigInt` extension trait).
+
+use rand::RngCore;
+
+use crate::biguint::BigUint;
+
+/// Uniform random [`BigUint`] sampling, available on every RNG.
+pub trait RandBigInt {
+    /// Samples uniformly from `[0, 2^bits)`.
+    fn gen_biguint(&mut self, bits: u64) -> BigUint;
+
+    /// Samples uniformly from `[0, bound)` by rejection.
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint;
+}
+
+impl<R: RngCore + ?Sized> RandBigInt for R {
+    fn gen_biguint(&mut self, bits: u64) -> BigUint {
+        let limbs = bits.div_ceil(64);
+        let mut out = Vec::with_capacity(limbs as usize);
+        for _ in 0..limbs {
+            out.push(self.next_u64());
+        }
+        let partial = bits % 64;
+        if partial != 0 {
+            if let Some(top) = out.last_mut() {
+                *top &= (1u64 << partial) - 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint {
+        assert!(!bound.to_u64_digits().is_empty(), "bound must be positive");
+        let bits = bound.bits();
+        loop {
+            let candidate = self.gen_biguint(bits);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn below_stays_below() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bound: BigUint = "123456789012345678901234567890".parse().unwrap();
+        for _ in 0..200 {
+            assert!(rng.gen_biguint_below(&bound) < bound);
+        }
+    }
+
+    #[test]
+    fn bit_budget_respected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert!(rng.gen_biguint(100).bits() <= 100);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for the `num-integer` crate.
+//!
+//! Declares the `Integer` trait with the methods the workspace calls
+//! (`gcd`, `is_even`, `extended_gcd`). Concrete implementations live next to
+//! the types, in the `num-bigint` stand-in.
+
+/// Result of the extended Euclidean algorithm: `gcd = a·x + b·y`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendedGcd<T> {
+    /// Greatest common divisor of the two inputs.
+    pub gcd: T,
+    /// Bézout coefficient of the first input.
+    pub x: T,
+    /// Bézout coefficient of the second input.
+    pub y: T,
+}
+
+/// Integer-specific operations, mirroring `num_integer::Integer`.
+///
+/// Every method has a panicking default so implementors only provide the
+/// operations that are meaningful (and used) for their type.
+pub trait Integer: Sized {
+    /// Greatest common divisor.
+    fn gcd(&self, _other: &Self) -> Self {
+        unimplemented!("gcd not implemented for this type")
+    }
+
+    /// `true` if the value is even.
+    fn is_even(&self) -> bool {
+        unimplemented!("is_even not implemented for this type")
+    }
+
+    /// Extended Euclidean algorithm producing Bézout coefficients.
+    fn extended_gcd(&self, _other: &Self) -> ExtendedGcd<Self> {
+        unimplemented!("extended_gcd not implemented for this type")
+    }
+}
+
+macro_rules! impl_machine_int {
+    ($($t:ty),*) => {$(
+        impl Integer for $t {
+            fn gcd(&self, other: &Self) -> Self {
+                let (mut a, mut b) = (*self, *other);
+                while b != 0 {
+                    let t = a % b;
+                    a = b;
+                    b = t;
+                }
+                a
+            }
+            fn is_even(&self) -> bool { self % 2 == 0 }
+        }
+    )*};
+}
+
+impl_machine_int!(u8, u16, u32, u64, u128, usize);

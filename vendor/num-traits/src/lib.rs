@@ -1,0 +1,52 @@
+//! Offline stand-in for the `num-traits` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! handful of numeric traits the Paillier substrate relies on are provided
+//! here with identical names and signatures. Only what the workspace actually
+//! calls is implemented.
+
+/// Additive identity.
+pub trait Zero: Sized {
+    /// Returns the additive identity.
+    fn zero() -> Self;
+    /// Returns `true` if `self` is the additive identity.
+    fn is_zero(&self) -> bool;
+}
+
+/// Multiplicative identity.
+pub trait One: Sized {
+    /// Returns the multiplicative identity.
+    fn one() -> Self;
+    /// Returns `true` if `self` is the multiplicative identity.
+    fn is_one(&self) -> bool;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> Self { 0 }
+            fn is_zero(&self) -> bool { *self == 0 }
+        }
+        impl One for $t {
+            fn one() -> Self { 1 }
+            fn is_one(&self) -> bool { *self == 1 }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> Self { 0.0 }
+            fn is_zero(&self) -> bool { *self == 0.0 }
+        }
+        impl One for $t {
+            fn one() -> Self { 1.0 }
+            fn is_one(&self) -> bool { *self == 1.0 }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);

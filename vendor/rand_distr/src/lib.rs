@@ -1,0 +1,148 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the three distributions the workspace samples from: [`Normal`]
+//! and [`StandardNormal`] (via the Box–Muller transform) and a float
+//! [`Uniform`]. Statistically equivalent to upstream, not bit-identical.
+
+use rand::{Rng, RngCore};
+
+/// Types that can be sampled given an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+fn box_muller<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        box_muller(rng)
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        box_muller(rng) as f32
+    }
+}
+
+/// Error returned for invalid normal parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; fails if `std_dev` is negative or
+    /// non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * box_muller(rng)
+    }
+}
+
+/// A uniform distribution over a float interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+    inclusive: bool,
+}
+
+impl Uniform {
+    /// Uniform over the half-open interval `[low, high)`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Uniform {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over the closed interval `[low, high]`.
+    pub fn new_inclusive(low: f64, high: f64) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Uniform {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit: f64 = rng.gen();
+        // The closed upper bound is a measure-zero distinction for floats;
+        // sampling the open interval keeps the draw simple and is what the
+        // workspace's assertions allow.
+        let _ = self.inclusive;
+        self.low + unit * (self.high - self.low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let dist = Uniform::new_inclusive(-2.0, 5.0);
+        for _ in 0..10_000 {
+            let v = dist.sample(&mut rng);
+            assert!((-2.0..=5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn invalid_std_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the parallel-iterator surface the workspace uses with plain
+//! `std::thread::scope` fan-out instead of a work-stealing pool: the input is
+//! split into one contiguous block per available core, each block is processed
+//! on its own scoped thread, and results are reassembled in order. Semantics
+//! (ordering, determinism for pure closures) match rayon for the operations
+//! offered: `par_iter().map(..).collect()`, `par_iter().for_each(..)` and
+//! `par_chunks_mut(..).enumerate().for_each(..)`.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{ParChunksMutExt, ParSliceExt};
+}
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Runs `f` over `0..items`, split into per-worker contiguous index blocks;
+/// returns each block's output in order.
+fn fan_out<R: Send>(items: usize, f: impl Fn(std::ops::Range<usize>) -> Vec<R> + Sync) -> Vec<R> {
+    let workers = worker_count(items);
+    if workers <= 1 {
+        return f(0..items);
+    }
+    let chunk = items.div_ceil(workers);
+    let mut pieces: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(items);
+                let f = &f;
+                scope.spawn(move || f(start..end))
+            })
+            .collect();
+        for handle in handles {
+            pieces.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    pieces.into_iter().flatten().collect()
+}
+
+/// Entry point for shared parallel iteration over slices.
+pub trait ParSliceExt<T: Sync> {
+    /// A parallel iterator over the elements.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> ParSliceExt<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        fan_out(self.items.len(), |range| {
+            for item in &self.items[range] {
+                f(item);
+            }
+            Vec::<()>::new()
+        });
+    }
+}
+
+/// A mapped parallel iterator, consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluates the map in parallel, preserving input order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        let f = &self.f;
+        let out = fan_out(self.items.len(), |range| {
+            self.items[range].iter().map(f).collect()
+        });
+        C::from_ordered(out)
+    }
+
+    /// Parallel sum of the mapped values.
+    pub fn sum<S: std::iter::Sum<R> + Send>(self) -> S
+    where
+        R: Send,
+    {
+        let f = &self.f;
+        let parts = fan_out(self.items.len(), |range| {
+            self.items[range].iter().map(f).collect::<Vec<R>>()
+        });
+        parts.into_iter().sum()
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallel<R> {
+    /// Builds the collection from results in input order.
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+impl<A, E> FromParallel<Result<A, E>> for Result<Vec<A>, E> {
+    fn from_ordered(items: Vec<Result<A, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Entry point for parallel iteration over disjoint mutable chunks.
+pub trait ParChunksMutExt<T: Send> {
+    /// A parallel iterator over `chunk_size`-sized mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParChunksMutExt<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            data: self,
+            chunk_size,
+        }
+    }
+}
+
+impl<T: Send> ParChunksMutExt<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        self.as_mut_slice().par_chunks_mut(chunk_size)
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Runs `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk_size = self.inner.chunk_size;
+        let chunks: Vec<(usize, &mut [T])> =
+            self.inner.data.chunks_mut(chunk_size).enumerate().collect();
+        let n = chunks.len();
+        let workers = worker_count(n);
+        if workers <= 1 {
+            for pair in chunks {
+                f(pair);
+            }
+            return;
+        }
+        // Hand each worker an interleaved share of the chunks.
+        let mut shares: Vec<Vec<(usize, &mut [T])>> = (0..workers)
+            .map(|_| Vec::with_capacity(n / workers + 1))
+            .collect();
+        for (i, pair) in chunks.into_iter().enumerate() {
+            shares[i % workers].push(pair);
+        }
+        std::thread::scope(|scope| {
+            for share in shares {
+                let f = &f;
+                scope.spawn(move || {
+                    for pair in share {
+                        f(pair);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, input.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_collect_into_result() {
+        let input: Vec<u64> = (0..100).collect();
+        let ok: Result<Vec<u64>, String> =
+            input.par_iter().map(|&x| Ok::<_, String>(x + 1)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u64>, String> = input
+            .par_iter()
+            .map(|&x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u32; 1003];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[1002], 101);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` implementations for
+//! the value-tree model of the offline `serde` stand-in. The input item is
+//! parsed directly from the token stream (no `syn`/`quote` available in this
+//! container), which is sufficient for the shapes the workspace uses:
+//! non-generic structs (named, tuple, unit) and enums whose variants are
+//! unit, tuple or struct-like.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of data-carrying shape an item (or enum variant) has.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '!') {
+                    i += 1;
+                }
+                // The attribute body: a bracketed group.
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(
+            tokens.get(i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parses the comma-separated named fields of a brace-delimited body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_visibility(&tokens, i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde stand-in derive: expected a field name, found {:?}",
+                tokens[i]
+            );
+        };
+        names.push(name.to_string());
+        i += 1; // field name
+        i += 1; // ':'
+                // Skip the type: everything up to a top-level comma. Groups are atomic
+                // token trees, so only angle brackets need explicit depth tracking.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts the comma-separated fields of a parenthesised tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde stand-in derive: expected a variant name, found {:?}",
+                tokens[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip everything (e.g. discriminants) up to the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let TokenTree::Ident(keyword) = &tokens[i] else {
+        panic!("serde stand-in derive: expected `struct` or `enum`");
+    };
+    let keyword = keyword.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde stand-in derive: expected an item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic types (deriving `{name}`)");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde stand-in derive: malformed enum body");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("serde stand-in derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Fields::Named(names) => serialize_named(names, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let inner = serialize_named(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde stand-in derive generated invalid Rust")
+}
+
+fn serialize_named(names: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::DeError::custom(\"missing tuple element\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Array(items) => Ok({name}({})),\n\
+                             _ => Err(::serde::DeError::custom(\"expected an array\")),\n\
+                         }}",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::get_field(v, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let keyed_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("\"{vn}\" => Ok({name}::{vn}),")
+                        }
+                        Fields::Tuple(n) if *n == 1 => format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(_payload)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::DeError::custom(\"missing tuple element\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => match _payload {{\n\
+                                     ::serde::Value::Array(items) => Ok({name}::{vn}({})),\n\
+                                     _ => Err(::serde::DeError::custom(\"expected an array payload\")),\n\
+                                 }},",
+                                elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(_payload, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit}\n\
+                                 other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (key, _payload) = &fields[0];\n\
+                                 match key.as_str() {{\n\
+                                     {keyed}\n\
+                                     other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::DeError::custom(\"expected a variant string or single-key object\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                keyed = keyed_arms.join("\n"),
+            )
+        }
+    };
+    code.parse()
+        .expect("serde stand-in derive generated invalid Rust")
+}
