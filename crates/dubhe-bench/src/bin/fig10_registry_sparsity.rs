@@ -72,7 +72,8 @@ fn main() {
     let mut avg = vec![0.0f64; config.classes];
     for _ in 0..repetitions {
         let selected = selector.select(&mut rng);
-        let p_o = population_distribution(&selected, &dists);
+        let p_o =
+            population_distribution(&selected, &dists).expect("Dubhe selection is never empty");
         for (a, v) in avg.iter_mut().zip(&p_o) {
             *a += v;
         }

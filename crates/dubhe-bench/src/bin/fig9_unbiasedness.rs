@@ -59,7 +59,8 @@ fn main() {
             let mut config = dubhe_config_for(spec.family);
             config.k = k;
             let mut selector = method.build(&dists, &config);
-            let stats = selection_stats(selector.as_mut(), &dists, repetitions, &mut rng);
+            let stats = selection_stats(selector.as_mut(), &dists, repetitions, &mut rng)
+                .expect("experiment selectors never return empty selections");
             println!(
                 "{:<8} {:>6} {:>12.4} {:>12.4}",
                 method.name(),

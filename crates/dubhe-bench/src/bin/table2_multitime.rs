@@ -46,7 +46,9 @@ fn main() {
         let mut total = 0.0;
         for _ in 0..emd_repetitions {
             let mut selector = DubheSelector::new(&dists, config.clone());
-            total += multi_time_select(&mut selector, &dists, h, rng).best_distance;
+            total += multi_time_select(&mut selector, &dists, h, rng)
+                .expect("Dubhe selection is never empty")
+                .best_distance;
         }
         total / emd_repetitions as f64
     };

@@ -149,6 +149,7 @@ pub fn run_training(
     let mut sim =
         FlSimulation::from_datasets(data.client_data, data.test, model, selector, sim_config);
     sim.run()
+        .expect("experiment selectors always produce valid participant sets")
 }
 
 /// Prints a named series as `name: v0 v1 v2 ...` with three decimals, the

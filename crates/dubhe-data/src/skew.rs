@@ -1,6 +1,6 @@
 //! Global class-skew generation (half-normal profile, target imbalance ratio ρ).
 //!
-//! The paper "simulate[s] the imbalanced property of data by sampling datasets
+//! The paper "simulate\[s\] the imbalanced property of data by sampling datasets
 //! with half-normal distributions" and controls the skew with the imbalance
 //! ratio ρ = (size of most frequent class) / (size of least frequent class).
 //!

@@ -5,6 +5,7 @@
 //! registration epoch happens and ≈ `H·K` encrypted-distribution transfers per
 //! round when multi-time selection is used for client determination.
 
+use dubhe_select::TransportStats;
 use serde::{Deserialize, Serialize};
 
 /// Cumulative communication ledger of a federated run.
@@ -33,6 +34,23 @@ impl RoundComm {
     /// Total messages of the round.
     pub fn total_messages(&self) -> usize {
         self.check_in_messages + self.registration_messages + self.multi_time_messages
+    }
+
+    /// Builds a round entry from *measured* protocol-transport statistics:
+    /// registration and multi-time message counts come from the per-kind
+    /// meters, ciphertext bytes from the client → server uplink. Because the
+    /// transport prices ciphertexts at their canonical fixed width, these
+    /// figures coincide with the modeled [`encrypted_vector_bytes`]
+    /// accounting for the same key size — modeled and driven runs produce
+    /// identical ledgers.
+    pub fn from_transport(stats: &TransportStats, check_in: usize, model_bytes: usize) -> Self {
+        RoundComm {
+            check_in_messages: check_in,
+            registration_messages: stats.registries.messages,
+            multi_time_messages: stats.distributions.messages,
+            ciphertext_bytes: stats.uplink_ciphertext_bytes(),
+            model_bytes,
+        }
     }
 }
 
@@ -145,6 +163,23 @@ mod tests {
         let bytes = encrypted_vector_bytes(56, 2048);
         assert_eq!(bytes, 56 * 512);
         assert!(bytes > 28_000 && bytes < 32_000);
+    }
+
+    #[test]
+    fn transport_stats_translate_into_a_round_entry() {
+        let mut stats = TransportStats::default();
+        stats.registries.messages = 30;
+        stats.registries.bytes = 30 * (8 + 56 * 64);
+        stats.uplink_registry_ciphertext_bytes = 30 * 56 * 64;
+        stats.distributions.messages = 60;
+        stats.uplink_distribution_ciphertext_bytes = 60 * 10 * 64;
+        let round = RoundComm::from_transport(&stats, 20, 1_000);
+        assert_eq!(round.check_in_messages, 20);
+        assert_eq!(round.registration_messages, 30);
+        assert_eq!(round.multi_time_messages, 60);
+        assert_eq!(round.ciphertext_bytes, 30 * 56 * 64 + 60 * 10 * 64);
+        assert_eq!(round.model_bytes, 1_000);
+        assert_eq!(round.total_messages(), 110);
     }
 
     #[test]

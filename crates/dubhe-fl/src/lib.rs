@@ -38,9 +38,14 @@
 //!     selector,
 //!     SimulationConfig::quick(2, 7),
 //! );
-//! let history = sim.run();
+//! let history = sim.run().expect("selector produced valid rounds");
 //! assert_eq!(history.len(), 2);
 //! ```
+//!
+//! With [`sim::SecureMode::Encrypted`] in the [`SimulationConfig`], the
+//! registration epoch and every multi-time round run through the real
+//! actor/transport exchange of `dubhe_select::protocol` — ciphertexts, agent
+//! decryptions and a ledger charged from the metered transport.
 
 pub mod aggregate;
 pub mod client;
@@ -55,7 +60,7 @@ pub use client::{FlClient, LocalOptimizer, LocalTrainingConfig, LocalUpdate};
 pub use comm::{CommLedger, RoundComm};
 pub use divergence::{centralized_reference, update_dispersion, weight_distance, DivergenceTrace};
 pub use history::{History, RoundRecord};
-pub use sim::{FlSimulation, SimulationConfig};
+pub use sim::{FlSimulation, SecureMode, SimulationConfig};
 
 #[cfg(test)]
 mod tests {
@@ -94,7 +99,7 @@ mod tests {
                 selector,
                 config,
             );
-            let history = sim.run();
+            let history = sim.run().unwrap();
             (
                 history.final_accuracy().unwrap(),
                 history.mean_unbiasedness(),

@@ -1,10 +1,25 @@
 //! The federated-learning simulator: select → broadcast → local train (in
 //! parallel) → aggregate → evaluate, round after round.
+//!
+//! Selection can run in two modes ([`SecureMode`]):
+//!
+//! * **Modeled** — the plaintext decision model picks participants and the
+//!   ledger charges the *modeled* ciphertext sizes of the secure exchanges
+//!   (fast; the default for large-scale experiments).
+//! * **Encrypted** — registration and multi-time selection actually run
+//!   through the role-separated actor/transport API of
+//!   [`dubhe_select::protocol`]: real Paillier ciphertexts, real agent
+//!   decryptions, and a ledger charged from the metered transport. Because
+//!   the transport prices ciphertexts at their canonical width, the two
+//!   modes produce identical ledger byte totals for the same key size —
+//!   which the tests pin.
 
 use dubhe_data::{l1_distance, ClassDistribution, Dataset};
 use dubhe_ml::Sequential;
 use dubhe_select::multi_time_select;
+use dubhe_select::protocol::{run_registration, run_try, InMemoryTransport, RegistrationRun};
 use dubhe_select::selector::{population_distribution, ClientSelector};
+use dubhe_select::SelectError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -14,6 +29,37 @@ use crate::aggregate::{aggregate, Aggregation};
 use crate::client::{FlClient, LocalTrainingConfig};
 use crate::comm::{encrypted_vector_bytes, model_update_bytes, CommLedger, RoundComm};
 use crate::history::{History, RoundRecord};
+
+/// How the simulator treats the secure selection protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SecureMode {
+    /// Plaintext decision model; the ledger charges modeled ciphertext sizes
+    /// under a `key_bits`-bit Paillier key.
+    Modeled {
+        /// Key size the modeled ciphertext accounting assumes.
+        key_bits: u64,
+    },
+    /// Registration and multi-time selection run end-to-end through the
+    /// actor/transport API with real `key_bits`-bit Paillier ciphertexts.
+    Encrypted {
+        /// Key size of the real epoch keypair the agent generates.
+        key_bits: u64,
+    },
+}
+
+impl SecureMode {
+    /// The key size this mode accounts (or encrypts) with.
+    pub fn key_bits(&self) -> u64 {
+        match *self {
+            SecureMode::Modeled { key_bits } | SecureMode::Encrypted { key_bits } => key_bits,
+        }
+    }
+
+    /// True for the end-to-end encrypted mode.
+    pub fn is_encrypted(&self) -> bool {
+        matches!(self, SecureMode::Encrypted { .. })
+    }
+}
 
 /// Run-level configuration of a federated simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,6 +79,9 @@ pub struct SimulationConfig {
     pub seed: u64,
     /// Train the selected clients in parallel with rayon.
     pub parallel: bool,
+    /// Secure-protocol mode: modeled accounting or the real encrypted
+    /// exchange (see [`SecureMode`]).
+    pub secure: SecureMode,
 }
 
 impl SimulationConfig {
@@ -50,6 +99,9 @@ impl SimulationConfig {
             multi_time_h: 1,
             seed,
             parallel: true,
+            secure: SecureMode::Modeled {
+                key_bits: dubhe_he::PAPER_KEY_BITS,
+            },
         }
     }
 }
@@ -63,6 +115,10 @@ pub struct FlSimulation {
     selector: Box<dyn ClientSelector>,
     config: SimulationConfig,
     ledger: CommLedger,
+    /// The live actors of an encrypted epoch, kept across rounds: the agent
+    /// holds the epoch keypair, clients their key material and
+    /// registrations, the server its public key.
+    protocol: Option<RegistrationRun>,
 }
 
 impl FlSimulation {
@@ -102,6 +158,7 @@ impl FlSimulation {
             selector,
             config,
             ledger: CommLedger::new(),
+            protocol: None,
         }
     }
 
@@ -141,27 +198,99 @@ impl FlSimulation {
         self.selector.name()
     }
 
+    /// True once the encrypted epoch ran and the actors are live.
+    pub fn protocol_active(&self) -> bool {
+        self.protocol.is_some()
+    }
+
+    /// The RNG stream feeding the cryptographic side of the encrypted mode.
+    /// It is independent of the round's selection stream so that modeled and
+    /// encrypted runs draw identical tentative selections.
+    fn crypto_rng(&self, round: usize) -> StdRng {
+        StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(round as u64)
+                ^ 0xD3C0_DE00_5EC0_DE5A,
+        )
+    }
+
     /// Runs one round and returns its record.
-    pub fn run_round(&mut self, round: usize) -> RoundRecord {
+    ///
+    /// Fails with [`SelectError`] instead of panicking when the selector
+    /// produces an empty or out-of-range participant set, or when the
+    /// encrypted exchange is violated — a misconfigured selector cannot
+    /// abort a long simulation from inside.
+    pub fn run_round(&mut self, round: usize) -> Result<RoundRecord, SelectError> {
         let mut rng =
             StdRng::seed_from_u64(self.config.seed.wrapping_add(round as u64 * 0x5851_F42D));
+        let mut crypto_rng = self.crypto_rng(round);
+        let mut transport = InMemoryTransport::new();
+        let key_bits = self.config.secure.key_bits();
+
+        // 0. Encrypted mode: the registration epoch (Fig. 4) runs once, at
+        //    round 0, through the real actor exchange.
+        let registry_len = self.selector.registry_len();
+        let registration_round = round == 0 && registry_len.is_some();
+        if self.config.secure.is_encrypted() && registration_round {
+            if let Some(config) = self.selector.secure_config().cloned() {
+                let run = run_registration(
+                    &self.client_distributions,
+                    &config,
+                    key_bits,
+                    &mut transport,
+                    &mut crypto_rng,
+                )?;
+                // The decrypted overall registry must agree bit-for-bit with
+                // the plaintext decision model the selector runs on.
+                if let Some(expected) = self.selector.overall_registry() {
+                    if run.overall_registry() != expected {
+                        return Err(dubhe_select::ProtocolError::RegistryDivergence.into());
+                    }
+                }
+                self.protocol = Some(run);
+            }
+        }
 
         // 1. Client selection (optionally multi-time, §5.3.1).
         let selected = if self.config.multi_time_h > 1 {
-            multi_time_select(
-                self.selector.as_mut(),
-                &self.client_distributions,
-                self.config.multi_time_h,
-                &mut rng,
-            )
-            .selected
+            let h = self.config.multi_time_h;
+            if let (true, Some(run)) = (self.config.secure.is_encrypted(), self.protocol.as_mut()) {
+                // The real §5.3.1 exchange: tentative clients encrypt, the
+                // server folds, the agent decrypts and issues the verdict.
+                run.agent.expect_tries(h);
+                let mut tries = Vec::with_capacity(h);
+                for try_index in 0..h {
+                    let tentative = self.selector.select(&mut rng);
+                    run_try(
+                        try_index,
+                        &tentative,
+                        &mut run.agent,
+                        &mut run.clients,
+                        &mut run.server,
+                        &mut transport,
+                        &mut crypto_rng,
+                    )?;
+                    tries.push(tentative);
+                }
+                let (best_try, _) = run.agent.verdict().expect("all tries evaluated");
+                tries.swap_remove(best_try)
+            } else {
+                multi_time_select(
+                    self.selector.as_mut(),
+                    &self.client_distributions,
+                    h,
+                    &mut rng,
+                )?
+                .selected
+            }
         } else {
             self.selector.select(&mut rng)
         };
-        assert!(
-            !selected.is_empty(),
-            "selector returned an empty participant set"
-        );
+        if selected.is_empty() {
+            return Err(SelectError::EmptySelection);
+        }
 
         // 2. Broadcast + local training (parallel across clients).
         let round_seed = self.config.seed ^ (round as u64);
@@ -194,66 +323,73 @@ impl FlSimulation {
         } else {
             None
         };
-        let p_o = population_distribution(&selected, &self.client_distributions);
+        let p_o = population_distribution(&selected, &self.client_distributions)?;
         let p_u = vec![1.0 / p_o.len() as f64; p_o.len()];
         let unbiasedness = l1_distance(&p_o, &p_u);
         let mean_local_loss =
             updates.iter().map(|u| u.mean_loss).sum::<f32>() / updates.len() as f32;
 
         let k = selected.len();
-        // Registration happens once (round 0) for selectors with a registry
-        // epoch; its ciphertext cost is N encrypted registries under the
-        // paper's 2048-bit keys. Multi-time selection moves ≈ H·K encrypted
-        // class distributions per round.
-        let registry_len = self.selector.registry_len();
-        let registration_round = round == 0 && registry_len.is_some();
-        let registry_ct_bytes = registry_len
-            .map(|len| encrypted_vector_bytes(len, dubhe_he::PAPER_KEY_BITS))
-            .unwrap_or(0);
-        let classes = p_o.len();
-        let multi_time_messages = if self.config.multi_time_h > 1 {
-            self.config.multi_time_h * k
+        let model_bytes = 2 * k * model_update_bytes(self.global_model.param_count());
+        let comm = if self.config.secure.is_encrypted() && self.protocol.is_some() {
+            // Measured accounting from the metered transport. Canonical
+            // ciphertext widths make these totals identical to the modeled
+            // branch below for the same key size.
+            RoundComm::from_transport(transport.stats(), k, model_bytes)
         } else {
-            0
-        };
-        let multi_time_ct_bytes = if registry_len.is_some() {
-            multi_time_messages * encrypted_vector_bytes(classes, dubhe_he::PAPER_KEY_BITS)
-        } else {
-            0
-        };
-        self.ledger.record(RoundComm {
-            check_in_messages: k,
-            registration_messages: if registration_round {
-                self.clients.len()
+            // Modeled accounting: registration happens once (round 0) for
+            // selectors with a registry epoch; its ciphertext cost is N
+            // encrypted registries. Multi-time selection moves ≈ H·K
+            // encrypted class distributions per round.
+            let registry_ct_bytes = registry_len
+                .map(|len| encrypted_vector_bytes(len, key_bits))
+                .unwrap_or(0);
+            let classes = p_o.len();
+            let multi_time_messages = if self.config.multi_time_h > 1 {
+                self.config.multi_time_h * k
             } else {
                 0
-            },
-            multi_time_messages,
-            ciphertext_bytes: if registration_round {
-                self.clients.len() * registry_ct_bytes + multi_time_ct_bytes
+            };
+            let multi_time_ct_bytes = if registry_len.is_some() {
+                multi_time_messages * encrypted_vector_bytes(classes, key_bits)
             } else {
-                multi_time_ct_bytes
-            },
-            model_bytes: 2 * k * model_update_bytes(self.global_model.param_count()),
-        });
+                0
+            };
+            RoundComm {
+                check_in_messages: k,
+                registration_messages: if registration_round {
+                    self.clients.len()
+                } else {
+                    0
+                },
+                multi_time_messages,
+                ciphertext_bytes: if registration_round {
+                    self.clients.len() * registry_ct_bytes + multi_time_ct_bytes
+                } else {
+                    multi_time_ct_bytes
+                },
+                model_bytes,
+            }
+        };
+        self.ledger.record(comm);
 
-        RoundRecord {
+        Ok(RoundRecord {
             round,
             test_accuracy,
             mean_local_loss,
             population_unbiasedness: unbiasedness,
             population_distribution: p_o,
             selected_clients: selected,
-        }
+        })
     }
 
     /// Runs the configured number of rounds and returns the history.
-    pub fn run(&mut self) -> History {
+    pub fn run(&mut self) -> Result<History, SelectError> {
         let mut history = History::new();
         for round in 0..self.config.rounds {
-            history.push(self.run_round(round));
+            history.push(self.run_round(round)?);
         }
-        history
+        Ok(history)
     }
 }
 
@@ -293,7 +429,7 @@ mod tests {
         let mut config = SimulationConfig::quick(8, 7);
         config.local.optimizer = crate::client::LocalOptimizer::Sgd { lr: 0.1 };
         let mut sim = FlSimulation::from_datasets(client_data, test, model, selector, config);
-        let history = sim.run();
+        let history = sim.run().unwrap();
         assert_eq!(history.len(), 8);
         let first = history.rounds[0].test_accuracy.unwrap();
         let last = history.final_accuracy().unwrap();
@@ -311,8 +447,8 @@ mod tests {
             config.parallel = parallel;
             FlSimulation::from_datasets(client_data.clone(), test.clone(), model, selector, config)
         };
-        let hist_par = build(true).run();
-        let hist_seq = build(false).run();
+        let hist_par = build(true).run().unwrap();
+        let hist_seq = build(false).run().unwrap();
         assert_eq!(hist_par, hist_seq, "parallelism must not change results");
     }
 
@@ -324,7 +460,7 @@ mod tests {
         let config = SimulationConfig::quick(3, 13);
         let mut sim = FlSimulation::from_datasets(client_data, test, model, selector, config);
         assert_eq!(sim.selector_name(), "Dubhe");
-        let history = sim.run();
+        let history = sim.run().unwrap();
         assert_eq!(history.len(), 3);
         // Registration messages are charged once (round 0).
         assert_eq!(sim.ledger().rounds[0].registration_messages, 60);
@@ -350,7 +486,7 @@ mod tests {
                 selector,
                 config,
             );
-            sim.run().mean_unbiasedness()
+            sim.run().unwrap().mean_unbiasedness()
         };
         let one_off = run_with_h(1);
         let multi = run_with_h(10);
@@ -358,6 +494,67 @@ mod tests {
             multi <= one_off + 0.05,
             "H=10 ({multi:.3}) should not be less balanced than H=1 ({one_off:.3})"
         );
+    }
+
+    #[test]
+    fn encrypted_mode_matches_modeled_mode_end_to_end() {
+        // The acceptance test of the encrypted wiring: same seeds, same
+        // selector, one run modeled and one driven through the real
+        // actor/transport exchange. Selections, training history and ledger
+        // byte totals must all agree.
+        let (client_data, test, dists) = build_federation(24, 10.0, 1.5, 6);
+        let run_mode = |secure: SecureMode| {
+            let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+            let model = small_mlp(32, 10, 6);
+            let mut config = SimulationConfig::quick(3, 19);
+            config.multi_time_h = 3;
+            config.secure = secure;
+            let mut sim = FlSimulation::from_datasets(
+                client_data.clone(),
+                test.clone(),
+                model,
+                selector,
+                config,
+            );
+            let history = sim.run().unwrap();
+            (history, sim.ledger().clone(), sim.protocol_active())
+        };
+
+        let (modeled_hist, modeled_ledger, modeled_proto) =
+            run_mode(SecureMode::Modeled { key_bits: 256 });
+        let (encrypted_hist, encrypted_ledger, encrypted_proto) =
+            run_mode(SecureMode::Encrypted { key_bits: 256 });
+
+        assert!(!modeled_proto, "modeled mode must not build actors");
+        assert!(encrypted_proto, "encrypted mode must run the real epoch");
+        assert_eq!(
+            modeled_hist, encrypted_hist,
+            "the encrypted exchange must reproduce the plaintext decisions"
+        );
+        assert_eq!(
+            modeled_ledger.total_ciphertext_bytes(),
+            encrypted_ledger.total_ciphertext_bytes(),
+            "measured uplink bytes must equal the modeled accounting"
+        );
+        assert_eq!(
+            modeled_ledger.dubhe_overhead_messages(),
+            encrypted_ledger.dubhe_overhead_messages()
+        );
+        assert!(encrypted_ledger.total_ciphertext_bytes() > 0);
+    }
+
+    #[test]
+    fn encrypted_mode_without_registry_selector_falls_back_to_modeled() {
+        let (client_data, test, _) = build_federation(15, 2.0, 0.5, 8);
+        let selector = Box::new(RandomSelector::new(15, 5));
+        let model = small_mlp(32, 10, 7);
+        let mut config = SimulationConfig::quick(2, 23);
+        config.secure = SecureMode::Encrypted { key_bits: 256 };
+        let mut sim = FlSimulation::from_datasets(client_data, test, model, selector, config);
+        let history = sim.run().unwrap();
+        assert_eq!(history.len(), 2);
+        assert!(!sim.protocol_active());
+        assert_eq!(sim.ledger().total_ciphertext_bytes(), 0);
     }
 
     #[test]

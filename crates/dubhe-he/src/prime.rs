@@ -24,7 +24,7 @@ const SMALL_PRIMES: [u32; 54] = [
 
 /// Returns `true` if `n` is prime with overwhelming probability.
 ///
-/// Uses trial division by [`SMALL_PRIMES`] followed by [`MILLER_RABIN_ROUNDS`]
+/// Uses trial division by a table of small primes followed by [`MILLER_RABIN_ROUNDS`]
 /// rounds of Miller–Rabin with random bases.
 pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
     if n < &BigUint::from(2u32) {

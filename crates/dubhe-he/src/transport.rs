@@ -49,6 +49,24 @@ pub fn public_key_size_bytes(public: &PublicKey) -> usize {
     (public.bits() as usize).div_ceil(8)
 }
 
+/// Size in bytes of the private-key material under `public`: the two prime
+/// factors `p` and `q` of `n`, each half the modulus width, so together one
+/// modulus width. Used to price the agent's keypair dispatch to clients.
+pub fn private_key_size_bytes(public: &PublicKey) -> usize {
+    (public.bits() as usize).div_ceil(8)
+}
+
+/// Canonical wire size of an element-wise encrypted vector: every ciphertext
+/// is emitted at the fixed width ⌈2·|n|/8⌉ of its residue class, so the size
+/// is a deterministic function of (length, key size) — unlike
+/// [`EncryptedVector::byte_len`], which reports the variable big-integer
+/// width of the particular residues. The protocol layer and the FL ledger
+/// both use this model, which is what makes modeled and measured byte
+/// accounting comparable.
+pub fn vector_wire_bytes(vector: &EncryptedVector) -> usize {
+    vector.len() * ciphertext_size_bytes(vector.public_key())
+}
+
 /// Plaintext size of an integer vector, counting 8 bytes per element (how the
 /// paper's Python implementation would pickle a list of small ints is
 /// environment-specific; 8 bytes/element is the natural Rust wire size).
@@ -131,6 +149,20 @@ mod tests {
             public_key_size_bytes(&kp.public),
             crate::TEST_KEY_BITS as usize / 8
         );
+    }
+
+    #[test]
+    fn key_and_wire_sizes_are_fixed_width() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(75);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        assert_eq!(
+            private_key_size_bytes(&kp.public),
+            public_key_size_bytes(&kp.public)
+        );
+        let v = EncryptedVector::encrypt_u64(&kp.public, &[0u64; 7], &mut rng);
+        assert_eq!(vector_wire_bytes(&v), 7 * ciphertext_size_bytes(&kp.public));
+        // The canonical width upper-bounds the variable big-integer width.
+        assert!(vector_wire_bytes(&v) >= v.byte_len());
     }
 
     #[test]

@@ -147,6 +147,14 @@ impl ClientSelector for DubheSelector {
     fn registry_len(&self) -> Option<usize> {
         Some(self.layout.len())
     }
+
+    fn secure_config(&self) -> Option<&DubheConfig> {
+        Some(&self.config)
+    }
+
+    fn overall_registry(&self) -> Option<&[u64]> {
+        Some(&self.overall_registry)
+    }
 }
 
 #[cfg(test)]
@@ -215,8 +223,8 @@ mod tests {
         let mut dubhe_sum = 0.0;
         let mut random_sum = 0.0;
         for _ in 0..reps {
-            dubhe_sum += population_unbiasedness(&dubhe.select(&mut rng), &dists);
-            random_sum += population_unbiasedness(&random.select(&mut rng), &dists);
+            dubhe_sum += population_unbiasedness(&dubhe.select(&mut rng), &dists).unwrap();
+            random_sum += population_unbiasedness(&random.select(&mut rng), &dists).unwrap();
         }
         // §6.3.1: Dubhe reduces ‖p_o − p_u‖₁ vs random at rho = 10, EMD = 1.5
         // (the paper reports up to 64.4% with H-time selection; the single-shot

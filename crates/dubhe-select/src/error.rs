@@ -1,0 +1,194 @@
+//! Error types of the selection crate.
+//!
+//! Selection runs inside long-lived simulations (hundreds of rounds, many
+//! scenarios); a misconfigured selector must surface as a recoverable error
+//! at the API boundary, never as a process abort. The two layers are:
+//!
+//! * [`SelectError`] — what the selection / evaluation functions return
+//!   (empty selections, zero tries, out-of-range clients);
+//! * [`ProtocolError`] — what a protocol role returns when it receives a
+//!   message that violates the exchange (wrong destination, missing key
+//!   material, a private key offered to the server). It converts into
+//!   [`SelectError`] so drivers expose a single error type.
+
+use dubhe_he::HeError;
+
+use crate::protocol::message::MsgKind;
+
+/// Errors returned by selection and secure-evaluation entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// A population quantity was requested for an empty client selection.
+    EmptySelection,
+    /// No client distributions were supplied.
+    NoClients,
+    /// Multi-time selection was asked to run zero tries.
+    ZeroTries,
+    /// A selected client id falls outside the population.
+    ClientOutOfRange {
+        /// The offending client id.
+        id: usize,
+        /// The population size it was checked against.
+        population: usize,
+    },
+    /// A protocol role rejected a message during the encrypted exchange.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectError::EmptySelection => {
+                write!(
+                    f,
+                    "population distribution of an empty selection is undefined"
+                )
+            }
+            SelectError::NoClients => write!(f, "need at least one client distribution"),
+            SelectError::ZeroTries => {
+                write!(f, "multi-time selection needs at least one try")
+            }
+            SelectError::ClientOutOfRange { id, population } => {
+                write!(
+                    f,
+                    "selected client {id} out of range (population {population})"
+                )
+            }
+            SelectError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+impl From<ProtocolError> for SelectError {
+    fn from(e: ProtocolError) -> Self {
+        SelectError::Protocol(e)
+    }
+}
+
+/// Errors raised by protocol roles while handling messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A role received a message kind it does not handle.
+    UnexpectedMessage {
+        /// The receiving role ("agent", "client", "server").
+        role: &'static str,
+        /// The offending message kind.
+        kind: MsgKind,
+    },
+    /// A key dispatch destined for the server carried the private key — the
+    /// one flow the threat model forbids. The server refuses it outright.
+    PrivateKeyAtServer,
+    /// A role needed key material it has not received yet.
+    MissingKeyMaterial {
+        /// The role missing its keys.
+        role: &'static str,
+    },
+    /// A distribution referenced a tentative try the server never announced.
+    UnknownTry {
+        /// The unannounced try index.
+        try_index: usize,
+    },
+    /// A contribution arrived from a client outside the expected set (the
+    /// registered population, or a try's announced participants).
+    UnknownContributor {
+        /// The unexpected client id.
+        client: usize,
+        /// The tentative try, or `None` for a registration upload.
+        try_index: Option<usize>,
+    },
+    /// A client contributed twice to the same aggregation — folding it
+    /// again would silently corrupt the homomorphic sum.
+    DuplicateContribution {
+        /// The repeating client id.
+        client: usize,
+        /// The tentative try, or `None` for a registration upload.
+        try_index: Option<usize>,
+    },
+    /// A registry arrived after the epoch total was already broadcast.
+    EpochComplete {
+        /// The late client id.
+        client: usize,
+    },
+    /// An encrypted registration epoch decrypted to a different overall
+    /// registry than the plaintext decision model it was checked against.
+    RegistryDivergence,
+    /// A homomorphic operation failed (mismatched key or vector length).
+    He(HeError),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnexpectedMessage { role, kind } => {
+                write!(f, "{role} cannot handle a {kind:?} message")
+            }
+            ProtocolError::PrivateKeyAtServer => {
+                write!(f, "refusing to deliver a private key to the server")
+            }
+            ProtocolError::MissingKeyMaterial { role } => {
+                write!(f, "{role} has no key material for this epoch yet")
+            }
+            ProtocolError::UnknownTry { try_index } => {
+                write!(f, "encrypted distribution for unannounced try {try_index}")
+            }
+            ProtocolError::UnknownContributor { client, try_index } => match try_index {
+                Some(t) => write!(f, "client {client} is not a participant of try {t}"),
+                None => write!(
+                    f,
+                    "client {client} is not part of the registering population"
+                ),
+            },
+            ProtocolError::DuplicateContribution { client, try_index } => match try_index {
+                Some(t) => write!(f, "client {client} already contributed to try {t}"),
+                None => write!(f, "client {client} already uploaded its registry"),
+            },
+            ProtocolError::EpochComplete { client } => {
+                write!(
+                    f,
+                    "client {client} uploaded a registry after the total was broadcast"
+                )
+            }
+            ProtocolError::RegistryDivergence => {
+                write!(
+                    f,
+                    "decrypted overall registry disagrees with the plaintext decision model"
+                )
+            }
+            ProtocolError::He(e) => write!(f, "homomorphic operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<HeError> for ProtocolError {
+    fn from(e: HeError) -> Self {
+        ProtocolError::He(e)
+    }
+}
+
+impl From<HeError> for SelectError {
+    fn from(e: HeError) -> Self {
+        SelectError::Protocol(ProtocolError::He(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: SelectError = ProtocolError::PrivateKeyAtServer.into();
+        assert!(matches!(e, SelectError::Protocol(_)));
+        assert!(e.to_string().contains("private key"));
+        assert!(SelectError::EmptySelection.to_string().contains("empty"));
+        let he: SelectError = HeError::KeyMismatch.into();
+        assert!(he.to_string().contains("homomorphic"));
+        assert!(ProtocolError::UnknownTry { try_index: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -136,7 +136,7 @@ mod tests {
         let s = sel.select(&mut rng);
         assert_eq!(s.len(), 4);
         // One client of each class => perfectly uniform population distribution.
-        assert!(population_unbiasedness(&s, &dists) < 1e-12);
+        assert!(population_unbiasedness(&s, &dists).unwrap() < 1e-12);
     }
 
     #[test]
@@ -159,8 +159,8 @@ mod tests {
         let mut greedy_sum = 0.0;
         let mut random_sum = 0.0;
         for _ in 0..10 {
-            greedy_sum += population_unbiasedness(&greedy.select(&mut rng), &dists);
-            random_sum += population_unbiasedness(&random.select(&mut rng), &dists);
+            greedy_sum += population_unbiasedness(&greedy.select(&mut rng), &dists).unwrap();
+            random_sum += population_unbiasedness(&random.select(&mut rng), &dists).unwrap();
         }
         assert!(
             greedy_sum < random_sum * 0.6,

@@ -14,8 +14,11 @@
 //!   dominating classes and one-hot positions, `l = Σ_{i∈G} C-choose-i`.
 //! * [`registry`] — Algorithm 1: each client maps its label distribution to a
 //!   category and a one-hot registry vector.
-//! * [`secure`] — the Paillier-encrypted exchange of registries and label
-//!   distributions; the server only ever holds ciphertexts.
+//! * [`protocol`] — the role-separated protocol: typed wire messages, the
+//!   agent/client/server actors, and the metered transport they exchange
+//!   over. What the server can see is a property of its type.
+//! * [`secure`] — the historical free-function entry points for the
+//!   encrypted exchanges, now thin drivers over the actors.
 //! * [`probability`] — Eq. (6)–(8): clients compute their own participation
 //!   probability from the decrypted overall registry.
 //! * [`selector`] / [`greedy`] / [`dubhe`] — the three selection policies the
@@ -47,8 +50,8 @@
 //!
 //! let mut dubhe = DubheSelector::new(&clients, DubheConfig::group1());
 //! let mut random = RandomSelector::new(clients.len(), 20);
-//! let dubhe_gap = population_unbiasedness(&dubhe.select(&mut rng), &clients);
-//! let random_gap = population_unbiasedness(&random.select(&mut rng), &clients);
+//! let dubhe_gap = population_unbiasedness(&dubhe.select(&mut rng), &clients).unwrap();
+//! let random_gap = population_unbiasedness(&random.select(&mut rng), &clients).unwrap();
 //! // Dubhe's participated data is much closer to uniform.
 //! assert!(dubhe_gap < random_gap);
 //! ```
@@ -56,10 +59,12 @@
 pub mod codebook;
 pub mod config;
 pub mod dubhe;
+pub mod error;
 pub mod greedy;
 pub mod multi_time;
 pub mod param_search;
 pub mod probability;
+pub mod protocol;
 pub mod registry;
 pub mod secure;
 pub mod selector;
@@ -67,14 +72,21 @@ pub mod selector;
 pub use codebook::{binomial, Category, RegistryLayout};
 pub use config::DubheConfig;
 pub use dubhe::DubheSelector;
+pub use error::{ProtocolError, SelectError};
 pub use greedy::GreedySelector;
 pub use multi_time::{
     multi_time_select, secure_multi_time_select, MultiTimeOutcome, SecureMultiTimeOutcome,
 };
 pub use param_search::{parameter_search, SearchGrid, SearchOutcome};
 pub use probability::participation_probability;
+pub use protocol::{
+    AgentNode, CoordinatorServer, InMemoryTransport, Party, ProtocolMsg, SelectClientNode,
+    Transport, TransportStats,
+};
 pub use registry::{register, register_all, register_all_encrypted, Registration};
-pub use secure::{secure_evaluate_try, secure_registration, SecureRegistrationEpoch, ServerView};
+pub use secure::{
+    secure_evaluate_try, secure_registration, SecureRegistrationEpoch, SecureTryOutcome, ServerView,
+};
 pub use selector::{
     population_distribution, population_unbiasedness, selection_stats, ClientId, ClientSelector,
     RandomSelector, SelectionStats,
@@ -107,9 +119,9 @@ mod tests {
         let mut dubhe = DubheSelector::new(&clients, DubheConfig::group1());
         let mut greedy = GreedySelector::new(&clients, 20);
 
-        let random_stats = selection_stats(&mut random, &clients, reps, &mut rng);
-        let dubhe_stats = selection_stats(&mut dubhe, &clients, reps, &mut rng);
-        let greedy_stats = selection_stats(&mut greedy, &clients, reps, &mut rng);
+        let random_stats = selection_stats(&mut random, &clients, reps, &mut rng).unwrap();
+        let dubhe_stats = selection_stats(&mut dubhe, &clients, reps, &mut rng).unwrap();
+        let greedy_stats = selection_stats(&mut greedy, &clients, reps, &mut rng).unwrap();
 
         assert!(
             greedy_stats.mean <= dubhe_stats.mean + 0.05,

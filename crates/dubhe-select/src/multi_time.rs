@@ -10,13 +10,20 @@
 //!   computes the *expected* population distribution over the `H` tries and the
 //!   server scans the parameter space for the thresholds minimising
 //!   `‖E_h(p_o,h) − p_u‖₁`.
+//!
+//! The secure variant drives the exchanges through the role-separated actor
+//! API of [`crate::protocol`]: tentatively selected clients upload
+//! `Enc(p_l)`, the coordinator folds per-try sums, the agent decrypts and
+//! issues the verdict.
 
 use dubhe_data::{l1_distance, mean_proportions, ClassDistribution};
 use dubhe_he::{PrivateKey, PublicKey};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::secure::{secure_evaluate_try, SecureTryOutcome};
+use crate::error::SelectError;
+use crate::protocol::{run_try, InMemoryTransport};
+use crate::secure::{keyed_session, SecureTryOutcome};
 use crate::selector::{population_distribution, ClientId, ClientSelector};
 
 /// The outcome of one multi-time selection round.
@@ -36,23 +43,25 @@ pub struct MultiTimeOutcome {
 
 /// Runs `h` tentative selections with `selector` and returns the best.
 ///
-/// # Panics
-/// Panics if `h == 0`.
+/// Returns [`SelectError::ZeroTries`] for `h == 0` and propagates any
+/// selection error (empty or out-of-range tentative sets).
 pub fn multi_time_select<S, R>(
     selector: &mut S,
     client_distributions: &[ClassDistribution],
     h: usize,
     rng: &mut R,
-) -> MultiTimeOutcome
+) -> Result<MultiTimeOutcome, SelectError>
 where
     S: ClientSelector + ?Sized,
     R: Rng,
 {
-    assert!(h >= 1, "multi-time selection needs at least one try");
+    if h == 0 {
+        return Err(SelectError::ZeroTries);
+    }
     let classes = client_distributions
         .first()
-        .map(|d| d.classes())
-        .expect("need at least one client distribution");
+        .ok_or(SelectError::NoClients)?
+        .classes();
     let p_u = vec![1.0 / classes as f64; classes];
 
     let mut tries: Vec<Vec<ClientId>> = Vec::with_capacity(h);
@@ -60,7 +69,7 @@ where
     let mut distances: Vec<f64> = Vec::with_capacity(h);
     for _ in 0..h {
         let selected = selector.select(rng);
-        let p_o = population_distribution(&selected, client_distributions);
+        let p_o = population_distribution(&selected, client_distributions)?;
         distances.push(l1_distance(&p_o, &p_u));
         populations.push(p_o);
         tries.push(selected);
@@ -72,13 +81,13 @@ where
         .map(|(i, _)| i)
         .expect("h >= 1");
     let expectation = mean_proportions(&populations);
-    MultiTimeOutcome {
+    Ok(MultiTimeOutcome {
         selected: tries[best_try].clone(),
         best_try,
         best_distance: distances[best_try],
         all_distances: distances,
         expectation_distance: l1_distance(&expectation, &p_u),
-    }
+    })
 }
 
 /// The outcome of one *secure* multi-time selection round: the plaintext
@@ -98,18 +107,18 @@ pub struct SecureMultiTimeOutcome {
     pub ciphertext_bytes: usize,
 }
 
-/// Runs `h` tentative selections with the *secure* §5.3.1 exchange: each
-/// try's tentatively selected clients encrypt their scaled label
-/// distributions under the epoch key (fast precomputed-base path), the
-/// server homomorphically sums them, and the agent decrypts only the sums to
-/// pick `h* = argmin_h ‖p_o,h − p_u‖₁`.
+/// Runs `h` tentative selections with the *secure* §5.3.1 exchange through
+/// the actor API: each try's tentatively selected clients encrypt their
+/// scaled label distributions under the epoch key (fast precomputed-base
+/// path), the coordinator folds each try's sum incrementally, and the agent
+/// decrypts only the sums and announces `h* = argmin_h ‖p_o,h − p_u‖₁`.
 ///
 /// Functionally equivalent to [`multi_time_select`] (the agent learns the
 /// same winning try); the difference is what the server sees — ciphertexts
 /// only — and what this costs, which the outcome reports.
 ///
-/// # Panics
-/// Panics if `h == 0` or any try selects no clients.
+/// Returns [`SelectError::ZeroTries`] for `h == 0` and
+/// [`SelectError::EmptySelection`] if any try selects no clients.
 pub fn secure_multi_time_select<S, R>(
     selector: &mut S,
     client_distributions: &[ClassDistribution],
@@ -117,43 +126,44 @@ pub fn secure_multi_time_select<S, R>(
     public_key: &PublicKey,
     private_key: &PrivateKey,
     rng: &mut R,
-) -> SecureMultiTimeOutcome
+) -> Result<SecureMultiTimeOutcome, SelectError>
 where
     S: ClientSelector + ?Sized,
     R: Rng,
 {
-    assert!(h >= 1, "multi-time selection needs at least one try");
+    if h == 0 {
+        return Err(SelectError::ZeroTries);
+    }
+    let (mut agent, mut clients, mut server) =
+        keyed_session(client_distributions, public_key, private_key)?;
+    agent.expect_tries(h);
+    let mut transport = InMemoryTransport::new();
+
     let mut tries: Vec<Vec<ClientId>> = Vec::with_capacity(h);
-    let mut outcomes: Vec<SecureTryOutcome> = Vec::with_capacity(h);
-    for _ in 0..h {
+    for try_index in 0..h {
         let selected = selector.select(rng);
-        let outcome = secure_evaluate_try(
+        run_try(
+            try_index,
             &selected,
-            client_distributions,
-            public_key,
-            private_key,
+            &mut agent,
+            &mut clients,
+            &mut server,
+            &mut transport,
             rng,
-        );
-        outcomes.push(outcome);
+        )?;
         tries.push(selected);
     }
-    let best_try = outcomes
-        .iter()
-        .enumerate()
-        .min_by(|a, b| {
-            a.1.distance_to_uniform
-                .partial_cmp(&b.1.distance_to_uniform)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .map(|(i, _)| i)
-        .expect("h >= 1");
-    SecureMultiTimeOutcome {
+
+    let (best_try, best_distance) = agent.verdict().expect("all tries evaluated");
+    let outcomes = agent.try_outcomes();
+    debug_assert_eq!(server.last_verdict(), Some((best_try, best_distance)));
+    Ok(SecureMultiTimeOutcome {
         selected: tries[best_try].clone(),
         best_try,
-        best_distance: outcomes[best_try].distance_to_uniform,
+        best_distance,
         ciphertext_bytes: outcomes.iter().map(|o| o.ciphertext_bytes).sum(),
         tries: outcomes,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +195,7 @@ mod tests {
         let dists = clients(300, 1);
         let mut sel = RandomSelector::new(300, 20);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let outcome = multi_time_select(&mut sel, &dists, 10, &mut rng);
+        let outcome = multi_time_select(&mut sel, &dists, 10, &mut rng).unwrap();
         assert_eq!(outcome.all_distances.len(), 10);
         assert_eq!(outcome.selected.len(), 20);
         let min = outcome
@@ -206,7 +216,8 @@ mod tests {
             &dists,
             1,
             &mut rand::rngs::StdRng::seed_from_u64(4),
-        );
+        )
+        .unwrap();
         let mut sel2 = RandomSelector::new(100, 20);
         let direct = {
             let mut rng = rand::rngs::StdRng::seed_from_u64(4);
@@ -226,7 +237,9 @@ mod tests {
             let mut total = 0.0;
             for _ in 0..15 {
                 let mut sel = DubheSelector::new(&dists, DubheConfig::group1());
-                total += multi_time_select(&mut sel, &dists, h, rng).best_distance;
+                total += multi_time_select(&mut sel, &dists, h, rng)
+                    .unwrap()
+                    .best_distance;
             }
             total / 15.0
         };
@@ -243,7 +256,7 @@ mod tests {
         let dists = clients(200, 7);
         let mut sel = DubheSelector::new(&dists, DubheConfig::group1());
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
-        let outcome = multi_time_select(&mut sel, &dists, 5, &mut rng);
+        let outcome = multi_time_select(&mut sel, &dists, 5, &mut rng).unwrap();
         assert!(outcome.expectation_distance >= 0.0 && outcome.expectation_distance <= 2.0);
         // The expectation over tries is at least as balanced as the average try.
         let mean_try: f64 =
@@ -258,7 +271,7 @@ mod tests {
         let (pk, sk) = Keypair::generate(256, &mut rng).split();
 
         let mut sel = DubheSelector::new(&dists, DubheConfig::group1());
-        let secure = secure_multi_time_select(&mut sel, &dists, 5, &pk, &sk, &mut rng);
+        let secure = secure_multi_time_select(&mut sel, &dists, 5, &pk, &sk, &mut rng).unwrap();
 
         assert_eq!(secure.tries.len(), 5);
         let min = secure
@@ -282,11 +295,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one try")]
-    fn zero_tries_panics() {
+    fn zero_tries_is_an_error() {
         let dists = clients(50, 9);
         let mut sel = RandomSelector::new(50, 10);
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
-        let _ = multi_time_select(&mut sel, &dists, 0, &mut rng);
+        assert_eq!(
+            multi_time_select(&mut sel, &dists, 0, &mut rng).unwrap_err(),
+            SelectError::ZeroTries
+        );
     }
 }

@@ -123,7 +123,8 @@ pub fn parameter_search<R: Rng>(
             client_distributions,
             grid.tries_per_candidate,
             rng,
-        );
+        )
+        .expect("a Dubhe selector always proposes K >= 1 clients per try");
         let objective = outcome.expectation_distance;
         candidates.push(Candidate {
             thresholds: thresholds.clone(),
@@ -216,8 +217,8 @@ mod tests {
         let mut dubhe_sum = 0.0;
         let mut random_sum = 0.0;
         for _ in 0..20 {
-            dubhe_sum += population_unbiasedness(&dubhe.select(&mut rng), &dists);
-            random_sum += population_unbiasedness(&random.select(&mut rng), &dists);
+            dubhe_sum += population_unbiasedness(&dubhe.select(&mut rng), &dists).unwrap();
+            random_sum += population_unbiasedness(&random.select(&mut rng), &dists).unwrap();
         }
         assert!(
             dubhe_sum < random_sum,

@@ -1,0 +1,173 @@
+//! Deterministic drivers that pump messages between the roles.
+//!
+//! A driver owns no protocol knowledge beyond *sequencing*: it seeds the
+//! first messages (key dispatch, tentative-try announcements), then delivers
+//! queued envelopes to their addressees until the transport is drained.
+//! Everything cryptographic happens inside the roles; everything observable
+//! happens on the [`Transport`].
+//!
+//! Delivery is strictly FIFO and clients are dispatched to in id order, so a
+//! driver run consumes its RNG in exactly the order the pre-actor
+//! implementation did — which is what makes the compatibility wrappers in
+//! [`crate::secure`] bit-identical to the legacy functions on the same seed.
+
+use dubhe_data::ClassDistribution;
+use rand::Rng;
+
+use super::message::Party;
+use super::roles::{AgentNode, CoordinatorServer, SelectClientNode};
+use super::transport::Transport;
+use crate::config::DubheConfig;
+use crate::error::SelectError;
+use crate::registry::Registration;
+use crate::selector::ClientId;
+
+/// Delivers queued messages to their addressees until the transport drains.
+pub fn pump<T, R>(
+    transport: &mut T,
+    agent: &mut AgentNode,
+    clients: &mut [SelectClientNode],
+    server: &mut CoordinatorServer,
+    rng: &mut R,
+) -> Result<(), SelectError>
+where
+    T: Transport,
+    R: Rng + ?Sized,
+{
+    while let Some(envelope) = transport.deliver() {
+        let outgoing = match envelope.to {
+            Party::Server => server.handle(envelope.msg)?,
+            Party::Agent => agent.handle(envelope.msg)?,
+            Party::Client(id) => {
+                let population = clients.len();
+                let client = clients
+                    .get_mut(id)
+                    .ok_or(SelectError::ClientOutOfRange { id, population })?;
+                client.handle(envelope.msg, rng)?
+            }
+        };
+        for e in outgoing {
+            transport.send(e.from, e.to, e.msg);
+        }
+    }
+    Ok(())
+}
+
+/// The actors of one completed registration epoch. The agent keeps the
+/// epoch keypair, the clients keep their key material and registrations —
+/// reuse them for the round's multi-time exchanges via [`run_try`].
+#[derive(Debug)]
+pub struct RegistrationRun {
+    /// Index of the client that played the key-dispatching agent.
+    pub agent_id: ClientId,
+    /// The agent role (keypair owner).
+    pub agent: AgentNode,
+    /// Every selection client, indexed by id.
+    pub clients: Vec<SelectClientNode>,
+    /// The coordinator (ciphertexts and the public key only).
+    pub server: CoordinatorServer,
+}
+
+impl RegistrationRun {
+    /// The overall registry as decrypted by the clients (all clients hold
+    /// the same copy; this returns client 0's).
+    pub fn overall_registry(&self) -> &[u64] {
+        self.clients[0]
+            .overall_registry()
+            .expect("registration epoch completed")
+    }
+
+    /// The per-client registrations, in client order.
+    pub fn registrations(&self) -> Vec<Registration> {
+        self.clients
+            .iter()
+            .map(|c| c.registration().expect("registered").clone())
+            .collect()
+    }
+}
+
+/// Runs one full registration epoch (Fig. 4 steps 1–4) over `transport`.
+///
+/// A random agent is drawn from the population, generates the epoch keypair,
+/// dispatches it (public key to the server, keypair to the clients); every
+/// client registers with Algorithm 1, encrypts and uploads; the server folds
+/// the arriving registries into one running homomorphic sum and broadcasts
+/// it; clients and agent decrypt the total.
+pub fn run_registration<T, R>(
+    client_distributions: &[ClassDistribution],
+    config: &DubheConfig,
+    key_bits: u64,
+    transport: &mut T,
+    rng: &mut R,
+) -> Result<RegistrationRun, SelectError>
+where
+    T: Transport,
+    R: Rng + ?Sized,
+{
+    let n = client_distributions.len();
+    if n == 0 {
+        return Err(SelectError::NoClients);
+    }
+    let classes = client_distributions[0].classes();
+
+    let agent_id = rng.gen_range(0..n);
+    let mut agent = AgentNode::new(key_bits, classes, rng);
+    let mut clients: Vec<SelectClientNode> = client_distributions
+        .iter()
+        .enumerate()
+        .map(|(id, d)| SelectClientNode::new(id, d.clone(), config))
+        .collect();
+    let mut server = CoordinatorServer::new(n);
+
+    for e in agent.dispatch_keys(n) {
+        transport.send(e.from, e.to, e.msg);
+    }
+    pump(transport, &mut agent, &mut clients, &mut server, rng)?;
+
+    Ok(RegistrationRun {
+        agent_id,
+        agent,
+        clients,
+        server,
+    })
+}
+
+/// Runs one tentative try of the §5.3.1 multi-time exchange: the server
+/// announces the tentative participant set, each tentatively selected client
+/// encrypts and uploads its scaled label distribution, the server folds them
+/// and forwards `Enc(Σ p_l)` to the agent, which decrypts and scores the
+/// try. Once the agent has seen every expected try (see
+/// [`AgentNode::expect_tries`]) it emits its [`TryVerdict`].
+///
+/// [`TryVerdict`]: super::message::ProtocolMsg::TryVerdict
+pub fn run_try<T, R>(
+    try_index: usize,
+    selected: &[ClientId],
+    agent: &mut AgentNode,
+    clients: &mut [SelectClientNode],
+    server: &mut CoordinatorServer,
+    transport: &mut T,
+    rng: &mut R,
+) -> Result<(), SelectError>
+where
+    T: Transport,
+    R: Rng + ?Sized,
+{
+    if selected.is_empty() {
+        return Err(SelectError::EmptySelection);
+    }
+    for &id in selected {
+        if id >= clients.len() {
+            return Err(SelectError::ClientOutOfRange {
+                id,
+                population: clients.len(),
+            });
+        }
+    }
+    server.announce_try(try_index, selected);
+    for &id in selected {
+        let e = clients[id].encrypt_distribution(try_index, rng)?;
+        transport.send(e.from, e.to, e.msg);
+    }
+    pump(transport, agent, clients, server, rng)
+}

@@ -1,0 +1,217 @@
+//! The wire messages of the Dubhe exchanges and their transport sizes.
+//!
+//! Every object that crosses the network in Fig. 4 or §5.3.1 is one variant
+//! of [`ProtocolMsg`]; parties are named by [`Party`]. A message knows its
+//! canonical wire size ([`ProtocolMsg::wire_bytes`]) via the `dubhe-he`
+//! transport model, so any [`Transport`](crate::protocol::Transport)
+//! implementation can meter a link without serializing.
+
+use dubhe_he::transport::{
+    ciphertext_size_bytes, private_key_size_bytes, public_key_size_bytes, vector_wire_bytes,
+};
+use dubhe_he::{EncryptedVector, PrivateKey, PublicKey};
+use serde::{Deserialize, Serialize};
+
+use crate::selector::ClientId;
+
+/// A protocol participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Party {
+    /// The randomly chosen agent client that owns the epoch keypair.
+    Agent,
+    /// The honest-but-curious coordinator server.
+    Server,
+    /// An ordinary selection client, identified by its dense id.
+    Client(ClientId),
+}
+
+/// The kind of a [`ProtocolMsg`], used for per-kind transport accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// [`ProtocolMsg::PublicKeyDispatch`].
+    KeyDispatch,
+    /// [`ProtocolMsg::EncryptedRegistry`].
+    Registry,
+    /// [`ProtocolMsg::EncryptedTotalBroadcast`].
+    TotalBroadcast,
+    /// [`ProtocolMsg::EncryptedDistribution`].
+    Distribution,
+    /// [`ProtocolMsg::EncryptedDistributionSum`].
+    DistributionSum,
+    /// [`ProtocolMsg::TryVerdict`].
+    Verdict,
+}
+
+/// One wire message of the secure exchanges (Fig. 4 steps 1–4 and the
+/// §5.3.1 multi-time determination).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProtocolMsg {
+    /// **Fig. 4 step 1** — the agent dispatches the epoch key. Copies bound
+    /// for clients carry the private key (clients decrypt the total
+    /// themselves); the server's copy carries `None` and the server refuses
+    /// delivery of anything else.
+    PublicKeyDispatch {
+        /// The epoch public key.
+        public_key: PublicKey,
+        /// The private key — present only on client-bound copies.
+        private_key: Option<PrivateKey>,
+    },
+    /// **Fig. 4 step 2** — a client's encrypted one-hot registry `R^(t,k)`.
+    EncryptedRegistry {
+        /// The sending client.
+        client: ClientId,
+        /// The element-wise encrypted registry.
+        registry: EncryptedVector,
+    },
+    /// **Fig. 4 step 3** — the server's broadcast of the homomorphic sum
+    /// `Enc(R_A)` of every received registry.
+    EncryptedTotalBroadcast {
+        /// The encrypted overall registry.
+        total: EncryptedVector,
+    },
+    /// **§5.3.1** — a tentatively selected client's encrypted scaled label
+    /// distribution `Enc(p_l)` for one try.
+    EncryptedDistribution {
+        /// The sending client.
+        client: ClientId,
+        /// Which of the `H` tentative tries this contribution belongs to.
+        try_index: usize,
+        /// The encrypted fixed-point label distribution.
+        distribution: EncryptedVector,
+    },
+    /// **§5.3.1** — the server's homomorphic sum `Enc(Σ p_l)` of one try,
+    /// forwarded to the agent for decryption.
+    EncryptedDistributionSum {
+        /// Which try the sum belongs to.
+        try_index: usize,
+        /// How many client distributions were folded in (the agent divides
+        /// by this to recover the population distribution).
+        contributors: usize,
+        /// The encrypted sum.
+        sum: EncryptedVector,
+    },
+    /// **§5.3.1** — the agent's verdict after the L1 try-test
+    /// `h* = argmin_h ‖p_o,h − p_u‖₁`.
+    TryVerdict {
+        /// The winning try index `h*`.
+        best_try: usize,
+        /// `‖p_o,h* − p_u‖₁`.
+        distance: f64,
+    },
+}
+
+impl ProtocolMsg {
+    /// The message's kind (for accounting).
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            ProtocolMsg::PublicKeyDispatch { .. } => MsgKind::KeyDispatch,
+            ProtocolMsg::EncryptedRegistry { .. } => MsgKind::Registry,
+            ProtocolMsg::EncryptedTotalBroadcast { .. } => MsgKind::TotalBroadcast,
+            ProtocolMsg::EncryptedDistribution { .. } => MsgKind::Distribution,
+            ProtocolMsg::EncryptedDistributionSum { .. } => MsgKind::DistributionSum,
+            ProtocolMsg::TryVerdict { .. } => MsgKind::Verdict,
+        }
+    }
+
+    /// Canonical wire size in bytes, from the `dubhe-he` transport model:
+    /// ciphertexts at the fixed width ⌈2·|n|/8⌉, key material at ⌈|n|/8⌉ per
+    /// modulus-sized component, and 8 bytes per scalar header field.
+    pub fn wire_bytes(&self) -> usize {
+        const SCALAR: usize = std::mem::size_of::<u64>();
+        match self {
+            ProtocolMsg::PublicKeyDispatch {
+                public_key,
+                private_key,
+            } => {
+                public_key_size_bytes(public_key)
+                    + private_key
+                        .as_ref()
+                        .map(|sk| private_key_size_bytes(&sk.public))
+                        .unwrap_or(0)
+            }
+            ProtocolMsg::EncryptedRegistry { registry, .. } => SCALAR + vector_wire_bytes(registry),
+            ProtocolMsg::EncryptedTotalBroadcast { total } => vector_wire_bytes(total),
+            ProtocolMsg::EncryptedDistribution { distribution, .. } => {
+                2 * SCALAR + vector_wire_bytes(distribution)
+            }
+            ProtocolMsg::EncryptedDistributionSum { sum, .. } => {
+                2 * SCALAR + vector_wire_bytes(sum)
+            }
+            ProtocolMsg::TryVerdict { .. } => 2 * SCALAR,
+        }
+    }
+
+    /// The ciphertext payload portion of [`wire_bytes`](Self::wire_bytes):
+    /// bytes of encrypted vector material, excluding headers and keys. This
+    /// is the quantity the §6.4 overhead study (and the FL ledger) charges.
+    pub fn ciphertext_bytes(&self) -> usize {
+        match self {
+            ProtocolMsg::PublicKeyDispatch { .. } | ProtocolMsg::TryVerdict { .. } => 0,
+            ProtocolMsg::EncryptedRegistry { registry, .. } => vector_wire_bytes(registry),
+            ProtocolMsg::EncryptedTotalBroadcast { total } => vector_wire_bytes(total),
+            ProtocolMsg::EncryptedDistribution { distribution, .. } => {
+                vector_wire_bytes(distribution)
+            }
+            ProtocolMsg::EncryptedDistributionSum { sum, .. } => vector_wire_bytes(sum),
+        }
+    }
+}
+
+/// An addressed message in flight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// The sending party.
+    pub from: Party,
+    /// The receiving party.
+    pub to: Party,
+    /// The payload.
+    pub msg: ProtocolMsg,
+}
+
+/// Per-element ciphertext width under `public` — re-exported convenience so
+/// protocol consumers need only this module for size math.
+pub fn ciphertext_width(public: &PublicKey) -> usize {
+    ciphertext_size_bytes(public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dubhe_he::Keypair;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wire_bytes_follow_the_transport_model() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let kp = Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
+        let v = EncryptedVector::encrypt_u64(&kp.public, &[0, 1, 0, 0], &mut rng);
+        let ct = ciphertext_width(&kp.public);
+
+        let reg = ProtocolMsg::EncryptedRegistry {
+            client: 3,
+            registry: v.clone(),
+        };
+        assert_eq!(reg.wire_bytes(), 8 + 4 * ct);
+        assert_eq!(reg.ciphertext_bytes(), 4 * ct);
+        assert_eq!(reg.kind(), MsgKind::Registry);
+
+        let to_server = ProtocolMsg::PublicKeyDispatch {
+            public_key: kp.public.clone(),
+            private_key: None,
+        };
+        let to_client = ProtocolMsg::PublicKeyDispatch {
+            public_key: kp.public.clone(),
+            private_key: Some(kp.private.clone()),
+        };
+        // The client copy carries the private factors on top of the modulus.
+        assert_eq!(to_client.wire_bytes(), 2 * to_server.wire_bytes());
+        assert_eq!(to_server.ciphertext_bytes(), 0);
+
+        let verdict = ProtocolMsg::TryVerdict {
+            best_try: 2,
+            distance: 0.25,
+        };
+        assert_eq!(verdict.wire_bytes(), 16);
+        assert_eq!(verdict.kind(), MsgKind::Verdict);
+    }
+}

@@ -1,0 +1,62 @@
+//! # The role-separated Dubhe protocol
+//!
+//! This module makes the paper's threat model a *structural* property: who
+//! can see which message is decided by which role type holds which fields,
+//! not by the discipline of a monolithic function. Three actors exchange
+//! typed [`ProtocolMsg`]s over a [`Transport`]:
+//!
+//! * [`AgentNode`] — the randomly chosen agent client. Owns the epoch
+//!   [`Keypair`](dubhe_he::Keypair), decrypts the per-try sums, evaluates
+//!   the L1 try-test and issues the verdict.
+//! * [`SelectClientNode`] — an ordinary client. Receives the keypair, fills
+//!   and encrypts its registry (Algorithm 1), decrypts the broadcast total
+//!   and computes its own participation probability (Eq. 6).
+//! * [`CoordinatorServer`] — the honest-but-curious coordinator. Holds only
+//!   the [`PublicKey`](dubhe_he::PublicKey) and running ciphertext folds;
+//!   its struct has no field that could store a private key or a plaintext
+//!   distribution, and it refuses a key dispatch that carries one.
+//!
+//! ## Message ↔ paper mapping
+//!
+//! | [`ProtocolMsg`] variant | Paper step | Link |
+//! |---|---|---|
+//! | [`PublicKeyDispatch`] | Fig. 4 step 1 — agent generates and dispatches the epoch key | agent → clients (keypair), agent → server (public key only) |
+//! | [`EncryptedRegistry`] | Fig. 4 step 2 — each client uploads `Enc(R^(t,k))` | client → server |
+//! | [`EncryptedTotalBroadcast`] | Fig. 4 step 3 — server adds registries blindly, broadcasts `Enc(R_A)` | server → clients, agent |
+//! | [`EncryptedDistribution`] | §5.3.1 — tentatively selected client uploads `Enc(p_l)` for try `h` | client → server |
+//! | [`EncryptedDistributionSum`] | §5.3.1 — server forwards `Enc(Σ p_l)` of try `h` | server → agent |
+//! | [`TryVerdict`] | §5.3.1 — agent announces `h* = argmin_h ‖p_o,h − p_u‖₁` | agent → server |
+//!
+//! Fig. 4 step 4 (clients decrypt the total and compute Eq. 6 locally)
+//! produces no wire message: it happens inside [`SelectClientNode`] when the
+//! broadcast arrives.
+//!
+//! Every message knows its canonical wire size through `dubhe-he`'s
+//! transport model ([`ProtocolMsg::wire_bytes`]), and the in-memory
+//! transport meters every link per message kind ([`TransportStats`]) — the
+//! numbers the §6.4 overhead study reports and the FL ledger charges.
+//!
+//! ## Drivers
+//!
+//! [`run_registration`] and [`run_try`] sequence the exchanges
+//! deterministically; [`crate::secure`] keeps the historical free-function
+//! API as thin wrappers over them (same signatures, bit-identical results on
+//! the same seed), and `dubhe-fl`'s simulator drives the same actors
+//! end-to-end when its encrypted mode is enabled.
+//!
+//! [`PublicKeyDispatch`]: ProtocolMsg::PublicKeyDispatch
+//! [`EncryptedRegistry`]: ProtocolMsg::EncryptedRegistry
+//! [`EncryptedTotalBroadcast`]: ProtocolMsg::EncryptedTotalBroadcast
+//! [`EncryptedDistribution`]: ProtocolMsg::EncryptedDistribution
+//! [`EncryptedDistributionSum`]: ProtocolMsg::EncryptedDistributionSum
+//! [`TryVerdict`]: ProtocolMsg::TryVerdict
+
+pub mod driver;
+pub mod message;
+pub mod roles;
+pub mod transport;
+
+pub use driver::{pump, run_registration, run_try, RegistrationRun};
+pub use message::{Envelope, MsgKind, Party, ProtocolMsg};
+pub use roles::{AgentNode, CoordinatorServer, SelectClientNode};
+pub use transport::{InMemoryTransport, LinkStats, Transport, TransportStats};

@@ -1,0 +1,580 @@
+//! The three protocol roles and their step-wise message handlers.
+//!
+//! Each role is a state machine exposing `handle(msg) → outgoing envelopes`.
+//! What a role *can* know is a property of its struct definition:
+//!
+//! * [`CoordinatorServer`] has fields for a [`PublicKey`] and ciphertext
+//!   folds only — there is no field that could store a [`PrivateKey`] or a
+//!   plaintext registry/distribution, and its handler returns
+//!   [`ProtocolError::PrivateKeyAtServer`] if a key dispatch tries to smuggle
+//!   one in. This is the compile-time embodiment of the paper's
+//!   honest-but-curious threat model (§5.3.3).
+//! * [`AgentNode`] owns the epoch keypair, decrypts the per-try sums the
+//!   server forwards and evaluates the L1 try-test.
+//! * [`SelectClientNode`] holds the dispatched key material, fills and
+//!   encrypts its own registry (Algorithm 1) and computes its own
+//!   participation probability (Eq. 6) from the decrypted overall registry.
+
+use std::collections::BTreeMap;
+
+use dubhe_data::ClassDistribution;
+use dubhe_he::{
+    EncryptedVector, FixedPointCodec, Keypair, PrecomputedEncryptor, PrivateKey, PublicKey,
+};
+use rand::Rng;
+
+use super::message::{ciphertext_width, Envelope, Party, ProtocolMsg};
+use crate::codebook::RegistryLayout;
+use crate::config::DubheConfig;
+use crate::error::ProtocolError;
+use crate::probability::participation_probability;
+use crate::registry::{register, Registration};
+use crate::secure::SecureTryOutcome;
+use crate::selector::ClientId;
+
+fn fold_in(acc: &mut Option<EncryptedVector>, v: &EncryptedVector) -> Result<(), ProtocolError> {
+    *acc = Some(match acc.take() {
+        None => v.clone(),
+        Some(total) => total.add(v)?,
+    });
+    Ok(())
+}
+
+/// Per-try aggregation state on the server.
+#[derive(Debug, Clone)]
+struct TryFold {
+    /// The announced participant set, sorted.
+    participants: Vec<ClientId>,
+    /// Which announced participants have contributed so far.
+    contributed: Vec<bool>,
+    received: usize,
+    fold: Option<EncryptedVector>,
+}
+
+/// The honest-but-curious coordinator. Holds the epoch [`PublicKey`] and
+/// running ciphertext folds — nothing else. Registries are folded into the
+/// running homomorphic sum *as they arrive*, so server memory is
+/// `O(registry_len)` regardless of the client count.
+#[derive(Debug)]
+pub struct CoordinatorServer {
+    public_key: Option<PublicKey>,
+    /// Which client ids have registered (length = expected registrations).
+    registered: Vec<bool>,
+    registrations_received: usize,
+    registry_fold: Option<EncryptedVector>,
+    tries: BTreeMap<usize, TryFold>,
+    last_verdict: Option<(usize, f64)>,
+    bytes_received: usize,
+    messages_received: usize,
+}
+
+impl CoordinatorServer {
+    /// A server expecting `expected_registrations` registry uploads this
+    /// epoch (0 for a pure multi-time session).
+    pub fn new(expected_registrations: usize) -> Self {
+        CoordinatorServer {
+            public_key: None,
+            registered: vec![false; expected_registrations],
+            registrations_received: 0,
+            registry_fold: None,
+            tries: BTreeMap::new(),
+            last_verdict: None,
+            bytes_received: 0,
+            messages_received: 0,
+        }
+    }
+
+    /// A server that already learned the epoch public key out-of-band (used
+    /// by sessions that skip the key-dispatch step).
+    pub fn with_public_key(public_key: PublicKey, expected_registrations: usize) -> Self {
+        CoordinatorServer {
+            public_key: Some(public_key),
+            ..CoordinatorServer::new(expected_registrations)
+        }
+    }
+
+    /// The epoch public key, once dispatched.
+    pub fn public_key(&self) -> Option<&PublicKey> {
+        self.public_key.as_ref()
+    }
+
+    /// The running encrypted overall registry (complete once every expected
+    /// registry arrived).
+    pub fn encrypted_total(&self) -> Option<&EncryptedVector> {
+        self.registry_fold.as_ref()
+    }
+
+    /// Canonical wire bytes received so far.
+    pub fn bytes_received(&self) -> usize {
+        self.bytes_received
+    }
+
+    /// Messages received so far.
+    pub fn messages_received(&self) -> usize {
+        self.messages_received
+    }
+
+    /// The agent's verdict for the last multi-time round, if any.
+    pub fn last_verdict(&self) -> Option<(usize, f64)> {
+        self.last_verdict
+    }
+
+    /// Announces one tentative try (§5.3.1: the server performs the `H`
+    /// tentative selections): the server will fold exactly one encrypted
+    /// distribution from each of `participants` for `try_index` and then
+    /// forward the sum to the agent. Contributions from anyone else — or a
+    /// second contribution from the same client — are rejected.
+    pub fn announce_try(&mut self, try_index: usize, participants: &[ClientId]) {
+        let mut sorted = participants.to_vec();
+        sorted.sort_unstable();
+        let contributed = vec![false; sorted.len()];
+        self.tries.insert(
+            try_index,
+            TryFold {
+                participants: sorted,
+                contributed,
+                received: 0,
+                fold: None,
+            },
+        );
+    }
+
+    /// Handles one incoming message, returning the messages it triggers.
+    pub fn handle(&mut self, msg: ProtocolMsg) -> Result<Vec<Envelope>, ProtocolError> {
+        self.messages_received += 1;
+        self.bytes_received += msg.wire_bytes();
+        match msg {
+            ProtocolMsg::PublicKeyDispatch {
+                public_key,
+                private_key,
+            } => {
+                if private_key.is_some() {
+                    return Err(ProtocolError::PrivateKeyAtServer);
+                }
+                self.public_key = Some(public_key);
+                Ok(Vec::new())
+            }
+            ProtocolMsg::EncryptedRegistry { client, registry } => {
+                // Exactly one registry per known client, and none once the
+                // epoch total has been broadcast: duplicates, strangers and
+                // stragglers would silently corrupt the homomorphic sum
+                // (a real concern once a retrying networked transport sits
+                // underneath), so they are protocol errors instead.
+                if self.registrations_received == self.registered.len() {
+                    return Err(ProtocolError::EpochComplete { client });
+                }
+                match self.registered.get_mut(client) {
+                    None => {
+                        return Err(ProtocolError::UnknownContributor {
+                            client,
+                            try_index: None,
+                        })
+                    }
+                    Some(seen) if *seen => {
+                        return Err(ProtocolError::DuplicateContribution {
+                            client,
+                            try_index: None,
+                        })
+                    }
+                    Some(seen) => *seen = true,
+                }
+                fold_in(&mut self.registry_fold, &registry)?;
+                self.registrations_received += 1;
+                if self.registrations_received == self.registered.len() {
+                    let total = self
+                        .registry_fold
+                        .clone()
+                        .expect("at least one registry folded");
+                    // Fig. 4 step 3: broadcast Enc(R_A) to every client and
+                    // the agent; nobody but the key holders can open it.
+                    let mut out = Vec::with_capacity(self.registered.len() + 1);
+                    for id in 0..self.registered.len() {
+                        out.push(Envelope {
+                            from: Party::Server,
+                            to: Party::Client(id),
+                            msg: ProtocolMsg::EncryptedTotalBroadcast {
+                                total: total.clone(),
+                            },
+                        });
+                    }
+                    out.push(Envelope {
+                        from: Party::Server,
+                        to: Party::Agent,
+                        msg: ProtocolMsg::EncryptedTotalBroadcast { total },
+                    });
+                    Ok(out)
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            ProtocolMsg::EncryptedDistribution {
+                client,
+                try_index,
+                distribution,
+            } => {
+                let slot = self
+                    .tries
+                    .get_mut(&try_index)
+                    .ok_or(ProtocolError::UnknownTry { try_index })?;
+                let idx = slot.participants.binary_search(&client).map_err(|_| {
+                    ProtocolError::UnknownContributor {
+                        client,
+                        try_index: Some(try_index),
+                    }
+                })?;
+                if slot.contributed[idx] {
+                    return Err(ProtocolError::DuplicateContribution {
+                        client,
+                        try_index: Some(try_index),
+                    });
+                }
+                slot.contributed[idx] = true;
+                fold_in(&mut slot.fold, &distribution)?;
+                slot.received += 1;
+                if slot.received == slot.participants.len() {
+                    let slot = self.tries.remove(&try_index).expect("present");
+                    Ok(vec![Envelope {
+                        from: Party::Server,
+                        to: Party::Agent,
+                        msg: ProtocolMsg::EncryptedDistributionSum {
+                            try_index,
+                            contributors: slot.received,
+                            sum: slot.fold.expect("non-empty try"),
+                        },
+                    }])
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            ProtocolMsg::TryVerdict { best_try, distance } => {
+                self.last_verdict = Some((best_try, distance));
+                Ok(Vec::new())
+            }
+            other => Err(ProtocolError::UnexpectedMessage {
+                role: "server",
+                kind: other.kind(),
+            }),
+        }
+    }
+}
+
+/// The keypair-owning agent: dispatches the epoch key, decrypts the per-try
+/// sums the server forwards, and issues the L1 try-test verdict.
+#[derive(Debug)]
+pub struct AgentNode {
+    keypair: Keypair,
+    codec: FixedPointCodec,
+    classes: usize,
+    overall_registry: Option<Vec<u64>>,
+    expected_tries: usize,
+    try_outcomes: BTreeMap<usize, SecureTryOutcome>,
+    verdict: Option<(usize, f64)>,
+}
+
+impl AgentNode {
+    /// Generates a fresh epoch keypair (and pays the key's one-time
+    /// fixed-base precomputation so every client encrypts on the fast path).
+    pub fn new<R: Rng + ?Sized>(key_bits: u64, classes: usize, rng: &mut R) -> Self {
+        let keypair = Keypair::generate(key_bits, rng);
+        let _ = PrecomputedEncryptor::new(&keypair.public, rng);
+        AgentNode::from_keypair(keypair, classes)
+    }
+
+    /// Wraps existing key material (used by compatibility drivers whose
+    /// callers generated the keypair themselves).
+    pub fn from_keypair(keypair: Keypair, classes: usize) -> Self {
+        AgentNode {
+            keypair,
+            codec: FixedPointCodec::default(),
+            classes,
+            overall_registry: None,
+            expected_tries: 0,
+            try_outcomes: BTreeMap::new(),
+            verdict: None,
+        }
+    }
+
+    /// The epoch public key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.keypair.public
+    }
+
+    /// The epoch private key (the agent is its only protocol-level owner
+    /// besides the clients it dispatches to).
+    pub fn private_key(&self) -> &PrivateKey {
+        &self.keypair.private
+    }
+
+    /// Fig. 4 step 1: key dispatch. Clients receive the full keypair (they
+    /// decrypt the total themselves); the server receives the public key
+    /// only. The server copy is emitted first so it can verify uploads.
+    pub fn dispatch_keys(&self, clients: usize) -> Vec<Envelope> {
+        let mut out = Vec::with_capacity(clients + 1);
+        out.push(Envelope {
+            from: Party::Agent,
+            to: Party::Server,
+            msg: ProtocolMsg::PublicKeyDispatch {
+                public_key: self.keypair.public.clone(),
+                private_key: None,
+            },
+        });
+        for id in 0..clients {
+            out.push(Envelope {
+                from: Party::Agent,
+                to: Party::Client(id),
+                msg: ProtocolMsg::PublicKeyDispatch {
+                    public_key: self.keypair.public.clone(),
+                    private_key: Some(self.keypair.private.clone()),
+                },
+            });
+        }
+        out
+    }
+
+    /// Starts a multi-time round of `h` tries: clears previous outcomes; the
+    /// verdict is emitted after the `h`-th sum is decrypted.
+    pub fn expect_tries(&mut self, h: usize) {
+        self.expected_tries = h;
+        self.try_outcomes.clear();
+        self.verdict = None;
+    }
+
+    /// The overall registry decrypted from the server broadcast, if seen.
+    pub fn overall_registry(&self) -> Option<&[u64]> {
+        self.overall_registry.as_deref()
+    }
+
+    /// The per-try outcomes decrypted so far, in try order.
+    pub fn try_outcomes(&self) -> Vec<SecureTryOutcome> {
+        self.try_outcomes.values().cloned().collect()
+    }
+
+    /// The verdict of the completed multi-time round, if all tries arrived.
+    pub fn verdict(&self) -> Option<(usize, f64)> {
+        self.verdict
+    }
+
+    /// Handles one incoming message, returning the messages it triggers.
+    pub fn handle(&mut self, msg: ProtocolMsg) -> Result<Vec<Envelope>, ProtocolError> {
+        match msg {
+            ProtocolMsg::EncryptedTotalBroadcast { total } => {
+                self.overall_registry = Some(total.decrypt_u64(&self.keypair.private));
+                Ok(Vec::new())
+            }
+            ProtocolMsg::EncryptedDistributionSum {
+                try_index,
+                contributors,
+                sum,
+            } => {
+                let ciphertext_bytes =
+                    contributors * self.classes * ciphertext_width(&self.keypair.public);
+                let decrypted = sum.decrypt_u64(&self.keypair.private);
+                let population = self.codec.decode_average(&decrypted, contributors);
+                let p_u = vec![1.0 / self.classes as f64; self.classes];
+                let distance = dubhe_data::l1_distance(&population, &p_u);
+                self.try_outcomes.insert(
+                    try_index,
+                    SecureTryOutcome {
+                        population,
+                        distance_to_uniform: distance,
+                        ciphertext_bytes,
+                        messages: contributors,
+                    },
+                );
+                if self.expected_tries > 0 && self.try_outcomes.len() == self.expected_tries {
+                    let (best_try, distance) = self
+                        .try_outcomes
+                        .iter()
+                        .min_by(|a, b| {
+                            a.1.distance_to_uniform
+                                .partial_cmp(&b.1.distance_to_uniform)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .map(|(&i, o)| (i, o.distance_to_uniform))
+                        .expect("expected_tries > 0");
+                    self.verdict = Some((best_try, distance));
+                    return Ok(vec![Envelope {
+                        from: Party::Agent,
+                        to: Party::Server,
+                        msg: ProtocolMsg::TryVerdict { best_try, distance },
+                    }]);
+                }
+                Ok(Vec::new())
+            }
+            other => Err(ProtocolError::UnexpectedMessage {
+                role: "agent",
+                kind: other.kind(),
+            }),
+        }
+    }
+}
+
+/// The registration plan a full selection client executes on key receipt.
+#[derive(Debug, Clone)]
+struct RegistrationPlan {
+    layout: RegistryLayout,
+    thresholds: Vec<f64>,
+    k: usize,
+}
+
+/// An ordinary selection client: fills and encrypts its registry, decrypts
+/// the broadcast total with the dispatched key, and computes its own
+/// participation probability.
+#[derive(Debug)]
+pub struct SelectClientNode {
+    id: ClientId,
+    distribution: ClassDistribution,
+    codec: FixedPointCodec,
+    plan: Option<RegistrationPlan>,
+    public_key: Option<PublicKey>,
+    private_key: Option<PrivateKey>,
+    encryptor: Option<PrecomputedEncryptor>,
+    registration: Option<Registration>,
+    overall_registry: Option<Vec<u64>>,
+}
+
+impl SelectClientNode {
+    /// A client that will register (Algorithm 1) under `config` as soon as
+    /// the epoch key arrives.
+    pub fn new(id: ClientId, distribution: ClassDistribution, config: &DubheConfig) -> Self {
+        let plan = RegistrationPlan {
+            layout: config.validate(),
+            thresholds: config.effective_thresholds(),
+            k: config.k,
+        };
+        SelectClientNode {
+            plan: Some(plan),
+            ..SelectClientNode::without_registration(id, distribution)
+        }
+    }
+
+    /// A client that only takes part in multi-time distribution exchanges
+    /// (no registration phase).
+    pub fn without_registration(id: ClientId, distribution: ClassDistribution) -> Self {
+        SelectClientNode {
+            id,
+            distribution,
+            codec: FixedPointCodec::default(),
+            plan: None,
+            public_key: None,
+            private_key: None,
+            encryptor: None,
+            registration: None,
+            overall_registry: None,
+        }
+    }
+
+    /// The client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Installs epoch key material without going through a dispatch message
+    /// (used by compatibility drivers).
+    pub fn install_keys(&mut self, public: PublicKey, private: PrivateKey) {
+        self.public_key = Some(public);
+        self.private_key = Some(private);
+    }
+
+    /// The client's registration, once the key arrived and Algorithm 1 ran.
+    pub fn registration(&self) -> Option<&Registration> {
+        self.registration.as_ref()
+    }
+
+    /// The overall registry this client decrypted from the broadcast.
+    pub fn overall_registry(&self) -> Option<&[u64]> {
+        self.overall_registry.as_deref()
+    }
+
+    /// Eq. 6: the participation probability this client computes *for
+    /// itself* from the decrypted overall registry and its own category.
+    pub fn participation_probability(&self) -> Option<f64> {
+        let overall = self.overall_registry.as_ref()?;
+        let registration = self.registration.as_ref()?;
+        let k = self.plan.as_ref()?.k;
+        Some(participation_probability(overall, registration.position, k))
+    }
+
+    fn encryptor<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> Result<&PrecomputedEncryptor, ProtocolError> {
+        if self.encryptor.is_none() {
+            let pk = self
+                .public_key
+                .as_ref()
+                .ok_or(ProtocolError::MissingKeyMaterial { role: "client" })?;
+            self.encryptor = Some(PrecomputedEncryptor::new(pk, rng));
+        }
+        Ok(self.encryptor.as_ref().expect("just installed"))
+    }
+
+    /// §5.3.1: encrypts this client's scaled label distribution for one
+    /// tentative try and addresses it to the server.
+    pub fn encrypt_distribution<R: Rng + ?Sized>(
+        &mut self,
+        try_index: usize,
+        rng: &mut R,
+    ) -> Result<Envelope, ProtocolError> {
+        let scaled = self.codec.encode_vec(&self.distribution.proportions());
+        let encryptor = self.encryptor(rng)?;
+        let distribution = EncryptedVector::encrypt_u64_with(encryptor, &scaled, rng);
+        Ok(Envelope {
+            from: Party::Client(self.id),
+            to: Party::Server,
+            msg: ProtocolMsg::EncryptedDistribution {
+                client: self.id,
+                try_index,
+                distribution,
+            },
+        })
+    }
+
+    /// Handles one incoming message, returning the messages it triggers.
+    pub fn handle<R: Rng + ?Sized>(
+        &mut self,
+        msg: ProtocolMsg,
+        rng: &mut R,
+    ) -> Result<Vec<Envelope>, ProtocolError> {
+        match msg {
+            ProtocolMsg::PublicKeyDispatch {
+                public_key,
+                private_key,
+            } => {
+                let private_key =
+                    private_key.ok_or(ProtocolError::MissingKeyMaterial { role: "client" })?;
+                self.install_keys(public_key, private_key);
+                if let Some(plan) = self.plan.clone() {
+                    // Fig. 4 step 2: register, encrypt, upload.
+                    let registration = register(&self.distribution, &plan.layout, &plan.thresholds);
+                    let encryptor = self.encryptor(rng)?;
+                    let encrypted =
+                        EncryptedVector::encrypt_u64_with(encryptor, &registration.registry, rng);
+                    self.registration = Some(registration);
+                    Ok(vec![Envelope {
+                        from: Party::Client(self.id),
+                        to: Party::Server,
+                        msg: ProtocolMsg::EncryptedRegistry {
+                            client: self.id,
+                            registry: encrypted,
+                        },
+                    }])
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            ProtocolMsg::EncryptedTotalBroadcast { total } => {
+                let sk = self
+                    .private_key
+                    .as_ref()
+                    .ok_or(ProtocolError::MissingKeyMaterial { role: "client" })?;
+                self.overall_registry = Some(total.decrypt_u64(sk));
+                Ok(Vec::new())
+            }
+            other => Err(ProtocolError::UnexpectedMessage {
+                role: "client",
+                kind: other.kind(),
+            }),
+        }
+    }
+}

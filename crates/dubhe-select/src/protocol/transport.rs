@@ -1,0 +1,218 @@
+//! Message routing between protocol roles.
+//!
+//! A [`Transport`] moves [`Envelope`]s between parties. The in-memory
+//! implementation is a FIFO queue that meters every link — messages and
+//! canonical wire bytes per [`MsgKind`] — which is exactly what the FL
+//! simulator charges to its [`CommLedger`](../../dubhe_fl/comm) and what the
+//! §6.4 overhead study prints. A networked implementation (TCP, RPC,
+//! sharded brokers) only has to implement the same two methods.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use super::message::{Envelope, MsgKind, Party, ProtocolMsg};
+
+/// Moves protocol messages between parties.
+pub trait Transport {
+    /// Queues a message for delivery, charging its wire size to the link.
+    fn send(&mut self, from: Party, to: Party, msg: ProtocolMsg);
+
+    /// Takes the next pending message, in delivery order.
+    fn deliver(&mut self) -> Option<Envelope>;
+}
+
+/// Messages and bytes observed on one (set of) link(s).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Number of messages.
+    pub messages: usize,
+    /// Canonical wire bytes (see [`ProtocolMsg::wire_bytes`]).
+    pub bytes: usize,
+}
+
+impl LinkStats {
+    fn charge(&mut self, msg: &ProtocolMsg) {
+        self.messages += 1;
+        self.bytes += msg.wire_bytes();
+    }
+}
+
+/// Per-kind transport accounting for one exchange.
+///
+/// The uplink kinds ([`registries`](Self::registries) and
+/// [`distributions`](Self::distributions)) are the client → server payloads
+/// the paper's §6.4 overhead model counts: `N` registry transfers per
+/// registration epoch and ≈ `H·K` distribution transfers per multi-time
+/// round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Key dispatches (agent → clients and agent → server).
+    pub key_dispatches: LinkStats,
+    /// Encrypted registries (clients → server).
+    pub registries: LinkStats,
+    /// Encrypted-total broadcasts (server → clients/agent).
+    pub total_broadcasts: LinkStats,
+    /// Encrypted distributions (tentative clients → server).
+    pub distributions: LinkStats,
+    /// Encrypted distribution sums (server → agent).
+    pub distribution_sums: LinkStats,
+    /// Try verdicts (agent → server).
+    pub verdicts: LinkStats,
+    /// Ciphertext-only registry uplink bytes.
+    pub uplink_registry_ciphertext_bytes: usize,
+    /// Ciphertext-only distribution uplink bytes.
+    pub uplink_distribution_ciphertext_bytes: usize,
+}
+
+impl TransportStats {
+    /// All links combined.
+    pub fn total(&self) -> LinkStats {
+        let all = [
+            self.key_dispatches,
+            self.registries,
+            self.total_broadcasts,
+            self.distributions,
+            self.distribution_sums,
+            self.verdicts,
+        ];
+        LinkStats {
+            messages: all.iter().map(|l| l.messages).sum(),
+            bytes: all.iter().map(|l| l.bytes).sum(),
+        }
+    }
+
+    /// Ciphertext bytes sent *to* the server by clients (registries plus
+    /// distributions) — the uplink cost the ledger charges. Headers are
+    /// excluded so the figure matches the modeled
+    /// `len × ciphertext_size` accounting exactly.
+    pub fn uplink_ciphertext_bytes(&self) -> usize {
+        self.uplink_registry_ciphertext_bytes + self.uplink_distribution_ciphertext_bytes
+    }
+
+    fn of_kind_mut(&mut self, kind: MsgKind) -> &mut LinkStats {
+        match kind {
+            MsgKind::KeyDispatch => &mut self.key_dispatches,
+            MsgKind::Registry => &mut self.registries,
+            MsgKind::TotalBroadcast => &mut self.total_broadcasts,
+            MsgKind::Distribution => &mut self.distributions,
+            MsgKind::DistributionSum => &mut self.distribution_sums,
+            MsgKind::Verdict => &mut self.verdicts,
+        }
+    }
+}
+
+/// The in-memory transport: FIFO delivery, full metering, and (optionally)
+/// a transcript of every envelope for threat-model auditing in tests.
+#[derive(Debug, Default)]
+pub struct InMemoryTransport {
+    queue: VecDeque<Envelope>,
+    stats: TransportStats,
+    transcript: Option<Vec<Envelope>>,
+}
+
+impl InMemoryTransport {
+    /// An empty transport with metering only.
+    pub fn new() -> Self {
+        InMemoryTransport::default()
+    }
+
+    /// An empty transport that additionally records every sent envelope, so
+    /// tests can audit exactly what each party was shown.
+    pub fn recording() -> Self {
+        InMemoryTransport {
+            transcript: Some(Vec::new()),
+            ..InMemoryTransport::default()
+        }
+    }
+
+    /// The per-kind accounting so far.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    /// The recorded transcript (empty slice unless built with
+    /// [`recording`](Self::recording)).
+    pub fn transcript(&self) -> &[Envelope] {
+        self.transcript.as_deref().unwrap_or(&[])
+    }
+
+    /// True if no message is waiting for delivery.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn send(&mut self, from: Party, to: Party, msg: ProtocolMsg) {
+        self.stats.of_kind_mut(msg.kind()).charge(&msg);
+        match msg.kind() {
+            MsgKind::Registry => {
+                self.stats.uplink_registry_ciphertext_bytes += msg.ciphertext_bytes();
+            }
+            MsgKind::Distribution => {
+                self.stats.uplink_distribution_ciphertext_bytes += msg.ciphertext_bytes();
+            }
+            _ => {}
+        }
+        if let Some(t) = &mut self.transcript {
+            t.push(Envelope {
+                from,
+                to,
+                msg: msg.clone(),
+            });
+        }
+        self.queue.push_back(Envelope { from, to, msg });
+    }
+
+    fn deliver(&mut self) -> Option<Envelope> {
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dubhe_he::transport::ciphertext_size_bytes;
+    use dubhe_he::{EncryptedVector, Keypair};
+    use rand::SeedableRng;
+
+    #[test]
+    fn fifo_delivery_and_metering() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let kp = Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
+        let v = EncryptedVector::encrypt_u64(&kp.public, &[1, 0, 0], &mut rng);
+        let ct = ciphertext_size_bytes(&kp.public);
+
+        let mut t = InMemoryTransport::recording();
+        t.send(
+            Party::Client(0),
+            Party::Server,
+            ProtocolMsg::EncryptedRegistry {
+                client: 0,
+                registry: v.clone(),
+            },
+        );
+        t.send(
+            Party::Client(1),
+            Party::Server,
+            ProtocolMsg::EncryptedRegistry {
+                client: 1,
+                registry: v,
+            },
+        );
+
+        assert_eq!(t.stats().registries.messages, 2);
+        assert_eq!(t.stats().registries.bytes, 2 * (8 + 3 * ct));
+        assert_eq!(t.stats().uplink_ciphertext_bytes(), 2 * 3 * ct);
+        assert_eq!(t.stats().total().messages, 2);
+        assert_eq!(t.transcript().len(), 2);
+
+        let first = t.deliver().expect("queued");
+        assert_eq!(first.from, Party::Client(0));
+        let second = t.deliver().expect("queued");
+        assert_eq!(second.from, Party::Client(1));
+        assert!(t.deliver().is_none());
+        assert!(t.is_idle());
+    }
+}

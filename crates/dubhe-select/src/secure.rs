@@ -1,5 +1,5 @@
-//! The secure protocol: what actually travels between clients, server and
-//! agent, and the guarantee that the server only ever handles ciphertexts.
+//! The secure protocol entry points: compatibility wrappers over the
+//! role-separated actors in [`crate::protocol`].
 //!
 //! Per registration epoch (Fig. 4):
 //!
@@ -7,8 +7,8 @@
 //!    dispatches it to all clients; the server receives only the public key;
 //! 2. every client fills its registry (Algorithm 1), encrypts it element-wise
 //!    and sends the ciphertext vector to the server;
-//! 3. the server homomorphically adds all encrypted registries and broadcasts
-//!    the encrypted total;
+//! 3. the server folds the arriving encrypted registries into one running
+//!    homomorphic sum and broadcasts the encrypted total;
 //! 4. every client decrypts the total with the shared secret key and computes
 //!    its own participation probability (Eq. 6).
 //!
@@ -16,55 +16,47 @@
 //! way: tentatively selected clients send `Enc(p_l)`, the server adds them and
 //! forwards `Enc(Σ p_l)` to the agent, which decrypts and evaluates
 //! `‖p_o,h − p_u‖₁` — the server never sees a plaintext distribution.
+//!
+//! The functions here construct the actors, run the drivers over an
+//! [`InMemoryTransport`] and flatten the result into the historical structs.
+//! They consume their RNG in exactly the order the pre-actor implementation
+//! did, so results (ciphertexts included) are bit-identical on the same seed
+//! — the equivalence property tests pin this.
 
 use dubhe_data::ClassDistribution;
 use dubhe_he::{
-    ciphertext_size_bytes, sum_vectors, transport::plaintext_vector_bytes, EncryptedVector,
-    FixedPointCodec, Keypair, PrecomputedEncryptor, PrivateKey, PublicKey,
+    ciphertext_size_bytes, transport::plaintext_vector_bytes, EncryptedVector, Keypair, PrivateKey,
+    PublicKey,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::codebook::RegistryLayout;
 use crate::config::DubheConfig;
-use crate::registry::{register_all_encrypted, Registration};
+use crate::error::SelectError;
+use crate::protocol::{
+    run_registration, run_try, AgentNode, CoordinatorServer, InMemoryTransport, SelectClientNode,
+};
+use crate::registry::Registration;
 
 /// What the honest-but-curious server observes during one registration epoch.
 ///
 /// The struct deliberately stores *only* ciphertext material and sizes; there
-/// is no way to construct it with plaintext registries, which is the
-/// compile-time embodiment of the paper's threat model.
+/// is no way to construct it with plaintext registries. Since the actor
+/// redesign the server folds arriving registries into the single running
+/// [`encrypted_total`](Self::encrypted_total), so its memory footprint is
+/// `O(registry_len)` instead of `O(clients × registry_len)`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServerView {
     /// The epoch public key (the server may legitimately hold this).
     pub public_key: PublicKey,
-    /// The encrypted registries received from clients, in arrival order.
-    pub encrypted_registries: Vec<EncryptedVector>,
-    /// The encrypted overall registry the server broadcasts back.
+    /// The running homomorphic sum of every registry received — after the
+    /// last client uploads, the encrypted overall registry it broadcasts.
     pub encrypted_total: Option<EncryptedVector>,
-    /// Bytes received from clients (ciphertext payloads only).
+    /// Ciphertext payload bytes received from clients (canonical wire width).
     pub bytes_received: usize,
-    /// Number of client → server messages observed.
+    /// Number of client → server registry messages observed.
     pub messages_received: usize,
-}
-
-impl ServerView {
-    fn new(public_key: PublicKey) -> Self {
-        ServerView {
-            public_key,
-            encrypted_registries: Vec::new(),
-            encrypted_total: None,
-            bytes_received: 0,
-            messages_received: 0,
-        }
-    }
-
-    /// The server's aggregation step: homomorphic sum of everything received,
-    /// parallel across registry positions (`dubhe-he`'s `parallel` feature).
-    fn aggregate(&mut self) {
-        self.encrypted_total =
-            sum_vectors(&self.encrypted_registries).expect("same epoch key and registry length");
-    }
 }
 
 /// The result of a full secure registration epoch.
@@ -84,7 +76,7 @@ pub struct SecureRegistrationEpoch {
     pub registry_ciphertext_bytes: usize,
 }
 
-/// Runs one secure registration epoch end-to-end.
+/// Runs one secure registration epoch end-to-end through the actor API.
 ///
 /// `key_bits` is configurable so tests can run with small keys while the
 /// overhead experiments use the paper's 2048-bit setting.
@@ -93,48 +85,33 @@ pub fn secure_registration<R: Rng + ?Sized>(
     config: &DubheConfig,
     key_bits: u64,
     rng: &mut R,
-) -> SecureRegistrationEpoch {
-    assert!(!client_distributions.is_empty(), "need at least one client");
+) -> Result<SecureRegistrationEpoch, SelectError> {
     let layout = config.validate();
-    let thresholds = config.effective_thresholds();
+    let mut transport = InMemoryTransport::new();
+    let run = run_registration(client_distributions, config, key_bits, &mut transport, rng)?;
 
-    // 1. A random agent generates and dispatches the keypair, paying the
-    //    epoch's one-time fixed-base precomputation up front so every
-    //    client's encryption runs the short-exponent fast path.
-    let agent = rng.gen_range(0..client_distributions.len());
-    let keypair = Keypair::generate(key_bits, rng);
-    let (public_key, private_key) = keypair.split();
-    let encryptor = PrecomputedEncryptor::new(&public_key, rng);
+    let stats = transport.stats();
+    let public_key = run.agent.public_key().clone();
+    let overall_registry = run.overall_registry().to_vec();
+    debug_assert_eq!(
+        run.agent.overall_registry(),
+        Some(overall_registry.as_slice()),
+        "agent and clients must decrypt the same total"
+    );
 
-    let mut server = ServerView::new(public_key.clone());
-
-    // 2. Clients register, encrypt and send.
-    let (registrations, encrypted_registries) =
-        register_all_encrypted(client_distributions, &layout, &thresholds, &encryptor, rng);
-    for encrypted in encrypted_registries {
-        server.bytes_received += encrypted.byte_len();
-        server.messages_received += 1;
-        server.encrypted_registries.push(encrypted);
-    }
-
-    // 3. Server aggregates blindly and broadcasts.
-    server.aggregate();
-    let encrypted_total = server
-        .encrypted_total
-        .clone()
-        .expect("at least one client registered");
-
-    // 4. Clients decrypt the broadcast total.
-    let overall_registry = encrypted_total.decrypt_u64(&private_key);
-
-    SecureRegistrationEpoch {
-        registrations,
+    Ok(SecureRegistrationEpoch {
+        registrations: run.registrations(),
         overall_registry,
-        server_view: server,
-        agent,
+        server_view: ServerView {
+            encrypted_total: run.server.encrypted_total().cloned(),
+            public_key: public_key.clone(),
+            bytes_received: stats.uplink_registry_ciphertext_bytes,
+            messages_received: stats.registries.messages,
+        },
+        agent: run.agent_id,
         registry_plaintext_bytes: plaintext_vector_bytes(layout.len()),
         registry_ciphertext_bytes: layout.len() * ciphertext_size_bytes(&public_key),
-    }
+    })
 }
 
 /// The agent-side view of one multi-time tentative try performed securely.
@@ -144,57 +121,74 @@ pub struct SecureTryOutcome {
     pub population: Vec<f64>,
     /// `‖p_o,h − p_u‖₁`.
     pub distance_to_uniform: f64,
-    /// Ciphertext bytes that crossed the network for this try.
+    /// Ciphertext bytes that crossed the network for this try (canonical
+    /// wire width).
     pub ciphertext_bytes: usize,
     /// Number of encrypted distribution messages (one per selected client).
     pub messages: usize,
 }
 
+/// Builds the ephemeral actor session used when the caller already holds the
+/// epoch keys (the historical `secure_*` signatures).
+pub(crate) fn keyed_session(
+    client_distributions: &[ClassDistribution],
+    public_key: &PublicKey,
+    private_key: &PrivateKey,
+) -> Result<(AgentNode, Vec<SelectClientNode>, CoordinatorServer), SelectError> {
+    let classes = client_distributions
+        .first()
+        .ok_or(SelectError::NoClients)?
+        .classes();
+    let agent = AgentNode::from_keypair(
+        Keypair {
+            public: public_key.clone(),
+            private: private_key.clone(),
+        },
+        classes,
+    );
+    let mut clients: Vec<SelectClientNode> = client_distributions
+        .iter()
+        .enumerate()
+        .map(|(id, d)| SelectClientNode::without_registration(id, d.clone()))
+        .collect();
+    for c in &mut clients {
+        c.install_keys(public_key.clone(), private_key.clone());
+    }
+    let server = CoordinatorServer::with_public_key(public_key.clone(), 0);
+    Ok((agent, clients, server))
+}
+
 /// Securely evaluates one tentative client set: the selected clients encrypt
-/// their scaled label distributions, the server adds the ciphertexts, the agent
-/// decrypts the sum and measures the distance to uniform.
+/// their scaled label distributions, the server adds the ciphertexts, the
+/// agent decrypts the sum and measures the distance to uniform.
+///
+/// Returns [`SelectError::EmptySelection`] for an empty tentative selection
+/// instead of aborting, so a misconfigured selector cannot kill a long run.
 pub fn secure_evaluate_try<R: Rng + ?Sized>(
     selected: &[usize],
     client_distributions: &[ClassDistribution],
     public_key: &PublicKey,
     private_key: &PrivateKey,
     rng: &mut R,
-) -> SecureTryOutcome {
-    assert!(
-        !selected.is_empty(),
-        "cannot evaluate an empty tentative selection"
-    );
-    let codec = FixedPointCodec::default();
-    let classes = client_distributions[0].classes();
-
-    // Every tentatively selected client shares the epoch key's fixed-base
-    // table; encryption of the scaled distributions is the fast path.
-    let encryptor = PrecomputedEncryptor::new(public_key, rng);
-    let mut encrypted_distributions = Vec::with_capacity(selected.len());
-    let mut bytes = 0usize;
-    for &id in selected {
-        let proportions = client_distributions[id].proportions();
-        let scaled = codec.encode_vec(&proportions);
-        let encrypted = EncryptedVector::encrypt_u64_with(&encryptor, &scaled, rng);
-        bytes += encrypted.byte_len();
-        encrypted_distributions.push(encrypted);
-    }
-    let encrypted_sum = sum_vectors(&encrypted_distributions)
-        .expect("same key and length")
-        .expect("non-empty selection");
-
-    // Agent side: decrypt and average.
-    let decrypted = encrypted_sum.decrypt_u64(private_key);
-    let population = codec.decode_average(&decrypted, selected.len());
-    let p_u = vec![1.0 / classes as f64; classes];
-    let distance = dubhe_data::l1_distance(&population, &p_u);
-
-    SecureTryOutcome {
-        population,
-        distance_to_uniform: distance,
-        ciphertext_bytes: bytes,
-        messages: selected.len(),
-    }
+) -> Result<SecureTryOutcome, SelectError> {
+    let (mut agent, mut clients, mut server) =
+        keyed_session(client_distributions, public_key, private_key)?;
+    agent.expect_tries(1);
+    let mut transport = InMemoryTransport::new();
+    run_try(
+        0,
+        selected,
+        &mut agent,
+        &mut clients,
+        &mut server,
+        &mut transport,
+        rng,
+    )?;
+    Ok(agent
+        .try_outcomes()
+        .into_iter()
+        .next()
+        .expect("the single try completed"))
 }
 
 /// Returns the registry layout used by `config` — re-exported here so callers
@@ -207,6 +201,7 @@ pub fn layout_of(config: &DubheConfig) -> RegistryLayout {
 mod tests {
     use super::*;
     use crate::probability::participation_probability;
+    use crate::protocol::{Party, ProtocolMsg};
     use crate::registry::register_all;
     use dubhe_data::federated::{DatasetFamily, FederatedSpec};
     use rand::SeedableRng;
@@ -232,7 +227,7 @@ mod tests {
         let dists = clients(30, 1);
         let config = DubheConfig::group1();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng);
+        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng).unwrap();
 
         // The decrypted overall registry equals the plaintext sum.
         let layout = config.validate();
@@ -247,27 +242,68 @@ mod tests {
         let dists = clients(10, 3);
         let config = DubheConfig::group1();
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng);
+        let mut transport = InMemoryTransport::recording();
+        let run =
+            run_registration(&dists, &config, TEST_KEY_BITS, &mut transport, &mut rng).unwrap();
 
-        // Every registry the server received is an EncryptedVector whose raw
-        // ciphertexts differ from the one-hot plaintext (the plaintext never
-        // appears on the wire), and two clients in the same category still send
-        // different ciphertexts thanks to encryption randomness.
-        let view = &epoch.server_view;
-        assert_eq!(view.messages_received, 10);
-        assert!(view.bytes_received > 0);
-        for (enc, reg) in view.encrypted_registries.iter().zip(&epoch.registrations) {
-            assert_eq!(enc.len(), reg.registry.len());
-            // Each transmitted element is a full-size ciphertext, not a 0/1 bit.
-            for ct in enc.elements() {
-                assert!(ct.byte_len() > 8, "ciphertext suspiciously small");
+        // Audit the full transcript: every message delivered to the server is
+        // either the public-key-only dispatch or a ciphertext payload.
+        let mut registries_seen = 0usize;
+        for env in transport.transcript() {
+            if env.to != Party::Server {
+                continue;
+            }
+            match &env.msg {
+                ProtocolMsg::PublicKeyDispatch { private_key, .. } => {
+                    assert!(
+                        private_key.is_none(),
+                        "server must never get the secret key"
+                    );
+                }
+                ProtocolMsg::EncryptedRegistry { registry, .. } => {
+                    registries_seen += 1;
+                    // Each transmitted element is a full-size ciphertext, not
+                    // a 0/1 bit.
+                    for ct in registry.elements() {
+                        assert!(ct.byte_len() > 8, "ciphertext suspiciously small");
+                    }
+                }
+                ProtocolMsg::TryVerdict { .. } => {}
+                other => panic!("unexpected server-bound message: {:?}", other.kind()),
             }
         }
+        assert_eq!(registries_seen, 10);
+        assert_eq!(run.server.messages_received(), 11); // key dispatch + 10 registries
+        assert!(run.server.bytes_received() > 0);
+
         // Two clients (even in the same category) never send identical
         // ciphertexts thanks to fresh encryption randomness.
-        let a = &view.encrypted_registries[0];
-        let b = &view.encrypted_registries[1];
-        assert_ne!(a.elements()[0].raw(), b.elements()[0].raw());
+        let regs: Vec<&EncryptedVector> = transport
+            .transcript()
+            .iter()
+            .filter_map(|e| match &e.msg {
+                ProtocolMsg::EncryptedRegistry { registry, .. } => Some(registry),
+                _ => None,
+            })
+            .collect();
+        assert_ne!(regs[0].elements()[0].raw(), regs[1].elements()[0].raw());
+    }
+
+    #[test]
+    fn server_memory_is_one_running_fold() {
+        // The server's entire ciphertext state after N uploads is a single
+        // vector of registry length — not N buffered registries.
+        let dists = clients(25, 17);
+        let config = DubheConfig::group1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng).unwrap();
+        let total = epoch.server_view.encrypted_total.as_ref().unwrap();
+        assert_eq!(total.len(), config.validate().len());
+        assert_eq!(epoch.server_view.messages_received, 25);
+        assert_eq!(
+            epoch.server_view.bytes_received,
+            25 * epoch.registry_ciphertext_bytes
+        );
     }
 
     #[test]
@@ -275,7 +311,7 @@ mod tests {
         let dists = clients(200, 5);
         let config = DubheConfig::group1();
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng);
+        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng).unwrap();
         let expected: f64 = epoch
             .registrations
             .iter()
@@ -288,11 +324,34 @@ mod tests {
     }
 
     #[test]
+    fn clients_compute_their_own_probabilities() {
+        // Step 4 of Fig. 4 happens inside the client role: after the
+        // broadcast, every client knows its own probability and they all
+        // agree with Eq. 6 evaluated on the decrypted total.
+        let dists = clients(40, 21);
+        let config = DubheConfig::group1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let mut transport = InMemoryTransport::new();
+        let run =
+            run_registration(&dists, &config, TEST_KEY_BITS, &mut transport, &mut rng).unwrap();
+        let overall = run.overall_registry().to_vec();
+        for client in &run.clients {
+            let p = client.participation_probability().expect("epoch complete");
+            let expected = participation_probability(
+                &overall,
+                client.registration().unwrap().position,
+                config.k,
+            );
+            assert_eq!(p, expected, "client {} probability", client.id());
+        }
+    }
+
+    #[test]
     fn ciphertext_expansion_is_reported() {
         let dists = clients(5, 7);
         let config = DubheConfig::group1();
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
-        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng);
+        let epoch = secure_registration(&dists, &config, TEST_KEY_BITS, &mut rng).unwrap();
         assert_eq!(epoch.registry_plaintext_bytes, 56 * 8);
         assert!(epoch.registry_ciphertext_bytes > epoch.registry_plaintext_bytes);
     }
@@ -304,24 +363,34 @@ mod tests {
         let keypair = Keypair::generate(TEST_KEY_BITS, &mut rng);
         let (pk, sk) = keypair.split();
         let selected: Vec<usize> = vec![0, 3, 7, 21, 33];
-        let outcome = secure_evaluate_try(&selected, &dists, &pk, &sk, &mut rng);
-        let plaintext = crate::selector::population_distribution(&selected, &dists);
+        let outcome = secure_evaluate_try(&selected, &dists, &pk, &sk, &mut rng).unwrap();
+        let plaintext = crate::selector::population_distribution(&selected, &dists).unwrap();
         for (a, b) in outcome.population.iter().zip(&plaintext) {
             assert!((a - b).abs() < 1e-5, "secure {a} vs plaintext {b}");
         }
-        let plain_dist = crate::selector::population_unbiasedness(&selected, &dists);
+        let plain_dist = crate::selector::population_unbiasedness(&selected, &dists).unwrap();
         assert!((outcome.distance_to_uniform - plain_dist).abs() < 1e-4);
         assert_eq!(outcome.messages, 5);
         assert!(outcome.ciphertext_bytes > 0);
     }
 
     #[test]
-    #[should_panic(expected = "empty tentative selection")]
-    fn empty_secure_try_panics() {
+    fn empty_secure_try_is_an_error_not_a_panic() {
         let dists = clients(5, 11);
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);
         let keypair = Keypair::generate(TEST_KEY_BITS, &mut rng);
         let (pk, sk) = keypair.split();
-        let _ = secure_evaluate_try(&[], &dists, &pk, &sk, &mut rng);
+        assert_eq!(
+            secure_evaluate_try(&[], &dists, &pk, &sk, &mut rng),
+            Err(SelectError::EmptySelection)
+        );
+    }
+
+    #[test]
+    fn registration_of_zero_clients_is_an_error() {
+        let config = DubheConfig::group1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let err = secure_registration(&[], &config, TEST_KEY_BITS, &mut rng).unwrap_err();
+        assert_eq!(err, SelectError::NoClients);
     }
 }

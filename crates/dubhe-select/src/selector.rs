@@ -10,6 +10,9 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::config::DubheConfig;
+use crate::error::SelectError;
+
 /// Identifier of a (virtual) client: its index in `[0, N)`.
 pub type ClientId = usize;
 
@@ -33,29 +36,49 @@ pub trait ClientSelector: Send {
     fn registry_len(&self) -> Option<usize> {
         None
     }
+
+    /// The Dubhe protocol configuration behind this selector, if it models a
+    /// registration-based selection. The FL simulator uses it to drive the
+    /// real encrypted exchange through the actor/transport API.
+    fn secure_config(&self) -> Option<&DubheConfig> {
+        None
+    }
+
+    /// The overall registry `R_A` this selector's decision model is based
+    /// on, if any — used to cross-check that an encrypted registration epoch
+    /// decrypts to exactly the plaintext decision state.
+    fn overall_registry(&self) -> Option<&[u64]> {
+        None
+    }
 }
 
 /// The population (participated-data) label distribution `p_o` of a selected
 /// client set: the average of the selected clients' label proportions (all
 /// clients weigh equally because FedVC equalises their sample counts).
+///
+/// Returns [`SelectError::EmptySelection`] for an empty selection (the
+/// quantity is undefined) and [`SelectError::ClientOutOfRange`] for a
+/// selected id outside the population, so a misbehaving selector surfaces as
+/// a recoverable error instead of aborting a long simulation.
 pub fn population_distribution(
     selected: &[ClientId],
     client_distributions: &[ClassDistribution],
-) -> Vec<f64> {
-    assert!(
-        !selected.is_empty(),
-        "population distribution of an empty selection is undefined"
-    );
+) -> Result<Vec<f64>, SelectError> {
+    if selected.is_empty() {
+        return Err(SelectError::EmptySelection);
+    }
     let classes = client_distributions
         .first()
-        .map(|d| d.classes())
-        .expect("need at least one client distribution");
+        .ok_or(SelectError::NoClients)?
+        .classes();
     let mut acc = vec![0.0f64; classes];
     for &id in selected {
-        assert!(
-            id < client_distributions.len(),
-            "selected client {id} out of range"
-        );
+        if id >= client_distributions.len() {
+            return Err(SelectError::ClientOutOfRange {
+                id,
+                population: client_distributions.len(),
+            });
+        }
         let p = client_distributions[id].proportions();
         for (a, v) in acc.iter_mut().zip(&p) {
             *a += v;
@@ -64,18 +87,19 @@ pub fn population_distribution(
     for a in &mut acc {
         *a /= selected.len() as f64;
     }
-    acc
+    Ok(acc)
 }
 
 /// `‖p_o − p_u‖₁` for a selected client set — the quantity Dubhe minimises
-/// (Eq. 3) and the y-axis of Fig. 9.
+/// (Eq. 3) and the y-axis of Fig. 9. Errors as
+/// [`population_distribution`] does.
 pub fn population_unbiasedness(
     selected: &[ClientId],
     client_distributions: &[ClassDistribution],
-) -> f64 {
-    let p_o = population_distribution(selected, client_distributions);
+) -> Result<f64, SelectError> {
+    let p_o = population_distribution(selected, client_distributions)?;
     let p_u = vec![1.0 / p_o.len() as f64; p_o.len()];
-    l1_distance(&p_o, &p_u)
+    Ok(l1_distance(&p_o, &p_u))
 }
 
 /// Statistics of repeated selections (Fig. 9 reports the mean and standard
@@ -91,26 +115,27 @@ pub struct SelectionStats {
 }
 
 /// Runs a selector `repetitions` times and reports mean/std of ‖p_o − p_u‖₁.
+/// Fails with the first selection error (e.g. an empty selection from a
+/// misconfigured selector).
 pub fn selection_stats<S: ClientSelector + ?Sized, R: Rng>(
     selector: &mut S,
     client_distributions: &[ClassDistribution],
     repetitions: usize,
     rng: &mut R,
-) -> SelectionStats {
+) -> Result<SelectionStats, SelectError> {
     assert!(repetitions > 0, "need at least one repetition");
-    let values: Vec<f64> = (0..repetitions)
-        .map(|_| {
-            let selected = selector.select(rng);
-            population_unbiasedness(&selected, client_distributions)
-        })
-        .collect();
+    let mut values: Vec<f64> = Vec::with_capacity(repetitions);
+    for _ in 0..repetitions {
+        let selected = selector.select(rng);
+        values.push(population_unbiasedness(&selected, client_distributions)?);
+    }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
     let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
-    SelectionStats {
+    Ok(SelectionStats {
         mean,
         std: var.sqrt(),
         repetitions,
-    }
+    })
 }
 
 /// The random-selection baseline: a uniform sample of `k` distinct clients.
@@ -197,25 +222,47 @@ mod tests {
     #[test]
     fn population_distribution_averages_clients() {
         let dists = toy_distributions();
-        let p = population_distribution(&[0, 1], &dists);
+        let p = population_distribution(&[0, 1], &dists).unwrap();
         assert!((p[0] - 0.5).abs() < 1e-12);
         assert!((p[1] - 0.5).abs() < 1e-12);
-        let p = population_distribution(&[0], &dists);
+        let p = population_distribution(&[0], &dists).unwrap();
         assert_eq!(p, vec![1.0, 0.0]);
     }
 
     #[test]
     fn unbiasedness_is_zero_for_balanced_selection() {
         let dists = toy_distributions();
-        assert!(population_unbiasedness(&[0, 1], &dists) < 1e-12);
-        assert!((population_unbiasedness(&[0], &dists) - 1.0).abs() < 1e-12);
+        assert!(population_unbiasedness(&[0, 1], &dists).unwrap() < 1e-12);
+        assert!((population_unbiasedness(&[0], &dists).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "empty selection")]
-    fn empty_selection_panics() {
+    fn empty_selection_is_an_error_not_a_panic() {
         let dists = toy_distributions();
-        let _ = population_distribution(&[], &dists);
+        assert_eq!(
+            population_distribution(&[], &dists),
+            Err(SelectError::EmptySelection)
+        );
+        assert_eq!(
+            population_unbiasedness(&[], &dists),
+            Err(SelectError::EmptySelection)
+        );
+    }
+
+    #[test]
+    fn out_of_range_selection_is_an_error() {
+        let dists = toy_distributions();
+        assert_eq!(
+            population_distribution(&[99], &dists),
+            Err(SelectError::ClientOutOfRange {
+                id: 99,
+                population: 4
+            })
+        );
+        assert_eq!(
+            population_distribution(&[0], &[]),
+            Err(SelectError::NoClients)
+        );
     }
 
     #[test]
@@ -229,7 +276,7 @@ mod tests {
             .collect();
         let mut sel = RandomSelector::new(50, 10);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let stats = selection_stats(&mut sel, &dists, 50, &mut rng);
+        let stats = selection_stats(&mut sel, &dists, 50, &mut rng).unwrap();
         assert!(stats.mean >= 0.0 && stats.mean <= 2.0);
         assert!(stats.std >= 0.0);
         assert_eq!(stats.repetitions, 50);

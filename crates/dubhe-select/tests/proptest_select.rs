@@ -113,7 +113,7 @@ proptest! {
         let k = (n / 2).max(1);
         let mut sel = RandomSelector::new(n, k);
         let selected = sel.select(&mut rng);
-        let p_o = population_distribution(&selected, &dists);
+        let p_o = population_distribution(&selected, &dists).unwrap();
         prop_assert_eq!(p_o.len(), 10);
         prop_assert!((p_o.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         prop_assert!(p_o.iter().all(|&v| (0.0..=1.0).contains(&v)));

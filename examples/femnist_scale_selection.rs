@@ -32,20 +32,20 @@ fn main() {
     // Random selection: cheap but biased toward the skewed global distribution.
     let t = Instant::now();
     let mut random = RandomSelector::new(dists.len(), k);
-    let r = selection_stats(&mut random, &dists, reps, &mut rng);
+    let r = selection_stats(&mut random, &dists, reps, &mut rng).unwrap();
     let random_time = t.elapsed();
 
     // Dubhe: one registration pass, then probability-driven participation.
     let t = Instant::now();
     let mut dubhe = DubheSelector::new(&dists, DubheConfig::group2());
-    let d = selection_stats(&mut dubhe, &dists, reps, &mut rng);
+    let d = selection_stats(&mut dubhe, &dists, reps, &mut rng).unwrap();
     let dubhe_time = t.elapsed();
 
     // Greedy: needs plaintext distributions and O(N*K) work per round — the
     // paper reports 1.69x extra selection time at N = 8962.
     let t = Instant::now();
     let mut greedy = GreedySelector::new(&dists, k);
-    let g = selection_stats(&mut greedy, &dists, reps, &mut rng);
+    let g = selection_stats(&mut greedy, &dists, reps, &mut rng).unwrap();
     let greedy_time = t.elapsed();
 
     println!(

@@ -58,9 +58,9 @@ fn main() {
         &dists,
         base.with_thresholds(outcome.best_thresholds.clone()),
     );
-    let r = selection_stats(&mut random, &dists, reps, &mut rng);
-    let d0 = selection_stats(&mut default_dubhe, &dists, reps, &mut rng);
-    let d1 = selection_stats(&mut tuned_dubhe, &dists, reps, &mut rng);
+    let r = selection_stats(&mut random, &dists, reps, &mut rng).unwrap();
+    let d0 = selection_stats(&mut default_dubhe, &dists, reps, &mut rng).unwrap();
+    let d1 = selection_stats(&mut tuned_dubhe, &dists, reps, &mut rng).unwrap();
     println!("\n||p_o - p_u||_1 over {reps} selections:");
     println!("  Random              : {:.4} +/- {:.4}", r.mean, r.std);
     println!("  Dubhe (paper sigma) : {:.4} +/- {:.4}", d0.mean, d0.std);

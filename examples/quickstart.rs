@@ -61,7 +61,7 @@ fn main() {
     ] {
         println!(
             "  {name:<7}: {:.4}",
-            population_unbiasedness(&selected, &dists)
+            population_unbiasedness(&selected, &dists).unwrap()
         );
     }
     println!();
@@ -69,9 +69,9 @@ fn main() {
     // Averaged over repeated selections (the paper's Fig. 9 methodology).
     println!("mean +/- std over 50 selections:");
     let reps = 50;
-    let r = selection_stats(&mut random, &dists, reps, &mut rng);
-    let d = selection_stats(&mut dubhe, &dists, reps, &mut rng);
-    let g = selection_stats(&mut greedy, &dists, reps, &mut rng);
+    let r = selection_stats(&mut random, &dists, reps, &mut rng).unwrap();
+    let d = selection_stats(&mut dubhe, &dists, reps, &mut rng).unwrap();
+    let g = selection_stats(&mut greedy, &dists, reps, &mut rng).unwrap();
     println!("  Random : {:.4} +/- {:.4}", r.mean, r.std);
     println!("  Dubhe  : {:.4} +/- {:.4}", d.mean, d.std);
     println!("  Greedy : {:.4} +/- {:.4}", g.mean, g.std);
@@ -95,7 +95,7 @@ fn main() {
         selector,
         config,
     );
-    let history = sim.run();
+    let history = sim.run().expect("valid selections");
     println!(
         "federated training with Dubhe selection ({} rounds):",
         history.len()

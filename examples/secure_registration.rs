@@ -38,7 +38,8 @@ fn main() {
     let config = DubheConfig::group1();
 
     println!("== secure registration epoch ({key_bits}-bit Paillier) ==");
-    let epoch = secure_registration(&clients, &config, key_bits, &mut rng);
+    let epoch =
+        secure_registration(&clients, &config, key_bits, &mut rng).expect("non-empty federation");
     println!("agent client              : #{}", epoch.agent);
     println!(
         "registries received       : {}",
@@ -87,7 +88,8 @@ fn main() {
     let keypair = Keypair::generate(key_bits, &mut rng);
     let (pk, sk) = keypair.split();
     let selected: Vec<usize> = (0..20).collect();
-    let outcome = secure_evaluate_try(&selected, &clients, &pk, &sk, &mut rng);
+    let outcome = secure_evaluate_try(&selected, &clients, &pk, &sk, &mut rng)
+        .expect("non-empty tentative set");
     println!("tentative clients          : {}", outcome.messages);
     println!("ciphertext bytes exchanged : {}", outcome.ciphertext_bytes);
     println!(

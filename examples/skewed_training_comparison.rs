@@ -54,7 +54,7 @@ fn main() {
             selector,
             config,
         );
-        let history = sim.run();
+        let history = sim.run().expect("valid selections");
         println!("\n--- {name} ---");
         for (round, acc) in history.accuracy_curve() {
             println!("  round {round:>3}: accuracy {acc:.3}");

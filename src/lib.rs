@@ -40,8 +40,8 @@
 //! // 2. Dubhe selection keeps the participated data close to uniform.
 //! let mut dubhe = DubheSelector::new(&clients, DubheConfig::group1());
 //! let mut random = RandomSelector::new(clients.len(), 20);
-//! let dubhe_gap = population_unbiasedness(&dubhe.select(&mut rng), &clients);
-//! let random_gap = population_unbiasedness(&random.select(&mut rng), &clients);
+//! let dubhe_gap = population_unbiasedness(&dubhe.select(&mut rng), &clients).unwrap();
+//! let random_gap = population_unbiasedness(&random.select(&mut rng), &clients).unwrap();
 //! assert!(dubhe_gap < random_gap);
 //! ```
 //!

@@ -40,7 +40,7 @@ fn secure_and_plaintext_registration_agree_end_to_end() {
     let config = DubheConfig::group1();
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
 
-    let epoch = secure_registration(&clients, &config, TEST_KEY_BITS, &mut rng);
+    let epoch = secure_registration(&clients, &config, TEST_KEY_BITS, &mut rng).unwrap();
     let layout = config.validate();
     let (_, plaintext) = register_all(&clients, &layout, &config.effective_thresholds());
 
@@ -66,8 +66,8 @@ fn full_pipeline_dubhe_beats_random_on_unbiasedness() {
 
     let mut random = RandomSelector::new(clients.len(), 20);
     let mut dubhe = DubheSelector::new(&clients, DubheConfig::group1());
-    let r = selection_stats(&mut random, &clients, 40, &mut rng);
-    let d = selection_stats(&mut dubhe, &clients, 40, &mut rng);
+    let r = selection_stats(&mut random, &clients, 40, &mut rng).unwrap();
+    let d = selection_stats(&mut dubhe, &clients, 40, &mut rng).unwrap();
 
     assert!(
         d.mean < r.mean * 0.85,
@@ -83,8 +83,8 @@ fn greedy_baseline_requires_plaintext_but_is_most_balanced() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(6);
     let mut greedy = GreedySelector::new(&clients, 20);
     let mut dubhe = DubheSelector::new(&clients, DubheConfig::group1());
-    let g = selection_stats(&mut greedy, &clients, 15, &mut rng);
-    let d = selection_stats(&mut dubhe, &clients, 15, &mut rng);
+    let g = selection_stats(&mut greedy, &clients, 15, &mut rng).unwrap();
+    let d = selection_stats(&mut dubhe, &clients, 15, &mut rng).unwrap();
     assert!(
         g.mean <= d.mean + 0.05,
         "greedy {:.3} vs dubhe {:.3}",
@@ -102,8 +102,8 @@ fn secure_tentative_try_is_consistent_with_plaintext_population() {
 
     let mut selector = DubheSelector::new(&clients, DubheConfig::group2());
     let selected = selector.select(&mut rng);
-    let secure = secure_evaluate_try(&selected, &clients, &pk, &sk, &mut rng);
-    let plaintext = population_unbiasedness(&selected, &clients);
+    let secure = secure_evaluate_try(&selected, &clients, &pk, &sk, &mut rng).unwrap();
+    let plaintext = population_unbiasedness(&selected, &clients).unwrap();
     assert!(
         (secure.distance_to_uniform - plaintext).abs() < 1e-3,
         "secure {:.5} vs plaintext {:.5}",

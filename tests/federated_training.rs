@@ -44,7 +44,7 @@ fn federated_training_learns_on_balanced_data() {
         selector,
         quick_config(12, 5),
     );
-    let history = sim.run();
+    let history = sim.run().unwrap();
     let final_acc = history.final_accuracy().unwrap();
     assert!(
         final_acc > 0.5,
@@ -67,7 +67,7 @@ fn dubhe_pipeline_trains_end_to_end_on_skewed_data() {
         config,
     );
     assert_eq!(sim.selector_name(), "Dubhe");
-    let history = sim.run();
+    let history = sim.run().unwrap();
     assert_eq!(history.len(), 10);
     let first = history.rounds[0].test_accuracy.unwrap();
     let last = history.final_accuracy().unwrap();
@@ -92,7 +92,7 @@ fn fedvc_uniform_and_fedavg_weighted_agree_when_sizes_are_equal() {
             selector,
             config,
         );
-        sim.run()
+        sim.run().unwrap()
     };
     let uniform = run(Aggregation::FedVcUniform);
     let weighted = run(Aggregation::FedAvgWeighted);
@@ -117,7 +117,7 @@ fn skewed_random_selection_underperforms_its_balanced_counterpart() {
             selector,
             quick_config(rounds, seed),
         );
-        sim.run().average_accuracy_last(5).unwrap()
+        sim.run().unwrap().average_accuracy_last(5).unwrap()
     };
     let balanced_acc = run(&balanced, 31);
     let skewed_acc = run(&skewed, 31);
@@ -140,7 +140,7 @@ fn histories_are_reproducible_across_identical_runs() {
             selector,
             quick_config(5, 41),
         );
-        sim.run()
+        sim.run().unwrap()
     };
     assert_eq!(run(), run(), "same seeds must give identical histories");
 }

@@ -204,7 +204,7 @@ pub mod collection {
 
     use super::*;
 
-    /// Length specification for [`vec`]: a fixed length or a range.
+    /// Length specification for [`vec()`]: a fixed length or a range.
     pub trait SizeRange {
         /// Draws a concrete length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;
@@ -234,7 +234,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         size: L,
