@@ -29,7 +29,10 @@ use dubhe_fl::{FlSimulation, SecureMode, SimulationConfig};
 use dubhe_he::packing::Packer;
 use dubhe_he::transport::{measure_packed, measure_vector, CommunicationCount};
 use dubhe_he::{EncryptedVector, FixedPointCodec, Keypair};
-use dubhe_select::protocol::{run_registration, run_try, InMemoryTransport, LinkStats};
+use dubhe_select::protocol::{
+    run_registration, run_registration_with, run_try, CoordinatorListener, InMemoryTransport,
+    LinkStats, ShardedCoordinator, TcpTransport,
+};
 use dubhe_select::{DubheConfig, DubheSelector};
 use rand::SeedableRng;
 use serde::Serialize;
@@ -144,15 +147,17 @@ fn main() {
     );
     println!("  + multi-time selection    : {} messages", multi.total());
 
-    protocol_round_trip(key_bits);
+    let in_memory_stats = protocol_round_trip(key_bits);
+    tcp_round_trip(key_bits, &in_memory_stats);
     encrypted_simulation(key_bits);
 
     dubhe_bench::dump_json("overhead_report", &rows);
 }
 
 /// Drives one registration epoch plus one H=3 multi-time round through the
-/// actor/transport API and prints the per-message-kind metering.
-fn protocol_round_trip(key_bits: u64) {
+/// actor/transport API and prints the per-message-kind metering. Returns the
+/// canonical stats so the TCP run can be cross-checked against them.
+fn protocol_round_trip(key_bits: u64) -> dubhe_select::TransportStats {
     println!("\nprotocol round-trip through the actor API (N = 30, K = 10, H = 3):");
     let spec = FederatedSpec {
         family: DatasetFamily::MnistLike,
@@ -211,6 +216,81 @@ fn protocol_round_trip(key_bits: u64) {
         "  registration {registration_time:.2?}, multi-time {multi_time:.2?}; \
          agent verdict: try {best_try} at L1 distance {distance:.4}"
     );
+    *stats
+}
+
+/// The identical session over loopback TCP against a 4-shard coordinator:
+/// every server-bound message crosses a real socket as a length-prefixed
+/// frame. The canonical byte totals must match the in-memory run exactly;
+/// the measured frame bytes show what framing and encoding add on top.
+fn tcp_round_trip(key_bits: u64, in_memory: &dubhe_select::TransportStats) {
+    println!("\nsame session over loopback TCP (4-shard coordinator):");
+    let spec = FederatedSpec {
+        family: DatasetFamily::MnistLike,
+        rho: 10.0,
+        emd_avg: 1.5,
+        clients: 30,
+        samples_per_client: 100,
+        test_samples_per_class: 1,
+        seed: 101,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+    let dists = spec.build_partition(&mut rng).client_distributions();
+    let mut config = DubheConfig::group1();
+    config.k = 10;
+
+    let listener = CoordinatorListener::spawn(ShardedCoordinator::new(30, 4))
+        .expect("spawn loopback listener");
+    let endpoint = TcpTransport::connect(listener.addr()).expect("connect");
+
+    let t = Instant::now();
+    let mut transport = InMemoryTransport::new();
+    let mut run = run_registration_with(
+        &dists,
+        &config,
+        key_bits,
+        endpoint,
+        &mut transport,
+        &mut rng,
+    )
+    .expect("registration epoch over TCP");
+    let mut selector = DubheSelector::new(&dists, config);
+    run.agent.expect_tries(3);
+    for try_index in 0..3 {
+        let tentative = dubhe_select::ClientSelector::select(&mut selector, &mut rng);
+        run_try(
+            try_index,
+            &tentative,
+            &mut run.agent,
+            &mut run.clients,
+            &mut run.server,
+            &mut transport,
+            &mut rng,
+        )
+        .expect("multi-time try over TCP");
+    }
+    let elapsed = t.elapsed();
+
+    let canonical = transport.stats();
+    assert_eq!(
+        canonical, in_memory,
+        "TCP session must meter the identical canonical traffic"
+    );
+    let wire = *run.server.wire_stats();
+    let canonical_total = canonical.total();
+    println!(
+        "  canonical        {:>5} messages {:>12} bytes  (identical to in-memory: OK)",
+        canonical_total.messages, canonical_total.bytes
+    );
+    println!(
+        "  measured frames  {:>5} messages {:>12} bytes  ({:.2}x framing/encoding overhead)",
+        wire.frames_sent + wire.frames_received,
+        wire.total_bytes(),
+        wire.total_bytes() as f64 / canonical_total.bytes as f64,
+    );
+    println!("  session over loopback TCP took {elapsed:.2?}");
+    run.server.shutdown().expect("polite shutdown");
+    drop(listener);
 }
 
 /// Runs a miniature federated training with the real encrypted exchange
@@ -250,6 +330,10 @@ fn encrypted_simulation(key_bits: u64) {
 
     let (modeled, modeled_time) = run_mode(SecureMode::Modeled { key_bits });
     let (encrypted, encrypted_time) = run_mode(SecureMode::Encrypted { key_bits });
+    let (tcp, tcp_time) = run_mode(SecureMode::EncryptedTcp {
+        key_bits,
+        shards: 4,
+    });
     println!(
         "  modeled   : {:>12} ciphertext bytes, {:>5} overhead messages ({modeled_time:.2?})",
         modeled.total_ciphertext_bytes(),
@@ -260,6 +344,12 @@ fn encrypted_simulation(key_bits: u64) {
         encrypted.total_ciphertext_bytes(),
         encrypted.dubhe_overhead_messages(),
     );
+    println!(
+        "  tcp (4 sh): {:>12} ciphertext bytes, {:>5} overhead messages, {:>12} framed bytes ({tcp_time:.2?})",
+        tcp.total_ciphertext_bytes(),
+        tcp.dubhe_overhead_messages(),
+        tcp.total_wire_frame_bytes(),
+    );
     assert_eq!(
         modeled.total_ciphertext_bytes(),
         encrypted.total_ciphertext_bytes(),
@@ -269,5 +359,22 @@ fn encrypted_simulation(key_bits: u64) {
         modeled.dubhe_overhead_messages(),
         encrypted.dubhe_overhead_messages()
     );
-    println!("  ledgers match: the driven exchange reproduces the modeled accounting.");
+    assert_eq!(
+        tcp.total_ciphertext_bytes(),
+        modeled.total_ciphertext_bytes(),
+        "canonical accounting must be transport-independent"
+    );
+    assert_eq!(
+        tcp.dubhe_overhead_messages(),
+        modeled.dubhe_overhead_messages()
+    );
+    assert!(
+        tcp.total_wire_frame_bytes() > tcp.total_ciphertext_bytes(),
+        "real frames include framing and encoding overhead"
+    );
+    println!(
+        "  ledgers match: in-memory and TCP exchanges reproduce the modeled accounting \
+         (framing adds {:.2}x on the wire).",
+        tcp.total_wire_frame_bytes() as f64 / tcp.total_ciphertext_bytes() as f64
+    );
 }

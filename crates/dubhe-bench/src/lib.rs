@@ -1,8 +1,8 @@
 //! # dubhe-bench — the experiment harness
 //!
-//! One binary per table / figure of the paper's evaluation section (see
-//! `DESIGN.md` for the experiment index) plus criterion micro-benchmarks for
-//! the HE, registry, selection and training hot paths.
+//! One binary per table / figure of the paper's evaluation section, plus
+//! criterion micro-benchmarks for the HE, registry, selection and training
+//! hot paths.
 //!
 //! Every binary:
 //!
@@ -12,6 +12,32 @@
 //!   result (who wins, by roughly how much, where crossovers fall) can be
 //!   compared directly with the original figures;
 //! * is deterministic for a fixed `--seed`.
+//!
+//! The experiment index, with its paper anchor, lives in each binary's
+//! module docs; `overhead_report` additionally cross-checks the in-memory,
+//! sharded and TCP-loopback protocol paths against each other (see
+//! `docs/ARCHITECTURE.md` at the repo root).
+//!
+//! ## Example: building a comparable federation for any method
+//!
+//! ```
+//! use dubhe_bench::{dubhe_config_for, scaled_spec, Method};
+//! use dubhe_data::federated::DatasetFamily;
+//! use dubhe_select::ClientSelector;
+//! use rand::SeedableRng;
+//!
+//! // The laptop-scale MNIST-like spec every binary shares (quick mode).
+//! let spec = scaled_spec(DatasetFamily::MnistLike, 10.0, 1.5, false, 42);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let dists = spec.build_partition(&mut rng).client_distributions();
+//!
+//! // Each paper method yields a ready selector over the same population.
+//! let config = dubhe_config_for(DatasetFamily::MnistLike);
+//! for method in Method::all() {
+//!     let mut selector = method.build(&dists, &config);
+//!     assert!(!selector.select(&mut rng).is_empty(), "{}", method.name());
+//! }
+//! ```
 
 use dubhe_data::federated::{DatasetFamily, FederatedSpec};
 use dubhe_data::ClassDistribution;

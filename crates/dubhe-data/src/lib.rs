@@ -4,8 +4,8 @@
 //! imbalance ratio ρ, the client discrepancy EMD_avg, the population
 //! distribution `p_o` of a selected client set, and the uniform target `p_u`.
 //! This crate provides those primitives plus the synthetic federated datasets
-//! that stand in for MNIST, CIFAR10 and FEMNIST (see `DESIGN.md` for the
-//! substitution rationale):
+//! that stand in for MNIST, CIFAR10 and FEMNIST (see `docs/ARCHITECTURE.md`
+//! at the repo root for the substitution rationale):
 //!
 //! * [`ClassDistribution`], [`l1_distance`], [`kl_divergence`] — the metric
 //!   layer (EMD, KL, ρ).

@@ -28,6 +28,12 @@ pub struct RoundComm {
     pub ciphertext_bytes: usize,
     /// Model-update bytes moved this round (the dominant cost in real FL).
     pub model_bytes: usize,
+    /// Real framed bytes observed on the wire this round (headers + encoded
+    /// payloads, both directions) when the exchange ran over a socket-backed
+    /// transport; zero for modeled and in-memory rounds. Unlike
+    /// [`ciphertext_bytes`](Self::ciphertext_bytes) this is *measured*, not
+    /// canonical — it includes framing and encoding overhead.
+    pub wire_frame_bytes: usize,
 }
 
 impl RoundComm {
@@ -50,7 +56,15 @@ impl RoundComm {
             multi_time_messages: stats.distributions.messages,
             ciphertext_bytes: stats.uplink_ciphertext_bytes(),
             model_bytes,
+            wire_frame_bytes: 0,
         }
+    }
+
+    /// Attaches the measured socket traffic of the round (see
+    /// [`wire_frame_bytes`](Self::wire_frame_bytes)).
+    pub fn with_wire_frames(mut self, wire_frame_bytes: usize) -> Self {
+        self.wire_frame_bytes = wire_frame_bytes;
+        self
     }
 }
 
@@ -86,6 +100,12 @@ impl CommLedger {
     /// Total model bytes (payloads any FL system must move).
     pub fn total_model_bytes(&self) -> usize {
         self.rounds.iter().map(|r| r.model_bytes).sum()
+    }
+
+    /// Total measured socket bytes across the run (zero unless rounds ran
+    /// over a socket-backed transport).
+    pub fn total_wire_frame_bytes(&self) -> usize {
+        self.rounds.iter().map(|r| r.wire_frame_bytes).sum()
     }
 
     /// Fraction of transferred bytes attributable to Dubhe (ciphertext /
@@ -127,6 +147,7 @@ mod tests {
             multi_time_messages: mt,
             ciphertext_bytes: ct,
             model_bytes: model,
+            wire_frame_bytes: 0,
         }
     }
 
@@ -180,6 +201,15 @@ mod tests {
         assert_eq!(round.ciphertext_bytes, 30 * 56 * 64 + 60 * 10 * 64);
         assert_eq!(round.model_bytes, 1_000);
         assert_eq!(round.total_messages(), 110);
+    }
+
+    #[test]
+    fn wire_frame_bytes_accumulate_separately_from_canonical_bytes() {
+        let mut ledger = CommLedger::new();
+        ledger.record(round(10, 0, 100, 0).with_wire_frames(12_345));
+        ledger.record(round(0, 5, 50, 0));
+        assert_eq!(ledger.total_wire_frame_bytes(), 12_345);
+        assert_eq!(ledger.total_ciphertext_bytes(), 150);
     }
 
     #[test]

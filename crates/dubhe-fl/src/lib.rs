@@ -9,6 +9,14 @@
 //! Selected clients train in parallel with rayon; the round seed is derived per
 //! `(round, client)` so parallel and sequential runs produce identical results.
 //!
+//! The secure selection protocol runs in one of three
+//! [`SecureMode`]s — `Modeled` (plaintext decisions,
+//! modeled byte accounting), `Encrypted` (the real actor exchange in
+//! process), and `EncryptedTcp` (the same exchange over loopback TCP
+//! against a sharded coordinator, with measured frame bytes in the ledger).
+//! All three produce identical selections, histories and canonical byte
+//! totals on the same seed; the equivalence tests pin it.
+//!
 //! ## Example: Dubhe selection driving a federated run
 //!
 //! ```

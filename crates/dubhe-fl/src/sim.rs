@@ -1,7 +1,7 @@
 //! The federated-learning simulator: select → broadcast → local train (in
 //! parallel) → aggregate → evaluate, round after round.
 //!
-//! Selection can run in two modes ([`SecureMode`]):
+//! Selection can run in three modes ([`SecureMode`]):
 //!
 //! * **Modeled** — the plaintext decision model picks participants and the
 //!   ledger charges the *modeled* ciphertext sizes of the secure exchanges
@@ -9,17 +9,25 @@
 //! * **Encrypted** — registration and multi-time selection actually run
 //!   through the role-separated actor/transport API of
 //!   [`dubhe_select::protocol`]: real Paillier ciphertexts, real agent
-//!   decryptions, and a ledger charged from the metered transport. Because
-//!   the transport prices ciphertexts at their canonical width, the two
-//!   modes produce identical ledger byte totals for the same key size —
-//!   which the tests pin.
+//!   decryptions, and a ledger charged from the metered transport.
+//! * **EncryptedTcp** — the same exchange, but the coordinator is a
+//!   [`ShardedCoordinator`] behind a loopback TCP listener: every
+//!   server-bound message crosses a real socket as a length-prefixed frame,
+//!   and the ledger additionally records the measured frame bytes.
+//!
+//! Because every transport prices ciphertexts at their canonical width, all
+//! modes produce identical selections, histories and canonical ledger byte
+//! totals for the same key size — which the tests pin.
 
 use dubhe_data::{l1_distance, ClassDistribution, Dataset};
 use dubhe_ml::Sequential;
 use dubhe_select::multi_time_select;
-use dubhe_select::protocol::{run_registration, run_try, InMemoryTransport, RegistrationRun};
+use dubhe_select::protocol::{
+    run_registration_with, run_try, Coordinator, CoordinatorListener, CoordinatorServer, Envelope,
+    InMemoryTransport, RegistrationRun, ShardedCoordinator, TcpTransport,
+};
 use dubhe_select::selector::{population_distribution, ClientSelector};
-use dubhe_select::SelectError;
+use dubhe_select::{ProtocolError, SelectError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -45,19 +53,76 @@ pub enum SecureMode {
         /// Key size of the real epoch keypair the agent generates.
         key_bits: u64,
     },
+    /// Like [`Encrypted`](Self::Encrypted), but the coordinator runs behind
+    /// a loopback TCP listener: every server-bound message crosses a real
+    /// socket as a length-prefixed frame, the coordinator state is sharded
+    /// across `shards` rayon-parallel folds, and the ledger additionally
+    /// records the measured frame bytes
+    /// ([`RoundComm::wire_frame_bytes`](crate::comm::RoundComm::wire_frame_bytes)).
+    /// Selections, training history and canonical byte totals are identical
+    /// to the other two modes on the same seed.
+    EncryptedTcp {
+        /// Key size of the real epoch keypair the agent generates.
+        key_bits: u64,
+        /// Shard count of the remote coordinator (≥ 1).
+        shards: usize,
+    },
 }
 
 impl SecureMode {
     /// The key size this mode accounts (or encrypts) with.
     pub fn key_bits(&self) -> u64 {
         match *self {
-            SecureMode::Modeled { key_bits } | SecureMode::Encrypted { key_bits } => key_bits,
+            SecureMode::Modeled { key_bits }
+            | SecureMode::Encrypted { key_bits }
+            | SecureMode::EncryptedTcp { key_bits, .. } => key_bits,
         }
     }
 
-    /// True for the end-to-end encrypted mode.
+    /// True for the end-to-end encrypted modes (in-process or socket-backed).
     pub fn is_encrypted(&self) -> bool {
-        matches!(self, SecureMode::Encrypted { .. })
+        matches!(
+            self,
+            SecureMode::Encrypted { .. } | SecureMode::EncryptedTcp { .. }
+        )
+    }
+}
+
+/// The coordinator slot of an encrypted simulation: in-process, or a framed
+/// TCP connection to the loopback [`CoordinatorListener`].
+#[derive(Debug)]
+enum SimCoordinator {
+    Local(CoordinatorServer),
+    Remote(TcpTransport),
+}
+
+impl SimCoordinator {
+    /// Measured socket bytes so far (both directions; zero for local).
+    fn wire_bytes(&self) -> usize {
+        match self {
+            SimCoordinator::Local(_) => 0,
+            SimCoordinator::Remote(t) => t.wire_stats().total_bytes(),
+        }
+    }
+}
+
+impl Coordinator for SimCoordinator {
+    fn deliver(&mut self, envelope: Envelope) -> Result<Vec<Envelope>, ProtocolError> {
+        match self {
+            SimCoordinator::Local(s) => s.deliver(envelope),
+            SimCoordinator::Remote(t) => t.deliver(envelope),
+        }
+    }
+
+    fn announce_try(
+        &mut self,
+        try_index: usize,
+        participants: &[usize],
+    ) -> Result<(), ProtocolError> {
+        match self {
+            SimCoordinator::Local(s) => Coordinator::announce_try(s, try_index, participants),
+            SimCoordinator::Remote(t) => t.announce_try(try_index, participants),
+        }
     }
 }
 
@@ -117,8 +182,16 @@ pub struct FlSimulation {
     ledger: CommLedger,
     /// The live actors of an encrypted epoch, kept across rounds: the agent
     /// holds the epoch keypair, clients their key material and
-    /// registrations, the server its public key.
-    protocol: Option<RegistrationRun>,
+    /// registrations, the coordinator slot its public key — in-process or a
+    /// socket to the loopback listener.
+    ///
+    /// Declared before `listener` on purpose: fields drop in declaration
+    /// order, so the endpoint's connection closes first and the listener's
+    /// connection thread exits before the listener joins it.
+    protocol: Option<RegistrationRun<SimCoordinator>>,
+    /// The loopback coordinator listener of a [`SecureMode::EncryptedTcp`]
+    /// run (threads stop on drop).
+    listener: Option<CoordinatorListener>,
 }
 
 impl FlSimulation {
@@ -149,6 +222,9 @@ impl FlSimulation {
         assert!(config.rounds > 0, "need at least one round");
         assert!(config.eval_every > 0, "eval_every must be positive");
         assert!(config.multi_time_h >= 1, "H must be at least 1");
+        if let SecureMode::EncryptedTcp { shards, .. } = config.secure {
+            assert!(shards >= 1, "EncryptedTcp needs at least one shard");
+        }
         let client_distributions = clients.iter().map(FlClient::distribution).collect();
         FlSimulation {
             clients,
@@ -159,6 +235,7 @@ impl FlSimulation {
             config,
             ledger: CommLedger::new(),
             protocol: None,
+            listener: None,
         }
     }
 
@@ -230,15 +307,29 @@ impl FlSimulation {
         let key_bits = self.config.secure.key_bits();
 
         // 0. Encrypted mode: the registration epoch (Fig. 4) runs once, at
-        //    round 0, through the real actor exchange.
+        //    round 0, through the real actor exchange — against an
+        //    in-process coordinator, or over loopback TCP to a sharded one.
         let registry_len = self.selector.registry_len();
         let registration_round = round == 0 && registry_len.is_some();
+        let wire_before = self.protocol.as_ref().map_or(0, |r| r.server.wire_bytes());
         if self.config.secure.is_encrypted() && registration_round {
             if let Some(config) = self.selector.secure_config().cloned() {
-                let run = run_registration(
+                let n = self.client_distributions.len();
+                let server = match self.config.secure {
+                    SecureMode::EncryptedTcp { shards, .. } => {
+                        let listener =
+                            CoordinatorListener::spawn(ShardedCoordinator::new(n, shards))?;
+                        let endpoint = TcpTransport::connect(listener.addr())?;
+                        self.listener = Some(listener);
+                        SimCoordinator::Remote(endpoint)
+                    }
+                    _ => SimCoordinator::Local(CoordinatorServer::new(n)),
+                };
+                let run = run_registration_with(
                     &self.client_distributions,
                     &config,
                     key_bits,
+                    server,
                     &mut transport,
                     &mut crypto_rng,
                 )?;
@@ -334,8 +425,14 @@ impl FlSimulation {
         let comm = if self.config.secure.is_encrypted() && self.protocol.is_some() {
             // Measured accounting from the metered transport. Canonical
             // ciphertext widths make these totals identical to the modeled
-            // branch below for the same key size.
+            // branch below for the same key size. Socket-backed rounds also
+            // record the real framed bytes that crossed the loopback wire.
+            let wire_delta = self
+                .protocol
+                .as_ref()
+                .map_or(0, |r| r.server.wire_bytes() - wire_before);
             RoundComm::from_transport(transport.stats(), k, model_bytes)
+                .with_wire_frames(wire_delta)
         } else {
             // Modeled accounting: registration happens once (round 0) for
             // selectors with a registry epoch; its ciphertext cost is N
@@ -369,6 +466,7 @@ impl FlSimulation {
                     multi_time_ct_bytes
                 },
                 model_bytes,
+                wire_frame_bytes: 0,
             }
         };
         self.ledger.record(comm);
@@ -541,6 +639,66 @@ mod tests {
             encrypted_ledger.dubhe_overhead_messages()
         );
         assert!(encrypted_ledger.total_ciphertext_bytes() > 0);
+    }
+
+    #[test]
+    fn tcp_encrypted_mode_matches_the_in_memory_modes_end_to_end() {
+        // The acceptance pin of the socket-backed mode: same seeds, same
+        // selector — one run modeled, one through in-process actors, one over
+        // loopback TCP against a 4-shard coordinator. Training history and
+        // canonical ledger totals must be identical across all three; only
+        // the TCP run additionally measures real frame bytes.
+        let (client_data, test, dists) = build_federation(24, 10.0, 1.5, 9);
+        let run_mode = |secure: SecureMode| {
+            let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+            let model = small_mlp(32, 10, 6);
+            let mut config = SimulationConfig::quick(3, 19);
+            config.multi_time_h = 3;
+            config.secure = secure;
+            let mut sim = FlSimulation::from_datasets(
+                client_data.clone(),
+                test.clone(),
+                model,
+                selector,
+                config,
+            );
+            let history = sim.run().unwrap();
+            (history, sim.ledger().clone())
+        };
+
+        let (modeled_hist, modeled_ledger) = run_mode(SecureMode::Modeled { key_bits: 256 });
+        let (encrypted_hist, encrypted_ledger) = run_mode(SecureMode::Encrypted { key_bits: 256 });
+        let (tcp_hist, tcp_ledger) = run_mode(SecureMode::EncryptedTcp {
+            key_bits: 256,
+            shards: 4,
+        });
+
+        assert_eq!(tcp_hist, modeled_hist, "TCP must reproduce the decisions");
+        assert_eq!(tcp_hist, encrypted_hist);
+        assert_eq!(
+            tcp_ledger.total_ciphertext_bytes(),
+            modeled_ledger.total_ciphertext_bytes(),
+            "canonical accounting is transport-independent"
+        );
+        assert_eq!(
+            tcp_ledger.dubhe_overhead_messages(),
+            modeled_ledger.dubhe_overhead_messages()
+        );
+        // Only the socket-backed run pays (and measures) framing.
+        assert_eq!(modeled_ledger.total_wire_frame_bytes(), 0);
+        assert_eq!(encrypted_ledger.total_wire_frame_bytes(), 0);
+        assert!(
+            tcp_ledger.total_wire_frame_bytes() > tcp_ledger.total_ciphertext_bytes(),
+            "framed traffic ({}) includes headers and encoding on top of ciphertexts ({})",
+            tcp_ledger.total_wire_frame_bytes(),
+            tcp_ledger.total_ciphertext_bytes()
+        );
+        // Every round with protocol traffic shows measured frames.
+        assert!(tcp_ledger.rounds[0].wire_frame_bytes > 0);
+        assert!(
+            tcp_ledger.rounds[1].wire_frame_bytes > 0,
+            "multi-time rounds cross the wire too"
+        );
     }
 
     #[test]

@@ -20,6 +20,15 @@ pub enum HeError {
     KeyTooSmall { bits: u64, minimum: u64 },
     /// Decryption produced a value outside the expected signed range.
     SignedRangeOverflow,
+    /// A vector slice was requested outside the vector's bounds.
+    SliceOutOfRange {
+        /// Requested start position.
+        start: usize,
+        /// Requested end position (exclusive).
+        end: usize,
+        /// The vector's actual length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for HeError {
@@ -61,6 +70,12 @@ impl fmt::Display for HeError {
             }
             HeError::SignedRangeOverflow => {
                 write!(f, "decrypted value falls outside the signed encoding range")
+            }
+            HeError::SliceOutOfRange { start, end, len } => {
+                write!(
+                    f,
+                    "slice {start}..{end} is out of range for a length-{len} encrypted vector"
+                )
             }
         }
     }

@@ -24,11 +24,16 @@
 //! * [`EncryptedVector`] — element-wise encrypted integer vectors (the registry
 //!   and the encrypted label distribution `p_l` of the multi-time selection),
 //!   with rayon-parallel encrypt/decrypt/sum behind the default-on `parallel`
-//!   feature.
+//!   feature, plus [`slice`](EncryptedVector::slice) /
+//!   [`concat`](EncryptedVector::concat) so a sharded coordinator can
+//!   partition positions across parallel folds and reassemble the total.
 //! * [`packing`] — BatchCrypt-style packing of many small counters into a single
 //!   plaintext, used to quantify how much of the HE overhead can be removed.
 //! * [`fixed`] — fixed-point encoding of probability vectors.
-//! * [`transport`] — serialized-size accounting used by the §6.4 overhead study.
+//! * [`transport`] — the canonical wire-size model: fixed ciphertext widths
+//!   and key-material sizes used by the §6.4 overhead study, the protocol
+//!   layer's per-message accounting, and the FL simulator's ledger (so
+//!   modeled, in-memory and TCP-framed runs stay byte-comparable).
 //!
 //! ## Example
 //!

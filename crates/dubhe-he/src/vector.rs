@@ -234,6 +234,50 @@ impl EncryptedVector {
     pub fn byte_len(&self) -> usize {
         self.elements.iter().map(Ciphertext::byte_len).sum()
     }
+
+    /// The sub-vector of positions `start..end` (ciphertexts are cheap to
+    /// clone: they alias the shared key handle).
+    ///
+    /// A sharded coordinator partitions registry positions across server
+    /// instances with this: shard `i` folds only its slice of every arriving
+    /// vector, and [`concat`](Self::concat) reassembles the full sum.
+    ///
+    /// Returns [`HeError::SliceOutOfRange`] when the range does not fit.
+    pub fn slice(&self, start: usize, end: usize) -> Result<EncryptedVector, HeError> {
+        if start > end || end > self.len() {
+            return Err(HeError::SliceOutOfRange {
+                start,
+                end,
+                len: self.len(),
+            });
+        }
+        Ok(EncryptedVector {
+            elements: self.elements[start..end].to_vec(),
+            public: self.public.clone(),
+        })
+    }
+
+    /// Concatenates per-shard sub-vectors back into one vector. The inverse
+    /// of [`slice`](Self::slice) over a partition of `0..len`.
+    ///
+    /// Returns `None` for an empty part list (no key to attach), and
+    /// [`HeError::KeyMismatch`] if the parts disagree on the key.
+    pub fn concat(parts: &[EncryptedVector]) -> Result<Option<EncryptedVector>, HeError> {
+        let Some(first) = parts.first() else {
+            return Ok(None);
+        };
+        let mut elements = Vec::with_capacity(parts.iter().map(EncryptedVector::len).sum());
+        for part in parts {
+            if !part.public.same_key(&first.public) {
+                return Err(HeError::KeyMismatch);
+            }
+            elements.extend_from_slice(&part.elements);
+        }
+        Ok(Some(EncryptedVector {
+            elements,
+            public: first.public.clone(),
+        }))
+    }
 }
 
 impl Serialize for EncryptedVector {

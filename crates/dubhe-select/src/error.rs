@@ -116,6 +116,46 @@ pub enum ProtocolError {
     RegistryDivergence,
     /// A homomorphic operation failed (mismatched key or vector length).
     He(HeError),
+    /// A socket operation failed (connect, read or write). The error is
+    /// captured as its [`std::io::ErrorKind`] name plus detail text so the
+    /// protocol error stays `Clone`/`Eq`-comparable in tests.
+    Io {
+        /// What the transport was doing ("connect", "read frame", ...).
+        context: &'static str,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// A frame arrived that is not a valid protocol frame: wrong magic, a
+    /// payload that is not valid UTF-8/JSON, or a message of the wrong shape
+    /// for the state the connection is in.
+    MalformedFrame {
+        /// What was wrong with the frame.
+        detail: String,
+    },
+    /// A frame header announced a payload larger than the transport accepts —
+    /// either garbage bytes parsed as a length, or a hostile peer trying to
+    /// make the receiver allocate unboundedly.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: usize,
+        /// The transport's limit.
+        max: usize,
+    },
+    /// The peer closed the connection in the middle of a frame — some bytes
+    /// of the header or payload arrived and then the stream ended.
+    TruncatedFrame {
+        /// Which part of the frame was cut off ("header", "payload").
+        context: &'static str,
+    },
+    /// The peer closed the connection cleanly between frames while more
+    /// exchange was expected (a mid-exchange disconnect).
+    Disconnected,
+    /// The remote coordinator rejected a message; its own [`ProtocolError`]
+    /// is relayed as text across the wire.
+    Remote {
+        /// The coordinator-side error, rendered.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -157,6 +197,30 @@ impl std::fmt::Display for ProtocolError {
                 )
             }
             ProtocolError::He(e) => write!(f, "homomorphic operation failed: {e}"),
+            ProtocolError::Io { context, detail } => {
+                write!(
+                    f,
+                    "transport I/O failed while trying to {context}: {detail}"
+                )
+            }
+            ProtocolError::MalformedFrame { detail } => {
+                write!(f, "malformed protocol frame: {detail}")
+            }
+            ProtocolError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame announces a {len}-byte payload, above the {max}-byte limit"
+                )
+            }
+            ProtocolError::TruncatedFrame { context } => {
+                write!(f, "connection closed mid-frame (truncated {context})")
+            }
+            ProtocolError::Disconnected => {
+                write!(f, "peer disconnected mid-exchange")
+            }
+            ProtocolError::Remote { detail } => {
+                write!(f, "remote coordinator rejected the message: {detail}")
+            }
         }
     }
 }

@@ -15,7 +15,7 @@ use dubhe_data::ClassDistribution;
 use rand::Rng;
 
 use super::message::Party;
-use super::roles::{AgentNode, CoordinatorServer, SelectClientNode};
+use super::roles::{AgentNode, Coordinator, CoordinatorServer, SelectClientNode};
 use super::transport::Transport;
 use crate::config::DubheConfig;
 use crate::error::SelectError;
@@ -23,20 +23,28 @@ use crate::registry::Registration;
 use crate::selector::ClientId;
 
 /// Delivers queued messages to their addressees until the transport drains.
-pub fn pump<T, R>(
+///
+/// The coordinator slot is any [`Coordinator`]: the in-process
+/// [`CoordinatorServer`], a
+/// [`ShardedCoordinator`](super::shard::ShardedCoordinator), or a
+/// [`TcpTransport`](super::tcp::TcpTransport) that ships every server-bound
+/// envelope across a real socket. The agent and client roles never know the
+/// difference — which is the point.
+pub fn pump<T, C, R>(
     transport: &mut T,
     agent: &mut AgentNode,
     clients: &mut [SelectClientNode],
-    server: &mut CoordinatorServer,
+    server: &mut C,
     rng: &mut R,
 ) -> Result<(), SelectError>
 where
     T: Transport,
+    C: Coordinator,
     R: Rng + ?Sized,
 {
     while let Some(envelope) = transport.deliver() {
         let outgoing = match envelope.to {
-            Party::Server => server.handle(envelope.msg)?,
+            Party::Server => server.deliver(envelope)?,
             Party::Agent => agent.handle(envelope.msg)?,
             Party::Client(id) => {
                 let population = clients.len();
@@ -56,19 +64,25 @@ where
 /// The actors of one completed registration epoch. The agent keeps the
 /// epoch keypair, the clients keep their key material and registrations —
 /// reuse them for the round's multi-time exchanges via [`run_try`].
+///
+/// Generic over the coordinator slot (`C`): `run_registration` fills it with
+/// the in-process [`CoordinatorServer`]; [`run_registration_with`] threads
+/// through whatever [`Coordinator`] the caller supplies (a sharded one, or a
+/// TCP connector to a remote listener).
 #[derive(Debug)]
-pub struct RegistrationRun {
+pub struct RegistrationRun<C = CoordinatorServer> {
     /// Index of the client that played the key-dispatching agent.
     pub agent_id: ClientId,
     /// The agent role (keypair owner).
     pub agent: AgentNode,
     /// Every selection client, indexed by id.
     pub clients: Vec<SelectClientNode>,
-    /// The coordinator (ciphertexts and the public key only).
-    pub server: CoordinatorServer,
+    /// The coordinator slot (ciphertexts and the public key only — or a
+    /// connector to a remote process holding exactly that).
+    pub server: C,
 }
 
-impl RegistrationRun {
+impl<C> RegistrationRun<C> {
     /// The overall registry as decrypted by the clients (all clients hold
     /// the same copy; this returns client 0's).
     pub fn overall_registry(&self) -> &[u64] {
@@ -104,6 +118,39 @@ where
     T: Transport,
     R: Rng + ?Sized,
 {
+    let server = CoordinatorServer::new(client_distributions.len());
+    run_registration_with(
+        client_distributions,
+        config,
+        key_bits,
+        server,
+        transport,
+        rng,
+    )
+}
+
+/// [`run_registration`] with a caller-supplied coordinator slot: a
+/// [`ShardedCoordinator`](super::shard::ShardedCoordinator) for partitioned
+/// folds, or a [`TcpTransport`](super::tcp::TcpTransport) to drive the
+/// identical exchange against a remote
+/// [`CoordinatorListener`](super::tcp::CoordinatorListener).
+///
+/// The supplied coordinator must expect `client_distributions.len()`
+/// registrations. Returns the completed actors with the coordinator slot
+/// inside, so the caller can keep using it for multi-time rounds.
+pub fn run_registration_with<C, T, R>(
+    client_distributions: &[ClassDistribution],
+    config: &DubheConfig,
+    key_bits: u64,
+    mut server: C,
+    transport: &mut T,
+    rng: &mut R,
+) -> Result<RegistrationRun<C>, SelectError>
+where
+    C: Coordinator,
+    T: Transport,
+    R: Rng + ?Sized,
+{
     let n = client_distributions.len();
     if n == 0 {
         return Err(SelectError::NoClients);
@@ -117,7 +164,6 @@ where
         .enumerate()
         .map(|(id, d)| SelectClientNode::new(id, d.clone(), config))
         .collect();
-    let mut server = CoordinatorServer::new(n);
 
     for e in agent.dispatch_keys(n) {
         transport.send(e.from, e.to, e.msg);
@@ -140,16 +186,17 @@ where
 /// [`AgentNode::expect_tries`]) it emits its [`TryVerdict`].
 ///
 /// [`TryVerdict`]: super::message::ProtocolMsg::TryVerdict
-pub fn run_try<T, R>(
+pub fn run_try<C, T, R>(
     try_index: usize,
     selected: &[ClientId],
     agent: &mut AgentNode,
     clients: &mut [SelectClientNode],
-    server: &mut CoordinatorServer,
+    server: &mut C,
     transport: &mut T,
     rng: &mut R,
 ) -> Result<(), SelectError>
 where
+    C: Coordinator,
     T: Transport,
     R: Rng + ?Sized,
 {
@@ -164,7 +211,7 @@ where
             });
         }
     }
-    server.announce_try(try_index, selected);
+    Coordinator::announce_try(server, try_index, selected)?;
     for &id in selected {
         let e = clients[id].encrypt_distribution(try_index, rng)?;
         transport.send(e.from, e.to, e.msg);

@@ -36,13 +36,27 @@
 //! transport meters every link per message kind ([`TransportStats`]) — the
 //! numbers the §6.4 overhead study reports and the FL ledger charges.
 //!
-//! ## Drivers
+//! ## Drivers and deployment shapes
 //!
 //! [`run_registration`] and [`run_try`] sequence the exchanges
 //! deterministically; [`crate::secure`] keeps the historical free-function
 //! API as thin wrappers over them (same signatures, bit-identical results on
 //! the same seed), and `dubhe-fl`'s simulator drives the same actors
 //! end-to-end when its encrypted mode is enabled.
+//!
+//! The drivers are generic over the [`Coordinator`] slot, which is what lets
+//! one exchange run against three server shapes without the agent or client
+//! roles changing a line:
+//!
+//! * [`CoordinatorServer`] — the single in-process fold;
+//! * [`ShardedCoordinator`] — registry positions partitioned across N shard
+//!   folds that advance rayon-parallel and merge into a bit-identical total;
+//! * [`TcpTransport`] → [`CoordinatorListener`] — the same messages as
+//!   length-prefixed frames (see [`wire`]) over real loopback sockets, served
+//!   by a mutex-free multi-threaded listener.
+//!
+//! `docs/ARCHITECTURE.md` draws the full picture; `docs/THREAT_MODEL.md`
+//! explains why all three shapes uphold the same structural guarantee.
 //!
 //! [`PublicKeyDispatch`]: ProtocolMsg::PublicKeyDispatch
 //! [`EncryptedRegistry`]: ProtocolMsg::EncryptedRegistry
@@ -54,9 +68,15 @@
 pub mod driver;
 pub mod message;
 pub mod roles;
+pub mod shard;
+pub mod tcp;
 pub mod transport;
+pub mod wire;
 
-pub use driver::{pump, run_registration, run_try, RegistrationRun};
+pub use driver::{pump, run_registration, run_registration_with, run_try, RegistrationRun};
 pub use message::{Envelope, MsgKind, Party, ProtocolMsg};
-pub use roles::{AgentNode, CoordinatorServer, SelectClientNode};
+pub use roles::{AgentNode, Coordinator, CoordinatorServer, SelectClientNode};
+pub use shard::{shard_ranges, ShardedCoordinator};
+pub use tcp::{CoordinatorListener, TcpTransport, WireStats, DEFAULT_READ_TIMEOUT};
 pub use transport::{InMemoryTransport, LinkStats, Transport, TransportStats};
+pub use wire::{read_frame, write_frame, WireMsg, FRAME_MAGIC, MAX_FRAME_BYTES};

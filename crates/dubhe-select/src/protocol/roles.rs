@@ -32,6 +32,39 @@ use crate::registry::{register, Registration};
 use crate::secure::SecureTryOutcome;
 use crate::selector::ClientId;
 
+/// The coordinator slot of the protocol drivers: where server-bound messages
+/// are delivered and tentative tries are announced.
+///
+/// Three implementations cover the deployment spectrum:
+///
+/// * [`CoordinatorServer`] — the single in-process coordinator;
+/// * [`ShardedCoordinator`](crate::protocol::ShardedCoordinator) — registry
+///   positions partitioned across N shard folds, merged on completion;
+/// * [`TcpTransport`](crate::protocol::TcpTransport) — a client-side
+///   connector that carries every server-bound message over a framed TCP
+///   stream to a remote [`CoordinatorListener`](crate::protocol::CoordinatorListener).
+///
+/// The drivers ([`pump`](crate::protocol::pump),
+/// [`run_registration_with`](crate::protocol::run_registration_with),
+/// [`run_try`](crate::protocol::run_try)) are generic over this trait, so the
+/// same `AgentNode`/`SelectClientNode` exchange runs unchanged against any of
+/// the three.
+pub trait Coordinator {
+    /// Delivers one server-bound envelope, returning the messages it
+    /// triggers. Local coordinators unwrap the message; networked ones ship
+    /// the whole envelope so the remote side still sees who sent it.
+    fn deliver(&mut self, envelope: Envelope) -> Result<Vec<Envelope>, ProtocolError>;
+
+    /// Announces one tentative try (§5.3.1): the coordinator will accept
+    /// exactly one encrypted distribution from each of `participants` for
+    /// `try_index`. Networked implementations carry this over the wire.
+    fn announce_try(
+        &mut self,
+        try_index: usize,
+        participants: &[ClientId],
+    ) -> Result<(), ProtocolError>;
+}
+
 fn fold_in(acc: &mut Option<EncryptedVector>, v: &EncryptedVector) -> Result<(), ProtocolError> {
     *acc = Some(match acc.take() {
         None => v.clone(),
@@ -255,6 +288,21 @@ impl CoordinatorServer {
                 kind: other.kind(),
             }),
         }
+    }
+}
+
+impl Coordinator for CoordinatorServer {
+    fn deliver(&mut self, envelope: Envelope) -> Result<Vec<Envelope>, ProtocolError> {
+        CoordinatorServer::handle(self, envelope.msg)
+    }
+
+    fn announce_try(
+        &mut self,
+        try_index: usize,
+        participants: &[ClientId],
+    ) -> Result<(), ProtocolError> {
+        CoordinatorServer::announce_try(self, try_index, participants);
+        Ok(())
     }
 }
 

@@ -1,0 +1,441 @@
+//! The sharded coordinator: registry positions partitioned across N folds.
+//!
+//! A single [`CoordinatorServer`](super::roles::CoordinatorServer) keeps one
+//! running homomorphic fold of length `registry_len`. At millions of clients
+//! the fold itself becomes the bottleneck: every arriving registry costs
+//! `registry_len` modular multiplications on one state object. The
+//! [`ShardedCoordinator`] splits the *positions* `0..registry_len` into `N`
+//! contiguous shards, each holding its own running fold of its slice; an
+//! arriving vector is sliced once and the per-shard folds advance in parallel
+//! (rayon) because they touch disjoint state. When the epoch completes, the
+//! shard folds are concatenated back into the full encrypted overall registry.
+//!
+//! Because Paillier addition is element-wise and the shards partition the
+//! element index space, the sharded fold performs *exactly* the same modular
+//! multiplications in the same per-element order as the single fold — the
+//! merged result is bit-identical for any shard count, which the equivalence
+//! tests pin for `N ∈ {1, 4}`.
+//!
+//! Sharding changes nothing about the threat model: every shard still holds
+//! only ciphertext slices and the public key (see `docs/THREAT_MODEL.md`).
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use dubhe_he::{EncryptedVector, PublicKey};
+
+use super::message::{Envelope, Party, ProtocolMsg};
+use super::roles::Coordinator;
+use crate::error::ProtocolError;
+use crate::selector::ClientId;
+
+/// The contiguous position ranges of an `len`-element vector split into
+/// `shards` near-equal parts (earlier shards get the remainder).
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    assert!(shards > 0, "need at least one shard");
+    (0..shards)
+        .map(|i| (i * len) / shards..((i + 1) * len) / shards)
+        .collect()
+}
+
+/// Advances every shard fold by its slice of `v`, in parallel across shards.
+/// `folds` and `v`-slices are disjoint per shard, so the folds are
+/// independent; each element still sees the same multiplication order as the
+/// unsharded fold, keeping results bit-identical.
+///
+/// A vector whose length disagrees with the partition is rejected with the
+/// same `HeError::LengthMismatch` the single coordinator's fold raises —
+/// the two deployments accept exactly the same message set.
+fn fold_sharded(
+    folds: &mut [Option<EncryptedVector>],
+    v: &EncryptedVector,
+    ranges: &[Range<usize>],
+) -> Result<(), ProtocolError> {
+    use rayon::prelude::*;
+    let expected = ranges.last().map_or(0, |r| r.end);
+    if v.len() != expected {
+        return Err(ProtocolError::He(dubhe_he::HeError::LengthMismatch {
+            left: expected,
+            right: v.len(),
+        }));
+    }
+    // Move each fold out of its slot, advance all slots in parallel (each is
+    // a disjoint &mut chunk — no cloning of the running folds), move back.
+    let mut work: Vec<Result<Option<EncryptedVector>, ProtocolError>> =
+        folds.iter_mut().map(|slot| Ok(slot.take())).collect();
+    work.par_chunks_mut(1).enumerate().for_each(|(i, chunk)| {
+        let prev = match chunk[0].as_mut() {
+            Ok(prev) => prev.take(),
+            Err(_) => return,
+        };
+        chunk[0] = (|| {
+            let slice = v.slice(ranges[i].start, ranges[i].end)?;
+            Ok(Some(match prev {
+                None => slice,
+                Some(fold) => fold.add(&slice)?,
+            }))
+        })();
+    });
+    for (slot, fold) in work.into_iter().zip(folds.iter_mut()) {
+        *fold = slot?;
+    }
+    Ok(())
+}
+
+/// Merges per-shard folds back into the full vector (`None` if no shard has
+/// folded anything yet).
+fn merge(folds: &[Option<EncryptedVector>]) -> Result<Option<EncryptedVector>, ProtocolError> {
+    let parts: Vec<EncryptedVector> = folds.iter().filter_map(Clone::clone).collect();
+    if parts.len() != folds.len() {
+        return Ok(None);
+    }
+    Ok(EncryptedVector::concat(&parts)?)
+}
+
+/// Per-try sharded aggregation state.
+#[derive(Debug, Clone)]
+struct ShardedTryFold {
+    participants: Vec<ClientId>,
+    contributed: Vec<bool>,
+    received: usize,
+    ranges: Option<Vec<Range<usize>>>,
+    folds: Vec<Option<EncryptedVector>>,
+}
+
+/// A coordinator whose registry positions are partitioned across `N` shard
+/// folds. Drop-in replacement for
+/// [`CoordinatorServer`](super::roles::CoordinatorServer) in the driver's
+/// [`Coordinator`] slot: same message handling, same validation, same emitted
+/// envelopes — and bit-identical ciphertext totals on the same inputs.
+#[derive(Debug)]
+pub struct ShardedCoordinator {
+    shards: usize,
+    public_key: Option<PublicKey>,
+    registered: Vec<bool>,
+    registrations_received: usize,
+    /// Position ranges, fixed by the first registry's length.
+    registry_ranges: Option<Vec<Range<usize>>>,
+    registry_folds: Vec<Option<EncryptedVector>>,
+    tries: BTreeMap<usize, ShardedTryFold>,
+    last_verdict: Option<(usize, f64)>,
+    bytes_received: usize,
+    messages_received: usize,
+}
+
+impl ShardedCoordinator {
+    /// A sharded coordinator expecting `expected_registrations` registry
+    /// uploads this epoch, with positions split across `shards` folds.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(expected_registrations: usize, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedCoordinator {
+            shards,
+            public_key: None,
+            registered: vec![false; expected_registrations],
+            registrations_received: 0,
+            registry_ranges: None,
+            registry_folds: vec![None; shards],
+            tries: BTreeMap::new(),
+            last_verdict: None,
+            bytes_received: 0,
+            messages_received: 0,
+        }
+    }
+
+    /// A sharded coordinator that already learned the epoch public key
+    /// out-of-band (sessions that skip the key-dispatch step).
+    pub fn with_public_key(
+        public_key: PublicKey,
+        expected_registrations: usize,
+        shards: usize,
+    ) -> Self {
+        ShardedCoordinator {
+            public_key: Some(public_key),
+            ..ShardedCoordinator::new(expected_registrations, shards)
+        }
+    }
+
+    /// The number of shard folds.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The epoch public key, once dispatched.
+    pub fn public_key(&self) -> Option<&PublicKey> {
+        self.public_key.as_ref()
+    }
+
+    /// The running encrypted overall registry, merged across shards on
+    /// demand (`None` until every shard has folded at least one slice).
+    pub fn encrypted_total(&self) -> Option<EncryptedVector> {
+        merge(&self.registry_folds).ok().flatten()
+    }
+
+    /// Canonical wire bytes received so far.
+    pub fn bytes_received(&self) -> usize {
+        self.bytes_received
+    }
+
+    /// Messages received so far.
+    pub fn messages_received(&self) -> usize {
+        self.messages_received
+    }
+
+    /// The agent's verdict for the last multi-time round, if any.
+    pub fn last_verdict(&self) -> Option<(usize, f64)> {
+        self.last_verdict
+    }
+
+    /// Announces one tentative try: see
+    /// [`CoordinatorServer::announce_try`](super::roles::CoordinatorServer::announce_try).
+    pub fn announce_try(&mut self, try_index: usize, participants: &[ClientId]) {
+        let mut sorted = participants.to_vec();
+        sorted.sort_unstable();
+        let contributed = vec![false; sorted.len()];
+        self.tries.insert(
+            try_index,
+            ShardedTryFold {
+                participants: sorted,
+                contributed,
+                received: 0,
+                ranges: None,
+                folds: vec![None; self.shards],
+            },
+        );
+    }
+
+    /// Handles one incoming message, returning the messages it triggers.
+    /// The accepted/rejected message set is identical to the single
+    /// coordinator's, as is every emitted envelope.
+    pub fn handle(&mut self, msg: ProtocolMsg) -> Result<Vec<Envelope>, ProtocolError> {
+        self.messages_received += 1;
+        self.bytes_received += msg.wire_bytes();
+        match msg {
+            ProtocolMsg::PublicKeyDispatch {
+                public_key,
+                private_key,
+            } => {
+                if private_key.is_some() {
+                    return Err(ProtocolError::PrivateKeyAtServer);
+                }
+                self.public_key = Some(public_key);
+                Ok(Vec::new())
+            }
+            ProtocolMsg::EncryptedRegistry { client, registry } => {
+                if self.registrations_received == self.registered.len() {
+                    return Err(ProtocolError::EpochComplete { client });
+                }
+                match self.registered.get_mut(client) {
+                    None => {
+                        return Err(ProtocolError::UnknownContributor {
+                            client,
+                            try_index: None,
+                        })
+                    }
+                    Some(seen) if *seen => {
+                        return Err(ProtocolError::DuplicateContribution {
+                            client,
+                            try_index: None,
+                        })
+                    }
+                    Some(seen) => *seen = true,
+                }
+                let ranges = self
+                    .registry_ranges
+                    .get_or_insert_with(|| shard_ranges(registry.len(), self.shards))
+                    .clone();
+                fold_sharded(&mut self.registry_folds, &registry, &ranges)?;
+                self.registrations_received += 1;
+                if self.registrations_received == self.registered.len() {
+                    let total = merge(&self.registry_folds)?.expect("every shard folded");
+                    let mut out = Vec::with_capacity(self.registered.len() + 1);
+                    for id in 0..self.registered.len() {
+                        out.push(Envelope {
+                            from: Party::Server,
+                            to: Party::Client(id),
+                            msg: ProtocolMsg::EncryptedTotalBroadcast {
+                                total: total.clone(),
+                            },
+                        });
+                    }
+                    out.push(Envelope {
+                        from: Party::Server,
+                        to: Party::Agent,
+                        msg: ProtocolMsg::EncryptedTotalBroadcast { total },
+                    });
+                    Ok(out)
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            ProtocolMsg::EncryptedDistribution {
+                client,
+                try_index,
+                distribution,
+            } => {
+                let shards = self.shards;
+                let slot = self
+                    .tries
+                    .get_mut(&try_index)
+                    .ok_or(ProtocolError::UnknownTry { try_index })?;
+                let idx = slot.participants.binary_search(&client).map_err(|_| {
+                    ProtocolError::UnknownContributor {
+                        client,
+                        try_index: Some(try_index),
+                    }
+                })?;
+                if slot.contributed[idx] {
+                    return Err(ProtocolError::DuplicateContribution {
+                        client,
+                        try_index: Some(try_index),
+                    });
+                }
+                slot.contributed[idx] = true;
+                let ranges = slot
+                    .ranges
+                    .get_or_insert_with(|| shard_ranges(distribution.len(), shards))
+                    .clone();
+                fold_sharded(&mut slot.folds, &distribution, &ranges)?;
+                slot.received += 1;
+                if slot.received == slot.participants.len() {
+                    let slot = self.tries.remove(&try_index).expect("present");
+                    let sum = merge(&slot.folds)?.expect("non-empty try");
+                    Ok(vec![Envelope {
+                        from: Party::Server,
+                        to: Party::Agent,
+                        msg: ProtocolMsg::EncryptedDistributionSum {
+                            try_index,
+                            contributors: slot.received,
+                            sum,
+                        },
+                    }])
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            ProtocolMsg::TryVerdict { best_try, distance } => {
+                self.last_verdict = Some((best_try, distance));
+                Ok(Vec::new())
+            }
+            other => Err(ProtocolError::UnexpectedMessage {
+                role: "server",
+                kind: other.kind(),
+            }),
+        }
+    }
+}
+
+impl Coordinator for ShardedCoordinator {
+    fn deliver(&mut self, envelope: Envelope) -> Result<Vec<Envelope>, ProtocolError> {
+        ShardedCoordinator::handle(self, envelope.msg)
+    }
+
+    fn announce_try(
+        &mut self,
+        try_index: usize,
+        participants: &[ClientId],
+    ) -> Result<(), ProtocolError> {
+        ShardedCoordinator::announce_try(self, try_index, participants);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dubhe_he::Keypair;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_partition_the_index_space() {
+        for (len, shards) in [(56, 4), (53, 4), (10, 3), (3, 8), (0, 2), (1, 1)] {
+            let ranges = shard_ranges(len, shards);
+            assert_eq!(ranges.len(), shards);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[shards - 1].end, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous partition");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_fold_is_bit_identical_to_single_fold() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let kp = Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
+        let vectors: Vec<EncryptedVector> = (0..6)
+            .map(|i| {
+                let mut v = vec![0u64; 13];
+                v[i % 13] = 1;
+                v[(i * 5) % 13] += 2;
+                EncryptedVector::encrypt_u64(&kp.public, &v, &mut rng)
+            })
+            .collect();
+
+        // Single fold: left-to-right add.
+        let mut single = vectors[0].clone();
+        for v in &vectors[1..] {
+            single = single.add(v).unwrap();
+        }
+
+        for shards in [1, 4] {
+            let ranges = shard_ranges(13, shards);
+            let mut folds = vec![None; shards];
+            for v in &vectors {
+                fold_sharded(&mut folds, v, &ranges).unwrap();
+            }
+            let merged = merge(&folds).unwrap().unwrap();
+            assert_eq!(merged.len(), single.len());
+            for (m, s) in merged.elements().iter().zip(single.elements()) {
+                assert_eq!(m.raw(), s.raw(), "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected_exactly_like_the_single_coordinator() {
+        use super::super::roles::CoordinatorServer;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        let kp = Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
+        let registry = |len: usize, rng: &mut rand::rngs::StdRng| ProtocolMsg::EncryptedRegistry {
+            client: 0,
+            registry: EncryptedVector::encrypt_u64(&kp.public, &vec![1u64; len], rng),
+        };
+        let second = |len: usize, rng: &mut rand::rngs::StdRng| ProtocolMsg::EncryptedRegistry {
+            client: 1,
+            registry: EncryptedVector::encrypt_u64(&kp.public, &vec![1u64; len], rng),
+        };
+
+        // A longer AND a shorter second vector must fail identically on both
+        // coordinator shapes (the sharded one must not silently truncate).
+        for mismatched in [11usize, 5] {
+            let mut single = CoordinatorServer::with_public_key(kp.public.clone(), 2);
+            let mut sharded = ShardedCoordinator::with_public_key(kp.public.clone(), 2, 4);
+            assert!(single.handle(registry(8, &mut rng)).unwrap().is_empty());
+            assert!(sharded.handle(registry(8, &mut rng)).unwrap().is_empty());
+            let e_single = single.handle(second(mismatched, &mut rng)).unwrap_err();
+            let e_sharded = sharded.handle(second(mismatched, &mut rng)).unwrap_err();
+            assert_eq!(e_single, e_sharded, "len {mismatched}");
+            assert!(
+                matches!(
+                    e_sharded,
+                    ProtocolError::He(dubhe_he::HeError::LengthMismatch { left: 8, .. })
+                ),
+                "len {mismatched}: {e_sharded}"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_out_of_range_is_an_error() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let kp = Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
+        let v = EncryptedVector::encrypt_u64(&kp.public, &[1, 2, 3], &mut rng);
+        assert!(v.slice(0, 4).is_err());
+        assert!(v.slice(2, 1).is_err());
+        assert_eq!(v.slice(1, 3).unwrap().len(), 2);
+    }
+}

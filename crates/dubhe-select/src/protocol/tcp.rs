@@ -1,0 +1,474 @@
+//! The networked transport: framed TCP sockets between clients and the
+//! coordinator.
+//!
+//! Two halves, both std-only (no async runtime — the build environment is
+//! offline, and `std::net` is all the exchange needs):
+//!
+//! * [`TcpTransport`] — the client-side connector. It plugs into the same
+//!   driver slot as a local
+//!   [`CoordinatorServer`](super::roles::CoordinatorServer) (the
+//!   [`Coordinator`] trait), so `AgentNode` and `SelectClientNode` drive the *identical*
+//!   [`ProtocolMsg`](super::message::ProtocolMsg) exchange whether the
+//!   coordinator is an in-process struct or a process across the network.
+//!   Every server-bound envelope becomes one framed request; the
+//!   coordinator's reply batch is returned to the driver for local delivery.
+//! * [`CoordinatorListener`] — the server side: a multi-threaded loopback
+//!   listener that accepts any number of concurrent connections and serves a
+//!   [`ShardedCoordinator`] behind a *mutex-free* actor: connection threads
+//!   do I/O only and forward requests over channels to a single router
+//!   thread that owns the coordinator state (shard parallelism happens
+//!   inside the fold, via rayon). No `Mutex` anywhere — ordering is the
+//!   channel's FIFO, which makes a single-connection session byte-for-byte
+//!   deterministic.
+//!
+//! Robustness contract (pinned by tests): a malformed, truncated or
+//! oversized frame, a mid-exchange disconnect, or a silent peer all surface
+//! as [`ProtocolError`] — never a panic, never an unbounded hang. Client
+//! reads are bounded by a read timeout; the listener waits patiently for
+//! the *first* byte of a frame (an idle client between rounds is healthy),
+//! polling its stop flag so shutdown stays prompt, and applies the timeout
+//! once a frame has started.
+
+use std::io::{BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use super::message::Envelope;
+use super::roles::Coordinator;
+use super::shard::ShardedCoordinator;
+use super::transport::TransportStats;
+use super::wire::{read_frame, write_frame, WireMsg};
+use crate::error::ProtocolError;
+use crate::selector::ClientId;
+
+/// Default per-read timeout on protocol sockets. Long enough for a 2048-bit
+/// registration epoch on a loaded machine, short enough that a wedged peer
+/// cannot hang a driver forever.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Real bytes and frames observed on one socket (header + payload, both
+/// directions). This is what a deployment actually pays on the wire — JSON
+/// framing included — as opposed to the canonical ciphertext accounting of
+/// [`TransportStats`], which prices messages at their fixed-width transport
+/// model for like-for-like comparison with the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Frames written to the socket.
+    pub frames_sent: usize,
+    /// Frames read from the socket.
+    pub frames_received: usize,
+    /// Bytes written (headers + payloads).
+    pub bytes_sent: usize,
+    /// Bytes read (headers + payloads).
+    pub bytes_received: usize,
+}
+
+impl WireStats {
+    /// Total bytes that crossed the socket in either direction.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+fn io_error(context: &'static str, e: std::io::Error) -> ProtocolError {
+    ProtocolError::Io {
+        context,
+        detail: e.to_string(),
+    }
+}
+
+/// The client-side connector: carries server-bound protocol messages over a
+/// framed TCP stream to a [`CoordinatorListener`] and hands the coordinator's
+/// replies back to the driver.
+///
+/// Implements [`Coordinator`], so it drops into
+/// [`run_registration_with`](super::driver::run_registration_with) /
+/// [`run_try`](super::driver::run_try) /
+/// [`pump`](super::driver::pump) exactly where a local server would go.
+#[derive(Debug)]
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    stats: TransportStats,
+    wire: WireStats,
+}
+
+impl TcpTransport {
+    /// Connects to a coordinator endpoint with the
+    /// [`DEFAULT_READ_TIMEOUT`].
+    pub fn connect(addr: SocketAddr) -> Result<Self, ProtocolError> {
+        TcpTransport::connect_with_timeout(addr, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// Connects with an explicit read timeout (tests use short ones so a
+    /// silent peer fails fast instead of stalling the suite).
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        read_timeout: Duration,
+    ) -> Result<Self, ProtocolError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_error("connect", e))?;
+        stream
+            .set_read_timeout(Some(read_timeout))
+            .map_err(|e| io_error("configure socket", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| io_error("configure socket", e))?;
+        Ok(TcpTransport {
+            reader: BufReader::new(stream),
+            stats: TransportStats::default(),
+            wire: WireStats::default(),
+        })
+    }
+
+    /// Canonical per-kind accounting of every message this connector carried
+    /// (requests out and reply envelopes in), in the same units as
+    /// [`InMemoryTransport::stats`](super::transport::InMemoryTransport::stats).
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    /// Real frame traffic on the socket (headers + JSON payloads).
+    pub fn wire_stats(&self) -> &WireStats {
+        &self.wire
+    }
+
+    /// Sends one wire message and reads the peer's single reply frame.
+    fn request(&mut self, msg: &WireMsg) -> Result<WireMsg, ProtocolError> {
+        let written = write_frame(self.reader.get_mut(), msg)?;
+        self.wire.frames_sent += 1;
+        self.wire.bytes_sent += written;
+        let (reply, read) = read_frame(&mut self.reader)?;
+        self.wire.frames_received += 1;
+        self.wire.bytes_received += read;
+        Ok(reply)
+    }
+
+    /// Ends the session politely; the listener closes the connection.
+    pub fn shutdown(mut self) -> Result<(), ProtocolError> {
+        let written = write_frame(self.reader.get_mut(), &WireMsg::Shutdown)?;
+        self.wire.frames_sent += 1;
+        self.wire.bytes_sent += written;
+        Ok(())
+    }
+}
+
+impl Coordinator for TcpTransport {
+    fn deliver(&mut self, envelope: Envelope) -> Result<Vec<Envelope>, ProtocolError> {
+        self.stats.charge(&envelope.msg);
+        match self.request(&WireMsg::Envelope { envelope })? {
+            WireMsg::Batch { envelopes } => {
+                for e in &envelopes {
+                    self.stats.charge(&e.msg);
+                }
+                Ok(envelopes)
+            }
+            WireMsg::Error { detail } => Err(ProtocolError::Remote { detail }),
+            other => Err(ProtocolError::MalformedFrame {
+                detail: format!("expected a batch or error reply, got {other:?}"),
+            }),
+        }
+    }
+
+    fn announce_try(
+        &mut self,
+        try_index: usize,
+        participants: &[ClientId],
+    ) -> Result<(), ProtocolError> {
+        let msg = WireMsg::AnnounceTry {
+            try_index,
+            participants: participants.to_vec(),
+        };
+        match self.request(&msg)? {
+            WireMsg::Ack => Ok(()),
+            WireMsg::Error { detail } => Err(ProtocolError::Remote { detail }),
+            other => Err(ProtocolError::MalformedFrame {
+                detail: format!("expected an ack or error reply, got {other:?}"),
+            }),
+        }
+    }
+}
+
+/// A request forwarded from a connection thread to the router thread.
+struct RouterRequest {
+    msg: WireMsg,
+    reply: mpsc::Sender<WireMsg>,
+}
+
+/// The multi-threaded coordinator listener.
+///
+/// Topology: one accept thread, one I/O thread per connection, one router
+/// thread owning the [`ShardedCoordinator`]. Connection threads never touch
+/// coordinator state — they forward each decoded [`WireMsg`] over an mpsc
+/// channel and relay the router's reply — so the whole server is mutex-free:
+/// exclusivity comes from ownership, ordering from channel FIFO, and shard
+/// parallelism from rayon inside the fold itself.
+#[derive(Debug)]
+pub struct CoordinatorListener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    router_thread: Option<JoinHandle<ShardedCoordinator>>,
+}
+
+impl CoordinatorListener {
+    /// Binds an ephemeral loopback port and starts serving `coordinator`.
+    pub fn spawn(coordinator: ShardedCoordinator) -> Result<Self, ProtocolError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| io_error("bind", e))?;
+        let addr = listener.local_addr().map_err(|e| io_error("bind", e))?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // The accept thread owns the only long-lived Sender; when it exits
+        // (joining every connection thread first) the channel hangs up and
+        // the router ends with it — no explicit stop message needed.
+        let (router_tx, router_rx) = mpsc::channel::<RouterRequest>();
+        let router_thread = std::thread::spawn(move || route(coordinator, router_rx));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut connections: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let router = router_tx.clone();
+                let conn_stop = Arc::clone(&accept_stop);
+                connections.push(std::thread::spawn(move || {
+                    serve_connection(stream, router, conn_stop)
+                }));
+            }
+            for c in connections {
+                let _ = c.join();
+            }
+        });
+
+        Ok(CoordinatorListener {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            router_thread: Some(router_thread),
+        })
+    }
+
+    /// The loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the threads and returns the final coordinator
+    /// state (e.g. to inspect `messages_received` after a session).
+    pub fn shutdown(mut self) -> Option<ShardedCoordinator> {
+        self.stop_threads()
+    }
+
+    fn stop_threads(&mut self) -> Option<ShardedCoordinator> {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // With the accept thread (and every connection it joined) gone, all
+        // Sender clones are dropped and the router drains to completion.
+        self.router_thread.take().and_then(|t| t.join().ok())
+    }
+}
+
+impl Drop for CoordinatorListener {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            let _ = self.stop_threads();
+        }
+    }
+}
+
+/// The router thread: the sole owner of the coordinator state.
+fn route(
+    mut coordinator: ShardedCoordinator,
+    rx: mpsc::Receiver<RouterRequest>,
+) -> ShardedCoordinator {
+    while let Ok(RouterRequest { msg, reply }) = rx.recv() {
+        let response = match msg {
+            WireMsg::Envelope { envelope } => match coordinator.handle(envelope.msg) {
+                Ok(envelopes) => WireMsg::Batch { envelopes },
+                Err(e) => WireMsg::Error {
+                    detail: e.to_string(),
+                },
+            },
+            WireMsg::AnnounceTry {
+                try_index,
+                participants,
+            } => {
+                coordinator.announce_try(try_index, &participants);
+                WireMsg::Ack
+            }
+            other => WireMsg::Error {
+                detail: format!("coordinator cannot serve {other:?}"),
+            },
+        };
+        let _ = reply.send(response);
+    }
+    coordinator
+}
+
+/// How often an idle connection wakes to check the listener's stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// One connection's I/O loop: decode a frame, forward it to the router,
+/// relay the reply. Exits on shutdown frames, disconnects, or anything
+/// undecodable (after telling the peer what was wrong, best-effort).
+///
+/// Idleness *between* frames is healthy — a client may train for minutes
+/// between protocol rounds — so the wait for a frame's first byte only ends
+/// on a hangup or the listener's stop flag (polled every [`IDLE_POLL`]).
+/// Once a frame has started, [`DEFAULT_READ_TIMEOUT`] bounds the rest of it
+/// so a peer that stalls mid-frame cannot pin the thread.
+fn serve_connection(stream: TcpStream, router: mpsc::Sender<RouterRequest>, stop: Arc<AtomicBool>) {
+    use std::io::Read as _;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Patient, stoppable wait for the first byte of the next frame.
+        let _ = reader.get_ref().set_read_timeout(Some(IDLE_POLL));
+        let mut first = [0u8; 1];
+        let got = loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match reader.read(&mut first) {
+                Ok(n) => break n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(_) => return,
+            }
+        };
+        if got == 0 {
+            return; // clean close between frames
+        }
+        // Frame in flight: the full read timeout applies from here on.
+        let _ = reader
+            .get_ref()
+            .set_read_timeout(Some(DEFAULT_READ_TIMEOUT));
+        let msg = match read_frame(&mut (&first[..]).chain(&mut reader)) {
+            Ok((WireMsg::Shutdown, _)) | Err(ProtocolError::Disconnected) => return,
+            Ok((msg, _)) => msg,
+            Err(e) => {
+                // A malformed/truncated frame poisons the stream (framing is
+                // lost); report and hang up rather than guessing at bytes.
+                let _ = write_frame(
+                    reader.get_mut(),
+                    &WireMsg::Error {
+                        detail: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if router
+            .send(RouterRequest {
+                msg,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return; // listener shutting down
+        }
+        let Ok(response) = reply_rx.recv() else {
+            return;
+        };
+        if write_frame(reader.get_mut(), &response).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::message::{Party, ProtocolMsg};
+
+    fn verdict(best_try: usize) -> Envelope {
+        Envelope {
+            from: Party::Agent,
+            to: Party::Server,
+            msg: ProtocolMsg::TryVerdict {
+                best_try,
+                distance: 0.1,
+            },
+        }
+    }
+
+    #[test]
+    fn listener_spawns_serves_and_shuts_down() {
+        let listener = CoordinatorListener::spawn(ShardedCoordinator::new(0, 2)).unwrap();
+        let addr = listener.addr();
+        let mut client = TcpTransport::connect_with_timeout(addr, Duration::from_secs(5)).unwrap();
+        // A verdict is always accepted and triggers nothing.
+        let out = client.deliver(verdict(0)).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(client.wire_stats().frames_sent, 1);
+        assert_eq!(client.wire_stats().frames_received, 1);
+        assert!(client.wire_stats().total_bytes() > 0);
+        assert_eq!(client.stats().verdicts.messages, 1);
+        client.shutdown().unwrap();
+        let coordinator = listener.shutdown().expect("state returned");
+        assert_eq!(coordinator.messages_received(), 1);
+        assert_eq!(coordinator.last_verdict(), Some((0, 0.1)));
+    }
+
+    #[test]
+    fn idle_connection_survives_and_shutdown_stays_prompt() {
+        let listener = CoordinatorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();
+        let mut client =
+            TcpTransport::connect_with_timeout(listener.addr(), Duration::from_secs(5)).unwrap();
+        // Stay silent for several idle-poll periods, like a client that is
+        // busy training between protocol rounds. The server must not treat
+        // the quiet as an error and hang up.
+        std::thread::sleep(IDLE_POLL * 4);
+        client
+            .deliver(verdict(2))
+            .expect("connection still healthy");
+        // Drop the listener while the (idle) connection stays open: shutdown
+        // must complete via the stop flag, not wait for a client hangup.
+        let started = std::time::Instant::now();
+        drop(listener);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "listener shutdown took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn concurrent_connections_are_served() {
+        let listener = CoordinatorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();
+        let addr = listener.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client =
+                        TcpTransport::connect_with_timeout(addr, Duration::from_secs(5)).unwrap();
+                    client.deliver(verdict(i)).unwrap();
+                    client.shutdown().unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let coordinator = listener.shutdown().expect("state returned");
+        assert_eq!(coordinator.messages_received(), 4);
+    }
+}

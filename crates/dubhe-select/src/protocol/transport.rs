@@ -4,8 +4,11 @@
 //! implementation is a FIFO queue that meters every link — messages and
 //! canonical wire bytes per [`MsgKind`] — which is exactly what the FL
 //! simulator charges to its [`CommLedger`](../../dubhe_fl/comm) and what the
-//! §6.4 overhead study prints. A networked implementation (TCP, RPC,
-//! sharded brokers) only has to implement the same two methods.
+//! §6.4 overhead study prints. The networked hop lives one level up: the
+//! drivers' [`Coordinator`](super::roles::Coordinator) slot, which
+//! [`TcpTransport`](super::tcp::TcpTransport) fills by carrying every
+//! server-bound envelope over a framed socket while this local queue keeps
+//! sequencing (and metering) the exchange.
 
 use std::collections::VecDeque;
 
@@ -100,6 +103,23 @@ impl TransportStats {
             MsgKind::Verdict => &mut self.verdicts,
         }
     }
+
+    /// Charges one message to its per-kind link (and, for client → server
+    /// uplinks, to the ciphertext-only counters). Every transport — the
+    /// in-memory queue and the TCP connector alike — meters through this,
+    /// which is what keeps their canonical accounting comparable.
+    pub fn charge(&mut self, msg: &ProtocolMsg) {
+        self.of_kind_mut(msg.kind()).charge(msg);
+        match msg.kind() {
+            MsgKind::Registry => {
+                self.uplink_registry_ciphertext_bytes += msg.ciphertext_bytes();
+            }
+            MsgKind::Distribution => {
+                self.uplink_distribution_ciphertext_bytes += msg.ciphertext_bytes();
+            }
+            _ => {}
+        }
+    }
 }
 
 /// The in-memory transport: FIFO delivery, full metering, and (optionally)
@@ -145,16 +165,7 @@ impl InMemoryTransport {
 
 impl Transport for InMemoryTransport {
     fn send(&mut self, from: Party, to: Party, msg: ProtocolMsg) {
-        self.stats.of_kind_mut(msg.kind()).charge(&msg);
-        match msg.kind() {
-            MsgKind::Registry => {
-                self.stats.uplink_registry_ciphertext_bytes += msg.ciphertext_bytes();
-            }
-            MsgKind::Distribution => {
-                self.stats.uplink_distribution_ciphertext_bytes += msg.ciphertext_bytes();
-            }
-            _ => {}
-        }
+        self.stats.charge(&msg);
         if let Some(t) = &mut self.transcript {
             t.push(Envelope {
                 from,

@@ -1,0 +1,282 @@
+//! The framed wire codec of the networked transport.
+//!
+//! Every message on a protocol socket is one *frame*:
+//!
+//! ```text
+//! +----------+-----------------+------------------+
+//! | magic    | payload length  | payload          |
+//! | "DBH1"   | u32, big-endian | JSON of WireMsg  |
+//! +----------+-----------------+------------------+
+//! ```
+//!
+//! The codec is std-only (`std::io::Read`/`Write` over any byte stream —
+//! `std::net::TcpStream` in production, `&[u8]` cursors in tests) and
+//! defensive by construction:
+//!
+//! * a frame that does not start with the magic is rejected as
+//!   [`ProtocolError::MalformedFrame`] before any allocation happens;
+//! * the announced payload length is checked against [`MAX_FRAME_BYTES`]
+//!   ([`ProtocolError::FrameTooLarge`]) so garbage or hostile headers cannot
+//!   make the receiver allocate unboundedly;
+//! * a stream that ends mid-frame surfaces
+//!   [`ProtocolError::TruncatedFrame`]; a stream that ends cleanly *between*
+//!   frames surfaces [`ProtocolError::Disconnected`] — callers that expected
+//!   more exchange treat both as errors, never as silence.
+//!
+//! [`WireMsg`] wraps the protocol-level [`Envelope`] with the small control
+//! vocabulary a client ↔ coordinator session needs (try announcements,
+//! reply batches, relayed errors, shutdown).
+
+use std::io::{ErrorKind, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use super::message::Envelope;
+use crate::error::ProtocolError;
+use crate::selector::ClientId;
+
+/// The 4-byte frame preamble: protocol name + wire-format version.
+pub const FRAME_MAGIC: [u8; 4] = *b"DBH1";
+
+/// Upper bound on a frame payload. Generous: the largest legitimate message
+/// is a broadcast batch of full-length encrypted registries under 2048-bit
+/// keys (tens of KB each); 64 MiB leaves three orders of magnitude headroom
+/// while still refusing absurd lengths parsed out of garbage bytes.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// One message of the client ↔ coordinator wire session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireMsg {
+    /// A protocol envelope travelling to the coordinator.
+    Envelope {
+        /// The addressed protocol message.
+        envelope: Envelope,
+    },
+    /// Control plane: announce the participant set of one tentative try
+    /// (§5.3.1) ahead of the encrypted distribution uploads.
+    AnnounceTry {
+        /// Which of the `H` tries is being announced.
+        try_index: usize,
+        /// The tentatively selected client ids.
+        participants: Vec<ClientId>,
+    },
+    /// The coordinator's reply to an [`Envelope`](WireMsg::Envelope): every
+    /// message the delivery triggered (possibly empty), in emission order.
+    Batch {
+        /// The triggered envelopes.
+        envelopes: Vec<Envelope>,
+    },
+    /// The coordinator's acknowledgement of a control message.
+    Ack,
+    /// The coordinator rejected the message; its [`ProtocolError`] rendered
+    /// as text.
+    Error {
+        /// The rendered coordinator-side error.
+        detail: String,
+    },
+    /// Ends the session: the peer will close the connection after reading
+    /// this frame.
+    Shutdown,
+}
+
+fn io_error(context: &'static str, e: std::io::Error) -> ProtocolError {
+    ProtocolError::Io {
+        context,
+        detail: e.to_string(),
+    }
+}
+
+/// Writes one frame, returning the total bytes put on the wire (header
+/// included) so callers can meter real frame traffic.
+pub fn write_frame<W: Write>(w: &mut W, msg: &WireMsg) -> Result<usize, ProtocolError> {
+    let payload = serde_json::to_string(msg).map_err(|e| ProtocolError::MalformedFrame {
+        detail: format!("could not serialize frame payload: {e}"),
+    })?;
+    let payload = payload.as_bytes();
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ProtocolError::FrameTooLarge {
+            len: payload.len(),
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    w.write_all(&FRAME_MAGIC)
+        .map_err(|e| io_error("write frame header", e))?;
+    w.write_all(&(payload.len() as u32).to_be_bytes())
+        .map_err(|e| io_error("write frame header", e))?;
+    w.write_all(payload)
+        .map_err(|e| io_error("write frame payload", e))?;
+    w.flush().map_err(|e| io_error("flush frame", e))?;
+    Ok(FRAME_MAGIC.len() + 4 + payload.len())
+}
+
+/// Reads exactly `buf.len()` bytes. `at_frame_start` distinguishes a clean
+/// close (EOF before any byte of this frame → [`ProtocolError::Disconnected`])
+/// from a cut-off frame ([`ProtocolError::TruncatedFrame`]).
+fn read_exact_or(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    context: &'static str,
+    at_frame_start: bool,
+) -> Result<(), ProtocolError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_frame_start && filled == 0 {
+                    ProtocolError::Disconnected
+                } else {
+                    ProtocolError::TruncatedFrame { context }
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+                return Err(if at_frame_start && filled == 0 {
+                    ProtocolError::Disconnected
+                } else {
+                    ProtocolError::TruncatedFrame { context }
+                });
+            }
+            Err(e) => return Err(io_error("read frame", e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, returning the message and the total bytes consumed.
+///
+/// Never panics and never reads past the frame: malformed magic, oversized
+/// lengths, truncation, disconnects and undecodable payloads each map to
+/// their own [`ProtocolError`] variant. With a read timeout set on the
+/// underlying stream, a silent peer surfaces as [`ProtocolError::Io`] when
+/// the timeout elapses — a caller is never stuck forever.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(WireMsg, usize), ProtocolError> {
+    let mut magic = [0u8; 4];
+    read_exact_or(r, &mut magic, "header", true)?;
+    if magic != FRAME_MAGIC {
+        return Err(ProtocolError::MalformedFrame {
+            detail: format!("bad magic {magic:02x?}, expected {FRAME_MAGIC:02x?}"),
+        });
+    }
+    let mut len_bytes = [0u8; 4];
+    read_exact_or(r, &mut len_bytes, "header", false)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, "payload", false)?;
+    let text = std::str::from_utf8(&payload).map_err(|e| ProtocolError::MalformedFrame {
+        detail: format!("payload is not UTF-8: {e}"),
+    })?;
+    let msg: WireMsg = serde_json::from_str(text).map_err(|e| ProtocolError::MalformedFrame {
+        detail: format!("payload is not a wire message: {e}"),
+    })?;
+    Ok((msg, FRAME_MAGIC.len() + 4 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::message::{Party, ProtocolMsg};
+
+    fn verdict_envelope() -> Envelope {
+        Envelope {
+            from: Party::Agent,
+            to: Party::Server,
+            msg: ProtocolMsg::TryVerdict {
+                best_try: 1,
+                distance: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let msgs = vec![
+            WireMsg::Envelope {
+                envelope: verdict_envelope(),
+            },
+            WireMsg::AnnounceTry {
+                try_index: 2,
+                participants: vec![0, 3, 7],
+            },
+            WireMsg::Batch {
+                envelopes: vec![verdict_envelope(), verdict_envelope()],
+            },
+            WireMsg::Ack,
+            WireMsg::Error {
+                detail: "nope".to_string(),
+            },
+            WireMsg::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        let mut written = 0;
+        for m in &msgs {
+            written += write_frame(&mut buf, m).unwrap();
+        }
+        assert_eq!(written, buf.len());
+        let mut cursor = &buf[..];
+        for m in &msgs {
+            let (back, _) = read_frame(&mut cursor).unwrap();
+            assert_eq!(&back, m);
+        }
+        // The stream ends cleanly between frames.
+        assert_eq!(read_frame(&mut cursor), Err(ProtocolError::Disconnected));
+    }
+
+    #[test]
+    fn bad_magic_is_malformed_not_a_panic() {
+        let garbage = b"HTTP/1.1 200 OK\r\n\r\n";
+        let err = read_frame(&mut &garbage[..]).unwrap_err();
+        assert!(matches!(err, ProtocolError::MalformedFrame { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC);
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::FrameTooLarge {
+                len: u32::MAX as usize,
+                max: MAX_FRAME_BYTES,
+            }
+        );
+    }
+
+    #[test]
+    fn truncation_points_are_distinguished_from_clean_close() {
+        let mut full = Vec::new();
+        write_frame(&mut full, &WireMsg::Ack).unwrap();
+        // Cut inside the magic, inside the length, and inside the payload.
+        for cut in [2, 6, full.len() - 1] {
+            let err = read_frame(&mut &full[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::TruncatedFrame { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+        // Zero bytes: a clean close.
+        assert_eq!(
+            read_frame(&mut &full[..0]),
+            Err(ProtocolError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn undecodable_payload_is_malformed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC);
+        let payload = b"{\"not\": \"a wire message\"}";
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(payload);
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, ProtocolError::MalformedFrame { .. }), "{err}");
+    }
+}

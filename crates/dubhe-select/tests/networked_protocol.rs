@@ -1,0 +1,282 @@
+//! Equivalence and robustness pins for the networked/sharded coordinator.
+//!
+//! The acceptance bar of the transport work: a `ShardedCoordinator` (N ∈
+//! {1, 4}) and a TCP-loopback session must be *bit-identical* to the
+//! in-memory single-coordinator exchange on the same seed — same decrypted
+//! overall registry, same ciphertext residues, same verdict, same canonical
+//! byte accounting — and the TCP layer must surface every failure mode as a
+//! `ProtocolError`, never a panic or a hang.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+use dubhe_data::ClassDistribution;
+use dubhe_select::protocol::{
+    read_frame, run_registration_with, run_try, Coordinator, CoordinatorListener, Envelope,
+    InMemoryTransport, Party, ProtocolMsg, ShardedCoordinator, TcpTransport, TransportStats,
+    WireMsg, FRAME_MAGIC,
+};
+use dubhe_select::{ClientSelector, DubheConfig, DubheSelector, ProtocolError};
+use rand::SeedableRng;
+
+const KEY_BITS: u64 = 256;
+
+fn clients(n: usize, seed: u64) -> Vec<ClassDistribution> {
+    let spec = FederatedSpec {
+        family: DatasetFamily::MnistLike,
+        rho: 10.0,
+        emd_avg: 1.5,
+        clients: n,
+        samples_per_client: 100,
+        test_samples_per_class: 1,
+        seed,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    spec.build_partition(&mut rng).client_distributions()
+}
+
+/// One full session (registration + H=3 multi-time round) against an
+/// arbitrary coordinator slot. Returns everything the equivalence pins
+/// compare: the decrypted overall registry, the agent's verdict, the
+/// canonical transport stats, and the coordinator slot back.
+fn drive_session<C: Coordinator>(
+    dists: &[ClassDistribution],
+    seed: u64,
+    server: C,
+) -> (Vec<u64>, (usize, f64), TransportStats, C) {
+    let config = DubheConfig::group1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut transport = InMemoryTransport::new();
+    let mut run =
+        run_registration_with(dists, &config, KEY_BITS, server, &mut transport, &mut rng).unwrap();
+
+    let mut selector = DubheSelector::new(dists, config);
+    run.agent.expect_tries(3);
+    for try_index in 0..3 {
+        let tentative = selector.select(&mut rng);
+        run_try(
+            try_index,
+            &tentative,
+            &mut run.agent,
+            &mut run.clients,
+            &mut run.server,
+            &mut transport,
+            &mut rng,
+        )
+        .unwrap();
+    }
+
+    let overall = run.overall_registry().to_vec();
+    let verdict = run.agent.verdict().expect("all tries evaluated");
+    (overall, verdict, *transport.stats(), run.server)
+}
+
+#[test]
+fn sharded_coordinator_is_bit_identical_to_single_for_n_1_and_4() {
+    let dists = clients(20, 51);
+
+    let (overall_single, verdict_single, stats_single, single) =
+        drive_session(&dists, 52, dubhe_select::CoordinatorServer::new(20));
+    let total_single = single.encrypted_total().cloned().expect("epoch complete");
+
+    for shards in [1usize, 4] {
+        let (overall, verdict, stats, sharded) =
+            drive_session(&dists, 52, ShardedCoordinator::new(20, shards));
+        assert_eq!(overall, overall_single, "shards={shards}");
+        assert_eq!(verdict, verdict_single, "shards={shards}");
+        assert_eq!(stats, stats_single, "shards={shards}");
+        // Bit-identical ciphertext folds, element by element.
+        let total = sharded.encrypted_total().expect("epoch complete");
+        assert_eq!(total.len(), total_single.len());
+        for (a, b) in total.elements().iter().zip(total_single.elements()) {
+            assert_eq!(a.raw(), b.raw(), "shards={shards}: fold diverged");
+        }
+        assert_eq!(sharded.messages_received(), single.messages_received());
+        assert_eq!(sharded.bytes_received(), single.bytes_received());
+    }
+}
+
+#[test]
+fn tcp_loopback_session_is_bit_identical_to_in_memory() {
+    let dists = clients(24, 61);
+
+    let (overall_mem, verdict_mem, stats_mem, server) =
+        drive_session(&dists, 62, dubhe_select::CoordinatorServer::new(24));
+
+    // Same exchange, but every server-bound envelope crosses a real socket
+    // to a sharded listener.
+    let listener = CoordinatorListener::spawn(ShardedCoordinator::new(24, 4)).unwrap();
+    let endpoint = TcpTransport::connect(listener.addr()).unwrap();
+    let (overall_tcp, verdict_tcp, stats_tcp, endpoint) = drive_session(&dists, 62, endpoint);
+
+    assert_eq!(overall_tcp, overall_mem);
+    assert_eq!(verdict_tcp, verdict_mem);
+    // The local transport saw the identical message flow...
+    assert_eq!(stats_tcp, stats_mem);
+    // ...and the socket actually carried it: framed bytes exceed the
+    // canonical ciphertext accounting (JSON framing is not free).
+    let wire = *endpoint.wire_stats();
+    assert!(wire.frames_sent > 0 && wire.frames_received > 0);
+    assert!(
+        wire.total_bytes() > stats_mem.total().bytes,
+        "framed traffic {} should exceed canonical bytes {}",
+        wire.total_bytes(),
+        stats_mem.total().bytes
+    );
+    endpoint.shutdown().unwrap();
+    let coordinator = listener.shutdown().expect("listener state");
+    // The remote coordinator saw exactly what the in-memory server saw, in
+    // canonical units.
+    assert_eq!(coordinator.messages_received(), server.messages_received());
+    assert_eq!(coordinator.bytes_received(), server.bytes_received());
+    assert_eq!(coordinator.last_verdict(), Some(verdict_mem));
+}
+
+#[test]
+fn remote_coordinator_relays_protocol_errors() {
+    // A registry from an unknown client must come back as a typed remote
+    // rejection, not a hang or a dropped connection.
+    let dists = clients(4, 71);
+    let config = DubheConfig::group1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+
+    let listener = CoordinatorListener::spawn(ShardedCoordinator::new(4, 2)).unwrap();
+    let endpoint = TcpTransport::connect(listener.addr()).unwrap();
+    let mut transport = InMemoryTransport::new();
+    let mut run = run_registration_with(
+        &dists,
+        &config,
+        KEY_BITS,
+        endpoint,
+        &mut transport,
+        &mut rng,
+    )
+    .unwrap();
+
+    // Replay client 0's registration after the epoch completed.
+    let registry =
+        dubhe_he::EncryptedVector::encrypt_u64(run.agent.public_key(), &vec![0u64; 56], &mut rng);
+    let err = run
+        .server
+        .deliver(Envelope {
+            from: Party::Client(0),
+            to: Party::Server,
+            msg: ProtocolMsg::EncryptedRegistry {
+                client: 0,
+                registry,
+            },
+        })
+        .unwrap_err();
+    match err {
+        ProtocolError::Remote { detail } => {
+            assert!(detail.contains("after the total was broadcast"), "{detail}");
+        }
+        other => panic!("expected a relayed remote error, got {other}"),
+    }
+}
+
+#[test]
+fn garbage_frames_get_an_error_reply_and_a_hangup() {
+    let listener = CoordinatorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();
+    let mut raw = TcpStream::connect(listener.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\nHost: dubhe\r\n\r\n")
+        .unwrap();
+    // The listener reports the malformed frame and closes.
+    let (reply, _) = read_frame(&mut raw).expect("an error frame before the hangup");
+    match reply {
+        WireMsg::Error { detail } => assert!(detail.contains("malformed"), "{detail}"),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    assert_eq!(raw.read_to_end(&mut rest).unwrap(), 0, "connection closed");
+}
+
+#[test]
+fn truncated_frame_surfaces_as_error_reply() {
+    let listener = CoordinatorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();
+    let mut raw = TcpStream::connect(listener.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // A correct magic and a length announcing 100 bytes... of which only 3
+    // arrive before the client half-closes.
+    raw.write_all(&FRAME_MAGIC).unwrap();
+    raw.write_all(&100u32.to_be_bytes()).unwrap();
+    raw.write_all(b"abc").unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    let (reply, _) = read_frame(&mut raw).expect("an error frame before the hangup");
+    match reply {
+        WireMsg::Error { detail } => assert!(detail.contains("truncated"), "{detail}"),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn mid_exchange_disconnect_is_an_error_not_a_hang() {
+    // The "server" accepts and immediately drops the connection.
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let killer = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream);
+    });
+    let mut endpoint = TcpTransport::connect_with_timeout(addr, Duration::from_secs(2)).unwrap();
+    killer.join().unwrap();
+    let err = endpoint
+        .deliver(Envelope {
+            from: Party::Agent,
+            to: Party::Server,
+            msg: ProtocolMsg::TryVerdict {
+                best_try: 0,
+                distance: 0.0,
+            },
+        })
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ProtocolError::Disconnected
+                | ProtocolError::TruncatedFrame { .. }
+                | ProtocolError::Io { .. }
+        ),
+        "unexpected error shape: {err}"
+    );
+}
+
+#[test]
+fn silent_peer_times_out_instead_of_hanging() {
+    // The "server" accepts and never replies; the connector's read timeout
+    // must bound the wait.
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let holder = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(3));
+        drop(stream);
+    });
+    let mut endpoint =
+        TcpTransport::connect_with_timeout(addr, Duration::from_millis(300)).unwrap();
+    let started = std::time::Instant::now();
+    let err = endpoint
+        .announce_try(0, &[1, 2, 3])
+        .expect_err("silent peer must not look like success");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "timed out too slowly: {:?}",
+        started.elapsed()
+    );
+    assert!(matches!(err, ProtocolError::Io { .. }), "{err}");
+    holder.join().unwrap();
+}
+
+#[test]
+fn connect_to_a_dead_port_fails_cleanly() {
+    // Bind-then-drop guarantees the port is closed.
+    let addr = {
+        let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        l.local_addr().unwrap()
+    };
+    let err = TcpTransport::connect(addr).unwrap_err();
+    assert!(matches!(err, ProtocolError::Io { .. }), "{err}");
+}

@@ -47,7 +47,10 @@
 //!
 //! See the `examples/` directory for full scenarios (secure registration with
 //! real Paillier ciphertexts, FEMNIST-scale selection, an end-to-end federated
-//! training comparison, and the parameter search).
+//! training comparison, and the parameter search), and the repo's
+//! `docs/ARCHITECTURE.md` / `docs/THREAT_MODEL.md` for the system map — the
+//! protocol layer, the sharded coordinator, the framed TCP transport, and
+//! why the coordinator structurally cannot decrypt what it aggregates.
 
 /// Homomorphic-encryption substrate (re-export of `dubhe-he`).
 pub use dubhe_he as he;

@@ -1,0 +1,74 @@
+//! The documentation book must stay navigable: every relative markdown link
+//! in `README.md` and `docs/*.md` has to resolve to a real file. CI runs the
+//! same check as a shell step; this test keeps it enforced locally too.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts the `(target)` part of every inline markdown link in `text`,
+/// with any `#fragment` stripped.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(rel_end) = text[i + 2..].find(')') {
+                let target = &text[i + 2..i + 2 + rel_end];
+                let target = target.split('#').next().unwrap_or("");
+                if !target.is_empty() {
+                    targets.push(target.to_string());
+                }
+                i += 2 + rel_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+fn check_file(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let dir = path.parent().expect("doc files live in a directory");
+    link_targets(&text)
+        .into_iter()
+        .filter(|t| !t.starts_with("http://") && !t.starts_with("https://"))
+        .filter(|t| !t.starts_with("mailto:"))
+        .filter(|t| !dir.join(t).exists())
+        .map(|t| format!("{} -> {}", path.display(), t))
+        .collect()
+}
+
+#[test]
+fn every_relative_link_in_the_doc_book_resolves() {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    assert!(docs.is_dir(), "docs/ directory must exist");
+    for entry in std::fs::read_dir(&docs).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    assert!(
+        files.len() >= 3,
+        "expected README plus at least ARCHITECTURE and THREAT_MODEL"
+    );
+
+    let broken: Vec<String> = files.iter().flat_map(|f| check_file(f)).collect();
+    assert!(broken.is_empty(), "broken relative links:\n{broken:?}");
+}
+
+#[test]
+fn link_extraction_understands_markdown() {
+    let md = "see [a](docs/A.md), [b](B.md#frag), [web](https://x.y/z) and ![img](i.png)";
+    assert_eq!(
+        link_targets(md),
+        vec!["docs/A.md", "B.md", "https://x.y/z", "i.png"]
+    );
+}
