@@ -25,7 +25,7 @@ fn build_clients(n: usize) -> (Vec<FlClient>, dubhe_ml::Sequential) {
         .client_data
         .into_iter()
         .enumerate()
-        .map(|(id, ds)| FlClient::new(id, ds))
+        .map(|(id, ds)| FlClient::new(id, ds).expect("generated datasets are non-empty"))
         .collect();
     (clients, small_mlp(32, 10, 1))
 }

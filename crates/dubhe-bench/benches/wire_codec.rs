@@ -1,0 +1,156 @@
+//! Criterion benchmarks of the pluggable wire codecs: encode/decode
+//! throughput and bytes-per-message for `DBH1` (JSON) vs `DBH2` (canonical
+//! binary) over the representative protocol payloads — a length-56 encrypted
+//! registry upload and a 10-class encrypted distribution.
+//!
+//! Besides the criterion timings, the binary writes
+//! `results/BENCH_wire.json` with the measured bytes-per-message and
+//! per-operation latencies, so CI records the wire-format trajectory run
+//! over run (`cargo bench -p dubhe-bench --bench wire_codec -- --test`).
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dubhe_he::{EncryptedVector, Keypair};
+use dubhe_select::protocol::{CodecKind, Envelope, Party, ProtocolMsg, WireMsg};
+use rand::SeedableRng;
+use serde::Serialize;
+
+const KEY_BITS: u64 = 512;
+
+/// The two payloads the §6.4 overhead model is made of: a registry upload
+/// (registration epoch) and a scaled label distribution (multi-time round).
+fn sample_messages() -> Vec<(&'static str, WireMsg)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+    let mut registry = vec![0u64; 56];
+    registry[17] = 1;
+    let registry = EncryptedVector::encrypt_u64(&kp.public, &registry, &mut rng);
+    let distribution =
+        EncryptedVector::encrypt_u64(&kp.public, &[100u64, 3, 5, 8, 1, 0, 9, 2, 4, 7], &mut rng);
+    vec![
+        (
+            "registry_l56",
+            WireMsg::Envelope {
+                envelope: Envelope {
+                    from: Party::Client(7),
+                    to: Party::Server,
+                    msg: ProtocolMsg::EncryptedRegistry {
+                        client: 7,
+                        registry,
+                    },
+                },
+            },
+        ),
+        (
+            "distribution_c10",
+            WireMsg::Envelope {
+                envelope: Envelope {
+                    from: Party::Client(7),
+                    to: Party::Server,
+                    msg: ProtocolMsg::EncryptedDistribution {
+                        client: 7,
+                        try_index: 2,
+                        distribution,
+                    },
+                },
+            },
+        ),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let msgs = sample_messages();
+    let mut group = c.benchmark_group("wire_encode");
+    for (name, msg) in &msgs {
+        for codec in [CodecKind::Json, CodecKind::Binary] {
+            group.bench_with_input(BenchmarkId::new(*name, codec.name()), msg, |b, msg| {
+                b.iter(|| codec.encode(black_box(msg)).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let msgs = sample_messages();
+    let mut group = c.benchmark_group("wire_decode");
+    for (name, msg) in &msgs {
+        for codec in [CodecKind::Json, CodecKind::Binary] {
+            let payload = codec.encode(msg).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(*name, codec.name()),
+                &payload,
+                |b, payload| {
+                    b.iter(|| codec.decode(black_box(payload)).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+#[derive(Serialize)]
+struct WireRow {
+    message: &'static str,
+    codec: &'static str,
+    payload_bytes: usize,
+    encode_ns: f64,
+    decode_ns: f64,
+}
+
+/// Measures bytes-per-message and per-op latency for both codecs and writes
+/// `results/BENCH_wire.json`. Runs a single iteration in `--test` mode so
+/// the CI smoke step stays fast but still records the byte sizes.
+fn write_wire_report() {
+    let iters: u32 = if std::env::args().any(|a| a == "--test") {
+        1
+    } else {
+        200
+    };
+    let mut rows = Vec::new();
+    for (name, msg) in &sample_messages() {
+        for codec in [CodecKind::Json, CodecKind::Binary] {
+            let payload = codec.encode(msg).unwrap();
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(codec.encode(black_box(msg)).unwrap());
+            }
+            let encode_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(codec.decode(black_box(&payload)).unwrap());
+            }
+            let decode_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            rows.push(WireRow {
+                message: name,
+                codec: codec.name(),
+                payload_bytes: payload.len(),
+                encode_ns,
+                decode_ns,
+            });
+        }
+    }
+    for pair in rows.chunks(2) {
+        println!(
+            "{:<18} {}: {:>7} B   {}: {:>7} B   ({:.2}x smaller)",
+            pair[0].message,
+            pair[0].codec,
+            pair[0].payload_bytes,
+            pair[1].codec,
+            pair[1].payload_bytes,
+            pair[0].payload_bytes as f64 / pair[1].payload_bytes as f64
+        );
+    }
+    // Benches run with the package directory as cwd; aim for the workspace
+    // root's results/ where every other machine-readable artifact lives.
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    dubhe_bench::dump_json_at(&results, "BENCH_wire", &rows);
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+
+fn main() {
+    benches();
+    write_wire_report();
+}

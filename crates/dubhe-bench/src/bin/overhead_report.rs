@@ -30,8 +30,8 @@ use dubhe_he::packing::Packer;
 use dubhe_he::transport::{measure_packed, measure_vector, CommunicationCount};
 use dubhe_he::{EncryptedVector, FixedPointCodec, Keypair};
 use dubhe_select::protocol::{
-    run_registration, run_registration_with, run_try, CoordinatorListener, InMemoryTransport,
-    LinkStats, ShardedCoordinator, TcpTransport,
+    run_registration, run_registration_with, run_try, CodecKind, CoordinatorListener,
+    InMemoryTransport, LinkStats, ShardedCoordinator, TcpTransport,
 };
 use dubhe_select::{DubheConfig, DubheSelector};
 use rand::SeedableRng;
@@ -219,12 +219,15 @@ fn protocol_round_trip(key_bits: u64) -> dubhe_select::TransportStats {
     *stats
 }
 
-/// The identical session over loopback TCP against a 4-shard coordinator:
-/// every server-bound message crosses a real socket as a length-prefixed
-/// frame. The canonical byte totals must match the in-memory run exactly;
-/// the measured frame bytes show what framing and encoding add on top.
+/// The identical session over loopback TCP against a 4-shard coordinator,
+/// once per payload codec: every server-bound message crosses a real socket
+/// as a length-prefixed `DBH1` (JSON) or `DBH2` (canonical binary) frame.
+/// The canonical byte totals must match the in-memory run exactly for both;
+/// the measured frame bytes show what each codec's framing and encoding add
+/// on top. `DBH2` is asserted to stay within 1.10× of the canonical bytes —
+/// the paper's communication model — where `DBH1` pays ~2.5×.
 fn tcp_round_trip(key_bits: u64, in_memory: &dubhe_select::TransportStats) {
-    println!("\nsame session over loopback TCP (4-shard coordinator):");
+    println!("\nsame session over loopback TCP (4-shard coordinator), per wire codec:");
     let spec = FederatedSpec {
         family: DatasetFamily::MnistLike,
         rho: 10.0,
@@ -234,63 +237,86 @@ fn tcp_round_trip(key_bits: u64, in_memory: &dubhe_select::TransportStats) {
         test_samples_per_class: 1,
         seed: 101,
     };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
-    let dists = spec.build_partition(&mut rng).client_distributions();
-    let mut config = DubheConfig::group1();
-    config.k = 10;
 
-    let listener = CoordinatorListener::spawn(ShardedCoordinator::new(30, 4))
-        .expect("spawn loopback listener");
-    let endpoint = TcpTransport::connect(listener.addr()).expect("connect");
+    println!(
+        "  {:<6} {:>8} {:>16} {:>17} {:>10} {:>10}",
+        "codec", "frames", "measured (B)", "canonical (B)", "overhead", "time"
+    );
+    let mut overheads = Vec::new();
+    for codec in [CodecKind::Json, CodecKind::Binary] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let dists = spec.build_partition(&mut rng).client_distributions();
+        let mut config = DubheConfig::group1();
+        config.k = 10;
 
-    let t = Instant::now();
-    let mut transport = InMemoryTransport::new();
-    let mut run = run_registration_with(
-        &dists,
-        &config,
-        key_bits,
-        endpoint,
-        &mut transport,
-        &mut rng,
-    )
-    .expect("registration epoch over TCP");
-    let mut selector = DubheSelector::new(&dists, config);
-    run.agent.expect_tries(3);
-    for try_index in 0..3 {
-        let tentative = dubhe_select::ClientSelector::select(&mut selector, &mut rng);
-        run_try(
-            try_index,
-            &tentative,
-            &mut run.agent,
-            &mut run.clients,
-            &mut run.server,
+        let listener = CoordinatorListener::spawn(ShardedCoordinator::new(30, 4))
+            .expect("spawn loopback listener");
+        let endpoint = TcpTransport::connect_with_codec(listener.addr(), codec).expect("connect");
+
+        let t = Instant::now();
+        let mut transport = InMemoryTransport::new();
+        let mut run = run_registration_with(
+            &dists,
+            &config,
+            key_bits,
+            endpoint,
             &mut transport,
             &mut rng,
         )
-        .expect("multi-time try over TCP");
-    }
-    let elapsed = t.elapsed();
+        .expect("registration epoch over TCP");
+        let mut selector = DubheSelector::new(&dists, config);
+        run.agent.expect_tries(3);
+        for try_index in 0..3 {
+            let tentative = dubhe_select::ClientSelector::select(&mut selector, &mut rng);
+            run_try(
+                try_index,
+                &tentative,
+                &mut run.agent,
+                &mut run.clients,
+                &mut run.server,
+                &mut transport,
+                &mut rng,
+            )
+            .expect("multi-time try over TCP");
+        }
+        let elapsed = t.elapsed();
 
-    let canonical = transport.stats();
-    assert_eq!(
-        canonical, in_memory,
-        "TCP session must meter the identical canonical traffic"
+        let canonical = transport.stats();
+        assert_eq!(
+            canonical,
+            in_memory,
+            "{} TCP session must meter the identical canonical traffic",
+            codec.name()
+        );
+        let wire = *run.server.wire_stats();
+        let canonical_total = canonical.total();
+        let overhead = wire.total_bytes() as f64 / canonical_total.bytes as f64;
+        println!(
+            "  {:<6} {:>8} {:>16} {:>17} {:>9.2}x {:>10.2?}",
+            codec.name(),
+            wire.frames_sent + wire.frames_received,
+            wire.total_bytes(),
+            canonical_total.bytes,
+            overhead,
+            elapsed,
+        );
+        overheads.push((codec, overhead));
+        run.server.shutdown().expect("polite shutdown");
+        drop(listener);
+    }
+    let dbh2 = overheads
+        .iter()
+        .find(|(c, _)| *c == CodecKind::Binary)
+        .map(|(_, o)| *o)
+        .expect("DBH2 measured");
+    assert!(
+        dbh2 <= 1.10,
+        "DBH2 framing overhead {dbh2:.3}x exceeds the 1.10x budget over canonical bytes"
     );
-    let wire = *run.server.wire_stats();
-    let canonical_total = canonical.total();
     println!(
-        "  canonical        {:>5} messages {:>12} bytes  (identical to in-memory: OK)",
-        canonical_total.messages, canonical_total.bytes
+        "  DBH2 stays within the 1.10x canonical budget (measured {dbh2:.3}x): the binary \
+         codec makes measured wire traffic match the paper's communication model."
     );
-    println!(
-        "  measured frames  {:>5} messages {:>12} bytes  ({:.2}x framing/encoding overhead)",
-        wire.frames_sent + wire.frames_received,
-        wire.total_bytes(),
-        wire.total_bytes() as f64 / canonical_total.bytes as f64,
-    );
-    println!("  session over loopback TCP took {elapsed:.2?}");
-    run.server.shutdown().expect("polite shutdown");
-    drop(listener);
 }
 
 /// Runs a miniature federated training with the real encrypted exchange
@@ -330,9 +356,15 @@ fn encrypted_simulation(key_bits: u64) {
 
     let (modeled, modeled_time) = run_mode(SecureMode::Modeled { key_bits });
     let (encrypted, encrypted_time) = run_mode(SecureMode::Encrypted { key_bits });
-    let (tcp, tcp_time) = run_mode(SecureMode::EncryptedTcp {
+    let (tcp_json, json_time) = run_mode(SecureMode::EncryptedTcp {
         key_bits,
         shards: 4,
+        codec: CodecKind::Json,
+    });
+    let (tcp_binary, binary_time) = run_mode(SecureMode::EncryptedTcp {
+        key_bits,
+        shards: 4,
+        codec: CodecKind::Binary,
     });
     println!(
         "  modeled   : {:>12} ciphertext bytes, {:>5} overhead messages ({modeled_time:.2?})",
@@ -344,12 +376,17 @@ fn encrypted_simulation(key_bits: u64) {
         encrypted.total_ciphertext_bytes(),
         encrypted.dubhe_overhead_messages(),
     );
-    println!(
-        "  tcp (4 sh): {:>12} ciphertext bytes, {:>5} overhead messages, {:>12} framed bytes ({tcp_time:.2?})",
-        tcp.total_ciphertext_bytes(),
-        tcp.dubhe_overhead_messages(),
-        tcp.total_wire_frame_bytes(),
-    );
+    for (name, tcp, time) in [
+        ("tcp DBH1", &tcp_json, json_time),
+        ("tcp DBH2", &tcp_binary, binary_time),
+    ] {
+        println!(
+            "  {name:<9} : {:>12} ciphertext bytes, {:>5} overhead messages, {:>12} framed bytes ({time:.2?})",
+            tcp.total_ciphertext_bytes(),
+            tcp.dubhe_overhead_messages(),
+            tcp.total_wire_frame_bytes(),
+        );
+    }
     assert_eq!(
         modeled.total_ciphertext_bytes(),
         encrypted.total_ciphertext_bytes(),
@@ -359,22 +396,29 @@ fn encrypted_simulation(key_bits: u64) {
         modeled.dubhe_overhead_messages(),
         encrypted.dubhe_overhead_messages()
     );
-    assert_eq!(
-        tcp.total_ciphertext_bytes(),
-        modeled.total_ciphertext_bytes(),
-        "canonical accounting must be transport-independent"
-    );
-    assert_eq!(
-        tcp.dubhe_overhead_messages(),
-        modeled.dubhe_overhead_messages()
-    );
+    for tcp in [&tcp_json, &tcp_binary] {
+        assert_eq!(
+            tcp.total_ciphertext_bytes(),
+            modeled.total_ciphertext_bytes(),
+            "canonical accounting must be transport- and codec-independent"
+        );
+        assert_eq!(
+            tcp.dubhe_overhead_messages(),
+            modeled.dubhe_overhead_messages()
+        );
+        assert!(
+            tcp.total_wire_frame_bytes() > tcp.total_ciphertext_bytes(),
+            "real frames include framing and encoding overhead"
+        );
+    }
     assert!(
-        tcp.total_wire_frame_bytes() > tcp.total_ciphertext_bytes(),
-        "real frames include framing and encoding overhead"
+        tcp_binary.total_wire_frame_bytes() < tcp_json.total_wire_frame_bytes(),
+        "DBH2 must frame the identical run in fewer bytes than DBH1"
     );
     println!(
         "  ledgers match: in-memory and TCP exchanges reproduce the modeled accounting \
-         (framing adds {:.2}x on the wire).",
-        tcp.total_wire_frame_bytes() as f64 / tcp.total_ciphertext_bytes() as f64
+         (framing adds {:.2}x under DBH1, {:.2}x under DBH2, on uplink ciphertext bytes).",
+        tcp_json.total_wire_frame_bytes() as f64 / tcp_json.total_ciphertext_bytes() as f64,
+        tcp_binary.total_wire_frame_bytes() as f64 / tcp_binary.total_ciphertext_bytes() as f64
     );
 }

@@ -188,7 +188,13 @@ pub fn print_series(name: &str, values: &[f64]) {
 /// Writes any serialisable result object as JSON next to the binary output so
 /// EXPERIMENTS.md can reference machine-readable results.
 pub fn dump_json<T: Serialize>(experiment: &str, value: &T) {
-    let dir = std::path::Path::new("results");
+    dump_json_at(std::path::Path::new("results"), experiment, value);
+}
+
+/// [`dump_json`] with an explicit results directory — benches run with the
+/// package directory as cwd, so they pass the workspace-root `results/` to
+/// keep every machine-readable artifact in one place.
+pub fn dump_json_at<T: Serialize>(dir: &std::path::Path, experiment: &str, value: &T) {
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }

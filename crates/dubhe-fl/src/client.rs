@@ -7,6 +7,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::error::FlError;
+
 /// Which local optimizer clients use. The paper's clients run Adam with
 /// lr = 1e-4; SGD is provided for fast laptop-scale runs and ablations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,6 +69,24 @@ impl LocalTrainingConfig {
             optimizer: LocalOptimizer::paper_default(),
         }
     }
+
+    /// Checks the hyper-parameters are usable: at least one local epoch and
+    /// a non-zero batch size. Training entry points call this so a bad
+    /// configuration surfaces as a typed [`FlError`] instead of a panic —
+    /// the same no-panic policy the protocol layer follows.
+    pub fn validate(&self) -> Result<(), FlError> {
+        if self.epochs == 0 {
+            return Err(FlError::InvalidLocalConfig {
+                detail: "need at least one local epoch",
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(FlError::InvalidLocalConfig {
+                detail: "batch size must be at least 1",
+            });
+        }
+        Ok(())
+    }
 }
 
 /// The result of one client's local training.
@@ -92,10 +112,14 @@ pub struct FlClient {
 }
 
 impl FlClient {
-    /// Creates a client.
-    pub fn new(id: usize, dataset: Dataset) -> Self {
-        assert!(!dataset.is_empty(), "client {id} has no data");
-        FlClient { id, dataset }
+    /// Creates a client. A client without data cannot train or register, so
+    /// an empty dataset is a typed [`FlError::EmptyClientDataset`] — never a
+    /// panic inside federation assembly.
+    pub fn new(id: usize, dataset: Dataset) -> Result<Self, FlError> {
+        if dataset.is_empty() {
+            return Err(FlError::EmptyClientDataset { client: id });
+        }
+        Ok(FlClient { id, dataset })
     }
 
     /// The client's label distribution (`p_l` in the paper).
@@ -122,14 +146,16 @@ impl FlClient {
     /// Runs local training starting from the broadcast global weights.
     ///
     /// `round_seed` makes batching deterministic per (round, client) pair so
-    /// parallel execution yields bit-identical results to sequential execution.
+    /// parallel execution yields bit-identical results to sequential
+    /// execution. An unusable configuration (zero epochs or batch size)
+    /// returns [`FlError::InvalidLocalConfig`].
     pub fn local_train(
         &self,
         global_model: &Sequential,
         config: &LocalTrainingConfig,
         round_seed: u64,
-    ) -> LocalUpdate {
-        assert!(config.epochs > 0, "need at least one local epoch");
+    ) -> Result<LocalUpdate, FlError> {
+        config.validate()?;
         let mut model = global_model.clone();
         let mut optimizer = config.optimizer.build();
         let mut rng = StdRng::seed_from_u64(
@@ -143,7 +169,7 @@ impl FlClient {
                 batches_seen += 1;
             }
         }
-        LocalUpdate {
+        Ok(LocalUpdate {
             client_id: self.id,
             weights: model.get_weights(),
             samples: self.dataset.len(),
@@ -152,7 +178,7 @@ impl FlClient {
             } else {
                 total_loss / batches_seen as f32
             },
-        }
+        })
     }
 }
 
@@ -187,6 +213,7 @@ mod tests {
             id,
             generate_dataset(&cfg, &CD::from_counts(counts), &mut rng),
         )
+        .expect("non-empty dataset")
     }
 
     fn model() -> Sequential {
@@ -207,7 +234,7 @@ mod tests {
             batch_size: 8,
             optimizer: LocalOptimizer::Sgd { lr: 0.05 },
         };
-        let update = client.local_train(&global, &cfg, 1);
+        let update = client.local_train(&global, &cfg, 1).unwrap();
         assert_eq!(update.client_id, 0);
         assert_eq!(update.samples, 20);
         assert_ne!(update.weights, global.get_weights());
@@ -219,10 +246,10 @@ mod tests {
         let client = client_with(vec![5, 5, 5, 0, 0, 0, 0, 0, 0, 0], 3);
         let global = model();
         let cfg = LocalTrainingConfig::group1();
-        let a = client.local_train(&global, &cfg, 42);
-        let b = client.local_train(&global, &cfg, 42);
+        let a = client.local_train(&global, &cfg, 42).unwrap();
+        let b = client.local_train(&global, &cfg, 42).unwrap();
         assert_eq!(a.weights, b.weights);
-        let c = client.local_train(&global, &cfg, 43);
+        let c = client.local_train(&global, &cfg, 43).unwrap();
         assert_ne!(
             a.weights, c.weights,
             "different round seeds shuffle differently"
@@ -250,20 +277,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "has no data")]
-    fn empty_client_panics() {
-        let _ = FlClient::new(0, Dataset::empty(4, 2));
+    fn empty_client_is_a_typed_error() {
+        assert_eq!(
+            FlClient::new(7, Dataset::empty(4, 2)).unwrap_err(),
+            FlError::EmptyClientDataset { client: 7 }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "at least one local epoch")]
-    fn zero_epochs_panics() {
+    fn invalid_local_configs_are_typed_errors() {
         let client = client_with(vec![5, 0, 0, 0, 0, 0, 0, 0, 0, 0], 9);
-        let cfg = LocalTrainingConfig {
-            epochs: 0,
-            batch_size: 8,
-            optimizer: LocalOptimizer::Sgd { lr: 0.1 },
-        };
-        let _ = client.local_train(&model(), &cfg, 0);
+        for (epochs, batch_size) in [(0, 8), (1, 0)] {
+            let cfg = LocalTrainingConfig {
+                epochs,
+                batch_size,
+                optimizer: LocalOptimizer::Sgd { lr: 0.1 },
+            };
+            let err = client.local_train(&model(), &cfg, 0).unwrap_err();
+            assert!(
+                matches!(err, FlError::InvalidLocalConfig { .. }),
+                "E={epochs} B={batch_size}: {err}"
+            );
+            assert_eq!(cfg.validate().unwrap_err(), err);
+        }
+        assert!(LocalTrainingConfig::group1().validate().is_ok());
     }
 }

@@ -1,0 +1,74 @@
+//! Error type of the federated-learning simulator.
+//!
+//! The FL layer follows the same no-panic policy as the protocol layer in
+//! `dubhe-select`: misconfiguration and invalid inputs surface as typed,
+//! recoverable errors at the API boundary instead of aborting a long
+//! simulation. [`FlError`] wraps the selection/protocol errors from below so
+//! drivers handle a single error type.
+
+use dubhe_select::{ProtocolError, SelectError};
+
+/// Errors returned by the FL client and simulation entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// A client was constructed over an empty dataset.
+    EmptyClientDataset {
+        /// The offending client id.
+        client: usize,
+    },
+    /// A [`LocalTrainingConfig`](crate::client::LocalTrainingConfig) failed
+    /// validation (zero epochs or a zero batch size).
+    InvalidLocalConfig {
+        /// Which constraint was violated.
+        detail: &'static str,
+    },
+    /// The selection layer (or the secure protocol under it) failed.
+    Select(SelectError),
+}
+
+impl std::fmt::Display for FlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlError::EmptyClientDataset { client } => {
+                write!(f, "client {client} has no data")
+            }
+            FlError::InvalidLocalConfig { detail } => {
+                write!(f, "invalid local-training configuration: {detail}")
+            }
+            FlError::Select(e) => write!(f, "selection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {}
+
+impl From<SelectError> for FlError {
+    fn from(e: SelectError) -> Self {
+        FlError::Select(e)
+    }
+}
+
+impl From<ProtocolError> for FlError {
+    fn from(e: ProtocolError) -> Self {
+        FlError::Select(SelectError::Protocol(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e = FlError::EmptyClientDataset { client: 4 };
+        assert!(e.to_string().contains("client 4"));
+        let e = FlError::InvalidLocalConfig {
+            detail: "need at least one local epoch",
+        };
+        assert!(e.to_string().contains("local epoch"));
+        let e: FlError = SelectError::EmptySelection.into();
+        assert!(matches!(e, FlError::Select(_)));
+        let e: FlError = ProtocolError::Disconnected.into();
+        assert!(e.to_string().contains("disconnected"));
+    }
+}

@@ -59,6 +59,7 @@ pub mod aggregate;
 pub mod client;
 pub mod comm;
 pub mod divergence;
+pub mod error;
 pub mod history;
 pub mod models;
 pub mod sim;
@@ -67,6 +68,7 @@ pub use aggregate::{aggregate, Aggregation};
 pub use client::{FlClient, LocalOptimizer, LocalTrainingConfig, LocalUpdate};
 pub use comm::{CommLedger, RoundComm};
 pub use divergence::{centralized_reference, update_dispersion, weight_distance, DivergenceTrace};
+pub use error::FlError;
 pub use history::{History, RoundRecord};
 pub use sim::{FlSimulation, SecureMode, SimulationConfig};
 

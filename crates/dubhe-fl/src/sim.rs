@@ -23,8 +23,8 @@ use dubhe_data::{l1_distance, ClassDistribution, Dataset};
 use dubhe_ml::Sequential;
 use dubhe_select::multi_time_select;
 use dubhe_select::protocol::{
-    run_registration_with, run_try, Coordinator, CoordinatorListener, CoordinatorServer, Envelope,
-    InMemoryTransport, RegistrationRun, ShardedCoordinator, TcpTransport,
+    run_registration_with, run_try, CodecKind, Coordinator, CoordinatorListener, CoordinatorServer,
+    Envelope, InMemoryTransport, RegistrationRun, ShardedCoordinator, TcpTransport,
 };
 use dubhe_select::selector::{population_distribution, ClientSelector};
 use dubhe_select::{ProtocolError, SelectError};
@@ -34,8 +34,9 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregate::{aggregate, Aggregation};
-use crate::client::{FlClient, LocalTrainingConfig};
+use crate::client::{FlClient, LocalTrainingConfig, LocalUpdate};
 use crate::comm::{encrypted_vector_bytes, model_update_bytes, CommLedger, RoundComm};
+use crate::error::FlError;
 use crate::history::{History, RoundRecord};
 
 /// How the simulator treats the secure selection protocol.
@@ -55,17 +56,23 @@ pub enum SecureMode {
     },
     /// Like [`Encrypted`](Self::Encrypted), but the coordinator runs behind
     /// a loopback TCP listener: every server-bound message crosses a real
-    /// socket as a length-prefixed frame, the coordinator state is sharded
-    /// across `shards` rayon-parallel folds, and the ledger additionally
-    /// records the measured frame bytes
-    /// ([`RoundComm::wire_frame_bytes`](crate::comm::RoundComm::wire_frame_bytes)).
+    /// socket as a length-prefixed frame in the selected payload `codec`
+    /// (`DBH1` JSON or `DBH2` canonical binary — negotiated from the frame
+    /// magic by the listener), the coordinator state is sharded across
+    /// `shards` rayon-parallel folds, and the ledger additionally records
+    /// the measured frame bytes per codec
+    /// ([`RoundComm::wire_frame_bytes`](crate::comm::RoundComm::wire_frame_bytes)
+    /// / [`RoundComm::wire_codec`](crate::comm::RoundComm::wire_codec)).
     /// Selections, training history and canonical byte totals are identical
-    /// to the other two modes on the same seed.
+    /// to the other two modes (and across codecs) on the same seed; only the
+    /// measured framing differs.
     EncryptedTcp {
         /// Key size of the real epoch keypair the agent generates.
         key_bits: u64,
         /// Shard count of the remote coordinator (≥ 1).
         shards: usize,
+        /// The wire payload codec the connector frames requests in.
+        codec: CodecKind,
     },
 }
 
@@ -85,6 +92,14 @@ impl SecureMode {
             self,
             SecureMode::Encrypted { .. } | SecureMode::EncryptedTcp { .. }
         )
+    }
+
+    /// The wire payload codec of a socket-backed mode (`None` otherwise).
+    pub fn wire_codec(&self) -> Option<CodecKind> {
+        match *self {
+            SecureMode::EncryptedTcp { codec, .. } => Some(codec),
+            _ => None,
+        }
     }
 }
 
@@ -250,7 +265,7 @@ impl FlSimulation {
         let clients = datasets
             .into_iter()
             .enumerate()
-            .map(|(id, ds)| FlClient::new(id, ds))
+            .map(|(id, ds)| FlClient::new(id, ds).expect("every client dataset must be non-empty"))
             .collect();
         FlSimulation::new(clients, test, global_model, selector, config)
     }
@@ -295,11 +310,12 @@ impl FlSimulation {
 
     /// Runs one round and returns its record.
     ///
-    /// Fails with [`SelectError`] instead of panicking when the selector
-    /// produces an empty or out-of-range participant set, or when the
-    /// encrypted exchange is violated — a misconfigured selector cannot
-    /// abort a long simulation from inside.
-    pub fn run_round(&mut self, round: usize) -> Result<RoundRecord, SelectError> {
+    /// Fails with a typed [`FlError`] instead of panicking when the selector
+    /// produces an empty or out-of-range participant set, when the encrypted
+    /// exchange is violated, or when the local-training configuration is
+    /// unusable — a misconfigured run cannot abort a long simulation from
+    /// inside.
+    pub fn run_round(&mut self, round: usize) -> Result<RoundRecord, FlError> {
         let mut rng =
             StdRng::seed_from_u64(self.config.seed.wrapping_add(round as u64 * 0x5851_F42D));
         let mut crypto_rng = self.crypto_rng(round);
@@ -316,10 +332,10 @@ impl FlSimulation {
             if let Some(config) = self.selector.secure_config().cloned() {
                 let n = self.client_distributions.len();
                 let server = match self.config.secure {
-                    SecureMode::EncryptedTcp { shards, .. } => {
+                    SecureMode::EncryptedTcp { shards, codec, .. } => {
                         let listener =
                             CoordinatorListener::spawn(ShardedCoordinator::new(n, shards))?;
-                        let endpoint = TcpTransport::connect(listener.addr())?;
+                        let endpoint = TcpTransport::connect_with_codec(listener.addr(), codec)?;
                         self.listener = Some(listener);
                         SimCoordinator::Remote(endpoint)
                     }
@@ -380,14 +396,15 @@ impl FlSimulation {
             self.selector.select(&mut rng)
         };
         if selected.is_empty() {
-            return Err(SelectError::EmptySelection);
+            return Err(SelectError::EmptySelection.into());
         }
 
-        // 2. Broadcast + local training (parallel across clients).
+        // 2. Broadcast + local training (parallel across clients). An
+        //    unusable training configuration surfaces as one typed error.
         let round_seed = self.config.seed ^ (round as u64);
         let global = &self.global_model;
         let local_cfg = &self.config.local;
-        let updates: Vec<_> = if self.config.parallel {
+        let results: Vec<Result<LocalUpdate, FlError>> = if self.config.parallel {
             selected
                 .par_iter()
                 .map(|&id| self.clients[id].local_train(global, local_cfg, round_seed))
@@ -398,6 +415,7 @@ impl FlSimulation {
                 .map(|&id| self.clients[id].local_train(global, local_cfg, round_seed))
                 .collect()
         };
+        let updates: Vec<LocalUpdate> = results.into_iter().collect::<Result<_, _>>()?;
 
         // 3. Aggregation (Eq. 1).
         let new_weights = aggregate(&updates, self.config.aggregation);
@@ -427,12 +445,17 @@ impl FlSimulation {
             // ciphertext widths make these totals identical to the modeled
             // branch below for the same key size. Socket-backed rounds also
             // record the real framed bytes that crossed the loopback wire.
-            let wire_delta = self
-                .protocol
-                .as_ref()
-                .map_or(0, |r| r.server.wire_bytes() - wire_before);
-            RoundComm::from_transport(transport.stats(), k, model_bytes)
-                .with_wire_frames(wire_delta)
+            let base = RoundComm::from_transport(transport.stats(), k, model_bytes);
+            match self.config.secure.wire_codec() {
+                Some(codec) => {
+                    let wire_delta = self
+                        .protocol
+                        .as_ref()
+                        .map_or(0, |r| r.server.wire_bytes() - wire_before);
+                    base.with_wire_frames(wire_delta, codec)
+                }
+                None => base,
+            }
         } else {
             // Modeled accounting: registration happens once (round 0) for
             // selectors with a registry epoch; its ciphertext cost is N
@@ -467,6 +490,7 @@ impl FlSimulation {
                 },
                 model_bytes,
                 wire_frame_bytes: 0,
+                wire_codec: None,
             }
         };
         self.ledger.record(comm);
@@ -482,7 +506,7 @@ impl FlSimulation {
     }
 
     /// Runs the configured number of rounds and returns the history.
-    pub fn run(&mut self) -> Result<History, SelectError> {
+    pub fn run(&mut self) -> Result<History, FlError> {
         let mut history = History::new();
         for round in 0..self.config.rounds {
             history.push(self.run_round(round)?);
@@ -644,10 +668,10 @@ mod tests {
     #[test]
     fn tcp_encrypted_mode_matches_the_in_memory_modes_end_to_end() {
         // The acceptance pin of the socket-backed mode: same seeds, same
-        // selector — one run modeled, one through in-process actors, one over
-        // loopback TCP against a 4-shard coordinator. Training history and
-        // canonical ledger totals must be identical across all three; only
-        // the TCP run additionally measures real frame bytes.
+        // selector — one run modeled, one through in-process actors, and one
+        // over loopback TCP against a 4-shard coordinator *per codec*.
+        // Training history and canonical ledger totals must be identical
+        // across all of them; only the measured frame bytes differ by codec.
         let (client_data, test, dists) = build_federation(24, 10.0, 1.5, 9);
         let run_mode = |secure: SecureMode| {
             let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
@@ -668,36 +692,56 @@ mod tests {
 
         let (modeled_hist, modeled_ledger) = run_mode(SecureMode::Modeled { key_bits: 256 });
         let (encrypted_hist, encrypted_ledger) = run_mode(SecureMode::Encrypted { key_bits: 256 });
-        let (tcp_hist, tcp_ledger) = run_mode(SecureMode::EncryptedTcp {
+        let (json_hist, json_ledger) = run_mode(SecureMode::EncryptedTcp {
             key_bits: 256,
             shards: 4,
+            codec: CodecKind::Json,
+        });
+        let (binary_hist, binary_ledger) = run_mode(SecureMode::EncryptedTcp {
+            key_bits: 256,
+            shards: 4,
+            codec: CodecKind::Binary,
         });
 
-        assert_eq!(tcp_hist, modeled_hist, "TCP must reproduce the decisions");
-        assert_eq!(tcp_hist, encrypted_hist);
+        assert_eq!(json_hist, modeled_hist, "TCP must reproduce the decisions");
+        assert_eq!(json_hist, encrypted_hist);
         assert_eq!(
-            tcp_ledger.total_ciphertext_bytes(),
-            modeled_ledger.total_ciphertext_bytes(),
-            "canonical accounting is transport-independent"
+            binary_hist, json_hist,
+            "codec choice must not change any decision"
         );
-        assert_eq!(
-            tcp_ledger.dubhe_overhead_messages(),
-            modeled_ledger.dubhe_overhead_messages()
-        );
-        // Only the socket-backed run pays (and measures) framing.
+        for tcp_ledger in [&json_ledger, &binary_ledger] {
+            assert_eq!(
+                tcp_ledger.total_ciphertext_bytes(),
+                modeled_ledger.total_ciphertext_bytes(),
+                "canonical accounting is transport- and codec-independent"
+            );
+            assert_eq!(
+                tcp_ledger.dubhe_overhead_messages(),
+                modeled_ledger.dubhe_overhead_messages()
+            );
+            // Framed traffic includes headers and encoding on top of the
+            // uplink ciphertexts, whichever codec frames it.
+            assert!(tcp_ledger.total_wire_frame_bytes() > tcp_ledger.total_ciphertext_bytes());
+            // Every round with protocol traffic shows measured frames.
+            assert!(tcp_ledger.rounds[0].wire_frame_bytes > 0);
+            assert!(
+                tcp_ledger.rounds[1].wire_frame_bytes > 0,
+                "multi-time rounds cross the wire too"
+            );
+        }
+        // Only the socket-backed runs pay (and measure, per codec) framing.
         assert_eq!(modeled_ledger.total_wire_frame_bytes(), 0);
         assert_eq!(encrypted_ledger.total_wire_frame_bytes(), 0);
-        assert!(
-            tcp_ledger.total_wire_frame_bytes() > tcp_ledger.total_ciphertext_bytes(),
-            "framed traffic ({}) includes headers and encoding on top of ciphertexts ({})",
-            tcp_ledger.total_wire_frame_bytes(),
-            tcp_ledger.total_ciphertext_bytes()
+        assert_eq!(
+            json_ledger.wire_frame_bytes_for(CodecKind::Json),
+            json_ledger.total_wire_frame_bytes()
         );
-        // Every round with protocol traffic shows measured frames.
-        assert!(tcp_ledger.rounds[0].wire_frame_bytes > 0);
+        assert_eq!(json_ledger.wire_frame_bytes_for(CodecKind::Binary), 0);
         assert!(
-            tcp_ledger.rounds[1].wire_frame_bytes > 0,
-            "multi-time rounds cross the wire too"
+            binary_ledger.total_wire_frame_bytes() < json_ledger.total_wire_frame_bytes(),
+            "DBH2 ({}) must frame the identical session in fewer bytes than DBH1 ({})",
+            binary_ledger.total_wire_frame_bytes(),
+            json_ledger.total_wire_frame_bytes()
         );
     }
 

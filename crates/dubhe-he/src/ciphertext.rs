@@ -88,7 +88,7 @@ impl Ciphertext {
     /// Multiplies the encrypted value by a plaintext scalar:
     /// `Dec(cᵏ) = k · Dec(c) (mod n)`.
     pub fn mul_plain(&self, k: &BigUint) -> Ciphertext {
-        let value = self.value.modpow(k, self.public.n_squared());
+        let value = self.public.pow_mod_n_squared(&self.value, k);
         Ciphertext {
             value,
             public: self.public.clone(),
@@ -105,7 +105,7 @@ impl Ciphertext {
     /// to the original — used when an agent forwards aggregated values.
     pub fn rerandomise<R: Rng + ?Sized>(&self, rng: &mut R) -> Ciphertext {
         let r = self.public.sample_randomness(rng);
-        let r_to_n = r.modpow(self.public.n(), self.public.n_squared());
+        let r_to_n = self.public.pow_mod_n_squared(&r, self.public.n());
         let value = (&self.value * r_to_n) % self.public.n_squared();
         Ciphertext {
             value,

@@ -1,0 +1,322 @@
+//! Canonical binary encoding of the HE objects that cross the wire.
+//!
+//! The `DBH2` payload codec of the protocol layer bottoms out here: every
+//! ciphertext is emitted as a **fixed-width big-endian limb** of exactly
+//! [`ciphertext_size_bytes`] bytes (⌈2·|n|/8⌉ — the width of its residue
+//! class), and a public key as its ⌈|n|/8⌉-byte modulus. These are the same
+//! widths [`crate::transport`] models, which is what makes *measured* frame
+//! bytes line up with the *modeled* canonical accounting: an encoded vector
+//! is its canonical ciphertext payload plus a constant-size header, instead
+//! of the ~2.5× expansion of decimal-string JSON.
+//!
+//! Layouts (all integers big-endian):
+//!
+//! ```text
+//! public key   := u32 len | n (len = ⌈|n|/8⌉ bytes, minimal big-endian)
+//! ciphertext   := value, zero-padded to ⌈2·|n|/8⌉ bytes (width from the key)
+//! vector       := public key | u32 count | count × ciphertext
+//! private key  := public key | u32 len | p | u32 len | q
+//! ```
+//!
+//! Decoding is defensive: truncated input, counts that overrun the payload,
+//! residues `≥ n²` and key material that fails validation all surface as
+//! typed [`HeError`]s — never a panic, never an unbounded allocation (the
+//! element count is checked against the remaining payload *before* any
+//! buffer is reserved).
+
+use num_bigint::BigUint;
+use num_traits::Zero;
+
+use crate::ciphertext::Ciphertext;
+use crate::error::HeError;
+use crate::keys::{PrivateKey, PublicKey};
+use crate::transport::ciphertext_size_bytes;
+use crate::vector::EncryptedVector;
+
+/// Appends `v` as 4 big-endian bytes.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends `v` as 8 big-endian bytes.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends `x` left-padded with zeros to exactly `width` bytes.
+///
+/// Returns [`HeError::ValueTooWide`] if `x` does not fit.
+pub fn put_biguint_fixed(out: &mut Vec<u8>, x: &BigUint, width: usize) -> Result<(), HeError> {
+    let bytes = x.to_bytes_be();
+    // `to_bytes_be` renders zero as one 0x00 byte; canonically it needs none.
+    let bytes: &[u8] = if x.is_zero() { &[] } else { &bytes };
+    if bytes.len() > width {
+        return Err(HeError::ValueTooWide {
+            bytes: bytes.len(),
+            width,
+        });
+    }
+    out.resize(out.len() + (width - bytes.len()), 0);
+    out.extend_from_slice(bytes);
+    Ok(())
+}
+
+/// Takes the next `n` bytes off the cursor.
+pub fn take_bytes<'a>(cur: &mut &'a [u8], n: usize) -> Result<&'a [u8], HeError> {
+    if cur.len() < n {
+        return Err(HeError::MalformedEncoding {
+            detail: "truncated: fewer bytes than the encoding announces",
+        });
+    }
+    let (head, tail) = cur.split_at(n);
+    *cur = tail;
+    Ok(head)
+}
+
+/// Takes a big-endian `u32` off the cursor.
+pub fn take_u32(cur: &mut &[u8]) -> Result<u32, HeError> {
+    let b = take_bytes(cur, 4)?;
+    Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Takes a big-endian `u64` off the cursor.
+pub fn take_u64(cur: &mut &[u8]) -> Result<u64, HeError> {
+    let b = take_bytes(cur, 8)?;
+    Ok(u64::from_be_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
+}
+
+/// Encodes a public key: `u32` length + the minimal big-endian modulus.
+///
+/// The length always equals
+/// [`public_key_size_bytes`](crate::transport::public_key_size_bytes) for
+/// the key, so the modulus portion matches the transport model exactly.
+pub fn encode_public_key(public: &PublicKey, out: &mut Vec<u8>) {
+    let n = public.n().to_bytes_be();
+    put_u32(out, n.len() as u32);
+    out.extend_from_slice(&n);
+}
+
+/// Decodes a public key. Rejects a zero modulus and non-minimal encodings
+/// (leading zero bytes), so one key has exactly one encoding.
+pub fn decode_public_key(cur: &mut &[u8]) -> Result<PublicKey, HeError> {
+    let len = take_u32(cur)? as usize;
+    let bytes = take_bytes(cur, len)?;
+    if bytes.is_empty() || bytes[0] == 0 {
+        return Err(HeError::MalformedEncoding {
+            detail: "public key modulus must be non-zero and minimally encoded",
+        });
+    }
+    Ok(PublicKey::new(BigUint::from_bytes_be(bytes)))
+}
+
+/// Encodes one ciphertext at the fixed width of its key's residue class.
+///
+/// The key itself is *not* emitted — vectors carry it once, and single
+/// ciphertexts travel alongside a key the receiver already holds.
+pub fn encode_ciphertext(ct: &Ciphertext, out: &mut Vec<u8>) -> Result<(), HeError> {
+    put_biguint_fixed(out, ct.raw(), ciphertext_size_bytes(ct.public_key()))
+}
+
+/// Decodes one fixed-width ciphertext under `public`, rejecting residues
+/// outside `Z_{n²}`.
+pub fn decode_ciphertext(cur: &mut &[u8], public: &PublicKey) -> Result<Ciphertext, HeError> {
+    let bytes = take_bytes(cur, ciphertext_size_bytes(public))?;
+    let value = BigUint::from_bytes_be(bytes);
+    if &value >= public.n_squared() {
+        return Err(HeError::MalformedEncoding {
+            detail: "ciphertext residue is not below n²",
+        });
+    }
+    Ok(Ciphertext::from_raw(value, public.clone()))
+}
+
+/// Encodes an element-wise encrypted vector: the key once, then `count`
+/// fixed-width ciphertexts. The ciphertext portion is exactly
+/// [`vector_wire_bytes`](crate::transport::vector_wire_bytes).
+pub fn encode_vector(vector: &EncryptedVector, out: &mut Vec<u8>) -> Result<(), HeError> {
+    encode_public_key(vector.public_key(), out);
+    put_u32(out, vector.len() as u32);
+    let width = ciphertext_size_bytes(vector.public_key());
+    for ct in vector.elements() {
+        put_biguint_fixed(out, ct.raw(), width)?;
+    }
+    Ok(())
+}
+
+/// Decodes an encrypted vector. The announced element count is checked
+/// against the remaining payload before anything is allocated.
+pub fn decode_vector(cur: &mut &[u8]) -> Result<EncryptedVector, HeError> {
+    let public = decode_public_key(cur)?;
+    let count = take_u32(cur)? as usize;
+    let width = ciphertext_size_bytes(&public);
+    if count
+        .checked_mul(width)
+        .is_none_or(|total| total > cur.len())
+    {
+        return Err(HeError::MalformedEncoding {
+            detail: "vector element count overruns the payload",
+        });
+    }
+    let mut elements = Vec::with_capacity(count);
+    for _ in 0..count {
+        elements.push(decode_ciphertext(cur, &public)?);
+    }
+    Ok(EncryptedVector::from_raw_parts(elements, public))
+}
+
+/// Encodes a private key: its public key, then the two length-prefixed prime
+/// factors (together one modulus width — the transport model's
+/// `private_key_size_bytes`).
+pub fn encode_private_key(private: &PrivateKey, out: &mut Vec<u8>) {
+    encode_public_key(&private.public, out);
+    let (p, q) = private.primes();
+    for factor in [p, q] {
+        let bytes = factor.to_bytes_be();
+        put_u32(out, bytes.len() as u32);
+        out.extend_from_slice(&bytes);
+    }
+}
+
+/// Decodes and *validates* a private key: factors that do not multiply to
+/// the modulus (or otherwise fail the CRT precomputation) are rejected with
+/// [`HeError::MalformedKey`].
+pub fn decode_private_key(cur: &mut &[u8]) -> Result<PrivateKey, HeError> {
+    let public = decode_public_key(cur)?;
+    let mut factors = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let len = take_u32(cur)? as usize;
+        if len > cur.len() {
+            return Err(HeError::MalformedEncoding {
+                detail: "private-key factor overruns the payload",
+            });
+        }
+        factors.push(BigUint::from_bytes_be(take_bytes(cur, len)?));
+    }
+    let q = factors.pop().expect("two factors pushed");
+    let p = factors.pop().expect("two factors pushed");
+    PrivateKey::try_new(public, p, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Keypair;
+    use crate::transport::{public_key_size_bytes, vector_wire_bytes};
+    use rand::SeedableRng;
+
+    fn setup() -> (PublicKey, PrivateKey, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DEC);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let (pk, sk) = kp.split();
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn vector_round_trips_and_matches_the_size_model_exactly() {
+        let (pk, sk, mut rng) = setup();
+        let values = vec![0u64, 1, 5, 1_000_000, 0, 42, 7, 9];
+        let v = EncryptedVector::encrypt_u64(&pk, &values, &mut rng);
+
+        let mut buf = Vec::new();
+        encode_vector(&v, &mut buf).unwrap();
+        // Header (4 + |n| + 4) + exactly the canonical ciphertext payload.
+        assert_eq!(
+            buf.len(),
+            4 + public_key_size_bytes(&pk) + 4 + vector_wire_bytes(&v),
+            "measured encoding must equal the transport model plus a constant header"
+        );
+
+        let mut cur = &buf[..];
+        let back = decode_vector(&mut cur).unwrap();
+        assert!(cur.is_empty(), "decoding must consume the whole encoding");
+        assert_eq!(back, v);
+        assert_eq!(back.decrypt_u64(&sk), values);
+    }
+
+    #[test]
+    fn keys_round_trip_through_the_binary_codec() {
+        let (pk, sk, mut rng) = setup();
+        let mut buf = Vec::new();
+        encode_public_key(&pk, &mut buf);
+        assert_eq!(buf.len(), 4 + public_key_size_bytes(&pk));
+        let back_pk = decode_public_key(&mut &buf[..]).unwrap();
+        assert_eq!(back_pk, pk);
+
+        let mut buf = Vec::new();
+        encode_private_key(&sk, &mut buf);
+        let back_sk = decode_private_key(&mut &buf[..]).unwrap();
+        assert_eq!(back_sk, sk);
+        let ct = back_pk.encrypt_u64(123, &mut rng);
+        assert_eq!(back_sk.decrypt_u64(&ct), 123);
+    }
+
+    #[test]
+    fn truncated_and_oversized_inputs_are_typed_errors() {
+        let (pk, _sk, mut rng) = setup();
+        let v = EncryptedVector::encrypt_u64(&pk, &[1, 2, 3], &mut rng);
+        let mut buf = Vec::new();
+        encode_vector(&v, &mut buf).unwrap();
+
+        // Every strict prefix fails with a typed error, never a panic.
+        for cut in [0, 3, 5, buf.len() / 2, buf.len() - 1] {
+            let err = decode_vector(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, HeError::MalformedEncoding { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+
+        // A hostile element count larger than the payload is rejected before
+        // any allocation happens.
+        let mut hostile = Vec::new();
+        encode_public_key(&pk, &mut hostile);
+        put_u32(&mut hostile, u32::MAX);
+        let err = decode_vector(&mut &hostile[..]).unwrap_err();
+        assert!(matches!(err, HeError::MalformedEncoding { .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_residues_and_forged_keys_are_rejected() {
+        let (pk, _sk, _rng) = setup();
+        // A ciphertext field of all 0xFF is ≥ n² at the fixed width.
+        let mut buf = Vec::new();
+        encode_public_key(&pk, &mut buf);
+        put_u32(&mut buf, 1);
+        buf.resize(buf.len() + ciphertext_size_bytes(&pk), 0xFF);
+        let err = decode_vector(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, HeError::MalformedEncoding { .. }), "{err}");
+
+        // Private-key factors that do not multiply to n are refused.
+        let mut forged = Vec::new();
+        encode_public_key(&pk, &mut forged);
+        for _ in 0..2 {
+            put_u32(&mut forged, 1);
+            forged.push(35);
+        }
+        let err = decode_private_key(&mut &forged[..]).unwrap_err();
+        assert!(matches!(err, HeError::MalformedKey { .. }), "{err}");
+
+        // A non-minimal (zero-padded) modulus is not a valid encoding.
+        let n = pk.n().to_bytes_be();
+        let mut padded = Vec::new();
+        put_u32(&mut padded, (n.len() + 1) as u32);
+        padded.push(0);
+        padded.extend_from_slice(&n);
+        let err = decode_public_key(&mut &padded[..]).unwrap_err();
+        assert!(matches!(err, HeError::MalformedEncoding { .. }), "{err}");
+    }
+
+    #[test]
+    fn fixed_width_field_rejects_overflow() {
+        let mut out = Vec::new();
+        let err = put_biguint_fixed(&mut out, &BigUint::from(0x1_0000u64), 2).unwrap_err();
+        assert_eq!(err, HeError::ValueTooWide { bytes: 3, width: 2 });
+        put_biguint_fixed(&mut out, &BigUint::from(7u64), 4).unwrap();
+        assert_eq!(out, vec![0, 0, 0, 7]);
+        out.clear();
+        put_biguint_fixed(&mut out, &BigUint::zero(), 3).unwrap();
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+}

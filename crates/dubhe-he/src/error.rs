@@ -29,6 +29,26 @@ pub enum HeError {
         /// The vector's actual length.
         len: usize,
     },
+    /// A value needs more bytes than the fixed field width the canonical
+    /// binary encoding assigns it (see [`crate::codec`]).
+    ValueTooWide {
+        /// Minimal big-endian byte length of the value.
+        bytes: usize,
+        /// The fixed field width it had to fit.
+        width: usize,
+    },
+    /// A canonical binary encoding could not be decoded: truncated input,
+    /// an out-of-range field, or trailing garbage.
+    MalformedEncoding {
+        /// What was wrong with the bytes.
+        detail: &'static str,
+    },
+    /// Private-key material failed validation (factors that do not multiply
+    /// to the modulus, even "primes", or a non-invertible `L` value).
+    MalformedKey {
+        /// What was wrong with the key material.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for HeError {
@@ -76,6 +96,18 @@ impl fmt::Display for HeError {
                     f,
                     "slice {start}..{end} is out of range for a length-{len} encrypted vector"
                 )
+            }
+            HeError::ValueTooWide { bytes, width } => {
+                write!(
+                    f,
+                    "value needs {bytes} bytes but its canonical field is {width} bytes wide"
+                )
+            }
+            HeError::MalformedEncoding { detail } => {
+                write!(f, "malformed canonical encoding: {detail}")
+            }
+            HeError::MalformedKey { detail } => {
+                write!(f, "invalid private-key material: {detail}")
             }
         }
     }

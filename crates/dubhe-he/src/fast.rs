@@ -71,15 +71,18 @@ pub(crate) struct FastBase {
 
 impl FastBase {
     /// Samples `g₀`, computes `h = g₀ⁿ mod n²` (the one full-width
-    /// exponentiation this scheme ever pays) and expands the window table.
-    pub(crate) fn new<R: Rng + ?Sized>(n: &BigUint, n_squared: &BigUint, rng: &mut R) -> Self {
+    /// exponentiation this scheme ever pays, through the key's cached
+    /// Montgomery context) and expands the window table.
+    pub(crate) fn new<R: Rng + ?Sized>(public: &PublicKey, rng: &mut R) -> Self {
+        let n = public.n();
+        let n_squared = public.n_squared();
         let g0 = loop {
             let candidate = rng.gen_biguint_below(n);
             if !candidate.is_zero() {
                 break candidate;
             }
         };
-        let h = g0.modpow(n, n_squared);
+        let h = public.pow_mod_n_squared(&g0, n);
 
         let windows = RANDOMNESS_EXPONENT_BITS.div_ceil(WINDOW_BITS) as usize;
         let mut table = Vec::with_capacity(windows);

@@ -26,7 +26,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use num_bigint::{BigUint, RandBigInt};
+use num_bigint::{BigUint, MontgomeryContext, RandBigInt};
 use num_integer::Integer;
 use num_traits::{One, Zero};
 use rand::Rng;
@@ -52,6 +52,10 @@ pub(crate) struct PublicKeyInner {
     pub(crate) bits: u64,
     /// Lazily built fixed-base table for precomputed encryption.
     pub(crate) fast: OnceLock<FastBase>,
+    /// Lazily built Montgomery context for `n²`, shared by every handle so
+    /// the `R² mod n²` setup is paid once per key instead of once per
+    /// exponentiation (`mul_plain`, `rerandomise`, textbook encryption).
+    pub(crate) mont_n2: OnceLock<MontgomeryContext>,
 }
 
 /// The public (encryption) half of a Paillier keypair.
@@ -78,6 +82,7 @@ impl PublicKey {
                 n_squared,
                 bits,
                 fast: OnceLock::new(),
+                mont_n2: OnceLock::new(),
             }),
         }
     }
@@ -106,9 +111,23 @@ impl PublicKey {
     /// The lazily initialised fixed-base table (built on first use with
     /// randomness from `rng`, then shared by every handle to this key).
     pub(crate) fn fast_base<R: Rng + ?Sized>(&self, rng: &mut R) -> &FastBase {
+        self.inner.fast.get_or_init(|| FastBase::new(self, rng))
+    }
+
+    /// `base^exponent mod n²` through the key's cached Montgomery context.
+    ///
+    /// `n²` is odd for every generated key (`p`, `q` are odd primes); a
+    /// deserialized key with an even modulus falls back to the generic
+    /// `modpow`, which handles even moduli without a context. Bit-for-bit
+    /// identical to `base.modpow(exponent, n²)` either way (pinned by tests).
+    pub(crate) fn pow_mod_n_squared(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if self.inner.n_squared.is_even() {
+            return base.modpow(exponent, &self.inner.n_squared);
+        }
         self.inner
-            .fast
-            .get_or_init(|| FastBase::new(&self.inner.n, &self.inner.n_squared, rng))
+            .mont_n2
+            .get_or_init(|| MontgomeryContext::new(&self.inner.n_squared))
+            .modpow(base, exponent)
     }
 
     /// Half of the message space: plaintexts in `[0, n/2)` are non-negative,
@@ -173,7 +192,7 @@ impl PublicKey {
     /// [`encrypt`]: PublicKey::encrypt
     pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
         let g_to_m = self.g_to_m(m);
-        let r_to_n = r.modpow(self.n(), self.n_squared());
+        let r_to_n = self.pow_mod_n_squared(r, self.n());
         let value = (g_to_m * r_to_n) % self.n_squared();
         Ciphertext::from_raw(value, self.clone())
     }
@@ -225,7 +244,13 @@ impl Deserialize for PublicKey {
 ///
 /// In Dubhe this key is dispatched by a randomly chosen *agent* client to all
 /// clients; the server never holds it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization carries only the prime factors `p`, `q` (plus the public
+/// modulus) — everything else, including the per-key Montgomery contexts for
+/// `p²` and `q²`, is recomputed on deserialization. This keeps the wire form
+/// aligned with the transport size model (two half-modulus factors) and lets
+/// every decryption reuse cached contexts instead of re-deriving `R²`.
+#[derive(Debug, Clone)]
 pub struct PrivateKey {
     /// The public key this private key belongs to.
     pub public: PublicKey,
@@ -233,10 +258,10 @@ pub struct PrivateKey {
     p: BigUint,
     /// Prime factor `q` of `n`.
     q: BigUint,
-    /// `p²`.
-    p_squared: BigUint,
-    /// `q²`.
-    q_squared: BigUint,
+    /// Cached Montgomery context for `p²` (the modulus of the CRT leg).
+    p_ctx: MontgomeryContext,
+    /// Cached Montgomery context for `q²`.
+    q_ctx: MontgomeryContext,
     /// `h_p = L_p(g^{p-1} mod p²)⁻¹ mod p` (CRT precomputation).
     h_p: BigUint,
     /// `h_q = L_q(g^{q-1} mod q²)⁻¹ mod q` (CRT precomputation).
@@ -245,45 +270,84 @@ pub struct PrivateKey {
     q_inv_p: BigUint,
 }
 
+impl PartialEq for PrivateKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything else is derived from (public, p, q).
+        self.public == other.public && self.p == other.p && self.q == other.q
+    }
+}
+
 impl Eq for PrivateKey {}
 
 impl PrivateKey {
-    fn new(public: PublicKey, p: BigUint, q: BigUint) -> Self {
-        let p_squared = &p * &p;
-        let q_squared = &q * &q;
+    /// Builds the CRT precomputation, validating the factors: deserialized
+    /// or decoded key material that is not a factorisation of `n` (or whose
+    /// `L` values are not invertible) is rejected instead of panicking.
+    pub(crate) fn try_new(public: PublicKey, p: BigUint, q: BigUint) -> Result<Self, HeError> {
         let one = BigUint::one();
+        if p.is_even() || q.is_even() || p <= one || q <= one {
+            return Err(HeError::MalformedKey {
+                detail: "prime factors must be odd and greater than 1",
+            });
+        }
+        if &(&p * &q) != public.n() {
+            return Err(HeError::MalformedKey {
+                detail: "factors do not multiply to the public modulus",
+            });
+        }
+        let p_ctx = MontgomeryContext::new(&(&p * &p));
+        let q_ctx = MontgomeryContext::new(&(&q * &q));
         let g = public.n() + &one;
 
         let p_minus_1 = &p - &one;
         let q_minus_1 = &q - &one;
 
-        let l_p = l_function(&g.modpow(&p_minus_1, &p_squared), &p);
-        let l_q = l_function(&g.modpow(&q_minus_1, &q_squared), &q);
-        let h_p = mod_inverse(&l_p, &p).expect("L_p invertible for valid key");
-        let h_q = mod_inverse(&l_q, &q).expect("L_q invertible for valid key");
-        let q_inv_p = mod_inverse(&(&q % &p), &p).expect("q invertible mod p");
+        let l_p = l_function(&p_ctx.modpow(&g, &p_minus_1), &p);
+        let l_q = l_function(&q_ctx.modpow(&g, &q_minus_1), &q);
+        let h_p = mod_inverse(&l_p, &p).ok_or(HeError::MalformedKey {
+            detail: "L_p is not invertible modulo p",
+        })?;
+        let h_q = mod_inverse(&l_q, &q).ok_or(HeError::MalformedKey {
+            detail: "L_q is not invertible modulo q",
+        })?;
+        let q_inv_p = mod_inverse(&(&q % &p), &p).ok_or(HeError::MalformedKey {
+            detail: "q is not invertible modulo p",
+        })?;
 
-        PrivateKey {
+        Ok(PrivateKey {
             public,
             p,
             q,
-            p_squared,
-            q_squared,
+            p_ctx,
+            q_ctx,
             h_p,
             h_q,
             q_inv_p,
-        }
+        })
+    }
+
+    fn new(public: PublicKey, p: BigUint, q: BigUint) -> Self {
+        PrivateKey::try_new(public, p, q).expect("generated factors form a valid key")
+    }
+
+    /// The prime factors `(p, q)` — for the canonical codec only.
+    pub(crate) fn primes(&self) -> (&BigUint, &BigUint) {
+        (&self.p, &self.q)
     }
 
     /// CRT decryption of a raw ciphertext value in `Z*_{n²}`.
+    ///
+    /// The two heavy exponentiations go through the per-key cached
+    /// Montgomery contexts: batch decryption pays zero `R²` setups instead
+    /// of two per element.
     fn decrypt_raw(&self, c: &BigUint) -> BigUint {
         let one = BigUint::one();
 
         // m_p = L_p(c^{p-1} mod p²) · h_p mod p
-        let m_p = (l_function(&c.modpow(&(&self.p - &one), &self.p_squared), &self.p) * &self.h_p)
-            % &self.p;
-        let m_q = (l_function(&c.modpow(&(&self.q - &one), &self.q_squared), &self.q) * &self.h_q)
-            % &self.q;
+        let m_p =
+            (l_function(&self.p_ctx.modpow(c, &(&self.p - &one)), &self.p) * &self.h_p) % &self.p;
+        let m_q =
+            (l_function(&self.q_ctx.modpow(c, &(&self.q - &one)), &self.q) * &self.h_q) % &self.q;
 
         // CRT recombination: m = m_q + q·((m_p - m_q)·q⁻¹ mod p)
         let diff = if m_p >= m_q {
@@ -356,6 +420,29 @@ impl PrivateKey {
             let v = i64::try_from(v).map_err(|_| HeError::SignedRangeOverflow)?;
             Ok(-v)
         }
+    }
+}
+
+impl Serialize for PrivateKey {
+    fn to_value(&self) -> Value {
+        // Only the factors travel: the CRT precomputation and Montgomery
+        // contexts are derived again on the receiving side. This is the same
+        // shape the canonical binary codec uses and what the transport model
+        // prices (p and q, together one modulus width).
+        Value::Object(vec![
+            ("public".to_string(), self.public.to_value()),
+            ("p".to_string(), self.p.to_value()),
+            ("q".to_string(), self.q.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PrivateKey {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let public = PublicKey::from_value(serde::get_field(v, "public")?)?;
+        let p = BigUint::from_value(serde::get_field(v, "p")?)?;
+        let q = BigUint::from_value(serde::get_field(v, "q")?)?;
+        PrivateKey::try_new(public, p, q).map_err(|e| DeError::custom(e.to_string()))
     }
 }
 
@@ -504,6 +591,52 @@ mod tests {
         assert_eq!(back, kp.public);
         assert_eq!(back.n_squared(), kp.public.n_squared());
         assert_eq!(back.bits(), kp.public.bits());
+    }
+
+    #[test]
+    fn cached_montgomery_path_is_bit_identical_to_generic_modpow() {
+        // The per-key contexts must reproduce the uncached arithmetic
+        // exactly: same randomness in, same ciphertext residues out.
+        let kp = keypair();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..8 {
+            let r = kp.public.sample_randomness(&mut rng);
+            let e = rng.gen_biguint(192);
+            assert_eq!(
+                kp.public.pow_mod_n_squared(&r, &e),
+                r.modpow(&e, kp.public.n_squared()),
+                "cached n² context diverged from generic modpow"
+            );
+        }
+        // Deterministic encryption (which routes through the cached context)
+        // must keep producing the exact ciphertext of the textbook formula.
+        let m = BigUint::from(123_456u64);
+        let r = kp.public.sample_randomness(&mut rng);
+        let ct = kp.public.encrypt_with_randomness(&m, &r);
+        let textbook = (kp.public.g_to_m(&m) * r.modpow(kp.public.n(), kp.public.n_squared()))
+            % kp.public.n_squared();
+        assert_eq!(ct.raw(), &textbook);
+        assert_eq!(kp.private.decrypt(&ct), m);
+    }
+
+    #[test]
+    fn private_key_serializes_factors_only_and_rejects_garbage() {
+        let kp = keypair();
+        let json = serde_json::to_string(&kp.private).unwrap();
+        // Only (public, p, q) travel; the CRT values are recomputed.
+        assert!(!json.contains("h_p") && !json.contains("q_inv_p"), "{json}");
+        let back: PrivateKey = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, kp.private);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+        let ct = kp.public.encrypt_u64(99, &mut rng);
+        assert_eq!(back.decrypt_u64(&ct), 99);
+
+        // Factors that do not multiply to n must be refused, not panic.
+        let forged = format!(
+            "{{\"public\":{{\"n\":\"{}\"}},\"p\":\"35\",\"q\":\"35\"}}",
+            kp.public.n()
+        );
+        assert!(serde_json::from_str::<PrivateKey>(&forged).is_err());
     }
 
     #[test]

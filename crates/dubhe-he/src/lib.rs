@@ -34,6 +34,10 @@
 //!   and key-material sizes used by the §6.4 overhead study, the protocol
 //!   layer's per-message accounting, and the FL simulator's ledger (so
 //!   modeled, in-memory and TCP-framed runs stay byte-comparable).
+//! * [`codec`] — the canonical binary encoding of ciphertexts, vectors and
+//!   keys (fixed-width big-endian limbs at exactly the [`transport`] model's
+//!   widths); the `DBH2` wire format of `dubhe-select::protocol` bottoms out
+//!   here, which is what makes measured frame bytes match the model.
 //!
 //! ## Example
 //!
@@ -56,6 +60,7 @@
 //! [paillier]: https://link.springer.com/chapter/10.1007/3-540-48910-X_16
 
 pub mod ciphertext;
+pub mod codec;
 pub mod error;
 pub mod fast;
 pub mod fixed;

@@ -62,6 +62,13 @@ pub struct EncryptedVector {
 }
 
 impl EncryptedVector {
+    /// Assembles a vector from decoded parts (the canonical codec's
+    /// deserialisation path). Callers must ensure every element was produced
+    /// under `public`.
+    pub(crate) fn from_raw_parts(elements: Vec<Ciphertext>, public: PublicKey) -> Self {
+        EncryptedVector { elements, public }
+    }
+
     /// Encrypts a slice of `u64` values element-by-element.
     ///
     /// Uses the key's shared [`PrecomputedEncryptor`] fast path (building the

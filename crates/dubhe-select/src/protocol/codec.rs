@@ -1,0 +1,580 @@
+//! Pluggable payload codecs for the framed wire protocol.
+//!
+//! A frame (see [`super::wire`]) is `magic | u32 length | payload`; the
+//! 4-byte magic names both the protocol *and* the payload codec, so codec
+//! choice is negotiated per connection from the frames themselves — a
+//! listener serves `DBH1` and `DBH2` peers side by side and always replies
+//! in the codec a request arrived in.
+//!
+//! Two codecs implement [`WireCodec`]:
+//!
+//! * [`JsonCodec`] — the original `DBH1` format: the [`WireMsg`] rendered as
+//!   JSON with decimal-string bignums. Kept for compatibility — for every
+//!   message that actually crosses the TCP wire (server-bound envelopes,
+//!   control messages and reply batches, none of which carry a private
+//!   key), the bytes are identical to the pre-codec-layer serialization;
+//!   costs ~2.5× the canonical ciphertext bytes.
+//! * [`BinaryCodec`] — `DBH2`: a canonical binary layout whose ciphertext
+//!   fields are the fixed-width big-endian limbs of
+//!   [`dubhe_he::codec`], so a frame is its canonical payload plus a small
+//!   constant header (≤ 1.10× canonical, asserted by `overhead_report`).
+//!
+//! Negotiation is *format* selection only — it authenticates nothing (see
+//! `docs/THREAT_MODEL.md`).
+//!
+//! ## `DBH2` payload layout
+//!
+//! All integers big-endian; `uN` fields are fixed-width; bignums use the
+//! canonical encodings of [`dubhe_he::codec`].
+//!
+//! ```text
+//! wiremsg  := 0 envelope
+//!           | 1 u64 try_index  u32 count  count × u64 participant
+//!           | 2 u32 count  count × envelope
+//!           | 3                                  (Ack)
+//!           | 4 u32 len  utf-8 detail            (Error)
+//!           | 5                                  (Shutdown)
+//! envelope := party party protocolmsg
+//! party    := 0 | 1 | 2 u64 client-id
+//! protocolmsg :=
+//!     0 public-key  u8 has-private  [private-key]
+//!   | 1 u64 client  vector
+//!   | 2 vector
+//!   | 3 u64 client  u64 try_index  vector
+//!   | 4 u64 try_index  u64 contributors  vector
+//!   | 5 u64 best_try  f64-bits distance
+//! ```
+
+use dubhe_he::codec as he;
+use serde::{Deserialize, Serialize};
+
+use super::message::{Envelope, Party, ProtocolMsg};
+use super::wire::WireMsg;
+use crate::error::ProtocolError;
+use dubhe_he::HeError;
+
+/// A payload codec: encodes a [`WireMsg`] to frame-payload bytes and back.
+///
+/// Implementations must be *total* over `WireMsg` (every variant encodes)
+/// and *defensive* on decode: arbitrary bytes surface as
+/// [`ProtocolError::MalformedFrame`], never a panic.
+pub trait WireCodec {
+    /// Which negotiable codec this is.
+    fn kind(&self) -> CodecKind;
+
+    /// Serializes one message into a frame payload.
+    fn encode(&self, msg: &WireMsg) -> Result<Vec<u8>, ProtocolError>;
+
+    /// Parses one frame payload. The whole payload must be consumed.
+    fn decode(&self, payload: &[u8]) -> Result<WireMsg, ProtocolError>;
+}
+
+/// The negotiable codec identifiers, i.e. the known frame magics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CodecKind {
+    /// `DBH1`: JSON payloads (compatibility default).
+    Json,
+    /// `DBH2`: canonical binary payloads.
+    Binary,
+}
+
+impl CodecKind {
+    /// The 4-byte frame magic announcing this codec.
+    pub fn magic(self) -> [u8; 4] {
+        match self {
+            CodecKind::Json => *b"DBH1",
+            CodecKind::Binary => *b"DBH2",
+        }
+    }
+
+    /// Resolves a frame magic to its codec, if known.
+    pub fn from_magic(magic: [u8; 4]) -> Option<CodecKind> {
+        match &magic {
+            b"DBH1" => Some(CodecKind::Json),
+            b"DBH2" => Some(CodecKind::Binary),
+            _ => None,
+        }
+    }
+
+    /// The wire-format name (`"DBH1"` / `"DBH2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecKind::Json => "DBH1",
+            CodecKind::Binary => "DBH2",
+        }
+    }
+
+    /// The codec implementation behind this identifier.
+    pub fn as_codec(self) -> &'static dyn WireCodec {
+        match self {
+            CodecKind::Json => &JsonCodec,
+            CodecKind::Binary => &BinaryCodec,
+        }
+    }
+
+    /// Shorthand for `self.as_codec().encode(msg)`.
+    pub fn encode(self, msg: &WireMsg) -> Result<Vec<u8>, ProtocolError> {
+        self.as_codec().encode(msg)
+    }
+
+    /// Shorthand for `self.as_codec().decode(payload)`.
+    pub fn decode(self, payload: &[u8]) -> Result<WireMsg, ProtocolError> {
+        self.as_codec().decode(payload)
+    }
+}
+
+/// The `DBH1` payload codec: `WireMsg` as JSON.
+///
+/// For every frame the TCP transport actually exchanges — server-bound
+/// envelopes, `AnnounceTry`/`Ack`/`Error`/`Shutdown`, and reply batches,
+/// none of which ever carry a private key — the bytes are identical to the
+/// serialization the transport used before codecs became pluggable (pinned
+/// by a test), so a `DBH1` peer from an older build interoperates on the
+/// wire unchanged. The one JSON shape that *did* change in the same release
+/// is `PrivateKey` itself (now factors-only, see `dubhe-he::keys`), which
+/// affects only locally serialized key material, never protocol sockets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonCodec;
+
+impl WireCodec for JsonCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Json
+    }
+
+    fn encode(&self, msg: &WireMsg) -> Result<Vec<u8>, ProtocolError> {
+        serde_json::to_string(msg)
+            .map(String::into_bytes)
+            .map_err(|e| ProtocolError::MalformedFrame {
+                detail: format!("could not serialize frame payload: {e}"),
+            })
+    }
+
+    fn decode(&self, payload: &[u8]) -> Result<WireMsg, ProtocolError> {
+        let text = std::str::from_utf8(payload).map_err(|e| ProtocolError::MalformedFrame {
+            detail: format!("payload is not UTF-8: {e}"),
+        })?;
+        serde_json::from_str(text).map_err(|e| ProtocolError::MalformedFrame {
+            detail: format!("payload is not a wire message: {e}"),
+        })
+    }
+}
+
+/// The `DBH2` payload codec: canonical fixed-width binary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryCodec;
+
+impl WireCodec for BinaryCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Binary
+    }
+
+    fn encode(&self, msg: &WireMsg) -> Result<Vec<u8>, ProtocolError> {
+        let mut out = Vec::new();
+        match msg {
+            WireMsg::Envelope { envelope } => {
+                out.push(0);
+                encode_envelope(envelope, &mut out)?;
+            }
+            WireMsg::AnnounceTry {
+                try_index,
+                participants,
+            } => {
+                out.push(1);
+                he::put_u64(&mut out, *try_index as u64);
+                he::put_u32(&mut out, participants.len() as u32);
+                for &p in participants {
+                    he::put_u64(&mut out, p as u64);
+                }
+            }
+            WireMsg::Batch { envelopes } => {
+                out.push(2);
+                he::put_u32(&mut out, envelopes.len() as u32);
+                for e in envelopes {
+                    encode_envelope(e, &mut out)?;
+                }
+            }
+            WireMsg::Ack => out.push(3),
+            WireMsg::Error { detail } => {
+                out.push(4);
+                he::put_u32(&mut out, detail.len() as u32);
+                out.extend_from_slice(detail.as_bytes());
+            }
+            WireMsg::Shutdown => out.push(5),
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, payload: &[u8]) -> Result<WireMsg, ProtocolError> {
+        let mut cur = payload;
+        let msg = decode_wiremsg(&mut cur)?;
+        if !cur.is_empty() {
+            return Err(malformed("trailing bytes after the wire message"));
+        }
+        Ok(msg)
+    }
+}
+
+fn malformed(detail: &str) -> ProtocolError {
+    ProtocolError::MalformedFrame {
+        detail: format!("binary payload: {detail}"),
+    }
+}
+
+fn he_err(e: HeError) -> ProtocolError {
+    ProtocolError::MalformedFrame {
+        detail: format!("binary payload: {e}"),
+    }
+}
+
+fn encode_party(party: &Party, out: &mut Vec<u8>) {
+    match party {
+        Party::Agent => out.push(0),
+        Party::Server => out.push(1),
+        Party::Client(id) => {
+            out.push(2);
+            he::put_u64(out, *id as u64);
+        }
+    }
+}
+
+fn encode_envelope(e: &Envelope, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
+    encode_party(&e.from, out);
+    encode_party(&e.to, out);
+    match &e.msg {
+        ProtocolMsg::PublicKeyDispatch {
+            public_key,
+            private_key,
+        } => {
+            out.push(0);
+            he::encode_public_key(public_key, out);
+            match private_key {
+                None => out.push(0),
+                Some(sk) => {
+                    out.push(1);
+                    he::encode_private_key(sk, out);
+                }
+            }
+        }
+        ProtocolMsg::EncryptedRegistry { client, registry } => {
+            out.push(1);
+            he::put_u64(out, *client as u64);
+            he::encode_vector(registry, out).map_err(he_err)?;
+        }
+        ProtocolMsg::EncryptedTotalBroadcast { total } => {
+            out.push(2);
+            he::encode_vector(total, out).map_err(he_err)?;
+        }
+        ProtocolMsg::EncryptedDistribution {
+            client,
+            try_index,
+            distribution,
+        } => {
+            out.push(3);
+            he::put_u64(out, *client as u64);
+            he::put_u64(out, *try_index as u64);
+            he::encode_vector(distribution, out).map_err(he_err)?;
+        }
+        ProtocolMsg::EncryptedDistributionSum {
+            try_index,
+            contributors,
+            sum,
+        } => {
+            out.push(4);
+            he::put_u64(out, *try_index as u64);
+            he::put_u64(out, *contributors as u64);
+            he::encode_vector(sum, out).map_err(he_err)?;
+        }
+        ProtocolMsg::TryVerdict { best_try, distance } => {
+            out.push(5);
+            he::put_u64(out, *best_try as u64);
+            he::put_u64(out, distance.to_bits());
+        }
+    }
+    Ok(())
+}
+
+fn take_u8(cur: &mut &[u8]) -> Result<u8, ProtocolError> {
+    let b = he::take_bytes(cur, 1).map_err(he_err)?;
+    Ok(b[0])
+}
+
+fn take_usize(cur: &mut &[u8]) -> Result<usize, ProtocolError> {
+    let v = he::take_u64(cur).map_err(he_err)?;
+    usize::try_from(v).map_err(|_| malformed("scalar does not fit in usize"))
+}
+
+fn take_count(cur: &mut &[u8]) -> Result<usize, ProtocolError> {
+    Ok(he::take_u32(cur).map_err(he_err)? as usize)
+}
+
+fn decode_party(cur: &mut &[u8]) -> Result<Party, ProtocolError> {
+    match take_u8(cur)? {
+        0 => Ok(Party::Agent),
+        1 => Ok(Party::Server),
+        2 => Ok(Party::Client(take_usize(cur)?)),
+        tag => Err(malformed_tag("party", tag)),
+    }
+}
+
+fn malformed_tag(what: &str, tag: u8) -> ProtocolError {
+    ProtocolError::MalformedFrame {
+        detail: format!("binary payload: unknown {what} tag {tag}"),
+    }
+}
+
+fn decode_envelope(cur: &mut &[u8]) -> Result<Envelope, ProtocolError> {
+    let from = decode_party(cur)?;
+    let to = decode_party(cur)?;
+    let msg = match take_u8(cur)? {
+        0 => {
+            let public_key = he::decode_public_key(cur).map_err(he_err)?;
+            let private_key = match take_u8(cur)? {
+                0 => None,
+                1 => Some(he::decode_private_key(cur).map_err(he_err)?),
+                tag => return Err(malformed_tag("private-key presence", tag)),
+            };
+            ProtocolMsg::PublicKeyDispatch {
+                public_key,
+                private_key,
+            }
+        }
+        1 => ProtocolMsg::EncryptedRegistry {
+            client: take_usize(cur)?,
+            registry: he::decode_vector(cur).map_err(he_err)?,
+        },
+        2 => ProtocolMsg::EncryptedTotalBroadcast {
+            total: he::decode_vector(cur).map_err(he_err)?,
+        },
+        3 => ProtocolMsg::EncryptedDistribution {
+            client: take_usize(cur)?,
+            try_index: take_usize(cur)?,
+            distribution: he::decode_vector(cur).map_err(he_err)?,
+        },
+        4 => ProtocolMsg::EncryptedDistributionSum {
+            try_index: take_usize(cur)?,
+            contributors: take_usize(cur)?,
+            sum: he::decode_vector(cur).map_err(he_err)?,
+        },
+        5 => ProtocolMsg::TryVerdict {
+            best_try: take_usize(cur)?,
+            distance: f64::from_bits(he::take_u64(cur).map_err(he_err)?),
+        },
+        tag => return Err(malformed_tag("protocol-message", tag)),
+    };
+    Ok(Envelope { from, to, msg })
+}
+
+fn decode_wiremsg(cur: &mut &[u8]) -> Result<WireMsg, ProtocolError> {
+    match take_u8(cur)? {
+        0 => Ok(WireMsg::Envelope {
+            envelope: decode_envelope(cur)?,
+        }),
+        1 => {
+            let try_index = take_usize(cur)?;
+            let count = take_count(cur)?;
+            // 8 bytes per participant: refuse counts the payload cannot hold
+            // before reserving anything.
+            if count.checked_mul(8).is_none_or(|need| need > cur.len()) {
+                return Err(malformed("participant count overruns the payload"));
+            }
+            let mut participants = Vec::with_capacity(count);
+            for _ in 0..count {
+                participants.push(take_usize(cur)?);
+            }
+            Ok(WireMsg::AnnounceTry {
+                try_index,
+                participants,
+            })
+        }
+        2 => {
+            let count = take_count(cur)?;
+            // Envelopes are variable-width; a lower bound of 3 bytes each
+            // (two parties + message tag) rejects impossible counts early.
+            if count.checked_mul(3).is_none_or(|need| need > cur.len()) {
+                return Err(malformed("envelope count overruns the payload"));
+            }
+            // No pre-reservation from the announced count: an in-memory
+            // `Envelope` is two orders of magnitude larger than its 3-byte
+            // wire lower bound, so `with_capacity(count)` would let one
+            // hostile frame reserve gigabytes before the first envelope
+            // fails to decode. Growth stays bounded by what actually
+            // decodes from the (size-capped) payload.
+            let mut envelopes = Vec::new();
+            for _ in 0..count {
+                envelopes.push(decode_envelope(cur)?);
+            }
+            Ok(WireMsg::Batch { envelopes })
+        }
+        3 => Ok(WireMsg::Ack),
+        4 => {
+            let len = take_count(cur)?;
+            let bytes = he::take_bytes(cur, len).map_err(he_err)?;
+            let detail = std::str::from_utf8(bytes)
+                .map_err(|_| malformed("error detail is not UTF-8"))?
+                .to_string();
+            Ok(WireMsg::Error { detail })
+        }
+        5 => Ok(WireMsg::Shutdown),
+        tag => Err(malformed_tag("wire-message", tag)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dubhe_he::{EncryptedVector, Keypair};
+    use rand::SeedableRng;
+
+    fn sample_msgs() -> Vec<WireMsg> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let kp = Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
+        let v = EncryptedVector::encrypt_u64(&kp.public, &[0, 1, 0, 2], &mut rng);
+        let env = |msg: ProtocolMsg| Envelope {
+            from: Party::Client(3),
+            to: Party::Server,
+            msg,
+        };
+        vec![
+            WireMsg::Envelope {
+                envelope: Envelope {
+                    from: Party::Agent,
+                    to: Party::Client(1),
+                    msg: ProtocolMsg::PublicKeyDispatch {
+                        public_key: kp.public.clone(),
+                        private_key: Some(kp.private.clone()),
+                    },
+                },
+            },
+            WireMsg::Envelope {
+                envelope: Envelope {
+                    from: Party::Agent,
+                    to: Party::Server,
+                    msg: ProtocolMsg::PublicKeyDispatch {
+                        public_key: kp.public.clone(),
+                        private_key: None,
+                    },
+                },
+            },
+            WireMsg::Envelope {
+                envelope: env(ProtocolMsg::EncryptedRegistry {
+                    client: 3,
+                    registry: v.clone(),
+                }),
+            },
+            WireMsg::Batch {
+                envelopes: vec![
+                    env(ProtocolMsg::EncryptedTotalBroadcast { total: v.clone() }),
+                    env(ProtocolMsg::EncryptedDistribution {
+                        client: 3,
+                        try_index: 2,
+                        distribution: v.clone(),
+                    }),
+                    env(ProtocolMsg::EncryptedDistributionSum {
+                        try_index: 2,
+                        contributors: 9,
+                        sum: v,
+                    }),
+                    env(ProtocolMsg::TryVerdict {
+                        best_try: 1,
+                        distance: 0.625,
+                    }),
+                ],
+            },
+            WireMsg::AnnounceTry {
+                try_index: 7,
+                participants: vec![0, 5, 11],
+            },
+            WireMsg::Ack,
+            WireMsg::Error {
+                detail: "nope — später".to_string(),
+            },
+            WireMsg::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_both_codecs() {
+        for msg in sample_msgs() {
+            for kind in [CodecKind::Json, CodecKind::Binary] {
+                let payload = kind.encode(&msg).unwrap();
+                let back = kind.decode(&payload).unwrap();
+                assert_eq!(back, msg, "{} round trip", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json_for_ciphertext_payloads() {
+        for msg in sample_msgs() {
+            let json = CodecKind::Json.encode(&msg).unwrap();
+            let binary = CodecKind::Binary.encode(&msg).unwrap();
+            if matches!(&msg, WireMsg::Envelope { .. } | WireMsg::Batch { .. }) {
+                assert!(
+                    binary.len() * 2 < json.len(),
+                    "binary ({}) should be well under half of JSON ({})",
+                    binary.len(),
+                    json.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_codec_is_pinned_to_the_legacy_serialization() {
+        // DBH1 payloads must stay bit-identical to the direct serde_json
+        // rendering the transport used before codecs were pluggable.
+        for msg in sample_msgs() {
+            let payload = CodecKind::Json.encode(&msg).unwrap();
+            assert_eq!(payload, serde_json::to_string(&msg).unwrap().into_bytes());
+        }
+        // A literal fixture for a wire-crossing frame, so a change to any
+        // serde impl in the path (not just the codec plumbing) trips this
+        // test instead of silently breaking older DBH1 peers. Verdicts are
+        // the only fixed-size wire message, hence the stable rendering.
+        let verdict = WireMsg::Envelope {
+            envelope: Envelope {
+                from: Party::Agent,
+                to: Party::Server,
+                msg: ProtocolMsg::TryVerdict {
+                    best_try: 2,
+                    distance: 0.25,
+                },
+            },
+        };
+        assert_eq!(
+            String::from_utf8(CodecKind::Json.encode(&verdict).unwrap()).unwrap(),
+            "{\"Envelope\":{\"envelope\":{\"from\":\"Agent\",\"to\":\"Server\",\
+             \"msg\":{\"TryVerdict\":{\"best_try\":2,\"distance\":0.25}}}}}"
+        );
+    }
+
+    #[test]
+    fn binary_decoder_rejects_garbage_without_panicking() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],                                              // empty
+            vec![9],                                             // unknown wire tag
+            vec![0, 7],                                          // unknown party tag
+            vec![4, 0, 0, 0, 10, b'x'],                          // error detail truncated
+            vec![1, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255], // hostile count
+            vec![3, 3],                                          // trailing bytes after Ack
+            vec![0, 0, 1, 0, 0, 0, 0, 0xFF, 0xFF], // bad detail: invalid utf8... actually envelope
+        ];
+        for bytes in cases {
+            let err = CodecKind::Binary.decode(&bytes).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::MalformedFrame { .. }),
+                "{bytes:?} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn magic_negotiation_is_a_bijection() {
+        for kind in [CodecKind::Json, CodecKind::Binary] {
+            assert_eq!(CodecKind::from_magic(kind.magic()), Some(kind));
+            assert_eq!(kind.as_codec().kind(), kind);
+        }
+        assert_eq!(CodecKind::from_magic(*b"DBH3"), None);
+        assert_eq!(CodecKind::from_magic(*b"HTTP"), None);
+    }
+}

@@ -44,6 +44,10 @@ pub enum MsgKind {
 
 /// One wire message of the secure exchanges (Fig. 4 steps 1–4 and the
 /// §5.3.1 multi-time determination).
+// The key-dispatch variant carries whole keypairs (with their cached CRT /
+// Montgomery precomputation) and is sent a handful of times per epoch;
+// boxing it would complicate the serde layout for no hot-path win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ProtocolMsg {
     /// **Fig. 4 step 1** — the agent dispatches the epoch key. Copies bound

@@ -53,7 +53,10 @@
 //!   folds that advance rayon-parallel and merge into a bit-identical total;
 //! * [`TcpTransport`] → [`CoordinatorListener`] — the same messages as
 //!   length-prefixed frames (see [`wire`]) over real loopback sockets, served
-//!   by a mutex-free multi-threaded listener.
+//!   by a mutex-free multi-threaded listener. The frame payload codec is
+//!   pluggable (see [`codec`]): `DBH1` JSON for compatibility, `DBH2`
+//!   canonical binary for wire traffic within 1.10× of the paper's
+//!   communication model, negotiated per connection from the frame magic.
 //!
 //! `docs/ARCHITECTURE.md` draws the full picture; `docs/THREAT_MODEL.md`
 //! explains why all three shapes uphold the same structural guarantee.
@@ -65,6 +68,7 @@
 //! [`EncryptedDistributionSum`]: ProtocolMsg::EncryptedDistributionSum
 //! [`TryVerdict`]: ProtocolMsg::TryVerdict
 
+pub mod codec;
 pub mod driver;
 pub mod message;
 pub mod roles;
@@ -73,10 +77,14 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use codec::{BinaryCodec, CodecKind, JsonCodec, WireCodec};
 pub use driver::{pump, run_registration, run_registration_with, run_try, RegistrationRun};
 pub use message::{Envelope, MsgKind, Party, ProtocolMsg};
 pub use roles::{AgentNode, Coordinator, CoordinatorServer, SelectClientNode};
 pub use shard::{shard_ranges, ShardedCoordinator};
 pub use tcp::{CoordinatorListener, TcpTransport, WireStats, DEFAULT_READ_TIMEOUT};
 pub use transport::{InMemoryTransport, LinkStats, Transport, TransportStats};
-pub use wire::{read_frame, write_frame, WireMsg, FRAME_MAGIC, MAX_FRAME_BYTES};
+pub use wire::{
+    read_frame, read_frame_negotiated, write_frame, write_frame_with, WireMsg, FRAME_MAGIC,
+    FRAME_MAGIC_V2, MAX_FRAME_BYTES,
+};

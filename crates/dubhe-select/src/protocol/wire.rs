@@ -1,19 +1,24 @@
-//! The framed wire codec of the networked transport.
+//! The framed wire layer of the networked transport.
 //!
 //! Every message on a protocol socket is one *frame*:
 //!
 //! ```text
-//! +----------+-----------------+------------------+
-//! | magic    | payload length  | payload          |
-//! | "DBH1"   | u32, big-endian | JSON of WireMsg  |
-//! +----------+-----------------+------------------+
+//! +-----------------+-----------------+----------------------+
+//! | magic           | payload length  | payload              |
+//! | "DBH1" / "DBH2" | u32, big-endian | codec-encoded WireMsg|
+//! +-----------------+-----------------+----------------------+
 //! ```
 //!
-//! The codec is std-only (`std::io::Read`/`Write` over any byte stream —
+//! The magic names the payload codec ([`CodecKind`]): `DBH1` frames carry
+//! JSON, `DBH2` frames carry the canonical binary encoding — see
+//! [`super::codec`]. [`read_frame_negotiated`] dispatches on the magic, which
+//! is what lets one listener serve both formats per connection.
+//!
+//! The framing is std-only (`std::io::Read`/`Write` over any byte stream —
 //! `std::net::TcpStream` in production, `&[u8]` cursors in tests) and
 //! defensive by construction:
 //!
-//! * a frame that does not start with the magic is rejected as
+//! * a frame that does not start with a known magic is rejected as
 //!   [`ProtocolError::MalformedFrame`] before any allocation happens;
 //! * the announced payload length is checked against [`MAX_FRAME_BYTES`]
 //!   ([`ProtocolError::FrameTooLarge`]) so garbage or hostile headers cannot
@@ -31,12 +36,18 @@ use std::io::{ErrorKind, Read, Write};
 
 use serde::{Deserialize, Serialize};
 
+use super::codec::CodecKind;
 use super::message::Envelope;
 use crate::error::ProtocolError;
 use crate::selector::ClientId;
 
-/// The 4-byte frame preamble: protocol name + wire-format version.
+/// The 4-byte preamble of a JSON (`DBH1`) frame: protocol name + wire-format
+/// version. Equal to [`CodecKind::Json.magic()`](CodecKind::magic).
 pub const FRAME_MAGIC: [u8; 4] = *b"DBH1";
+
+/// The 4-byte preamble of a canonical-binary (`DBH2`) frame. Equal to
+/// [`CodecKind::Binary.magic()`](CodecKind::magic).
+pub const FRAME_MAGIC_V2: [u8; 4] = *b"DBH2";
 
 /// Upper bound on a frame payload. Generous: the largest legitimate message
 /// is a broadcast batch of full-length encrypted registries under 2048-bit
@@ -45,6 +56,9 @@ pub const FRAME_MAGIC: [u8; 4] = *b"DBH1";
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 /// One message of the client ↔ coordinator wire session.
+// Envelope wraps ProtocolMsg, whose key-dispatch variant is deliberately
+// large (see the note there); the same trade-off applies here.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WireMsg {
     /// A protocol envelope travelling to the coordinator.
@@ -86,27 +100,36 @@ fn io_error(context: &'static str, e: std::io::Error) -> ProtocolError {
     }
 }
 
-/// Writes one frame, returning the total bytes put on the wire (header
-/// included) so callers can meter real frame traffic.
-pub fn write_frame<W: Write>(w: &mut W, msg: &WireMsg) -> Result<usize, ProtocolError> {
-    let payload = serde_json::to_string(msg).map_err(|e| ProtocolError::MalformedFrame {
-        detail: format!("could not serialize frame payload: {e}"),
-    })?;
-    let payload = payload.as_bytes();
+/// Writes one frame in the given codec, returning the total bytes put on
+/// the wire (header included) so callers can meter real frame traffic.
+pub fn write_frame_with<W: Write>(
+    w: &mut W,
+    msg: &WireMsg,
+    codec: CodecKind,
+) -> Result<usize, ProtocolError> {
+    let payload = codec.encode(msg)?;
     if payload.len() > MAX_FRAME_BYTES {
         return Err(ProtocolError::FrameTooLarge {
             len: payload.len(),
             max: MAX_FRAME_BYTES,
         });
     }
-    w.write_all(&FRAME_MAGIC)
+    let magic = codec.magic();
+    w.write_all(&magic)
         .map_err(|e| io_error("write frame header", e))?;
     w.write_all(&(payload.len() as u32).to_be_bytes())
         .map_err(|e| io_error("write frame header", e))?;
-    w.write_all(payload)
+    w.write_all(&payload)
         .map_err(|e| io_error("write frame payload", e))?;
     w.flush().map_err(|e| io_error("flush frame", e))?;
-    Ok(FRAME_MAGIC.len() + 4 + payload.len())
+    Ok(magic.len() + 4 + payload.len())
+}
+
+/// Writes one `DBH1` (JSON) frame — the compatibility default (see
+/// [`JsonCodec`](super::codec::JsonCodec) for the exact compatibility
+/// scope).
+pub fn write_frame<W: Write>(w: &mut W, msg: &WireMsg) -> Result<usize, ProtocolError> {
+    write_frame_with(w, msg, CodecKind::Json)
 }
 
 /// Reads exactly `buf.len()` bytes. `at_frame_start` distinguishes a clean
@@ -143,21 +166,28 @@ fn read_exact_or(
     Ok(())
 }
 
-/// Reads one frame, returning the message and the total bytes consumed.
+/// Reads one frame in whichever known codec its magic announces, returning
+/// the message, the total bytes consumed, and the negotiated codec — the
+/// listener replies in the same codec, which is the whole per-connection
+/// negotiation protocol.
 ///
-/// Never panics and never reads past the frame: malformed magic, oversized
+/// Never panics and never reads past the frame: unknown magics, oversized
 /// lengths, truncation, disconnects and undecodable payloads each map to
 /// their own [`ProtocolError`] variant. With a read timeout set on the
 /// underlying stream, a silent peer surfaces as [`ProtocolError::Io`] when
 /// the timeout elapses — a caller is never stuck forever.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<(WireMsg, usize), ProtocolError> {
+pub fn read_frame_negotiated<R: Read>(
+    r: &mut R,
+) -> Result<(WireMsg, usize, CodecKind), ProtocolError> {
     let mut magic = [0u8; 4];
     read_exact_or(r, &mut magic, "header", true)?;
-    if magic != FRAME_MAGIC {
+    let Some(codec) = CodecKind::from_magic(magic) else {
         return Err(ProtocolError::MalformedFrame {
-            detail: format!("bad magic {magic:02x?}, expected {FRAME_MAGIC:02x?}"),
+            detail: format!(
+                "bad magic {magic:02x?}, expected {FRAME_MAGIC:02x?} or {FRAME_MAGIC_V2:02x?}"
+            ),
         });
-    }
+    };
     let mut len_bytes = [0u8; 4];
     read_exact_or(r, &mut len_bytes, "header", false)?;
     let len = u32::from_be_bytes(len_bytes) as usize;
@@ -169,13 +199,15 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(WireMsg, usize), ProtocolError>
     }
     let mut payload = vec![0u8; len];
     read_exact_or(r, &mut payload, "payload", false)?;
-    let text = std::str::from_utf8(&payload).map_err(|e| ProtocolError::MalformedFrame {
-        detail: format!("payload is not UTF-8: {e}"),
-    })?;
-    let msg: WireMsg = serde_json::from_str(text).map_err(|e| ProtocolError::MalformedFrame {
-        detail: format!("payload is not a wire message: {e}"),
-    })?;
-    Ok((msg, FRAME_MAGIC.len() + 4 + len))
+    let msg = codec.decode(&payload)?;
+    Ok((msg, magic.len() + 4 + len, codec))
+}
+
+/// Reads one frame of either codec, returning the message and the total
+/// bytes consumed. Use [`read_frame_negotiated`] when the caller needs to
+/// know which codec the peer speaks.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(WireMsg, usize), ProtocolError> {
+    read_frame_negotiated(r).map(|(msg, n, _)| (msg, n))
 }
 
 #[cfg(test)]
@@ -277,6 +309,69 @@ mod tests {
         buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         buf.extend_from_slice(payload);
         let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, ProtocolError::MalformedFrame { .. }), "{err}");
+    }
+
+    #[test]
+    fn frames_negotiate_their_codec_from_the_magic() {
+        let msg = WireMsg::AnnounceTry {
+            try_index: 1,
+            participants: vec![2, 4],
+        };
+        let mut buf = Vec::new();
+        let n1 = write_frame_with(&mut buf, &msg, CodecKind::Json).unwrap();
+        let n2 = write_frame_with(&mut buf, &msg, CodecKind::Binary).unwrap();
+        assert_eq!(buf[..4], FRAME_MAGIC);
+        assert_eq!(buf[n1..n1 + 4], FRAME_MAGIC_V2);
+
+        let mut cursor = &buf[..];
+        let (m1, r1, c1) = read_frame_negotiated(&mut cursor).unwrap();
+        let (m2, r2, c2) = read_frame_negotiated(&mut cursor).unwrap();
+        assert_eq!((m1, r1, c1), (msg.clone(), n1, CodecKind::Json));
+        assert_eq!((m2, r2, c2), (msg, n2, CodecKind::Binary));
+        assert_eq!(
+            read_frame_negotiated(&mut cursor),
+            Err(ProtocolError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn dbh2_error_paths_mirror_the_dbh1_suite() {
+        // Oversized length: rejected before allocating.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC_V2);
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err(),
+            ProtocolError::FrameTooLarge {
+                len: u32::MAX as usize,
+                max: MAX_FRAME_BYTES,
+            }
+        );
+
+        // Truncation inside magic, length, and payload.
+        let mut full = Vec::new();
+        write_frame_with(&mut full, &WireMsg::Ack, CodecKind::Binary).unwrap();
+        for cut in [2, 6, full.len() - 1] {
+            let err = read_frame(&mut &full[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::TruncatedFrame { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+
+        // A DBH2 magic carrying a JSON payload is malformed, not a panic:
+        // the magic commits the decoder to the binary layout.
+        let payload = serde_json::to_string(&WireMsg::Ack).unwrap().into_bytes();
+        let mut mixed = Vec::new();
+        mixed.extend_from_slice(&FRAME_MAGIC_V2);
+        mixed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        mixed.extend_from_slice(&payload);
+        let err = read_frame(&mut &mixed[..]).unwrap_err();
+        assert!(matches!(err, ProtocolError::MalformedFrame { .. }), "{err}");
+
+        // An unknown magic version is refused by name.
+        let err = read_frame(&mut &b"DBH3\x00\x00\x00\x00"[..]).unwrap_err();
         assert!(matches!(err, ProtocolError::MalformedFrame { .. }), "{err}");
     }
 }

@@ -14,9 +14,9 @@ use std::time::Duration;
 use dubhe_data::federated::{DatasetFamily, FederatedSpec};
 use dubhe_data::ClassDistribution;
 use dubhe_select::protocol::{
-    read_frame, run_registration_with, run_try, Coordinator, CoordinatorListener, Envelope,
-    InMemoryTransport, Party, ProtocolMsg, ShardedCoordinator, TcpTransport, TransportStats,
-    WireMsg, FRAME_MAGIC,
+    read_frame, run_registration_with, run_try, CodecKind, Coordinator, CoordinatorListener,
+    Envelope, InMemoryTransport, Party, ProtocolMsg, ShardedCoordinator, TcpTransport,
+    TransportStats, WireMsg, FRAME_MAGIC,
 };
 use dubhe_select::{ClientSelector, DubheConfig, DubheSelector, ProtocolError};
 use rand::SeedableRng;
@@ -99,39 +99,52 @@ fn sharded_coordinator_is_bit_identical_to_single_for_n_1_and_4() {
 }
 
 #[test]
-fn tcp_loopback_session_is_bit_identical_to_in_memory() {
+fn tcp_loopback_session_is_bit_identical_to_in_memory_under_both_codecs() {
     let dists = clients(24, 61);
 
     let (overall_mem, verdict_mem, stats_mem, server) =
         drive_session(&dists, 62, dubhe_select::CoordinatorServer::new(24));
 
     // Same exchange, but every server-bound envelope crosses a real socket
-    // to a sharded listener.
-    let listener = CoordinatorListener::spawn(ShardedCoordinator::new(24, 4)).unwrap();
-    let endpoint = TcpTransport::connect(listener.addr()).unwrap();
-    let (overall_tcp, verdict_tcp, stats_tcp, endpoint) = drive_session(&dists, 62, endpoint);
+    // to a sharded listener — once framed as DBH1 JSON, once as DBH2
+    // canonical binary. Decisions and canonical accounting must be
+    // identical; only the measured framing differs.
+    let mut wire_totals = Vec::new();
+    for codec in [CodecKind::Json, CodecKind::Binary] {
+        let listener = CoordinatorListener::spawn(ShardedCoordinator::new(24, 4)).unwrap();
+        let endpoint = TcpTransport::connect_with_codec(listener.addr(), codec).unwrap();
+        let (overall_tcp, verdict_tcp, stats_tcp, endpoint) = drive_session(&dists, 62, endpoint);
 
-    assert_eq!(overall_tcp, overall_mem);
-    assert_eq!(verdict_tcp, verdict_mem);
-    // The local transport saw the identical message flow...
-    assert_eq!(stats_tcp, stats_mem);
-    // ...and the socket actually carried it: framed bytes exceed the
-    // canonical ciphertext accounting (JSON framing is not free).
-    let wire = *endpoint.wire_stats();
-    assert!(wire.frames_sent > 0 && wire.frames_received > 0);
+        assert_eq!(overall_tcp, overall_mem, "{}", codec.name());
+        assert_eq!(verdict_tcp, verdict_mem, "{}", codec.name());
+        // The local transport saw the identical message flow...
+        assert_eq!(stats_tcp, stats_mem, "{}", codec.name());
+        // ...and the socket actually carried it: framed bytes exceed the
+        // canonical ciphertext accounting (framing is not free).
+        let wire = *endpoint.wire_stats();
+        assert!(wire.frames_sent > 0 && wire.frames_received > 0);
+        assert!(
+            wire.total_bytes() > stats_mem.total().bytes,
+            "{}: framed traffic {} should exceed canonical bytes {}",
+            codec.name(),
+            wire.total_bytes(),
+            stats_mem.total().bytes
+        );
+        wire_totals.push(wire.total_bytes());
+        endpoint.shutdown().unwrap();
+        let coordinator = listener.shutdown().expect("listener state");
+        // The remote coordinator saw exactly what the in-memory server saw,
+        // in canonical units — regardless of the payload format.
+        assert_eq!(coordinator.messages_received(), server.messages_received());
+        assert_eq!(coordinator.bytes_received(), server.bytes_received());
+        assert_eq!(coordinator.last_verdict(), Some(verdict_mem));
+    }
     assert!(
-        wire.total_bytes() > stats_mem.total().bytes,
-        "framed traffic {} should exceed canonical bytes {}",
-        wire.total_bytes(),
-        stats_mem.total().bytes
+        wire_totals[1] < wire_totals[0],
+        "DBH2 ({}) must frame the identical session in fewer bytes than DBH1 ({})",
+        wire_totals[1],
+        wire_totals[0]
     );
-    endpoint.shutdown().unwrap();
-    let coordinator = listener.shutdown().expect("listener state");
-    // The remote coordinator saw exactly what the in-memory server saw, in
-    // canonical units.
-    assert_eq!(coordinator.messages_received(), server.messages_received());
-    assert_eq!(coordinator.bytes_received(), server.bytes_received());
-    assert_eq!(coordinator.last_verdict(), Some(verdict_mem));
 }
 
 #[test]

@@ -331,7 +331,16 @@ impl BigUint {
 }
 
 /// Montgomery context for a fixed odd modulus (CIOS multiplication).
-pub(crate) struct MontgomeryContext {
+///
+/// Deriving the context costs one full-width division (`R² mod m`), which the
+/// one-shot [`BigUint::modpow`] pays on *every* call. Callers that
+/// exponentiate repeatedly under the same modulus (Paillier: everything is
+/// mod `n²`, `p²` or `q²` for the lifetime of a key) should build the context
+/// once with [`MontgomeryContext::new`] and reuse it via
+/// [`MontgomeryContext::modpow`] — the results are bit-for-bit identical to
+/// the uncached path, which this crate's tests pin.
+#[derive(Debug, Clone)]
+pub struct MontgomeryContext {
     m: Vec<u64>,
     m_prime: u64,
     /// R² mod m, used to map into the Montgomery domain.
@@ -340,8 +349,16 @@ pub(crate) struct MontgomeryContext {
 }
 
 impl MontgomeryContext {
-    pub(crate) fn new(modulus: &BigUint) -> Self {
-        debug_assert!(modulus.limbs[0] & 1 == 1);
+    /// Builds the context for an odd modulus.
+    ///
+    /// # Panics
+    /// Panics if `modulus` is zero or even (Montgomery reduction requires the
+    /// modulus to be coprime to the limb base 2⁶⁴).
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(
+            modulus.limbs.first().is_some_and(|l| l & 1 == 1),
+            "Montgomery context requires an odd modulus"
+        );
         let k = modulus.limbs.len();
         // -m⁻¹ mod 2⁶⁴ via Newton iteration.
         let m0 = modulus.limbs[0];
@@ -469,6 +486,25 @@ impl MontgomeryContext {
         let out = BigUint::from_limbs(reduced);
         debug_assert!(out < self.modulus);
         out
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// `base^exponent mod m` using this precomputed context.
+    ///
+    /// Bit-for-bit identical to [`BigUint::modpow`] with the same odd
+    /// modulus, but without re-deriving `R² mod m` on every call.
+    pub fn modpow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if self.modulus.is_one() {
+            return BigUint::default();
+        }
+        if exponent.limbs.is_empty() {
+            return BigUint::one();
+        }
+        self.pow(&(base % &self.modulus), exponent)
     }
 }
 
@@ -800,6 +836,39 @@ mod tests {
         let m = BigUint::from(1u64 << 32);
         let r = BigUint::from(3u64).modpow(&BigUint::from(20u64), &m);
         assert_eq!(r.to_string(), 3u64.pow(20).rem_euclid(1 << 32).to_string());
+    }
+
+    #[test]
+    fn cached_montgomery_context_matches_one_shot_modpow() {
+        // The reusable context must be bit-for-bit identical to the uncached
+        // path for every exponent shape, including the 0 and 1 edge cases.
+        let m = big("340282366920938463463374607431768211507"); // odd, 2 limbs
+        let ctx = MontgomeryContext::new(&m);
+        assert_eq!(ctx.modulus(), &m);
+        let bases = [
+            BigUint::default(),
+            BigUint::one(),
+            big("987654321987654321"),
+            big("340282366920938463463374607431768211509"), // > m: reduced first
+        ];
+        let exps = [
+            BigUint::default(),
+            BigUint::one(),
+            big("2"),
+            big("65537"),
+            big("340282366920938463463374607431768211456"),
+        ];
+        for b in &bases {
+            for e in &exps {
+                assert_eq!(ctx.modpow(b, e), b.modpow(e, &m), "base {b} exp {e}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn montgomery_context_rejects_even_modulus() {
+        let _ = MontgomeryContext::new(&BigUint::from(10u64));
     }
 
     #[test]

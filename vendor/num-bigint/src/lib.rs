@@ -12,5 +12,5 @@ mod biguint;
 mod rand_support;
 
 pub use bigint::{BigInt, Sign};
-pub use biguint::BigUint;
+pub use biguint::{BigUint, MontgomeryContext};
 pub use rand_support::RandBigInt;
