@@ -5,7 +5,10 @@
 //! speedup claimed in the crate docs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dubhe_he::{sum_vectors, sum_vectors_serial, EncryptedVector, Keypair, PrecomputedEncryptor};
+use dubhe_he::{
+    sum_vectors, sum_vectors_serial, CrtEncryptor, EncryptedVector, Encryptor, Keypair,
+    PrecomputedEncryptor,
+};
 use rand::SeedableRng;
 
 fn bench_keygen(c: &mut Criterion) {
@@ -25,7 +28,8 @@ fn bench_encrypt_decrypt(c: &mut Criterion) {
     group.sample_size(10);
     for bits in [256u64, 512, 1024] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let (pk, sk) = Keypair::generate(bits, &mut rng).split();
+        let kp = Keypair::generate(bits, &mut rng);
+        let (pk, sk) = (kp.public.clone(), kp.private.clone());
         group.bench_with_input(BenchmarkId::new("encrypt_naive", bits), &bits, |b, _| {
             b.iter(|| pk.encrypt_u64(123_456, &mut rng));
         });
@@ -37,6 +41,12 @@ fn bench_encrypt_decrypt(c: &mut Criterion) {
                 b.iter(|| encryptor.encrypt_u64(123_456, &mut rng));
             },
         );
+        // The keypair-side tier: same fixed-base table, evaluated mod p²/q²
+        // through the key's cached Montgomery contexts and CRT-recombined.
+        let crt = CrtEncryptor::new(&kp, &mut rng).expect("valid keypair");
+        group.bench_with_input(BenchmarkId::new("encrypt_crt", bits), &bits, |b, _| {
+            b.iter(|| crt.encrypt_u64(123_456, &mut rng));
+        });
         let ct = pk.encrypt_u64(123_456, &mut rng);
         group.bench_with_input(BenchmarkId::new("decrypt", bits), &bits, |b, _| {
             b.iter(|| sk.decrypt_u64(&ct));
@@ -68,10 +78,14 @@ fn bench_vector_fast_vs_naive(c: &mut Criterion) {
     group.bench_function("encrypt_registry56_precomputed", |b| {
         b.iter(|| EncryptedVector::encrypt_u64_with(&encryptor, &registry, &mut rng));
     });
+    let crt = CrtEncryptor::from_keys(&pk, &sk, &mut rng).expect("valid keypair");
+    group.bench_function("encrypt_registry56_crt", |b| {
+        b.iter(|| EncryptedVector::encrypt_u64_with(&crt, &registry, &mut rng));
+    });
 
     let enc = EncryptedVector::encrypt_u64(&pk, &registry, &mut rng);
     group.bench_function("decrypt_registry56_batch", |b| {
-        b.iter(|| enc.decrypt_u64(&sk));
+        b.iter(|| enc.decrypt_u64(&sk).unwrap());
     });
     group.finish();
 }
@@ -93,7 +107,7 @@ fn bench_registry_vector(c: &mut Criterion) {
         b.iter(|| enc.add(&enc2).unwrap());
     });
     group.bench_function("decrypt_registry", |b| {
-        b.iter(|| enc.decrypt_u64(&sk));
+        b.iter(|| enc.decrypt_u64(&sk).unwrap());
     });
     group.finish();
 }

@@ -1,0 +1,140 @@
+//! Scaling benchmark of registry aggregation: how fast can a coordinator
+//! fold `N` client registries into one homomorphic sum, for `N` from 10² to
+//! 10⁵?
+//!
+//! Three routes are timed over the same synthetic ciphertexts (uniform
+//! residues below `n²` — the fold is arithmetic on residues, so synthetic
+//! inputs measure exactly what real registries cost, without paying 10⁵
+//! encryptions to set the sweep up):
+//!
+//! * `serial`   — the reference left-to-right `(acc · c) mod n²` fold
+//!   ([`sum_vectors_serial`]), one full multiply + Knuth division per
+//!   element;
+//! * `mont`     — the Montgomery-domain batch fold ([`sum_vectors`]): one
+//!   CIOS multiply per element, one conversion out per position;
+//! * `running`  — the coordinator-style incremental [`RunningFold`] (one
+//!   vector at a time, as registries arrive over the wire).
+//!
+//! All three produce bit-identical totals (asserted here for the smaller
+//! sweep points). Besides the criterion groups, the binary writes
+//! `results/BENCH_agg.json` with per-count timings and speedups so CI tracks
+//! the aggregation trajectory the way `BENCH_wire.json` tracks framing
+//! (`cargo bench -p dubhe-bench --bench registry_agg -- --test`).
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use dubhe_bench::synthetic_registries;
+use dubhe_he::{sum_vectors, sum_vectors_serial, Keypair, RunningFold};
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// CI key size: the byte/op accounting scales with the modulus, the fold
+/// structure does not, so a small key keeps the 10⁵ point affordable.
+const KEY_BITS: u64 = 256;
+
+/// Registry length of the paper's group-1 configuration.
+const REGISTRY_LEN: usize = 56;
+
+fn bench_fold_routes(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA66);
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+    let mut group = c.benchmark_group("registry_agg");
+    group.sample_size(10);
+    for count in [100usize, 1000] {
+        let vectors = synthetic_registries(&kp.public, count, REGISTRY_LEN, 0xA66E);
+        group.bench_with_input(BenchmarkId::new("serial", count), &vectors, |b, vs| {
+            b.iter(|| sum_vectors_serial(black_box(vs)).unwrap().unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("mont", count), &vectors, |b, vs| {
+            b.iter(|| sum_vectors(black_box(vs)).unwrap().unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("running", count), &vectors, |b, vs| {
+            b.iter(|| {
+                let mut fold = RunningFold::new(&vs[0]);
+                for v in &vs[1..] {
+                    fold.fold(v).unwrap();
+                }
+                fold.total()
+            });
+        });
+    }
+    group.finish();
+}
+
+#[derive(Serialize)]
+struct AggRow {
+    clients: usize,
+    registry_len: usize,
+    key_bits: u64,
+    serial_ms: f64,
+    mont_ms: f64,
+    running_fold_ms: f64,
+    /// Serial reference over the Montgomery batch fold.
+    speedup_mont: f64,
+    /// Serial reference over the incremental running fold.
+    speedup_running: f64,
+    /// Montgomery batch throughput in folded elements per second.
+    mont_elems_per_s: f64,
+}
+
+/// The 10²…10⁵ sweep behind `results/BENCH_agg.json`.
+fn write_agg_report() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA66);
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+    let mut rows = Vec::new();
+    for &count in &[100usize, 1_000, 10_000, 100_000] {
+        let vectors = synthetic_registries(&kp.public, count, REGISTRY_LEN, 0xA66E);
+
+        let t = Instant::now();
+        let serial = sum_vectors_serial(&vectors).unwrap().unwrap();
+        let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let mont = sum_vectors(&vectors).unwrap().unwrap();
+        let mont_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let mut fold = RunningFold::new(&vectors[0]);
+        for v in &vectors[1..] {
+            fold.fold(v).unwrap();
+        }
+        let running = fold.total();
+        let running_fold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(mont, serial, "Montgomery batch fold diverged at {count}");
+        assert_eq!(running, serial, "running fold diverged at {count}");
+
+        let elems = (count * REGISTRY_LEN) as f64;
+        rows.push(AggRow {
+            clients: count,
+            registry_len: REGISTRY_LEN,
+            key_bits: KEY_BITS,
+            serial_ms,
+            mont_ms,
+            running_fold_ms,
+            speedup_mont: serial_ms / mont_ms,
+            speedup_running: serial_ms / running_fold_ms,
+            mont_elems_per_s: elems / (mont_ms / 1e3),
+        });
+    }
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "clients", "serial ms", "mont ms", "running ms", "mont x", "running x"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>12.1} {:>8.2}x {:>8.2}x",
+            r.clients, r.serial_ms, r.mont_ms, r.running_fold_ms, r.speedup_mont, r.speedup_running
+        );
+    }
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    dubhe_bench::dump_json_at(&results, "BENCH_agg", &rows);
+}
+
+criterion_group!(benches, bench_fold_routes);
+
+fn main() {
+    benches();
+    write_agg_report();
+}

@@ -71,7 +71,7 @@ fn main() {
         let enc = EncryptedVector::encrypt_u64(&pk, values, &mut rng);
         let encrypt_ms = t.elapsed().as_secs_f64() * 1e3;
         let t = Instant::now();
-        let dec = enc.decrypt_u64(&sk);
+        let dec = enc.decrypt_u64(&sk).expect("registry counters fit in u64");
         let decrypt_ms = t.elapsed().as_secs_f64() * 1e3;
         assert_eq!(dec, values, "round trip must be lossless");
         let size = measure_vector(&enc);
@@ -149,9 +149,47 @@ fn main() {
 
     let in_memory_stats = protocol_round_trip(key_bits);
     tcp_round_trip(key_bits, &in_memory_stats);
+    aggregation_throughput(&pk);
     encrypted_simulation(key_bits);
 
     dubhe_bench::dump_json("overhead_report", &rows);
+}
+
+/// Prints the registry-aggregation throughput next to the codec table: how
+/// fast the coordinator folds client registries with the reference
+/// multiply-and-divide path vs the Montgomery-domain fold (the route
+/// `sum_vectors`, `CoordinatorServer` and `ShardedCoordinator` actually
+/// take). The full 10²…10⁵ sweep lives in the `registry_agg` bench
+/// (`results/BENCH_agg.json`); this is the at-a-glance line for the report's
+/// key size.
+fn aggregation_throughput(pk: &dubhe_he::PublicKey) {
+    use dubhe_he::{sum_vectors, sum_vectors_serial};
+
+    let clients = 2000usize;
+    let len = 56usize;
+    let registries = dubhe_bench::synthetic_registries(pk, clients, len, 0xA66);
+
+    let t = Instant::now();
+    let serial = sum_vectors_serial(&registries)
+        .expect("same shape")
+        .expect("non-empty");
+    let serial_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mont = sum_vectors(&registries)
+        .expect("same shape")
+        .expect("non-empty");
+    let mont_s = t.elapsed().as_secs_f64();
+    assert_eq!(mont, serial, "Montgomery fold must be bit-identical");
+
+    let elems = (clients * len) as f64;
+    println!(
+        "\nregistry aggregation ({clients} clients x length {len}, {}-bit key):\n  \
+         serial fold {:>10.0} elems/s, Montgomery-domain fold {:>10.0} elems/s ({:.2}x)",
+        pk.bits(),
+        elems / serial_s,
+        elems / mont_s,
+        serial_s / mont_s,
+    );
 }
 
 /// Drives one registration epoch plus one H=3 multi-time round through the

@@ -185,6 +185,36 @@ pub fn print_series(name: &str, values: &[f64]) {
     println!("{name:<22} {}", joined.join(" "));
 }
 
+/// Synthetic encrypted registries for aggregation sweeps: vectors of
+/// uniform residues below `n²`. Folding is arithmetic on residues, so
+/// synthetic inputs measure exactly what real registries cost without
+/// paying `count × len` encryptions to set a sweep up. Shared by the
+/// `registry_agg` bench and `overhead_report`'s throughput line so both
+/// generate identical inputs.
+pub fn synthetic_registries(
+    public: &dubhe_he::PublicKey,
+    count: usize,
+    len: usize,
+    seed: u64,
+) -> Vec<dubhe_he::EncryptedVector> {
+    use num_bigint::RandBigInt;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_squared = public.n_squared().clone();
+    (0..count)
+        .map(|_| {
+            let elements: Vec<dubhe_he::Ciphertext> = (0..len)
+                .map(|_| {
+                    dubhe_he::Ciphertext::from_raw(
+                        rng.gen_biguint_below(&n_squared),
+                        public.clone(),
+                    )
+                })
+                .collect();
+            dubhe_he::EncryptedVector::from_ciphertexts(public, elements).expect("same key")
+        })
+        .collect()
+}
+
 /// Writes any serialisable result object as JSON next to the binary output so
 /// EXPERIMENTS.md can reference machine-readable results.
 pub fn dump_json<T: Serialize>(experiment: &str, value: &T) {

@@ -1,7 +1,7 @@
 //! A federated client: a fixed local dataset plus the local-training step.
 
 use dubhe_data::{ClassDistribution, Dataset};
-use dubhe_he::{EncryptedVector, FixedPointCodec, PrecomputedEncryptor};
+use dubhe_he::{EncryptedVector, Encryptor, FixedPointCodec};
 use dubhe_ml::{Adam, Optimizer, Sequential, Sgd};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -131,12 +131,15 @@ impl FlClient {
     /// what a tentatively selected client sends the server during secure
     /// multi-time selection (§5.3.1).
     ///
-    /// Takes the epoch's shared [`PrecomputedEncryptor`] so all `≈ H·K`
-    /// encryptions of a round reuse one fixed-base table.
-    pub fn encrypt_distribution<R: Rng + ?Sized>(
+    /// Takes the epoch's shared [`Encryptor`] so all `≈ H·K` encryptions of
+    /// a round reuse one fixed-base table — the CRT-split
+    /// [`CrtEncryptor`](dubhe_he::CrtEncryptor) when the keypair is in hand,
+    /// the [`PrecomputedEncryptor`](dubhe_he::PrecomputedEncryptor)
+    /// otherwise.
+    pub fn encrypt_distribution<E: Encryptor + ?Sized, R: Rng + ?Sized>(
         &self,
         codec: &FixedPointCodec,
-        encryptor: &PrecomputedEncryptor,
+        encryptor: &E,
         rng: &mut R,
     ) -> EncryptedVector {
         let scaled = codec.encode_vec(&self.distribution().proportions());
@@ -192,10 +195,10 @@ mod tests {
         let client = client_with(vec![12, 4, 4, 0, 0, 0, 0, 0, 0, 0], 0);
         let mut rng = StdRng::seed_from_u64(41);
         let (pk, sk) = Keypair::generate(256, &mut rng).split();
-        let encryptor = PrecomputedEncryptor::new(&pk, &mut rng);
+        let encryptor = dubhe_he::PrecomputedEncryptor::new(&pk, &mut rng);
         let codec = FixedPointCodec::default();
         let encrypted = client.encrypt_distribution(&codec, &encryptor, &mut rng);
-        let decrypted = codec.decode_vec(&encrypted.decrypt_u64(&sk));
+        let decrypted = codec.decode_vec(&encrypted.decrypt_u64(&sk).unwrap());
         for (d, p) in decrypted.iter().zip(client.distribution().proportions()) {
             assert!(
                 (d - p).abs() <= codec.max_error(),

@@ -1,0 +1,228 @@
+//! Montgomery-domain running aggregation of encrypted vectors.
+//!
+//! The coordinator folds client registries into one homomorphic sum *as they
+//! arrive*: per arriving vector, one modular multiplication per registry
+//! position. Done naively that multiplication is a full-width product
+//! followed by a Knuth division by `n²` — the division being pure overhead,
+//! because the key's cached [`MontgomeryContext`] can reduce with shifts and
+//! adds instead.
+//!
+//! [`RunningFold`] keeps the entire running state **inside the Montgomery
+//! domain**: arriving residues are multiplied in with a single CIOS
+//! multiplication each (no per-element conversion — the fold tracks the
+//! accumulated `R⁻¹` deficit instead), and the state is converted out once
+//! per position when the total is read. The produced ciphertexts are
+//! **bit-for-bit identical** to a left-to-right
+//! [`EncryptedVector::add`](crate::EncryptedVector::add) chain (and to
+//! [`sum_vectors_serial`](crate::sum_vectors_serial)): a modular product does
+//! not depend on the reduction route. The property tests pin this for every
+//! fold shape the coordinators use.
+//!
+//! Keys whose modulus is even (impossible for generated keys, conceivable
+//! for forged wire material) have no Montgomery context; the fold silently
+//! degrades to plain reductions with the same results.
+
+use num_bigint::{BigUint, MontgomeryOperand};
+
+use crate::ciphertext::Ciphertext;
+use crate::error::HeError;
+use crate::keys::PublicKey;
+use crate::vector::{map_indexed, EncryptedVector};
+
+#[cfg(doc)]
+use num_bigint::MontgomeryContext;
+
+/// The per-position accumulators of a [`RunningFold`].
+#[derive(Debug, Clone)]
+enum FoldState {
+    /// In-domain accumulators: after folding `folded` vectors, position `i`
+    /// stores the true running product times `R^-(folded - 1)`.
+    Mont(Vec<MontgomeryOperand>),
+    /// Plain residues (even-modulus fallback).
+    Plain(Vec<BigUint>),
+}
+
+/// A running homomorphic sum of same-shape encrypted vectors, accumulated in
+/// the Montgomery domain of the key's cached `n²` context.
+///
+/// One CIOS multiplication per position per folded vector; one conversion
+/// out per position when [`total`](Self::total) is read. Equivalent, bit for
+/// bit, to folding with [`EncryptedVector::add`] — just without paying a
+/// full-width division per element.
+#[derive(Debug, Clone)]
+pub struct RunningFold {
+    public: PublicKey,
+    /// How many vectors have been folded in (≥ 1).
+    folded: u64,
+    state: FoldState,
+}
+
+impl RunningFold {
+    /// Seeds the fold with its first vector.
+    pub fn new(v: &EncryptedVector) -> Self {
+        let public = v.public_key().clone();
+        let state = match public.mont_n2() {
+            Some(ctx) => FoldState::Mont(
+                v.elements()
+                    .iter()
+                    .map(|c| ctx.montgomery_residue(c.raw()))
+                    .collect(),
+            ),
+            None => FoldState::Plain(v.elements().iter().map(|c| c.raw().clone()).collect()),
+        };
+        RunningFold {
+            public,
+            folded: 1,
+            state,
+        }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        match &self.state {
+            FoldState::Mont(e) => e.len(),
+            FoldState::Plain(e) => e.len(),
+        }
+    }
+
+    /// `true` if the fold has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many vectors have been folded in so far.
+    pub fn folded(&self) -> u64 {
+        self.folded
+    }
+
+    /// The key every folded vector was encrypted under.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Folds one more vector into the running sum. Shape and key mismatches
+    /// are typed errors, exactly like [`EncryptedVector::add`].
+    pub fn fold(&mut self, v: &EncryptedVector) -> Result<(), HeError> {
+        if v.len() != self.len() {
+            return Err(HeError::LengthMismatch {
+                left: self.len(),
+                right: v.len(),
+            });
+        }
+        if !v.public_key().same_key(&self.public) {
+            return Err(HeError::KeyMismatch);
+        }
+        let public = &self.public;
+        match &mut self.state {
+            FoldState::Mont(elems) => {
+                let ctx = public.mont_n2().expect("Mont state implies a context");
+                let next = map_indexed(elems.len(), |i| {
+                    ctx.montgomery_mul_residue(&elems[i], v.elements()[i].raw())
+                });
+                *elems = next;
+            }
+            FoldState::Plain(elems) => {
+                let n_squared = public.n_squared();
+                let next = map_indexed(elems.len(), |i| {
+                    (&elems[i] * v.elements()[i].raw()) % n_squared
+                });
+                *elems = next;
+            }
+        }
+        self.folded += 1;
+        Ok(())
+    }
+
+    /// The running total as an ordinary encrypted vector: converts every
+    /// position out of the Montgomery domain (one correction multiply + one
+    /// exit multiply each). Non-destructive — the fold can keep advancing.
+    pub fn total(&self) -> EncryptedVector {
+        let elements = match &self.state {
+            FoldState::Mont(elems) => {
+                let ctx = self.public.mont_n2().expect("Mont state implies a context");
+                // `folded` vectors went through `folded - 1` in-domain
+                // multiplies (deficit R^-(folded-1)); multiplying by
+                // R^(folded+1) and exiting lands exactly on the product.
+                let correction = ctx.montgomery_residue(&ctx.r_power(self.folded + 1));
+                map_indexed(elems.len(), |i| {
+                    let value = ctx.from_montgomery(&ctx.montgomery_mul(&elems[i], &correction));
+                    Ciphertext::from_raw(value, self.public.clone())
+                })
+            }
+            FoldState::Plain(elems) => map_indexed(elems.len(), |i| {
+                Ciphertext::from_raw(elems[i].clone(), self.public.clone())
+            }),
+        };
+        EncryptedVector::from_raw_parts(elements, self.public.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Keypair;
+    use crate::vector::sum_vectors_serial;
+    use rand::SeedableRng;
+
+    fn vectors(count: usize, len: usize) -> (Keypair, Vec<EncryptedVector>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF01D);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let vs = (0..count)
+            .map(|i| {
+                let v: Vec<u64> = (0..len).map(|j| ((i * 7 + j) % 5) as u64).collect();
+                EncryptedVector::encrypt_u64(&kp.public, &v, &mut rng)
+            })
+            .collect();
+        (kp, vs)
+    }
+
+    #[test]
+    fn running_fold_is_bit_identical_to_the_serial_fold() {
+        for (count, len) in [(1usize, 9usize), (2, 3), (7, 13), (12, 56)] {
+            let (_kp, vs) = vectors(count, len);
+            let mut fold = RunningFold::new(&vs[0]);
+            for v in &vs[1..] {
+                fold.fold(v).unwrap();
+            }
+            assert_eq!(fold.folded(), count as u64);
+            let total = fold.total();
+            let serial = sum_vectors_serial(&vs).unwrap().unwrap();
+            for (i, (a, b)) in total.elements().iter().zip(serial.elements()).enumerate() {
+                assert_eq!(a.raw(), b.raw(), "count {count} len {len} position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_is_readable_mid_fold() {
+        let (kp, vs) = vectors(5, 4);
+        let mut fold = RunningFold::new(&vs[0]);
+        fold.fold(&vs[1]).unwrap();
+        let partial = fold.total();
+        let expected = sum_vectors_serial(&vs[..2]).unwrap().unwrap();
+        assert_eq!(partial, expected);
+        // Reading the total must not perturb further folding.
+        for v in &vs[2..] {
+            fold.fold(v).unwrap();
+        }
+        assert_eq!(fold.total(), sum_vectors_serial(&vs).unwrap().unwrap());
+        let _ = kp;
+    }
+
+    #[test]
+    fn shape_and_key_mismatches_are_typed_errors() {
+        let (_kp, vs) = vectors(2, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let other = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let short = EncryptedVector::encrypt_u64(&other.public, &[1, 2, 3], &mut rng);
+        let mut fold = RunningFold::new(&vs[0]);
+        assert_eq!(
+            fold.fold(&short).unwrap_err(),
+            HeError::LengthMismatch { left: 4, right: 3 }
+        );
+        let foreign = EncryptedVector::encrypt_u64(&other.public, &[1, 2, 3, 4], &mut rng);
+        assert_eq!(fold.fold(&foreign).unwrap_err(), HeError::KeyMismatch);
+        // Failed folds must not advance the count.
+        assert_eq!(fold.folded(), 1);
+    }
+}

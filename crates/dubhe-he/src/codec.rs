@@ -136,6 +136,7 @@ pub fn decode_ciphertext(cur: &mut &[u8], public: &PublicKey) -> Result<Cipherte
 /// fixed-width ciphertexts. The ciphertext portion is exactly
 /// [`vector_wire_bytes`](crate::transport::vector_wire_bytes).
 pub fn encode_vector(vector: &EncryptedVector, out: &mut Vec<u8>) -> Result<(), HeError> {
+    out.reserve(encoded_vector_bytes(vector));
     encode_public_key(vector.public_key(), out);
     put_u32(out, vector.len() as u32);
     let width = ciphertext_size_bytes(vector.public_key());
@@ -143,6 +144,16 @@ pub fn encode_vector(vector: &EncryptedVector, out: &mut Vec<u8>) -> Result<(), 
         put_biguint_fixed(out, ct.raw(), width)?;
     }
     Ok(())
+}
+
+/// Exact encoded size of [`encode_vector`]'s output, from the transport size
+/// model: the key header plus `count` fixed-width ciphertexts. Encoders
+/// reserve this up front so a registry never grows its buffer element by
+/// element.
+pub fn encoded_vector_bytes(vector: &EncryptedVector) -> usize {
+    4 + crate::transport::public_key_size_bytes(vector.public_key())
+        + 4
+        + crate::transport::vector_wire_bytes(vector)
 }
 
 /// Decodes an encrypted vector. The announced element count is checked
@@ -232,7 +243,7 @@ mod tests {
         let back = decode_vector(&mut cur).unwrap();
         assert!(cur.is_empty(), "decoding must consume the whole encoding");
         assert_eq!(back, v);
-        assert_eq!(back.decrypt_u64(&sk), values);
+        assert_eq!(back.decrypt_u64(&sk).unwrap(), values);
     }
 
     #[test]

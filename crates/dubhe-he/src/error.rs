@@ -11,6 +11,14 @@ pub enum HeError {
     LengthMismatch { left: usize, right: usize },
     /// A plaintext does not fit into the message space of the key.
     PlaintextTooLarge,
+    /// A decrypted plaintext is wider than the integer type the caller asked
+    /// for (e.g. a registry counter that no longer fits in a `u64`).
+    PlaintextTooWide {
+        /// Number of significant bits of the decrypted plaintext.
+        bits: u64,
+        /// Width in bits of the requested integer type.
+        max_bits: u64,
+    },
     /// A packed word would overflow its slot width.
     PackingOverflow { slot_bits: u32, value: u64 },
     /// The packing slot width leaves no room for even one slot (plus the
@@ -65,6 +73,13 @@ impl fmt::Display for HeError {
             }
             HeError::PlaintextTooLarge => {
                 write!(f, "plaintext does not fit in the Paillier message space")
+            }
+            HeError::PlaintextTooWide { bits, max_bits } => {
+                write!(
+                    f,
+                    "decrypted plaintext needs {bits} bits but the caller asked \
+                     for a {max_bits}-bit integer"
+                )
             }
             HeError::PackingOverflow { slot_bits, value } => {
                 write!(

@@ -42,14 +42,30 @@
 //! component, and 5–10× end-to-end once the (cheap) message component and
 //! final multiplication are included. The `paillier_ops` criterion bench
 //! measures both paths side by side.
+//!
+//! ## The CRT-split tier
+//!
+//! Parties that hold the *keypair* — in Dubhe, every selection client and
+//! the agent, but never the coordinator — can do better still:
+//! [`CrtEncryptor`] evaluates the same fixed-base table modulo `p²` and
+//! `q²` (half-width operands, so each multiplication costs about a quarter
+//! of its `n²` counterpart), entirely inside the Montgomery domain of the
+//! private key's cached contexts, and Garner-recombines the two legs to the
+//! unique residue mod `n²`. Because both tiers share one `h` per key handle
+//! and the same exponent sampling, their ciphertexts are **bit-for-bit
+//! identical** given the same randomness stream — measured ≥2.5× over
+//! [`PrecomputedEncryptor`] on scalar and registry-vector encryption.
+//! [`EpochEncryptor::for_key_material`] picks the best tier the key
+//! material in hand supports.
 
-use num_bigint::{BigUint, RandBigInt};
-use num_traits::Zero;
+use num_bigint::{BigUint, MontgomeryContext, MontgomeryOperand, RandBigInt};
+use num_traits::{One, Zero};
 use rand::Rng;
 
 use crate::ciphertext::Ciphertext;
 use crate::error::HeError;
-use crate::keys::PublicKey;
+use crate::keys::{Keypair, PrivateKey, PublicKey};
+use crate::prime::mod_inverse;
 
 /// Bit length of the short randomness exponent `x` (≈ 2× the 128-bit
 /// security level targeted by 2048-bit moduli).
@@ -70,23 +86,14 @@ pub(crate) struct FastBase {
 }
 
 impl FastBase {
-    /// Samples `g₀`, computes `h = g₀ⁿ mod n²` (the one full-width
-    /// exponentiation this scheme ever pays, through the key's cached
-    /// Montgomery context) and expands the window table.
-    pub(crate) fn new<R: Rng + ?Sized>(public: &PublicKey, rng: &mut R) -> Self {
-        let n = public.n();
+    /// Expands the window table for the key's shared subgroup generator `h`
+    /// (see [`sample_subgroup_h`] — both encryptor tiers derive from the
+    /// same `h`, which is what keeps their ciphertexts interchangeable).
+    pub(crate) fn new(public: &PublicKey, h: &BigUint) -> Self {
         let n_squared = public.n_squared();
-        let g0 = loop {
-            let candidate = rng.gen_biguint_below(n);
-            if !candidate.is_zero() {
-                break candidate;
-            }
-        };
-        let h = public.pow_mod_n_squared(&g0, n);
-
         let windows = RANDOMNESS_EXPONENT_BITS.div_ceil(WINDOW_BITS) as usize;
         let mut table = Vec::with_capacity(windows);
-        let mut window_base = h;
+        let mut window_base = h.clone();
         for w in 0..windows {
             let mut row = Vec::with_capacity(15);
             row.push(window_base.clone());
@@ -109,9 +116,7 @@ impl FastBase {
         let mut acc: Option<BigUint> = None;
         let digits = x.to_u64_digits();
         for (w, row) in self.table.iter().enumerate() {
-            let bit = w as u64 * WINDOW_BITS;
-            let limb = digits.get((bit / 64) as usize).copied().unwrap_or(0);
-            let digit = ((limb >> (bit % 64)) & 0xF) as usize;
+            let digit = window_digit(&digits, w);
             if digit == 0 {
                 continue;
             }
@@ -123,6 +128,30 @@ impl FastBase {
         }
         acc.unwrap_or_else(num_traits::One::one)
     }
+}
+
+/// Samples `g₀` and computes the subgroup generator `h = g₀ⁿ mod n²` — the
+/// one full-width exponentiation the fixed-base scheme ever pays, through
+/// the key's cached Montgomery context. Cached once per key handle (see
+/// `PublicKey::subgroup_h`); both encryptor tiers consume the same `h`, so
+/// neither needs the other's tables to exist.
+pub(crate) fn sample_subgroup_h<R: Rng + ?Sized>(public: &PublicKey, rng: &mut R) -> BigUint {
+    let n = public.n();
+    let g0 = loop {
+        let candidate = rng.gen_biguint_below(n);
+        if !candidate.is_zero() {
+            break candidate;
+        }
+    };
+    public.pow_mod_n_squared(&g0, n)
+}
+
+/// The `w`-th 4-bit window of an exponent given as little-endian limbs.
+/// (`WINDOW_BITS` divides 64, so a window never straddles a limb boundary.)
+fn window_digit(digits: &[u64], w: usize) -> usize {
+    let bit = w as u64 * WINDOW_BITS;
+    let limb = digits.get((bit / 64) as usize).copied().unwrap_or(0);
+    ((limb >> (bit % 64)) & 0xF) as usize
 }
 
 /// Fast Paillier encryptor bound to one shared [`PublicKey`].
@@ -153,58 +182,274 @@ impl PrecomputedEncryptor {
     pub fn public_key(&self) -> &PublicKey {
         &self.public
     }
+}
+
+impl Encryptor for PrecomputedEncryptor {
+    fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    fn randomizer_for(&self, x: &BigUint) -> BigUint {
+        self.public
+            .fast_base(&mut NoRng)
+            .pow(x, self.public.n_squared())
+    }
+}
+
+/// A source of Paillier ciphertext randomness bound to one shared
+/// [`PublicKey`]: the common interface of [`PrecomputedEncryptor`] (needs
+/// only the public key) and [`CrtEncryptor`] (exploits the private factors).
+/// Bulk vector encryption and the protocol roles are generic over it, the
+/// scalar `encrypt*` surface is provided once here, and every
+/// implementation produces bit-identical ciphertexts from the same
+/// randomness stream — only [`randomizer_for`](Self::randomizer_for)'s
+/// arithmetic route differs.
+pub trait Encryptor: Sync {
+    /// The key ciphertexts are produced under.
+    fn public_key(&self) -> &PublicKey;
+
+    /// The randomness component `hˣ mod n²` for a pre-sampled short
+    /// ([`RANDOMNESS_EXPONENT_BITS`]-bit) exponent `x`. Deterministic:
+    /// same `x`, same component, whichever implementation computes it.
+    fn randomizer_for(&self, x: &BigUint) -> BigUint;
 
     /// Samples a fresh randomness component `hˣ mod n²`.
-    pub fn randomizer<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+    fn randomizer<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
         let x = sample_short_exponent(rng);
-        let base = self.public.fast_base(rng);
-        base.pow(&x, self.public.n_squared())
+        self.randomizer_for(&x)
     }
 
     /// Encrypts an arbitrary-precision non-negative integer.
     ///
     /// Returns [`HeError::PlaintextTooLarge`] if `m >= n`.
-    pub fn encrypt<R: Rng + ?Sized>(
-        &self,
-        m: &BigUint,
-        rng: &mut R,
-    ) -> Result<Ciphertext, HeError> {
-        if m >= self.public.n() {
+    fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Result<Ciphertext, HeError> {
+        let public = self.public_key();
+        if m >= public.n() {
             return Err(HeError::PlaintextTooLarge);
         }
-        let value = (self.public.g_to_m(m) * self.randomizer(rng)) % self.public.n_squared();
-        Ok(Ciphertext::from_raw(value, self.public.clone()))
+        let value = (public.g_to_m(m) * self.randomizer(rng)) % public.n_squared();
+        Ok(Ciphertext::from_raw(value, public.clone()))
     }
 
     /// Encrypts a `u64` plaintext.
-    pub fn encrypt_u64<R: Rng + ?Sized>(&self, m: u64, rng: &mut R) -> Ciphertext {
+    fn encrypt_u64<R: Rng + ?Sized>(&self, m: u64, rng: &mut R) -> Ciphertext {
         self.encrypt(&BigUint::from(m), rng)
             .expect("u64 always fits in a >=64-bit modulus")
     }
 
     /// Encrypts a signed integer using the `n/2` wrap-around convention.
-    pub fn encrypt_i64<R: Rng + ?Sized>(&self, m: i64, rng: &mut R) -> Ciphertext {
-        let encoded = self.public.encode_i64(m);
+    fn encrypt_i64<R: Rng + ?Sized>(&self, m: i64, rng: &mut R) -> Ciphertext {
+        let encoded = self.public_key().encode_i64(m);
         self.encrypt(&encoded, rng)
             .expect("encoded value is below n")
     }
+}
 
-    /// Pre-samples short exponents for `count` ciphertexts. Splitting the
-    /// (cheap, sequential) RNG draws from the (heavy, parallelisable) table
-    /// exponentiations is what lets vector encryption fan out over cores.
-    pub(crate) fn sample_exponents<R: Rng + ?Sized>(
-        &self,
-        count: usize,
-        rng: &mut R,
-    ) -> Vec<BigUint> {
-        (0..count).map(|_| sample_short_exponent(rng)).collect()
+/// Pre-samples short exponents for `count` ciphertexts. Splitting the
+/// (cheap, sequential) RNG draws from the (heavy, parallelisable) table
+/// exponentiations is what lets vector encryption fan out over cores.
+pub(crate) fn sample_exponents<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<BigUint> {
+    (0..count).map(|_| sample_short_exponent(rng)).collect()
+}
+
+/// One CRT leg of the split encryptor: the fixed-base window table for
+/// `h mod s` (`s ∈ {p², q²}`), held entirely in the Montgomery domain of the
+/// key's cached context for `s`, so the per-ciphertext windowed product is a
+/// chain of half-width CIOS multiplications with a single conversion out.
+#[derive(Debug, Clone)]
+struct CrtLeg {
+    /// The key's Montgomery context for this leg's modulus.
+    ctx: MontgomeryContext,
+    /// `table[w][d-1]` = Montgomery form of `h^(d·16ʷ) mod s`.
+    table: Vec<Vec<MontgomeryOperand>>,
+}
+
+impl CrtLeg {
+    fn new(ctx: &MontgomeryContext, h: &BigUint) -> Self {
+        let windows = RANDOMNESS_EXPONENT_BITS.div_ceil(WINDOW_BITS) as usize;
+        let mut table = Vec::with_capacity(windows);
+        let mut window_base = ctx.to_montgomery(h);
+        for w in 0..windows {
+            let mut row = Vec::with_capacity(15);
+            row.push(window_base.clone());
+            for d in 1..15 {
+                row.push(ctx.montgomery_mul(&row[d - 1], &window_base));
+            }
+            if w + 1 < windows {
+                // base of the next window: h^(16^(w+1)) = (h^16^w)^16.
+                window_base = ctx.montgomery_mul(&row[14], &window_base);
+            }
+            table.push(row);
+        }
+        CrtLeg {
+            ctx: ctx.clone(),
+            table,
+        }
     }
 
-    /// The randomness component for a pre-sampled exponent.
-    pub(crate) fn randomizer_for(&self, x: &BigUint) -> BigUint {
-        self.public
-            .fast_base(&mut NoRng)
-            .pow(x, self.public.n_squared())
+    /// `hˣ mod s` for the exponent given as little-endian limbs: an
+    /// in-domain product over the non-zero windows, one conversion out.
+    fn pow(&self, digits: &[u64]) -> BigUint {
+        let mut acc: Option<MontgomeryOperand> = None;
+        for (w, row) in self.table.iter().enumerate() {
+            let digit = window_digit(digits, w);
+            if digit == 0 {
+                continue;
+            }
+            let factor = &row[digit - 1];
+            acc = Some(match acc {
+                None => factor.clone(),
+                Some(a) => self.ctx.montgomery_mul(&a, factor),
+            });
+        }
+        match acc {
+            None => BigUint::one(),
+            Some(a) => self.ctx.from_montgomery(&a),
+        }
+    }
+}
+
+/// CRT-split fast Paillier encryptor — the hot path when the *keypair* is
+/// available (clients and the agent hold it; the coordinator, which never
+/// sees the private key, structurally cannot build one).
+///
+/// Instead of evaluating the fixed-base table modulo `n²`, the randomness
+/// component `hˣ` is evaluated modulo `p²` and `q²` — half-width operands,
+/// so each multiplication costs a quarter of its full-width counterpart —
+/// through the private key's cached Montgomery contexts, and the two legs
+/// are CRT-recombined to the unique residue mod `n² = p²·q²`. The output is
+/// **bit-for-bit identical** to [`PrecomputedEncryptor`] for the same key
+/// handle and randomness stream (both compute the same `hˣ mod n²`), which
+/// the property tests pin; only the arithmetic route differs.
+#[derive(Debug, Clone)]
+pub struct CrtEncryptor {
+    public: PublicKey,
+    p_leg: CrtLeg,
+    q_leg: CrtLeg,
+    /// `p²` (the p-leg modulus), cached for the recombination arithmetic.
+    p_squared: BigUint,
+    /// `q²` (the q-leg modulus).
+    q_squared: BigUint,
+    /// `(q²)⁻¹ mod p²` (Garner's recombination constant).
+    q2_inv: BigUint,
+}
+
+impl CrtEncryptor {
+    /// Binds to a keypair, building (or reusing) the key's shared fixed-base
+    /// table and expanding its per-leg Montgomery window tables.
+    pub fn new<R: Rng + ?Sized>(keypair: &Keypair, rng: &mut R) -> Result<Self, HeError> {
+        CrtEncryptor::from_keys(&keypair.public, &keypair.private, rng)
+    }
+
+    /// [`new`](Self::new) from the two key halves. Returns
+    /// [`HeError::KeyMismatch`] if `private` does not belong to `public`.
+    pub fn from_keys<R: Rng + ?Sized>(
+        public: &PublicKey,
+        private: &PrivateKey,
+        rng: &mut R,
+    ) -> Result<Self, HeError> {
+        if !private.public.same_key(public) {
+            return Err(HeError::KeyMismatch);
+        }
+        // The same h = g₀ⁿ as the single-modulus path: encryptors on the
+        // same key handle share one subgroup generator, which is what makes
+        // their outputs interchangeable bit for bit — without forcing the
+        // full-width n² window table (which only the precomputed tier uses)
+        // to exist.
+        let h = public.subgroup_h(rng).clone();
+        let (p_ctx, q_ctx) = private.crt_contexts();
+        let p_squared = p_ctx.modulus().clone();
+        let q_squared = q_ctx.modulus().clone();
+        let q2_inv =
+            mod_inverse(&(&q_squared % &p_squared), &p_squared).ok_or(HeError::MalformedKey {
+                detail: "q² is not invertible modulo p²",
+            })?;
+        Ok(CrtEncryptor {
+            public: public.clone(),
+            p_leg: CrtLeg::new(p_ctx, &h),
+            q_leg: CrtLeg::new(q_ctx, &h),
+            p_squared,
+            q_squared,
+            q2_inv,
+        })
+    }
+}
+
+impl Encryptor for CrtEncryptor {
+    fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    fn randomizer_for(&self, x: &BigUint) -> BigUint {
+        let digits = x.to_u64_digits();
+        let a_p = self.p_leg.pow(&digits);
+        let a_q = self.q_leg.pow(&digits);
+        // Garner recombination to the unique residue below n² = p²·q²:
+        // c = a_q + q²·((a_p − a_q)·(q²)⁻¹ mod p²).
+        let a_q_mod_p = &a_q % &self.p_squared;
+        let diff = if a_p >= a_q_mod_p {
+            a_p - a_q_mod_p
+        } else {
+            &self.p_squared - (a_q_mod_p - a_p)
+        };
+        let t = (diff * &self.q2_inv) % &self.p_squared;
+        a_q + &self.q_squared * t
+    }
+}
+
+/// The encryptor an epoch participant uses, chosen from the key material it
+/// holds: parties with the private key (selection clients, the agent, the
+/// simulator) run the CRT-split path, public-key-only parties the
+/// single-modulus precomputed path. The choice is invisible downstream —
+/// both produce bit-identical ciphertexts from the same randomness stream.
+// The CRT variant carries two per-leg window tables and is built once per
+// epoch per participant, then only borrowed; boxing it would add a pointer
+// chase to every randomizer evaluation for no allocation win that matters.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum EpochEncryptor {
+    /// Public-key-only fixed-base path.
+    Precomputed(PrecomputedEncryptor),
+    /// CRT-split `p²`/`q²` path (requires the private factors).
+    Crt(CrtEncryptor),
+}
+
+impl EpochEncryptor {
+    /// Picks the fastest encryptor the given key material supports. Falls
+    /// back to the precomputed path if the private half is absent (or, for a
+    /// forged key, fails CRT precomputation).
+    pub fn for_key_material<R: Rng + ?Sized>(
+        public: &PublicKey,
+        private: Option<&PrivateKey>,
+        rng: &mut R,
+    ) -> Self {
+        if let Some(sk) = private {
+            if let Ok(crt) = CrtEncryptor::from_keys(public, sk, rng) {
+                return EpochEncryptor::Crt(crt);
+            }
+        }
+        EpochEncryptor::Precomputed(PrecomputedEncryptor::new(public, rng))
+    }
+
+    /// `true` if this is the CRT-split path.
+    pub fn is_crt(&self) -> bool {
+        matches!(self, EpochEncryptor::Crt(_))
+    }
+}
+
+impl Encryptor for EpochEncryptor {
+    fn public_key(&self) -> &PublicKey {
+        match self {
+            EpochEncryptor::Precomputed(e) => e.public_key(),
+            EpochEncryptor::Crt(e) => e.public_key(),
+        }
+    }
+
+    fn randomizer_for(&self, x: &BigUint) -> BigUint {
+        match self {
+            EpochEncryptor::Precomputed(e) => e.randomizer_for(x),
+            EpochEncryptor::Crt(e) => e.randomizer_for(x),
+        }
     }
 }
 
@@ -304,6 +549,21 @@ mod tests {
             a.public_key().fast_base(&mut rng),
             b.public_key().fast_base(&mut rng),
         ));
+    }
+
+    #[test]
+    fn epoch_encryptor_picks_the_crt_tier_from_the_key_material() {
+        let (pk, sk, mut rng) = setup();
+        let with_private = EpochEncryptor::for_key_material(&pk, Some(&sk), &mut rng);
+        assert!(with_private.is_crt(), "keypair holders get the CRT tier");
+        let public_only = EpochEncryptor::for_key_material(&pk, None, &mut rng);
+        assert!(!public_only.is_crt(), "public-only parties cannot");
+        // Whichever tier was picked, the ciphertexts interoperate.
+        let sum = with_private
+            .encrypt_u64(20, &mut rng)
+            .add(&public_only.encrypt_u64(22, &mut rng))
+            .unwrap();
+        assert_eq!(sk.decrypt_u64(&sum), 42);
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub(crate) struct PublicKeyInner {
     pub(crate) n_squared: BigUint,
     /// Number of bits in `n` (the nominal key size).
     pub(crate) bits: u64,
+    /// Lazily sampled subgroup generator `h = g₀ⁿ mod n²` shared by every
+    /// encryptor tier of the key (see `crate::fast`).
+    pub(crate) subgroup_h: OnceLock<BigUint>,
     /// Lazily built fixed-base table for precomputed encryption.
     pub(crate) fast: OnceLock<FastBase>,
     /// Lazily built Montgomery context for `n²`, shared by every handle so
@@ -81,6 +84,7 @@ impl PublicKey {
                 n,
                 n_squared,
                 bits,
+                subgroup_h: OnceLock::new(),
                 fast: OnceLock::new(),
                 mont_n2: OnceLock::new(),
             }),
@@ -108,10 +112,42 @@ impl PublicKey {
         Arc::ptr_eq(&self.inner, &other.inner) || self.inner.n == other.inner.n
     }
 
-    /// The lazily initialised fixed-base table (built on first use with
-    /// randomness from `rng`, then shared by every handle to this key).
+    /// The key's shared subgroup generator `h = g₀ⁿ mod n²`, sampled on
+    /// first use (with randomness from `rng`) and then reused by every
+    /// handle — the precomputed and CRT encryption tiers both derive their
+    /// tables from this one value, which is what keeps their ciphertexts
+    /// bit-for-bit interchangeable.
+    pub(crate) fn subgroup_h<R: Rng + ?Sized>(&self, rng: &mut R) -> &BigUint {
+        self.inner
+            .subgroup_h
+            .get_or_init(|| crate::fast::sample_subgroup_h(self, rng))
+    }
+
+    /// The lazily initialised fixed-base table (expanded on first use from
+    /// [`subgroup_h`](Self::subgroup_h), then shared by every handle to
+    /// this key). Only the precomputed tier needs it; the CRT tier builds
+    /// half-width tables of its own from the same `h`.
     pub(crate) fn fast_base<R: Rng + ?Sized>(&self, rng: &mut R) -> &FastBase {
-        self.inner.fast.get_or_init(|| FastBase::new(self, rng))
+        if let Some(table) = self.inner.fast.get() {
+            return table;
+        }
+        let h = self.subgroup_h(rng).clone();
+        self.inner.fast.get_or_init(|| FastBase::new(self, &h))
+    }
+
+    /// The key's cached Montgomery context for `n²`, built on first use.
+    /// `None` for a (necessarily forged or corrupted) key whose modulus is
+    /// even — Montgomery reduction needs `gcd(m, 2⁶⁴) = 1`. Consumers fall
+    /// back to plain modular arithmetic in that case.
+    pub(crate) fn mont_n2(&self) -> Option<&MontgomeryContext> {
+        if self.inner.n_squared.is_even() {
+            return None;
+        }
+        Some(
+            self.inner
+                .mont_n2
+                .get_or_init(|| MontgomeryContext::new(&self.inner.n_squared)),
+        )
     }
 
     /// `base^exponent mod n²` through the key's cached Montgomery context.
@@ -121,13 +157,10 @@ impl PublicKey {
     /// `modpow`, which handles even moduli without a context. Bit-for-bit
     /// identical to `base.modpow(exponent, n²)` either way (pinned by tests).
     pub(crate) fn pow_mod_n_squared(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
-        if self.inner.n_squared.is_even() {
-            return base.modpow(exponent, &self.inner.n_squared);
+        match self.mont_n2() {
+            Some(ctx) => ctx.modpow(base, exponent),
+            None => base.modpow(exponent, &self.inner.n_squared),
         }
-        self.inner
-            .mont_n2
-            .get_or_init(|| MontgomeryContext::new(&self.inner.n_squared))
-            .modpow(base, exponent)
     }
 
     /// Half of the message space: plaintexts in `[0, n/2)` are non-negative,
@@ -333,6 +366,13 @@ impl PrivateKey {
     /// The prime factors `(p, q)` — for the canonical codec only.
     pub(crate) fn primes(&self) -> (&BigUint, &BigUint) {
         (&self.p, &self.q)
+    }
+
+    /// The cached Montgomery contexts for `p²` and `q²` (in that order) —
+    /// the CRT encryptor evaluates its fixed-base tables through these, so
+    /// no exponentiation under a live key re-derives `R²`.
+    pub(crate) fn crt_contexts(&self) -> (&MontgomeryContext, &MontgomeryContext) {
+        (&self.p_ctx, &self.q_ctx)
     }
 
     /// CRT decryption of a raw ciphertext value in `Z*_{n²}`.

@@ -19,6 +19,16 @@
 //!   full `rⁿ` (see [`fast`] for the construction and security argument).
 //!   [`EncryptedVector::encrypt_u64`] and the secure protocol use it by
 //!   default.
+//! * [`CrtEncryptor`] / [`EpochEncryptor`] — the CRT-split tier on top: when
+//!   the *keypair* is in hand (clients and the agent — never the server),
+//!   the fixed-base table is evaluated mod `p²` and mod `q²` through the
+//!   key's cached Montgomery contexts and recombined, for another ≥2×
+//!   on encryption with bit-identical ciphertexts.
+//! * [`RunningFold`] — Montgomery-domain registry aggregation: the
+//!   coordinator's running homomorphic sums advance with one CIOS multiply
+//!   per position per arriving vector (no per-element division), converted
+//!   out once per position when the total is read — bit-identical to an
+//!   [`EncryptedVector::add`] chain.
 //! * [`Ciphertext`] — a single encrypted value supporting `⊕` (ciphertext +
 //!   ciphertext), ciphertext + plaintext and ciphertext × plaintext-scalar.
 //! * [`EncryptedVector`] — element-wise encrypted integer vectors (the registry
@@ -54,11 +64,12 @@
 //! let a = EncryptedVector::encrypt_u64(&pk, &[0, 1, 0, 0], &mut rng);
 //! let b = EncryptedVector::encrypt_u64(&pk, &[0, 0, 1, 0], &mut rng);
 //! let aggregate = a.add(&b).unwrap();
-//! assert_eq!(aggregate.decrypt_u64(&sk), vec![0, 1, 1, 0]);
+//! assert_eq!(aggregate.decrypt_u64(&sk).unwrap(), vec![0, 1, 1, 0]);
 //! ```
 //!
 //! [paillier]: https://link.springer.com/chapter/10.1007/3-540-48910-X_16
 
+pub mod agg;
 pub mod ciphertext;
 pub mod codec;
 pub mod error;
@@ -70,9 +81,12 @@ pub mod prime;
 pub mod transport;
 pub mod vector;
 
+pub use agg::RunningFold;
 pub use ciphertext::Ciphertext;
 pub use error::HeError;
-pub use fast::{PrecomputedEncryptor, RANDOMNESS_EXPONENT_BITS};
+pub use fast::{
+    CrtEncryptor, Encryptor, EpochEncryptor, PrecomputedEncryptor, RANDOMNESS_EXPONENT_BITS,
+};
 pub use fixed::{FixedPointCodec, DEFAULT_FIXED_SCALE};
 pub use keys::{Keypair, PrivateKey, PublicKey};
 pub use packing::{PackedCiphertext, Packer};
@@ -115,7 +129,7 @@ mod tests {
                 Some(t) => t.add(&enc).unwrap(),
             });
         }
-        let decrypted = total.unwrap().decrypt_u64(&sk);
+        let decrypted = total.unwrap().decrypt_u64(&sk).unwrap();
         assert_eq!(decrypted, vec![1, 0, 2, 0, 0]);
     }
 }

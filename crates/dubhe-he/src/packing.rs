@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::ciphertext::Ciphertext;
 use crate::error::HeError;
-use crate::fast::PrecomputedEncryptor;
+use crate::fast::{Encryptor, PrecomputedEncryptor};
 use crate::keys::{PrivateKey, PublicKey};
 use crate::vector::EncryptedVector;
 

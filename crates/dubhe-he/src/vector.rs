@@ -26,7 +26,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::ciphertext::Ciphertext;
 use crate::error::HeError;
-use crate::fast::PrecomputedEncryptor;
+use crate::fast::{sample_exponents, Encryptor, PrecomputedEncryptor};
 use crate::keys::{PrivateKey, PublicKey};
 
 /// Minimum number of elements before vector operations fan out over cores
@@ -35,7 +35,7 @@ pub(crate) const PARALLEL_THRESHOLD: usize = 8;
 
 /// Runs `f` over every index in `0..len`, in parallel when the `parallel`
 /// feature is on and the workload is large enough. Results keep input order.
-fn map_indexed<T, F>(len: usize, f: F) -> Vec<T>
+pub(crate) fn map_indexed<T, F>(len: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -69,6 +69,25 @@ impl EncryptedVector {
         EncryptedVector { elements, public }
     }
 
+    /// Assembles a vector from ciphertexts that were produced individually
+    /// (e.g. synthetic residues in benchmarks, or ciphertexts collected from
+    /// several single-value encryptions). Every element must have been
+    /// produced under `public`; a stray key is [`HeError::KeyMismatch`].
+    pub fn from_ciphertexts(
+        public: &PublicKey,
+        elements: Vec<Ciphertext>,
+    ) -> Result<Self, HeError> {
+        for ct in &elements {
+            if !ct.public_key().same_key(public) {
+                return Err(HeError::KeyMismatch);
+            }
+        }
+        Ok(EncryptedVector {
+            elements,
+            public: public.clone(),
+        })
+    }
+
     /// Encrypts a slice of `u64` values element-by-element.
     ///
     /// Uses the key's shared [`PrecomputedEncryptor`] fast path (building the
@@ -79,17 +98,21 @@ impl EncryptedVector {
         Self::encrypt_u64_with(&encryptor, values, rng)
     }
 
-    /// Encrypts a slice of `u64` values with an explicit fast encryptor.
+    /// Encrypts a slice of `u64` values with an explicit fast encryptor —
+    /// any [`Encryptor`]: the public-key-only [`PrecomputedEncryptor`], or
+    /// the [`CrtEncryptor`](crate::CrtEncryptor) /
+    /// [`EpochEncryptor`](crate::EpochEncryptor) when the keypair is in
+    /// hand. All produce bit-identical vectors from the same randomness.
     ///
     /// # Panics
     /// Panics if a value does not fit in the message space — only possible
     /// at the 64-bit minimum key size, and the same contract as the naive
     /// [`PublicKey::encrypt_u64`] path.
-    pub fn encrypt_u64_with<R: Rng + ?Sized>(
-        encryptor: &PrecomputedEncryptor,
-        values: &[u64],
-        rng: &mut R,
-    ) -> Self {
+    pub fn encrypt_u64_with<E, R>(encryptor: &E, values: &[u64], rng: &mut R) -> Self
+    where
+        E: Encryptor + ?Sized,
+        R: Rng + ?Sized,
+    {
         let public = encryptor.public_key().clone();
         // n >= 2^64 makes every u64 a valid plaintext; only smaller moduli
         // need the explicit range check.
@@ -104,7 +127,7 @@ impl EncryptedVector {
         }
         // RNG draws are sequential (cheap); the table exponentiations are the
         // heavy part and run data-parallel.
-        let exponents = encryptor.sample_exponents(values.len(), rng);
+        let exponents = sample_exponents(values.len(), rng);
         let elements = map_indexed(values.len(), |i| {
             let g_to_m = public.g_to_m(&BigUint::from(values[i]));
             let value = (g_to_m * encryptor.randomizer_for(&exponents[i])) % public.n_squared();
@@ -142,7 +165,7 @@ impl EncryptedVector {
                 return Err(HeError::PlaintextTooLarge);
             }
         }
-        let exponents = encryptor.sample_exponents(values.len(), rng);
+        let exponents = sample_exponents(values.len(), rng);
         let elements = map_indexed(values.len(), |i| {
             let g_to_m = public.g_to_m(&values[i]);
             let value = (g_to_m * encryptor.randomizer_for(&exponents[i])) % public.n_squared();
@@ -217,16 +240,24 @@ impl EncryptedVector {
 
     /// Decrypts every element to a `u64` (batch CRT decryption, parallel
     /// under the `parallel` feature).
-    pub fn decrypt_u64(&self, private: &PrivateKey) -> Vec<u64> {
+    ///
+    /// Returns [`HeError::PlaintextTooWide`] if any decrypted element does
+    /// not fit in a `u64` — e.g. a sum whose counters overflowed the word, or
+    /// a ciphertext that was never a small-integer encryption. A hostile or
+    /// corrupted vector therefore surfaces as a typed error, never a panic.
+    pub fn decrypt_u64(&self, private: &PrivateKey) -> Result<Vec<u64>, HeError> {
         private
             .decrypt_batch(&self.elements)
             .into_iter()
             .map(|m| {
                 let digits = m.to_u64_digits();
                 match digits.len() {
-                    0 => 0,
-                    1 => digits[0],
-                    _ => panic!("plaintext does not fit in u64: {m}"),
+                    0 => Ok(0),
+                    1 => Ok(digits[0]),
+                    _ => Err(HeError::PlaintextTooWide {
+                        bits: m.bits(),
+                        max_bits: 64,
+                    }),
                 }
             })
             .collect()
@@ -316,6 +347,14 @@ impl Deserialize for EncryptedVector {
 /// Homomorphically sums a collection of encrypted vectors, fanning the
 /// independent per-position folds out over cores when `parallel` is enabled.
 ///
+/// The per-position product runs in the Montgomery domain of the key's
+/// cached `n²` context: each residue costs one CIOS multiplication instead
+/// of a full multiply plus a Knuth division, and the accumulated `R⁻¹`
+/// deficit is cancelled by a single correction multiply per position (see
+/// [`num_bigint::MontgomeryContext::montgomery_residue`]). The result is
+/// bit-for-bit identical to [`sum_vectors_serial`] — a modular product does
+/// not depend on the reduction route — which the property tests pin.
+///
 /// Returns `None` for an empty collection (there is no well-defined length).
 pub fn sum_vectors(vectors: &[EncryptedVector]) -> Result<Option<EncryptedVector>, HeError> {
     let Some(first) = vectors.first() else {
@@ -333,13 +372,22 @@ pub fn sum_vectors(vectors: &[EncryptedVector]) -> Result<Option<EncryptedVector
         }
     }
     let public = first.public.clone();
-    let n_squared = public.n_squared();
+    let Some(ctx) = public.mont_n2() else {
+        // A key with an even modulus (only possible for forged or corrupted
+        // key material) has no Montgomery context; the serial reference
+        // fold handles that case with plain reductions.
+        return sum_vectors_serial(vectors);
+    };
+    // Folding V raw residues takes V − 1 in-domain multiplies (deficit
+    // R^-(V-1)); multiplying by R^(V+1) and exiting restores the product.
+    let correction = ctx.montgomery_residue(&ctx.r_power(vectors.len() as u64 + 1));
     let elements = map_indexed(first.len(), |i| {
-        let mut acc = first.elements[i].raw().clone();
+        let mut acc = ctx.montgomery_residue(first.elements[i].raw());
         for v in &vectors[1..] {
-            acc = (acc * v.elements[i].raw()) % n_squared;
+            acc = ctx.montgomery_mul_residue(&acc, v.elements[i].raw());
         }
-        Ciphertext::from_raw(acc, public.clone())
+        let value = ctx.from_montgomery(&ctx.montgomery_mul(&acc, &correction));
+        Ciphertext::from_raw(value, public.clone())
     });
     Ok(Some(EncryptedVector { elements, public }))
 }
@@ -396,7 +444,7 @@ mod tests {
         let (pk, sk, mut rng) = setup();
         let values = vec![0u64, 1, 2, 3, 4, 1000];
         let enc = EncryptedVector::encrypt_u64(&pk, &values, &mut rng);
-        assert_eq!(enc.decrypt_u64(&sk), values);
+        assert_eq!(enc.decrypt_u64(&sk).unwrap(), values);
         assert_eq!(enc.len(), 6);
         assert!(!enc.is_empty());
     }
@@ -407,12 +455,12 @@ mod tests {
         let values = vec![7u64, 0, 13, 99, 1_000_000, 42, 5, 6, 7, 8];
         let fast = EncryptedVector::encrypt_u64(&pk, &values, &mut rng);
         let naive = EncryptedVector::encrypt_u64_naive(&pk, &values, &mut rng);
-        assert_eq!(fast.decrypt_u64(&sk), values);
-        assert_eq!(naive.decrypt_u64(&sk), values);
+        assert_eq!(fast.decrypt_u64(&sk).unwrap(), values);
+        assert_eq!(naive.decrypt_u64(&sk).unwrap(), values);
         // Different randomness, same plaintexts: homomorphically compatible.
         let doubled = fast.add(&naive).unwrap();
         let expected: Vec<u64> = values.iter().map(|v| v * 2).collect();
-        assert_eq!(doubled.decrypt_u64(&sk), expected);
+        assert_eq!(doubled.decrypt_u64(&sk).unwrap(), expected);
     }
 
     #[test]
@@ -421,7 +469,7 @@ mod tests {
         let a = EncryptedVector::encrypt_u64(&pk, &[1, 2, 3], &mut rng);
         let b = EncryptedVector::encrypt_u64(&pk, &[10, 20, 30], &mut rng);
         let sum = a.add(&b).unwrap();
-        assert_eq!(sum.decrypt_u64(&sk), vec![11, 22, 33]);
+        assert_eq!(sum.decrypt_u64(&sk).unwrap(), vec![11, 22, 33]);
     }
 
     #[test]
@@ -449,15 +497,15 @@ mod tests {
         let (pk, sk, mut rng) = setup();
         let a = EncryptedVector::encrypt_u64(&pk, &[5, 6, 7], &mut rng);
         let z = EncryptedVector::zeros(&pk, 3);
-        assert_eq!(a.add(&z).unwrap().decrypt_u64(&sk), vec![5, 6, 7]);
-        assert_eq!(z.decrypt_u64(&sk), vec![0, 0, 0]);
+        assert_eq!(a.add(&z).unwrap().decrypt_u64(&sk).unwrap(), vec![5, 6, 7]);
+        assert_eq!(z.decrypt_u64(&sk).unwrap(), vec![0, 0, 0]);
     }
 
     #[test]
     fn scalar_multiplication() {
         let (pk, sk, mut rng) = setup();
         let a = EncryptedVector::encrypt_u64(&pk, &[1, 2, 3], &mut rng);
-        assert_eq!(a.mul_plain_u64(4).decrypt_u64(&sk), vec![4, 8, 12]);
+        assert_eq!(a.mul_plain_u64(4).decrypt_u64(&sk).unwrap(), vec![4, 8, 12]);
     }
 
     #[test]
@@ -471,7 +519,10 @@ mod tests {
             })
             .collect();
         let total = sum_vectors(&regs).unwrap().unwrap();
-        assert_eq!(total.decrypt_u64(&sk), vec![2, 2, 1, 1, 1, 1, 1, 1]);
+        assert_eq!(
+            total.decrypt_u64(&sk).unwrap(),
+            vec![2, 2, 1, 1, 1, 1, 1, 1]
+        );
     }
 
     #[test]
@@ -488,7 +539,10 @@ mod tests {
         for (p, s) in parallel.elements().iter().zip(serial.elements()) {
             assert_eq!(p.raw(), s.raw(), "parallel and serial sums diverged");
         }
-        assert_eq!(parallel.decrypt_u64(&sk), serial.decrypt_u64(&sk));
+        assert_eq!(
+            parallel.decrypt_u64(&sk).unwrap(),
+            serial.decrypt_u64(&sk).unwrap()
+        );
     }
 
     #[test]
@@ -543,7 +597,7 @@ mod tests {
         // One "n" field for the whole vector, not one per element.
         assert_eq!(json.matches("\"n\"").count(), 1);
         let back: EncryptedVector = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.decrypt_u64(&sk), values);
+        assert_eq!(back.decrypt_u64(&sk).unwrap(), values);
         assert_eq!(back, enc);
     }
 }

@@ -7,8 +7,8 @@ use std::sync::OnceLock;
 
 use dubhe_he::packing::Packer;
 use dubhe_he::{
-    sum_vectors, sum_vectors_serial, EncryptedVector, FixedPointCodec, Keypair,
-    PrecomputedEncryptor, PrivateKey, PublicKey,
+    sum_vectors, sum_vectors_serial, CrtEncryptor, EncryptedVector, Encryptor, FixedPointCodec,
+    Keypair, PrecomputedEncryptor, PrivateKey, PublicKey, RunningFold,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -69,7 +69,7 @@ proptest! {
         let values_b: Vec<u64> = values_a.iter().map(|v| v.wrapping_mul(3) % 10_000).collect();
         let ea = EncryptedVector::encrypt_u64(pk, &values_a, &mut rng);
         let eb = EncryptedVector::encrypt_u64(pk, &values_b, &mut rng);
-        let sum = ea.add(&eb).unwrap().decrypt_u64(sk);
+        let sum = ea.add(&eb).unwrap().decrypt_u64(sk).unwrap();
         let expected: Vec<u64> = values_a.iter().zip(&values_b).map(|(a, b)| a + b).collect();
         prop_assert_eq!(sum, expected);
     }
@@ -119,8 +119,8 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let fast = EncryptedVector::encrypt_u64(pk, &values, &mut rng);
         let naive = EncryptedVector::encrypt_u64_naive(pk, &values, &mut rng);
-        prop_assert_eq!(fast.decrypt_u64(sk), values.clone());
-        let sum = fast.add(&naive).unwrap().decrypt_u64(sk);
+        prop_assert_eq!(fast.decrypt_u64(sk).unwrap(), values.clone());
+        let sum = fast.add(&naive).unwrap().decrypt_u64(sk).unwrap();
         let expected: Vec<u64> = values.iter().map(|v| v * 2).collect();
         prop_assert_eq!(sum, expected);
     }
@@ -145,7 +145,7 @@ proptest! {
         for (p, s) in parallel.elements().iter().zip(serial.elements()) {
             prop_assert_eq!(p.raw(), s.raw());
         }
-        prop_assert_eq!(parallel.decrypt_u64(sk), serial.decrypt_u64(sk));
+        prop_assert_eq!(parallel.decrypt_u64(sk).unwrap(), serial.decrypt_u64(sk).unwrap());
     }
 
     #[test]
@@ -154,7 +154,7 @@ proptest! {
         let (pk, sk) = keys();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let enc = EncryptedVector::encrypt_u64(pk, &values, &mut rng);
-        let batch = enc.decrypt_u64(sk);
+        let batch = enc.decrypt_u64(sk).unwrap();
         let elementwise: Vec<u64> = enc.elements().iter().map(|c| sk.decrypt_u64(c)).collect();
         prop_assert_eq!(batch, elementwise);
     }
@@ -165,6 +165,76 @@ proptest! {
         let decoded = codec.decode_vec(&codec.encode_vec(&values));
         for (orig, back) in values.iter().zip(&decoded) {
             prop_assert!((orig - back).abs() <= codec.max_error());
+        }
+    }
+
+    #[test]
+    fn crt_encryptor_is_bit_identical_to_precomputed(m in any::<u64>(),
+                                                     values in prop::collection::vec(0u64..1_000_000, 1..24),
+                                                     seed in any::<u64>()) {
+        // Same key handle (so both share the one fixed-base h) and the same
+        // randomness stream must yield the same ciphertext bytes whichever
+        // arithmetic route — full-width n² table or CRT-split p²/q² legs —
+        // computes them.
+        let (pk, sk) = keys();
+        let mut warm = rand::rngs::StdRng::seed_from_u64(seed ^ 0xCC);
+        let fast = PrecomputedEncryptor::new(pk, &mut warm);
+        let crt = CrtEncryptor::from_keys(pk, sk, &mut warm).unwrap();
+
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = fast.encrypt_u64(m, &mut rng_a);
+        let b = crt.encrypt_u64(m, &mut rng_b);
+        prop_assert_eq!(a.raw(), b.raw(), "scalar ciphertexts diverged");
+        prop_assert_eq!(sk.decrypt_u64(&b), m);
+
+        let va = EncryptedVector::encrypt_u64_with(&fast, &values, &mut rng_a);
+        let vb = EncryptedVector::encrypt_u64_with(&crt, &values, &mut rng_b);
+        for (x, y) in va.elements().iter().zip(vb.elements()) {
+            prop_assert_eq!(x.raw(), y.raw(), "vector ciphertexts diverged");
+        }
+        prop_assert_eq!(vb.decrypt_u64(sk).unwrap(), values);
+    }
+}
+
+/// The fold-equivalence grid the issue pins: every Montgomery-domain fold
+/// route (batch [`sum_vectors`] and the coordinator-style [`RunningFold`])
+/// must be bit-identical to the serial reference fold for registry lengths
+/// {1, 7, 56} × vector counts {1, 2, 33}. Runs under both `parallel` states
+/// (the CI matrix includes `--no-default-features`).
+#[test]
+fn montgomery_folds_match_serial_reference_across_the_grid() {
+    let (pk, _sk) = keys();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA66);
+    for &len in &[1usize, 7, 56] {
+        for &count in &[1usize, 2, 33] {
+            let vectors: Vec<EncryptedVector> = (0..count)
+                .map(|i| {
+                    let v: Vec<u64> = (0..len).map(|j| ((i * 13 + j * 7) % 11) as u64).collect();
+                    EncryptedVector::encrypt_u64(pk, &v, &mut rng)
+                })
+                .collect();
+            let serial = sum_vectors_serial(&vectors).unwrap().unwrap();
+
+            let batch = sum_vectors(&vectors).unwrap().unwrap();
+            let mut running = RunningFold::new(&vectors[0]);
+            for v in &vectors[1..] {
+                running.fold(v).unwrap();
+            }
+            let running = running.total();
+
+            for (i, s) in serial.elements().iter().enumerate() {
+                assert_eq!(
+                    batch.elements()[i].raw(),
+                    s.raw(),
+                    "sum_vectors diverged at len {len} count {count} position {i}"
+                );
+                assert_eq!(
+                    running.elements()[i].raw(),
+                    s.raw(),
+                    "RunningFold diverged at len {len} count {count} position {i}"
+                );
+            }
         }
     }
 }

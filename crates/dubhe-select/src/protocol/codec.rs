@@ -46,6 +46,7 @@
 //! ```
 
 use dubhe_he::codec as he;
+use dubhe_he::transport::{private_key_size_bytes, public_key_size_bytes};
 use serde::{Deserialize, Serialize};
 
 use super::message::{Envelope, Party, ProtocolMsg};
@@ -169,7 +170,11 @@ impl WireCodec for BinaryCodec {
     }
 
     fn encode(&self, msg: &WireMsg) -> Result<Vec<u8>, ProtocolError> {
-        let mut out = Vec::new();
+        // Size-hint the buffer from the transport size model: ciphertext
+        // payloads dominate every frame, and their encoded width is an exact
+        // function of (length, key size) — so a registry upload is written
+        // into one allocation instead of doubling its way up.
+        let mut out = Vec::with_capacity(payload_size_hint(msg));
         match msg {
             WireMsg::Envelope { envelope } => {
                 out.push(0);
@@ -211,6 +216,60 @@ impl WireCodec for BinaryCodec {
             return Err(malformed("trailing bytes after the wire message"));
         }
         Ok(msg)
+    }
+}
+
+/// Encoded size of a party tag (client ids carry a u64).
+fn party_hint(p: &Party) -> usize {
+    match p {
+        Party::Client(_) => 9,
+        _ => 1,
+    }
+}
+
+/// Encoded size of one envelope, from the `dubhe-he` transport size model.
+/// Exact for every ciphertext-bearing message (their encodings are
+/// fixed-width); an upper bound (within a few bytes) for key dispatches,
+/// whose prime factors may encode one byte short of the modeled half-modulus
+/// width.
+fn envelope_hint(e: &Envelope) -> usize {
+    let body = match &e.msg {
+        ProtocolMsg::PublicKeyDispatch {
+            public_key,
+            private_key,
+        } => {
+            let pk = 4 + public_key_size_bytes(public_key);
+            let sk = private_key
+                .as_ref()
+                .map(|sk| {
+                    4 + public_key_size_bytes(&sk.public)
+                        + 8
+                        + private_key_size_bytes(&sk.public)
+                        + 2
+                })
+                .unwrap_or(0);
+            pk + 1 + sk
+        }
+        ProtocolMsg::EncryptedRegistry { registry, .. } => 8 + he::encoded_vector_bytes(registry),
+        ProtocolMsg::EncryptedTotalBroadcast { total } => he::encoded_vector_bytes(total),
+        ProtocolMsg::EncryptedDistribution { distribution, .. } => {
+            16 + he::encoded_vector_bytes(distribution)
+        }
+        ProtocolMsg::EncryptedDistributionSum { sum, .. } => 16 + he::encoded_vector_bytes(sum),
+        ProtocolMsg::TryVerdict { .. } => 16,
+    };
+    party_hint(&e.from) + party_hint(&e.to) + 1 + body
+}
+
+/// Encoded size of a whole frame payload (exact except for the key-dispatch
+/// slack noted on [`envelope_hint`]); what [`BinaryCodec::encode`] reserves.
+fn payload_size_hint(msg: &WireMsg) -> usize {
+    1 + match msg {
+        WireMsg::Envelope { envelope } => envelope_hint(envelope),
+        WireMsg::AnnounceTry { participants, .. } => 8 + 4 + 8 * participants.len(),
+        WireMsg::Batch { envelopes } => 4 + envelopes.iter().map(envelope_hint).sum::<usize>(),
+        WireMsg::Ack | WireMsg::Shutdown => 0,
+        WireMsg::Error { detail } => 4 + detail.len(),
     }
 }
 
@@ -546,6 +605,38 @@ mod tests {
             "{\"Envelope\":{\"envelope\":{\"from\":\"Agent\",\"to\":\"Server\",\
              \"msg\":{\"TryVerdict\":{\"best_try\":2,\"distance\":0.25}}}}}"
         );
+    }
+
+    #[test]
+    fn binary_encode_size_hint_covers_every_payload_in_one_allocation() {
+        let contains_key_dispatch = |msg: &WireMsg| match msg {
+            WireMsg::Envelope { envelope } => {
+                matches!(envelope.msg, ProtocolMsg::PublicKeyDispatch { .. })
+            }
+            WireMsg::Batch { envelopes } => envelopes
+                .iter()
+                .any(|e| matches!(e.msg, ProtocolMsg::PublicKeyDispatch { .. })),
+            _ => false,
+        };
+        for msg in sample_msgs() {
+            let payload = CodecKind::Binary.encode(&msg).unwrap();
+            let hint = payload_size_hint(&msg);
+            assert!(
+                payload.len() <= hint,
+                "hint {hint} under-reserves the {}-byte payload",
+                payload.len()
+            );
+            if !contains_key_dispatch(&msg) {
+                // Ciphertext-bearing payloads are fixed-width: the size
+                // model predicts them exactly, so the buffer never grows.
+                assert_eq!(payload.len(), hint, "hint should be exact");
+            } else {
+                // Key dispatches may come in a couple of bytes short of the
+                // modeled half-modulus factor widths — never more than the
+                // slack the hint carries.
+                assert!(hint - payload.len() <= 4, "key-dispatch slack too big");
+            }
+        }
     }
 
     #[test]

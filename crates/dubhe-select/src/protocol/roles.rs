@@ -19,7 +19,8 @@ use std::collections::BTreeMap;
 
 use dubhe_data::ClassDistribution;
 use dubhe_he::{
-    EncryptedVector, FixedPointCodec, Keypair, PrecomputedEncryptor, PrivateKey, PublicKey,
+    EncryptedVector, EpochEncryptor, FixedPointCodec, Keypair, PrecomputedEncryptor, PrivateKey,
+    PublicKey, RunningFold,
 };
 use rand::Rng;
 
@@ -65,12 +66,18 @@ pub trait Coordinator {
     ) -> Result<(), ProtocolError>;
 }
 
-fn fold_in(acc: &mut Option<EncryptedVector>, v: &EncryptedVector) -> Result<(), ProtocolError> {
-    *acc = Some(match acc.take() {
-        None => v.clone(),
-        Some(total) => total.add(v)?,
-    });
-    Ok(())
+/// Advances a running Montgomery-domain fold by one vector (seeding it from
+/// the first arrival). Bit-identical to an [`EncryptedVector::add`] chain —
+/// see [`RunningFold`] — with one CIOS multiply per position instead of a
+/// full multiply + division.
+fn fold_in(acc: &mut Option<RunningFold>, v: &EncryptedVector) -> Result<(), ProtocolError> {
+    match acc {
+        None => {
+            *acc = Some(RunningFold::new(v));
+            Ok(())
+        }
+        Some(fold) => Ok(fold.fold(v)?),
+    }
 }
 
 /// Per-try aggregation state on the server.
@@ -81,7 +88,7 @@ struct TryFold {
     /// Which announced participants have contributed so far.
     contributed: Vec<bool>,
     received: usize,
-    fold: Option<EncryptedVector>,
+    fold: Option<RunningFold>,
 }
 
 /// The honest-but-curious coordinator. Holds the epoch [`PublicKey`] and
@@ -94,7 +101,7 @@ pub struct CoordinatorServer {
     /// Which client ids have registered (length = expected registrations).
     registered: Vec<bool>,
     registrations_received: usize,
-    registry_fold: Option<EncryptedVector>,
+    registry_fold: Option<RunningFold>,
     tries: BTreeMap<usize, TryFold>,
     last_verdict: Option<(usize, f64)>,
     bytes_received: usize,
@@ -132,9 +139,10 @@ impl CoordinatorServer {
     }
 
     /// The running encrypted overall registry (complete once every expected
-    /// registry arrived).
-    pub fn encrypted_total(&self) -> Option<&EncryptedVector> {
-        self.registry_fold.as_ref()
+    /// registry arrived), converted out of the fold's Montgomery domain on
+    /// demand.
+    pub fn encrypted_total(&self) -> Option<EncryptedVector> {
+        self.registry_fold.as_ref().map(RunningFold::total)
     }
 
     /// Canonical wire bytes received so far.
@@ -216,8 +224,9 @@ impl CoordinatorServer {
                 if self.registrations_received == self.registered.len() {
                     let total = self
                         .registry_fold
-                        .clone()
-                        .expect("at least one registry folded");
+                        .as_ref()
+                        .expect("at least one registry folded")
+                        .total();
                     // Fig. 4 step 3: broadcast Enc(R_A) to every client and
                     // the agent; nobody but the key holders can open it.
                     let mut out = Vec::with_capacity(self.registered.len() + 1);
@@ -272,7 +281,7 @@ impl CoordinatorServer {
                         msg: ProtocolMsg::EncryptedDistributionSum {
                             try_index,
                             contributors: slot.received,
-                            sum: slot.fold.expect("non-empty try"),
+                            sum: slot.fold.expect("non-empty try").total(),
                         },
                     }])
                 } else {
@@ -406,7 +415,7 @@ impl AgentNode {
     pub fn handle(&mut self, msg: ProtocolMsg) -> Result<Vec<Envelope>, ProtocolError> {
         match msg {
             ProtocolMsg::EncryptedTotalBroadcast { total } => {
-                self.overall_registry = Some(total.decrypt_u64(&self.keypair.private));
+                self.overall_registry = Some(total.decrypt_u64(&self.keypair.private)?);
                 Ok(Vec::new())
             }
             ProtocolMsg::EncryptedDistributionSum {
@@ -416,7 +425,7 @@ impl AgentNode {
             } => {
                 let ciphertext_bytes =
                     contributors * self.classes * ciphertext_width(&self.keypair.public);
-                let decrypted = sum.decrypt_u64(&self.keypair.private);
+                let decrypted = sum.decrypt_u64(&self.keypair.private)?;
                 let population = self.codec.decode_average(&decrypted, contributors);
                 let p_u = vec![1.0 / self.classes as f64; self.classes];
                 let distance = dubhe_data::l1_distance(&population, &p_u);
@@ -476,7 +485,7 @@ pub struct SelectClientNode {
     plan: Option<RegistrationPlan>,
     public_key: Option<PublicKey>,
     private_key: Option<PrivateKey>,
-    encryptor: Option<PrecomputedEncryptor>,
+    encryptor: Option<EpochEncryptor>,
     registration: Option<Registration>,
     overall_registry: Option<Vec<u64>>,
 }
@@ -543,16 +552,26 @@ impl SelectClientNode {
         Some(participation_probability(overall, registration.position, k))
     }
 
+    /// The client's epoch encryptor, built on first use. Clients hold the
+    /// dispatched *keypair*, so this is normally the CRT-split
+    /// [`CrtEncryptor`](dubhe_he::CrtEncryptor) fast path; a client that
+    /// somehow only has the public half falls back to the
+    /// [`PrecomputedEncryptor`] — the ciphertexts are bit-identical either
+    /// way.
     fn encryptor<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
-    ) -> Result<&PrecomputedEncryptor, ProtocolError> {
+    ) -> Result<&EpochEncryptor, ProtocolError> {
         if self.encryptor.is_none() {
             let pk = self
                 .public_key
-                .as_ref()
+                .clone()
                 .ok_or(ProtocolError::MissingKeyMaterial { role: "client" })?;
-            self.encryptor = Some(PrecomputedEncryptor::new(pk, rng));
+            self.encryptor = Some(EpochEncryptor::for_key_material(
+                &pk,
+                self.private_key.as_ref(),
+                rng,
+            ));
         }
         Ok(self.encryptor.as_ref().expect("just installed"))
     }
@@ -616,7 +635,7 @@ impl SelectClientNode {
                     .private_key
                     .as_ref()
                     .ok_or(ProtocolError::MissingKeyMaterial { role: "client" })?;
-                self.overall_registry = Some(total.decrypt_u64(sk));
+                self.overall_registry = Some(total.decrypt_u64(sk)?);
                 Ok(Vec::new())
             }
             other => Err(ProtocolError::UnexpectedMessage {

@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 use std::ops::Range;
 
-use dubhe_he::{EncryptedVector, PublicKey};
+use dubhe_he::{EncryptedVector, PublicKey, RunningFold};
 
 use super::message::{Envelope, Party, ProtocolMsg};
 use super::roles::Coordinator;
@@ -40,14 +40,16 @@ pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
 
 /// Advances every shard fold by its slice of `v`, in parallel across shards.
 /// `folds` and `v`-slices are disjoint per shard, so the folds are
-/// independent; each element still sees the same multiplication order as the
-/// unsharded fold, keeping results bit-identical.
+/// independent; each shard's [`RunningFold`] accumulates its slice in the
+/// Montgomery domain (one CIOS multiply per position), and each element
+/// still sees the same multiplication order as the unsharded fold — the
+/// merged result stays bit-identical.
 ///
 /// A vector whose length disagrees with the partition is rejected with the
 /// same `HeError::LengthMismatch` the single coordinator's fold raises —
 /// the two deployments accept exactly the same message set.
 fn fold_sharded(
-    folds: &mut [Option<EncryptedVector>],
+    folds: &mut [Option<RunningFold>],
     v: &EncryptedVector,
     ranges: &[Range<usize>],
 ) -> Result<(), ProtocolError> {
@@ -61,7 +63,7 @@ fn fold_sharded(
     }
     // Move each fold out of its slot, advance all slots in parallel (each is
     // a disjoint &mut chunk — no cloning of the running folds), move back.
-    let mut work: Vec<Result<Option<EncryptedVector>, ProtocolError>> =
+    let mut work: Vec<Result<Option<RunningFold>, ProtocolError>> =
         folds.iter_mut().map(|slot| Ok(slot.take())).collect();
     work.par_chunks_mut(1).enumerate().for_each(|(i, chunk)| {
         let prev = match chunk[0].as_mut() {
@@ -71,8 +73,11 @@ fn fold_sharded(
         chunk[0] = (|| {
             let slice = v.slice(ranges[i].start, ranges[i].end)?;
             Ok(Some(match prev {
-                None => slice,
-                Some(fold) => fold.add(&slice)?,
+                None => RunningFold::new(&slice),
+                Some(mut fold) => {
+                    fold.fold(&slice)?;
+                    fold
+                }
             }))
         })();
     });
@@ -83,9 +88,13 @@ fn fold_sharded(
 }
 
 /// Merges per-shard folds back into the full vector (`None` if no shard has
-/// folded anything yet).
-fn merge(folds: &[Option<EncryptedVector>]) -> Result<Option<EncryptedVector>, ProtocolError> {
-    let parts: Vec<EncryptedVector> = folds.iter().filter_map(Clone::clone).collect();
+/// folded anything yet), converting each shard's state out of the Montgomery
+/// domain.
+fn merge(folds: &[Option<RunningFold>]) -> Result<Option<EncryptedVector>, ProtocolError> {
+    let parts: Vec<EncryptedVector> = folds
+        .iter()
+        .filter_map(|f| f.as_ref().map(RunningFold::total))
+        .collect();
     if parts.len() != folds.len() {
         return Ok(None);
     }
@@ -99,7 +108,7 @@ struct ShardedTryFold {
     contributed: Vec<bool>,
     received: usize,
     ranges: Option<Vec<Range<usize>>>,
-    folds: Vec<Option<EncryptedVector>>,
+    folds: Vec<Option<RunningFold>>,
 }
 
 /// A coordinator whose registry positions are partitioned across `N` shard
@@ -115,7 +124,7 @@ pub struct ShardedCoordinator {
     registrations_received: usize,
     /// Position ranges, fixed by the first registry's length.
     registry_ranges: Option<Vec<Range<usize>>>,
-    registry_folds: Vec<Option<EncryptedVector>>,
+    registry_folds: Vec<Option<RunningFold>>,
     tries: BTreeMap<usize, ShardedTryFold>,
     last_verdict: Option<(usize, f64)>,
     bytes_received: usize,

@@ -10,7 +10,7 @@
 //! class" fallback for balanced clients.
 
 use dubhe_data::ClassDistribution;
-use dubhe_he::{EncryptedVector, PrecomputedEncryptor};
+use dubhe_he::{EncryptedVector, Encryptor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -105,14 +105,16 @@ pub fn register_all(
 /// key — the client-side half of Fig. 4's secure registration.
 ///
 /// All clients share `encryptor` (and through it the key's one fixed-base
-/// table), so the per-epoch precomputation is paid once, not `N` times; the
+/// table), so the per-epoch precomputation is paid once, not `N` times —
+/// pass the CRT-split [`CrtEncryptor`](dubhe_he::CrtEncryptor) when the
+/// keypair is available for the fastest route; the
 /// per-client encryption itself runs the short-exponent fast path and, with
 /// `dubhe-he`'s default `parallel` feature, fans out over cores.
-pub fn register_all_encrypted<R: Rng + ?Sized>(
+pub fn register_all_encrypted<E: Encryptor + ?Sized, R: Rng + ?Sized>(
     distributions: &[ClassDistribution],
     layout: &RegistryLayout,
     thresholds: &[f64],
-    encryptor: &PrecomputedEncryptor,
+    encryptor: &E,
     rng: &mut R,
 ) -> (Vec<Registration>, Vec<EncryptedVector>) {
     let mut registrations = Vec::with_capacity(distributions.len());

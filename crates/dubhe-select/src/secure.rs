@@ -103,7 +103,7 @@ pub fn secure_registration<R: Rng + ?Sized>(
         registrations: run.registrations(),
         overall_registry,
         server_view: ServerView {
-            encrypted_total: run.server.encrypted_total().cloned(),
+            encrypted_total: run.server.encrypted_total(),
             public_key: public_key.clone(),
             bytes_received: stats.uplink_registry_ciphertext_bytes,
             messages_received: stats.registries.messages,

@@ -79,7 +79,7 @@ fn sharded_coordinator_is_bit_identical_to_single_for_n_1_and_4() {
 
     let (overall_single, verdict_single, stats_single, single) =
         drive_session(&dists, 52, dubhe_select::CoordinatorServer::new(20));
-    let total_single = single.encrypted_total().cloned().expect("epoch complete");
+    let total_single = single.encrypted_total().expect("epoch complete");
 
     for shards in [1usize, 4] {
         let (overall, verdict, stats, sharded) =

@@ -208,7 +208,7 @@ fn protocol_messages_round_trip_through_serde() {
         serde_json::to_string(&ProtocolMsg::EncryptedTotalBroadcast { total: vector }).unwrap();
     let back: ProtocolMsg = serde_json::from_str(&json).unwrap();
     if let ProtocolMsg::EncryptedTotalBroadcast { total } = back {
-        assert_eq!(total.decrypt_u64(&kp.private), vec![0, 1, 0, 2]);
+        assert_eq!(total.decrypt_u64(&kp.private).unwrap(), vec![0, 1, 0, 2]);
     } else {
         panic!("wrong variant");
     }
@@ -239,7 +239,7 @@ fn legacy_registration<R: Rng>(
     let (registrations, encrypted) =
         register_all_encrypted(dists, &layout, &thresholds, &encryptor, rng);
     let total = sum_vectors(&encrypted).unwrap().unwrap();
-    let overall = total.decrypt_u64(&private_key);
+    let overall = total.decrypt_u64(&private_key).unwrap();
     LegacyRegistration {
         agent,
         overall,
@@ -322,7 +322,7 @@ fn legacy_multi_time<R: Rng>(
             bytes += classes * ciphertext_size_bytes(&public_key);
         }
         let sum = sum_vectors(&encrypted).unwrap().unwrap();
-        let decrypted = sum.decrypt_u64(&private_key);
+        let decrypted = sum.decrypt_u64(&private_key).unwrap();
         let population = codec.decode_average(&decrypted, selected.len());
         let p_u = vec![1.0 / classes as f64; classes];
         distances.push(dubhe_data::l1_distance(&population, &p_u));
@@ -440,7 +440,7 @@ fn the_server_rejects_replayed_and_unknown_contributions() {
     // The corrupted uploads never reached the fold: it still decrypts to
     // exactly two registrations.
     let total = server.encrypted_total().unwrap();
-    assert_eq!(total.decrypt_u64(&kp.private), vec![2, 0, 0]);
+    assert_eq!(total.decrypt_u64(&kp.private).unwrap(), vec![2, 0, 0]);
 
     // Multi-time: only announced participants, once each.
     server.announce_try(0, &[3, 5]);

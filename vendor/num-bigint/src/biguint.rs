@@ -348,6 +348,17 @@ pub struct MontgomeryContext {
     modulus: BigUint,
 }
 
+/// A fixed-width operand inside (or destined for) the Montgomery domain of
+/// one [`MontgomeryContext`]. Produced by
+/// [`MontgomeryContext::to_montgomery`] /
+/// [`MontgomeryContext::montgomery_residue`]; opaque so the k-limb layout
+/// invariant cannot be broken from outside. Operands are only meaningful with
+/// the context that created them.
+#[derive(Debug, Clone)]
+pub struct MontgomeryOperand {
+    limbs: Vec<u64>,
+}
+
 impl MontgomeryContext {
     /// Builds the context for an odd modulus.
     ///
@@ -491,6 +502,88 @@ impl MontgomeryContext {
     /// The modulus this context reduces by.
     pub fn modulus(&self) -> &BigUint {
         &self.modulus
+    }
+
+    /// Maps `x` into the Montgomery domain: returns `x·R mod m` (reducing
+    /// `x` first if it is not already below the modulus).
+    pub fn to_montgomery(&self, x: &BigUint) -> MontgomeryOperand {
+        let reduced = if x < &self.modulus {
+            x.limbs_padded(self.m.len())
+        } else {
+            (x % &self.modulus).limbs_padded(self.m.len())
+        };
+        MontgomeryOperand {
+            limbs: self.mont_mul(&reduced, &self.r_squared),
+        }
+    }
+
+    /// Wraps a plain residue `x < m` as an operand *without* converting it
+    /// into the Montgomery domain (it represents `x·R⁰`). Feeding such
+    /// operands through [`montgomery_mul`](Self::montgomery_mul) accumulates
+    /// one `R⁻¹` per multiplication; callers that track the deficit can
+    /// cancel it with a single [`r_power`](Self::r_power) multiplication at
+    /// the end (see `r_power` for the exact exponent) — one CIOS multiply
+    /// per folded element instead of a full multiply plus a Knuth
+    /// division.
+    pub fn montgomery_residue(&self, x: &BigUint) -> MontgomeryOperand {
+        let reduced = if x < &self.modulus {
+            x.limbs_padded(self.m.len())
+        } else {
+            (x % &self.modulus).limbs_padded(self.m.len())
+        };
+        MontgomeryOperand { limbs: reduced }
+    }
+
+    /// The CIOS product `a·b·R⁻¹ mod m` of two operands.
+    pub fn montgomery_mul(
+        &self,
+        a: &MontgomeryOperand,
+        b: &MontgomeryOperand,
+    ) -> MontgomeryOperand {
+        MontgomeryOperand {
+            limbs: self.mont_mul(&a.limbs, &b.limbs),
+        }
+    }
+
+    /// The CIOS product `a·b·R⁻¹ mod m` where `b` is a plain residue —
+    /// equivalent to `montgomery_mul(a, montgomery_residue(b))` but, in the
+    /// common case of a full-width residue, without materialising the padded
+    /// operand. This is the fold hot path: one such multiplication per
+    /// ciphertext per aggregated vector.
+    pub fn montgomery_mul_residue(&self, a: &MontgomeryOperand, b: &BigUint) -> MontgomeryOperand {
+        if b.limbs.len() == self.m.len() && b < &self.modulus {
+            return MontgomeryOperand {
+                limbs: self.mont_mul(&a.limbs, &b.limbs),
+            };
+        }
+        self.montgomery_mul(a, &self.montgomery_residue(b))
+    }
+
+    /// Maps an operand out of the Montgomery domain: returns `a·R⁻¹ mod m`
+    /// (the plain value, for an operand produced by
+    /// [`to_montgomery`](Self::to_montgomery)).
+    pub fn from_montgomery(&self, a: &MontgomeryOperand) -> BigUint {
+        let mut one = vec![0u64; self.m.len()];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(&a.limbs, &one))
+    }
+
+    /// `R^e mod m`, where `R = 2^(64k)` is this context's Montgomery radix.
+    /// The correction factor for deficit-tracking folds: after folding `V`
+    /// plain residues with `V − 1` calls to
+    /// [`montgomery_mul`](Self::montgomery_mul) the accumulator holds the
+    /// product times `R^-(V-1)`; multiplying by
+    /// `montgomery_residue(r_power(V + 1))` — whose own multiplication
+    /// costs one more `R⁻¹` — leaves it in Montgomery form, and the final
+    /// [`from_montgomery`](Self::from_montgomery) exit (another `R⁻¹`)
+    /// lands exactly on the product mod m, as the crate tests pin.
+    pub fn r_power(&self, e: u64) -> BigUint {
+        // R mod m = R²·1·R⁻¹ via one reduction, then a windowed modpow with
+        // the (tiny) exponent e.
+        let mut one = vec![0u64; self.m.len()];
+        one[0] = 1;
+        let r_mod_m = BigUint::from_limbs(self.mont_mul(&self.r_squared, &one));
+        self.modpow(&r_mod_m, &BigUint::from(e))
     }
 
     /// `base^exponent mod m` using this precomputed context.
@@ -869,6 +962,73 @@ mod tests {
     #[should_panic(expected = "odd modulus")]
     fn montgomery_context_rejects_even_modulus() {
         let _ = MontgomeryContext::new(&BigUint::from(10u64));
+    }
+
+    #[test]
+    fn montgomery_domain_round_trip() {
+        let m = big("340282366920938463463374607431768211507");
+        let ctx = MontgomeryContext::new(&m);
+        for x in [
+            BigUint::default(),
+            BigUint::one(),
+            big("987654321987654321"),
+            big("340282366920938463463374607431768211509"), // > m: reduced first
+        ] {
+            let dom = ctx.to_montgomery(&x);
+            assert_eq!(ctx.from_montgomery(&dom), &x % &m, "round trip of {x}");
+        }
+    }
+
+    #[test]
+    fn in_domain_multiply_matches_plain_modular_product() {
+        let m = big("340282366920938463463374607431768211507");
+        let ctx = MontgomeryContext::new(&m);
+        let a = big("123456789012345678901234567890");
+        let b = big("340282366920938463463374607431768211480");
+        let prod = ctx.montgomery_mul(&ctx.to_montgomery(&a), &ctx.to_montgomery(&b));
+        assert_eq!(ctx.from_montgomery(&prod), (&a * &b) % &m);
+    }
+
+    #[test]
+    fn deficit_tracked_fold_restores_the_exact_product() {
+        // Fold plain residues with montgomery_mul (one R⁻¹ deficit per
+        // multiplication) and cancel the deficit with r_power(V).
+        let m = big("340282366920938463463374607431768211507");
+        let ctx = MontgomeryContext::new(&m);
+        for count in [1usize, 2, 5, 9] {
+            let values: Vec<BigUint> = (0..count)
+                .map(|i| big("987654321987654321").modpow(&BigUint::from(i as u64 + 2), &m))
+                .collect();
+            let mut naive = BigUint::one();
+            for v in &values {
+                naive = naive.mul_ref(v).div_rem_ref(&m).1;
+            }
+            // V - 1 in-domain multiplies leave the product short V - 1
+            // factors of R; multiplying by R^(V+1) (one more R⁻¹ from the
+            // multiply) puts the accumulator in domain form, and the final
+            // exit lands exactly on the product.
+            let mut acc = ctx.montgomery_residue(&values[0]);
+            for v in &values[1..] {
+                acc = ctx.montgomery_mul(&acc, &ctx.montgomery_residue(v));
+            }
+            let correction = ctx.montgomery_residue(&ctx.r_power(count as u64 + 1));
+            let folded = ctx.from_montgomery(&ctx.montgomery_mul(&acc, &correction));
+            assert_eq!(folded, naive, "count {count}");
+        }
+    }
+
+    #[test]
+    fn r_power_matches_shifted_one() {
+        let m = big("340282366920938463463374607431768211507");
+        let k = (m.bits() as usize).div_ceil(64); // R = 2^(64k)
+        let ctx = MontgomeryContext::new(&m);
+        for e in [0u64, 1, 2, 7, 33] {
+            let expected = BigUint::one()
+                .shl_bits(64 * k * e as usize)
+                .div_rem_ref(&m)
+                .1;
+            assert_eq!(ctx.r_power(e), expected, "R^{e}");
+        }
     }
 
     #[test]
