@@ -35,6 +35,7 @@ fn sample_messages() -> Vec<(&'static str, WireMsg)> {
                 envelope: Envelope {
                     from: Party::Client(7),
                     to: Party::Server,
+                    epoch: 0,
                     msg: ProtocolMsg::EncryptedRegistry {
                         client: 7,
                         registry,
@@ -48,6 +49,7 @@ fn sample_messages() -> Vec<(&'static str, WireMsg)> {
                 envelope: Envelope {
                     from: Party::Client(7),
                     to: Party::Server,
+                    epoch: 0,
                     msg: ProtocolMsg::EncryptedDistribution {
                         client: 7,
                         try_index: 2,

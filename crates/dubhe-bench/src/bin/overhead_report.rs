@@ -30,8 +30,9 @@ use dubhe_he::packing::Packer;
 use dubhe_he::transport::{measure_packed, measure_vector, CommunicationCount};
 use dubhe_he::{EncryptedVector, FixedPointCodec, Keypair};
 use dubhe_select::protocol::{
-    run_registration, run_registration_with, run_try, CodecKind, CoordinatorListener,
-    InMemoryTransport, LinkStats, ShardedCoordinator, TcpTransport,
+    pump, run_registration, run_registration_with, run_try, run_try_with_dropouts, CodecKind,
+    CoordinatorListener, CoordinatorServer, InMemoryTransport, LinkStats, ShardedCoordinator,
+    TcpTransport, Transport,
 };
 use dubhe_select::{DubheConfig, DubheSelector};
 use rand::SeedableRng;
@@ -150,6 +151,7 @@ fn main() {
     let in_memory_stats = protocol_round_trip(key_bits);
     tcp_round_trip(key_bits, &in_memory_stats);
     aggregation_throughput(&pk);
+    epoch_lifecycle(key_bits);
     encrypted_simulation(key_bits);
 
     dubhe_bench::dump_json("overhead_report", &rows);
@@ -354,6 +356,94 @@ fn tcp_round_trip(key_bits: u64, in_memory: &dubhe_select::TransportStats) {
     println!(
         "  DBH2 stays within the 1.10x canonical budget (measured {dbh2:.3}x): the binary \
          codec makes measured wire traffic match the paper's communication model."
+    );
+}
+
+/// Measures the epoch-lifecycle machinery at the report's key size: a
+/// mid-simulation key rotation (fresh keypair + full cohort
+/// re-registration), coordinator crash recovery from a snapshot, and a
+/// multi-time round explicitly closed on a partial cohort after a dropout.
+fn epoch_lifecycle(key_bits: u64) {
+    println!("\nepoch lifecycle (N = 30, K = 10):");
+    let spec = FederatedSpec {
+        family: DatasetFamily::MnistLike,
+        rho: 10.0,
+        emd_avg: 1.5,
+        clients: 30,
+        samples_per_client: 100,
+        test_samples_per_class: 1,
+        seed: 107,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(107);
+    let dists = spec.build_partition(&mut rng).client_distributions();
+    let mut config = DubheConfig::group1();
+    config.k = 10;
+
+    let mut transport = InMemoryTransport::new();
+    let mut run = run_registration(&dists, &config, key_bits, &mut transport, &mut rng)
+        .expect("registration epoch");
+
+    // Key rotation: fresh keypair, new epoch, full cohort re-registration.
+    let t = Instant::now();
+    for e in run.agent.rotate_epoch(30, &mut rng) {
+        transport.send(e);
+    }
+    pump(
+        &mut transport,
+        &mut run.agent,
+        &mut run.clients,
+        &mut run.server,
+        &mut rng,
+    )
+    .expect("re-registration under the rotated key");
+    let rotation = t.elapsed();
+
+    // Crash recovery: serialize the live coordinator, rebuild it from the
+    // bytes alone, and check the restored fold is bit-identical.
+    let t = Instant::now();
+    let snapshot = run.server.snapshot().expect("snapshot");
+    let restored = CoordinatorServer::restore(&snapshot).expect("restore");
+    let recovery = t.elapsed();
+    let original = run.server.encrypted_total().expect("epoch complete");
+    let recovered = restored.encrypted_total().expect("epoch complete");
+    for (a, b) in original.elements().iter().zip(recovered.elements()) {
+        assert_eq!(a.raw(), b.raw(), "restored fold must be bit-identical");
+    }
+
+    // Partial-cohort round: one tentative participant silently drops, the
+    // try is explicitly closed on the survivors.
+    let mut selector = DubheSelector::new(&dists, config);
+    run.agent.expect_tries(1);
+    let tentative = dubhe_select::ClientSelector::select(&mut selector, &mut rng);
+    let dropped = vec![tentative[0]];
+    let t = Instant::now();
+    run_try_with_dropouts(
+        0,
+        &tentative,
+        &dropped,
+        &mut run.agent,
+        &mut run.clients,
+        &mut run.server,
+        &mut transport,
+        &mut rng,
+    )
+    .expect("partial-cohort try");
+    let partial = t.elapsed();
+    let outcome = *run.server.cohort_outcomes().last().expect("recorded");
+    assert!(outcome.partial && outcome.contributed == tentative.len() - 1);
+
+    println!(
+        "  key rotation + re-registration : {rotation:>10.2?}  (epoch {} live)",
+        run.agent.epoch()
+    );
+    println!(
+        "  snapshot + restore             : {recovery:>10.2?}  ({} B snapshot, fold bit-identical)",
+        snapshot.len()
+    );
+    println!(
+        "  partial-cohort round (1 drop)  : {partial:>10.2?}  ({}/{} contributed, closed explicitly)",
+        outcome.contributed,
+        outcome.expected
     );
 }
 

@@ -18,6 +18,15 @@ pub struct RoundRecord {
     pub population_distribution: Vec<f64>,
     /// The clients that participated.
     pub selected_clients: Vec<usize>,
+    /// The key-rotation epoch the round ran under (0 until the first
+    /// rotation; see `SimulationConfig::rotate_epoch_every`).
+    pub epoch: u64,
+    /// Clients that silently dropped out of the round's selection exchange
+    /// (empty unless churn was injected).
+    pub dropped_clients: Vec<usize>,
+    /// True when at least one fold of the round was explicitly closed on a
+    /// partial cohort instead of completing naturally.
+    pub partial_cohort: bool,
 }
 
 /// The full trace of a federated run.
@@ -98,6 +107,9 @@ mod tests {
             population_unbiasedness: unb,
             population_distribution: vec![0.5, 0.5],
             selected_clients: vec![0, 1],
+            epoch: 0,
+            dropped_clients: Vec::new(),
+            partial_cohort: false,
         }
     }
 

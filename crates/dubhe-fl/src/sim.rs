@@ -23,8 +23,9 @@ use dubhe_data::{l1_distance, ClassDistribution, Dataset};
 use dubhe_ml::Sequential;
 use dubhe_select::multi_time_select;
 use dubhe_select::protocol::{
-    run_registration_with, run_try, CodecKind, Coordinator, CoordinatorListener, CoordinatorServer,
-    Envelope, InMemoryTransport, RegistrationRun, ShardedCoordinator, TcpTransport,
+    pump, run_registration_with, run_try, run_try_with_dropouts, CodecKind, Coordinator,
+    CoordinatorListener, CoordinatorServer, Envelope, InMemoryTransport, RegistrationRun,
+    ShardedCoordinator, TcpTransport, Transport,
 };
 use dubhe_select::selector::{population_distribution, ClientSelector};
 use dubhe_select::{ProtocolError, SelectError};
@@ -139,6 +140,41 @@ impl Coordinator for SimCoordinator {
             SimCoordinator::Remote(t) => t.announce_try(try_index, participants),
         }
     }
+
+    fn begin_epoch(
+        &mut self,
+        epoch: u64,
+        expected_registrations: usize,
+    ) -> Result<(), ProtocolError> {
+        match self {
+            SimCoordinator::Local(s) => Coordinator::begin_epoch(s, epoch, expected_registrations),
+            SimCoordinator::Remote(t) => t.begin_epoch(epoch, expected_registrations),
+        }
+    }
+
+    fn close_registration(&mut self) -> Result<Vec<Envelope>, ProtocolError> {
+        match self {
+            SimCoordinator::Local(s) => Coordinator::close_registration(s),
+            SimCoordinator::Remote(t) => t.close_registration(),
+        }
+    }
+
+    fn close_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError> {
+        match self {
+            SimCoordinator::Local(s) => Coordinator::close_try(s, try_index),
+            SimCoordinator::Remote(t) => t.close_try(try_index),
+        }
+    }
+}
+
+/// One injected mid-round churn event: `client` silently stops uploading in
+/// round `round` (see [`SimulationConfig::dropout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientDropout {
+    /// The round the client vanishes in.
+    pub round: usize,
+    /// The client that vanishes.
+    pub client: usize,
 }
 
 /// Run-level configuration of a federated simulation.
@@ -162,6 +198,19 @@ pub struct SimulationConfig {
     /// Secure-protocol mode: modeled accounting or the real encrypted
     /// exchange (see [`SecureMode`]).
     pub secure: SecureMode,
+    /// Rotate the epoch keypair every this many rounds (0 = never). A
+    /// rotation replays the registration epoch under a fresh key: the agent
+    /// generates a new keypair, every client re-registers, and the
+    /// coordinator starts a new fold — all of it real traffic in the
+    /// encrypted modes, and a registration-sized ledger charge in the
+    /// modeled mode, so the modes stay byte-equivalent under rotation.
+    pub rotate_epoch_every: usize,
+    /// Injected mid-round churn, honored by the encrypted multi-time
+    /// exchange: the named client is announced as a tentative participant
+    /// but never uploads, and the coordinator explicitly closes the
+    /// partial-cohort fold. Ignored by the modeled mode and by one-off
+    /// (`multi_time_h == 1`) rounds, which have no per-try uploads to drop.
+    pub dropout: Option<ClientDropout>,
 }
 
 impl SimulationConfig {
@@ -182,6 +231,8 @@ impl SimulationConfig {
             secure: SecureMode::Modeled {
                 key_bits: dubhe_he::PAPER_KEY_BITS,
             },
+            rotate_epoch_every: 0,
+            dropout: None,
         }
     }
 }
@@ -360,8 +411,49 @@ impl FlSimulation {
             }
         }
 
+        // 0b. Key rotation: every `rotate_epoch_every` rounds the agent
+        //     generates a fresh keypair and the whole cohort re-registers
+        //     under it — a full registration epoch replay, driven by the
+        //     same per-round crypto stream so selections stay untouched.
+        let rotate_every = self.config.rotate_epoch_every;
+        let rotation_round = rotate_every > 0
+            && round > 0
+            && round.is_multiple_of(rotate_every)
+            && registry_len.is_some();
+        if self.config.secure.is_encrypted() && rotation_round {
+            if let Some(run) = self.protocol.as_mut() {
+                let n = run.clients.len();
+                for e in run.agent.rotate_epoch(n, &mut crypto_rng) {
+                    transport.send(e);
+                }
+                pump(
+                    &mut transport,
+                    &mut run.agent,
+                    &mut run.clients,
+                    &mut run.server,
+                    &mut crypto_rng,
+                )?;
+                // The re-decrypted overall registry must still agree with
+                // the plaintext decision model — rotation changes the key,
+                // never the data.
+                if let Some(expected) = self.selector.overall_registry() {
+                    if run.overall_registry() != expected {
+                        return Err(dubhe_select::ProtocolError::RegistryDivergence.into());
+                    }
+                }
+            }
+        }
+
+        // Which clients (if any) silently drop out of this round's tries.
+        let drop_ids: Vec<usize> = match self.config.dropout {
+            Some(d) if d.round == round => vec![d.client],
+            _ => Vec::new(),
+        };
+        let mut dropped_clients: Vec<usize> = Vec::new();
+        let mut partial_cohort = false;
+
         // 1. Client selection (optionally multi-time, §5.3.1).
-        let selected = if self.config.multi_time_h > 1 {
+        let mut selected = if self.config.multi_time_h > 1 {
             let h = self.config.multi_time_h;
             if let (true, Some(run)) = (self.config.secure.is_encrypted(), self.protocol.as_mut()) {
                 // The real §5.3.1 exchange: tentative clients encrypt, the
@@ -370,15 +462,42 @@ impl FlSimulation {
                 let mut tries = Vec::with_capacity(h);
                 for try_index in 0..h {
                     let tentative = self.selector.select(&mut rng);
-                    run_try(
-                        try_index,
-                        &tentative,
-                        &mut run.agent,
-                        &mut run.clients,
-                        &mut run.server,
-                        &mut transport,
-                        &mut crypto_rng,
-                    )?;
+                    let dropped: Vec<usize> = drop_ids
+                        .iter()
+                        .copied()
+                        .filter(|c| tentative.contains(c))
+                        .collect();
+                    if dropped.is_empty() {
+                        run_try(
+                            try_index,
+                            &tentative,
+                            &mut run.agent,
+                            &mut run.clients,
+                            &mut run.server,
+                            &mut transport,
+                            &mut crypto_rng,
+                        )?;
+                    } else {
+                        // The announced cohort loses its dropouts mid-try:
+                        // the coordinator explicitly closes the partial fold
+                        // and the agent scores the try over the survivors.
+                        partial_cohort = true;
+                        for &c in &dropped {
+                            if !dropped_clients.contains(&c) {
+                                dropped_clients.push(c);
+                            }
+                        }
+                        run_try_with_dropouts(
+                            try_index,
+                            &tentative,
+                            &dropped,
+                            &mut run.agent,
+                            &mut run.clients,
+                            &mut run.server,
+                            &mut transport,
+                            &mut crypto_rng,
+                        )?;
+                    }
                     tries.push(tentative);
                 }
                 let (best_try, _) = run.agent.verdict().expect("all tries evaluated");
@@ -395,6 +514,10 @@ impl FlSimulation {
         } else {
             self.selector.select(&mut rng)
         };
+        // A client that dropped mid-round does not come back to train in it.
+        if !dropped_clients.is_empty() {
+            selected.retain(|id| !dropped_clients.contains(id));
+        }
         if selected.is_empty() {
             return Err(SelectError::EmptySelection.into());
         }
@@ -475,15 +598,14 @@ impl FlSimulation {
             } else {
                 0
             };
+            // A rotation round replays the registration epoch, so it is
+            // charged exactly like one on top of its multi-time traffic.
+            let registering = registration_round || rotation_round;
             RoundComm {
                 check_in_messages: k,
-                registration_messages: if registration_round {
-                    self.clients.len()
-                } else {
-                    0
-                },
+                registration_messages: if registering { self.clients.len() } else { 0 },
                 multi_time_messages,
-                ciphertext_bytes: if registration_round {
+                ciphertext_bytes: if registering {
                     self.clients.len() * registry_ct_bytes + multi_time_ct_bytes
                 } else {
                     multi_time_ct_bytes
@@ -495,6 +617,15 @@ impl FlSimulation {
         };
         self.ledger.record(comm);
 
+        // The epoch the round ran under: the agent's live counter in
+        // encrypted mode, the rotation arithmetic in modeled mode — the
+        // same number by construction, which the equivalence tests pin.
+        let epoch = match self.protocol.as_ref() {
+            Some(run) => run.agent.epoch(),
+            None if rotate_every > 0 && registry_len.is_some() => (round / rotate_every) as u64,
+            None => 0,
+        };
+
         Ok(RoundRecord {
             round,
             test_accuracy,
@@ -502,6 +633,9 @@ impl FlSimulation {
             population_unbiasedness: unbiasedness,
             population_distribution: p_o,
             selected_clients: selected,
+            epoch,
+            dropped_clients,
+            partial_cohort,
         })
     }
 
@@ -663,6 +797,89 @@ mod tests {
             encrypted_ledger.dubhe_overhead_messages()
         );
         assert!(encrypted_ledger.total_ciphertext_bytes() > 0);
+    }
+
+    #[test]
+    fn key_rotation_preserves_mode_equivalence_and_advances_the_epoch() {
+        // Rotation replays the registration epoch under a fresh key every
+        // other round. The decisions, history and canonical ledger totals
+        // must stay identical between the modeled and the real encrypted
+        // run — and both must report the same advancing epoch counter.
+        let (client_data, test, dists) = build_federation(24, 10.0, 1.5, 6);
+        let run_mode = |secure: SecureMode| {
+            let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+            let model = small_mlp(32, 10, 6);
+            let mut config = SimulationConfig::quick(5, 19);
+            config.multi_time_h = 3;
+            config.rotate_epoch_every = 2;
+            config.secure = secure;
+            let mut sim = FlSimulation::from_datasets(
+                client_data.clone(),
+                test.clone(),
+                model,
+                selector,
+                config,
+            );
+            let history = sim.run().unwrap();
+            (history, sim.ledger().clone())
+        };
+
+        let (modeled_hist, modeled_ledger) = run_mode(SecureMode::Modeled { key_bits: 256 });
+        let (encrypted_hist, encrypted_ledger) = run_mode(SecureMode::Encrypted { key_bits: 256 });
+
+        assert_eq!(
+            modeled_hist, encrypted_hist,
+            "rotation must not perturb any decision"
+        );
+        let epochs: Vec<u64> = encrypted_hist.rounds.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![0, 0, 1, 1, 2], "epoch advances every 2 rounds");
+        assert_eq!(
+            modeled_ledger.total_ciphertext_bytes(),
+            encrypted_ledger.total_ciphertext_bytes(),
+            "re-registration bytes must match the modeled registration charge"
+        );
+        assert_eq!(
+            modeled_ledger.dubhe_overhead_messages(),
+            encrypted_ledger.dubhe_overhead_messages()
+        );
+        // Rotation rounds (2 and 4) pay a full registration on top of the
+        // multi-time traffic; the rounds in between pay none.
+        assert_eq!(encrypted_ledger.rounds[2].registration_messages, 24);
+        assert_eq!(encrypted_ledger.rounds[3].registration_messages, 0);
+        assert_eq!(encrypted_ledger.rounds[4].registration_messages, 24);
+    }
+
+    #[test]
+    fn injected_dropout_closes_a_partial_cohort_and_records_it() {
+        // One client silently vanishes in round 1: every try it was
+        // tentatively selected for is explicitly closed on the partial
+        // cohort, the round completes (no hang, no error), and the record
+        // names the dropout.
+        let (client_data, test, dists) = build_federation(24, 10.0, 1.5, 12);
+        let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+        let model = small_mlp(32, 10, 8);
+        let mut config = SimulationConfig::quick(3, 29);
+        config.multi_time_h = 3;
+        config.secure = SecureMode::Encrypted { key_bits: 256 };
+        config.dropout = Some(ClientDropout {
+            round: 1,
+            client: 0,
+        });
+        let mut sim = FlSimulation::from_datasets(client_data, test, model, selector, config);
+        let history = sim.run().unwrap();
+        assert_eq!(history.len(), 3);
+
+        let hit = &history.rounds[1];
+        assert_eq!(hit.dropped_clients, vec![0], "the dropout is recorded");
+        assert!(hit.partial_cohort, "at least one fold closed partial");
+        assert!(
+            !hit.selected_clients.contains(&0),
+            "a vanished client cannot train in the round it dropped"
+        );
+        for untouched in [&history.rounds[0], &history.rounds[2]] {
+            assert!(untouched.dropped_clients.is_empty());
+            assert!(!untouched.partial_cohort);
+        }
     }
 
     #[test]

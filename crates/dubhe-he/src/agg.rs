@@ -25,8 +25,10 @@
 use num_bigint::{BigUint, MontgomeryOperand};
 
 use crate::ciphertext::Ciphertext;
+use crate::codec;
 use crate::error::HeError;
 use crate::keys::PublicKey;
+use crate::transport::ciphertext_size_bytes;
 use crate::vector::{map_indexed, EncryptedVector};
 
 #[cfg(doc)]
@@ -155,6 +157,93 @@ impl RunningFold {
         };
         EncryptedVector::from_raw_parts(elements, self.public.clone())
     }
+
+    /// Serializes the fold's **in-domain** state for crash recovery:
+    ///
+    /// ```text
+    /// snapshot := u8 kind (0 = Mont, 1 = Plain)
+    ///           | u64 folded
+    ///           | public key
+    ///           | u32 count | count × residue (ciphertext width)
+    /// ```
+    ///
+    /// Montgomery accumulators are dumped as their raw residues (no domain
+    /// exit), so [`restore`](Self::restore) rebuilds them limb-for-limb and a
+    /// resumed fold is bit-identical to one that never stopped — pinned by
+    /// the property tests across lengths and interruption points.
+    pub fn snapshot(&self) -> Result<Vec<u8>, HeError> {
+        let width = ciphertext_size_bytes(&self.public);
+        let mut out = Vec::new();
+        let (kind, residues): (u8, Vec<BigUint>) = match &self.state {
+            FoldState::Mont(elems) => (0, elems.iter().map(|op| op.raw_residue()).collect()),
+            FoldState::Plain(elems) => (1, elems.clone()),
+        };
+        out.push(kind);
+        codec::put_u64(&mut out, self.folded);
+        codec::encode_public_key(&self.public, &mut out);
+        codec::put_u32(&mut out, residues.len() as u32);
+        for r in &residues {
+            codec::put_biguint_fixed(&mut out, r, width)?;
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a fold from a [`snapshot`](Self::snapshot). Decoding is
+    /// defensive: truncation, overrunning counts, a zero fold count, residues
+    /// `≥ n²`, and a kind byte that contradicts the restored key's Montgomery
+    /// capability are all typed errors.
+    pub fn restore(bytes: &[u8]) -> Result<Self, HeError> {
+        let cur = &mut &bytes[..];
+        let kind = *codec::take_bytes(cur, 1)?.first().expect("one byte taken");
+        let folded = codec::take_u64(cur)?;
+        if folded == 0 {
+            return Err(HeError::MalformedEncoding {
+                detail: "fold snapshot claims zero folded vectors",
+            });
+        }
+        let public = codec::decode_public_key(cur)?;
+        let count = codec::take_u32(cur)? as usize;
+        let width = ciphertext_size_bytes(&public);
+        if count
+            .checked_mul(width)
+            .is_none_or(|total| total > cur.len())
+        {
+            return Err(HeError::MalformedEncoding {
+                detail: "fold snapshot residue count overruns the payload",
+            });
+        }
+        let mut residues = Vec::with_capacity(count);
+        for _ in 0..count {
+            let value = BigUint::from_bytes_be(codec::take_bytes(cur, width)?);
+            if &value >= public.n_squared() {
+                return Err(HeError::MalformedEncoding {
+                    detail: "fold snapshot residue is not below n²",
+                });
+            }
+            residues.push(value);
+        }
+        let state = match (kind, public.mont_n2()) {
+            (0, Some(ctx)) => {
+                FoldState::Mont(residues.iter().map(|r| ctx.montgomery_residue(r)).collect())
+            }
+            (1, None) => FoldState::Plain(residues),
+            (0, None) | (1, Some(_)) => {
+                return Err(HeError::MalformedEncoding {
+                    detail: "fold snapshot kind contradicts the key's Montgomery capability",
+                })
+            }
+            _ => {
+                return Err(HeError::MalformedEncoding {
+                    detail: "unknown fold snapshot kind",
+                })
+            }
+        };
+        Ok(RunningFold {
+            public,
+            folded,
+            state,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +296,71 @@ mod tests {
         }
         assert_eq!(fold.total(), sum_vectors_serial(&vs).unwrap().unwrap());
         let _ = kp;
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identical_to_an_uninterrupted_fold() {
+        let (_kp, vs) = vectors(6, 5);
+        let mut uninterrupted = RunningFold::new(&vs[0]);
+        for v in &vs[1..] {
+            uninterrupted.fold(v).unwrap();
+        }
+        for cut in 1..vs.len() {
+            let mut fold = RunningFold::new(&vs[0]);
+            for v in &vs[1..cut] {
+                fold.fold(v).unwrap();
+            }
+            let snap = fold.snapshot().unwrap();
+            drop(fold); // the "crash"
+            let mut resumed = RunningFold::restore(&snap).unwrap();
+            assert_eq!(resumed.folded(), cut as u64);
+            for v in &vs[cut..] {
+                resumed.fold(v).unwrap();
+            }
+            let total = resumed.total();
+            for (i, (a, b)) in total
+                .elements()
+                .iter()
+                .zip(uninterrupted.total().elements())
+                .enumerate()
+            {
+                assert_eq!(a.raw(), b.raw(), "cut {cut} position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_typed_errors() {
+        let (_kp, vs) = vectors(2, 3);
+        let mut fold = RunningFold::new(&vs[0]);
+        fold.fold(&vs[1]).unwrap();
+        let snap = fold.snapshot().unwrap();
+
+        for cut in [0, 1, 8, snap.len() / 2, snap.len() - 1] {
+            let err = RunningFold::restore(&snap[..cut]).unwrap_err();
+            assert!(
+                matches!(err, HeError::MalformedEncoding { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+
+        // Unknown kind byte.
+        let mut bad = snap.clone();
+        bad[0] = 9;
+        assert!(RunningFold::restore(&bad).is_err());
+
+        // A zero fold count is never produced and never accepted.
+        let mut bad = snap.clone();
+        bad[1..9].copy_from_slice(&0u64.to_be_bytes());
+        assert!(RunningFold::restore(&bad).is_err());
+
+        // An all-0xFF residue is ≥ n² at the fixed width.
+        let mut bad = snap.clone();
+        let tail = bad.len();
+        bad[tail - 4..].fill(0xFF);
+        let width = ciphertext_size_bytes(vs[0].public_key());
+        bad[tail - width..].fill(0xFF);
+        assert!(RunningFold::restore(&bad).is_err());
     }
 
     #[test]

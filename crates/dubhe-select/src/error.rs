@@ -111,6 +111,29 @@ pub enum ProtocolError {
         /// The late client id.
         client: usize,
     },
+    /// A frame stamped with an epoch older than the receiver's current one —
+    /// a straggler from before a key rotation, or a replay. Folding it would
+    /// mix ciphertexts across keypairs, so it is refused outright.
+    StaleEpoch {
+        /// The epoch the frame was stamped with.
+        received: u64,
+        /// The receiver's current epoch.
+        current: u64,
+    },
+    /// A non-key-dispatch frame stamped with an epoch the receiver has not
+    /// entered yet. Only a key dispatch may advance a party's epoch.
+    FutureEpoch {
+        /// The epoch the frame was stamped with.
+        received: u64,
+        /// The receiver's current epoch.
+        current: u64,
+    },
+    /// A partial-cohort close was requested but there is nothing to close:
+    /// no contribution ever arrived, so no fold exists to publish.
+    NothingToClose {
+        /// What was asked to close ("registration", "try").
+        what: &'static str,
+    },
     /// An encrypted registration epoch decrypted to a different overall
     /// registry than the plaintext decision model it was checked against.
     RegistryDivergence,
@@ -190,6 +213,21 @@ impl std::fmt::Display for ProtocolError {
                     "client {client} uploaded a registry after the total was broadcast"
                 )
             }
+            ProtocolError::StaleEpoch { received, current } => {
+                write!(
+                    f,
+                    "stale frame from epoch {received} (current epoch is {current})"
+                )
+            }
+            ProtocolError::FutureEpoch { received, current } => {
+                write!(
+                    f,
+                    "frame from future epoch {received} (current epoch is {current}; only a key dispatch advances an epoch)"
+                )
+            }
+            ProtocolError::NothingToClose { what } => {
+                write!(f, "cannot close {what}: no contribution has arrived")
+            }
             ProtocolError::RegistryDivergence => {
                 write!(
                     f,
@@ -254,5 +292,18 @@ mod tests {
         assert!(ProtocolError::UnknownTry { try_index: 3 }
             .to_string()
             .contains('3'));
+        let stale = ProtocolError::StaleEpoch {
+            received: 1,
+            current: 2,
+        };
+        assert!(stale.to_string().contains("stale"));
+        let future = ProtocolError::FutureEpoch {
+            received: 5,
+            current: 2,
+        };
+        assert!(future.to_string().contains("future"));
+        assert!(ProtocolError::NothingToClose { what: "try" }
+            .to_string()
+            .contains("close"));
     }
 }

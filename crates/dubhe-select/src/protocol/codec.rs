@@ -9,11 +9,9 @@
 //! Two codecs implement [`WireCodec`]:
 //!
 //! * [`JsonCodec`] — the original `DBH1` format: the [`WireMsg`] rendered as
-//!   JSON with decimal-string bignums. Kept for compatibility — for every
-//!   message that actually crosses the TCP wire (server-bound envelopes,
-//!   control messages and reply batches, none of which carry a private
-//!   key), the bytes are identical to the pre-codec-layer serialization;
-//!   costs ~2.5× the canonical ciphertext bytes.
+//!   JSON with decimal-string bignums. Kept for compatibility — decoding
+//!   accepts every pre-epoch frame unchanged (a missing `"epoch"` field
+//!   defaults to 0); costs ~2.5× the canonical ciphertext bytes.
 //! * [`BinaryCodec`] — `DBH2`: a canonical binary layout whose ciphertext
 //!   fields are the fixed-width big-endian limbs of
 //!   [`dubhe_he::codec`], so a frame is its canonical payload plus a small
@@ -34,7 +32,10 @@
 //!           | 3                                  (Ack)
 //!           | 4 u32 len  utf-8 detail            (Error)
 //!           | 5                                  (Shutdown)
-//! envelope := party party protocolmsg
+//!           | 6 u64 epoch  u64 expected          (BeginEpoch)
+//!           | 7                                  (CloseRegistration)
+//!           | 8 u64 try_index                    (CloseTry)
+//! envelope := party party u64-epoch protocolmsg
 //! party    := 0 | 1 | 2 u64 client-id
 //! protocolmsg :=
 //!     0 public-key  u8 has-private  [private-key]
@@ -126,14 +127,14 @@ impl CodecKind {
 
 /// The `DBH1` payload codec: `WireMsg` as JSON.
 ///
-/// For every frame the TCP transport actually exchanges — server-bound
-/// envelopes, `AnnounceTry`/`Ack`/`Error`/`Shutdown`, and reply batches,
-/// none of which ever carry a private key — the bytes are identical to the
-/// serialization the transport used before codecs became pluggable (pinned
-/// by a test), so a `DBH1` peer from an older build interoperates on the
-/// wire unchanged. The one JSON shape that *did* change in the same release
-/// is `PrivateKey` itself (now factors-only, see `dubhe-he::keys`), which
-/// affects only locally serialized key material, never protocol sockets.
+/// Compatibility with pre-codec-layer peers is one-directional since the
+/// epoch lifecycle landed: *decoding* still accepts every legacy frame (an
+/// envelope without an `"epoch"` field deserializes as epoch 0 via the serde
+/// default, pinned by a test), but *encoded* envelopes now carry their epoch
+/// stamp, so a strict legacy reader would see one extra field. The other
+/// JSON shape that changed in an earlier release is `PrivateKey` itself (now
+/// factors-only, see `dubhe-he::keys`), which affects only locally
+/// serialized key material, never protocol sockets.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JsonCodec;
 
@@ -205,6 +206,23 @@ impl WireCodec for BinaryCodec {
                 out.extend_from_slice(detail.as_bytes());
             }
             WireMsg::Shutdown => out.push(5),
+            // The epoch-lifecycle control frames postdate tags 0–5; their
+            // tags extend the sequence rather than following the enum's
+            // declaration order, so every pre-lifecycle DBH2 peer still
+            // reads the original six unchanged.
+            WireMsg::BeginEpoch {
+                epoch,
+                expected_registrations,
+            } => {
+                out.push(6);
+                he::put_u64(&mut out, *epoch);
+                he::put_u64(&mut out, *expected_registrations as u64);
+            }
+            WireMsg::CloseRegistration => out.push(7),
+            WireMsg::CloseTry { try_index } => {
+                out.push(8);
+                he::put_u64(&mut out, *try_index as u64);
+            }
         }
         Ok(out)
     }
@@ -258,7 +276,7 @@ fn envelope_hint(e: &Envelope) -> usize {
         ProtocolMsg::EncryptedDistributionSum { sum, .. } => 16 + he::encoded_vector_bytes(sum),
         ProtocolMsg::TryVerdict { .. } => 16,
     };
-    party_hint(&e.from) + party_hint(&e.to) + 1 + body
+    party_hint(&e.from) + party_hint(&e.to) + 8 + 1 + body
 }
 
 /// Encoded size of a whole frame payload (exact except for the key-dispatch
@@ -268,8 +286,10 @@ fn payload_size_hint(msg: &WireMsg) -> usize {
         WireMsg::Envelope { envelope } => envelope_hint(envelope),
         WireMsg::AnnounceTry { participants, .. } => 8 + 4 + 8 * participants.len(),
         WireMsg::Batch { envelopes } => 4 + envelopes.iter().map(envelope_hint).sum::<usize>(),
-        WireMsg::Ack | WireMsg::Shutdown => 0,
+        WireMsg::Ack | WireMsg::Shutdown | WireMsg::CloseRegistration => 0,
         WireMsg::Error { detail } => 4 + detail.len(),
+        WireMsg::BeginEpoch { .. } => 16,
+        WireMsg::CloseTry { .. } => 8,
     }
 }
 
@@ -299,6 +319,7 @@ fn encode_party(party: &Party, out: &mut Vec<u8>) {
 fn encode_envelope(e: &Envelope, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
     encode_party(&e.from, out);
     encode_party(&e.to, out);
+    he::put_u64(out, e.epoch);
     match &e.msg {
         ProtocolMsg::PublicKeyDispatch {
             public_key,
@@ -384,6 +405,7 @@ fn malformed_tag(what: &str, tag: u8) -> ProtocolError {
 fn decode_envelope(cur: &mut &[u8]) -> Result<Envelope, ProtocolError> {
     let from = decode_party(cur)?;
     let to = decode_party(cur)?;
+    let epoch = he::take_u64(cur).map_err(he_err)?;
     let msg = match take_u8(cur)? {
         0 => {
             let public_key = he::decode_public_key(cur).map_err(he_err)?;
@@ -420,7 +442,12 @@ fn decode_envelope(cur: &mut &[u8]) -> Result<Envelope, ProtocolError> {
         },
         tag => return Err(malformed_tag("protocol-message", tag)),
     };
-    Ok(Envelope { from, to, msg })
+    Ok(Envelope {
+        from,
+        to,
+        epoch,
+        msg,
+    })
 }
 
 fn decode_wiremsg(cur: &mut &[u8]) -> Result<WireMsg, ProtocolError> {
@@ -474,6 +501,14 @@ fn decode_wiremsg(cur: &mut &[u8]) -> Result<WireMsg, ProtocolError> {
             Ok(WireMsg::Error { detail })
         }
         5 => Ok(WireMsg::Shutdown),
+        6 => Ok(WireMsg::BeginEpoch {
+            epoch: he::take_u64(cur).map_err(he_err)?,
+            expected_registrations: take_usize(cur)?,
+        }),
+        7 => Ok(WireMsg::CloseRegistration),
+        8 => Ok(WireMsg::CloseTry {
+            try_index: take_usize(cur)?,
+        }),
         tag => Err(malformed_tag("wire-message", tag)),
     }
 }
@@ -491,6 +526,7 @@ mod tests {
         let env = |msg: ProtocolMsg| Envelope {
             from: Party::Client(3),
             to: Party::Server,
+            epoch: 4,
             msg,
         };
         vec![
@@ -498,6 +534,7 @@ mod tests {
                 envelope: Envelope {
                     from: Party::Agent,
                     to: Party::Client(1),
+                    epoch: 4,
                     msg: ProtocolMsg::PublicKeyDispatch {
                         public_key: kp.public.clone(),
                         private_key: Some(kp.private.clone()),
@@ -508,6 +545,7 @@ mod tests {
                 envelope: Envelope {
                     from: Party::Agent,
                     to: Party::Server,
+                    epoch: 4,
                     msg: ProtocolMsg::PublicKeyDispatch {
                         public_key: kp.public.clone(),
                         private_key: None,
@@ -548,6 +586,12 @@ mod tests {
                 detail: "nope — später".to_string(),
             },
             WireMsg::Shutdown,
+            WireMsg::BeginEpoch {
+                epoch: 5,
+                expected_registrations: 12,
+            },
+            WireMsg::CloseRegistration,
+            WireMsg::CloseTry { try_index: 2 },
         ]
     }
 
@@ -581,19 +625,21 @@ mod tests {
     #[test]
     fn json_codec_is_pinned_to_the_legacy_serialization() {
         // DBH1 payloads must stay bit-identical to the direct serde_json
-        // rendering the transport used before codecs were pluggable.
+        // rendering of the message types — the codec adds no framing of its
+        // own on top of serde.
         for msg in sample_msgs() {
             let payload = CodecKind::Json.encode(&msg).unwrap();
             assert_eq!(payload, serde_json::to_string(&msg).unwrap().into_bytes());
         }
         // A literal fixture for a wire-crossing frame, so a change to any
         // serde impl in the path (not just the codec plumbing) trips this
-        // test instead of silently breaking older DBH1 peers. Verdicts are
-        // the only fixed-size wire message, hence the stable rendering.
+        // test instead of silently breaking DBH1 peers. Verdicts are the
+        // only fixed-size wire message, hence the stable rendering.
         let verdict = WireMsg::Envelope {
             envelope: Envelope {
                 from: Party::Agent,
                 to: Party::Server,
+                epoch: 0,
                 msg: ProtocolMsg::TryVerdict {
                     best_try: 2,
                     distance: 0.25,
@@ -603,8 +649,15 @@ mod tests {
         assert_eq!(
             String::from_utf8(CodecKind::Json.encode(&verdict).unwrap()).unwrap(),
             "{\"Envelope\":{\"envelope\":{\"from\":\"Agent\",\"to\":\"Server\",\
+             \"epoch\":0,\
              \"msg\":{\"TryVerdict\":{\"best_try\":2,\"distance\":0.25}}}}}"
         );
+        // The pre-epoch rendering of the same frame (no "epoch" field) must
+        // keep decoding — a frame recorded by an older peer deserializes
+        // with the epoch defaulted to 0.
+        let legacy = "{\"Envelope\":{\"envelope\":{\"from\":\"Agent\",\"to\":\"Server\",\
+             \"msg\":{\"TryVerdict\":{\"best_try\":2,\"distance\":0.25}}}}}";
+        assert_eq!(CodecKind::Json.decode(legacy.as_bytes()).unwrap(), verdict);
     }
 
     #[test]

@@ -45,17 +45,17 @@ where
     while let Some(envelope) = transport.deliver() {
         let outgoing = match envelope.to {
             Party::Server => server.deliver(envelope)?,
-            Party::Agent => agent.handle(envelope.msg)?,
+            Party::Agent => agent.deliver(envelope)?,
             Party::Client(id) => {
                 let population = clients.len();
                 let client = clients
                     .get_mut(id)
                     .ok_or(SelectError::ClientOutOfRange { id, population })?;
-                client.handle(envelope.msg, rng)?
+                client.deliver(envelope, rng)?
             }
         };
         for e in outgoing {
-            transport.send(e.from, e.to, e.msg);
+            transport.send(e);
         }
     }
     Ok(())
@@ -166,7 +166,7 @@ where
         .collect();
 
     for e in agent.dispatch_keys(n) {
-        transport.send(e.from, e.to, e.msg);
+        transport.send(e);
     }
     pump(transport, &mut agent, &mut clients, &mut server, rng)?;
 
@@ -214,7 +214,63 @@ where
     Coordinator::announce_try(server, try_index, selected)?;
     for &id in selected {
         let e = clients[id].encrypt_distribution(try_index, rng)?;
-        transport.send(e.from, e.to, e.msg);
+        transport.send(e);
+    }
+    pump(transport, agent, clients, server, rng)
+}
+
+/// [`run_try`] with injected churn: the clients in `dropped` are announced
+/// as participants but never upload (a silent mid-round drop). After every
+/// surviving contribution is folded, the driver explicitly closes the try —
+/// the partial-cohort fold a straggler deadline would have triggered — and
+/// pumps the partial sum to the agent. The agent divides by the *actual*
+/// contributor count, so the population estimate stays normalized.
+///
+/// With an empty `dropped` this is exactly [`run_try`]. If *every*
+/// participant drops the close surfaces
+/// [`ProtocolError::NothingToClose`](crate::error::ProtocolError::NothingToClose)
+/// — an abandoned try, never a hang.
+#[allow(clippy::too_many_arguments)] // run_try's signature plus the dropout set
+pub fn run_try_with_dropouts<C, T, R>(
+    try_index: usize,
+    selected: &[ClientId],
+    dropped: &[ClientId],
+    agent: &mut AgentNode,
+    clients: &mut [SelectClientNode],
+    server: &mut C,
+    transport: &mut T,
+    rng: &mut R,
+) -> Result<(), SelectError>
+where
+    C: Coordinator,
+    T: Transport,
+    R: Rng + ?Sized,
+{
+    if dropped.is_empty() {
+        return run_try(try_index, selected, agent, clients, server, transport, rng);
+    }
+    if selected.is_empty() {
+        return Err(SelectError::EmptySelection);
+    }
+    for &id in selected {
+        if id >= clients.len() {
+            return Err(SelectError::ClientOutOfRange {
+                id,
+                population: clients.len(),
+            });
+        }
+    }
+    Coordinator::announce_try(server, try_index, selected)?;
+    for &id in selected {
+        if dropped.contains(&id) {
+            continue;
+        }
+        let e = clients[id].encrypt_distribution(try_index, rng)?;
+        transport.send(e);
+    }
+    pump(transport, agent, clients, server, rng)?;
+    for e in server.close_try(try_index)? {
+        transport.send(e);
     }
     pump(transport, agent, clients, server, rng)
 }

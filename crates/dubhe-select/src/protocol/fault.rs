@@ -1,0 +1,341 @@
+//! Deterministic fault injection for protocol transports.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and perturbs the envelope
+//! stream according to a [`FaultPlan`]: individual sends can be dropped,
+//! duplicated, delayed past later traffic, or have one ciphertext element
+//! truncated off their payload. Faults are keyed by *send index* (the 0-based
+//! count of `send` calls), so a test names exactly which protocol step gets
+//! hurt and the run stays reproducible — no RNG, no timing dependence.
+//!
+//! The point is the robustness contract: whatever the plan does to the
+//! stream, the roles must answer with a typed
+//! [`ProtocolError`](crate::error::ProtocolError) or a correct partial
+//! result — never a panic, a hang, or a silently corrupted fold. The
+//! adversarial suite drives full exchanges through this wrapper and asserts
+//! exactly that.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use super::message::{Envelope, ProtocolMsg};
+use super::transport::Transport;
+
+/// One injected misbehaviour, applied to a single `send`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The envelope never reaches the queue (a silent network drop).
+    Drop,
+    /// The envelope is enqueued twice (a retransmit duplicate).
+    Duplicate,
+    /// The envelope is held back and re-enqueued after later traffic (a
+    /// reordering delay). Held envelopes are flushed after the next
+    /// unfaulted send, or when the queue would otherwise run dry — a delay
+    /// postpones, it never loses.
+    Delay,
+    /// The last ciphertext element is cut off the payload (a truncation the
+    /// length-prefixed wire framing would not catch). Envelopes without a
+    /// ciphertext vector pass through unchanged.
+    Truncate,
+}
+
+/// Which send indices get which [`Fault`], builder-style.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    schedule: BTreeMap<usize, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the wrapper becomes a transparent pass-through).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `fault` for the `send_index`-th send (0-based).
+    pub fn with_fault(mut self, send_index: usize, fault: Fault) -> Self {
+        self.schedule.insert(send_index, fault);
+        self
+    }
+
+    /// Shorthand for [`with_fault`](Self::with_fault) with [`Fault::Drop`].
+    pub fn drop_send(self, send_index: usize) -> Self {
+        self.with_fault(send_index, Fault::Drop)
+    }
+
+    /// Shorthand for [`with_fault`](Self::with_fault) with
+    /// [`Fault::Duplicate`].
+    pub fn duplicate_send(self, send_index: usize) -> Self {
+        self.with_fault(send_index, Fault::Duplicate)
+    }
+
+    /// Shorthand for [`with_fault`](Self::with_fault) with [`Fault::Delay`].
+    pub fn delay_send(self, send_index: usize) -> Self {
+        self.with_fault(send_index, Fault::Delay)
+    }
+
+    /// Shorthand for [`with_fault`](Self::with_fault) with
+    /// [`Fault::Truncate`].
+    pub fn truncate_send(self, send_index: usize) -> Self {
+        self.with_fault(send_index, Fault::Truncate)
+    }
+}
+
+/// What the wrapper actually did to the stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Envelopes silently dropped.
+    pub dropped: usize,
+    /// Envelopes enqueued twice.
+    pub duplicated: usize,
+    /// Envelopes held back and reordered.
+    pub delayed: usize,
+    /// Envelopes whose payload lost its last ciphertext element.
+    pub truncated: usize,
+}
+
+/// A [`Transport`] wrapper that injects the faults of a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    sends: usize,
+    held: VecDeque<Envelope>,
+    stats: FaultStats,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner`, perturbing its stream per `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        FaultyTransport {
+            inner,
+            plan,
+            sends: 0,
+            held: VecDeque::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// The wrapped transport (e.g. to read its metering).
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn flush_held(&mut self) {
+        while let Some(e) = self.held.pop_front() {
+            self.inner.send(e);
+        }
+    }
+}
+
+/// Cuts the last element off a ciphertext vector. `slice(0, len - 1)`
+/// cannot fail for a non-empty vector, but a typed fallback beats
+/// unwrapping inside a fault injector.
+fn cut_last(v: dubhe_he::EncryptedVector) -> (dubhe_he::EncryptedVector, bool) {
+    if v.is_empty() {
+        return (v, false);
+    }
+    match v.slice(0, v.len() - 1) {
+        Ok(shorter) => (shorter, true),
+        Err(_) => (v, false),
+    }
+}
+
+/// Cuts the last ciphertext element off a vector-bearing message. Returns
+/// the (possibly modified) message and whether anything was cut.
+fn truncate_payload(msg: ProtocolMsg) -> (ProtocolMsg, bool) {
+    match msg {
+        ProtocolMsg::EncryptedRegistry { client, registry } => {
+            let (registry, cut) = cut_last(registry);
+            (ProtocolMsg::EncryptedRegistry { client, registry }, cut)
+        }
+        ProtocolMsg::EncryptedTotalBroadcast { total } => {
+            let (total, cut) = cut_last(total);
+            (ProtocolMsg::EncryptedTotalBroadcast { total }, cut)
+        }
+        ProtocolMsg::EncryptedDistribution {
+            client,
+            try_index,
+            distribution,
+        } => {
+            let (distribution, cut) = cut_last(distribution);
+            (
+                ProtocolMsg::EncryptedDistribution {
+                    client,
+                    try_index,
+                    distribution,
+                },
+                cut,
+            )
+        }
+        ProtocolMsg::EncryptedDistributionSum {
+            try_index,
+            contributors,
+            sum,
+        } => {
+            let (sum, cut) = cut_last(sum);
+            (
+                ProtocolMsg::EncryptedDistributionSum {
+                    try_index,
+                    contributors,
+                    sum,
+                },
+                cut,
+            )
+        }
+        other => (other, false),
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, envelope: Envelope) {
+        let fault = self.plan.schedule.get(&self.sends).copied();
+        self.sends += 1;
+        match fault {
+            Some(Fault::Drop) => {
+                self.stats.dropped += 1;
+            }
+            Some(Fault::Duplicate) => {
+                self.stats.duplicated += 1;
+                self.inner.send(envelope.clone());
+                self.inner.send(envelope);
+                self.flush_held();
+            }
+            Some(Fault::Delay) => {
+                self.stats.delayed += 1;
+                self.held.push_back(envelope);
+            }
+            Some(Fault::Truncate) => {
+                let (msg, cut) = truncate_payload(envelope.msg);
+                if cut {
+                    self.stats.truncated += 1;
+                }
+                self.inner.send(Envelope { msg, ..envelope });
+                self.flush_held();
+            }
+            None => {
+                self.inner.send(envelope);
+                self.flush_held();
+            }
+        }
+    }
+
+    fn deliver(&mut self) -> Option<Envelope> {
+        if let Some(e) = self.inner.deliver() {
+            return Some(e);
+        }
+        if self.held.is_empty() {
+            return None;
+        }
+        // The queue ran dry with envelopes still held: release them now so
+        // a delay can never starve the exchange.
+        self.flush_held();
+        self.inner.deliver()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::message::Party;
+    use crate::protocol::transport::InMemoryTransport;
+
+    fn verdict(best_try: usize) -> Envelope {
+        Envelope {
+            from: Party::Agent,
+            to: Party::Server,
+            epoch: 0,
+            msg: ProtocolMsg::TryVerdict {
+                best_try,
+                distance: 0.5,
+            },
+        }
+    }
+
+    fn best_try(e: &Envelope) -> usize {
+        match e.msg {
+            ProtocolMsg::TryVerdict { best_try, .. } => best_try,
+            _ => panic!("expected a verdict"),
+        }
+    }
+
+    #[test]
+    fn drop_duplicate_and_delay_shape_the_stream_deterministically() {
+        let plan = FaultPlan::new()
+            .drop_send(0)
+            .delay_send(1)
+            .duplicate_send(2);
+        let mut t = FaultyTransport::new(InMemoryTransport::new(), plan);
+        for i in 0..4 {
+            t.send(verdict(i));
+        }
+        // 0 dropped; 1 delayed until after 2 (which doubles); 3 unfaulted.
+        let mut order = Vec::new();
+        while let Some(e) = t.deliver() {
+            order.push(best_try(&e));
+        }
+        assert_eq!(order, vec![2, 2, 1, 3]);
+        assert_eq!(
+            *t.stats(),
+            FaultStats {
+                dropped: 1,
+                duplicated: 1,
+                delayed: 1,
+                truncated: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn a_delay_with_no_later_traffic_still_delivers() {
+        let plan = FaultPlan::new().delay_send(0);
+        let mut t = FaultyTransport::new(InMemoryTransport::new(), plan);
+        t.send(verdict(7));
+        let only = t.deliver().expect("released when the queue runs dry");
+        assert_eq!(best_try(&only), 7);
+        assert!(t.deliver().is_none());
+    }
+
+    #[test]
+    fn truncate_skips_messages_without_a_ciphertext_vector() {
+        let plan = FaultPlan::new().truncate_send(0);
+        let mut t = FaultyTransport::new(InMemoryTransport::new(), plan);
+        t.send(verdict(1));
+        assert_eq!(t.stats().truncated, 0);
+        assert_eq!(best_try(&t.deliver().expect("passed through")), 1);
+    }
+
+    #[test]
+    fn truncate_cuts_exactly_one_ciphertext_element() {
+        use dubhe_he::{EncryptedVector, Keypair};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let kp = Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
+        let v = EncryptedVector::encrypt_u64(&kp.public, &[1, 2, 3], &mut rng);
+
+        let plan = FaultPlan::new().truncate_send(0);
+        let mut t = FaultyTransport::new(InMemoryTransport::new(), plan);
+        t.send(Envelope {
+            from: Party::Client(0),
+            to: Party::Server,
+            epoch: 0,
+            msg: ProtocolMsg::EncryptedRegistry {
+                client: 0,
+                registry: v,
+            },
+        });
+        assert_eq!(t.stats().truncated, 1);
+        let out = t.deliver().expect("delivered truncated");
+        match out.msg {
+            ProtocolMsg::EncryptedRegistry { registry, .. } => assert_eq!(registry.len(), 2),
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+}

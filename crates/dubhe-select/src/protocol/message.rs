@@ -162,14 +162,50 @@ impl ProtocolMsg {
 }
 
 /// An addressed message in flight.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// The sending party.
     pub from: Party,
     /// The receiving party.
     pub to: Party,
+    /// The key-rotation epoch the frame belongs to. Every party starts at
+    /// epoch 0; only a key dispatch may advance a receiver's epoch, and any
+    /// other frame whose epoch disagrees with the receiver's is refused with
+    /// a typed error ([`StaleEpoch`]/[`FutureEpoch`]). Legacy frames without
+    /// the field decode as epoch 0.
+    ///
+    /// [`StaleEpoch`]: crate::error::ProtocolError::StaleEpoch
+    /// [`FutureEpoch`]: crate::error::ProtocolError::FutureEpoch
+    pub epoch: u64,
     /// The payload.
     pub msg: ProtocolMsg,
+}
+
+// Hand-written (de)serialization so a missing `epoch` field defaults to 0:
+// pre-epoch peers and recorded transcripts keep decoding unchanged.
+impl Serialize for Envelope {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("from".to_string(), self.from.to_value()),
+            ("to".to_string(), self.to.to_value()),
+            ("epoch".to_string(), self.epoch.to_value()),
+            ("msg".to_string(), self.msg.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Envelope {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Envelope {
+            from: Deserialize::from_value(serde::get_field(v, "from")?)?,
+            to: Deserialize::from_value(serde::get_field(v, "to")?)?,
+            epoch: match serde::get_field(v, "epoch") {
+                Ok(value) => Deserialize::from_value(value)?,
+                Err(_) => 0,
+            },
+            msg: Deserialize::from_value(serde::get_field(v, "msg")?)?,
+        })
+    }
 }
 
 /// Per-element ciphertext width under `public` — re-exported convenience so

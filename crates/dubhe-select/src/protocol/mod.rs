@@ -70,6 +70,7 @@
 
 pub mod codec;
 pub mod driver;
+pub mod fault;
 pub mod message;
 pub mod roles;
 pub mod shard;
@@ -78,13 +79,18 @@ pub mod transport;
 pub mod wire;
 
 pub use codec::{BinaryCodec, CodecKind, JsonCodec, WireCodec};
-pub use driver::{pump, run_registration, run_registration_with, run_try, RegistrationRun};
+pub use driver::{
+    pump, run_registration, run_registration_with, run_try, run_try_with_dropouts, RegistrationRun,
+};
+pub use fault::{Fault, FaultPlan, FaultStats, FaultyTransport};
 pub use message::{Envelope, MsgKind, Party, ProtocolMsg};
-pub use roles::{AgentNode, Coordinator, CoordinatorServer, SelectClientNode};
+pub use roles::{AgentNode, CohortOutcome, Coordinator, CoordinatorServer, SelectClientNode};
 pub use shard::{shard_ranges, ShardedCoordinator};
-pub use tcp::{CoordinatorListener, TcpTransport, WireStats, DEFAULT_READ_TIMEOUT};
+pub use tcp::{
+    CoordinatorListener, ListenerConfig, TcpConfig, TcpTransport, WireStats, DEFAULT_READ_TIMEOUT,
+};
 pub use transport::{InMemoryTransport, LinkStats, Transport, TransportStats};
 pub use wire::{
-    read_frame, read_frame_negotiated, write_frame, write_frame_with, WireMsg, FRAME_MAGIC,
-    FRAME_MAGIC_V2, MAX_FRAME_BYTES,
+    read_frame, read_frame_limited, read_frame_negotiated, write_frame, write_frame_limited,
+    write_frame_with, WireMsg, FRAME_MAGIC, FRAME_MAGIC_V2, MAX_FRAME_BYTES,
 };

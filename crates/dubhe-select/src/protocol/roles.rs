@@ -16,11 +16,12 @@
 //!   participation probability (Eq. 6) from the decrypted overall registry.
 
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 use dubhe_data::ClassDistribution;
 use dubhe_he::{
-    EncryptedVector, EpochEncryptor, FixedPointCodec, Keypair, PrecomputedEncryptor, PrivateKey,
-    PublicKey, RunningFold,
+    codec as he_codec, EncryptedVector, EpochEncryptor, FixedPointCodec, Keypair,
+    PrecomputedEncryptor, PrivateKey, PublicKey, RunningFold,
 };
 use rand::Rng;
 
@@ -64,6 +65,48 @@ pub trait Coordinator {
         try_index: usize,
         participants: &[ClientId],
     ) -> Result<(), ProtocolError>;
+
+    /// Opens a new registration epoch with a (possibly resized) cohort:
+    /// clients may have joined or left since the last epoch. Resets every
+    /// registration and try fold; frames from older epochs are refused with
+    /// [`ProtocolError::StaleEpoch`] afterwards.
+    fn begin_epoch(
+        &mut self,
+        epoch: u64,
+        expected_registrations: usize,
+    ) -> Result<(), ProtocolError>;
+
+    /// Closes the registration phase with whatever registries have arrived —
+    /// the explicit partial-cohort fold a straggler deadline triggers. The
+    /// total is broadcast to the clients that did register (and the agent);
+    /// later registries are refused. Errs with
+    /// [`ProtocolError::NothingToClose`] if no registry ever arrived.
+    fn close_registration(&mut self) -> Result<Vec<Envelope>, ProtocolError>;
+
+    /// Closes one tentative try with whatever contributions have arrived,
+    /// forwarding the partial sum (and its true contributor count, which is
+    /// what the agent divides by) to the agent. Errs with
+    /// [`ProtocolError::UnknownTry`] for a try never announced and
+    /// [`ProtocolError::NothingToClose`] if nobody contributed (the try is
+    /// abandoned either way — never a hang).
+    fn close_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError>;
+}
+
+/// The record a coordinator keeps of every closed aggregation: who was
+/// expected, who actually contributed, and whether the close was partial
+/// (straggler deadline / explicit churn) or natural.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CohortOutcome {
+    /// The epoch the aggregation ran in.
+    pub epoch: u64,
+    /// The tentative try, or `None` for the registration fold.
+    pub try_index: Option<usize>,
+    /// How many contributions were expected.
+    pub expected: usize,
+    /// How many actually arrived before the close.
+    pub contributed: usize,
+    /// `true` if the cohort was closed before everyone contributed.
+    pub partial: bool,
 }
 
 /// Advances a running Montgomery-domain fold by one vector (seeding it from
@@ -89,6 +132,8 @@ struct TryFold {
     contributed: Vec<bool>,
     received: usize,
     fold: Option<RunningFold>,
+    /// When the try was announced — the straggler clock.
+    opened: Instant,
 }
 
 /// The honest-but-curious coordinator. Holds the epoch [`PublicKey`] and
@@ -102,7 +147,19 @@ pub struct CoordinatorServer {
     registered: Vec<bool>,
     registrations_received: usize,
     registry_fold: Option<RunningFold>,
+    /// `true` once the registration total has been broadcast — naturally or
+    /// by a partial close. Later registries are refused either way.
+    registration_closed: bool,
+    /// The current key-rotation epoch. Advanced by a key dispatch stamped
+    /// with a newer epoch, or explicitly via [`begin_epoch`](Self::begin_epoch).
+    epoch: u64,
+    /// When the current registration phase opened — the straggler clock.
+    registration_opened: Instant,
+    /// If set, [`close_expired`](Self::close_expired) partially closes any
+    /// aggregation open longer than this.
+    straggler_deadline: Option<Duration>,
     tries: BTreeMap<usize, TryFold>,
+    cohort_outcomes: Vec<CohortOutcome>,
     last_verdict: Option<(usize, f64)>,
     bytes_received: usize,
     messages_received: usize,
@@ -117,11 +174,25 @@ impl CoordinatorServer {
             registered: vec![false; expected_registrations],
             registrations_received: 0,
             registry_fold: None,
+            registration_closed: false,
+            epoch: 0,
+            registration_opened: Instant::now(),
+            straggler_deadline: None,
             tries: BTreeMap::new(),
+            cohort_outcomes: Vec::new(),
             last_verdict: None,
             bytes_received: 0,
             messages_received: 0,
         }
+    }
+
+    /// Builder: sets the straggler deadline after which
+    /// [`close_expired`](Self::close_expired) partially closes an open
+    /// aggregation. No deadline (the default) means aggregations stay open
+    /// until closed explicitly.
+    pub fn with_straggler_deadline(mut self, deadline: Duration) -> Self {
+        self.straggler_deadline = Some(deadline);
+        self
     }
 
     /// A server that already learned the epoch public key out-of-band (used
@@ -160,6 +231,266 @@ impl CoordinatorServer {
         self.last_verdict
     }
 
+    /// The coordinator's current key-rotation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Every closed aggregation so far (registrations and tries, partial and
+    /// natural), in close order.
+    pub fn cohort_outcomes(&self) -> &[CohortOutcome] {
+        &self.cohort_outcomes
+    }
+
+    /// Checks an incoming envelope's epoch stamp. A key dispatch from a
+    /// newer epoch advances the coordinator (same cohort size); anything
+    /// else from the wrong epoch is a typed error.
+    fn check_epoch(&mut self, envelope: &Envelope) -> Result<(), ProtocolError> {
+        match envelope.epoch.cmp(&self.epoch) {
+            std::cmp::Ordering::Equal => Ok(()),
+            std::cmp::Ordering::Less => Err(ProtocolError::StaleEpoch {
+                received: envelope.epoch,
+                current: self.epoch,
+            }),
+            std::cmp::Ordering::Greater => {
+                if matches!(envelope.msg, ProtocolMsg::PublicKeyDispatch { .. }) {
+                    let expected = self.registered.len();
+                    self.enter_epoch(envelope.epoch, expected);
+                    Ok(())
+                } else {
+                    Err(ProtocolError::FutureEpoch {
+                        received: envelope.epoch,
+                        current: self.epoch,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Resets all per-epoch aggregation state for `epoch` with a cohort of
+    /// `expected_registrations`.
+    fn enter_epoch(&mut self, epoch: u64, expected_registrations: usize) {
+        self.epoch = epoch;
+        self.registered = vec![false; expected_registrations];
+        self.registrations_received = 0;
+        self.registry_fold = None;
+        self.registration_closed = false;
+        self.registration_opened = Instant::now();
+        self.tries.clear();
+        self.last_verdict = None;
+    }
+
+    /// Explicitly opens a new epoch with a resized cohort (clients joined or
+    /// left). The [`Coordinator`] trait routes here.
+    pub fn begin_epoch(&mut self, epoch: u64, expected_registrations: usize) {
+        self.enter_epoch(epoch, expected_registrations);
+    }
+
+    /// The registration broadcast for the current fold: `Enc(R_A)` to every
+    /// *contributing* client plus the agent, stamped with the current epoch.
+    fn registration_broadcast(&self) -> Vec<Envelope> {
+        let total = self
+            .registry_fold
+            .as_ref()
+            .expect("caller checked a fold exists")
+            .total();
+        let mut out = Vec::with_capacity(self.registrations_received + 1);
+        for (id, seen) in self.registered.iter().enumerate() {
+            if *seen {
+                out.push(Envelope {
+                    from: Party::Server,
+                    to: Party::Client(id),
+                    epoch: self.epoch,
+                    msg: ProtocolMsg::EncryptedTotalBroadcast {
+                        total: total.clone(),
+                    },
+                });
+            }
+        }
+        out.push(Envelope {
+            from: Party::Server,
+            to: Party::Agent,
+            epoch: self.epoch,
+            msg: ProtocolMsg::EncryptedTotalBroadcast { total },
+        });
+        out
+    }
+
+    /// Closes registration with whatever registries arrived — the explicit
+    /// partial-cohort fold. See [`Coordinator::close_registration`].
+    pub fn close_registration(&mut self) -> Result<Vec<Envelope>, ProtocolError> {
+        if self.registration_closed || self.registry_fold.is_none() {
+            return Err(ProtocolError::NothingToClose {
+                what: "registration",
+            });
+        }
+        self.registration_closed = true;
+        self.cohort_outcomes.push(CohortOutcome {
+            epoch: self.epoch,
+            try_index: None,
+            expected: self.registered.len(),
+            contributed: self.registrations_received,
+            partial: true,
+        });
+        Ok(self.registration_broadcast())
+    }
+
+    /// Closes one tentative try with whatever contributions arrived. See
+    /// [`Coordinator::close_try`].
+    pub fn close_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError> {
+        let slot = self
+            .tries
+            .remove(&try_index)
+            .ok_or(ProtocolError::UnknownTry { try_index })?;
+        self.cohort_outcomes.push(CohortOutcome {
+            epoch: self.epoch,
+            try_index: Some(try_index),
+            expected: slot.participants.len(),
+            contributed: slot.received,
+            partial: true,
+        });
+        match slot.fold {
+            None => Err(ProtocolError::NothingToClose { what: "try" }),
+            Some(fold) => Ok(vec![Envelope {
+                from: Party::Server,
+                to: Party::Agent,
+                epoch: self.epoch,
+                msg: ProtocolMsg::EncryptedDistributionSum {
+                    try_index,
+                    contributors: slot.received,
+                    sum: fold.total(),
+                },
+            }]),
+        }
+    }
+
+    /// Partially closes every aggregation open longer than the configured
+    /// straggler deadline (a no-op without one): expired tries forward their
+    /// partial sums, an expired registration broadcasts its partial total.
+    /// Expired tries nobody contributed to are abandoned (recorded, no
+    /// envelope). This is what guarantees a round **never hangs** on a
+    /// silently dropped client.
+    pub fn close_expired(&mut self) -> Result<Vec<Envelope>, ProtocolError> {
+        let Some(deadline) = self.straggler_deadline else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        let expired: Vec<usize> = self
+            .tries
+            .iter()
+            .filter(|(_, slot)| slot.opened.elapsed() >= deadline)
+            .map(|(&i, _)| i)
+            .collect();
+        for try_index in expired {
+            match self.close_try(try_index) {
+                Ok(envelopes) => out.extend(envelopes),
+                Err(ProtocolError::NothingToClose { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if !self.registration_closed
+            && self.registry_fold.is_some()
+            && self.registration_opened.elapsed() >= deadline
+        {
+            out.extend(self.close_registration()?);
+        }
+        Ok(out)
+    }
+
+    /// Serializes the coordinator's registration-phase state for crash
+    /// recovery: epoch, cohort bitmap, accounting, public key and the
+    /// registry fold (via [`RunningFold::snapshot`] — raw in-domain
+    /// residues, no re-folding on restore). In-flight tries are *not*
+    /// captured: a restarted coordinator re-announces them.
+    pub fn snapshot(&self) -> Result<Vec<u8>, ProtocolError> {
+        let mut out = Vec::new();
+        he_codec::put_u64(&mut out, self.epoch);
+        out.push(self.registration_closed as u8);
+        he_codec::put_u32(&mut out, self.registered.len() as u32);
+        out.extend(self.registered.iter().map(|&b| b as u8));
+        he_codec::put_u64(&mut out, self.registrations_received as u64);
+        he_codec::put_u64(&mut out, self.bytes_received as u64);
+        he_codec::put_u64(&mut out, self.messages_received as u64);
+        match &self.public_key {
+            None => out.push(0),
+            Some(pk) => {
+                out.push(1);
+                he_codec::encode_public_key(pk, &mut out);
+            }
+        }
+        match &self.registry_fold {
+            None => out.push(0),
+            Some(fold) => {
+                out.push(1);
+                let snap = fold.snapshot().map_err(ProtocolError::He)?;
+                he_codec::put_u32(&mut out, snap.len() as u32);
+                out.extend_from_slice(&snap);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a coordinator from a [`snapshot`](Self::snapshot). The
+    /// restored fold is bit-identical to the one that was serialized, so
+    /// resuming mid-registration and finishing produces exactly the total an
+    /// uninterrupted coordinator would have broadcast.
+    pub fn restore(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let cur = &mut &bytes[..];
+        let take_flag = |cur: &mut &[u8]| -> Result<bool, ProtocolError> {
+            let b = he_codec::take_bytes(cur, 1).map_err(ProtocolError::He)?[0];
+            match b {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(ProtocolError::MalformedFrame {
+                    detail: "snapshot flag byte is not 0 or 1".into(),
+                }),
+            }
+        };
+        let epoch = he_codec::take_u64(cur).map_err(ProtocolError::He)?;
+        let registration_closed = take_flag(cur)?;
+        let expected = he_codec::take_u32(cur).map_err(ProtocolError::He)? as usize;
+        if expected > cur.len() {
+            return Err(ProtocolError::MalformedFrame {
+                detail: "snapshot cohort bitmap overruns the payload".into(),
+            });
+        }
+        let registered: Vec<bool> = he_codec::take_bytes(cur, expected)
+            .map_err(ProtocolError::He)?
+            .iter()
+            .map(|&b| b != 0)
+            .collect();
+        let registrations_received = he_codec::take_u64(cur).map_err(ProtocolError::He)? as usize;
+        if registrations_received != registered.iter().filter(|&&b| b).count() {
+            return Err(ProtocolError::MalformedFrame {
+                detail: "snapshot registration count disagrees with its cohort bitmap".into(),
+            });
+        }
+        let bytes_received = he_codec::take_u64(cur).map_err(ProtocolError::He)? as usize;
+        let messages_received = he_codec::take_u64(cur).map_err(ProtocolError::He)? as usize;
+        let public_key = if take_flag(cur)? {
+            Some(he_codec::decode_public_key(cur).map_err(ProtocolError::He)?)
+        } else {
+            None
+        };
+        let registry_fold = if take_flag(cur)? {
+            let len = he_codec::take_u32(cur).map_err(ProtocolError::He)? as usize;
+            let snap = he_codec::take_bytes(cur, len).map_err(ProtocolError::He)?;
+            Some(RunningFold::restore(snap).map_err(ProtocolError::He)?)
+        } else {
+            None
+        };
+        let mut server = CoordinatorServer::new(0);
+        server.epoch = epoch;
+        server.registration_closed = registration_closed;
+        server.registered = registered;
+        server.registrations_received = registrations_received;
+        server.bytes_received = bytes_received;
+        server.messages_received = messages_received;
+        server.public_key = public_key;
+        server.registry_fold = registry_fold;
+        Ok(server)
+    }
+
     /// Announces one tentative try (§5.3.1: the server performs the `H`
     /// tentative selections): the server will fold exactly one encrypted
     /// distribution from each of `participants` for `try_index` and then
@@ -176,6 +507,7 @@ impl CoordinatorServer {
                 contributed,
                 received: 0,
                 fold: None,
+                opened: Instant::now(),
             },
         );
     }
@@ -197,11 +529,13 @@ impl CoordinatorServer {
             }
             ProtocolMsg::EncryptedRegistry { client, registry } => {
                 // Exactly one registry per known client, and none once the
-                // epoch total has been broadcast: duplicates, strangers and
-                // stragglers would silently corrupt the homomorphic sum
-                // (a real concern once a retrying networked transport sits
-                // underneath), so they are protocol errors instead.
-                if self.registrations_received == self.registered.len() {
+                // epoch total has been broadcast (naturally or by a partial
+                // close): duplicates, strangers and stragglers would
+                // silently corrupt the homomorphic sum (a real concern once
+                // a retrying networked transport sits underneath), so they
+                // are protocol errors instead.
+                if self.registration_closed || self.registrations_received == self.registered.len()
+                {
                     return Err(ProtocolError::EpochComplete { client });
                 }
                 match self.registered.get_mut(client) {
@@ -219,32 +553,26 @@ impl CoordinatorServer {
                     }
                     Some(seen) => *seen = true,
                 }
-                fold_in(&mut self.registry_fold, &registry)?;
+                // A payload the fold rejects (wrong shape, foreign key) must
+                // not burn the client's one registration slot: unmark it so
+                // a well-formed retry is still possible.
+                if let Err(e) = fold_in(&mut self.registry_fold, &registry) {
+                    self.registered[client] = false;
+                    return Err(e);
+                }
                 self.registrations_received += 1;
                 if self.registrations_received == self.registered.len() {
-                    let total = self
-                        .registry_fold
-                        .as_ref()
-                        .expect("at least one registry folded")
-                        .total();
                     // Fig. 4 step 3: broadcast Enc(R_A) to every client and
                     // the agent; nobody but the key holders can open it.
-                    let mut out = Vec::with_capacity(self.registered.len() + 1);
-                    for id in 0..self.registered.len() {
-                        out.push(Envelope {
-                            from: Party::Server,
-                            to: Party::Client(id),
-                            msg: ProtocolMsg::EncryptedTotalBroadcast {
-                                total: total.clone(),
-                            },
-                        });
-                    }
-                    out.push(Envelope {
-                        from: Party::Server,
-                        to: Party::Agent,
-                        msg: ProtocolMsg::EncryptedTotalBroadcast { total },
+                    self.registration_closed = true;
+                    self.cohort_outcomes.push(CohortOutcome {
+                        epoch: self.epoch,
+                        try_index: None,
+                        expected: self.registered.len(),
+                        contributed: self.registrations_received,
+                        partial: false,
                     });
-                    Ok(out)
+                    Ok(self.registration_broadcast())
                 } else {
                     Ok(Vec::new())
                 }
@@ -271,13 +599,24 @@ impl CoordinatorServer {
                     });
                 }
                 slot.contributed[idx] = true;
-                fold_in(&mut slot.fold, &distribution)?;
+                if let Err(e) = fold_in(&mut slot.fold, &distribution) {
+                    slot.contributed[idx] = false;
+                    return Err(e);
+                }
                 slot.received += 1;
                 if slot.received == slot.participants.len() {
                     let slot = self.tries.remove(&try_index).expect("present");
+                    self.cohort_outcomes.push(CohortOutcome {
+                        epoch: self.epoch,
+                        try_index: Some(try_index),
+                        expected: slot.participants.len(),
+                        contributed: slot.received,
+                        partial: false,
+                    });
                     Ok(vec![Envelope {
                         from: Party::Server,
                         to: Party::Agent,
+                        epoch: self.epoch,
                         msg: ProtocolMsg::EncryptedDistributionSum {
                             try_index,
                             contributors: slot.received,
@@ -302,6 +641,7 @@ impl CoordinatorServer {
 
 impl Coordinator for CoordinatorServer {
     fn deliver(&mut self, envelope: Envelope) -> Result<Vec<Envelope>, ProtocolError> {
+        self.check_epoch(&envelope)?;
         CoordinatorServer::handle(self, envelope.msg)
     }
 
@@ -313,6 +653,23 @@ impl Coordinator for CoordinatorServer {
         CoordinatorServer::announce_try(self, try_index, participants);
         Ok(())
     }
+
+    fn begin_epoch(
+        &mut self,
+        epoch: u64,
+        expected_registrations: usize,
+    ) -> Result<(), ProtocolError> {
+        CoordinatorServer::begin_epoch(self, epoch, expected_registrations);
+        Ok(())
+    }
+
+    fn close_registration(&mut self) -> Result<Vec<Envelope>, ProtocolError> {
+        CoordinatorServer::close_registration(self)
+    }
+
+    fn close_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError> {
+        CoordinatorServer::close_try(self, try_index)
+    }
 }
 
 /// The keypair-owning agent: dispatches the epoch key, decrypts the per-try
@@ -320,6 +677,8 @@ impl Coordinator for CoordinatorServer {
 #[derive(Debug)]
 pub struct AgentNode {
     keypair: Keypair,
+    key_bits: u64,
+    epoch: u64,
     codec: FixedPointCodec,
     classes: usize,
     overall_registry: Option<Vec<u64>>,
@@ -334,20 +693,65 @@ impl AgentNode {
     pub fn new<R: Rng + ?Sized>(key_bits: u64, classes: usize, rng: &mut R) -> Self {
         let keypair = Keypair::generate(key_bits, rng);
         let _ = PrecomputedEncryptor::new(&keypair.public, rng);
-        AgentNode::from_keypair(keypair, classes)
+        AgentNode {
+            key_bits,
+            ..AgentNode::from_keypair(keypair, classes)
+        }
     }
 
     /// Wraps existing key material (used by compatibility drivers whose
     /// callers generated the keypair themselves).
     pub fn from_keypair(keypair: Keypair, classes: usize) -> Self {
+        let key_bits = keypair.public.n().bits();
         AgentNode {
             keypair,
+            key_bits,
+            epoch: 0,
             codec: FixedPointCodec::default(),
             classes,
             overall_registry: None,
             expected_tries: 0,
             try_outcomes: BTreeMap::new(),
             verdict: None,
+        }
+    }
+
+    /// The agent's current key-rotation epoch (starts at 0).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rotates the epoch keypair: generates a fresh keypair at the same key
+    /// size, advances the epoch, forgets everything derived from the old key
+    /// (overall registry, try outcomes, verdict) and returns the key
+    /// dispatches — stamped with the new epoch — that drive cohort
+    /// re-registration. Stale frames from the old epoch are refused by every
+    /// receiver from here on.
+    pub fn rotate_epoch<R: Rng + ?Sized>(&mut self, clients: usize, rng: &mut R) -> Vec<Envelope> {
+        let keypair = Keypair::generate(self.key_bits, rng);
+        let _ = PrecomputedEncryptor::new(&keypair.public, rng);
+        self.keypair = keypair;
+        self.epoch += 1;
+        self.overall_registry = None;
+        self.try_outcomes.clear();
+        self.verdict = None;
+        self.dispatch_keys(clients)
+    }
+
+    /// Delivers one envelope, checking its epoch stamp first. The agent is
+    /// the epoch's author: nothing another party sends may advance it, so
+    /// both directions of disagreement are typed errors.
+    pub fn deliver(&mut self, envelope: Envelope) -> Result<Vec<Envelope>, ProtocolError> {
+        match envelope.epoch.cmp(&self.epoch) {
+            std::cmp::Ordering::Equal => self.handle(envelope.msg),
+            std::cmp::Ordering::Less => Err(ProtocolError::StaleEpoch {
+                received: envelope.epoch,
+                current: self.epoch,
+            }),
+            std::cmp::Ordering::Greater => Err(ProtocolError::FutureEpoch {
+                received: envelope.epoch,
+                current: self.epoch,
+            }),
         }
     }
 
@@ -370,6 +774,7 @@ impl AgentNode {
         out.push(Envelope {
             from: Party::Agent,
             to: Party::Server,
+            epoch: self.epoch,
             msg: ProtocolMsg::PublicKeyDispatch {
                 public_key: self.keypair.public.clone(),
                 private_key: None,
@@ -379,6 +784,7 @@ impl AgentNode {
             out.push(Envelope {
                 from: Party::Agent,
                 to: Party::Client(id),
+                epoch: self.epoch,
                 msg: ProtocolMsg::PublicKeyDispatch {
                     public_key: self.keypair.public.clone(),
                     private_key: Some(self.keypair.private.clone()),
@@ -453,6 +859,7 @@ impl AgentNode {
                     return Ok(vec![Envelope {
                         from: Party::Agent,
                         to: Party::Server,
+                        epoch: self.epoch,
                         msg: ProtocolMsg::TryVerdict { best_try, distance },
                     }]);
                 }
@@ -483,6 +890,7 @@ pub struct SelectClientNode {
     distribution: ClassDistribution,
     codec: FixedPointCodec,
     plan: Option<RegistrationPlan>,
+    epoch: u64,
     public_key: Option<PublicKey>,
     private_key: Option<PrivateKey>,
     encryptor: Option<EpochEncryptor>,
@@ -513,6 +921,7 @@ impl SelectClientNode {
             distribution,
             codec: FixedPointCodec::default(),
             plan: None,
+            epoch: 0,
             public_key: None,
             private_key: None,
             encryptor: None,
@@ -526,11 +935,50 @@ impl SelectClientNode {
         self.id
     }
 
+    /// The client's current key-rotation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Installs epoch key material without going through a dispatch message
-    /// (used by compatibility drivers).
+    /// (used by compatibility drivers). Any encryptor built for a previous
+    /// key is discarded.
     pub fn install_keys(&mut self, public: PublicKey, private: PrivateKey) {
         self.public_key = Some(public);
         self.private_key = Some(private);
+        self.encryptor = None;
+    }
+
+    /// Delivers one envelope, checking its epoch stamp first. A key dispatch
+    /// from a *newer* epoch is how the client learns of a rotation: it adopts
+    /// the epoch, forgets the old key material and (if it holds a
+    /// registration plan) re-registers under the new key. Anything else from
+    /// the wrong epoch is a typed error.
+    pub fn deliver<R: Rng + ?Sized>(
+        &mut self,
+        envelope: Envelope,
+        rng: &mut R,
+    ) -> Result<Vec<Envelope>, ProtocolError> {
+        match envelope.epoch.cmp(&self.epoch) {
+            std::cmp::Ordering::Equal => self.handle(envelope.msg, rng),
+            std::cmp::Ordering::Less => Err(ProtocolError::StaleEpoch {
+                received: envelope.epoch,
+                current: self.epoch,
+            }),
+            std::cmp::Ordering::Greater => {
+                if matches!(envelope.msg, ProtocolMsg::PublicKeyDispatch { .. }) {
+                    self.epoch = envelope.epoch;
+                    self.encryptor = None;
+                    self.overall_registry = None;
+                    self.handle(envelope.msg, rng)
+                } else {
+                    Err(ProtocolError::FutureEpoch {
+                        received: envelope.epoch,
+                        current: self.epoch,
+                    })
+                }
+            }
+        }
     }
 
     /// The client's registration, once the key arrived and Algorithm 1 ran.
@@ -589,6 +1037,7 @@ impl SelectClientNode {
         Ok(Envelope {
             from: Party::Client(self.id),
             to: Party::Server,
+            epoch: self.epoch,
             msg: ProtocolMsg::EncryptedDistribution {
                 client: self.id,
                 try_index,
@@ -621,6 +1070,7 @@ impl SelectClientNode {
                     Ok(vec![Envelope {
                         from: Party::Client(self.id),
                         to: Party::Server,
+                        epoch: self.epoch,
                         msg: ProtocolMsg::EncryptedRegistry {
                             client: self.id,
                             registry: encrypted,

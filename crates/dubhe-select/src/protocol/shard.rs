@@ -21,11 +21,12 @@
 
 use std::collections::BTreeMap;
 use std::ops::Range;
+use std::time::{Duration, Instant};
 
-use dubhe_he::{EncryptedVector, PublicKey, RunningFold};
+use dubhe_he::{codec as he_codec, EncryptedVector, PublicKey, RunningFold};
 
 use super::message::{Envelope, Party, ProtocolMsg};
-use super::roles::Coordinator;
+use super::roles::{CohortOutcome, Coordinator};
 use crate::error::ProtocolError;
 use crate::selector::ClientId;
 
@@ -109,6 +110,8 @@ struct ShardedTryFold {
     received: usize,
     ranges: Option<Vec<Range<usize>>>,
     folds: Vec<Option<RunningFold>>,
+    /// When the try was announced — the straggler clock.
+    opened: Instant,
 }
 
 /// A coordinator whose registry positions are partitioned across `N` shard
@@ -125,7 +128,18 @@ pub struct ShardedCoordinator {
     /// Position ranges, fixed by the first registry's length.
     registry_ranges: Option<Vec<Range<usize>>>,
     registry_folds: Vec<Option<RunningFold>>,
+    /// `true` once the registration total has been broadcast — naturally or
+    /// by a partial close.
+    registration_closed: bool,
+    /// The current key-rotation epoch.
+    epoch: u64,
+    /// When the current registration phase opened — the straggler clock.
+    registration_opened: Instant,
+    /// If set, [`close_expired`](Self::close_expired) partially closes any
+    /// aggregation open longer than this.
+    straggler_deadline: Option<Duration>,
     tries: BTreeMap<usize, ShardedTryFold>,
+    cohort_outcomes: Vec<CohortOutcome>,
     last_verdict: Option<(usize, f64)>,
     bytes_received: usize,
     messages_received: usize,
@@ -146,11 +160,25 @@ impl ShardedCoordinator {
             registrations_received: 0,
             registry_ranges: None,
             registry_folds: vec![None; shards],
+            registration_closed: false,
+            epoch: 0,
+            registration_opened: Instant::now(),
+            straggler_deadline: None,
             tries: BTreeMap::new(),
+            cohort_outcomes: Vec::new(),
             last_verdict: None,
             bytes_received: 0,
             messages_received: 0,
         }
+    }
+
+    /// Builder: sets the straggler deadline after which
+    /// [`close_expired`](Self::close_expired) partially closes an open
+    /// aggregation. No deadline (the default) means aggregations stay open
+    /// until closed explicitly.
+    pub fn with_straggler_deadline(mut self, deadline: Duration) -> Self {
+        self.straggler_deadline = Some(deadline);
+        self
     }
 
     /// A sharded coordinator that already learned the epoch public key
@@ -197,6 +225,290 @@ impl ShardedCoordinator {
         self.last_verdict
     }
 
+    /// The coordinator's current key-rotation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Every closed aggregation so far (registrations and tries, partial and
+    /// natural), in close order.
+    pub fn cohort_outcomes(&self) -> &[CohortOutcome] {
+        &self.cohort_outcomes
+    }
+
+    /// Checks an incoming envelope's epoch stamp — identical policy to
+    /// [`CoordinatorServer`](super::roles::CoordinatorServer): a key dispatch
+    /// from a newer epoch advances the coordinator, anything else from the
+    /// wrong epoch is a typed error.
+    fn check_epoch(&mut self, envelope: &Envelope) -> Result<(), ProtocolError> {
+        match envelope.epoch.cmp(&self.epoch) {
+            std::cmp::Ordering::Equal => Ok(()),
+            std::cmp::Ordering::Less => Err(ProtocolError::StaleEpoch {
+                received: envelope.epoch,
+                current: self.epoch,
+            }),
+            std::cmp::Ordering::Greater => {
+                if matches!(envelope.msg, ProtocolMsg::PublicKeyDispatch { .. }) {
+                    let expected = self.registered.len();
+                    self.enter_epoch(envelope.epoch, expected);
+                    Ok(())
+                } else {
+                    Err(ProtocolError::FutureEpoch {
+                        received: envelope.epoch,
+                        current: self.epoch,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Resets all per-epoch aggregation state for `epoch` with a cohort of
+    /// `expected_registrations`.
+    fn enter_epoch(&mut self, epoch: u64, expected_registrations: usize) {
+        self.epoch = epoch;
+        self.registered = vec![false; expected_registrations];
+        self.registrations_received = 0;
+        self.registry_ranges = None;
+        self.registry_folds = vec![None; self.shards];
+        self.registration_closed = false;
+        self.registration_opened = Instant::now();
+        self.tries.clear();
+        self.last_verdict = None;
+    }
+
+    /// Explicitly opens a new epoch with a resized cohort.
+    pub fn begin_epoch(&mut self, epoch: u64, expected_registrations: usize) {
+        self.enter_epoch(epoch, expected_registrations);
+    }
+
+    /// The registration broadcast for the current merged fold, addressed to
+    /// every *contributing* client plus the agent.
+    fn registration_broadcast(&self) -> Result<Vec<Envelope>, ProtocolError> {
+        let total = merge(&self.registry_folds)?.expect("caller checked a fold exists");
+        let mut out = Vec::with_capacity(self.registrations_received + 1);
+        for (id, seen) in self.registered.iter().enumerate() {
+            if *seen {
+                out.push(Envelope {
+                    from: Party::Server,
+                    to: Party::Client(id),
+                    epoch: self.epoch,
+                    msg: ProtocolMsg::EncryptedTotalBroadcast {
+                        total: total.clone(),
+                    },
+                });
+            }
+        }
+        out.push(Envelope {
+            from: Party::Server,
+            to: Party::Agent,
+            epoch: self.epoch,
+            msg: ProtocolMsg::EncryptedTotalBroadcast { total },
+        });
+        Ok(out)
+    }
+
+    /// Closes registration with whatever registries arrived. One registry
+    /// folds **all** shards (the positions partition its index space), so a
+    /// partial cohort still has every shard populated and merges exactly
+    /// like a complete one.
+    pub fn close_registration(&mut self) -> Result<Vec<Envelope>, ProtocolError> {
+        if self.registration_closed || self.registry_folds.iter().all(Option::is_none) {
+            return Err(ProtocolError::NothingToClose {
+                what: "registration",
+            });
+        }
+        self.registration_closed = true;
+        self.cohort_outcomes.push(CohortOutcome {
+            epoch: self.epoch,
+            try_index: None,
+            expected: self.registered.len(),
+            contributed: self.registrations_received,
+            partial: true,
+        });
+        self.registration_broadcast()
+    }
+
+    /// Closes one tentative try with whatever contributions arrived. See
+    /// [`Coordinator::close_try`].
+    pub fn close_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError> {
+        let slot = self
+            .tries
+            .remove(&try_index)
+            .ok_or(ProtocolError::UnknownTry { try_index })?;
+        self.cohort_outcomes.push(CohortOutcome {
+            epoch: self.epoch,
+            try_index: Some(try_index),
+            expected: slot.participants.len(),
+            contributed: slot.received,
+            partial: true,
+        });
+        if slot.received == 0 {
+            return Err(ProtocolError::NothingToClose { what: "try" });
+        }
+        let sum = merge(&slot.folds)?.expect("every shard folded");
+        Ok(vec![Envelope {
+            from: Party::Server,
+            to: Party::Agent,
+            epoch: self.epoch,
+            msg: ProtocolMsg::EncryptedDistributionSum {
+                try_index,
+                contributors: slot.received,
+                sum,
+            },
+        }])
+    }
+
+    /// Partially closes every aggregation open longer than the configured
+    /// straggler deadline — same semantics as
+    /// [`CoordinatorServer::close_expired`](super::roles::CoordinatorServer::close_expired).
+    pub fn close_expired(&mut self) -> Result<Vec<Envelope>, ProtocolError> {
+        let Some(deadline) = self.straggler_deadline else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        let expired: Vec<usize> = self
+            .tries
+            .iter()
+            .filter(|(_, slot)| slot.opened.elapsed() >= deadline)
+            .map(|(&i, _)| i)
+            .collect();
+        for try_index in expired {
+            match self.close_try(try_index) {
+                Ok(envelopes) => out.extend(envelopes),
+                Err(ProtocolError::NothingToClose { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if !self.registration_closed
+            && self.registry_folds.iter().any(Option::is_some)
+            && self.registration_opened.elapsed() >= deadline
+        {
+            out.extend(self.close_registration()?);
+        }
+        Ok(out)
+    }
+
+    /// Serializes the coordinator's registration-phase state for crash
+    /// recovery: epoch, cohort bitmap, accounting, public key, registry
+    /// length and every shard fold (raw in-domain residues). The shard
+    /// ranges are *not* stored — they are a pure function of
+    /// `(registry_len, shards)` and are recomputed on restore. In-flight
+    /// tries are not captured: a restarted coordinator re-announces them.
+    pub fn snapshot(&self) -> Result<Vec<u8>, ProtocolError> {
+        let mut out = Vec::new();
+        he_codec::put_u64(&mut out, self.epoch);
+        out.push(self.registration_closed as u8);
+        he_codec::put_u32(&mut out, self.shards as u32);
+        he_codec::put_u32(&mut out, self.registered.len() as u32);
+        out.extend(self.registered.iter().map(|&b| b as u8));
+        he_codec::put_u64(&mut out, self.registrations_received as u64);
+        he_codec::put_u64(&mut out, self.bytes_received as u64);
+        he_codec::put_u64(&mut out, self.messages_received as u64);
+        match &self.public_key {
+            None => out.push(0),
+            Some(pk) => {
+                out.push(1);
+                he_codec::encode_public_key(pk, &mut out);
+            }
+        }
+        match &self.registry_ranges {
+            None => out.push(0),
+            Some(ranges) => {
+                out.push(1);
+                he_codec::put_u64(&mut out, ranges.last().map_or(0, |r| r.end) as u64);
+            }
+        }
+        for fold in &self.registry_folds {
+            match fold {
+                None => out.push(0),
+                Some(fold) => {
+                    out.push(1);
+                    let snap = fold.snapshot().map_err(ProtocolError::He)?;
+                    he_codec::put_u32(&mut out, snap.len() as u32);
+                    out.extend_from_slice(&snap);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a sharded coordinator from a [`snapshot`](Self::snapshot).
+    /// Every restored shard fold is bit-identical to the serialized one, so
+    /// a resumed registration merges to exactly the total an uninterrupted
+    /// coordinator would have broadcast.
+    pub fn restore(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let he = ProtocolError::He;
+        let cur = &mut &bytes[..];
+        let take_flag = |cur: &mut &[u8]| -> Result<bool, ProtocolError> {
+            match he_codec::take_bytes(cur, 1).map_err(he)?[0] {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(ProtocolError::MalformedFrame {
+                    detail: "snapshot flag byte is not 0 or 1".into(),
+                }),
+            }
+        };
+        let epoch = he_codec::take_u64(cur).map_err(he)?;
+        let registration_closed = take_flag(cur)?;
+        let shards = he_codec::take_u32(cur).map_err(he)? as usize;
+        if shards == 0 {
+            return Err(ProtocolError::MalformedFrame {
+                detail: "snapshot claims zero shards".into(),
+            });
+        }
+        let expected = he_codec::take_u32(cur).map_err(he)? as usize;
+        if expected > cur.len() {
+            return Err(ProtocolError::MalformedFrame {
+                detail: "snapshot cohort bitmap overruns the payload".into(),
+            });
+        }
+        let registered: Vec<bool> = he_codec::take_bytes(cur, expected)
+            .map_err(he)?
+            .iter()
+            .map(|&b| b != 0)
+            .collect();
+        let registrations_received = he_codec::take_u64(cur).map_err(he)? as usize;
+        if registrations_received != registered.iter().filter(|&&b| b).count() {
+            return Err(ProtocolError::MalformedFrame {
+                detail: "snapshot registration count disagrees with its cohort bitmap".into(),
+            });
+        }
+        let bytes_received = he_codec::take_u64(cur).map_err(he)? as usize;
+        let messages_received = he_codec::take_u64(cur).map_err(he)? as usize;
+        let public_key = if take_flag(cur)? {
+            Some(he_codec::decode_public_key(cur).map_err(he)?)
+        } else {
+            None
+        };
+        let registry_ranges = if take_flag(cur)? {
+            let len = he_codec::take_u64(cur).map_err(he)? as usize;
+            Some(shard_ranges(len, shards))
+        } else {
+            None
+        };
+        let mut registry_folds = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            registry_folds.push(if take_flag(cur)? {
+                let len = he_codec::take_u32(cur).map_err(he)? as usize;
+                let snap = he_codec::take_bytes(cur, len).map_err(he)?;
+                Some(RunningFold::restore(snap).map_err(he)?)
+            } else {
+                None
+            });
+        }
+        let mut server = ShardedCoordinator::new(0, shards);
+        server.epoch = epoch;
+        server.registration_closed = registration_closed;
+        server.registered = registered;
+        server.registrations_received = registrations_received;
+        server.bytes_received = bytes_received;
+        server.messages_received = messages_received;
+        server.public_key = public_key;
+        server.registry_ranges = registry_ranges;
+        server.registry_folds = registry_folds;
+        Ok(server)
+    }
+
     /// Announces one tentative try: see
     /// [`CoordinatorServer::announce_try`](super::roles::CoordinatorServer::announce_try).
     pub fn announce_try(&mut self, try_index: usize, participants: &[ClientId]) {
@@ -211,6 +523,7 @@ impl ShardedCoordinator {
                 received: 0,
                 ranges: None,
                 folds: vec![None; self.shards],
+                opened: Instant::now(),
             },
         );
     }
@@ -233,7 +546,8 @@ impl ShardedCoordinator {
                 Ok(Vec::new())
             }
             ProtocolMsg::EncryptedRegistry { client, registry } => {
-                if self.registrations_received == self.registered.len() {
+                if self.registration_closed || self.registrations_received == self.registered.len()
+                {
                     return Err(ProtocolError::EpochComplete { client });
                 }
                 match self.registered.get_mut(client) {
@@ -255,26 +569,23 @@ impl ShardedCoordinator {
                     .registry_ranges
                     .get_or_insert_with(|| shard_ranges(registry.len(), self.shards))
                     .clone();
-                fold_sharded(&mut self.registry_folds, &registry, &ranges)?;
+                // Mirror the single coordinator: a rejected payload must not
+                // burn the client's registration slot.
+                if let Err(e) = fold_sharded(&mut self.registry_folds, &registry, &ranges) {
+                    self.registered[client] = false;
+                    return Err(e);
+                }
                 self.registrations_received += 1;
                 if self.registrations_received == self.registered.len() {
-                    let total = merge(&self.registry_folds)?.expect("every shard folded");
-                    let mut out = Vec::with_capacity(self.registered.len() + 1);
-                    for id in 0..self.registered.len() {
-                        out.push(Envelope {
-                            from: Party::Server,
-                            to: Party::Client(id),
-                            msg: ProtocolMsg::EncryptedTotalBroadcast {
-                                total: total.clone(),
-                            },
-                        });
-                    }
-                    out.push(Envelope {
-                        from: Party::Server,
-                        to: Party::Agent,
-                        msg: ProtocolMsg::EncryptedTotalBroadcast { total },
+                    self.registration_closed = true;
+                    self.cohort_outcomes.push(CohortOutcome {
+                        epoch: self.epoch,
+                        try_index: None,
+                        expected: self.registered.len(),
+                        contributed: self.registrations_received,
+                        partial: false,
                     });
-                    Ok(out)
+                    self.registration_broadcast()
                 } else {
                     Ok(Vec::new())
                 }
@@ -306,14 +617,25 @@ impl ShardedCoordinator {
                     .ranges
                     .get_or_insert_with(|| shard_ranges(distribution.len(), shards))
                     .clone();
-                fold_sharded(&mut slot.folds, &distribution, &ranges)?;
+                if let Err(e) = fold_sharded(&mut slot.folds, &distribution, &ranges) {
+                    slot.contributed[idx] = false;
+                    return Err(e);
+                }
                 slot.received += 1;
                 if slot.received == slot.participants.len() {
                     let slot = self.tries.remove(&try_index).expect("present");
                     let sum = merge(&slot.folds)?.expect("non-empty try");
+                    self.cohort_outcomes.push(CohortOutcome {
+                        epoch: self.epoch,
+                        try_index: Some(try_index),
+                        expected: slot.participants.len(),
+                        contributed: slot.received,
+                        partial: false,
+                    });
                     Ok(vec![Envelope {
                         from: Party::Server,
                         to: Party::Agent,
+                        epoch: self.epoch,
                         msg: ProtocolMsg::EncryptedDistributionSum {
                             try_index,
                             contributors: slot.received,
@@ -338,6 +660,7 @@ impl ShardedCoordinator {
 
 impl Coordinator for ShardedCoordinator {
     fn deliver(&mut self, envelope: Envelope) -> Result<Vec<Envelope>, ProtocolError> {
+        self.check_epoch(&envelope)?;
         ShardedCoordinator::handle(self, envelope.msg)
     }
 
@@ -348,6 +671,23 @@ impl Coordinator for ShardedCoordinator {
     ) -> Result<(), ProtocolError> {
         ShardedCoordinator::announce_try(self, try_index, participants);
         Ok(())
+    }
+
+    fn begin_epoch(
+        &mut self,
+        epoch: u64,
+        expected_registrations: usize,
+    ) -> Result<(), ProtocolError> {
+        ShardedCoordinator::begin_epoch(self, epoch, expected_registrations);
+        Ok(())
+    }
+
+    fn close_registration(&mut self) -> Result<Vec<Envelope>, ProtocolError> {
+        ShardedCoordinator::close_registration(self)
+    }
+
+    fn close_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError> {
+        ShardedCoordinator::close_try(self, try_index)
     }
 }
 

@@ -44,7 +44,7 @@ use super::message::Envelope;
 use super::roles::Coordinator;
 use super::shard::ShardedCoordinator;
 use super::transport::TransportStats;
-use super::wire::{read_frame, read_frame_negotiated, write_frame_with, WireMsg};
+use super::wire::{read_frame_limited, write_frame_limited, WireMsg, MAX_FRAME_BYTES};
 use crate::error::ProtocolError;
 use crate::selector::ClientId;
 
@@ -52,6 +52,97 @@ use crate::selector::ClientId;
 /// registration epoch on a loaded machine, short enough that a wedged peer
 /// cannot hang a driver forever.
 pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Socket knobs for the client-side connector, builder-style.
+///
+/// Defaults: [`DEFAULT_READ_TIMEOUT`] (30 s) per read, the global
+/// [`MAX_FRAME_BYTES`] (64 MiB) frame ceiling in both directions, and the
+/// compatibility [`CodecKind::Json`] payload codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Per-read socket timeout (applies to every read of a reply frame).
+    pub read_timeout: Duration,
+    /// Largest frame payload accepted *or produced* on this socket.
+    pub max_frame_bytes: usize,
+    /// Payload codec requests are framed in (replies negotiate per frame).
+    pub codec: CodecKind,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            codec: CodecKind::Json,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Replaces the per-read timeout.
+    pub fn with_read_timeout(mut self, read_timeout: Duration) -> Self {
+        self.read_timeout = read_timeout;
+        self
+    }
+
+    /// Replaces the frame-payload ceiling (both directions).
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: usize) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+
+    /// Replaces the request payload codec.
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+}
+
+/// Socket knobs for the listener, builder-style.
+///
+/// Defaults: [`DEFAULT_READ_TIMEOUT`] (30 s) once a frame has started,
+/// 200 ms between stop-flag checks while waiting for a frame's first
+/// byte, and the global [`MAX_FRAME_BYTES`] (64 MiB) ceiling on accepted
+/// payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListenerConfig {
+    /// Mid-frame read timeout (a peer that stalls inside a frame is cut).
+    pub read_timeout: Duration,
+    /// How often an idle connection wakes to check the stop flag.
+    pub idle_poll: Duration,
+    /// Largest frame payload a connection will accept.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ListenerConfig {
+    fn default() -> Self {
+        ListenerConfig {
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            idle_poll: IDLE_POLL,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+impl ListenerConfig {
+    /// Replaces the mid-frame read timeout.
+    pub fn with_read_timeout(mut self, read_timeout: Duration) -> Self {
+        self.read_timeout = read_timeout;
+        self
+    }
+
+    /// Replaces the idle stop-flag poll period.
+    pub fn with_idle_poll(mut self, idle_poll: Duration) -> Self {
+        self.idle_poll = idle_poll;
+        self
+    }
+
+    /// Replaces the frame-payload ceiling.
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: usize) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+}
 
 /// Real bytes and frames observed on one socket (header + payload, both
 /// directions). This is what a deployment actually pays on the wire —
@@ -100,19 +191,21 @@ pub struct TcpTransport {
     stats: TransportStats,
     wire: WireStats,
     codec: CodecKind,
+    max_frame_bytes: usize,
 }
 
 impl TcpTransport {
-    /// Connects to a coordinator endpoint with the [`DEFAULT_READ_TIMEOUT`]
-    /// and the compatibility [`CodecKind::Json`] (`DBH1`) payload codec.
+    /// Connects to a coordinator endpoint with the [`TcpConfig`] defaults:
+    /// [`DEFAULT_READ_TIMEOUT`], [`MAX_FRAME_BYTES`], and the compatibility
+    /// [`CodecKind::Json`] (`DBH1`) payload codec.
     pub fn connect(addr: SocketAddr) -> Result<Self, ProtocolError> {
-        TcpTransport::connect_with(addr, DEFAULT_READ_TIMEOUT, CodecKind::Json)
+        TcpTransport::connect_with_config(addr, TcpConfig::default())
     }
 
     /// Connects with an explicit payload codec (the listener negotiates from
     /// the frame magic, so either side of an upgrade can move first).
     pub fn connect_with_codec(addr: SocketAddr, codec: CodecKind) -> Result<Self, ProtocolError> {
-        TcpTransport::connect_with(addr, DEFAULT_READ_TIMEOUT, codec)
+        TcpTransport::connect_with_config(addr, TcpConfig::default().with_codec(codec))
     }
 
     /// Connects with an explicit read timeout (tests use short ones so a
@@ -122,7 +215,10 @@ impl TcpTransport {
         addr: SocketAddr,
         read_timeout: Duration,
     ) -> Result<Self, ProtocolError> {
-        TcpTransport::connect_with(addr, read_timeout, CodecKind::Json)
+        TcpTransport::connect_with_config(
+            addr,
+            TcpConfig::default().with_read_timeout(read_timeout),
+        )
     }
 
     /// Connects with an explicit read timeout and payload codec.
@@ -131,9 +227,19 @@ impl TcpTransport {
         read_timeout: Duration,
         codec: CodecKind,
     ) -> Result<Self, ProtocolError> {
+        TcpTransport::connect_with_config(
+            addr,
+            TcpConfig::default()
+                .with_read_timeout(read_timeout)
+                .with_codec(codec),
+        )
+    }
+
+    /// Connects with every socket knob spelled out in a [`TcpConfig`].
+    pub fn connect_with_config(addr: SocketAddr, config: TcpConfig) -> Result<Self, ProtocolError> {
         let stream = TcpStream::connect(addr).map_err(|e| io_error("connect", e))?;
         stream
-            .set_read_timeout(Some(read_timeout))
+            .set_read_timeout(Some(config.read_timeout))
             .map_err(|e| io_error("configure socket", e))?;
         stream
             .set_nodelay(true)
@@ -142,7 +248,8 @@ impl TcpTransport {
             reader: BufReader::new(stream),
             stats: TransportStats::default(),
             wire: WireStats::default(),
-            codec,
+            codec: config.codec,
+            max_frame_bytes: config.max_frame_bytes,
         })
     }
 
@@ -165,28 +272,19 @@ impl TcpTransport {
 
     /// Sends one wire message and reads the peer's single reply frame.
     fn request(&mut self, msg: &WireMsg) -> Result<WireMsg, ProtocolError> {
-        let written = write_frame_with(self.reader.get_mut(), msg, self.codec)?;
+        let written =
+            write_frame_limited(self.reader.get_mut(), msg, self.codec, self.max_frame_bytes)?;
         self.wire.frames_sent += 1;
         self.wire.bytes_sent += written;
-        let (reply, read) = read_frame(&mut self.reader)?;
+        let (reply, read, _) = read_frame_limited(&mut self.reader, self.max_frame_bytes)?;
         self.wire.frames_received += 1;
         self.wire.bytes_received += read;
         Ok(reply)
     }
 
-    /// Ends the session politely; the listener closes the connection.
-    pub fn shutdown(mut self) -> Result<(), ProtocolError> {
-        let written = write_frame_with(self.reader.get_mut(), &WireMsg::Shutdown, self.codec)?;
-        self.wire.frames_sent += 1;
-        self.wire.bytes_sent += written;
-        Ok(())
-    }
-}
-
-impl Coordinator for TcpTransport {
-    fn deliver(&mut self, envelope: Envelope) -> Result<Vec<Envelope>, ProtocolError> {
-        self.stats.charge(&envelope.msg);
-        match self.request(&WireMsg::Envelope { envelope })? {
+    /// Expects the coordinator's reply batch; unwraps remote errors.
+    fn request_batch(&mut self, msg: &WireMsg) -> Result<Vec<Envelope>, ProtocolError> {
+        match self.request(msg)? {
             WireMsg::Batch { envelopes } => {
                 for e in &envelopes {
                     self.stats.charge(&e.msg);
@@ -200,22 +298,65 @@ impl Coordinator for TcpTransport {
         }
     }
 
-    fn announce_try(
-        &mut self,
-        try_index: usize,
-        participants: &[ClientId],
-    ) -> Result<(), ProtocolError> {
-        let msg = WireMsg::AnnounceTry {
-            try_index,
-            participants: participants.to_vec(),
-        };
-        match self.request(&msg)? {
+    /// Expects a bare acknowledgement; unwraps remote errors.
+    fn request_ack(&mut self, msg: &WireMsg) -> Result<(), ProtocolError> {
+        match self.request(msg)? {
             WireMsg::Ack => Ok(()),
             WireMsg::Error { detail } => Err(ProtocolError::Remote { detail }),
             other => Err(ProtocolError::MalformedFrame {
                 detail: format!("expected an ack or error reply, got {other:?}"),
             }),
         }
+    }
+
+    /// Ends the session politely; the listener closes the connection.
+    pub fn shutdown(mut self) -> Result<(), ProtocolError> {
+        let written = write_frame_limited(
+            self.reader.get_mut(),
+            &WireMsg::Shutdown,
+            self.codec,
+            self.max_frame_bytes,
+        )?;
+        self.wire.frames_sent += 1;
+        self.wire.bytes_sent += written;
+        Ok(())
+    }
+}
+
+impl Coordinator for TcpTransport {
+    fn deliver(&mut self, envelope: Envelope) -> Result<Vec<Envelope>, ProtocolError> {
+        self.stats.charge(&envelope.msg);
+        self.request_batch(&WireMsg::Envelope { envelope })
+    }
+
+    fn announce_try(
+        &mut self,
+        try_index: usize,
+        participants: &[ClientId],
+    ) -> Result<(), ProtocolError> {
+        self.request_ack(&WireMsg::AnnounceTry {
+            try_index,
+            participants: participants.to_vec(),
+        })
+    }
+
+    fn begin_epoch(
+        &mut self,
+        epoch: u64,
+        expected_registrations: usize,
+    ) -> Result<(), ProtocolError> {
+        self.request_ack(&WireMsg::BeginEpoch {
+            epoch,
+            expected_registrations,
+        })
+    }
+
+    fn close_registration(&mut self) -> Result<Vec<Envelope>, ProtocolError> {
+        self.request_batch(&WireMsg::CloseRegistration)
+    }
+
+    fn close_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError> {
+        self.request_batch(&WireMsg::CloseTry { try_index })
     }
 }
 
@@ -242,8 +383,17 @@ pub struct CoordinatorListener {
 }
 
 impl CoordinatorListener {
-    /// Binds an ephemeral loopback port and starts serving `coordinator`.
+    /// Binds an ephemeral loopback port and starts serving `coordinator`
+    /// with the [`ListenerConfig`] defaults.
     pub fn spawn(coordinator: ShardedCoordinator) -> Result<Self, ProtocolError> {
+        CoordinatorListener::spawn_with(coordinator, ListenerConfig::default())
+    }
+
+    /// [`spawn`](Self::spawn) with every socket knob spelled out.
+    pub fn spawn_with(
+        coordinator: ShardedCoordinator,
+        config: ListenerConfig,
+    ) -> Result<Self, ProtocolError> {
         let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| io_error("bind", e))?;
         let addr = listener.local_addr().map_err(|e| io_error("bind", e))?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -261,11 +411,23 @@ impl CoordinatorListener {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
+                // A failed accept is one connection's problem, never the
+                // listener's: log it and keep serving everyone else.
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        eprintln!("coordinator listener: accept failed, continuing: {e}");
+                        continue;
+                    }
+                };
+                // Reap finished connection threads as new ones arrive so a
+                // long-lived listener's handle list cannot grow without
+                // bound under connection churn.
+                connections.retain(|c| !c.is_finished());
                 let router = router_tx.clone();
                 let conn_stop = Arc::clone(&accept_stop);
                 connections.push(std::thread::spawn(move || {
-                    serve_connection(stream, router, conn_stop)
+                    serve_connection(stream, router, conn_stop, config)
                 }));
             }
             for c in connections {
@@ -318,14 +480,18 @@ fn route(
     mut coordinator: ShardedCoordinator,
     rx: mpsc::Receiver<RouterRequest>,
 ) -> ShardedCoordinator {
+    let batch_or_error = |r: Result<Vec<Envelope>, ProtocolError>| match r {
+        Ok(envelopes) => WireMsg::Batch { envelopes },
+        Err(e) => WireMsg::Error {
+            detail: e.to_string(),
+        },
+    };
     while let Ok(RouterRequest { msg, reply }) = rx.recv() {
         let response = match msg {
-            WireMsg::Envelope { envelope } => match coordinator.handle(envelope.msg) {
-                Ok(envelopes) => WireMsg::Batch { envelopes },
-                Err(e) => WireMsg::Error {
-                    detail: e.to_string(),
-                },
-            },
+            // Epoch checks live in `deliver`, not `handle`: a stale or
+            // future-epoch frame from a remote peer earns a typed error
+            // reply, exactly as it would in-process.
+            WireMsg::Envelope { envelope } => batch_or_error(coordinator.deliver(envelope)),
             WireMsg::AnnounceTry {
                 try_index,
                 participants,
@@ -333,6 +499,15 @@ fn route(
                 coordinator.announce_try(try_index, &participants);
                 WireMsg::Ack
             }
+            WireMsg::BeginEpoch {
+                epoch,
+                expected_registrations,
+            } => {
+                coordinator.begin_epoch(epoch, expected_registrations);
+                WireMsg::Ack
+            }
+            WireMsg::CloseRegistration => batch_or_error(coordinator.close_registration()),
+            WireMsg::CloseTry { try_index } => batch_or_error(coordinator.close_try(try_index)),
             other => WireMsg::Error {
                 detail: format!("coordinator cannot serve {other:?}"),
             },
@@ -357,10 +532,16 @@ const IDLE_POLL: Duration = Duration::from_millis(200);
 ///
 /// Idleness *between* frames is healthy — a client may train for minutes
 /// between protocol rounds — so the wait for a frame's first byte only ends
-/// on a hangup or the listener's stop flag (polled every [`IDLE_POLL`]).
-/// Once a frame has started, [`DEFAULT_READ_TIMEOUT`] bounds the rest of it
-/// so a peer that stalls mid-frame cannot pin the thread.
-fn serve_connection(stream: TcpStream, router: mpsc::Sender<RouterRequest>, stop: Arc<AtomicBool>) {
+/// on a hangup or the listener's stop flag (polled every
+/// [`ListenerConfig::idle_poll`]). Once a frame has started,
+/// [`ListenerConfig::read_timeout`] bounds the rest of it so a peer that
+/// stalls mid-frame cannot pin the thread.
+fn serve_connection(
+    stream: TcpStream,
+    router: mpsc::Sender<RouterRequest>,
+    stop: Arc<AtomicBool>,
+    config: ListenerConfig,
+) {
     use std::io::Read as _;
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream);
@@ -369,7 +550,7 @@ fn serve_connection(stream: TcpStream, router: mpsc::Sender<RouterRequest>, stop
     let mut codec = CodecKind::Json;
     loop {
         // Patient, stoppable wait for the first byte of the next frame.
-        let _ = reader.get_ref().set_read_timeout(Some(IDLE_POLL));
+        let _ = reader.get_ref().set_read_timeout(Some(config.idle_poll));
         let mut first = [0u8; 1];
         let got = loop {
             if stop.load(Ordering::SeqCst) {
@@ -392,10 +573,11 @@ fn serve_connection(stream: TcpStream, router: mpsc::Sender<RouterRequest>, stop
             return; // clean close between frames
         }
         // Frame in flight: the full read timeout applies from here on.
-        let _ = reader
-            .get_ref()
-            .set_read_timeout(Some(DEFAULT_READ_TIMEOUT));
-        let msg = match read_frame_negotiated(&mut (&first[..]).chain(&mut reader)) {
+        let _ = reader.get_ref().set_read_timeout(Some(config.read_timeout));
+        let msg = match read_frame_limited(
+            &mut (&first[..]).chain(&mut reader),
+            config.max_frame_bytes,
+        ) {
             Ok((WireMsg::Shutdown, _, _)) | Err(ProtocolError::Disconnected) => return,
             Ok((msg, _, frame_codec)) => {
                 codec = frame_codec;
@@ -404,12 +586,13 @@ fn serve_connection(stream: TcpStream, router: mpsc::Sender<RouterRequest>, stop
             Err(e) => {
                 // A malformed/truncated frame poisons the stream (framing is
                 // lost); report and hang up rather than guessing at bytes.
-                let _ = write_frame_with(
+                let _ = write_frame_limited(
                     reader.get_mut(),
                     &WireMsg::Error {
                         detail: e.to_string(),
                     },
                     codec,
+                    config.max_frame_bytes,
                 );
                 return;
             }
@@ -427,7 +610,8 @@ fn serve_connection(stream: TcpStream, router: mpsc::Sender<RouterRequest>, stop
         let Ok(response) = reply_rx.recv() else {
             return;
         };
-        if write_frame_with(reader.get_mut(), &response, codec).is_err() {
+        if write_frame_limited(reader.get_mut(), &response, codec, config.max_frame_bytes).is_err()
+        {
             return;
         }
     }
@@ -442,6 +626,7 @@ mod tests {
         Envelope {
             from: Party::Agent,
             to: Party::Server,
+            epoch: 0,
             msg: ProtocolMsg::TryVerdict {
                 best_try,
                 distance: 0.1,

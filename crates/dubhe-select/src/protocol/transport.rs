@@ -14,12 +14,14 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
-use super::message::{Envelope, MsgKind, Party, ProtocolMsg};
+use super::message::{Envelope, MsgKind, ProtocolMsg};
 
 /// Moves protocol messages between parties.
 pub trait Transport {
-    /// Queues a message for delivery, charging its wire size to the link.
-    fn send(&mut self, from: Party, to: Party, msg: ProtocolMsg);
+    /// Queues an envelope for delivery, charging its wire size to the link.
+    /// The whole envelope travels — including its epoch stamp, which the
+    /// receiving role checks on delivery.
+    fn send(&mut self, envelope: Envelope);
 
     /// Takes the next pending message, in delivery order.
     fn deliver(&mut self) -> Option<Envelope>;
@@ -164,16 +166,12 @@ impl InMemoryTransport {
 }
 
 impl Transport for InMemoryTransport {
-    fn send(&mut self, from: Party, to: Party, msg: ProtocolMsg) {
-        self.stats.charge(&msg);
+    fn send(&mut self, envelope: Envelope) {
+        self.stats.charge(&envelope.msg);
         if let Some(t) = &mut self.transcript {
-            t.push(Envelope {
-                from,
-                to,
-                msg: msg.clone(),
-            });
+            t.push(envelope.clone());
         }
-        self.queue.push_back(Envelope { from, to, msg });
+        self.queue.push_back(envelope);
     }
 
     fn deliver(&mut self) -> Option<Envelope> {
@@ -184,6 +182,7 @@ impl Transport for InMemoryTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::message::Party;
     use dubhe_he::transport::ciphertext_size_bytes;
     use dubhe_he::{EncryptedVector, Keypair};
     use rand::SeedableRng;
@@ -196,22 +195,24 @@ mod tests {
         let ct = ciphertext_size_bytes(&kp.public);
 
         let mut t = InMemoryTransport::recording();
-        t.send(
-            Party::Client(0),
-            Party::Server,
-            ProtocolMsg::EncryptedRegistry {
+        t.send(Envelope {
+            from: Party::Client(0),
+            to: Party::Server,
+            epoch: 0,
+            msg: ProtocolMsg::EncryptedRegistry {
                 client: 0,
                 registry: v.clone(),
             },
-        );
-        t.send(
-            Party::Client(1),
-            Party::Server,
-            ProtocolMsg::EncryptedRegistry {
+        });
+        t.send(Envelope {
+            from: Party::Client(1),
+            to: Party::Server,
+            epoch: 0,
+            msg: ProtocolMsg::EncryptedRegistry {
                 client: 1,
                 registry: v,
             },
-        );
+        });
 
         assert_eq!(t.stats().registries.messages, 2);
         assert_eq!(t.stats().registries.bytes, 2 * (8 + 3 * ct));

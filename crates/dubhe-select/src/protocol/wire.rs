@@ -74,6 +74,27 @@ pub enum WireMsg {
         /// The tentatively selected client ids.
         participants: Vec<ClientId>,
     },
+    /// Control plane: open a new key-rotation epoch with a (possibly
+    /// resized) cohort. The coordinator resets its per-epoch folds and
+    /// refuses frames stamped with older epochs afterwards.
+    BeginEpoch {
+        /// The new epoch id.
+        epoch: u64,
+        /// The new cohort size.
+        expected_registrations: usize,
+    },
+    /// Control plane: close the registration phase with whatever registries
+    /// arrived — the explicit partial-cohort fold a straggler deadline
+    /// triggers. The reply is a [`Batch`](WireMsg::Batch) of the triggered
+    /// broadcast envelopes.
+    CloseRegistration,
+    /// Control plane: close one tentative try with whatever contributions
+    /// arrived. The reply is a [`Batch`](WireMsg::Batch) carrying the
+    /// partial sum.
+    CloseTry {
+        /// The try to close.
+        try_index: usize,
+    },
     /// The coordinator's reply to an [`Envelope`](WireMsg::Envelope): every
     /// message the delivery triggered (possibly empty), in emission order.
     Batch {
@@ -102,16 +123,31 @@ fn io_error(context: &'static str, e: std::io::Error) -> ProtocolError {
 
 /// Writes one frame in the given codec, returning the total bytes put on
 /// the wire (header included) so callers can meter real frame traffic.
+/// Enforces the default [`MAX_FRAME_BYTES`]; use
+/// [`write_frame_limited`] to enforce a configured limit.
 pub fn write_frame_with<W: Write>(
     w: &mut W,
     msg: &WireMsg,
     codec: CodecKind,
 ) -> Result<usize, ProtocolError> {
+    write_frame_limited(w, msg, codec, MAX_FRAME_BYTES)
+}
+
+/// [`write_frame_with`] with a caller-configured payload ceiling (see
+/// [`TcpConfig`](super::tcp::TcpConfig)): a payload above `max_frame_bytes`
+/// is refused *before* anything is written, so an oversized message never
+/// leaves a half-frame on the stream.
+pub fn write_frame_limited<W: Write>(
+    w: &mut W,
+    msg: &WireMsg,
+    codec: CodecKind,
+    max_frame_bytes: usize,
+) -> Result<usize, ProtocolError> {
     let payload = codec.encode(msg)?;
-    if payload.len() > MAX_FRAME_BYTES {
+    if payload.len() > max_frame_bytes {
         return Err(ProtocolError::FrameTooLarge {
             len: payload.len(),
-            max: MAX_FRAME_BYTES,
+            max: max_frame_bytes,
         });
     }
     let magic = codec.magic();
@@ -179,6 +215,16 @@ fn read_exact_or(
 pub fn read_frame_negotiated<R: Read>(
     r: &mut R,
 ) -> Result<(WireMsg, usize, CodecKind), ProtocolError> {
+    read_frame_limited(r, MAX_FRAME_BYTES)
+}
+
+/// [`read_frame_negotiated`] with a caller-configured payload ceiling (see
+/// [`TcpConfig`](super::tcp::TcpConfig)). The announced length is checked
+/// against `max_frame_bytes` before the payload buffer is allocated.
+pub fn read_frame_limited<R: Read>(
+    r: &mut R,
+    max_frame_bytes: usize,
+) -> Result<(WireMsg, usize, CodecKind), ProtocolError> {
     let mut magic = [0u8; 4];
     read_exact_or(r, &mut magic, "header", true)?;
     let Some(codec) = CodecKind::from_magic(magic) else {
@@ -191,10 +237,10 @@ pub fn read_frame_negotiated<R: Read>(
     let mut len_bytes = [0u8; 4];
     read_exact_or(r, &mut len_bytes, "header", false)?;
     let len = u32::from_be_bytes(len_bytes) as usize;
-    if len > MAX_FRAME_BYTES {
+    if len > max_frame_bytes {
         return Err(ProtocolError::FrameTooLarge {
             len,
-            max: MAX_FRAME_BYTES,
+            max: max_frame_bytes,
         });
     }
     let mut payload = vec![0u8; len];
@@ -219,6 +265,7 @@ mod tests {
         Envelope {
             from: Party::Agent,
             to: Party::Server,
+            epoch: 3,
             msg: ProtocolMsg::TryVerdict {
                 best_try: 1,
                 distance: 0.5,
@@ -236,6 +283,12 @@ mod tests {
                 try_index: 2,
                 participants: vec![0, 3, 7],
             },
+            WireMsg::BeginEpoch {
+                epoch: 4,
+                expected_registrations: 12,
+            },
+            WireMsg::CloseRegistration,
+            WireMsg::CloseTry { try_index: 5 },
             WireMsg::Batch {
                 envelopes: vec![verdict_envelope(), verdict_envelope()],
             },
@@ -373,5 +426,46 @@ mod tests {
         // An unknown magic version is refused by name.
         let err = read_frame(&mut &b"DBH3\x00\x00\x00\x00"[..]).unwrap_err();
         assert!(matches!(err, ProtocolError::MalformedFrame { .. }), "{err}");
+    }
+
+    #[test]
+    fn configured_frame_limits_bound_both_directions() {
+        // A frame that fits the default limit but not a configured one is
+        // refused on read, before the payload buffer is allocated…
+        let mut full = Vec::new();
+        write_frame_with(
+            &mut full,
+            &WireMsg::Error {
+                detail: "x".repeat(100),
+            },
+            CodecKind::Binary,
+        )
+        .unwrap();
+        let err = read_frame_limited(&mut &full[..], 16).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::FrameTooLarge { max: 16, .. }),
+            "{err}"
+        );
+
+        // …and on write, before anything reaches the stream.
+        let mut sink = Vec::new();
+        let err = write_frame_limited(
+            &mut sink,
+            &WireMsg::Error {
+                detail: "y".repeat(100),
+            },
+            CodecKind::Binary,
+            16,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::FrameTooLarge { max: 16, .. }),
+            "{err}"
+        );
+        assert!(sink.is_empty(), "nothing may be written before the check");
+
+        // A generous configured limit behaves like the default.
+        let (msg, _, _) = read_frame_limited(&mut &full[..], MAX_FRAME_BYTES).unwrap();
+        assert!(matches!(msg, WireMsg::Error { .. }));
     }
 }

@@ -1,0 +1,444 @@
+//! The adversarial-client gauntlet: every abuse a hostile or broken peer
+//! can throw at a coordinator — malformed registries, replays, stale-epoch
+//! frames, garbage bytes, oversized payloads, and a fault-injecting
+//! transport — must surface as a typed [`ProtocolError`]. Never a panic,
+//! never a hang, never a silently corrupted fold.
+//!
+//! `docs/THREAT_MODEL.md` maps each of these scenarios to the claim it
+//! makes executable.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dubhe_data::federated::{DatasetFamily, FederatedSpec};
+use dubhe_data::ClassDistribution;
+use dubhe_he::{EncryptedVector, Keypair};
+use dubhe_select::protocol::{
+    pump, run_registration_with, Coordinator, CoordinatorListener, CoordinatorServer, Envelope,
+    FaultPlan, FaultyTransport, InMemoryTransport, ListenerConfig, Party, ProtocolMsg,
+    ShardedCoordinator, TcpConfig, TcpTransport, Transport,
+};
+use dubhe_select::{DubheConfig, ProtocolError, SelectError};
+use rand::SeedableRng;
+
+const KEY_BITS: u64 = 256;
+
+fn clients(n: usize, seed: u64) -> Vec<ClassDistribution> {
+    let spec = FederatedSpec {
+        family: DatasetFamily::MnistLike,
+        rho: 10.0,
+        emd_avg: 1.5,
+        clients: n,
+        samples_per_client: 100,
+        test_samples_per_class: 1,
+        seed,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    spec.build_partition(&mut rng).client_distributions()
+}
+
+fn registry_envelope(client: usize, registry: EncryptedVector) -> Envelope {
+    Envelope {
+        from: Party::Client(client),
+        to: Party::Server,
+        epoch: 0,
+        msg: ProtocolMsg::EncryptedRegistry { client, registry },
+    }
+}
+
+#[test]
+fn malformed_registries_are_typed_errors_not_corruption() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(151);
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+    let mut server = CoordinatorServer::with_public_key(kp.public.clone(), 4);
+
+    // A well-formed first registry seeds the fold.
+    let good = EncryptedVector::encrypt_u64(&kp.public, &[1, 0, 0, 0, 0, 0], &mut rng);
+    Coordinator::deliver(&mut server, registry_envelope(0, good.clone())).unwrap();
+
+    // Wrong length: the shape mismatch is a typed homomorphic error.
+    let short = EncryptedVector::encrypt_u64(&kp.public, &[1, 0], &mut rng);
+    match Coordinator::deliver(&mut server, registry_envelope(1, short)) {
+        Err(ProtocolError::He(dubhe_he::HeError::LengthMismatch { left: 6, right: 2 })) => {}
+        other => panic!("expected a length mismatch, got {other:?}"),
+    }
+
+    // Wrong key: ciphertexts under a foreign modulus cannot enter the fold.
+    let foreign = Keypair::generate(KEY_BITS, &mut rng);
+    let alien = EncryptedVector::encrypt_u64(&foreign.public, &[0; 6], &mut rng);
+    match Coordinator::deliver(&mut server, registry_envelope(2, alien)) {
+        Err(ProtocolError::He(dubhe_he::HeError::KeyMismatch)) => {}
+        other => panic!("expected a key mismatch, got {other:?}"),
+    }
+
+    // A client id outside the cohort is refused by name.
+    match Coordinator::deliver(&mut server, registry_envelope(99, good.clone())) {
+        Err(ProtocolError::UnknownContributor {
+            client: 99,
+            try_index: None,
+        }) => {}
+        other => panic!("expected UnknownContributor, got {other:?}"),
+    }
+
+    // A dispatch smuggling a private key to the server is structurally
+    // refused — the coordinator has no field that could even hold it.
+    let smuggle = Envelope {
+        from: Party::Agent,
+        to: Party::Server,
+        epoch: 0,
+        msg: ProtocolMsg::PublicKeyDispatch {
+            public_key: kp.public.clone(),
+            private_key: Some(kp.private.clone()),
+        },
+    };
+    match Coordinator::deliver(&mut server, smuggle) {
+        Err(ProtocolError::PrivateKeyAtServer) => {}
+        other => panic!("expected PrivateKeyAtServer, got {other:?}"),
+    }
+
+    // The fold survived the gauntlet untouched: client 0's registry is the
+    // only contribution.
+    assert_eq!(server.cohort_outcomes().len(), 0);
+    for id in 1..4 {
+        let v = EncryptedVector::encrypt_u64(&kp.public, &[0, 1, 0, 0, 0, 0], &mut rng);
+        Coordinator::deliver(&mut server, registry_envelope(id, v)).unwrap();
+    }
+    let total = server.encrypted_total().expect("epoch complete");
+    assert_eq!(
+        total.decrypt_u64(&kp.private).unwrap(),
+        vec![1, 3, 0, 0, 0, 0]
+    );
+}
+
+#[test]
+fn replayed_frames_are_rejected_at_every_stage() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(161);
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+    let mut server = CoordinatorServer::with_public_key(kp.public.clone(), 2);
+
+    let v = EncryptedVector::encrypt_u64(&kp.public, &[1, 0, 0], &mut rng);
+    Coordinator::deliver(&mut server, registry_envelope(0, v.clone())).unwrap();
+
+    // Replaying the same registry mid-epoch is a duplicate...
+    match Coordinator::deliver(&mut server, registry_envelope(0, v.clone())) {
+        Err(ProtocolError::DuplicateContribution {
+            client: 0,
+            try_index: None,
+        }) => {}
+        other => panic!("expected DuplicateContribution, got {other:?}"),
+    }
+
+    Coordinator::deliver(&mut server, registry_envelope(1, v.clone())).unwrap();
+    // ...and replaying after the total was broadcast is a typed straggler
+    // rejection.
+    match Coordinator::deliver(&mut server, registry_envelope(1, v.clone())) {
+        Err(ProtocolError::EpochComplete { client: 1 }) => {}
+        other => panic!("expected EpochComplete, got {other:?}"),
+    }
+
+    // Same discipline for the multi-time tries.
+    server.announce_try(0, &[0, 1]);
+    let d = Envelope {
+        from: Party::Client(0),
+        to: Party::Server,
+        epoch: 0,
+        msg: ProtocolMsg::EncryptedDistribution {
+            client: 0,
+            try_index: 0,
+            distribution: v.clone(),
+        },
+    };
+    Coordinator::deliver(&mut server, d.clone()).unwrap();
+    match Coordinator::deliver(&mut server, d) {
+        Err(ProtocolError::DuplicateContribution {
+            client: 0,
+            try_index: Some(0),
+        }) => {}
+        other => panic!("expected a per-try duplicate rejection, got {other:?}"),
+    }
+    // A contribution to a try that was never announced is refused too.
+    let unannounced = Envelope {
+        from: Party::Client(0),
+        to: Party::Server,
+        epoch: 0,
+        msg: ProtocolMsg::EncryptedDistribution {
+            client: 0,
+            try_index: 9,
+            distribution: v,
+        },
+    };
+    match Coordinator::deliver(&mut server, unannounced) {
+        Err(ProtocolError::UnknownTry { try_index: 9 }) => {}
+        other => panic!("expected UnknownTry, got {other:?}"),
+    }
+}
+
+#[test]
+fn stale_epoch_replays_are_refused_after_rotation() {
+    let dists = clients(4, 171);
+    let config = DubheConfig::group1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(172);
+    let mut transport = InMemoryTransport::recording();
+    let mut run = run_registration_with(
+        &dists,
+        &config,
+        KEY_BITS,
+        CoordinatorServer::new(4),
+        &mut transport,
+        &mut rng,
+    )
+    .unwrap();
+
+    // Capture a real epoch-0 registry upload off the wire, then rotate.
+    let replayed = transport
+        .transcript()
+        .iter()
+        .find(|e| matches!(e.msg, ProtocolMsg::EncryptedRegistry { .. }))
+        .cloned()
+        .expect("a registry crossed the transport");
+    for e in run.agent.rotate_epoch(4, &mut rng) {
+        transport.send(e);
+    }
+    pump(
+        &mut transport,
+        &mut run.agent,
+        &mut run.clients,
+        &mut run.server,
+        &mut rng,
+    )
+    .unwrap();
+
+    // The replay is a stale frame now — even though it was perfectly valid
+    // (and accepted) in the epoch it was recorded in.
+    match Coordinator::deliver(&mut run.server, replayed) {
+        Err(ProtocolError::StaleEpoch {
+            received: 0,
+            current: 1,
+        }) => {}
+        other => panic!("expected StaleEpoch, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_bytes_do_not_kill_the_listener() {
+    let listener = CoordinatorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();
+    let addr = listener.addr();
+
+    // A flood of non-protocol bytes: wrong magic, then random junk. The
+    // connection is hung up on (framing is unrecoverable), the listener is
+    // not.
+    for garbage in [&b"GET / HTTP/1.1\r\n\r\n"[..], &[0xFFu8; 64][..]] {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(garbage).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Best-effort error reply then hangup; either way the read ends.
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    }
+
+    // A truncated frame — valid magic, promised length never delivered —
+    // ends the same way: typed refusal, connection closed, listener alive.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut partial = Vec::new();
+    partial.extend_from_slice(b"DBH1");
+    partial.extend_from_slice(&100u32.to_be_bytes());
+    partial.extend_from_slice(b"short");
+    stream.write_all(&partial).unwrap();
+    drop(stream);
+
+    // The listener survived the whole gauntlet: a well-formed session on a
+    // fresh connection still works.
+    let mut client = TcpTransport::connect_with_timeout(addr, Duration::from_secs(5)).unwrap();
+    let out = client
+        .deliver(Envelope {
+            from: Party::Agent,
+            to: Party::Server,
+            epoch: 0,
+            msg: ProtocolMsg::TryVerdict {
+                best_try: 1,
+                distance: 0.5,
+            },
+        })
+        .unwrap();
+    assert!(out.is_empty());
+    client.shutdown().unwrap();
+    let coordinator = listener.shutdown().expect("listener state");
+    assert_eq!(coordinator.last_verdict(), Some((1, 0.5)));
+}
+
+#[test]
+fn oversized_frames_are_refused_in_both_directions() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(181);
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+    let big = EncryptedVector::encrypt_u64(&kp.public, &vec![1u64; 64], &mut rng);
+
+    // Server side: a listener capped at 1 KiB refuses a multi-kilobyte
+    // registry with a typed error — relayed if the reply gets out before
+    // the poisoned connection closes, a clean disconnect otherwise.
+    let listener = CoordinatorListener::spawn_with(
+        ShardedCoordinator::with_public_key(kp.public.clone(), 4, 1),
+        ListenerConfig::default().with_max_frame_bytes(1024),
+    )
+    .unwrap();
+    let mut client =
+        TcpTransport::connect_with_timeout(listener.addr(), Duration::from_secs(5)).unwrap();
+    let err = client
+        .deliver(registry_envelope(0, big.clone()))
+        .unwrap_err();
+    match &err {
+        ProtocolError::Remote { detail } => assert!(detail.contains("frame"), "{detail}"),
+        ProtocolError::Disconnected
+        | ProtocolError::Io { .. }
+        | ProtocolError::TruncatedFrame { .. } => {}
+        other => panic!("expected a typed oversize refusal, got {other:?}"),
+    }
+    drop(client);
+    listener.shutdown();
+
+    // Client side: a transport capped below its own payload refuses to send
+    // at all — the frame never touches the socket.
+    let listener = CoordinatorListener::spawn(ShardedCoordinator::new(4, 1)).unwrap();
+    let mut tiny = TcpTransport::connect_with_config(
+        listener.addr(),
+        TcpConfig::default().with_max_frame_bytes(256),
+    )
+    .unwrap();
+    match tiny.deliver(registry_envelope(0, big)) {
+        Err(ProtocolError::FrameTooLarge { .. }) => {}
+        other => panic!("expected FrameTooLarge before sending, got {other:?}"),
+    }
+    drop(tiny);
+    listener.shutdown();
+}
+
+#[test]
+fn fault_injected_duplicates_surface_as_typed_errors() {
+    let dists = clients(6, 191);
+    let config = DubheConfig::group1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(192);
+
+    // Sends 0..=6 are the key dispatches (server + 6 clients); send 7 is
+    // the first registry upload. Duplicating it is a wire-level replay.
+    let mut transport =
+        FaultyTransport::new(InMemoryTransport::new(), FaultPlan::new().duplicate_send(7));
+    let err = run_registration_with(
+        &dists,
+        &config,
+        KEY_BITS,
+        CoordinatorServer::new(6),
+        &mut transport,
+        &mut rng,
+    )
+    .unwrap_err();
+    match err {
+        SelectError::Protocol(ProtocolError::DuplicateContribution {
+            try_index: None, ..
+        }) => {}
+        other => panic!("expected a replayed-registry rejection, got {other:?}"),
+    }
+    assert_eq!(transport.stats().duplicated, 1);
+}
+
+#[test]
+fn fault_injected_truncation_surfaces_as_a_typed_error() {
+    let dists = clients(6, 201);
+    let config = DubheConfig::group1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(202);
+
+    // Cut one ciphertext element out of the first registry upload: the
+    // fold-shape check catches it by type, and the sender is identifiable.
+    let mut transport =
+        FaultyTransport::new(InMemoryTransport::new(), FaultPlan::new().truncate_send(7));
+    let err = run_registration_with(
+        &dists,
+        &config,
+        KEY_BITS,
+        CoordinatorServer::new(6),
+        &mut transport,
+        &mut rng,
+    )
+    .unwrap_err();
+    match err {
+        SelectError::Protocol(ProtocolError::He(dubhe_he::HeError::LengthMismatch { .. })) => {}
+        other => panic!("expected a shape mismatch from the truncated registry, got {other:?}"),
+    }
+    assert_eq!(transport.stats().truncated, 1);
+}
+
+#[test]
+fn fault_injected_drops_end_in_an_explicit_partial_close_never_a_hang() {
+    let dists = clients(6, 211);
+    let config = DubheConfig::group1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(212);
+
+    // Drop the first registry upload on the wire: registration cannot
+    // complete naturally, but the pump drains (no hang) and the explicit
+    // close folds the 5 survivors.
+    let mut transport =
+        FaultyTransport::new(InMemoryTransport::new(), FaultPlan::new().drop_send(7));
+    let mut run = run_registration_with(
+        &dists,
+        &config,
+        KEY_BITS,
+        CoordinatorServer::new(6),
+        &mut transport,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(transport.stats().dropped, 1);
+    assert!(
+        run.clients.iter().all(|c| c.overall_registry().is_none()),
+        "no broadcast can have happened with a registry missing"
+    );
+
+    for e in run.server.close_registration().unwrap() {
+        transport.send(e);
+    }
+    pump(
+        &mut transport,
+        &mut run.agent,
+        &mut run.clients,
+        &mut run.server,
+        &mut rng,
+    )
+    .unwrap();
+
+    let outcome = *run.server.cohort_outcomes().last().expect("recorded");
+    assert_eq!(outcome.expected, 6);
+    assert_eq!(outcome.contributed, 5);
+    assert!(outcome.partial);
+    // The partial total is a real decision input: the agent decrypted it
+    // and it sums to the 5 contributors.
+    let overall = run.agent.overall_registry().expect("partial broadcast");
+    assert_eq!(overall.iter().sum::<u64>(), 5);
+}
+
+#[test]
+fn fault_injected_delays_reorder_but_never_lose_frames() {
+    let dists = clients(6, 221);
+    let config = DubheConfig::group1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(222);
+
+    // Hold the first registry back past its siblings: delivery order
+    // changes, the homomorphic fold does not care, the epoch completes.
+    let mut transport =
+        FaultyTransport::new(InMemoryTransport::new(), FaultPlan::new().delay_send(7));
+    let run = run_registration_with(
+        &dists,
+        &config,
+        KEY_BITS,
+        CoordinatorServer::new(6),
+        &mut transport,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(transport.stats().delayed, 1);
+    let overall = run.overall_registry();
+    assert_eq!(overall.iter().sum::<u64>(), 6, "all 6 registries arrived");
+    let outcome = *run.server.cohort_outcomes().last().expect("recorded");
+    assert!(!outcome.partial, "a delayed frame is late, not lost");
+    assert_eq!(outcome.contributed, 6);
+}

@@ -89,6 +89,7 @@ fn wire_msg(
         } else {
             Party::Agent
         },
+        epoch: scalars.1 as u64,
         msg: protocol_msg(inner % 6, values, scalars, rng),
     };
     match variant {
@@ -176,6 +177,7 @@ proptest! {
             envelope: Envelope {
                 from: Party::Client(1),
                 to: Party::Server,
+                epoch: 3,
                 msg: ProtocolMsg::EncryptedRegistry {
                     client: 1,
                     registry: vector(&values, &mut rng),

@@ -176,6 +176,7 @@ fn remote_coordinator_relays_protocol_errors() {
         .deliver(Envelope {
             from: Party::Client(0),
             to: Party::Server,
+            epoch: 0,
             msg: ProtocolMsg::EncryptedRegistry {
                 client: 0,
                 registry,
@@ -240,6 +241,7 @@ fn mid_exchange_disconnect_is_an_error_not_a_hang() {
         .deliver(Envelope {
             from: Party::Agent,
             to: Party::Server,
+            epoch: 0,
             msg: ProtocolMsg::TryVerdict {
                 best_try: 0,
                 distance: 0.0,

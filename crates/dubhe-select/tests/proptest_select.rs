@@ -151,3 +151,82 @@ proptest! {
         prop_assert_eq!(seen.len(), layout.len());
     }
 }
+
+/// A shared keypair for the snapshot-resume properties (key generation
+/// dominates runtime, exactly as in `dubhe-he`'s property suite).
+fn snapshot_keys() -> &'static dubhe_he::Keypair {
+    use std::sync::OnceLock;
+    static KEYS: OnceLock<dubhe_he::Keypair> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5AFE);
+        dubhe_he::Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crash-recovery property over the coordinator grid: for any registry
+    /// length × shard count × crash point, a coordinator restored from its
+    /// snapshot finishes on a total bit-identical to both the uninterrupted
+    /// sharded run and the single-fold reference.
+    #[test]
+    fn sharded_snapshot_resumes_bit_identically(len in 1usize..16,
+                                                n in 2usize..7,
+                                                shards in 1usize..5,
+                                                cut_seed in any::<u64>(),
+                                                seed in any::<u64>()) {
+        use dubhe_select::protocol::{
+            Coordinator, CoordinatorServer, Envelope, Party, ProtocolMsg, ShardedCoordinator,
+        };
+
+        let kp = snapshot_keys();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let uploads: Vec<Envelope> = (0..n)
+            .map(|client| {
+                let v: Vec<u64> = (0..len).map(|j| ((client * 13 + j * 7) % 9) as u64).collect();
+                Envelope {
+                    from: Party::Client(client),
+                    to: Party::Server,
+                    epoch: 0,
+                    msg: ProtocolMsg::EncryptedRegistry {
+                        client,
+                        registry: dubhe_he::EncryptedVector::encrypt_u64(&kp.public, &v, &mut rng),
+                    },
+                }
+            })
+            .collect();
+        let cut = 1 + (cut_seed as usize) % n;
+
+        let mut single = CoordinatorServer::with_public_key(kp.public.clone(), n);
+        let mut whole = ShardedCoordinator::with_public_key(kp.public.clone(), n, shards);
+        let mut doomed = ShardedCoordinator::with_public_key(kp.public.clone(), n, shards);
+        for e in &uploads {
+            Coordinator::deliver(&mut single, e.clone()).unwrap();
+            Coordinator::deliver(&mut whole, e.clone()).unwrap();
+        }
+        for e in uploads.iter().take(cut) {
+            Coordinator::deliver(&mut doomed, e.clone()).unwrap();
+        }
+        let bytes = doomed.snapshot().unwrap();
+        drop(doomed);
+        let mut resumed = ShardedCoordinator::restore(&bytes).unwrap();
+        prop_assert_eq!(resumed.shards(), shards);
+        for e in uploads.iter().skip(cut) {
+            Coordinator::deliver(&mut resumed, e.clone()).unwrap();
+        }
+
+        let reference = single.encrypted_total().expect("epoch complete");
+        let uninterrupted = whole.encrypted_total().expect("epoch complete");
+        let total = resumed.encrypted_total().expect("epoch complete");
+        for ((a, b), c) in total
+            .elements()
+            .iter()
+            .zip(uninterrupted.elements())
+            .zip(reference.elements())
+        {
+            prop_assert_eq!(a.raw(), b.raw(), "resumed fold diverged from uninterrupted");
+            prop_assert_eq!(a.raw(), c.raw(), "sharded fold diverged from single");
+        }
+    }
+}

@@ -359,6 +359,18 @@ pub struct MontgomeryOperand {
     limbs: Vec<u64>,
 }
 
+impl MontgomeryOperand {
+    /// The operand's raw k-limb residue as a plain integer, *without* any
+    /// domain conversion. CIOS keeps every operand strictly below the
+    /// modulus, and [`MontgomeryContext::montgomery_residue`] pads a
+    /// below-modulus value back to the k-limb layout unchanged — so
+    /// `ctx.montgomery_residue(&op.raw_residue())` reconstructs `op`
+    /// bit-identically. This is what makes fold state serializable.
+    pub fn raw_residue(&self) -> BigUint {
+        BigUint::from_limbs(self.limbs.clone())
+    }
+}
+
 impl MontgomeryContext {
     /// Builds the context for an odd modulus.
     ///
