@@ -1,0 +1,565 @@
+//! `load_gen` — the network-layer load bench (`results/BENCH_net.json`).
+//!
+//! Drives 10³–10⁵ concurrent synthetic clients, each on its own persistent
+//! framed connection, through a full selection session — public-key
+//! dispatch, the registration epoch, `H` multi-time tries and the verdict —
+//! against **both** coordinator listeners:
+//!
+//! * the thread-per-connection [`CoordinatorListener`], and
+//! * the event-loop [`ReactorListener`] from `dubhe-net`.
+//!
+//! The client side is a single-threaded [`MuxClient`] multiplexing every
+//! connection through one poller; the server side runs in a **subprocess**
+//! (`--serve`), because a loopback connection costs one file descriptor on
+//! each end and the default `RLIMIT_NOFILE` hard cap (20 000 here) would
+//! otherwise halve the reachable connection count. The threaded listener
+//! additionally holds a shutdown-clone per connection (two fds per client),
+//! so its scale is capped (`--threaded-cap`, default 9 000) while the
+//! reactor also runs at the full `--clients` scale.
+//!
+//! Every run is an acceptance check, not just a stopwatch: the parent folds
+//! the identical envelope set into an in-process [`ShardedCoordinator`] and
+//! compares a digest of the final ciphertext residues — the listeners must
+//! be *bit-identical* to the reference, or the bench aborts.
+//!
+//! ```text
+//! load_gen [--clients 10000] [--shards 4] [--key-bits 256] [--tries 3]
+//!          [--select 2048] [--threaded-cap 9000] [--seed 42]
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use dubhe_bench::dump_json;
+use dubhe_he::{EncryptedVector, Keypair, PublicKey};
+use dubhe_net::{MuxClient, MuxConfig, ReactorListener};
+use dubhe_select::protocol::stats::{LatencySummary, ListenerStats};
+use dubhe_select::protocol::{
+    CodecKind, Coordinator, CoordinatorListener, Envelope, Party, ProtocolMsg, ShardedCoordinator,
+    WireMsg,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Distinct ciphertexts are pooled and cycled across clients: the folds stay
+/// real (every registry multiplies into the running total), but pool-sized
+/// encryption cost keeps a 10⁴-client session affordable on one core.
+const POOL: usize = 64;
+/// Label classes of the synthetic registries/distributions.
+const CLASSES: usize = 10;
+const EPOCH: u64 = 0;
+const VERDICT: (usize, f64) = (0, 0.25);
+
+fn value_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed_after<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    value_after(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---------------------------------------------------------------------------
+// The deterministic session script, shared by the wire runs and the
+// in-process reference so their folds can be compared bit-for-bit.
+// ---------------------------------------------------------------------------
+
+struct SessionScript {
+    public_key: PublicKey,
+    registries: Vec<EncryptedVector>,
+    distributions: Vec<EncryptedVector>,
+    tries: usize,
+    select: usize,
+}
+
+impl SessionScript {
+    fn build(key_bits: u64, tries: usize, select: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keypair = Keypair::generate(key_bits, &mut rng);
+        let public_key = keypair.public.clone();
+        let registries = (0..POOL)
+            .map(|i| {
+                let mut onehot = vec![0u64; CLASSES];
+                onehot[i % CLASSES] = 1;
+                EncryptedVector::encrypt_u64(&public_key, &onehot, &mut rng)
+            })
+            .collect();
+        let distributions = (0..POOL)
+            .map(|i| {
+                let scaled: Vec<u64> = (0..CLASSES).map(|c| ((i + c) % 97) as u64).collect();
+                EncryptedVector::encrypt_u64(&public_key, &scaled, &mut rng)
+            })
+            .collect();
+        SessionScript {
+            public_key,
+            registries,
+            distributions,
+            tries,
+            select,
+        }
+    }
+
+    fn key_dispatch(&self) -> Envelope {
+        Envelope {
+            from: Party::Agent,
+            to: Party::Server,
+            epoch: EPOCH,
+            msg: ProtocolMsg::PublicKeyDispatch {
+                public_key: self.public_key.clone(),
+                private_key: None,
+            },
+        }
+    }
+
+    fn registry(&self, client: usize) -> Envelope {
+        Envelope {
+            from: Party::Client(client),
+            to: Party::Server,
+            epoch: EPOCH,
+            msg: ProtocolMsg::EncryptedRegistry {
+                client,
+                registry: self.registries[client % POOL].clone(),
+            },
+        }
+    }
+
+    fn participants(&self, try_index: usize, n: usize) -> Vec<usize> {
+        let k = self.select.min(n);
+        let start = (try_index * 997) % n;
+        (0..k).map(|j| (start + j) % n).collect()
+    }
+
+    fn distribution(&self, client: usize, try_index: usize) -> Envelope {
+        Envelope {
+            from: Party::Client(client),
+            to: Party::Server,
+            epoch: EPOCH,
+            msg: ProtocolMsg::EncryptedDistribution {
+                client,
+                try_index,
+                distribution: self.distributions[(client + 7 * try_index) % POOL].clone(),
+            },
+        }
+    }
+
+    fn verdict(&self) -> Envelope {
+        Envelope {
+            from: Party::Agent,
+            to: Party::Server,
+            epoch: EPOCH,
+            msg: ProtocolMsg::TryVerdict {
+                best_try: VERDICT.0,
+                distance: VERDICT.1,
+            },
+        }
+    }
+
+    /// Folds the whole session into an in-process coordinator and returns
+    /// `(digest, messages_received)` — the reference every wire run must hit.
+    fn reference(&self, n: usize, shards: usize) -> (u64, usize) {
+        let mut server = ShardedCoordinator::new(n, shards);
+        server.deliver(self.key_dispatch()).expect("key dispatch");
+        for client in 0..n {
+            server.deliver(self.registry(client)).expect("registry");
+        }
+        for try_index in 0..self.tries {
+            let participants = self.participants(try_index, n);
+            Coordinator::announce_try(&mut server, try_index, &participants).expect("announce");
+            for &client in &participants {
+                server
+                    .deliver(self.distribution(client, try_index))
+                    .expect("distribution");
+            }
+        }
+        server.deliver(self.verdict()).expect("verdict");
+        (state_digest(&server), server.messages_received())
+    }
+}
+
+/// FNV-1a over the final fold's ciphertext residues: equal digests ⇔ the
+/// coordinator aggregated bit-identical totals.
+fn state_digest(state: &ShardedCoordinator) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let total = state.encrypted_total().expect("registration completed");
+    for ct in total.elements() {
+        let bytes = ct.raw().to_bytes_be();
+        eat(&(bytes.len() as u64).to_be_bytes());
+        eat(&bytes);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// --serve: the listener subprocess.
+// ---------------------------------------------------------------------------
+
+/// Serves one session: binds the requested listener, prints `ADDR`, waits
+/// for the parent to finish (a line or EOF on stdin), then reports the final
+/// coordinator digest and the listener's connection metrics.
+fn serve(kind: &str, n: usize, shards: usize) {
+    let coordinator = ShardedCoordinator::new(n, shards);
+    let (addr, stats, state): (_, ListenerStats, ShardedCoordinator) = match kind {
+        "threaded" => {
+            let listener = CoordinatorListener::spawn(coordinator).expect("spawn listener");
+            let addr = listener.addr();
+            announce_ready(addr);
+            wait_for_parent();
+            let stats = listener.stats();
+            let state = listener.shutdown().expect("coordinator state");
+            (addr, stats, state)
+        }
+        "reactor" => {
+            let listener = ReactorListener::spawn(coordinator).expect("spawn listener");
+            let addr = listener.addr();
+            announce_ready(addr);
+            wait_for_parent();
+            let stats = listener.stats();
+            let state = listener.shutdown().expect("coordinator state");
+            (addr, stats, state)
+        }
+        other => panic!("unknown --serve kind {other:?} (threaded|reactor)"),
+    };
+    let _ = addr;
+    println!("MSGS {}", state.messages_received());
+    let (best_try, distance) = state.last_verdict().expect("verdict recorded");
+    println!("VERDICT {best_try} {distance}");
+    println!("DIGEST {:016x}", state_digest(&state));
+    println!(
+        "STATS {}",
+        serde_json::to_string(&stats).expect("stats serialize")
+    );
+}
+
+fn announce_ready(addr: std::net::SocketAddr) {
+    println!("ADDR {addr}");
+    std::io::stdout().flush().expect("flush");
+}
+
+fn wait_for_parent() {
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+}
+
+// ---------------------------------------------------------------------------
+// The parent: drive one session over the wire and time its phases.
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct BackendReport {
+    listener: String,
+    clients: usize,
+    connect_s: f64,
+    registration_s: f64,
+    registrations_per_s: f64,
+    tries: usize,
+    participants_per_try: usize,
+    tries_s: f64,
+    rounds_per_s: f64,
+    latency_us: LatencySummary,
+    server: ListenerStats,
+    digest: String,
+    bit_identical_to_reference: bool,
+}
+
+#[derive(Serialize)]
+struct NetBenchReport {
+    clients: usize,
+    shards: usize,
+    key_bits: u64,
+    tries: usize,
+    select: usize,
+    threaded_cap: usize,
+    codec: String,
+    ciphertext_pool: usize,
+    seed: u64,
+    runs: Vec<BackendReport>,
+}
+
+struct ServerChild {
+    child: Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    addr: std::net::SocketAddr,
+}
+
+fn spawn_server(kind: &str, n: usize, shards: usize) -> ServerChild {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = Command::new(exe)
+        .args([
+            "--serve",
+            kind,
+            "--clients",
+            &n.to_string(),
+            "--shards",
+            &shards.to_string(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn --serve subprocess");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read ADDR line");
+    let addr = line
+        .trim()
+        .strip_prefix("ADDR ")
+        .unwrap_or_else(|| panic!("expected ADDR line, got {line:?}"))
+        .parse()
+        .expect("parse listener address");
+    ServerChild {
+        child,
+        stdout,
+        addr,
+    }
+}
+
+/// Replies must be `Ack`/`Batch`; a single `Error` frame fails the bench.
+fn check_replies(phase: &str, replies: &[(usize, WireMsg)]) {
+    for (conn, reply) in replies {
+        if let WireMsg::Error { detail } = reply {
+            panic!("{phase}: connection {conn} got an error reply: {detail}");
+        }
+    }
+}
+
+fn run_backend(
+    kind: &str,
+    n: usize,
+    shards: usize,
+    script: &SessionScript,
+    references: &mut HashMap<usize, (u64, usize)>,
+) -> BackendReport {
+    let (ref_digest, ref_msgs) = *references
+        .entry(n)
+        .or_insert_with(|| script.reference(n, shards));
+
+    println!("[{kind} n={n}] spawning listener subprocess...");
+    let mut server = spawn_server(kind, n, shards);
+
+    let t = Instant::now();
+    let mut mux = MuxClient::connect(
+        server.addr,
+        n,
+        MuxConfig::default()
+            .with_codec(CodecKind::Binary)
+            .with_exchange_timeout(Duration::from_secs(300)),
+    )
+    .expect("connect mux clients");
+    let connect_s = t.elapsed().as_secs_f64();
+    println!("[{kind} n={n}] {n} connections in {connect_s:.2}s");
+
+    // Key dispatch: one control envelope from the agent, on connection 0.
+    let replies = mux
+        .exchange(&[(
+            0,
+            WireMsg::Envelope {
+                envelope: script.key_dispatch(),
+            },
+        )])
+        .expect("key dispatch");
+    check_replies("key dispatch", &replies);
+
+    // Registration epoch: every client uploads its encrypted registry on its
+    // own connection; the upload completing the cohort pulls the broadcast.
+    let t = Instant::now();
+    for client in 0..n {
+        mux.send(
+            client,
+            &WireMsg::Envelope {
+                envelope: script.registry(client),
+            },
+        )
+        .expect("queue registry");
+    }
+    let replies = mux.collect(n).expect("registration replies");
+    check_replies("registration", &replies);
+    let registration_s = t.elapsed().as_secs_f64();
+    println!("[{kind} n={n}] registration epoch in {registration_s:.2}s");
+
+    // Multi-time selection: H tries of announce → k contributions → sum.
+    let k = script.select.min(n);
+    let t = Instant::now();
+    for try_index in 0..script.tries {
+        let participants = script.participants(try_index, n);
+        let replies = mux
+            .exchange(&[(
+                0,
+                WireMsg::AnnounceTry {
+                    try_index,
+                    participants: participants.clone(),
+                },
+            )])
+            .expect("announce try");
+        check_replies("announce", &replies);
+        for &client in &participants {
+            mux.send(
+                client,
+                &WireMsg::Envelope {
+                    envelope: script.distribution(client, try_index),
+                },
+            )
+            .expect("queue distribution");
+        }
+        let replies = mux.collect(participants.len()).expect("try replies");
+        check_replies("try", &replies);
+    }
+    let replies = mux
+        .exchange(&[(
+            0,
+            WireMsg::Envelope {
+                envelope: script.verdict(),
+            },
+        )])
+        .expect("verdict");
+    check_replies("verdict", &replies);
+    let tries_s = t.elapsed().as_secs_f64();
+    println!(
+        "[{kind} n={n}] {} tries x {k} participants in {tries_s:.2}s",
+        script.tries
+    );
+
+    let latency_us = mux.latency_summary();
+    mux.shutdown();
+
+    // Tell the child to wrap up, then read its report.
+    let mut stdin = server.child.stdin.take().expect("child stdin");
+    let _ = stdin.write_all(b"DONE\n");
+    drop(stdin);
+    let mut msgs = None;
+    let mut verdict = None;
+    let mut digest = None;
+    let mut stats: Option<ListenerStats> = None;
+    let mut line = String::new();
+    while {
+        line.clear();
+        server.stdout.read_line(&mut line).expect("child report") > 0
+    } {
+        if let Some(v) = line.trim().strip_prefix("MSGS ") {
+            msgs = v.parse::<usize>().ok();
+        } else if let Some(v) = line.trim().strip_prefix("VERDICT ") {
+            verdict = Some(v.to_string());
+        } else if let Some(v) = line.trim().strip_prefix("DIGEST ") {
+            digest = Some(v.to_string());
+        } else if let Some(v) = line.trim().strip_prefix("STATS ") {
+            stats = serde_json::from_str(v).ok();
+        }
+    }
+    let status = server.child.wait().expect("child exit");
+    assert!(status.success(), "[{kind} n={n}] server subprocess failed");
+    let msgs = msgs.expect("MSGS line");
+    let digest = digest.expect("DIGEST line");
+    let verdict = verdict.expect("VERDICT line");
+    let stats = stats.expect("STATS line");
+
+    // The acceptance pins: the listener's folds must be bit-identical to the
+    // in-process reference, with the identical message count and verdict.
+    let expected_digest = format!("{ref_digest:016x}");
+    assert_eq!(
+        digest, expected_digest,
+        "[{kind} n={n}] ciphertext folds diverged from the in-process reference"
+    );
+    assert_eq!(msgs, ref_msgs, "[{kind} n={n}] message count diverged");
+    assert_eq!(
+        verdict,
+        format!("{} {}", VERDICT.0, VERDICT.1),
+        "[{kind} n={n}] verdict diverged"
+    );
+    println!(
+        "[{kind} n={n}] bit-identical to reference (digest {digest}); p50 {:.0}us p99 {:.0}us, peak queue {}B",
+        latency_us.p50_us, latency_us.p99_us, stats.peak_write_queue
+    );
+
+    BackendReport {
+        listener: kind.to_string(),
+        clients: n,
+        connect_s,
+        registration_s,
+        registrations_per_s: n as f64 / registration_s,
+        tries: script.tries,
+        participants_per_try: k,
+        tries_s,
+        rounds_per_s: script.tries as f64 / tries_s,
+        latency_us,
+        server: stats,
+        digest,
+        bit_identical_to_reference: true,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let clients: usize = parsed_after(&args, "--clients", 10_000);
+    let shards: usize = parsed_after(&args, "--shards", 4);
+    let key_bits: u64 = parsed_after(&args, "--key-bits", 256);
+    let tries: usize = parsed_after(&args, "--tries", 3);
+    let select: usize = parsed_after(&args, "--select", 2048);
+    let threaded_cap: usize = parsed_after(&args, "--threaded-cap", 9_000);
+    let seed: u64 = parsed_after(&args, "--seed", 42);
+
+    if let Some(kind) = value_after(&args, "--serve") {
+        serve(&kind, clients, shards);
+        return;
+    }
+
+    println!(
+        "load_gen: {clients} clients, {shards} shards, {key_bits}-bit keys, \
+         H={tries} tries of {select}, DBH2 framing"
+    );
+    let script = SessionScript::build(key_bits, tries, select, seed);
+    let mut references = HashMap::new();
+
+    // Like-for-like comparison at the largest scale both listeners reach,
+    // then the reactor alone at the full client count (the threaded listener
+    // spends two fds per connection — its half of the fd budget caps it).
+    let n_eq = clients.min(threaded_cap);
+    let mut runs = Vec::new();
+    runs.push(run_backend(
+        "threaded",
+        n_eq,
+        shards,
+        &script,
+        &mut references,
+    ));
+    runs.push(run_backend(
+        "reactor",
+        n_eq,
+        shards,
+        &script,
+        &mut references,
+    ));
+    if clients > n_eq {
+        runs.push(run_backend(
+            "reactor",
+            clients,
+            shards,
+            &script,
+            &mut references,
+        ));
+    }
+
+    let report = NetBenchReport {
+        clients,
+        shards,
+        key_bits,
+        tries,
+        select,
+        threaded_cap,
+        codec: "DBH2".to_string(),
+        ciphertext_pool: POOL,
+        seed,
+        runs,
+    };
+    dump_json("BENCH_net", &report);
+}

@@ -25,7 +25,7 @@
 
 use dubhe_data::federated::{DatasetFamily, FederatedSpec};
 use dubhe_fl::models::small_mlp;
-use dubhe_fl::{FlSimulation, SecureMode, SimulationConfig};
+use dubhe_fl::{FlSimulation, ListenerKind, SecureMode, SimulationConfig};
 use dubhe_he::packing::Packer;
 use dubhe_he::transport::{measure_packed, measure_vector, CommunicationCount};
 use dubhe_he::{EncryptedVector, FixedPointCodec, Keypair};
@@ -488,11 +488,13 @@ fn encrypted_simulation(key_bits: u64) {
         key_bits,
         shards: 4,
         codec: CodecKind::Json,
+        listener: ListenerKind::Threaded,
     });
     let (tcp_binary, binary_time) = run_mode(SecureMode::EncryptedTcp {
         key_bits,
         shards: 4,
         codec: CodecKind::Binary,
+        listener: ListenerKind::Threaded,
     });
     println!(
         "  modeled   : {:>12} ciphertext bytes, {:>5} overhead messages ({modeled_time:.2?})",

@@ -21,7 +21,9 @@
 
 use dubhe_data::{l1_distance, ClassDistribution, Dataset};
 use dubhe_ml::Sequential;
+use dubhe_net::ReactorListener;
 use dubhe_select::multi_time_select;
+use dubhe_select::protocol::stats::ListenerStats;
 use dubhe_select::protocol::{
     pump, run_registration_with, run_try, run_try_with_dropouts, CodecKind, Coordinator,
     CoordinatorListener, CoordinatorServer, Envelope, InMemoryTransport, RegistrationRun,
@@ -39,6 +41,22 @@ use crate::client::{FlClient, LocalTrainingConfig, LocalUpdate};
 use crate::comm::{encrypted_vector_bytes, model_update_bytes, CommLedger, RoundComm};
 use crate::error::FlError;
 use crate::history::{History, RoundRecord};
+
+/// Which server shape a [`SecureMode::EncryptedTcp`] run listens with.
+///
+/// Both listeners speak the identical wire protocol against the identical
+/// sharded coordinator; only the concurrency model differs, so ledgers and
+/// selections are bit-identical across the two (which the tests pin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ListenerKind {
+    /// One blocking thread per connection
+    /// ([`CoordinatorListener`]) — simple, fine for small cohorts.
+    Threaded,
+    /// One event-loop thread multiplexing every connection through a
+    /// readiness poller ([`dubhe_net::ReactorListener`]) — the shape that
+    /// scales to 10⁴–10⁵ mostly idle persistent clients.
+    Reactor,
+}
 
 /// How the simulator treats the secure selection protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,6 +92,9 @@ pub enum SecureMode {
         shards: usize,
         /// The wire payload codec the connector frames requests in.
         codec: CodecKind,
+        /// Which server shape accepts the connection: a thread per
+        /// connection, or the event-loop reactor.
+        listener: ListenerKind,
     },
 }
 
@@ -99,6 +120,14 @@ impl SecureMode {
     pub fn wire_codec(&self) -> Option<CodecKind> {
         match *self {
             SecureMode::EncryptedTcp { codec, .. } => Some(codec),
+            _ => None,
+        }
+    }
+
+    /// The server shape of a socket-backed mode (`None` otherwise).
+    pub fn listener_kind(&self) -> Option<ListenerKind> {
+        match *self {
+            SecureMode::EncryptedTcp { listener, .. } => Some(listener),
             _ => None,
         }
     }
@@ -163,6 +192,33 @@ impl Coordinator for SimCoordinator {
         match self {
             SimCoordinator::Local(s) => Coordinator::close_try(s, try_index),
             SimCoordinator::Remote(t) => t.close_try(try_index),
+        }
+    }
+}
+
+/// The listener slot of a [`SecureMode::EncryptedTcp`] simulation: the
+/// thread-per-connection listener or the event-loop reactor, chosen by
+/// [`ListenerKind`]. Threads stop on drop either way.
+#[derive(Debug)]
+enum SimListener {
+    Threaded(CoordinatorListener),
+    Reactor(ReactorListener<ShardedCoordinator>),
+}
+
+impl SimListener {
+    /// The bound loopback address clients connect to.
+    fn addr(&self) -> std::net::SocketAddr {
+        match self {
+            SimListener::Threaded(l) => l.addr(),
+            SimListener::Reactor(l) => l.addr(),
+        }
+    }
+
+    /// A point-in-time snapshot of the listener's connection metrics.
+    fn stats(&self) -> ListenerStats {
+        match self {
+            SimListener::Threaded(l) => l.stats(),
+            SimListener::Reactor(l) => l.stats(),
         }
     }
 }
@@ -256,8 +312,9 @@ pub struct FlSimulation {
     /// connection thread exits before the listener joins it.
     protocol: Option<RegistrationRun<SimCoordinator>>,
     /// The loopback coordinator listener of a [`SecureMode::EncryptedTcp`]
-    /// run (threads stop on drop).
-    listener: Option<CoordinatorListener>,
+    /// run — threaded or reactor per [`ListenerKind`] (threads stop on
+    /// drop).
+    listener: Option<SimListener>,
 }
 
 impl FlSimulation {
@@ -346,6 +403,13 @@ impl FlSimulation {
         self.protocol.is_some()
     }
 
+    /// Connection metrics of the live loopback listener of an
+    /// [`EncryptedTcp`](SecureMode::EncryptedTcp) run — `None` in the other
+    /// modes (or before round 0 spawns the listener).
+    pub fn listener_stats(&self) -> Option<ListenerStats> {
+        self.listener.as_ref().map(SimListener::stats)
+    }
+
     /// The RNG stream feeding the cryptographic side of the encrypted mode.
     /// It is independent of the round's selection stream so that modeled and
     /// encrypted runs draw identical tentative selections.
@@ -383,9 +447,21 @@ impl FlSimulation {
             if let Some(config) = self.selector.secure_config().cloned() {
                 let n = self.client_distributions.len();
                 let server = match self.config.secure {
-                    SecureMode::EncryptedTcp { shards, codec, .. } => {
-                        let listener =
-                            CoordinatorListener::spawn(ShardedCoordinator::new(n, shards))?;
+                    SecureMode::EncryptedTcp {
+                        shards,
+                        codec,
+                        listener,
+                        ..
+                    } => {
+                        let coordinator = ShardedCoordinator::new(n, shards);
+                        let listener = match listener {
+                            ListenerKind::Threaded => {
+                                SimListener::Threaded(CoordinatorListener::spawn(coordinator)?)
+                            }
+                            ListenerKind::Reactor => {
+                                SimListener::Reactor(ReactorListener::spawn(coordinator)?)
+                            }
+                        };
                         let endpoint = TcpTransport::connect_with_codec(listener.addr(), codec)?;
                         self.listener = Some(listener);
                         SimCoordinator::Remote(endpoint)
@@ -886,9 +962,10 @@ mod tests {
     fn tcp_encrypted_mode_matches_the_in_memory_modes_end_to_end() {
         // The acceptance pin of the socket-backed mode: same seeds, same
         // selector — one run modeled, one through in-process actors, and one
-        // over loopback TCP against a 4-shard coordinator *per codec*.
-        // Training history and canonical ledger totals must be identical
-        // across all of them; only the measured frame bytes differ by codec.
+        // over loopback TCP against a 4-shard coordinator *per codec and per
+        // listener shape*. Training history and canonical ledger totals must
+        // be identical across all of them; only the measured frame bytes
+        // differ by codec (never by listener).
         let (client_data, test, dists) = build_federation(24, 10.0, 1.5, 9);
         let run_mode = |secure: SecureMode| {
             let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
@@ -904,20 +981,31 @@ mod tests {
                 config,
             );
             let history = sim.run().unwrap();
-            (history, sim.ledger().clone())
+            let stats = sim.listener_stats();
+            (history, sim.ledger().clone(), stats)
         };
 
-        let (modeled_hist, modeled_ledger) = run_mode(SecureMode::Modeled { key_bits: 256 });
-        let (encrypted_hist, encrypted_ledger) = run_mode(SecureMode::Encrypted { key_bits: 256 });
-        let (json_hist, json_ledger) = run_mode(SecureMode::EncryptedTcp {
+        let (modeled_hist, modeled_ledger, modeled_stats) =
+            run_mode(SecureMode::Modeled { key_bits: 256 });
+        let (encrypted_hist, encrypted_ledger, _) =
+            run_mode(SecureMode::Encrypted { key_bits: 256 });
+        let (json_hist, json_ledger, json_stats) = run_mode(SecureMode::EncryptedTcp {
             key_bits: 256,
             shards: 4,
             codec: CodecKind::Json,
+            listener: ListenerKind::Threaded,
         });
-        let (binary_hist, binary_ledger) = run_mode(SecureMode::EncryptedTcp {
+        let (binary_hist, binary_ledger, _) = run_mode(SecureMode::EncryptedTcp {
             key_bits: 256,
             shards: 4,
             codec: CodecKind::Binary,
+            listener: ListenerKind::Threaded,
+        });
+        let (reactor_hist, reactor_ledger, reactor_stats) = run_mode(SecureMode::EncryptedTcp {
+            key_bits: 256,
+            shards: 4,
+            codec: CodecKind::Binary,
+            listener: ListenerKind::Reactor,
         });
 
         assert_eq!(json_hist, modeled_hist, "TCP must reproduce the decisions");
@@ -926,6 +1014,27 @@ mod tests {
             binary_hist, json_hist,
             "codec choice must not change any decision"
         );
+        assert_eq!(
+            reactor_hist, binary_hist,
+            "the event-loop reactor must reproduce the threaded listener's decisions"
+        );
+        assert_eq!(
+            reactor_ledger, binary_ledger,
+            "listener shape must not change a single ledger byte"
+        );
+        // Both listener shapes expose the same metrics surface, and both saw
+        // the single persistent connector connection plus real frames.
+        assert!(modeled_stats.is_none(), "no listener in the modeled mode");
+        for stats in [&json_stats, &reactor_stats] {
+            let stats = stats.as_ref().expect("socket-backed runs have stats");
+            assert_eq!(stats.connections_accepted, 1);
+            assert!(stats.frames_received > 0);
+            assert_eq!(stats.frames_sent, stats.frames_received);
+            assert!(stats.bytes_received > 0);
+            assert_eq!(stats.decode_errors, 0);
+            assert_eq!(stats.backpressure_disconnects, 0);
+            assert_eq!(stats.latency.count, stats.frames_sent as u64);
+        }
         for tcp_ledger in [&json_ledger, &binary_ledger] {
             assert_eq!(
                 tcp_ledger.total_ciphertext_bytes(),

@@ -1,0 +1,171 @@
+//! Incremental frame reassembly for non-blocking sockets.
+//!
+//! A blocking reader can hand `read_frame_limited` the stream and let it
+//! block until a whole frame arrives; an event loop cannot — it gets bytes
+//! in whatever slices the kernel delivers (a header split across two reads,
+//! a byte-at-a-time slow-loris, three pipelined frames in one burst) and
+//! must never block. [`FrameBuffer`] bridges the two worlds: feed it raw
+//! bytes as they arrive, pull complete [`WireMsg`]s out as they become
+//! parseable. Validation order matches the blocking path — magic before
+//! length, announced length against the ceiling *before* buffering a
+//! payload — so a hostile header is refused after at most 8 bytes, with the
+//! same typed [`ProtocolError`]s the blocking reader produces.
+
+use dubhe_select::protocol::codec::CodecKind;
+use dubhe_select::protocol::wire::read_frame_limited;
+use dubhe_select::protocol::WireMsg;
+use dubhe_select::ProtocolError;
+
+/// Magic (4) + big-endian payload length (4).
+const HEADER_BYTES: usize = 8;
+
+/// Bytes of already-parsed prefix tolerated before the buffer compacts.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// Reassembles length-prefixed `DBH1`/`DBH2` frames from arbitrary byte
+/// slices. One per connection.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Start of the unparsed suffix in `buf`.
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes received but not yet consumed by a complete frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if a frame has started arriving but is not complete yet — the
+    /// state in which a peer cutting off (or stalling past the read
+    /// timeout) means a *truncated* frame rather than a clean close.
+    pub fn is_mid_frame(&self) -> bool {
+        self.pending_bytes() > 0
+    }
+
+    /// Pulls the next complete frame, if one has fully arrived.
+    ///
+    /// `Ok(None)` means "need more bytes"; errors are terminal for the
+    /// connection (framing is lost once a header is bad — same contract as
+    /// the blocking reader).
+    pub fn next_frame(
+        &mut self,
+        max_frame_bytes: usize,
+    ) -> Result<Option<(WireMsg, usize, CodecKind)>, ProtocolError> {
+        let avail = &self.buf[self.pos..];
+        // Validate the magic as soon as it is complete: garbage is refused
+        // after 4 bytes, not held until a phantom "length" dribbles in.
+        if avail.len() >= 4
+            && CodecKind::from_magic([avail[0], avail[1], avail[2], avail[3]]).is_none()
+        {
+            return Err(ProtocolError::MalformedFrame {
+                detail: format!("bad magic {:02x?}, expected DBH1 or DBH2", &avail[..4]),
+            });
+        }
+        if avail.len() < HEADER_BYTES {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[4], avail[5], avail[6], avail[7]]) as usize;
+        if len > max_frame_bytes {
+            return Err(ProtocolError::FrameTooLarge {
+                len,
+                max: max_frame_bytes,
+            });
+        }
+        let total = HEADER_BYTES + len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = read_frame_limited(&mut &avail[..total], max_frame_bytes)?;
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dubhe_select::protocol::write_frame_with;
+
+    fn encode(msg: &WireMsg, codec: CodecKind) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame_with(&mut out, msg, codec).unwrap();
+        out
+    }
+
+    #[test]
+    fn reassembles_byte_at_a_time_and_pipelined_frames() {
+        let a = encode(&WireMsg::Ack, CodecKind::Json);
+        let b = encode(&WireMsg::CloseRegistration, CodecKind::Binary);
+        let mut fb = FrameBuffer::new();
+        // Slow-loris: one byte per feed, frame completes only on the last.
+        for &byte in &a {
+            assert!(fb.next_frame(1024).is_ok());
+            fb.extend(&[byte]);
+        }
+        let (msg, bytes, codec) = fb.next_frame(1024).unwrap().unwrap();
+        assert!(matches!(msg, WireMsg::Ack));
+        assert_eq!(bytes, a.len());
+        assert_eq!(codec, CodecKind::Json);
+        assert!(!fb.is_mid_frame());
+        // Two pipelined frames in one burst, mixed codecs.
+        let mut burst = b.clone();
+        burst.extend_from_slice(&a);
+        fb.extend(&burst);
+        let (msg, _, codec) = fb.next_frame(1024).unwrap().unwrap();
+        assert!(matches!(msg, WireMsg::CloseRegistration));
+        assert_eq!(codec, CodecKind::Binary);
+        assert!(fb.is_mid_frame());
+        let (msg, _, _) = fb.next_frame(1024).unwrap().unwrap();
+        assert!(matches!(msg, WireMsg::Ack));
+        assert_eq!(fb.next_frame(1024).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_magic_and_oversized_length_fail_fast() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"HTTP");
+        assert!(matches!(
+            fb.next_frame(1024),
+            Err(ProtocolError::MalformedFrame { .. })
+        ));
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"DBH1");
+        fb.extend(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            fb.next_frame(1024),
+            Err(ProtocolError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn header_split_across_feeds_waits_for_completion() {
+        let frame = encode(&WireMsg::Ack, CodecKind::Binary);
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame[..3]); // partial magic
+        assert_eq!(fb.next_frame(1024).unwrap(), None);
+        assert!(fb.is_mid_frame());
+        fb.extend(&frame[3..6]); // magic complete, length partial
+        assert_eq!(fb.next_frame(1024).unwrap(), None);
+        fb.extend(&frame[6..]);
+        assert!(fb.next_frame(1024).unwrap().is_some());
+    }
+}

@@ -1,0 +1,37 @@
+//! # dubhe-net — the event-driven coordinator network layer
+//!
+//! The thread-per-connection [`CoordinatorListener`] in `dubhe-select` is
+//! honest and simple, but a selection epoch at production scale means
+//! 10⁴–10⁵ *mostly idle* persistent client connections — far beyond what a
+//! thread per socket can carry. This crate adds the second deployment shape
+//! the roadmap calls for: one event-loop thread multiplexing every
+//! connection through a readiness poller ([`mini_mio`], the vendored
+//! epoll/poll(2) stand-in), with protocol work routed to the coordinator on
+//! a separate router thread.
+//!
+//! * [`ReactorListener`] — the server: non-blocking accept, per-connection
+//!   incremental DBH1/DBH2 frame reassembly, bounded write queues with
+//!   `WouldBlock`-driven flow control and a typed
+//!   [`Backpressure`](dubhe_select::ProtocolError::Backpressure) disconnect
+//!   past the high-water mark, and a [`ListenerStats`] snapshot shared with
+//!   the threaded listener so benches compare like-for-like.
+//! * [`MuxClient`] — the load-generation side: many persistent client
+//!   connections multiplexed through the same poller from a single thread,
+//!   used by `dubhe-bench`'s `load_gen` to drive 10⁴+ concurrent clients.
+//!
+//! Wire format, codec negotiation, message types and coordinator semantics
+//! all come from `dubhe-select`; this crate only changes *how sockets are
+//! waited on*, which is why the ledgers it produces are bit-identical to the
+//! threaded listener and the in-memory transport (the running folds are
+//! commutative, so arrival order cannot matter).
+//!
+//! [`CoordinatorListener`]: dubhe_select::protocol::tcp::CoordinatorListener
+//! [`ListenerStats`]: dubhe_select::protocol::stats::ListenerStats
+
+pub mod frames;
+pub mod mux;
+pub mod reactor;
+
+pub use frames::FrameBuffer;
+pub use mux::{MuxClient, MuxConfig};
+pub use reactor::{ReactorConfig, ReactorListener};

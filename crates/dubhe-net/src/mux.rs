@@ -1,0 +1,343 @@
+//! The load-generation side: many persistent client connections multiplexed
+//! through one poller from a single thread.
+//!
+//! A thread-per-client load generator tops out three orders of magnitude
+//! below the listener it is supposed to stress. [`MuxClient`] holds 10⁴+
+//! nonblocking connections in one flat table, queues request frames onto
+//! any subset of them, and drives a poll loop until every expected reply
+//! has arrived — recording one end-to-end latency sample (request queued →
+//! reply decoded) per exchange into a
+//! [`dubhe_select::protocol::stats::LatencyHistogram`].
+//!
+//! The protocol invariant that makes the phase API this simple: every
+//! request frame earns exactly one reply frame, and replies on one
+//! connection come back in request order (the listener's router is FIFO).
+//! So a phase is "send N frames, collect N frames", with per-connection
+//! FIFO matching — no request ids on the wire.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use dubhe_select::protocol::codec::CodecKind;
+use dubhe_select::protocol::stats::{LatencyHistogram, LatencySummary};
+use dubhe_select::protocol::wire::{write_frame_limited, WireMsg, MAX_FRAME_BYTES};
+use dubhe_select::ProtocolError;
+use mini_mio::{Backend, Events, Interest, Poll, Registry, Token};
+
+use crate::frames::FrameBuffer;
+
+fn io_error(context: &'static str, e: std::io::Error) -> ProtocolError {
+    ProtocolError::Io {
+        context,
+        detail: e.to_string(),
+    }
+}
+
+/// Knobs for the client-side multiplexer, builder-style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxConfig {
+    /// Payload codec requests are framed in.
+    pub codec: CodecKind,
+    /// Largest frame payload accepted or produced (the registration-total
+    /// broadcast batch grows with the client count — size accordingly).
+    pub max_frame_bytes: usize,
+    /// Overall deadline for one [`MuxClient::collect`] phase; a silent or
+    /// wedged server surfaces as a typed error, never a hang.
+    pub exchange_timeout: Duration,
+    /// Readiness backend; `None` picks the platform default.
+    pub backend: Option<Backend>,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig {
+            codec: CodecKind::Json,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            exchange_timeout: Duration::from_secs(120),
+            backend: None,
+        }
+    }
+}
+
+impl MuxConfig {
+    /// Replaces the request payload codec.
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Replaces the frame-payload ceiling.
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: usize) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+
+    /// Replaces the per-phase deadline.
+    pub fn with_exchange_timeout(mut self, exchange_timeout: Duration) -> Self {
+        self.exchange_timeout = exchange_timeout;
+        self
+    }
+
+    /// Pins a specific readiness backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+}
+
+struct MuxConn {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Queue instants of requests still awaiting their reply, FIFO.
+    pending: VecDeque<Instant>,
+    wants_write: bool,
+}
+
+/// Many persistent client connections to one coordinator listener, driven
+/// from a single thread. Connection `i` plays synthetic client `i`.
+pub struct MuxClient {
+    poll: Poll,
+    registry: Registry,
+    events: Events,
+    conns: Vec<MuxConn>,
+    config: MuxConfig,
+    latency: LatencyHistogram,
+}
+
+impl MuxClient {
+    /// Opens `n` persistent connections to `addr`.
+    pub fn connect(addr: SocketAddr, n: usize, config: MuxConfig) -> Result<Self, ProtocolError> {
+        MuxClient::connect_spread(&[addr], n, config)
+    }
+
+    /// Opens `n` persistent connections round-robin across `addrs` — pair
+    /// with [`ReactorConfig::listen_addrs`](crate::ReactorConfig) to spread
+    /// very large client counts over several loopback source-port spaces.
+    pub fn connect_spread(
+        addrs: &[SocketAddr],
+        n: usize,
+        config: MuxConfig,
+    ) -> Result<Self, ProtocolError> {
+        assert!(!addrs.is_empty(), "need at least one listener address");
+        let poll = match config.backend {
+            Some(backend) => Poll::with_backend(backend),
+            None => Poll::new(),
+        }
+        .map_err(|e| io_error("create poller", e))?;
+        let registry = poll.registry();
+        let mut conns = Vec::with_capacity(n);
+        for i in 0..n {
+            // On a single core a tight connect loop starves the listener
+            // process of CPU until the accept backlog (128) overflows and
+            // every further SYN waits out a 1 s retransmit. Descheduling for
+            // a moment every half-backlog of connects lets the acceptor
+            // drain; the pause is dwarfed by the retransmits it prevents.
+            let stream =
+                TcpStream::connect(addrs[i % addrs.len()]).map_err(|e| io_error("connect", e))?;
+            if i % 64 == 63 {
+                std::thread::sleep(Duration::from_millis(2));
+            } else {
+                std::thread::yield_now();
+            }
+            stream
+                .set_nonblocking(true)
+                .map_err(|e| io_error("configure socket", e))?;
+            let _ = stream.set_nodelay(true);
+            registry
+                .register(&stream, Token(i), Interest::READABLE)
+                .map_err(|e| io_error("register socket", e))?;
+            conns.push(MuxConn {
+                stream,
+                frames: FrameBuffer::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                pending: VecDeque::new(),
+                wants_write: false,
+            });
+        }
+        Ok(MuxClient {
+            poll,
+            registry,
+            events: Events::with_capacity(1024),
+            conns,
+            config,
+            latency: LatencyHistogram::new(),
+        })
+    }
+
+    /// Number of connections held.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True if no connections are held.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// Every latency sample recorded so far (request queued → reply
+    /// decoded), across all connections and phases.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// [`latency`](Self::latency) collapsed for reporting.
+    pub fn latency_summary(&self) -> LatencySummary {
+        self.latency.summary()
+    }
+
+    /// Queues one request frame on connection `conn`. Bytes move on the
+    /// next [`collect`](Self::collect) (or [`exchange`](Self::exchange)).
+    pub fn send(&mut self, conn: usize, msg: &WireMsg) -> Result<(), ProtocolError> {
+        let c = &mut self.conns[conn];
+        write_frame_limited(
+            &mut c.out,
+            msg,
+            self.config.codec,
+            self.config.max_frame_bytes,
+        )?;
+        c.pending.push_back(Instant::now());
+        Ok(())
+    }
+
+    /// Sends every queued frame and collects exactly `expected` reply
+    /// frames, in arrival order. The phase primitive.
+    pub fn collect(&mut self, expected: usize) -> Result<Vec<(usize, WireMsg)>, ProtocolError> {
+        let deadline = Instant::now() + self.config.exchange_timeout;
+        let mut replies = Vec::with_capacity(expected);
+        // Opening flush: most frames fit the kernel send buffer outright,
+        // so many phases never need WRITABLE interest at all.
+        for token in 0..self.conns.len() {
+            self.flush(token)?;
+        }
+        while replies.len() < expected {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ProtocolError::Io {
+                    context: "collect replies",
+                    detail: format!(
+                        "timed out after {:?} with {} of {expected} replies",
+                        self.config.exchange_timeout,
+                        replies.len()
+                    ),
+                });
+            }
+            let timeout = (deadline - now).min(Duration::from_millis(500));
+            self.poll
+                .poll(&mut self.events, Some(timeout))
+                .map_err(|e| io_error("poll", e))?;
+            let batch: Vec<mini_mio::Event> = self.events.iter().copied().collect();
+            for event in batch {
+                let token = event.token().0;
+                if event.is_writable() {
+                    self.flush(token)?;
+                }
+                if event.is_readable() || event.is_hup() || event.is_error() {
+                    self.read_replies(token, &mut replies)?;
+                }
+            }
+        }
+        Ok(replies)
+    }
+
+    /// One whole phase: queue every `(connection, request)`, move the bytes,
+    /// return one reply per request in arrival order.
+    pub fn exchange(
+        &mut self,
+        requests: &[(usize, WireMsg)],
+    ) -> Result<Vec<(usize, WireMsg)>, ProtocolError> {
+        for (conn, msg) in requests {
+            self.send(*conn, msg)?;
+        }
+        self.collect(requests.len())
+    }
+
+    /// Tells every connection's listener side to hang up, best-effort.
+    pub fn shutdown(mut self) {
+        for token in 0..self.conns.len() {
+            let c = &mut self.conns[token];
+            let _ = write_frame_limited(
+                &mut c.out,
+                &WireMsg::Shutdown,
+                self.config.codec,
+                self.config.max_frame_bytes,
+            );
+            // No reply follows a shutdown frame.
+            let _ = self.flush(token);
+        }
+    }
+
+    fn flush(&mut self, token: usize) -> Result<(), ProtocolError> {
+        let c = &mut self.conns[token];
+        loop {
+            let pending = &c.out[c.out_pos..];
+            if pending.is_empty() {
+                break;
+            }
+            match c.stream.write(pending) {
+                Ok(0) => break,
+                Ok(n) => c.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_error("write frame", e)),
+            }
+        }
+        if c.out_pos == c.out.len() {
+            c.out.clear();
+            c.out_pos = 0;
+        }
+        let want_write = !c.out.is_empty();
+        if c.wants_write != want_write {
+            let interest = if want_write {
+                Interest::BOTH
+            } else {
+                Interest::READABLE
+            };
+            self.registry
+                .reregister(&c.stream, Token(token), interest)
+                .map_err(|e| io_error("register socket", e))?;
+            c.wants_write = want_write;
+        }
+        Ok(())
+    }
+
+    fn read_replies(
+        &mut self,
+        token: usize,
+        replies: &mut Vec<(usize, WireMsg)>,
+    ) -> Result<(), ProtocolError> {
+        let c = &mut self.conns[token];
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match c.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // The listener hung up. Mid-frame or with replies still
+                    // owed, that is an error the caller must see (e.g. a
+                    // backpressure disconnect); otherwise it is clean.
+                    if c.frames.is_mid_frame() {
+                        return Err(ProtocolError::TruncatedFrame { context: "payload" });
+                    }
+                    if !c.pending.is_empty() {
+                        return Err(ProtocolError::Disconnected);
+                    }
+                    break;
+                }
+                Ok(n) => c.frames.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_error("read frame", e)),
+            }
+        }
+        while let Some((msg, _, _)) = c.frames.next_frame(self.config.max_frame_bytes)? {
+            if let Some(queued_at) = c.pending.pop_front() {
+                self.latency.record(queued_at.elapsed());
+            }
+            replies.push((token, msg));
+        }
+        Ok(())
+    }
+}

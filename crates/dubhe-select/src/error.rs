@@ -173,6 +173,15 @@ pub enum ProtocolError {
     /// The peer closed the connection cleanly between frames while more
     /// exchange was expected (a mid-exchange disconnect).
     Disconnected,
+    /// A connection's bounded write queue crossed its high-water mark: the
+    /// peer stopped reading while replies kept accumulating. The listener
+    /// disconnects rather than buffer without bound or block the event loop.
+    Backpressure {
+        /// Bytes queued for the connection when it was cut.
+        queued: usize,
+        /// The configured high-water mark.
+        high_water: usize,
+    },
     /// The remote coordinator rejected a message; its own [`ProtocolError`]
     /// is relayed as text across the wire.
     Remote {
@@ -255,6 +264,13 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::Disconnected => {
                 write!(f, "peer disconnected mid-exchange")
+            }
+            ProtocolError::Backpressure { queued, high_water } => {
+                write!(
+                    f,
+                    "write queue reached {queued} bytes (high-water mark {high_water}); \
+                     disconnecting stalled reader"
+                )
             }
             ProtocolError::Remote { detail } => {
                 write!(f, "remote coordinator rejected the message: {detail}")

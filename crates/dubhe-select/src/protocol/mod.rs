@@ -74,6 +74,7 @@ pub mod fault;
 pub mod message;
 pub mod roles;
 pub mod shard;
+pub mod stats;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
@@ -86,6 +87,7 @@ pub use fault::{Fault, FaultPlan, FaultStats, FaultyTransport};
 pub use message::{Envelope, MsgKind, Party, ProtocolMsg};
 pub use roles::{AgentNode, CohortOutcome, Coordinator, CoordinatorServer, SelectClientNode};
 pub use shard::{shard_ranges, ShardedCoordinator};
+pub use stats::{LatencyHistogram, LatencySummary, ListenerMetrics, ListenerStats};
 pub use tcp::{
     CoordinatorListener, ListenerConfig, TcpConfig, TcpTransport, WireStats, DEFAULT_READ_TIMEOUT,
 };

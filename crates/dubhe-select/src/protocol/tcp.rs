@@ -24,18 +24,26 @@
 //! Robustness contract (pinned by tests): a malformed, truncated or
 //! oversized frame, a mid-exchange disconnect, or a silent peer all surface
 //! as [`ProtocolError`] — never a panic, never an unbounded hang. Client
-//! reads are bounded by a read timeout; the listener waits patiently for
-//! the *first* byte of a frame (an idle client between rounds is healthy),
-//! polling its stop flag so shutdown stays prompt, and applies the timeout
-//! once a frame has started.
+//! reads are bounded by a read timeout; the listener *parks* each idle
+//! connection on a plain blocking read (an idle client between rounds is
+//! healthy, and a parked thread costs zero CPU), wakes the parked reads by
+//! shutting the sockets down when the listener stops, and applies the
+//! timeout once a frame has started.
+//!
+//! Every connection records into a shared [`ListenerMetrics`] — frames and
+//! bytes per direction, decode failures, request latency — surfaced through
+//! [`CoordinatorListener::stats`] in the same [`ListenerStats`] shape as
+//! `dubhe-net`'s reactor listener, so the two architectures are directly
+//! comparable in `results/BENCH_net.json`.
 
+use std::collections::HashMap;
 use std::io::{BufReader, ErrorKind};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +51,7 @@ use super::codec::CodecKind;
 use super::message::Envelope;
 use super::roles::Coordinator;
 use super::shard::ShardedCoordinator;
+use super::stats::{ListenerMetrics, ListenerStats};
 use super::transport::TransportStats;
 use super::wire::{read_frame_limited, write_frame_limited, WireMsg, MAX_FRAME_BYTES};
 use crate::error::ProtocolError;
@@ -100,15 +109,16 @@ impl TcpConfig {
 
 /// Socket knobs for the listener, builder-style.
 ///
-/// Defaults: [`DEFAULT_READ_TIMEOUT`] (30 s) once a frame has started,
-/// 200 ms between stop-flag checks while waiting for a frame's first
-/// byte, and the global [`MAX_FRAME_BYTES`] (64 MiB) ceiling on accepted
-/// payloads.
+/// Defaults: [`DEFAULT_READ_TIMEOUT`] (30 s) once a frame has started and
+/// the global [`MAX_FRAME_BYTES`] (64 MiB) ceiling on accepted payloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ListenerConfig {
     /// Mid-frame read timeout (a peer that stalls inside a frame is cut).
     pub read_timeout: Duration,
-    /// How often an idle connection wakes to check the stop flag.
+    /// Retained for API compatibility: idle connections used to wake every
+    /// `idle_poll` to check the stop flag. They now park on a blocking read
+    /// (zero CPU while idle) and are woken by socket shutdown, so this knob
+    /// no longer affects serving.
     pub idle_poll: Duration,
     /// Largest frame payload a connection will accept.
     pub max_frame_bytes: usize,
@@ -380,6 +390,11 @@ pub struct CoordinatorListener {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     router_thread: Option<JoinHandle<ShardedCoordinator>>,
+    metrics: Arc<ListenerMetrics>,
+    /// Clones of every live connection's stream, keyed by connection id.
+    /// Idle connections park on a blocking read; shutting these sockets
+    /// down is what wakes them when the listener stops.
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
 }
 
 impl CoordinatorListener {
@@ -397,6 +412,8 @@ impl CoordinatorListener {
         let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| io_error("bind", e))?;
         let addr = listener.local_addr().map_err(|e| io_error("bind", e))?;
         let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ListenerMetrics::new());
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
 
         // The accept thread owns the only long-lived Sender; when it exits
         // (joining every connection thread first) the channel hangs up and
@@ -405,8 +422,16 @@ impl CoordinatorListener {
         let router_thread = std::thread::spawn(move || route(coordinator, router_rx));
 
         let accept_stop = Arc::clone(&stop);
+        let accept_metrics = Arc::clone(&metrics);
+        let accept_conns = Arc::clone(&conns);
         let accept_thread = std::thread::spawn(move || {
             let mut connections: Vec<JoinHandle<()>> = Vec::new();
+            // Finished-thread reaping is amortized: sweeping on every accept
+            // is O(live + dead) per connection — quadratic over a churny
+            // session — so sweep only when the list doubles past the last
+            // high-water mark, making the total reaping work O(n log n).
+            let mut reap_watermark: usize = 64;
+            let mut next_id: u64 = 0;
             for stream in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
@@ -420,14 +445,38 @@ impl CoordinatorListener {
                         continue;
                     }
                 };
-                // Reap finished connection threads as new ones arrive so a
-                // long-lived listener's handle list cannot grow without
-                // bound under connection churn.
-                connections.retain(|c| !c.is_finished());
+                // Register a clone so shutdown can wake the parked read. A
+                // connection we cannot register would be unwakeable — refuse
+                // it rather than risk a hung shutdown.
+                let clone = match stream.try_clone() {
+                    Ok(clone) => clone,
+                    Err(e) => {
+                        eprintln!("coordinator listener: clone failed, refusing connection: {e}");
+                        continue;
+                    }
+                };
+                let conn_id = next_id;
+                next_id += 1;
+                accept_conns
+                    .lock()
+                    .expect("connection registry poisoned")
+                    .insert(conn_id, clone);
+                if connections.len() >= reap_watermark {
+                    connections.retain(|c| !c.is_finished());
+                    reap_watermark = (connections.len() * 2).max(64);
+                }
+                accept_metrics.connection_opened();
                 let router = router_tx.clone();
                 let conn_stop = Arc::clone(&accept_stop);
+                let conn_metrics = Arc::clone(&accept_metrics);
+                let conn_registry = Arc::clone(&accept_conns);
                 connections.push(std::thread::spawn(move || {
-                    serve_connection(stream, router, conn_stop, config)
+                    serve_connection(stream, router, conn_stop, config, &conn_metrics);
+                    conn_registry
+                        .lock()
+                        .expect("connection registry poisoned")
+                        .remove(&conn_id);
+                    conn_metrics.connection_closed();
                 }));
             }
             for c in connections {
@@ -440,12 +489,22 @@ impl CoordinatorListener {
             stop,
             accept_thread: Some(accept_thread),
             router_thread: Some(router_thread),
+            metrics,
+            conns,
         })
     }
 
     /// The loopback address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// A point-in-time snapshot of everything the listener observed:
+    /// connection lifecycle, per-direction frame/byte traffic, decode
+    /// failures and the request-latency distribution. Same shape as the
+    /// reactor listener's stats, for like-for-like benching.
+    pub fn stats(&self) -> ListenerStats {
+        self.metrics.snapshot()
     }
 
     /// Stops accepting, drains the threads and returns the final coordinator
@@ -458,6 +517,17 @@ impl CoordinatorListener {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
+        // Wake every parked connection read: shutting the socket down makes
+        // the blocking read return 0 and the thread exit. (New connections
+        // cannot race in: the accept loop has already seen the stop flag.)
+        for stream in self
+            .conns
+            .lock()
+            .expect("connection registry poisoned")
+            .values()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -517,7 +587,9 @@ fn route(
     coordinator
 }
 
-/// How often an idle connection wakes to check the listener's stop flag.
+/// The historical idle-poll period; kept for [`ListenerConfig`] API
+/// compatibility (idle connections now park on a blocking read instead of
+/// waking at this interval).
 const IDLE_POLL: Duration = Duration::from_millis(200);
 
 /// One connection's I/O loop: decode a frame, forward it to the router,
@@ -531,16 +603,17 @@ const IDLE_POLL: Duration = Duration::from_millis(200);
 /// it is not authentication; see `docs/THREAT_MODEL.md`.)
 ///
 /// Idleness *between* frames is healthy — a client may train for minutes
-/// between protocol rounds — so the wait for a frame's first byte only ends
-/// on a hangup or the listener's stop flag (polled every
-/// [`ListenerConfig::idle_poll`]). Once a frame has started,
-/// [`ListenerConfig::read_timeout`] bounds the rest of it so a peer that
-/// stalls mid-frame cannot pin the thread.
+/// between protocol rounds — so the wait for a frame's first byte is a plain
+/// blocking read with no timeout: zero CPU parked, woken either by the peer's
+/// next byte or by the listener shutting this socket down at stop. Once a
+/// frame has started, [`ListenerConfig::read_timeout`] bounds the rest of it
+/// so a peer that stalls mid-frame cannot pin the thread.
 fn serve_connection(
     stream: TcpStream,
     router: mpsc::Sender<RouterRequest>,
     stop: Arc<AtomicBool>,
     config: ListenerConfig,
+    metrics: &ListenerMetrics,
 ) {
     use std::io::Read as _;
     let _ = stream.set_nodelay(true);
@@ -549,23 +622,19 @@ fn serve_connection(
     // whose magic we could not even parse gets the lowest common format).
     let mut codec = CodecKind::Json;
     loop {
-        // Patient, stoppable wait for the first byte of the next frame.
-        let _ = reader.get_ref().set_read_timeout(Some(config.idle_poll));
+        // A connection spawned while the listener was stopping may have
+        // missed the shutdown sweep of the socket registry; this check
+        // pairs with it so neither ordering can park a thread forever.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Park until the next frame's first byte (or hangup / stop wakeup).
+        let _ = reader.get_ref().set_read_timeout(None);
         let mut first = [0u8; 1];
         let got = loop {
-            if stop.load(Ordering::SeqCst) {
-                return;
-            }
             match reader.read(&mut first) {
                 Ok(n) => break n,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
-                    ) =>
-                {
-                    continue
-                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(_) => return,
             }
         };
@@ -574,18 +643,28 @@ fn serve_connection(
         }
         // Frame in flight: the full read timeout applies from here on.
         let _ = reader.get_ref().set_read_timeout(Some(config.read_timeout));
-        let msg = match read_frame_limited(
+        let (msg, frame_bytes) = match read_frame_limited(
             &mut (&first[..]).chain(&mut reader),
             config.max_frame_bytes,
         ) {
-            Ok((WireMsg::Shutdown, _, _)) | Err(ProtocolError::Disconnected) => return,
-            Ok((msg, _, frame_codec)) => {
+            Ok((WireMsg::Shutdown, bytes, _)) => {
+                metrics.frame_received(bytes);
+                return;
+            }
+            Err(ProtocolError::Disconnected) => return,
+            Ok((msg, bytes, frame_codec)) => {
                 codec = frame_codec;
-                msg
+                (msg, bytes)
             }
             Err(e) => {
                 // A malformed/truncated frame poisons the stream (framing is
                 // lost); report and hang up rather than guessing at bytes.
+                match e {
+                    ProtocolError::TruncatedFrame { .. } | ProtocolError::Io { .. } => {
+                        metrics.truncated_frame()
+                    }
+                    _ => metrics.decode_error(),
+                }
                 let _ = write_frame_limited(
                     reader.get_mut(),
                     &WireMsg::Error {
@@ -597,6 +676,8 @@ fn serve_connection(
                 return;
             }
         };
+        metrics.frame_received(frame_bytes);
+        let started = Instant::now();
         let (reply_tx, reply_rx) = mpsc::channel();
         if router
             .send(RouterRequest {
@@ -610,9 +691,15 @@ fn serve_connection(
         let Ok(response) = reply_rx.recv() else {
             return;
         };
-        if write_frame_limited(reader.get_mut(), &response, codec, config.max_frame_bytes).is_err()
-        {
-            return;
+        match write_frame_limited(reader.get_mut(), &response, codec, config.max_frame_bytes) {
+            Ok(written) => {
+                metrics.frame_sent(written);
+                // A thread-per-connection reply is written synchronously, so
+                // the "queue" is exactly the one in-flight reply frame.
+                metrics.write_queue_depth(written);
+                metrics.record_latency(started.elapsed());
+            }
+            Err(_) => return,
         }
     }
 }
@@ -646,6 +733,13 @@ mod tests {
         assert_eq!(client.wire_stats().frames_received, 1);
         assert!(client.wire_stats().total_bytes() > 0);
         assert_eq!(client.stats().verdicts.messages, 1);
+        let stats = listener.stats();
+        assert_eq!(stats.connections_accepted, 1);
+        assert_eq!(stats.frames_received, 1);
+        assert_eq!(stats.frames_sent, 1);
+        assert!(stats.bytes_received > 0 && stats.bytes_sent > 0);
+        assert_eq!(stats.latency.count, 1);
+        assert!(stats.peak_write_queue > 0);
         client.shutdown().unwrap();
         let coordinator = listener.shutdown().expect("state returned");
         assert_eq!(coordinator.messages_received(), 1);

@@ -14,10 +14,12 @@ use std::time::Duration;
 use dubhe_data::federated::{DatasetFamily, FederatedSpec};
 use dubhe_data::ClassDistribution;
 use dubhe_he::{EncryptedVector, Keypair};
+use dubhe_net::ReactorListener;
 use dubhe_select::protocol::{
-    pump, run_registration_with, Coordinator, CoordinatorListener, CoordinatorServer, Envelope,
-    FaultPlan, FaultyTransport, InMemoryTransport, ListenerConfig, Party, ProtocolMsg,
-    ShardedCoordinator, TcpConfig, TcpTransport, Transport,
+    pump, read_frame_negotiated, run_registration_with, write_frame_with, CodecKind, Coordinator,
+    CoordinatorListener, CoordinatorServer, Envelope, FaultPlan, FaultyTransport,
+    InMemoryTransport, ListenerConfig, Party, ProtocolMsg, ShardedCoordinator, TcpConfig,
+    TcpTransport, Transport, WireMsg,
 };
 use dubhe_select::{DubheConfig, ProtocolError, SelectError};
 use rand::SeedableRng;
@@ -441,4 +443,173 @@ fn fault_injected_delays_reorder_but_never_lose_frames() {
     let outcome = *run.server.cohort_outcomes().last().expect("recorded");
     assert!(!outcome.partial, "a delayed frame is late, not lost");
     assert_eq!(outcome.contributed, 6);
+}
+
+// ---------------------------------------------------------------------------
+// The same gauntlet aimed at the event-loop listener (`dubhe-net`). The
+// reactor reassembles every connection's frames incrementally in one thread,
+// so partial-frame abuse that a thread-per-connection design absorbs with a
+// blocking read must here survive interleaving across connections.
+// ---------------------------------------------------------------------------
+
+fn verdict_envelope(best_try: usize) -> WireMsg {
+    WireMsg::Envelope {
+        envelope: Envelope {
+            from: Party::Agent,
+            to: Party::Server,
+            epoch: 0,
+            msg: ProtocolMsg::TryVerdict {
+                best_try,
+                distance: 0.5,
+            },
+        },
+    }
+}
+
+#[test]
+fn reactor_reassembles_interleaved_partial_frames_per_connection() {
+    // Eight connections trickle their frames in 3-byte slices, round-robin,
+    // in alternating codecs: every read the reactor makes lands mid-header
+    // or mid-payload of a *different* connection than the last. Each frame
+    // must still decode on its own connection, in its own codec.
+    let reactor = ReactorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();
+    let n = 8;
+    let codecs: Vec<CodecKind> = (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                CodecKind::Binary
+            } else {
+                CodecKind::Json
+            }
+        })
+        .collect();
+    let mut streams: Vec<TcpStream> = (0..n)
+        .map(|_| {
+            let s = TcpStream::connect(reactor.addr()).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        })
+        .collect();
+    let frames: Vec<Vec<u8>> = (0..n)
+        .map(|i| {
+            let mut frame = Vec::new();
+            write_frame_with(&mut frame, &verdict_envelope(i), codecs[i]).unwrap();
+            frame
+        })
+        .collect();
+
+    let mut offsets = vec![0usize; n];
+    for round in 0.. {
+        let mut progressed = false;
+        for lane in 0..n {
+            // Rotate the send order every round so the arrival interleaving
+            // varies too, not just the slicing.
+            let i = (lane + round) % n;
+            if offsets[i] < frames[i].len() {
+                let end = (offsets[i] + 3).min(frames[i].len());
+                streams[i].write_all(&frames[i][offsets[i]..end]).unwrap();
+                offsets[i] = end;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    for (i, stream) in streams.iter_mut().enumerate() {
+        let (reply, _, codec) = read_frame_negotiated(stream).unwrap();
+        assert!(
+            matches!(&reply, WireMsg::Batch { envelopes } if envelopes.is_empty()),
+            "connection {i}: expected an empty batch, got {reply:?}"
+        );
+        assert_eq!(codec, codecs[i], "replies follow each connection's codec");
+    }
+    let stats = reactor.stats();
+    assert_eq!(stats.decode_errors, 0);
+    assert_eq!(stats.truncated_frames, 0);
+    assert_eq!(stats.frames_received, n);
+    assert_eq!(stats.peak_connections, n);
+    let state = reactor.shutdown().expect("coordinator state");
+    assert_eq!(state.messages_received(), n);
+}
+
+#[test]
+fn reactor_decodes_headers_split_at_every_boundary() {
+    // The frame header is 8 bytes (4 magic + 4 length). Deliver it split at
+    // every possible byte boundary, with a pause at the split so the reactor
+    // definitely observes the partial header, then the payload in two
+    // halves. No split position may confuse the reassembler.
+    let reactor = ReactorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();
+    let mut frame = Vec::new();
+    write_frame_with(&mut frame, &verdict_envelope(3), CodecKind::Binary).unwrap();
+    for split in 1..8 {
+        let mut stream = TcpStream::connect(reactor.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&frame[..split]).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let mid = (frame.len() + split) / 2;
+        stream.write_all(&frame[split..mid]).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        stream.write_all(&frame[mid..]).unwrap();
+        let (reply, _, _) = read_frame_negotiated(&mut stream).unwrap();
+        assert!(
+            matches!(&reply, WireMsg::Batch { envelopes } if envelopes.is_empty()),
+            "split at {split}: got {reply:?}"
+        );
+    }
+    let stats = reactor.stats();
+    assert_eq!(stats.decode_errors, 0);
+    assert_eq!(stats.truncated_frames, 0);
+    assert_eq!(stats.frames_received, 7);
+    drop(reactor);
+}
+
+#[test]
+fn reactor_survives_the_garbage_gauntlet_and_still_serves_tcp_transport() {
+    // The mirror of `garbage_bytes_do_not_kill_the_listener`, aimed at the
+    // reactor — and the healthy session afterwards runs over the stock
+    // `TcpTransport`, pinning that the threaded connector and the event-loop
+    // listener interoperate frame-for-frame.
+    let reactor = ReactorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();
+    let addr = reactor.addr();
+
+    for garbage in [&b"GET / HTTP/1.1\r\n\r\n"[..], &[0xFFu8; 64][..]] {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(garbage).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Best-effort error reply then hangup; either way the read ends.
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    }
+
+    // A truncated frame — valid magic, promised length never delivered.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut partial = Vec::new();
+    partial.extend_from_slice(b"DBH1");
+    partial.extend_from_slice(&100u32.to_be_bytes());
+    partial.extend_from_slice(b"short");
+    stream.write_all(&partial).unwrap();
+    drop(stream);
+
+    let mut client = TcpTransport::connect_with_timeout(addr, Duration::from_secs(5)).unwrap();
+    let out = client
+        .deliver(Envelope {
+            from: Party::Agent,
+            to: Party::Server,
+            epoch: 0,
+            msg: ProtocolMsg::TryVerdict {
+                best_try: 1,
+                distance: 0.5,
+            },
+        })
+        .unwrap();
+    assert!(out.is_empty());
+    client.shutdown().unwrap();
+    let coordinator = reactor.shutdown().expect("listener state");
+    assert_eq!(coordinator.last_verdict(), Some((1, 0.5)));
 }

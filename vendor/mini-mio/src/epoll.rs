@@ -1,0 +1,172 @@
+//! The Linux `epoll` backend.
+//!
+//! The container builds offline, so instead of depending on the `libc`
+//! crate this file declares the four syscall wrappers it needs directly —
+//! they resolve against the system libc that every `std` Linux binary links
+//! anyway. Level-triggered (no `EPOLLET`), matching the crate contract.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::raw::c_int;
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::{Event, Events, Interest};
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// Mirrors the kernel's `struct epoll_event`. Packed on x86/x86_64, where
+/// the kernel ABI declares it `__attribute__((packed))`.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+fn interest_mask(interest: Interest) -> u32 {
+    let mut mask = EPOLLRDHUP;
+    if interest.is_readable() {
+        mask |= EPOLLIN;
+    }
+    if interest.is_writable() {
+        mask |= EPOLLOUT;
+    }
+    mask
+}
+
+/// Owns the epoll fd; shared between the poller and every registry clone so
+/// the fd outlives whichever side drops last.
+struct EpollFd {
+    epfd: RawFd,
+}
+
+impl Drop for EpollFd {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = close(self.epfd);
+        }
+    }
+}
+
+pub(crate) struct EpollPoll {
+    shared: Arc<EpollFd>,
+}
+
+impl EpollPoll {
+    pub(crate) fn new() -> io::Result<EpollPoll> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(EpollPoll {
+            shared: Arc::new(EpollFd { epfd }),
+        })
+    }
+
+    pub(crate) fn registry(&self) -> EpollRegistry {
+        EpollRegistry {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    pub(crate) fn poll(
+        &mut self,
+        events: &mut Events,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        let timeout_ms: c_int = match timeout {
+            // Round up so a 100µs timeout waits 1ms instead of busy-spinning.
+            Some(t) => t
+                .as_millis()
+                .min(c_int::MAX as u128)
+                .max(u128::from(!t.is_zero())) as c_int,
+            None => -1,
+        };
+        let capacity = events.capacity;
+        let mut raw: Vec<EpollEvent> = vec![EpollEvent { events: 0, data: 0 }; capacity];
+        let n = loop {
+            match cvt(unsafe {
+                epoll_wait(
+                    self.shared.epfd,
+                    raw.as_mut_ptr(),
+                    capacity as c_int,
+                    timeout_ms,
+                )
+            }) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    // Retry with a zero timeout so an interrupted blocking
+                    // wait cannot overshoot its deadline unboundedly.
+                    if timeout.is_some() {
+                        break 0;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        for raw_event in raw.iter().take(n) {
+            let mask = raw_event.events;
+            events.push(Event {
+                token: raw_event.data as usize,
+                readable: mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                writable: mask & EPOLLOUT != 0,
+                error: mask & EPOLLERR != 0,
+                hup: mask & (EPOLLHUP | EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct EpollRegistry {
+    shared: Arc<EpollFd>,
+}
+
+impl EpollRegistry {
+    fn ctl(&self, op: c_int, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest_mask(interest),
+            data: token as u64,
+        };
+        cvt(unsafe { epoll_ctl(self.shared.epfd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    pub(crate) fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    pub(crate) fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        cvt(unsafe { epoll_ctl(self.shared.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+    }
+}

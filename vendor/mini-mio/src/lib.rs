@@ -1,0 +1,473 @@
+//! Offline stand-in for the `mio` crate: a minimal readiness-polling
+//! reactor.
+//!
+//! The build container has no crates.io access, so — like the other
+//! `vendor/` crates — this implements exactly the surface the workspace
+//! needs, with the same shape as the real thing so swapping back is a
+//! near-manifest-only change:
+//!
+//! * [`Poll`] — the selector. Two backends, chosen at construction:
+//!   [`Backend::Epoll`] (Linux, `epoll_create1`/`epoll_ctl`/`epoll_wait`
+//!   declared as our own `extern "C"` bindings against the always-linked
+//!   system libc) and [`Backend::Portable`] (`poll(2)`, any Unix). Both are
+//!   **level-triggered**: a socket that still has unread bytes or writable
+//!   buffer space keeps reporting ready, which is the simpler contract for
+//!   incremental frame reassembly.
+//! * [`Registry`] — a cheaply clonable registration handle
+//!   (`register`/`reregister`/`deregister` by [`Token`] + [`Interest`]).
+//! * [`Events`] / [`Event`] — the readiness batch one `poll` call fills.
+//! * [`Waker`] — a cross-thread wake-up (`UnixStream` self-pipe). Unlike
+//!   mio's, the event loop must call [`Waker::drain`] when its token fires
+//!   (level-triggered pipe; documented difference, two lines at the call
+//!   site).
+//!
+//! Differences from real mio, all deliberate: no edge-triggered mode, no
+//! `Source` trait (anything `AsRawFd` registers), and `Registry` mutations
+//! from *other* threads are only guaranteed to be observed by a blocked
+//! `poll` after a [`Waker::wake`] (the epoll backend observes them
+//! immediately, the portable one snapshots its fd set per call — callers
+//! that register from the polling thread only, as `dubhe-net` does, never
+//! see the difference).
+
+#![cfg(unix)]
+
+use std::io;
+use std::io::{Read, Write};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+mod epoll;
+mod portable;
+
+/// Identifies one registered event source in a readiness batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness a registration asks to be told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Readable readiness (bytes to read, EOF, or a pending accept).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Writable readiness (send-buffer space, or a completed connect).
+    pub const WRITABLE: Interest = Interest(0b10);
+    /// Both directions.
+    pub const BOTH: Interest = Interest(0b11);
+
+    /// True if this interest includes readable readiness.
+    pub fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// True if this interest includes writable readiness.
+    pub fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness report: which token, and which ways it is ready.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: usize,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    hup: bool,
+}
+
+impl Event {
+    /// The token the source was registered under.
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// Ready to read (includes EOF and pending accepts).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Ready to write.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// The source reported an error condition; read/write it to collect the
+    /// actual `io::Error`.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// The peer hung up.
+    pub fn is_hup(&self) -> bool {
+        self.hup
+    }
+}
+
+/// The readiness batch one [`Poll::poll`] call fills.
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A batch that reports at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// True if the last poll reported nothing (timeout or spurious wake).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// How many events the last poll reported.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    fn push(&mut self, e: Event) {
+        self.inner.push(e);
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Which readiness mechanism backs a [`Poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll` — O(ready) wake-ups, the production default.
+    Epoll,
+    /// POSIX `poll(2)` — O(registered) per call, works on any Unix.
+    Portable,
+}
+
+enum PollImpl {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::EpollPoll),
+    Portable(portable::PortablePoll),
+}
+
+enum RegistryImpl {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::EpollRegistry),
+    Portable(portable::PortableRegistry),
+}
+
+/// The selector: registered sources in, readiness batches out.
+pub struct Poll {
+    inner: PollImpl,
+}
+
+impl Poll {
+    /// The best backend for this platform (epoll on Linux, `poll(2)`
+    /// elsewhere).
+    pub fn new() -> io::Result<Poll> {
+        #[cfg(target_os = "linux")]
+        {
+            Poll::with_backend(Backend::Epoll)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poll::with_backend(Backend::Portable)
+        }
+    }
+
+    /// An explicit backend — lets tests exercise the portable fallback on
+    /// Linux too.
+    pub fn with_backend(backend: Backend) -> io::Result<Poll> {
+        match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => Ok(Poll {
+                inner: PollImpl::Epoll(epoll::EpollPoll::new()?),
+            }),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the epoll backend is Linux-only; use Backend::Portable",
+            )),
+            Backend::Portable => Ok(Poll {
+                inner: PollImpl::Portable(portable::PortablePoll::new()),
+            }),
+        }
+    }
+
+    /// The backend actually in use.
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            PollImpl::Epoll(_) => Backend::Epoll,
+            PollImpl::Portable(_) => Backend::Portable,
+        }
+    }
+
+    /// A clonable registration handle (usable from other threads; see the
+    /// crate docs for the portable backend's visibility caveat).
+    pub fn registry(&self) -> Registry {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            PollImpl::Epoll(p) => Registry {
+                inner: RegistryImpl::Epoll(p.registry()),
+            },
+            PollImpl::Portable(p) => Registry {
+                inner: RegistryImpl::Portable(p.registry()),
+            },
+        }
+    }
+
+    /// Blocks until at least one registered source is ready, the timeout
+    /// elapses (`events` left empty), or a [`Waker`] fires. `None` blocks
+    /// indefinitely. Retries `EINTR` internally.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        match &mut self.inner {
+            #[cfg(target_os = "linux")]
+            PollImpl::Epoll(p) => p.poll(events, timeout),
+            PollImpl::Portable(p) => p.poll(events, timeout),
+        }
+    }
+}
+
+impl std::fmt::Debug for Poll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poll")
+            .field("backend", &self.backend())
+            .finish()
+    }
+}
+
+/// Registers, updates and removes event sources on a [`Poll`].
+pub struct Registry {
+    inner: RegistryImpl,
+}
+
+impl Registry {
+    /// Starts watching `source` under `token` for `interest`.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            RegistryImpl::Epoll(r) => r.register(source.as_raw_fd(), token.0, interest),
+            RegistryImpl::Portable(r) => r.register(source.as_raw_fd(), token.0, interest),
+        }
+    }
+
+    /// Changes the token/interest of an already-registered source.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            RegistryImpl::Epoll(r) => r.reregister(source.as_raw_fd(), token.0, interest),
+            RegistryImpl::Portable(r) => r.reregister(source.as_raw_fd(), token.0, interest),
+        }
+    }
+
+    /// Stops watching `source`. Always deregister before closing the fd —
+    /// a closed-but-registered fd is undefined behaviour under epoll.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            RegistryImpl::Epoll(r) => r.deregister(source.as_raw_fd()),
+            RegistryImpl::Portable(r) => r.deregister(source.as_raw_fd()),
+        }
+    }
+}
+
+impl Clone for Registry {
+    fn clone(&self) -> Registry {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            RegistryImpl::Epoll(r) => Registry {
+                inner: RegistryImpl::Epoll(r.clone()),
+            },
+            RegistryImpl::Portable(r) => Registry {
+                inner: RegistryImpl::Portable(r.clone()),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Registry")
+    }
+}
+
+/// Wakes a blocked [`Poll::poll`] from another thread.
+///
+/// Implemented as a nonblocking `UnixStream` self-pipe whose read end is
+/// registered like any other source: [`wake`](Self::wake) makes the poll
+/// report the waker's token readable. **The event loop must call
+/// [`drain`](Self::drain) when it sees that token** — the pipe is
+/// level-triggered, so an undrained waker fires forever.
+#[derive(Debug)]
+pub struct Waker {
+    reader: UnixStream,
+    writer: UnixStream,
+}
+
+impl Waker {
+    /// Creates the pipe and registers its read end under `token`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let (reader, writer) = UnixStream::pair()?;
+        reader.set_nonblocking(true)?;
+        writer.set_nonblocking(true)?;
+        registry.register(&reader, token, Interest::READABLE)?;
+        Ok(Waker { reader, writer })
+    }
+
+    /// Makes the poll report this waker's token readable. Cheap, thread-safe
+    /// and coalescing: a full pipe means a wake is already pending, which is
+    /// all that matters.
+    pub fn wake(&self) -> io::Result<()> {
+        match (&self.writer).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes pending wake bytes so the token stops reporting readable.
+    /// Call from the event loop when the waker's token fires.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.reader).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn backends() -> Vec<Backend> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![Backend::Epoll, Backend::Portable]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            vec![Backend::Portable]
+        }
+    }
+
+    #[test]
+    fn accept_readiness_is_reported_on_both_backends() {
+        for backend in backends() {
+            let mut poll = Poll::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poll.registry()
+                .register(&listener, Token(7), Interest::READABLE)
+                .unwrap();
+
+            let mut events = Events::with_capacity(8);
+            // Nothing pending: a short timeout comes back empty.
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: spurious readiness");
+
+            let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            poll.poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            let e = events.iter().next().expect("accept readiness");
+            assert_eq!(e.token(), Token(7));
+            assert!(e.is_readable());
+            poll.registry().deregister(&listener).unwrap();
+        }
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_drains() {
+        for backend in backends() {
+            let mut poll = Poll::with_backend(backend).unwrap();
+            let waker = std::sync::Arc::new(Waker::new(&poll.registry(), Token(0)).unwrap());
+            let remote = std::sync::Arc::clone(&waker);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                remote.wake().unwrap();
+            });
+            let mut events = Events::with_capacity(4);
+            poll.poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.iter().next().unwrap().token(), Token(0));
+            waker.drain();
+            // Drained: the next short poll is quiet again.
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?}: waker did not drain");
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn writable_interest_and_reregistration() {
+        for backend in backends() {
+            let mut poll = Poll::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            stream.set_nonblocking(true).unwrap();
+            poll.registry()
+                .register(&stream, Token(1), Interest::WRITABLE)
+                .unwrap();
+            let mut events = Events::with_capacity(4);
+            poll.poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(events
+                .iter()
+                .any(|e| e.token() == Token(1) && e.is_writable()));
+
+            // Down to readable-only: an idle connected socket reports nothing.
+            poll.registry()
+                .reregister(&stream, Token(2), Interest::READABLE)
+                .unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.token() != Token(1)),
+                "{backend:?}: stale interest after reregister"
+            );
+            poll.registry().deregister(&stream).unwrap();
+        }
+    }
+}

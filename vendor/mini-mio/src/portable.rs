@@ -1,0 +1,166 @@
+//! The portable `poll(2)` backend: works on any Unix, O(registered fds) per
+//! call.
+//!
+//! Registrations live in a mutex-protected table; every poll call snapshots
+//! the table into a `pollfd` array. Mutations from other threads are picked
+//! up on the *next* call — pair them with a [`crate::Waker`] if the poller
+//! might be blocked (the crate-level docs spell out this contract).
+
+use std::io;
+use std::os::raw::{c_int, c_short, c_ulong};
+use std::os::unix::io::RawFd;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::{Event, Events, Interest};
+
+const POLLIN: c_short = 0x001;
+const POLLOUT: c_short = 0x004;
+const POLLERR: c_short = 0x008;
+const POLLHUP: c_short = 0x010;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+type FdTable = Arc<Mutex<Vec<(RawFd, usize, Interest)>>>;
+
+pub(crate) struct PortablePoll {
+    table: FdTable,
+}
+
+impl PortablePoll {
+    pub(crate) fn new() -> PortablePoll {
+        PortablePoll {
+            table: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    pub(crate) fn registry(&self) -> PortableRegistry {
+        PortableRegistry {
+            table: Arc::clone(&self.table),
+        }
+    }
+
+    pub(crate) fn poll(
+        &mut self,
+        events: &mut Events,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        // Snapshot the registrations so the lock is not held across the
+        // blocking syscall (registry calls from other threads stay possible).
+        let snapshot: Vec<(RawFd, usize, Interest)> =
+            self.table.lock().expect("registry poisoned").clone();
+        let mut fds: Vec<PollFd> = snapshot
+            .iter()
+            .map(|&(fd, _, interest)| {
+                let mut mask: c_short = 0;
+                if interest.is_readable() {
+                    mask |= POLLIN;
+                }
+                if interest.is_writable() {
+                    mask |= POLLOUT;
+                }
+                PollFd {
+                    fd,
+                    events: mask,
+                    revents: 0,
+                }
+            })
+            .collect();
+        let timeout_ms: c_int = match timeout {
+            Some(t) => t
+                .as_millis()
+                .min(c_int::MAX as u128)
+                .max(u128::from(!t.is_zero())) as c_int,
+            None => -1,
+        };
+        let ready = loop {
+            match unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) } {
+                n if n >= 0 => break n as usize,
+                _ => {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        if timeout.is_some() {
+                            break 0;
+                        }
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        if ready == 0 {
+            return Ok(());
+        }
+        for (slot, &(_, token, _)) in fds.iter().zip(snapshot.iter()) {
+            let revents = slot.revents;
+            if revents == 0 {
+                continue;
+            }
+            events.push(Event {
+                token,
+                readable: revents & (POLLIN | POLLHUP) != 0,
+                writable: revents & POLLOUT != 0,
+                error: revents & POLLERR != 0,
+                hup: revents & POLLHUP != 0,
+            });
+            if events.len() == events.capacity {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct PortableRegistry {
+    table: FdTable,
+}
+
+impl PortableRegistry {
+    pub(crate) fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        let mut table = self.table.lock().expect("registry poisoned");
+        if table.iter().any(|&(existing, _, _)| existing == fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered; use reregister",
+            ));
+        }
+        table.push((fd, token, interest));
+        Ok(())
+    }
+
+    pub(crate) fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        let mut table = self.table.lock().expect("registry poisoned");
+        match table.iter_mut().find(|(existing, _, _)| *existing == fd) {
+            Some(slot) => {
+                slot.1 = token;
+                slot.2 = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "fd not registered; use register",
+            )),
+        }
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut table = self.table.lock().expect("registry poisoned");
+        let before = table.len();
+        table.retain(|&(existing, _, _)| existing != fd);
+        if table.len() == before {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+        }
+        Ok(())
+    }
+}
