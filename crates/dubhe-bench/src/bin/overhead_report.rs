@@ -483,18 +483,23 @@ fn encrypted_simulation(key_bits: u64) {
     };
 
     let (modeled, modeled_time) = run_mode(SecureMode::Modeled { key_bits });
-    let (encrypted, encrypted_time) = run_mode(SecureMode::Encrypted { key_bits });
+    let (encrypted, encrypted_time) = run_mode(SecureMode::Encrypted {
+        key_bits,
+        packing: None,
+    });
     let (tcp_json, json_time) = run_mode(SecureMode::EncryptedTcp {
         key_bits,
         shards: 4,
         codec: CodecKind::Json,
         listener: ListenerKind::Threaded,
+        packing: None,
     });
     let (tcp_binary, binary_time) = run_mode(SecureMode::EncryptedTcp {
         key_bits,
         shards: 4,
         codec: CodecKind::Binary,
         listener: ListenerKind::Threaded,
+        packing: None,
     });
     println!(
         "  modeled   : {:>12} ciphertext bytes, {:>5} overhead messages ({modeled_time:.2?})",
@@ -550,5 +555,60 @@ fn encrypted_simulation(key_bits: u64) {
          (framing adds {:.2}x under DBH1, {:.2}x under DBH2, on uplink ciphertext bytes).",
         tcp_json.total_wire_frame_bytes() as f64 / tcp_json.total_ciphertext_bytes() as f64,
         tcp_binary.total_wire_frame_bytes() as f64 / tcp_binary.total_ciphertext_bytes() as f64
+    );
+
+    // The same runs under 32-bit slot packing: identical decisions, many
+    // counters per Paillier plaintext, so every ciphertext-bearing message
+    // (and with it the framed wire traffic) shrinks by the lane count.
+    let (packed, packed_time) = run_mode(SecureMode::Encrypted {
+        key_bits,
+        packing: Some(32),
+    });
+    let (packed_tcp, packed_tcp_time) = run_mode(SecureMode::EncryptedTcp {
+        key_bits,
+        shards: 4,
+        codec: CodecKind::Binary,
+        listener: ListenerKind::Threaded,
+        packing: Some(32),
+    });
+    let ct_reduction =
+        encrypted.total_ciphertext_bytes() as f64 / packed.total_ciphertext_bytes() as f64;
+    let wire_reduction =
+        tcp_binary.total_wire_frame_bytes() as f64 / packed_tcp.total_wire_frame_bytes() as f64;
+    println!("\npacked (32-bit slots) vs element-wise, same seeds and identical decisions:");
+    println!(
+        "  {:<22} {:>16} {:>10} {:>16} {:>10} {:>10}",
+        "mode", "ciphertext (B)", "reduction", "DBH2 framed (B)", "reduction", "time"
+    );
+    println!(
+        "  {:<22} {:>16} {:>10} {:>16} {:>10} {:>10.2?}",
+        "element-wise",
+        encrypted.total_ciphertext_bytes(),
+        "1.00x",
+        tcp_binary.total_wire_frame_bytes(),
+        "1.00x",
+        binary_time,
+    );
+    println!(
+        "  {:<22} {:>16} {:>9.2}x {:>16} {:>9.2}x {:>10.2?}",
+        "packed",
+        packed.total_ciphertext_bytes(),
+        ct_reduction,
+        packed_tcp.total_wire_frame_bytes(),
+        wire_reduction,
+        packed_time.min(packed_tcp_time),
+    );
+    assert_eq!(
+        packed.total_ciphertext_bytes(),
+        packed_tcp.total_ciphertext_bytes(),
+        "packed canonical accounting must be transport-independent"
+    );
+    assert!(
+        ct_reduction >= 4.0,
+        "32-bit slot packing must shrink uplink ciphertext bytes at least 4x (got {ct_reduction:.2}x)"
+    );
+    assert!(
+        wire_reduction > 1.0,
+        "packed frames must shrink the measured wire traffic (got {wire_reduction:.2}x)"
     );
 }

@@ -25,9 +25,9 @@ use dubhe_net::ReactorListener;
 use dubhe_select::multi_time_select;
 use dubhe_select::protocol::stats::ListenerStats;
 use dubhe_select::protocol::{
-    pump, run_registration_with, run_try, run_try_with_dropouts, CodecKind, Coordinator,
-    CoordinatorListener, CoordinatorServer, Envelope, InMemoryTransport, RegistrationRun,
-    ShardedCoordinator, TcpTransport, Transport,
+    pump, run_registration_with, run_registration_with_packing, run_try, run_try_with_dropouts,
+    CodecKind, Coordinator, CoordinatorListener, CoordinatorServer, Envelope, InMemoryTransport,
+    PackingPolicy, RegistrationRun, ShardedCoordinator, TcpTransport, Transport,
 };
 use dubhe_select::selector::{population_distribution, ClientSelector};
 use dubhe_select::{ProtocolError, SelectError};
@@ -72,6 +72,17 @@ pub enum SecureMode {
     Encrypted {
         /// Key size of the real epoch keypair the agent generates.
         key_bits: u64,
+        /// BatchCrypt-style slot packing: `Some(slot_bits)` packs that many
+        /// bits per counter lane, many lanes per Paillier plaintext, so the
+        /// ciphertext-bearing messages shrink by the lane count. The policy's
+        /// [`HeadroomModel`](dubhe_he::HeadroomModel) proves the cohort can
+        /// never overflow a lane before any ciphertext exists; a slot width
+        /// whose lanes cannot hold the fixed-scale try distributions packs
+        /// the registration epoch only, and one that cannot even hold the
+        /// registration counters is refused with a typed error. Decrypted
+        /// totals — and therefore selections and histories — are identical
+        /// to the unpacked run on the same seed.
+        packing: Option<u32>,
     },
     /// Like [`Encrypted`](Self::Encrypted), but the coordinator runs behind
     /// a loopback TCP listener: every server-bound message crosses a real
@@ -95,6 +106,10 @@ pub enum SecureMode {
         /// Which server shape accepts the connection: a thread per
         /// connection, or the event-loop reactor.
         listener: ListenerKind,
+        /// Slot packing, exactly as in [`Encrypted`](Self::Encrypted) — the
+        /// packed frames cross the socket like any other, so the measured
+        /// wire bytes shrink along with the canonical ciphertext accounting.
+        packing: Option<u32>,
     },
 }
 
@@ -103,7 +118,7 @@ impl SecureMode {
     pub fn key_bits(&self) -> u64 {
         match *self {
             SecureMode::Modeled { key_bits }
-            | SecureMode::Encrypted { key_bits }
+            | SecureMode::Encrypted { key_bits, .. }
             | SecureMode::EncryptedTcp { key_bits, .. } => key_bits,
         }
     }
@@ -129,6 +144,17 @@ impl SecureMode {
         match *self {
             SecureMode::EncryptedTcp { listener, .. } => Some(listener),
             _ => None,
+        }
+    }
+
+    /// The slot width of an encrypted mode's ciphertext packing (`None` when
+    /// the mode is modeled or uploads one counter per plaintext).
+    pub fn packing_slot_bits(&self) -> Option<u32> {
+        match *self {
+            SecureMode::Encrypted { packing, .. } | SecureMode::EncryptedTcp { packing, .. } => {
+                packing
+            }
+            SecureMode::Modeled { .. } => None,
         }
     }
 }
@@ -410,6 +436,26 @@ impl FlSimulation {
         self.listener.as_ref().map(SimListener::stats)
     }
 
+    /// Resolves the configured slot width into a [`PackingPolicy`] for this
+    /// cohort, or `None` when the mode does not pack.
+    ///
+    /// A width whose lanes hold both the registration counters and the
+    /// fixed-scale try distributions packs everything; one that only fits
+    /// the registration counters (e.g. 16-bit lanes against the 10⁶ fixed
+    /// scale) packs the registration epoch alone; one whose headroom proof
+    /// fails even for binary counters surfaces as a typed
+    /// [`ProtocolError`] — the simulation refuses to start an epoch a lane
+    /// could overflow.
+    fn packing_policy(&self, key_bits: u64) -> Result<Option<PackingPolicy>, ProtocolError> {
+        let Some(slot_bits) = self.config.secure.packing_slot_bits() else {
+            return Ok(None);
+        };
+        let n = self.client_distributions.len() as u64;
+        let policy = PackingPolicy::new(slot_bits, key_bits, n)
+            .or_else(|_| PackingPolicy::registry_only(slot_bits, key_bits, n))?;
+        Ok(Some(policy))
+    }
+
     /// The RNG stream feeding the cryptographic side of the encrypted mode.
     /// It is independent of the round's selection stream so that modeled and
     /// encrypted runs draw identical tentative selections.
@@ -446,6 +492,7 @@ impl FlSimulation {
         if self.config.secure.is_encrypted() && registration_round {
             if let Some(config) = self.selector.secure_config().cloned() {
                 let n = self.client_distributions.len();
+                let packing = self.packing_policy(key_bits)?;
                 let server = match self.config.secure {
                     SecureMode::EncryptedTcp {
                         shards,
@@ -453,7 +500,10 @@ impl FlSimulation {
                         listener,
                         ..
                     } => {
-                        let coordinator = ShardedCoordinator::new(n, shards);
+                        let mut coordinator = ShardedCoordinator::new(n, shards);
+                        if let Some(policy) = packing {
+                            coordinator = coordinator.with_packing(policy);
+                        }
                         let listener = match listener {
                             ListenerKind::Threaded => {
                                 SimListener::Threaded(CoordinatorListener::spawn(coordinator)?)
@@ -466,16 +516,33 @@ impl FlSimulation {
                         self.listener = Some(listener);
                         SimCoordinator::Remote(endpoint)
                     }
-                    _ => SimCoordinator::Local(CoordinatorServer::new(n)),
+                    _ => {
+                        let mut coordinator = CoordinatorServer::new(n);
+                        if let Some(policy) = packing {
+                            coordinator = coordinator.with_packing(policy);
+                        }
+                        SimCoordinator::Local(coordinator)
+                    }
                 };
-                let run = run_registration_with(
-                    &self.client_distributions,
-                    &config,
-                    key_bits,
-                    server,
-                    &mut transport,
-                    &mut crypto_rng,
-                )?;
+                let run = match packing {
+                    Some(policy) => run_registration_with_packing(
+                        &self.client_distributions,
+                        &config,
+                        key_bits,
+                        policy,
+                        server,
+                        &mut transport,
+                        &mut crypto_rng,
+                    )?,
+                    None => run_registration_with(
+                        &self.client_distributions,
+                        &config,
+                        key_bits,
+                        server,
+                        &mut transport,
+                        &mut crypto_rng,
+                    )?,
+                };
                 // The decrypted overall registry must agree bit-for-bit with
                 // the plaintext decision model the selector runs on.
                 if let Some(expected) = self.selector.overall_registry() {
@@ -854,8 +921,10 @@ mod tests {
 
         let (modeled_hist, modeled_ledger, modeled_proto) =
             run_mode(SecureMode::Modeled { key_bits: 256 });
-        let (encrypted_hist, encrypted_ledger, encrypted_proto) =
-            run_mode(SecureMode::Encrypted { key_bits: 256 });
+        let (encrypted_hist, encrypted_ledger, encrypted_proto) = run_mode(SecureMode::Encrypted {
+            key_bits: 256,
+            packing: None,
+        });
 
         assert!(!modeled_proto, "modeled mode must not build actors");
         assert!(encrypted_proto, "encrypted mode must run the real epoch");
@@ -901,7 +970,10 @@ mod tests {
         };
 
         let (modeled_hist, modeled_ledger) = run_mode(SecureMode::Modeled { key_bits: 256 });
-        let (encrypted_hist, encrypted_ledger) = run_mode(SecureMode::Encrypted { key_bits: 256 });
+        let (encrypted_hist, encrypted_ledger) = run_mode(SecureMode::Encrypted {
+            key_bits: 256,
+            packing: None,
+        });
 
         assert_eq!(
             modeled_hist, encrypted_hist,
@@ -936,7 +1008,10 @@ mod tests {
         let model = small_mlp(32, 10, 8);
         let mut config = SimulationConfig::quick(3, 29);
         config.multi_time_h = 3;
-        config.secure = SecureMode::Encrypted { key_bits: 256 };
+        config.secure = SecureMode::Encrypted {
+            key_bits: 256,
+            packing: None,
+        };
         config.dropout = Some(ClientDropout {
             round: 1,
             client: 0,
@@ -987,25 +1062,30 @@ mod tests {
 
         let (modeled_hist, modeled_ledger, modeled_stats) =
             run_mode(SecureMode::Modeled { key_bits: 256 });
-        let (encrypted_hist, encrypted_ledger, _) =
-            run_mode(SecureMode::Encrypted { key_bits: 256 });
+        let (encrypted_hist, encrypted_ledger, _) = run_mode(SecureMode::Encrypted {
+            key_bits: 256,
+            packing: None,
+        });
         let (json_hist, json_ledger, json_stats) = run_mode(SecureMode::EncryptedTcp {
             key_bits: 256,
             shards: 4,
             codec: CodecKind::Json,
             listener: ListenerKind::Threaded,
+            packing: None,
         });
         let (binary_hist, binary_ledger, _) = run_mode(SecureMode::EncryptedTcp {
             key_bits: 256,
             shards: 4,
             codec: CodecKind::Binary,
             listener: ListenerKind::Threaded,
+            packing: None,
         });
         let (reactor_hist, reactor_ledger, reactor_stats) = run_mode(SecureMode::EncryptedTcp {
             key_bits: 256,
             shards: 4,
             codec: CodecKind::Binary,
             listener: ListenerKind::Reactor,
+            packing: None,
         });
 
         assert_eq!(json_hist, modeled_hist, "TCP must reproduce the decisions");
@@ -1072,12 +1152,164 @@ mod tests {
     }
 
     #[test]
+    fn packed_modes_match_unpacked_decisions_with_at_least_4x_fewer_ciphertext_bytes() {
+        // The acceptance pin of the packed protocol: same seeds, same
+        // selector — element-wise runs against 32-bit slot-packed runs,
+        // in-process and over loopback TCP under both listener shapes.
+        // Every decision (selections, histories, epochs) must be identical;
+        // only the ciphertext representation — and with it the canonical
+        // uplink bytes and the measured frame bytes — shrinks, by at least
+        // the 4x the packing exists to deliver (length-56 registries at 7
+        // lanes per 256-bit plaintext actually shrink 7x).
+        let (client_data, test, dists) = build_federation(24, 10.0, 1.5, 9);
+        let run_mode = |secure: SecureMode| {
+            let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+            let model = small_mlp(32, 10, 6);
+            let mut config = SimulationConfig::quick(3, 19);
+            config.multi_time_h = 3;
+            config.secure = secure;
+            let mut sim = FlSimulation::from_datasets(
+                client_data.clone(),
+                test.clone(),
+                model,
+                selector,
+                config,
+            );
+            let history = sim.run().unwrap();
+            let stats = sim.listener_stats();
+            (history, sim.ledger().clone(), stats)
+        };
+
+        let (unpacked_hist, unpacked_ledger, _) = run_mode(SecureMode::Encrypted {
+            key_bits: 256,
+            packing: None,
+        });
+        let (packed_hist, packed_ledger, _) = run_mode(SecureMode::Encrypted {
+            key_bits: 256,
+            packing: Some(32),
+        });
+        let (tcp_unpacked_hist, tcp_unpacked_ledger, _) = run_mode(SecureMode::EncryptedTcp {
+            key_bits: 256,
+            shards: 4,
+            codec: CodecKind::Binary,
+            listener: ListenerKind::Threaded,
+            packing: None,
+        });
+        let (tcp_packed_hist, tcp_packed_ledger, _) = run_mode(SecureMode::EncryptedTcp {
+            key_bits: 256,
+            shards: 4,
+            codec: CodecKind::Binary,
+            listener: ListenerKind::Threaded,
+            packing: Some(32),
+        });
+        let (reactor_hist, reactor_ledger, reactor_stats) = run_mode(SecureMode::EncryptedTcp {
+            key_bits: 256,
+            shards: 4,
+            codec: CodecKind::Binary,
+            listener: ListenerKind::Reactor,
+            packing: Some(32),
+        });
+
+        assert_eq!(
+            packed_hist, unpacked_hist,
+            "packing must not change a single decision"
+        );
+        assert_eq!(tcp_packed_hist, packed_hist, "nor over a real socket");
+        assert_eq!(tcp_unpacked_hist, packed_hist);
+        assert_eq!(
+            reactor_hist, packed_hist,
+            "the reactor passes packed frames through untouched"
+        );
+        assert_eq!(
+            reactor_ledger, tcp_packed_ledger,
+            "listener shape must not change a single packed ledger byte"
+        );
+
+        // The canonical uplink accounting shrinks at least 4x, identically
+        // in-process and across the socket.
+        let unpacked_bytes = unpacked_ledger.total_ciphertext_bytes();
+        let packed_bytes = packed_ledger.total_ciphertext_bytes();
+        assert!(packed_bytes > 0);
+        assert!(
+            packed_bytes * 4 <= unpacked_bytes,
+            "32-bit slots must shrink uplink ciphertext bytes >= 4x \
+             (packed {packed_bytes} vs element-wise {unpacked_bytes})"
+        );
+        assert_eq!(packed_bytes, tcp_packed_ledger.total_ciphertext_bytes());
+
+        // The measured frame traffic shrinks with it — packing is not an
+        // accounting trick, the socket really carries fewer bytes.
+        assert!(
+            tcp_packed_ledger.total_wire_frame_bytes() * 2
+                < tcp_unpacked_ledger.total_wire_frame_bytes(),
+            "packed frames must at least halve the measured wire traffic \
+             (packed {} vs element-wise {})",
+            tcp_packed_ledger.total_wire_frame_bytes(),
+            tcp_unpacked_ledger.total_wire_frame_bytes()
+        );
+
+        // The reactor really served the packed session: one persistent
+        // connection, real frames, zero decode errors.
+        let stats = reactor_stats.expect("socket-backed runs have stats");
+        assert_eq!(stats.connections_accepted, 1);
+        assert!(stats.frames_received > 0);
+        assert_eq!(stats.frames_sent, stats.frames_received);
+        assert_eq!(stats.decode_errors, 0);
+    }
+
+    #[test]
+    fn sixteen_bit_slots_pack_the_registration_epoch_only() {
+        // 16-bit lanes cannot hold the 10^6 fixed-scale try distributions,
+        // so the policy resolution falls back to registry-only packing: the
+        // registration epoch shrinks (56 counters -> 4 ciphertexts at 15
+        // lanes per 256-bit plaintext), the per-try traffic stays
+        // element-wise, and every decision still matches the unpacked run.
+        let (client_data, test, dists) = build_federation(24, 10.0, 1.5, 9);
+        let run_mode = |packing: Option<u32>| {
+            let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+            let model = small_mlp(32, 10, 6);
+            let mut config = SimulationConfig::quick(2, 19);
+            config.multi_time_h = 3;
+            config.secure = SecureMode::Encrypted {
+                key_bits: 256,
+                packing,
+            };
+            let mut sim = FlSimulation::from_datasets(
+                client_data.clone(),
+                test.clone(),
+                model,
+                selector,
+                config,
+            );
+            let history = sim.run().unwrap();
+            (history, sim.ledger().clone())
+        };
+
+        let (unpacked_hist, unpacked_ledger) = run_mode(None);
+        let (packed_hist, packed_ledger) = run_mode(Some(16));
+
+        assert_eq!(packed_hist, unpacked_hist);
+        // Round 0 carries the registration epoch: its bytes shrink. The
+        // pure multi-time round 1 stays element-wise, byte-for-byte.
+        assert!(
+            packed_ledger.rounds[0].ciphertext_bytes < unpacked_ledger.rounds[0].ciphertext_bytes
+        );
+        assert_eq!(
+            packed_ledger.rounds[1].ciphertext_bytes,
+            unpacked_ledger.rounds[1].ciphertext_bytes
+        );
+    }
+
+    #[test]
     fn encrypted_mode_without_registry_selector_falls_back_to_modeled() {
         let (client_data, test, _) = build_federation(15, 2.0, 0.5, 8);
         let selector = Box::new(RandomSelector::new(15, 5));
         let model = small_mlp(32, 10, 7);
         let mut config = SimulationConfig::quick(2, 23);
-        config.secure = SecureMode::Encrypted { key_bits: 256 };
+        config.secure = SecureMode::Encrypted {
+            key_bits: 256,
+            packing: None,
+        };
         let mut sim = FlSimulation::from_datasets(client_data, test, model, selector, config);
         let history = sim.run().unwrap();
         assert_eq!(history.len(), 2);

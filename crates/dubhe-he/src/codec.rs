@@ -30,6 +30,7 @@ use num_traits::Zero;
 use crate::ciphertext::Ciphertext;
 use crate::error::HeError;
 use crate::keys::{PrivateKey, PublicKey};
+use crate::packing::{PackedEncryptedVector, Packer};
 use crate::transport::ciphertext_size_bytes;
 use crate::vector::EncryptedVector;
 
@@ -177,6 +178,48 @@ pub fn decode_vector(cur: &mut &[u8]) -> Result<EncryptedVector, HeError> {
     Ok(EncryptedVector::from_raw_parts(elements, public))
 }
 
+/// Encodes a packed encrypted vector: the slot layout header, the lane
+/// count, then the inner vector in its canonical form.
+///
+/// ```text
+/// packed vector := u32 slot_bits | u64 key_bits | u64 count | vector
+/// ```
+pub fn encode_packed_vector(
+    packed: &PackedEncryptedVector,
+    out: &mut Vec<u8>,
+) -> Result<(), HeError> {
+    out.reserve(encoded_packed_vector_bytes(packed));
+    let packer = packed.packer();
+    put_u32(out, packer.slot_bits);
+    put_u64(out, packer.key_bits);
+    put_u64(out, packed.count() as u64);
+    encode_vector(packed.vector(), out)
+}
+
+/// Exact encoded size of [`encode_packed_vector`]'s output: the 20-byte slot
+/// layout header plus the inner vector's encoding.
+pub fn encoded_packed_vector_bytes(packed: &PackedEncryptedVector) -> usize {
+    4 + 8 + 8 + encoded_vector_bytes(packed.vector())
+}
+
+/// Decodes a packed encrypted vector. Beyond the inner vector's defenses,
+/// the slot layout is validated against the decoded key and lane count —
+/// hostile widths, foreign key sizes and ciphertext counts that disagree
+/// with the layout are all typed errors.
+pub fn decode_packed_vector(cur: &mut &[u8]) -> Result<PackedEncryptedVector, HeError> {
+    let slot_bits = take_u32(cur)?;
+    let key_bits = take_u64(cur)?;
+    let count = take_u64(cur)?;
+    if count > u32::MAX as u64 {
+        return Err(HeError::MalformedEncoding {
+            detail: "packed lane count overruns the u32 element space",
+        });
+    }
+    let packer = Packer::try_new(slot_bits, key_bits)?;
+    let vector = decode_vector(cur)?;
+    PackedEncryptedVector::from_vector(vector, count as usize, packer)
+}
+
 /// Encodes a private key: its public key, then the two length-prefixed prime
 /// factors (together one modulus width — the transport model's
 /// `private_key_size_bytes`).
@@ -317,6 +360,59 @@ mod tests {
         padded.extend_from_slice(&n);
         let err = decode_public_key(&mut &padded[..]).unwrap_err();
         assert!(matches!(err, HeError::MalformedEncoding { .. }), "{err}");
+    }
+
+    #[test]
+    fn packed_vector_round_trips_and_matches_its_size_model() {
+        let (pk, sk, mut rng) = setup();
+        let packer = Packer::new(16, crate::TEST_KEY_BITS);
+        let values: Vec<u64> = (0..23).map(|i| i * 9).collect();
+        let packed = PackedEncryptedVector::encrypt(packer, &pk, &values, &mut rng).unwrap();
+
+        let mut buf = Vec::new();
+        encode_packed_vector(&packed, &mut buf).unwrap();
+        assert_eq!(buf.len(), encoded_packed_vector_bytes(&packed));
+
+        let mut cur = &buf[..];
+        let back = decode_packed_vector(&mut cur).unwrap();
+        assert!(cur.is_empty(), "decoding must consume the whole encoding");
+        assert_eq!(back, packed);
+        assert_eq!(back.decrypt_u64(&sk), values);
+    }
+
+    #[test]
+    fn truncated_and_hostile_packed_encodings_are_typed_errors() {
+        let (pk, _sk, mut rng) = setup();
+        let packer = Packer::new(16, crate::TEST_KEY_BITS);
+        let packed = PackedEncryptedVector::encrypt(packer, &pk, &[1, 2, 3], &mut rng).unwrap();
+        let mut buf = Vec::new();
+        encode_packed_vector(&packed, &mut buf).unwrap();
+
+        for cut in [0, 3, 11, 19, buf.len() / 2, buf.len() - 1] {
+            let err = decode_packed_vector(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, HeError::MalformedEncoding { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+
+        // A hostile slot width never panics the packer.
+        let mut bad = buf.clone();
+        bad[..4].copy_from_slice(&77u32.to_be_bytes());
+        assert!(decode_packed_vector(&mut &bad[..]).is_err());
+
+        // A lane count that disagrees with the ciphertext count is refused.
+        let mut bad = buf.clone();
+        bad[12..20].copy_from_slice(&500u64.to_be_bytes());
+        assert!(decode_packed_vector(&mut &bad[..]).is_err());
+
+        // A layout header claiming a foreign key size is refused.
+        let mut bad = buf;
+        bad[4..12].copy_from_slice(&1024u64.to_be_bytes());
+        assert!(matches!(
+            decode_packed_vector(&mut &bad[..]).unwrap_err(),
+            HeError::PackerMismatch { .. }
+        ));
     }
 
     #[test]

@@ -24,6 +24,40 @@ pub enum HeError {
     /// The packing slot width leaves no room for even one slot (plus the
     /// overflow-headroom slot) in a plaintext of the given key size.
     SlotTooWide { slot_bits: u32, key_bits: u64 },
+    /// A declared packing configuration cannot guarantee lane isolation:
+    /// `max_clients · max_counter` reaches `2^slot_bits`, so a worst-case
+    /// fold could carry into the neighboring slot. Refused at configuration
+    /// time — before any ciphertext exists.
+    HeadroomExceeded {
+        /// The slot width the configuration declared.
+        slot_bits: u32,
+        /// The declared maximum cohort size.
+        max_clients: u64,
+        /// The declared per-lane maximum of one contribution.
+        max_counter: u64,
+    },
+    /// A packed fold was asked to absorb more contributions than the
+    /// headroom model's declared client budget. Folding past the budget
+    /// could overflow a lane silently, so the fold refuses instead.
+    ClientBudgetExhausted {
+        /// Contributions the fold would hold after this one.
+        folded: u64,
+        /// The declared maximum cohort size.
+        max_clients: u64,
+    },
+    /// Two packed operands (or a packed message and the receiver's declared
+    /// policy) disagree on slot layout — combining them lane-wise would
+    /// scramble counters across slot boundaries.
+    PackerMismatch {
+        /// Expected slot width in bits.
+        expected_slot_bits: u32,
+        /// Expected key size the layout is dimensioned for.
+        expected_key_bits: u64,
+        /// The offending slot width.
+        got_slot_bits: u32,
+        /// The offending key size.
+        got_key_bits: u64,
+    },
     /// The requested key size is too small to be usable.
     KeyTooSmall { bits: u64, minimum: u64 },
     /// Decryption produced a value outside the expected signed range.
@@ -95,6 +129,40 @@ impl fmt::Display for HeError {
                     f,
                     "{slot_bits}-bit slots do not fit into a {key_bits}-bit plaintext \
                      (need at least one slot plus one slot of headroom)"
+                )
+            }
+            HeError::HeadroomExceeded {
+                slot_bits,
+                max_clients,
+                max_counter,
+            } => {
+                write!(
+                    f,
+                    "{max_clients} clients × counter {max_counter} can overflow a \
+                     {slot_bits}-bit slot (lane sums must stay below 2^{slot_bits})"
+                )
+            }
+            HeError::ClientBudgetExhausted {
+                folded,
+                max_clients,
+            } => {
+                write!(
+                    f,
+                    "packed fold refuses contribution {folded}: the headroom model \
+                     declares at most {max_clients} clients"
+                )
+            }
+            HeError::PackerMismatch {
+                expected_slot_bits,
+                expected_key_bits,
+                got_slot_bits,
+                got_key_bits,
+            } => {
+                write!(
+                    f,
+                    "packed slot layout mismatch: expected {expected_slot_bits}-bit slots \
+                     for {expected_key_bits}-bit keys, got {got_slot_bits}-bit slots for \
+                     {got_key_bits}-bit keys"
                 )
             }
             HeError::KeyTooSmall { bits, minimum } => {

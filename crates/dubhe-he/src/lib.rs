@@ -89,8 +89,13 @@ pub use fast::{
 };
 pub use fixed::{FixedPointCodec, DEFAULT_FIXED_SCALE};
 pub use keys::{Keypair, PrivateKey, PublicKey};
-pub use packing::{PackedCiphertext, Packer};
-pub use transport::{ciphertext_size_bytes, public_key_size_bytes, TransportSize};
+pub use packing::{
+    HeadroomModel, PackedCiphertext, PackedEncryptedVector, PackedRunningFold, Packer,
+};
+pub use transport::{
+    ciphertext_size_bytes, packed_vector_wire_bytes, packed_vector_wire_bytes_for,
+    public_key_size_bytes, TransportSize,
+};
 pub use vector::{sum_vectors, sum_vectors_serial, EncryptedVector};
 
 /// Key size (in bits of the modulus `n`) used by the paper's evaluation.

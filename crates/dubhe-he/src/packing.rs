@@ -18,7 +18,9 @@ use num_traits::Zero;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::agg::RunningFold;
 use crate::ciphertext::Ciphertext;
+use crate::codec;
 use crate::error::HeError;
 use crate::fast::{Encryptor, PrecomputedEncryptor};
 use crate::keys::{PrivateKey, PublicKey};
@@ -47,6 +49,20 @@ impl Packer {
             slot_bits,
             key_bits,
         }
+    }
+
+    /// Non-panicking [`new`](Self::new) for untrusted inputs (wire decoding,
+    /// snapshot restore): an out-of-range slot width is a typed error.
+    pub fn try_new(slot_bits: u32, key_bits: u64) -> Result<Self, HeError> {
+        if !(8..=64).contains(&slot_bits) {
+            return Err(HeError::MalformedEncoding {
+                detail: "packing slot width outside [8, 64]",
+            });
+        }
+        Ok(Packer {
+            slot_bits,
+            key_bits,
+        })
     }
 
     /// How many slots fit into a single plaintext (with one slot of headroom
@@ -225,6 +241,367 @@ impl PackedCiphertext {
     }
 }
 
+/// The executable overflow-headroom argument behind every packed fold.
+///
+/// Packing is only sound while no lane ever carries into its neighbor. With
+/// non-negative counters the worst case is every one of `max_clients`
+/// contributions putting `max_counter` into the same lane, so the invariant
+///
+/// ```text
+/// max_clients · max_counter  <  2^slot_bits
+/// ```
+///
+/// is checked **at configuration time** (a violating declaration is
+/// [`HeError::HeadroomExceeded`], before any ciphertext exists) and enforced
+/// **at fold time** ([`check_budget`](Self::check_budget) refuses the
+/// contribution that would exceed the declared cohort, as
+/// [`HeError::ClientBudgetExhausted`]). The boundary configuration
+/// `max_clients · max_counter == 2^slot_bits − 1` is the largest that passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeadroomModel {
+    packer: Packer,
+    max_clients: u64,
+    max_counter: u64,
+}
+
+impl HeadroomModel {
+    /// Validates and seals a packed-fold configuration.
+    ///
+    /// Errors: [`HeError::SlotTooWide`] when the packer fits no slot into the
+    /// key's plaintext, [`HeError::HeadroomExceeded`] when the worst-case
+    /// lane sum reaches `2^slot_bits`.
+    pub fn new(packer: Packer, max_clients: u64, max_counter: u64) -> Result<Self, HeError> {
+        packer.slots_per_plaintext()?;
+        let worst = (max_clients as u128).saturating_mul(max_counter as u128);
+        if worst >= 1u128 << packer.slot_bits {
+            return Err(HeError::HeadroomExceeded {
+                slot_bits: packer.slot_bits,
+                max_clients,
+                max_counter,
+            });
+        }
+        Ok(HeadroomModel {
+            packer,
+            max_clients,
+            max_counter,
+        })
+    }
+
+    /// The slot layout the model is declared for.
+    pub fn packer(&self) -> Packer {
+        self.packer
+    }
+
+    /// The declared maximum cohort size.
+    pub fn max_clients(&self) -> u64 {
+        self.max_clients
+    }
+
+    /// The declared per-lane maximum of one contribution.
+    pub fn max_counter(&self) -> u64 {
+        self.max_counter
+    }
+
+    /// Refuses a fold that would hold more than the declared cohort:
+    /// `folded > max_clients` is [`HeError::ClientBudgetExhausted`]. Called
+    /// *before* the homomorphic multiply, so an over-budget fold never
+    /// mutates state.
+    pub fn check_budget(&self, folded: u64) -> Result<(), HeError> {
+        if folded > self.max_clients {
+            return Err(HeError::ClientBudgetExhausted {
+                folded,
+                max_clients: self.max_clients,
+            });
+        }
+        Ok(())
+    }
+
+    /// Refuses a slot layout that disagrees with the declared one
+    /// ([`HeError::PackerMismatch`]).
+    pub fn check_packer(&self, got: &Packer) -> Result<(), HeError> {
+        if *got != self.packer {
+            return Err(HeError::PackerMismatch {
+                expected_slot_bits: self.packer.slot_bits,
+                expected_key_bits: self.packer.key_bits,
+                got_slot_bits: got.slot_bits,
+                got_key_bits: got.key_bits,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A packed encrypted vector that travels the protocol: `count` logical
+/// lanes laid into `⌈count / slots_per_plaintext⌉` Paillier ciphertexts,
+/// carried as an ordinary [`EncryptedVector`] plus the [`Packer`] layout
+/// metadata a receiver needs to unpack. Slot-wise addition is plain
+/// ciphertext multiplication, so the coordinator's Montgomery-domain
+/// [`RunningFold`] applies unchanged to the inner vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedEncryptedVector {
+    vector: EncryptedVector,
+    count: usize,
+    packer: Packer,
+}
+
+impl PackedEncryptedVector {
+    /// Packs and encrypts `values` through the key's shared
+    /// [`PrecomputedEncryptor`].
+    pub fn encrypt<R: Rng + ?Sized>(
+        packer: Packer,
+        public: &PublicKey,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Result<Self, HeError> {
+        let encryptor = PrecomputedEncryptor::new(public, rng);
+        Self::encrypt_with(packer, &encryptor, values, rng)
+    }
+
+    /// Packs and encrypts `values` with an explicit fast encryptor — any
+    /// [`Encryptor`] tier, including the CRT-split one when the keypair is in
+    /// hand. The packer must be dimensioned for the encryptor's key.
+    pub fn encrypt_with<E, R>(
+        packer: Packer,
+        encryptor: &E,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Result<Self, HeError>
+    where
+        E: Encryptor + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let key_bits = encryptor.public_key().bits();
+        if packer.key_bits != key_bits {
+            return Err(HeError::PackerMismatch {
+                expected_slot_bits: packer.slot_bits,
+                expected_key_bits: key_bits,
+                got_slot_bits: packer.slot_bits,
+                got_key_bits: packer.key_bits,
+            });
+        }
+        let plaintexts = packer.pack(values)?;
+        let vector = EncryptedVector::encrypt_with(encryptor, &plaintexts, rng)?;
+        Ok(PackedEncryptedVector {
+            vector,
+            count: values.len(),
+            packer,
+        })
+    }
+
+    /// Reassembles a packed vector from decoded parts, validating that the
+    /// ciphertext count matches the slot layout for `count` lanes and that
+    /// the packer is dimensioned for the vector's key. The wire decoder and
+    /// fold totals come through here, so a malformed combination can never
+    /// circulate.
+    pub fn from_vector(
+        vector: EncryptedVector,
+        count: usize,
+        packer: Packer,
+    ) -> Result<Self, HeError> {
+        if packer.key_bits != vector.public_key().bits() {
+            return Err(HeError::PackerMismatch {
+                expected_slot_bits: packer.slot_bits,
+                expected_key_bits: vector.public_key().bits(),
+                got_slot_bits: packer.slot_bits,
+                got_key_bits: packer.key_bits,
+            });
+        }
+        let per = packer.slots_per_plaintext()?;
+        if vector.len() != count.div_ceil(per) {
+            return Err(HeError::MalformedEncoding {
+                detail: "packed ciphertext count disagrees with the slot layout",
+            });
+        }
+        Ok(PackedEncryptedVector {
+            vector,
+            count,
+            packer,
+        })
+    }
+
+    /// Number of logical lanes (the original vector length).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of Paillier ciphertexts actually transmitted.
+    pub fn ciphertext_count(&self) -> usize {
+        self.vector.len()
+    }
+
+    /// The slot layout.
+    pub fn packer(&self) -> Packer {
+        self.packer
+    }
+
+    /// The underlying element-wise encrypted vector of packed plaintexts.
+    pub fn vector(&self) -> &EncryptedVector {
+        &self.vector
+    }
+
+    /// The key the lanes are encrypted under.
+    pub fn public_key(&self) -> &PublicKey {
+        self.vector.public_key()
+    }
+
+    /// Lane-wise homomorphic addition. Mismatched slot layouts are
+    /// [`HeError::PackerMismatch`]; mismatched lane counts are
+    /// [`HeError::LengthMismatch`].
+    pub fn add(&self, other: &PackedEncryptedVector) -> Result<PackedEncryptedVector, HeError> {
+        if self.packer != other.packer {
+            return Err(HeError::PackerMismatch {
+                expected_slot_bits: self.packer.slot_bits,
+                expected_key_bits: self.packer.key_bits,
+                got_slot_bits: other.packer.slot_bits,
+                got_key_bits: other.packer.key_bits,
+            });
+        }
+        if self.count != other.count {
+            return Err(HeError::LengthMismatch {
+                left: self.count,
+                right: other.count,
+            });
+        }
+        Ok(PackedEncryptedVector {
+            vector: self.vector.add(&other.vector)?,
+            count: self.count,
+            packer: self.packer,
+        })
+    }
+
+    /// Decrypts (batch CRT) and unpacks back to the `count` lane values.
+    pub fn decrypt_u64(&self, private: &PrivateKey) -> Vec<u64> {
+        let plaintexts = private.decrypt_batch(self.vector.elements());
+        self.packer.unpack(&plaintexts, self.count)
+    }
+
+    /// Serialized ciphertext bytes (variable big-integer width; the canonical
+    /// fixed-width model is
+    /// [`packed_vector_wire_bytes`](crate::transport::packed_vector_wire_bytes)).
+    pub fn byte_len(&self) -> usize {
+        self.vector.byte_len()
+    }
+}
+
+/// A running lane-wise homomorphic sum of packed vectors: the
+/// Montgomery-domain [`RunningFold`] over the inner ciphertexts, guarded by a
+/// [`HeadroomModel`] so no contribution past the declared client budget (and
+/// no foreign slot layout) is ever multiplied in.
+#[derive(Debug, Clone)]
+pub struct PackedRunningFold {
+    fold: RunningFold,
+    count: usize,
+    model: HeadroomModel,
+}
+
+impl PackedRunningFold {
+    /// Seeds the fold with its first packed vector, checking the layout
+    /// against the model and charging one contribution to the budget.
+    pub fn new(v: &PackedEncryptedVector, model: HeadroomModel) -> Result<Self, HeError> {
+        model.check_packer(&v.packer)?;
+        model.check_budget(1)?;
+        Ok(PackedRunningFold {
+            fold: RunningFold::new(&v.vector),
+            count: v.count,
+            model,
+        })
+    }
+
+    /// Folds one more packed vector in. Layout and lane-count mismatches are
+    /// typed errors, and the budget is checked **before** the multiply — a
+    /// refused fold leaves the running state untouched.
+    pub fn fold(&mut self, v: &PackedEncryptedVector) -> Result<(), HeError> {
+        self.model.check_packer(&v.packer)?;
+        if v.count != self.count {
+            return Err(HeError::LengthMismatch {
+                left: self.count,
+                right: v.count,
+            });
+        }
+        self.model.check_budget(self.fold.folded() + 1)?;
+        self.fold.fold(&v.vector)
+    }
+
+    /// How many packed vectors have been folded in so far.
+    pub fn folded(&self) -> u64 {
+        self.fold.folded()
+    }
+
+    /// Number of logical lanes.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The guarding headroom model.
+    pub fn model(&self) -> &HeadroomModel {
+        &self.model
+    }
+
+    /// The key every folded vector was encrypted under.
+    pub fn public_key(&self) -> &PublicKey {
+        self.fold.public_key()
+    }
+
+    /// The running lane-wise total as a packed vector (non-destructive).
+    pub fn total(&self) -> PackedEncryptedVector {
+        PackedEncryptedVector {
+            vector: self.fold.total(),
+            count: self.count,
+            packer: self.model.packer,
+        }
+    }
+
+    /// Serializes the fold for crash recovery:
+    ///
+    /// ```text
+    /// snapshot := u32 slot_bits | u64 key_bits
+    ///           | u64 max_clients | u64 max_counter
+    ///           | u64 lane count
+    ///           | RunningFold snapshot
+    /// ```
+    ///
+    /// The inner snapshot keeps the accumulators **in-domain**, so a restored
+    /// fold resumes bit-identically to one that never stopped.
+    pub fn snapshot(&self) -> Result<Vec<u8>, HeError> {
+        let mut out = Vec::new();
+        codec::put_u32(&mut out, self.model.packer.slot_bits);
+        codec::put_u64(&mut out, self.model.packer.key_bits);
+        codec::put_u64(&mut out, self.model.max_clients);
+        codec::put_u64(&mut out, self.model.max_counter);
+        codec::put_u64(&mut out, self.count as u64);
+        out.extend_from_slice(&self.fold.snapshot()?);
+        Ok(out)
+    }
+
+    /// Rebuilds a fold from a [`snapshot`](Self::snapshot). Defensive like
+    /// every restore path: hostile slot widths, headroom-violating models,
+    /// budget-exceeding fold counts and layouts that contradict the inner
+    /// fold's shape are all typed errors.
+    pub fn restore(bytes: &[u8]) -> Result<Self, HeError> {
+        let cur = &mut &bytes[..];
+        let slot_bits = codec::take_u32(cur)?;
+        let key_bits = codec::take_u64(cur)?;
+        let max_clients = codec::take_u64(cur)?;
+        let max_counter = codec::take_u64(cur)?;
+        let count = codec::take_u64(cur)? as usize;
+        let packer = Packer::try_new(slot_bits, key_bits)?;
+        let model = HeadroomModel::new(packer, max_clients, max_counter)?;
+        let fold = RunningFold::restore(cur)?;
+        if packer.key_bits != fold.public_key().bits() {
+            return Err(HeError::MalformedEncoding {
+                detail: "packed fold snapshot layout disagrees with the restored key",
+            });
+        }
+        model.check_budget(fold.folded())?;
+        if fold.len() != count.div_ceil(packer.slots_per_plaintext()?) {
+            return Err(HeError::MalformedEncoding {
+                detail: "packed fold snapshot lane count disagrees with the fold shape",
+            });
+        }
+        Ok(PackedRunningFold { fold, count, model })
+    }
+}
+
 /// Default packer used by the overhead experiments: 32-bit slots dimensioned
 /// for the paper's 2048-bit keys.
 pub fn default_packer() -> Packer {
@@ -366,5 +743,262 @@ mod tests {
         let p = default_packer();
         assert_eq!(p.key_bits, crate::PAPER_KEY_BITS);
         assert_eq!(p.slot_bits, 32);
+    }
+
+    #[test]
+    fn headroom_boundary_is_exact() {
+        // Exactly 2^slot_bits - 1 worst-case lane sum: the largest passing
+        // configuration, for several factorizations and slot widths.
+        for (slot_bits, clients, counter) in [
+            (16u32, (1u64 << 16) - 1, 1u64),
+            (16, 257, 255),
+            (32, (1 << 32) - 1, 1),
+            (32, (1 << 16) + 1, (1 << 16) - 1),
+            (8, 255, 1),
+            (8, 51, 5),
+        ] {
+            let p = Packer::new(slot_bits, crate::TEST_KEY_BITS);
+            assert_eq!(
+                (clients as u128) * (counter as u128),
+                (1u128 << slot_bits) - 1
+            );
+            let model = HeadroomModel::new(p, clients, counter).unwrap();
+            assert_eq!(model.max_clients(), clients);
+            // One past the boundary: the worst case reaches 2^slot_bits.
+            assert_eq!(
+                HeadroomModel::new(p, clients + 1, counter).unwrap_err(),
+                HeError::HeadroomExceeded {
+                    slot_bits,
+                    max_clients: clients + 1,
+                    max_counter: counter,
+                }
+            );
+        }
+        // 64-bit slots in a key wide enough to hold them: u64::MAX clients of
+        // counter 1 is the boundary; the product path must not overflow u128.
+        let wide = Packer::new(64, 256);
+        HeadroomModel::new(wide, u64::MAX, 1).unwrap();
+        assert!(matches!(
+            HeadroomModel::new(wide, u64::MAX, 2),
+            Err(HeError::HeadroomExceeded { .. })
+        ));
+        // A slot width that fits no lane surfaces the packer's own error.
+        assert!(matches!(
+            HeadroomModel::new(Packer::new(60, 100), 1, 1),
+            Err(HeError::SlotTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn over_budget_fold_is_refused_before_mutating_state() {
+        let (pk, sk, mut rng) = setup();
+        let p = Packer::new(16, crate::TEST_KEY_BITS);
+        let model = HeadroomModel::new(p, 3, 9).unwrap();
+        let contributions: Vec<PackedEncryptedVector> = (0..4)
+            .map(|i| PackedEncryptedVector::encrypt(p, &pk, &[i + 1, 0, 9, i], &mut rng).unwrap())
+            .collect();
+        let mut fold = PackedRunningFold::new(&contributions[0], model).unwrap();
+        fold.fold(&contributions[1]).unwrap();
+        fold.fold(&contributions[2]).unwrap();
+        let total_at_budget = fold.total();
+        // The 4th contribution exceeds the declared 3-client cohort: typed
+        // error, no silent wrap, no state change.
+        assert_eq!(
+            fold.fold(&contributions[3]).unwrap_err(),
+            HeError::ClientBudgetExhausted {
+                folded: 4,
+                max_clients: 3,
+            }
+        );
+        assert_eq!(fold.folded(), 3);
+        assert_eq!(fold.total(), total_at_budget);
+        assert_eq!(total_at_budget.decrypt_u64(&sk), vec![6, 0, 27, 3]);
+    }
+
+    #[test]
+    fn packed_fold_matches_the_add_chain_bit_for_bit() {
+        let (pk, sk, mut rng) = setup();
+        let p = Packer::new(16, crate::TEST_KEY_BITS);
+        let model = HeadroomModel::new(p, 100, 600).unwrap();
+        let lanes = 40; // several plaintexts at (256-16)/16 = 15 slots each
+        let inputs: Vec<Vec<u64>> = (0..5)
+            .map(|i| {
+                (0..lanes)
+                    .map(|j| ((i * 13 + j * 7) % 600) as u64)
+                    .collect()
+            })
+            .collect();
+        let packed: Vec<PackedEncryptedVector> = inputs
+            .iter()
+            .map(|v| PackedEncryptedVector::encrypt(p, &pk, v, &mut rng).unwrap())
+            .collect();
+        let mut fold = PackedRunningFold::new(&packed[0], model).unwrap();
+        let mut chain = packed[0].clone();
+        for v in &packed[1..] {
+            fold.fold(v).unwrap();
+            chain = chain.add(v).unwrap();
+        }
+        assert_eq!(fold.total(), chain);
+        let mut expected = vec![0u64; lanes];
+        for v in &inputs {
+            for (e, x) in expected.iter_mut().zip(v) {
+                *e += x;
+            }
+        }
+        assert_eq!(fold.total().decrypt_u64(&sk), expected);
+    }
+
+    #[test]
+    fn foreign_slot_layouts_are_packer_mismatches() {
+        let (pk, _sk, mut rng) = setup();
+        let p16 = Packer::new(16, crate::TEST_KEY_BITS);
+        let p32 = Packer::new(32, crate::TEST_KEY_BITS);
+        let a = PackedEncryptedVector::encrypt(p16, &pk, &[1, 2, 3], &mut rng).unwrap();
+        let b = PackedEncryptedVector::encrypt(p32, &pk, &[1, 2, 3], &mut rng).unwrap();
+        assert!(matches!(
+            a.add(&b).unwrap_err(),
+            HeError::PackerMismatch { .. }
+        ));
+        let model16 = HeadroomModel::new(p16, 10, 100).unwrap();
+        assert!(matches!(
+            PackedRunningFold::new(&b, model16).unwrap_err(),
+            HeError::PackerMismatch { .. }
+        ));
+        let mut fold = PackedRunningFold::new(&a, model16).unwrap();
+        assert!(matches!(
+            fold.fold(&b).unwrap_err(),
+            HeError::PackerMismatch { .. }
+        ));
+        assert_eq!(fold.folded(), 1);
+        // A packer dimensioned for a different key size than the encryptor's
+        // is refused before anything is packed.
+        let foreign = Packer::new(16, 512);
+        assert!(matches!(
+            PackedEncryptedVector::encrypt(foreign, &pk, &[1], &mut rng).unwrap_err(),
+            HeError::PackerMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn crt_and_precomputed_tiers_produce_identical_packed_vectors() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(56);
+        let kp = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let p = Packer::new(16, crate::TEST_KEY_BITS);
+        let values: Vec<u64> = (0..33).map(|i| i * 11).collect();
+        // Build the key's shared fixed-base table up front so neither tier's
+        // constructor draws from its (identically seeded) RNG.
+        let _warm = crate::fast::PrecomputedEncryptor::new(&kp.public, &mut rng);
+
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(99);
+        let pre = crate::fast::PrecomputedEncryptor::new(&kp.public, &mut rng_a);
+        let a = PackedEncryptedVector::encrypt_with(p, &pre, &values, &mut rng_a).unwrap();
+
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(99);
+        let crt = crate::fast::CrtEncryptor::new(&kp, &mut rng_b).unwrap();
+        let b = PackedEncryptedVector::encrypt_with(p, &crt, &values, &mut rng_b).unwrap();
+
+        assert_eq!(
+            a, b,
+            "CRT tier must be bit-identical to the precomputed tier"
+        );
+        assert_eq!(a.decrypt_u64(&kp.private), values);
+    }
+
+    #[test]
+    fn packed_fold_snapshot_restore_resumes_bit_identically() {
+        let (pk, _sk, mut rng) = setup();
+        let p = Packer::new(16, crate::TEST_KEY_BITS);
+        let model = HeadroomModel::new(p, 50, 1000).unwrap();
+        let packed: Vec<PackedEncryptedVector> = (0..6)
+            .map(|i| {
+                let v: Vec<u64> = (0..20).map(|j| ((i * 5 + j) % 1000) as u64).collect();
+                PackedEncryptedVector::encrypt(p, &pk, &v, &mut rng).unwrap()
+            })
+            .collect();
+        let mut uninterrupted = PackedRunningFold::new(&packed[0], model).unwrap();
+        for v in &packed[1..] {
+            uninterrupted.fold(v).unwrap();
+        }
+        for cut in 1..packed.len() {
+            let mut fold = PackedRunningFold::new(&packed[0], model).unwrap();
+            for v in &packed[1..cut] {
+                fold.fold(v).unwrap();
+            }
+            let snap = fold.snapshot().unwrap();
+            drop(fold); // the "crash"
+            let mut resumed = PackedRunningFold::restore(&snap).unwrap();
+            assert_eq!(resumed.folded(), cut as u64);
+            assert_eq!(resumed.model(), &model);
+            for v in &packed[cut..] {
+                resumed.fold(v).unwrap();
+            }
+            assert_eq!(resumed.total(), uninterrupted.total(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_packed_fold_snapshots_are_typed_errors() {
+        let (pk, _sk, mut rng) = setup();
+        let p = Packer::new(16, crate::TEST_KEY_BITS);
+        let model = HeadroomModel::new(p, 2, 10).unwrap();
+        let v = PackedEncryptedVector::encrypt(p, &pk, &[1, 2, 3], &mut rng).unwrap();
+        let fold = PackedRunningFold::new(&v, model).unwrap();
+        let snap = fold.snapshot().unwrap();
+
+        for cut in [0, 3, 12, 35, snap.len() - 1] {
+            assert!(
+                PackedRunningFold::restore(&snap[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        // Hostile slot width.
+        let mut bad = snap.clone();
+        bad[..4].copy_from_slice(&200u32.to_be_bytes());
+        assert!(matches!(
+            PackedRunningFold::restore(&bad).unwrap_err(),
+            HeError::MalformedEncoding { .. }
+        ));
+        // A model that violates its own headroom argument.
+        let mut bad = snap.clone();
+        bad[12..20].copy_from_slice(&u64::MAX.to_be_bytes()); // max_clients
+        bad[20..28].copy_from_slice(&u64::MAX.to_be_bytes()); // max_counter
+        assert!(matches!(
+            PackedRunningFold::restore(&bad).unwrap_err(),
+            HeError::HeadroomExceeded { .. }
+        ));
+        // A fold count past the declared budget.
+        let mut bad = snap.clone();
+        bad[12..20].copy_from_slice(&0u64.to_be_bytes()); // max_clients = 0
+        assert!(matches!(
+            PackedRunningFold::restore(&bad).unwrap_err(),
+            HeError::ClientBudgetExhausted { .. }
+        ));
+        // A lane count that contradicts the fold's ciphertext shape.
+        let mut bad = snap.clone();
+        bad[28..36].copy_from_slice(&1000u64.to_be_bytes());
+        assert!(matches!(
+            PackedRunningFold::restore(&bad).unwrap_err(),
+            HeError::MalformedEncoding { .. }
+        ));
+    }
+
+    #[test]
+    fn from_vector_validates_the_layout() {
+        let (pk, _sk, mut rng) = setup();
+        let p = Packer::new(16, crate::TEST_KEY_BITS);
+        let good = PackedEncryptedVector::encrypt(p, &pk, &[1; 20], &mut rng).unwrap();
+        let inner = good.vector().clone();
+        assert!(PackedEncryptedVector::from_vector(inner.clone(), 20, p).is_ok());
+        // 20 lanes at 15 slots/plaintext need 2 ciphertexts; claiming 40
+        // lanes would need 3.
+        assert!(matches!(
+            PackedEncryptedVector::from_vector(inner.clone(), 40, p).unwrap_err(),
+            HeError::MalformedEncoding { .. }
+        ));
+        // A packer dimensioned for a foreign key size is refused.
+        assert!(matches!(
+            PackedEncryptedVector::from_vector(inner, 20, Packer::new(16, 512)).unwrap_err(),
+            HeError::PackerMismatch { .. }
+        ));
     }
 }

@@ -9,8 +9,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::ciphertext::Ciphertext;
+use crate::error::HeError;
 use crate::keys::PublicKey;
-use crate::packing::PackedCiphertext;
+use crate::packing::{PackedCiphertext, PackedEncryptedVector, Packer};
 use crate::vector::EncryptedVector;
 
 /// Serialized sizes of one protocol object, in bytes.
@@ -65,6 +66,35 @@ pub fn private_key_size_bytes(public: &PublicKey) -> usize {
 /// accounting comparable.
 pub fn vector_wire_bytes(vector: &EncryptedVector) -> usize {
     vector.len() * ciphertext_size_bytes(vector.public_key())
+}
+
+/// Canonical wire size of a packed encrypted vector: its
+/// `⌈count / slots_per_plaintext⌉` ciphertexts at the fixed residue width.
+/// The element-wise model divided by ~slots — the whole point of packing.
+pub fn packed_vector_wire_bytes(packed: &PackedEncryptedVector) -> usize {
+    packed.ciphertext_count() * ciphertext_size_bytes(packed.public_key())
+}
+
+/// [`packed_vector_wire_bytes`] from parameters alone, for callers without a
+/// ciphertext in hand (the FL ledger's modeled accounting): `count` lanes of
+/// `slot_bits`-bit slots under a `key_bits`-bit key. Errors when the slot
+/// width fits no lane into the plaintext.
+pub fn packed_vector_wire_bytes_for(
+    count: usize,
+    slot_bits: u32,
+    key_bits: u64,
+) -> Result<usize, HeError> {
+    let per = Packer::try_new(slot_bits, key_bits)?.slots_per_plaintext()?;
+    Ok(count.div_ceil(per) * ciphertext_size_bytes_for(key_bits))
+}
+
+/// Measures plaintext vs ciphertext size for a protocol-packed vector, at
+/// the canonical fixed width.
+pub fn measure_packed_vector(packed: &PackedEncryptedVector) -> TransportSize {
+    TransportSize {
+        plaintext_bytes: plaintext_vector_bytes(packed.count()),
+        ciphertext_bytes: packed_vector_wire_bytes(packed),
+    }
 }
 
 /// Plaintext size of an integer vector, counting 8 bytes per element (how the

@@ -160,6 +160,23 @@ impl EncryptedVector {
         rng: &mut R,
     ) -> Result<Self, HeError> {
         let encryptor = PrecomputedEncryptor::new(public, rng);
+        Self::encrypt_with(&encryptor, values, rng)
+    }
+
+    /// Encrypts a slice of arbitrary-precision values with an explicit fast
+    /// encryptor — any [`Encryptor`], so packed multi-slot plaintexts get the
+    /// same CRT-split tier as `u64` registries when the keypair is in hand.
+    /// Values at or above the modulus are [`HeError::PlaintextTooLarge`].
+    pub fn encrypt_with<E, R>(
+        encryptor: &E,
+        values: &[BigUint],
+        rng: &mut R,
+    ) -> Result<Self, HeError>
+    where
+        E: Encryptor + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let public = encryptor.public_key().clone();
         for v in values {
             if v >= public.n() {
                 return Err(HeError::PlaintextTooLarge);
@@ -171,10 +188,7 @@ impl EncryptedVector {
             let value = (g_to_m * encryptor.randomizer_for(&exponents[i])) % public.n_squared();
             Ciphertext::from_raw(value, public.clone())
         });
-        Ok(EncryptedVector {
-            elements,
-            public: public.clone(),
-        })
+        Ok(EncryptedVector { elements, public })
     }
 
     /// An all-zero encrypted vector of the given length (identity for sums).

@@ -8,7 +8,8 @@ use std::sync::OnceLock;
 use dubhe_he::packing::Packer;
 use dubhe_he::{
     sum_vectors, sum_vectors_serial, CrtEncryptor, EncryptedVector, Encryptor, FixedPointCodec,
-    Keypair, PrecomputedEncryptor, PrivateKey, PublicKey, RunningFold,
+    HeadroomModel, Keypair, PackedEncryptedVector, PackedRunningFold, PrecomputedEncryptor,
+    PrivateKey, PublicKey, RunningFold,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -194,6 +195,87 @@ proptest! {
             prop_assert_eq!(x.raw(), y.raw(), "vector ciphertexts diverged");
         }
         prop_assert_eq!(vb.decrypt_u64(sk).unwrap(), values);
+    }
+
+    #[test]
+    fn packed_fold_preserves_every_lane_across_widths_and_cohorts(
+        width_step in 0u32..4,
+        len in 1usize..40,
+        clients in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // The lane-preservation pin of the packed protocol: for random slot
+        // widths (16/24/32/40 bits), lane counts straddling the parallel
+        // threshold, and cohort sizes within the headroom proof, the full
+        // pack -> encrypt -> homomorphic fold -> decrypt -> unpack pipeline
+        // must equal the element-wise sums exactly — no lane may bleed into
+        // its neighbor. Runs under both `parallel` feature states via the CI
+        // matrix.
+        let (pk, sk) = keys();
+        let slot_bits = 16 + 8 * width_step;
+        let packer = Packer::new(slot_bits, dubhe_he::TEST_KEY_BITS);
+        // 8 clients x counters < 1000 stays far inside even 16-bit lanes.
+        let model = HeadroomModel::new(packer, 8, 999).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let plain: Vec<Vec<u64>> = (0..clients)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 3) % 1000) as u64).collect())
+            .collect();
+        let encrypted: Vec<PackedEncryptedVector> = plain
+            .iter()
+            .map(|v| PackedEncryptedVector::encrypt(packer, pk, v, &mut rng).unwrap())
+            .collect();
+
+        let mut fold = PackedRunningFold::new(&encrypted[0], model).unwrap();
+        for v in &encrypted[1..] {
+            fold.fold(v).unwrap();
+        }
+        prop_assert_eq!(fold.folded(), clients as u64);
+
+        let expected: Vec<u64> = (0..len)
+            .map(|j| plain.iter().map(|v| v[j]).sum())
+            .collect();
+        prop_assert_eq!(fold.total().decrypt_u64(sk), expected);
+
+        // Pairwise `add` is the same slot-wise operation the fold uses.
+        if clients >= 2 {
+            let pair = encrypted[0].add(&encrypted[1]).unwrap();
+            let pair_expected: Vec<u64> = plain[0]
+                .iter()
+                .zip(&plain[1])
+                .map(|(a, b)| a + b)
+                .collect();
+            prop_assert_eq!(pair.decrypt_u64(sk), pair_expected);
+        }
+    }
+
+    #[test]
+    fn packed_encryptor_tiers_are_bit_identical_and_fold_together(
+        len in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        // The CRT-split and the full-width precomputed encryptor must pack
+        // to byte-identical ciphertexts on the same randomness stream, and
+        // vectors from either tier must fold together into the right lanes.
+        let (pk, sk) = keys();
+        let packer = Packer::new(32, dubhe_he::TEST_KEY_BITS);
+        let mut warm = rand::rngs::StdRng::seed_from_u64(seed ^ 0xCC);
+        let fast = PrecomputedEncryptor::new(pk, &mut warm);
+        let crt = CrtEncryptor::from_keys(pk, sk, &mut warm).unwrap();
+
+        let values: Vec<u64> = (0..len as u64).map(|j| (j * 37 + 5) % 4096).collect();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = PackedEncryptedVector::encrypt_with(packer, &fast, &values, &mut rng_a).unwrap();
+        let b = PackedEncryptedVector::encrypt_with(packer, &crt, &values, &mut rng_b).unwrap();
+        for (x, y) in a.vector().elements().iter().zip(b.vector().elements()) {
+            prop_assert_eq!(x.raw(), y.raw(), "packed ciphertexts diverged across tiers");
+        }
+
+        let model = HeadroomModel::new(packer, 4, 4096).unwrap();
+        let mut fold = PackedRunningFold::new(&a, model).unwrap();
+        fold.fold(&b).unwrap();
+        let expected: Vec<u64> = values.iter().map(|v| v * 2).collect();
+        prop_assert_eq!(fold.total().decrypt_u64(sk), expected);
     }
 
     #[test]

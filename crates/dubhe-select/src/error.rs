@@ -106,6 +106,19 @@ pub enum ProtocolError {
         /// The tentative try, or `None` for a registration upload.
         try_index: Option<usize>,
     },
+    /// A coordinator and a contributor disagree about ciphertext packing: a
+    /// packed frame reached a coordinator with no packing policy, or an
+    /// element-wise frame reached one configured for packed folds. Folding
+    /// across the two layouts would corrupt lanes, so the frame is refused.
+    PackingDisagreement {
+        /// The refusing role.
+        role: &'static str,
+        /// `true` if the receiver expected packed ciphertexts and got
+        /// element-wise ones; `false` for the reverse.
+        expected_packed: bool,
+        /// The offending message kind.
+        kind: MsgKind,
+    },
     /// A registry arrived after the epoch total was already broadcast.
     EpochComplete {
         /// The late client id.
@@ -216,6 +229,24 @@ impl std::fmt::Display for ProtocolError {
                 Some(t) => write!(f, "client {client} already contributed to try {t}"),
                 None => write!(f, "client {client} already uploaded its registry"),
             },
+            ProtocolError::PackingDisagreement {
+                role,
+                expected_packed,
+                kind,
+            } => {
+                if *expected_packed {
+                    write!(
+                        f,
+                        "{role} is configured for packed ciphertexts but received an \
+                         element-wise {kind:?} frame"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "{role} received a packed {kind:?} frame but has no packing policy"
+                    )
+                }
+            }
             ProtocolError::EpochComplete { client } => {
                 write!(
                     f,

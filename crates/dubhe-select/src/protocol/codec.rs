@@ -44,7 +44,15 @@
 //!   | 3 u64 client  u64 try_index  vector
 //!   | 4 u64 try_index  u64 contributors  vector
 //!   | 5 u64 best_try  f64-bits distance
+//!   | 6 u64 client  packed-vector                      (PackedRegistry)
+//!   | 7 packed-vector                                  (PackedTotalBroadcast)
+//!   | 8 u64 client  u64 try_index  packed-vector       (PackedDistribution)
+//!   | 9 u64 try_index  u64 contributors  packed-vector (PackedDistributionSum)
+//! packed-vector := u32 slot_bits  u64 key_bits  u64 count  vector
 //! ```
+//!
+//! The packed variants extend the tag sequence (6–9) rather than reordering
+//! it, so every pre-packing DBH2 peer still reads tags 0–5 unchanged.
 
 use dubhe_he::codec as he;
 use dubhe_he::transport::{private_key_size_bytes, public_key_size_bytes};
@@ -275,6 +283,14 @@ fn envelope_hint(e: &Envelope) -> usize {
         }
         ProtocolMsg::EncryptedDistributionSum { sum, .. } => 16 + he::encoded_vector_bytes(sum),
         ProtocolMsg::TryVerdict { .. } => 16,
+        ProtocolMsg::PackedRegistry { registry, .. } => {
+            8 + he::encoded_packed_vector_bytes(registry)
+        }
+        ProtocolMsg::PackedTotalBroadcast { total } => he::encoded_packed_vector_bytes(total),
+        ProtocolMsg::PackedDistribution { distribution, .. } => {
+            16 + he::encoded_packed_vector_bytes(distribution)
+        }
+        ProtocolMsg::PackedDistributionSum { sum, .. } => 16 + he::encoded_packed_vector_bytes(sum),
     };
     party_hint(&e.from) + party_hint(&e.to) + 8 + 1 + body
 }
@@ -369,6 +385,35 @@ fn encode_envelope(e: &Envelope, out: &mut Vec<u8>) -> Result<(), ProtocolError>
             he::put_u64(out, *best_try as u64);
             he::put_u64(out, distance.to_bits());
         }
+        ProtocolMsg::PackedRegistry { client, registry } => {
+            out.push(6);
+            he::put_u64(out, *client as u64);
+            he::encode_packed_vector(registry, out).map_err(he_err)?;
+        }
+        ProtocolMsg::PackedTotalBroadcast { total } => {
+            out.push(7);
+            he::encode_packed_vector(total, out).map_err(he_err)?;
+        }
+        ProtocolMsg::PackedDistribution {
+            client,
+            try_index,
+            distribution,
+        } => {
+            out.push(8);
+            he::put_u64(out, *client as u64);
+            he::put_u64(out, *try_index as u64);
+            he::encode_packed_vector(distribution, out).map_err(he_err)?;
+        }
+        ProtocolMsg::PackedDistributionSum {
+            try_index,
+            contributors,
+            sum,
+        } => {
+            out.push(9);
+            he::put_u64(out, *try_index as u64);
+            he::put_u64(out, *contributors as u64);
+            he::encode_packed_vector(sum, out).map_err(he_err)?;
+        }
     }
     Ok(())
 }
@@ -439,6 +484,23 @@ fn decode_envelope(cur: &mut &[u8]) -> Result<Envelope, ProtocolError> {
         5 => ProtocolMsg::TryVerdict {
             best_try: take_usize(cur)?,
             distance: f64::from_bits(he::take_u64(cur).map_err(he_err)?),
+        },
+        6 => ProtocolMsg::PackedRegistry {
+            client: take_usize(cur)?,
+            registry: he::decode_packed_vector(cur).map_err(he_err)?,
+        },
+        7 => ProtocolMsg::PackedTotalBroadcast {
+            total: he::decode_packed_vector(cur).map_err(he_err)?,
+        },
+        8 => ProtocolMsg::PackedDistribution {
+            client: take_usize(cur)?,
+            try_index: take_usize(cur)?,
+            distribution: he::decode_packed_vector(cur).map_err(he_err)?,
+        },
+        9 => ProtocolMsg::PackedDistributionSum {
+            try_index: take_usize(cur)?,
+            contributors: take_usize(cur)?,
+            sum: he::decode_packed_vector(cur).map_err(he_err)?,
         },
         tag => return Err(malformed_tag("protocol-message", tag)),
     };
@@ -523,6 +585,14 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(31);
         let kp = Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
         let v = EncryptedVector::encrypt_u64(&kp.public, &[0, 1, 0, 2], &mut rng);
+        let packer = dubhe_he::Packer::new(16, dubhe_he::TEST_KEY_BITS);
+        let pv = dubhe_he::PackedEncryptedVector::encrypt(
+            packer,
+            &kp.public,
+            &(0..20).map(|i| i * 3).collect::<Vec<u64>>(),
+            &mut rng,
+        )
+        .unwrap();
         let env = |msg: ProtocolMsg| Envelope {
             from: Party::Client(3),
             to: Party::Server,
@@ -574,6 +644,27 @@ mod tests {
                     env(ProtocolMsg::TryVerdict {
                         best_try: 1,
                         distance: 0.625,
+                    }),
+                ],
+            },
+            WireMsg::Envelope {
+                envelope: env(ProtocolMsg::PackedRegistry {
+                    client: 3,
+                    registry: pv.clone(),
+                }),
+            },
+            WireMsg::Batch {
+                envelopes: vec![
+                    env(ProtocolMsg::PackedTotalBroadcast { total: pv.clone() }),
+                    env(ProtocolMsg::PackedDistribution {
+                        client: 3,
+                        try_index: 2,
+                        distribution: pv.clone(),
+                    }),
+                    env(ProtocolMsg::PackedDistributionSum {
+                        try_index: 2,
+                        contributors: 9,
+                        sum: pv,
                     }),
                 ],
             },
@@ -710,6 +801,43 @@ mod tests {
                 "{bytes:?} -> {err}"
             );
         }
+    }
+
+    #[test]
+    fn truncated_packed_dbh2_payloads_are_typed_errors() {
+        // Every strict prefix of a packed-registry frame decodes to a typed
+        // MalformedFrame — never a panic, never an unbounded allocation.
+        let packed = sample_msgs()
+            .into_iter()
+            .find(|m| {
+                matches!(
+                    m,
+                    WireMsg::Envelope {
+                        envelope: Envelope {
+                            msg: ProtocolMsg::PackedRegistry { .. },
+                            ..
+                        }
+                    }
+                )
+            })
+            .expect("sample set carries a packed registry");
+        let payload = CodecKind::Binary.encode(&packed).unwrap();
+        for cut in 0..payload.len() {
+            let err = CodecKind::Binary.decode(&payload[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::MalformedFrame { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+        // A hostile slot width inside an otherwise intact frame is refused.
+        let mut bad = payload.clone();
+        // envelope: tag(1) + from(9) + to(1) + epoch(8) + msgtag(1) + client(8)
+        let layout_off = 1 + 9 + 1 + 8 + 1 + 8;
+        bad[layout_off..layout_off + 4].copy_from_slice(&250u32.to_be_bytes());
+        assert!(matches!(
+            CodecKind::Binary.decode(&bad).unwrap_err(),
+            ProtocolError::MalformedFrame { .. }
+        ));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use dubhe_data::ClassDistribution;
 use rand::Rng;
 
 use super::message::Party;
+use super::packing::PackingPolicy;
 use super::roles::{AgentNode, Coordinator, CoordinatorServer, SelectClientNode};
 use super::transport::Transport;
 use crate::config::DubheConfig;
@@ -142,6 +143,66 @@ pub fn run_registration_with<C, T, R>(
     client_distributions: &[ClassDistribution],
     config: &DubheConfig,
     key_bits: u64,
+    server: C,
+    transport: &mut T,
+    rng: &mut R,
+) -> Result<RegistrationRun<C>, SelectError>
+where
+    C: Coordinator,
+    T: Transport,
+    R: Rng + ?Sized,
+{
+    run_registration_inner(
+        client_distributions,
+        config,
+        key_bits,
+        None,
+        server,
+        transport,
+        rng,
+    )
+}
+
+/// [`run_registration_with`] under a [`PackingPolicy`]: every client uploads
+/// a slot-packed registry. The supplied coordinator must hold the **same**
+/// policy (via its `with_packing` builder) — a coordinator without one, or
+/// with a different slot layout, refuses the uploads with typed errors.
+///
+/// The exchange sequence, addressees and epoch stamps are identical to the
+/// unpacked run; only the registry payload representation (and therefore the
+/// wire bytes) changes, so decrypted totals — and everything computed from
+/// them — match the unpacked run exactly.
+pub fn run_registration_with_packing<C, T, R>(
+    client_distributions: &[ClassDistribution],
+    config: &DubheConfig,
+    key_bits: u64,
+    policy: PackingPolicy,
+    server: C,
+    transport: &mut T,
+    rng: &mut R,
+) -> Result<RegistrationRun<C>, SelectError>
+where
+    C: Coordinator,
+    T: Transport,
+    R: Rng + ?Sized,
+{
+    run_registration_inner(
+        client_distributions,
+        config,
+        key_bits,
+        Some(policy),
+        server,
+        transport,
+        rng,
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // the shared core of the two entry points
+fn run_registration_inner<C, T, R>(
+    client_distributions: &[ClassDistribution],
+    config: &DubheConfig,
+    key_bits: u64,
+    packing: Option<PackingPolicy>,
     mut server: C,
     transport: &mut T,
     rng: &mut R,
@@ -162,7 +223,13 @@ where
     let mut clients: Vec<SelectClientNode> = client_distributions
         .iter()
         .enumerate()
-        .map(|(id, d)| SelectClientNode::new(id, d.clone(), config))
+        .map(|(id, d)| {
+            let client = SelectClientNode::new(id, d.clone(), config);
+            match packing {
+                Some(policy) => client.with_packing(policy),
+                None => client,
+            }
+        })
         .collect();
 
     for e in agent.dispatch_keys(n) {

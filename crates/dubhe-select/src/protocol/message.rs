@@ -7,9 +7,10 @@
 //! implementation can meter a link without serializing.
 
 use dubhe_he::transport::{
-    ciphertext_size_bytes, private_key_size_bytes, public_key_size_bytes, vector_wire_bytes,
+    ciphertext_size_bytes, packed_vector_wire_bytes, private_key_size_bytes, public_key_size_bytes,
+    vector_wire_bytes,
 };
-use dubhe_he::{EncryptedVector, PrivateKey, PublicKey};
+use dubhe_he::{EncryptedVector, PackedEncryptedVector, PrivateKey, PublicKey};
 use serde::{Deserialize, Serialize};
 
 use crate::selector::ClientId;
@@ -102,17 +103,63 @@ pub enum ProtocolMsg {
         /// `‖p_o,h* − p_u‖₁`.
         distance: f64,
     },
+    /// **Fig. 4 step 2, packed** — a client's registry with many counters
+    /// laid into each Paillier plaintext (BatchCrypt-style slot packing).
+    /// Semantically identical to [`EncryptedRegistry`](Self::EncryptedRegistry)
+    /// at ~slots× fewer ciphertexts; a packing-configured coordinator accepts
+    /// only this form.
+    PackedRegistry {
+        /// The sending client.
+        client: ClientId,
+        /// The slot-packed encrypted registry.
+        registry: PackedEncryptedVector,
+    },
+    /// **Fig. 4 step 3, packed** — the server's broadcast of the lane-wise
+    /// homomorphic sum of every received packed registry.
+    PackedTotalBroadcast {
+        /// The packed encrypted overall registry.
+        total: PackedEncryptedVector,
+    },
+    /// **§5.3.1, packed** — a tentatively selected client's slot-packed
+    /// encrypted scaled label distribution for one try.
+    PackedDistribution {
+        /// The sending client.
+        client: ClientId,
+        /// Which of the `H` tentative tries this contribution belongs to.
+        try_index: usize,
+        /// The packed encrypted fixed-point label distribution.
+        distribution: PackedEncryptedVector,
+    },
+    /// **§5.3.1, packed** — the server's lane-wise homomorphic sum of one
+    /// try's packed distributions, forwarded to the agent for decryption.
+    PackedDistributionSum {
+        /// Which try the sum belongs to.
+        try_index: usize,
+        /// How many client distributions were folded in.
+        contributors: usize,
+        /// The packed encrypted sum.
+        sum: PackedEncryptedVector,
+    },
 }
 
 impl ProtocolMsg {
-    /// The message's kind (for accounting).
+    /// The message's kind (for accounting). A packed variant shares the kind
+    /// of its element-wise form — it is the same protocol step, just a denser
+    /// layout — so per-kind metering compares packed and unpacked runs
+    /// link-for-link.
     pub fn kind(&self) -> MsgKind {
         match self {
             ProtocolMsg::PublicKeyDispatch { .. } => MsgKind::KeyDispatch,
-            ProtocolMsg::EncryptedRegistry { .. } => MsgKind::Registry,
-            ProtocolMsg::EncryptedTotalBroadcast { .. } => MsgKind::TotalBroadcast,
-            ProtocolMsg::EncryptedDistribution { .. } => MsgKind::Distribution,
-            ProtocolMsg::EncryptedDistributionSum { .. } => MsgKind::DistributionSum,
+            ProtocolMsg::EncryptedRegistry { .. } | ProtocolMsg::PackedRegistry { .. } => {
+                MsgKind::Registry
+            }
+            ProtocolMsg::EncryptedTotalBroadcast { .. }
+            | ProtocolMsg::PackedTotalBroadcast { .. } => MsgKind::TotalBroadcast,
+            ProtocolMsg::EncryptedDistribution { .. } | ProtocolMsg::PackedDistribution { .. } => {
+                MsgKind::Distribution
+            }
+            ProtocolMsg::EncryptedDistributionSum { .. }
+            | ProtocolMsg::PackedDistributionSum { .. } => MsgKind::DistributionSum,
             ProtocolMsg::TryVerdict { .. } => MsgKind::Verdict,
         }
     }
@@ -142,6 +189,16 @@ impl ProtocolMsg {
                 2 * SCALAR + vector_wire_bytes(sum)
             }
             ProtocolMsg::TryVerdict { .. } => 2 * SCALAR,
+            ProtocolMsg::PackedRegistry { registry, .. } => {
+                SCALAR + packed_vector_wire_bytes(registry)
+            }
+            ProtocolMsg::PackedTotalBroadcast { total } => packed_vector_wire_bytes(total),
+            ProtocolMsg::PackedDistribution { distribution, .. } => {
+                2 * SCALAR + packed_vector_wire_bytes(distribution)
+            }
+            ProtocolMsg::PackedDistributionSum { sum, .. } => {
+                2 * SCALAR + packed_vector_wire_bytes(sum)
+            }
         }
     }
 
@@ -157,6 +214,12 @@ impl ProtocolMsg {
                 vector_wire_bytes(distribution)
             }
             ProtocolMsg::EncryptedDistributionSum { sum, .. } => vector_wire_bytes(sum),
+            ProtocolMsg::PackedRegistry { registry, .. } => packed_vector_wire_bytes(registry),
+            ProtocolMsg::PackedTotalBroadcast { total } => packed_vector_wire_bytes(total),
+            ProtocolMsg::PackedDistribution { distribution, .. } => {
+                packed_vector_wire_bytes(distribution)
+            }
+            ProtocolMsg::PackedDistributionSum { sum, .. } => packed_vector_wire_bytes(sum),
         }
     }
 }

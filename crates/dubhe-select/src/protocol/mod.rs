@@ -27,6 +27,16 @@
 //! | [`EncryptedDistributionSum`] | §5.3.1 — server forwards `Enc(Σ p_l)` of try `h` | server → agent |
 //! | [`TryVerdict`] | §5.3.1 — agent announces `h* = argmin_h ‖p_o,h − p_u‖₁` | agent → server |
 //!
+//! When a [`PackingPolicy`] is installed (BatchCrypt-style slot packing, the
+//! paper's §6.4 overhead lever), the four ciphertext-bearing messages travel
+//! as their `Packed*` twins — [`PackedRegistry`], [`PackedTotalBroadcast`],
+//! [`PackedDistribution`], [`PackedDistributionSum`] — same paper steps,
+//! same [`MsgKind`]s (so per-kind metering compares packed and unpacked runs
+//! link-for-link), with many counters per Paillier plaintext. The policy's
+//! [`HeadroomModel`](dubhe_he::HeadroomModel) proves `max_clients ·
+//! max_counter < 2^slot_bits` before any ciphertext exists and refuses
+//! over-budget folds at runtime with typed errors.
+//!
 //! Fig. 4 step 4 (clients decrypt the total and compute Eq. 6 locally)
 //! produces no wire message: it happens inside [`SelectClientNode`] when the
 //! broadcast arrives.
@@ -67,11 +77,16 @@
 //! [`EncryptedDistribution`]: ProtocolMsg::EncryptedDistribution
 //! [`EncryptedDistributionSum`]: ProtocolMsg::EncryptedDistributionSum
 //! [`TryVerdict`]: ProtocolMsg::TryVerdict
+//! [`PackedRegistry`]: ProtocolMsg::PackedRegistry
+//! [`PackedTotalBroadcast`]: ProtocolMsg::PackedTotalBroadcast
+//! [`PackedDistribution`]: ProtocolMsg::PackedDistribution
+//! [`PackedDistributionSum`]: ProtocolMsg::PackedDistributionSum
 
 pub mod codec;
 pub mod driver;
 pub mod fault;
 pub mod message;
+pub mod packing;
 pub mod roles;
 pub mod shard;
 pub mod stats;
@@ -81,10 +96,12 @@ pub mod wire;
 
 pub use codec::{BinaryCodec, CodecKind, JsonCodec, WireCodec};
 pub use driver::{
-    pump, run_registration, run_registration_with, run_try, run_try_with_dropouts, RegistrationRun,
+    pump, run_registration, run_registration_with, run_registration_with_packing, run_try,
+    run_try_with_dropouts, RegistrationRun,
 };
 pub use fault::{Fault, FaultPlan, FaultStats, FaultyTransport};
 pub use message::{Envelope, MsgKind, Party, ProtocolMsg};
+pub use packing::PackingPolicy;
 pub use roles::{AgentNode, CohortOutcome, Coordinator, CoordinatorServer, SelectClientNode};
 pub use shard::{shard_ranges, ShardedCoordinator};
 pub use stats::{LatencyHistogram, LatencySummary, ListenerMetrics, ListenerStats};

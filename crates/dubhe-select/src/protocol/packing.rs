@@ -1,0 +1,190 @@
+//! The protocol-level packing policy: which phases pack, under which budget.
+//!
+//! A [`PackingPolicy`] fixes one slot layout ([`Packer`]) for a cohort and
+//! derives the per-phase [`HeadroomModel`]s from it:
+//!
+//! * the **registration** fold adds one-hot registries, so a lane grows by at
+//!   most 1 per client — `max_counter = 1`;
+//! * the **multi-time try** folds add fixed-point scaled distributions, so a
+//!   lane grows by up to [`DEFAULT_FIXED_SCALE`] per client.
+//!
+//! Both models must prove `max_clients · max_counter < 2^slot_bits` at
+//! construction ([`HeError::HeadroomExceeded`] otherwise) — which is why a
+//! 16-bit slot layout can only ever be a
+//! [`registry_only`](PackingPolicy::registry_only) policy: a single scaled
+//! distribution value (10⁶) already overflows a 16-bit lane, so the
+//! full-policy constructor refuses it before any ciphertext exists.
+//!
+//! The policy travels inside coordinator snapshots (crash recovery restores
+//! the same budget it crashed with), encoded as fixed-width big-endian fields
+//! like everything else in the `DBH2` family.
+//!
+//! [`HeError::HeadroomExceeded`]: dubhe_he::HeError::HeadroomExceeded
+
+use dubhe_he::{codec as he_codec, HeadroomModel, Packer, DEFAULT_FIXED_SCALE};
+
+use crate::error::ProtocolError;
+
+/// One cohort's packing configuration: a slot layout plus the headroom
+/// models that prove the registration fold — and, when enabled, the try
+/// folds — can never overflow a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackingPolicy {
+    registry: HeadroomModel,
+    tries: Option<HeadroomModel>,
+}
+
+impl PackingPolicy {
+    /// A policy that packs registrations *and* multi-time distributions.
+    ///
+    /// Errors with [`HeError::HeadroomExceeded`](dubhe_he::HeError::HeadroomExceeded)
+    /// if either phase's worst case (`max_clients · 1` for registries,
+    /// `max_clients ·` [`DEFAULT_FIXED_SCALE`] for tries) does not fit a
+    /// slot, and with the packer's own typed errors for hostile slot widths.
+    pub fn new(slot_bits: u32, key_bits: u64, max_clients: u64) -> Result<Self, ProtocolError> {
+        let packer = Packer::try_new(slot_bits, key_bits)?;
+        let registry = HeadroomModel::new(packer, max_clients, 1)?;
+        let tries = HeadroomModel::new(packer, max_clients, DEFAULT_FIXED_SCALE)?;
+        Ok(PackingPolicy {
+            registry,
+            tries: Some(tries),
+        })
+    }
+
+    /// A policy that packs registrations only; multi-time distributions stay
+    /// element-wise. The narrow-slot option: 16-bit lanes hold one-hot sums
+    /// for up to 65535 clients but can never hold a scaled distribution.
+    pub fn registry_only(
+        slot_bits: u32,
+        key_bits: u64,
+        max_clients: u64,
+    ) -> Result<Self, ProtocolError> {
+        let packer = Packer::try_new(slot_bits, key_bits)?;
+        let registry = HeadroomModel::new(packer, max_clients, 1)?;
+        Ok(PackingPolicy {
+            registry,
+            tries: None,
+        })
+    }
+
+    /// The shared slot layout.
+    pub fn packer(&self) -> Packer {
+        self.registry.packer()
+    }
+
+    /// The registration-phase headroom model (`max_counter = 1`).
+    pub fn registry_model(&self) -> HeadroomModel {
+        self.registry
+    }
+
+    /// The try-phase headroom model, if distributions are packed.
+    pub fn try_model(&self) -> Option<HeadroomModel> {
+        self.tries
+    }
+
+    /// Whether multi-time distributions are packed under this policy.
+    pub fn packs_tries(&self) -> bool {
+        self.tries.is_some()
+    }
+
+    /// The declared client budget no fold may exceed.
+    pub fn max_clients(&self) -> u64 {
+        self.registry.max_clients()
+    }
+
+    /// Appends the policy's snapshot encoding:
+    /// `u32 slot_bits | u64 key_bits | u64 max_clients | u64 registry_max_counter
+    ///  | u8 tries_flag | [u64 try_max_counter]`.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        let packer = self.packer();
+        he_codec::put_u32(out, packer.slot_bits);
+        he_codec::put_u64(out, packer.key_bits);
+        he_codec::put_u64(out, self.registry.max_clients());
+        he_codec::put_u64(out, self.registry.max_counter());
+        match &self.tries {
+            None => out.push(0),
+            Some(model) => {
+                out.push(1);
+                he_codec::put_u64(out, model.max_counter());
+            }
+        }
+    }
+
+    /// Decodes and **re-validates** a snapshot policy: a tampered snapshot
+    /// whose budget breaks the headroom proof is a typed error, never a
+    /// silently adopted unsafe configuration.
+    pub(crate) fn decode(cur: &mut &[u8]) -> Result<Self, ProtocolError> {
+        let slot_bits = he_codec::take_u32(cur).map_err(ProtocolError::He)?;
+        let key_bits = he_codec::take_u64(cur).map_err(ProtocolError::He)?;
+        let max_clients = he_codec::take_u64(cur).map_err(ProtocolError::He)?;
+        let registry_counter = he_codec::take_u64(cur).map_err(ProtocolError::He)?;
+        let packer = Packer::try_new(slot_bits, key_bits).map_err(ProtocolError::He)?;
+        let registry =
+            HeadroomModel::new(packer, max_clients, registry_counter).map_err(ProtocolError::He)?;
+        let tries = match he_codec::take_bytes(cur, 1).map_err(ProtocolError::He)?[0] {
+            0 => None,
+            1 => {
+                let counter = he_codec::take_u64(cur).map_err(ProtocolError::He)?;
+                Some(HeadroomModel::new(packer, max_clients, counter).map_err(ProtocolError::He)?)
+            }
+            _ => {
+                return Err(ProtocolError::MalformedFrame {
+                    detail: "packing policy tries flag is not 0 or 1".into(),
+                })
+            }
+        };
+        Ok(PackingPolicy { registry, tries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dubhe_he::{HeError, TEST_KEY_BITS};
+
+    #[test]
+    fn full_policy_needs_try_headroom() {
+        // 32-bit lanes hold 4294 scaled contributions (4294·10⁶ < 2³²)…
+        let p = PackingPolicy::new(32, TEST_KEY_BITS, 4294).unwrap();
+        assert!(p.packs_tries());
+        assert_eq!(p.max_clients(), 4294);
+        // …but not 4295.
+        assert!(matches!(
+            PackingPolicy::new(32, TEST_KEY_BITS, 4295),
+            Err(ProtocolError::He(HeError::HeadroomExceeded { .. }))
+        ));
+        // 16-bit lanes cannot hold even one scaled distribution value…
+        assert!(matches!(
+            PackingPolicy::new(16, TEST_KEY_BITS, 1),
+            Err(ProtocolError::He(HeError::HeadroomExceeded { .. }))
+        ));
+        // …so narrow slots are registry-only by construction.
+        let narrow = PackingPolicy::registry_only(16, TEST_KEY_BITS, 65535).unwrap();
+        assert!(!narrow.packs_tries());
+        assert!(narrow.try_model().is_none());
+    }
+
+    #[test]
+    fn policy_round_trips_through_its_snapshot_encoding() {
+        for policy in [
+            PackingPolicy::new(32, TEST_KEY_BITS, 100).unwrap(),
+            PackingPolicy::registry_only(16, TEST_KEY_BITS, 9).unwrap(),
+        ] {
+            let mut buf = Vec::new();
+            policy.encode(&mut buf);
+            let cur = &mut &buf[..];
+            assert_eq!(PackingPolicy::decode(cur).unwrap(), policy);
+            assert!(cur.is_empty());
+        }
+        // A tampered snapshot with an unsafe budget is refused on decode.
+        let mut buf = Vec::new();
+        PackingPolicy::new(32, TEST_KEY_BITS, 100)
+            .unwrap()
+            .encode(&mut buf);
+        buf[12..20].copy_from_slice(&u64::MAX.to_be_bytes()); // max_clients
+        assert!(matches!(
+            PackingPolicy::decode(&mut &buf[..]),
+            Err(ProtocolError::He(HeError::HeadroomExceeded { .. }))
+        ));
+    }
+}

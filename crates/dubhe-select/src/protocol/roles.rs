@@ -20,12 +20,14 @@ use std::time::{Duration, Instant};
 
 use dubhe_data::ClassDistribution;
 use dubhe_he::{
-    codec as he_codec, EncryptedVector, EpochEncryptor, FixedPointCodec, Keypair,
-    PrecomputedEncryptor, PrivateKey, PublicKey, RunningFold,
+    codec as he_codec, packed_vector_wire_bytes, EncryptedVector, EpochEncryptor, FixedPointCodec,
+    HeadroomModel, Keypair, PackedEncryptedVector, PackedRunningFold, PrecomputedEncryptor,
+    PrivateKey, PublicKey, RunningFold,
 };
 use rand::Rng;
 
-use super::message::{ciphertext_width, Envelope, Party, ProtocolMsg};
+use super::message::{ciphertext_width, Envelope, MsgKind, Party, ProtocolMsg};
+use super::packing::PackingPolicy;
 use crate::codebook::RegistryLayout;
 use crate::config::DubheConfig;
 use crate::error::ProtocolError;
@@ -123,6 +125,24 @@ fn fold_in(acc: &mut Option<RunningFold>, v: &EncryptedVector) -> Result<(), Pro
     }
 }
 
+/// The packed counterpart of [`fold_in`]: seeds or advances a
+/// [`PackedRunningFold`], whose [`HeadroomModel`] refuses foreign slot
+/// layouts and any contribution past the declared client budget *before*
+/// the multiply — a refused fold leaves the running state untouched.
+fn fold_in_packed(
+    acc: &mut Option<PackedRunningFold>,
+    v: &PackedEncryptedVector,
+    model: HeadroomModel,
+) -> Result<(), ProtocolError> {
+    match acc {
+        None => {
+            *acc = Some(PackedRunningFold::new(v, model)?);
+            Ok(())
+        }
+        Some(fold) => Ok(fold.fold(v)?),
+    }
+}
+
 /// Per-try aggregation state on the server.
 #[derive(Debug, Clone)]
 struct TryFold {
@@ -132,6 +152,9 @@ struct TryFold {
     contributed: Vec<bool>,
     received: usize,
     fold: Option<RunningFold>,
+    /// The packed fold when the coordinator's policy packs tries (the plain
+    /// `fold` stays `None` then, and vice versa).
+    packed_fold: Option<PackedRunningFold>,
     /// When the try was announced — the straggler clock.
     opened: Instant,
 }
@@ -147,6 +170,14 @@ pub struct CoordinatorServer {
     registered: Vec<bool>,
     registrations_received: usize,
     registry_fold: Option<RunningFold>,
+    /// The packed registry fold when a [`PackingPolicy`] is configured (the
+    /// plain `registry_fold` stays `None` then, and vice versa).
+    packed_registry_fold: Option<PackedRunningFold>,
+    /// When set, the coordinator accepts **only** packed frames for the
+    /// phases the policy covers, validates every arrival against the
+    /// policy's slot layout, and refuses any fold past the declared client
+    /// budget — the executable headroom model.
+    packing: Option<PackingPolicy>,
     /// `true` once the registration total has been broadcast — naturally or
     /// by a partial close. Later registries are refused either way.
     registration_closed: bool,
@@ -174,6 +205,8 @@ impl CoordinatorServer {
             registered: vec![false; expected_registrations],
             registrations_received: 0,
             registry_fold: None,
+            packed_registry_fold: None,
+            packing: None,
             registration_closed: false,
             epoch: 0,
             registration_opened: Instant::now(),
@@ -195,6 +228,22 @@ impl CoordinatorServer {
         self
     }
 
+    /// Builder: installs a [`PackingPolicy`]. From here on the coordinator
+    /// accepts only packed registries (and, if the policy packs tries, only
+    /// packed distributions), folds them lane-wise under the policy's
+    /// headroom budget, and emits packed broadcasts/sums. Element-wise
+    /// frames for a packed phase — and packed frames without a policy — are
+    /// [`ProtocolError::PackingDisagreement`].
+    pub fn with_packing(mut self, policy: PackingPolicy) -> Self {
+        self.packing = Some(policy);
+        self
+    }
+
+    /// The installed packing policy, if any.
+    pub fn packing(&self) -> Option<&PackingPolicy> {
+        self.packing.as_ref()
+    }
+
     /// A server that already learned the epoch public key out-of-band (used
     /// by sessions that skip the key-dispatch step).
     pub fn with_public_key(public_key: PublicKey, expected_registrations: usize) -> Self {
@@ -214,6 +263,14 @@ impl CoordinatorServer {
     /// demand.
     pub fn encrypted_total(&self) -> Option<EncryptedVector> {
         self.registry_fold.as_ref().map(RunningFold::total)
+    }
+
+    /// The running **packed** encrypted overall registry, when a packing
+    /// policy is installed and at least one packed registry arrived.
+    pub fn packed_encrypted_total(&self) -> Option<PackedEncryptedVector> {
+        self.packed_registry_fold
+            .as_ref()
+            .map(PackedRunningFold::total)
     }
 
     /// Canonical wire bytes received so far.
@@ -274,6 +331,7 @@ impl CoordinatorServer {
         self.registered = vec![false; expected_registrations];
         self.registrations_received = 0;
         self.registry_fold = None;
+        self.packed_registry_fold = None;
         self.registration_closed = false;
         self.registration_opened = Instant::now();
         self.tries.clear();
@@ -288,12 +346,17 @@ impl CoordinatorServer {
 
     /// The registration broadcast for the current fold: `Enc(R_A)` to every
     /// *contributing* client plus the agent, stamped with the current epoch.
+    /// Packed folds broadcast packed totals — same addressees, same order.
     fn registration_broadcast(&self) -> Vec<Envelope> {
-        let total = self
-            .registry_fold
-            .as_ref()
-            .expect("caller checked a fold exists")
-            .total();
+        let msg = match (&self.registry_fold, &self.packed_registry_fold) {
+            (Some(fold), _) => ProtocolMsg::EncryptedTotalBroadcast {
+                total: fold.total(),
+            },
+            (None, Some(fold)) => ProtocolMsg::PackedTotalBroadcast {
+                total: fold.total(),
+            },
+            (None, None) => unreachable!("caller checked a fold exists"),
+        };
         let mut out = Vec::with_capacity(self.registrations_received + 1);
         for (id, seen) in self.registered.iter().enumerate() {
             if *seen {
@@ -301,9 +364,7 @@ impl CoordinatorServer {
                     from: Party::Server,
                     to: Party::Client(id),
                     epoch: self.epoch,
-                    msg: ProtocolMsg::EncryptedTotalBroadcast {
-                        total: total.clone(),
-                    },
+                    msg: msg.clone(),
                 });
             }
         }
@@ -311,7 +372,7 @@ impl CoordinatorServer {
             from: Party::Server,
             to: Party::Agent,
             epoch: self.epoch,
-            msg: ProtocolMsg::EncryptedTotalBroadcast { total },
+            msg,
         });
         out
     }
@@ -319,7 +380,9 @@ impl CoordinatorServer {
     /// Closes registration with whatever registries arrived — the explicit
     /// partial-cohort fold. See [`Coordinator::close_registration`].
     pub fn close_registration(&mut self) -> Result<Vec<Envelope>, ProtocolError> {
-        if self.registration_closed || self.registry_fold.is_none() {
+        if self.registration_closed
+            || (self.registry_fold.is_none() && self.packed_registry_fold.is_none())
+        {
             return Err(ProtocolError::NothingToClose {
                 what: "registration",
             });
@@ -349,19 +412,25 @@ impl CoordinatorServer {
             contributed: slot.received,
             partial: true,
         });
-        match slot.fold {
-            None => Err(ProtocolError::NothingToClose { what: "try" }),
-            Some(fold) => Ok(vec![Envelope {
-                from: Party::Server,
-                to: Party::Agent,
-                epoch: self.epoch,
-                msg: ProtocolMsg::EncryptedDistributionSum {
-                    try_index,
-                    contributors: slot.received,
-                    sum: fold.total(),
-                },
-            }]),
-        }
+        let msg = match (slot.fold, slot.packed_fold) {
+            (None, None) => return Err(ProtocolError::NothingToClose { what: "try" }),
+            (Some(fold), _) => ProtocolMsg::EncryptedDistributionSum {
+                try_index,
+                contributors: slot.received,
+                sum: fold.total(),
+            },
+            (None, Some(fold)) => ProtocolMsg::PackedDistributionSum {
+                try_index,
+                contributors: slot.received,
+                sum: fold.total(),
+            },
+        };
+        Ok(vec![Envelope {
+            from: Party::Server,
+            to: Party::Agent,
+            epoch: self.epoch,
+            msg,
+        }])
     }
 
     /// Partially closes every aggregation open longer than the configured
@@ -418,13 +487,32 @@ impl CoordinatorServer {
                 he_codec::encode_public_key(pk, &mut out);
             }
         }
-        match &self.registry_fold {
+        match &self.packing {
             None => out.push(0),
-            Some(fold) => {
+            Some(policy) => {
+                out.push(1);
+                policy.encode(&mut out);
+            }
+        }
+        // Fold discriminator: 0 = no fold yet, 1 = element-wise
+        // `RunningFold`, 2 = `PackedRunningFold` (which embeds its own
+        // headroom model, re-validated on restore).
+        match (&self.registry_fold, &self.packed_registry_fold) {
+            (None, None) => out.push(0),
+            (Some(fold), None) => {
                 out.push(1);
                 let snap = fold.snapshot().map_err(ProtocolError::He)?;
                 he_codec::put_u32(&mut out, snap.len() as u32);
                 out.extend_from_slice(&snap);
+            }
+            (None, Some(fold)) => {
+                out.push(2);
+                let snap = fold.snapshot().map_err(ProtocolError::He)?;
+                he_codec::put_u32(&mut out, snap.len() as u32);
+                out.extend_from_slice(&snap);
+            }
+            (Some(_), Some(_)) => {
+                unreachable!("a coordinator folds either packed or element-wise registries")
             }
         }
         Ok(out)
@@ -472,13 +560,48 @@ impl CoordinatorServer {
         } else {
             None
         };
-        let registry_fold = if take_flag(cur)? {
-            let len = he_codec::take_u32(cur).map_err(ProtocolError::He)? as usize;
-            let snap = he_codec::take_bytes(cur, len).map_err(ProtocolError::He)?;
-            Some(RunningFold::restore(snap).map_err(ProtocolError::He)?)
+        let packing = if take_flag(cur)? {
+            Some(PackingPolicy::decode(cur)?)
         } else {
             None
         };
+        let fold_kind = he_codec::take_bytes(cur, 1).map_err(ProtocolError::He)?[0];
+        let mut registry_fold = None;
+        let mut packed_registry_fold = None;
+        match fold_kind {
+            0 => {}
+            1 => {
+                if packing.is_some() {
+                    return Err(ProtocolError::MalformedFrame {
+                        detail: "snapshot has an element-wise fold under a packing policy".into(),
+                    });
+                }
+                let len = he_codec::take_u32(cur).map_err(ProtocolError::He)? as usize;
+                let snap = he_codec::take_bytes(cur, len).map_err(ProtocolError::He)?;
+                registry_fold = Some(RunningFold::restore(snap).map_err(ProtocolError::He)?);
+            }
+            2 => {
+                let Some(policy) = &packing else {
+                    return Err(ProtocolError::MalformedFrame {
+                        detail: "snapshot has a packed fold but no packing policy".into(),
+                    });
+                };
+                let len = he_codec::take_u32(cur).map_err(ProtocolError::He)? as usize;
+                let snap = he_codec::take_bytes(cur, len).map_err(ProtocolError::He)?;
+                let fold = PackedRunningFold::restore(snap).map_err(ProtocolError::He)?;
+                if *fold.model() != policy.registry_model() {
+                    return Err(ProtocolError::MalformedFrame {
+                        detail: "snapshot packed fold disagrees with the packing policy".into(),
+                    });
+                }
+                packed_registry_fold = Some(fold);
+            }
+            _ => {
+                return Err(ProtocolError::MalformedFrame {
+                    detail: "snapshot fold discriminator is not 0, 1 or 2".into(),
+                })
+            }
+        }
         let mut server = CoordinatorServer::new(0);
         server.epoch = epoch;
         server.registration_closed = registration_closed;
@@ -487,7 +610,9 @@ impl CoordinatorServer {
         server.bytes_received = bytes_received;
         server.messages_received = messages_received;
         server.public_key = public_key;
+        server.packing = packing;
         server.registry_fold = registry_fold;
+        server.packed_registry_fold = packed_registry_fold;
         Ok(server)
     }
 
@@ -507,9 +632,125 @@ impl CoordinatorServer {
                 contributed,
                 received: 0,
                 fold: None,
+                packed_fold: None,
                 opened: Instant::now(),
             },
         );
+    }
+
+    /// Shared registration bookkeeping for the packed and element-wise arms:
+    /// exactly one registry per known client, and none once the epoch total
+    /// has been broadcast (naturally or by a partial close) — duplicates,
+    /// strangers and stragglers would silently corrupt the homomorphic sum
+    /// (a real concern once a retrying networked transport sits underneath),
+    /// so they are protocol errors instead. Marks the client's one slot.
+    fn claim_registration_slot(&mut self, client: ClientId) -> Result<(), ProtocolError> {
+        if self.registration_closed || self.registrations_received == self.registered.len() {
+            return Err(ProtocolError::EpochComplete { client });
+        }
+        match self.registered.get_mut(client) {
+            None => Err(ProtocolError::UnknownContributor {
+                client,
+                try_index: None,
+            }),
+            Some(seen) if *seen => Err(ProtocolError::DuplicateContribution {
+                client,
+                try_index: None,
+            }),
+            Some(seen) => {
+                *seen = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Counts one accepted registration; when the cohort completes, performs
+    /// Fig. 4 step 3 — broadcast `Enc(R_A)` to every client and the agent;
+    /// nobody but the key holders can open it.
+    fn finish_registration(&mut self) -> Vec<Envelope> {
+        self.registrations_received += 1;
+        if self.registrations_received == self.registered.len() {
+            self.registration_closed = true;
+            self.cohort_outcomes.push(CohortOutcome {
+                epoch: self.epoch,
+                try_index: None,
+                expected: self.registered.len(),
+                contributed: self.registrations_received,
+                partial: false,
+            });
+            self.registration_broadcast()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Shared per-try bookkeeping: the try must be announced, the client one
+    /// of its participants, and this its first contribution. Marks the
+    /// contribution and returns the participant index (so a rejected fold
+    /// can un-mark it).
+    fn claim_try_slot(
+        &mut self,
+        try_index: usize,
+        client: ClientId,
+    ) -> Result<usize, ProtocolError> {
+        let slot = self
+            .tries
+            .get_mut(&try_index)
+            .ok_or(ProtocolError::UnknownTry { try_index })?;
+        let idx = slot.participants.binary_search(&client).map_err(|_| {
+            ProtocolError::UnknownContributor {
+                client,
+                try_index: Some(try_index),
+            }
+        })?;
+        if slot.contributed[idx] {
+            return Err(ProtocolError::DuplicateContribution {
+                client,
+                try_index: Some(try_index),
+            });
+        }
+        slot.contributed[idx] = true;
+        Ok(idx)
+    }
+
+    /// If every announced participant of `try_index` has contributed,
+    /// removes the try and forwards its sum (packed or element-wise,
+    /// whichever fold ran) to the agent.
+    fn finish_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError> {
+        let done = {
+            let slot = self.tries.get(&try_index).expect("claimed above");
+            slot.received == slot.participants.len()
+        };
+        if !done {
+            return Ok(Vec::new());
+        }
+        let slot = self.tries.remove(&try_index).expect("present");
+        self.cohort_outcomes.push(CohortOutcome {
+            epoch: self.epoch,
+            try_index: Some(try_index),
+            expected: slot.participants.len(),
+            contributed: slot.received,
+            partial: false,
+        });
+        let msg = match (slot.fold, slot.packed_fold) {
+            (Some(fold), _) => ProtocolMsg::EncryptedDistributionSum {
+                try_index,
+                contributors: slot.received,
+                sum: fold.total(),
+            },
+            (None, Some(fold)) => ProtocolMsg::PackedDistributionSum {
+                try_index,
+                contributors: slot.received,
+                sum: fold.total(),
+            },
+            (None, None) => unreachable!("non-empty try"),
+        };
+        Ok(vec![Envelope {
+            from: Party::Server,
+            to: Party::Agent,
+            epoch: self.epoch,
+            msg,
+        }])
     }
 
     /// Handles one incoming message, returning the messages it triggers.
@@ -528,31 +769,14 @@ impl CoordinatorServer {
                 Ok(Vec::new())
             }
             ProtocolMsg::EncryptedRegistry { client, registry } => {
-                // Exactly one registry per known client, and none once the
-                // epoch total has been broadcast (naturally or by a partial
-                // close): duplicates, strangers and stragglers would
-                // silently corrupt the homomorphic sum (a real concern once
-                // a retrying networked transport sits underneath), so they
-                // are protocol errors instead.
-                if self.registration_closed || self.registrations_received == self.registered.len()
-                {
-                    return Err(ProtocolError::EpochComplete { client });
+                if self.packing.is_some() {
+                    return Err(ProtocolError::PackingDisagreement {
+                        role: "server",
+                        expected_packed: true,
+                        kind: MsgKind::Registry,
+                    });
                 }
-                match self.registered.get_mut(client) {
-                    None => {
-                        return Err(ProtocolError::UnknownContributor {
-                            client,
-                            try_index: None,
-                        })
-                    }
-                    Some(seen) if *seen => {
-                        return Err(ProtocolError::DuplicateContribution {
-                            client,
-                            try_index: None,
-                        })
-                    }
-                    Some(seen) => *seen = true,
-                }
+                self.claim_registration_slot(client)?;
                 // A payload the fold rejects (wrong shape, foreign key) must
                 // not burn the client's one registration slot: unmark it so
                 // a well-formed retry is still possible.
@@ -560,72 +784,72 @@ impl CoordinatorServer {
                     self.registered[client] = false;
                     return Err(e);
                 }
-                self.registrations_received += 1;
-                if self.registrations_received == self.registered.len() {
-                    // Fig. 4 step 3: broadcast Enc(R_A) to every client and
-                    // the agent; nobody but the key holders can open it.
-                    self.registration_closed = true;
-                    self.cohort_outcomes.push(CohortOutcome {
-                        epoch: self.epoch,
-                        try_index: None,
-                        expected: self.registered.len(),
-                        contributed: self.registrations_received,
-                        partial: false,
+                Ok(self.finish_registration())
+            }
+            ProtocolMsg::PackedRegistry { client, registry } => {
+                let Some(policy) = self.packing else {
+                    return Err(ProtocolError::PackingDisagreement {
+                        role: "server",
+                        expected_packed: false,
+                        kind: MsgKind::Registry,
                     });
-                    Ok(self.registration_broadcast())
-                } else {
-                    Ok(Vec::new())
+                };
+                self.claim_registration_slot(client)?;
+                // Same un-burn discipline as the element-wise arm; the
+                // headroom model additionally refuses foreign slot layouts
+                // and any fold past the declared client budget *before* the
+                // multiply, so a refused registry leaves the sum untouched.
+                if let Err(e) = fold_in_packed(
+                    &mut self.packed_registry_fold,
+                    &registry,
+                    policy.registry_model(),
+                ) {
+                    self.registered[client] = false;
+                    return Err(e);
                 }
+                Ok(self.finish_registration())
             }
             ProtocolMsg::EncryptedDistribution {
                 client,
                 try_index,
                 distribution,
             } => {
-                let slot = self
-                    .tries
-                    .get_mut(&try_index)
-                    .ok_or(ProtocolError::UnknownTry { try_index })?;
-                let idx = slot.participants.binary_search(&client).map_err(|_| {
-                    ProtocolError::UnknownContributor {
-                        client,
-                        try_index: Some(try_index),
-                    }
-                })?;
-                if slot.contributed[idx] {
-                    return Err(ProtocolError::DuplicateContribution {
-                        client,
-                        try_index: Some(try_index),
+                if self.packing.is_some_and(|p| p.packs_tries()) {
+                    return Err(ProtocolError::PackingDisagreement {
+                        role: "server",
+                        expected_packed: true,
+                        kind: MsgKind::Distribution,
                     });
                 }
-                slot.contributed[idx] = true;
+                let idx = self.claim_try_slot(try_index, client)?;
+                let slot = self.tries.get_mut(&try_index).expect("claimed above");
                 if let Err(e) = fold_in(&mut slot.fold, &distribution) {
                     slot.contributed[idx] = false;
                     return Err(e);
                 }
                 slot.received += 1;
-                if slot.received == slot.participants.len() {
-                    let slot = self.tries.remove(&try_index).expect("present");
-                    self.cohort_outcomes.push(CohortOutcome {
-                        epoch: self.epoch,
-                        try_index: Some(try_index),
-                        expected: slot.participants.len(),
-                        contributed: slot.received,
-                        partial: false,
+                self.finish_try(try_index)
+            }
+            ProtocolMsg::PackedDistribution {
+                client,
+                try_index,
+                distribution,
+            } => {
+                let Some(model) = self.packing.and_then(|p| p.try_model()) else {
+                    return Err(ProtocolError::PackingDisagreement {
+                        role: "server",
+                        expected_packed: false,
+                        kind: MsgKind::Distribution,
                     });
-                    Ok(vec![Envelope {
-                        from: Party::Server,
-                        to: Party::Agent,
-                        epoch: self.epoch,
-                        msg: ProtocolMsg::EncryptedDistributionSum {
-                            try_index,
-                            contributors: slot.received,
-                            sum: slot.fold.expect("non-empty try").total(),
-                        },
-                    }])
-                } else {
-                    Ok(Vec::new())
+                };
+                let idx = self.claim_try_slot(try_index, client)?;
+                let slot = self.tries.get_mut(&try_index).expect("claimed above");
+                if let Err(e) = fold_in_packed(&mut slot.packed_fold, &distribution, model) {
+                    slot.contributed[idx] = false;
+                    return Err(e);
                 }
+                slot.received += 1;
+                self.finish_try(try_index)
             }
             ProtocolMsg::TryVerdict { best_try, distance } => {
                 self.last_verdict = Some((best_try, distance));
@@ -817,11 +1041,59 @@ impl AgentNode {
         self.verdict
     }
 
+    /// Records one decrypted try sum (however it travelled — element-wise or
+    /// packed), scores it against the uniform distribution, and emits the
+    /// verdict once every expected try has arrived.
+    fn record_try_outcome(
+        &mut self,
+        try_index: usize,
+        contributors: usize,
+        decrypted: Vec<u64>,
+        ciphertext_bytes: usize,
+    ) -> Result<Vec<Envelope>, ProtocolError> {
+        let population = self.codec.decode_average(&decrypted, contributors);
+        let p_u = vec![1.0 / self.classes as f64; self.classes];
+        let distance = dubhe_data::l1_distance(&population, &p_u);
+        self.try_outcomes.insert(
+            try_index,
+            SecureTryOutcome {
+                population,
+                distance_to_uniform: distance,
+                ciphertext_bytes,
+                messages: contributors,
+            },
+        );
+        if self.expected_tries > 0 && self.try_outcomes.len() == self.expected_tries {
+            let (best_try, distance) = self
+                .try_outcomes
+                .iter()
+                .min_by(|a, b| {
+                    a.1.distance_to_uniform
+                        .partial_cmp(&b.1.distance_to_uniform)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(&i, o)| (i, o.distance_to_uniform))
+                .expect("expected_tries > 0");
+            self.verdict = Some((best_try, distance));
+            return Ok(vec![Envelope {
+                from: Party::Agent,
+                to: Party::Server,
+                epoch: self.epoch,
+                msg: ProtocolMsg::TryVerdict { best_try, distance },
+            }]);
+        }
+        Ok(Vec::new())
+    }
+
     /// Handles one incoming message, returning the messages it triggers.
     pub fn handle(&mut self, msg: ProtocolMsg) -> Result<Vec<Envelope>, ProtocolError> {
         match msg {
             ProtocolMsg::EncryptedTotalBroadcast { total } => {
                 self.overall_registry = Some(total.decrypt_u64(&self.keypair.private)?);
+                Ok(Vec::new())
+            }
+            ProtocolMsg::PackedTotalBroadcast { total } => {
+                self.overall_registry = Some(total.decrypt_u64(&self.keypair.private));
                 Ok(Vec::new())
             }
             ProtocolMsg::EncryptedDistributionSum {
@@ -832,38 +1104,19 @@ impl AgentNode {
                 let ciphertext_bytes =
                     contributors * self.classes * ciphertext_width(&self.keypair.public);
                 let decrypted = sum.decrypt_u64(&self.keypair.private)?;
-                let population = self.codec.decode_average(&decrypted, contributors);
-                let p_u = vec![1.0 / self.classes as f64; self.classes];
-                let distance = dubhe_data::l1_distance(&population, &p_u);
-                self.try_outcomes.insert(
-                    try_index,
-                    SecureTryOutcome {
-                        population,
-                        distance_to_uniform: distance,
-                        ciphertext_bytes,
-                        messages: contributors,
-                    },
-                );
-                if self.expected_tries > 0 && self.try_outcomes.len() == self.expected_tries {
-                    let (best_try, distance) = self
-                        .try_outcomes
-                        .iter()
-                        .min_by(|a, b| {
-                            a.1.distance_to_uniform
-                                .partial_cmp(&b.1.distance_to_uniform)
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
-                        .map(|(&i, o)| (i, o.distance_to_uniform))
-                        .expect("expected_tries > 0");
-                    self.verdict = Some((best_try, distance));
-                    return Ok(vec![Envelope {
-                        from: Party::Agent,
-                        to: Party::Server,
-                        epoch: self.epoch,
-                        msg: ProtocolMsg::TryVerdict { best_try, distance },
-                    }]);
-                }
-                Ok(Vec::new())
+                self.record_try_outcome(try_index, contributors, decrypted, ciphertext_bytes)
+            }
+            ProtocolMsg::PackedDistributionSum {
+                try_index,
+                contributors,
+                sum,
+            } => {
+                // Each contributor uploaded one packed vector shaped like the
+                // sum, so the uplink ciphertext traffic of the try is
+                // `contributors ×` the sum's own packed wire size.
+                let ciphertext_bytes = contributors * packed_vector_wire_bytes(&sum);
+                let decrypted = sum.decrypt_u64(&self.keypair.private);
+                self.record_try_outcome(try_index, contributors, decrypted, ciphertext_bytes)
             }
             other => Err(ProtocolError::UnexpectedMessage {
                 role: "agent",
@@ -890,6 +1143,9 @@ pub struct SelectClientNode {
     distribution: ClassDistribution,
     codec: FixedPointCodec,
     plan: Option<RegistrationPlan>,
+    /// When set, the client uploads packed registries (and, if the policy
+    /// packs tries, packed distributions) under the policy's slot layout.
+    packing: Option<PackingPolicy>,
     epoch: u64,
     public_key: Option<PublicKey>,
     private_key: Option<PrivateKey>,
@@ -921,6 +1177,7 @@ impl SelectClientNode {
             distribution,
             codec: FixedPointCodec::default(),
             plan: None,
+            packing: None,
             epoch: 0,
             public_key: None,
             private_key: None,
@@ -928,6 +1185,15 @@ impl SelectClientNode {
             registration: None,
             overall_registry: None,
         }
+    }
+
+    /// Builder: uploads under a [`PackingPolicy`] — the registry (and, when
+    /// the policy packs tries, each distribution) is slot-packed before
+    /// encryption. The coordinator must hold the *same* policy: a mismatched
+    /// layout is refused on its side with a typed error.
+    pub fn with_packing(mut self, policy: PackingPolicy) -> Self {
+        self.packing = Some(policy);
+        self
     }
 
     /// The client's id.
@@ -1032,17 +1298,26 @@ impl SelectClientNode {
         rng: &mut R,
     ) -> Result<Envelope, ProtocolError> {
         let scaled = self.codec.encode_vec(&self.distribution.proportions());
+        let packer = self.packing.filter(|p| p.packs_tries()).map(|p| p.packer());
+        let id = self.id;
         let encryptor = self.encryptor(rng)?;
-        let distribution = EncryptedVector::encrypt_u64_with(encryptor, &scaled, rng);
+        let msg = match packer {
+            Some(packer) => ProtocolMsg::PackedDistribution {
+                client: id,
+                try_index,
+                distribution: PackedEncryptedVector::encrypt_with(packer, encryptor, &scaled, rng)?,
+            },
+            None => ProtocolMsg::EncryptedDistribution {
+                client: id,
+                try_index,
+                distribution: EncryptedVector::encrypt_u64_with(encryptor, &scaled, rng),
+            },
+        };
         Ok(Envelope {
             from: Party::Client(self.id),
             to: Party::Server,
             epoch: self.epoch,
-            msg: ProtocolMsg::EncryptedDistribution {
-                client: self.id,
-                try_index,
-                distribution,
-            },
+            msg,
         })
     }
 
@@ -1061,20 +1336,37 @@ impl SelectClientNode {
                     private_key.ok_or(ProtocolError::MissingKeyMaterial { role: "client" })?;
                 self.install_keys(public_key, private_key);
                 if let Some(plan) = self.plan.clone() {
-                    // Fig. 4 step 2: register, encrypt, upload.
+                    // Fig. 4 step 2: register, encrypt, upload — slot-packed
+                    // when a packing policy is installed.
                     let registration = register(&self.distribution, &plan.layout, &plan.thresholds);
+                    let packer = self.packing.map(|p| p.packer());
+                    let id = self.id;
                     let encryptor = self.encryptor(rng)?;
-                    let encrypted =
-                        EncryptedVector::encrypt_u64_with(encryptor, &registration.registry, rng);
+                    let msg = match packer {
+                        Some(packer) => ProtocolMsg::PackedRegistry {
+                            client: id,
+                            registry: PackedEncryptedVector::encrypt_with(
+                                packer,
+                                encryptor,
+                                &registration.registry,
+                                rng,
+                            )?,
+                        },
+                        None => ProtocolMsg::EncryptedRegistry {
+                            client: id,
+                            registry: EncryptedVector::encrypt_u64_with(
+                                encryptor,
+                                &registration.registry,
+                                rng,
+                            ),
+                        },
+                    };
                     self.registration = Some(registration);
                     Ok(vec![Envelope {
                         from: Party::Client(self.id),
                         to: Party::Server,
                         epoch: self.epoch,
-                        msg: ProtocolMsg::EncryptedRegistry {
-                            client: self.id,
-                            registry: encrypted,
-                        },
+                        msg,
                     }])
                 } else {
                     Ok(Vec::new())
@@ -1086,6 +1378,14 @@ impl SelectClientNode {
                     .as_ref()
                     .ok_or(ProtocolError::MissingKeyMaterial { role: "client" })?;
                 self.overall_registry = Some(total.decrypt_u64(sk)?);
+                Ok(Vec::new())
+            }
+            ProtocolMsg::PackedTotalBroadcast { total } => {
+                let sk = self
+                    .private_key
+                    .as_ref()
+                    .ok_or(ProtocolError::MissingKeyMaterial { role: "client" })?;
+                self.overall_registry = Some(total.decrypt_u64(sk));
                 Ok(Vec::new())
             }
             other => Err(ProtocolError::UnexpectedMessage {

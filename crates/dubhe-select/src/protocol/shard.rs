@@ -23,9 +23,13 @@ use std::collections::BTreeMap;
 use std::ops::Range;
 use std::time::{Duration, Instant};
 
-use dubhe_he::{codec as he_codec, EncryptedVector, PublicKey, RunningFold};
+use dubhe_he::{
+    codec as he_codec, EncryptedVector, HeError, HeadroomModel, PackedEncryptedVector, Packer,
+    PublicKey, RunningFold,
+};
 
-use super::message::{Envelope, Party, ProtocolMsg};
+use super::message::{Envelope, MsgKind, Party, ProtocolMsg};
+use super::packing::PackingPolicy;
 use super::roles::{CohortOutcome, Coordinator};
 use crate::error::ProtocolError;
 use crate::selector::ClientId;
@@ -102,6 +106,56 @@ fn merge(folds: &[Option<RunningFold>]) -> Result<Option<EncryptedVector>, Proto
     Ok(EncryptedVector::concat(&parts)?)
 }
 
+/// The packed counterpart of [`fold_sharded`]: validates one arriving
+/// [`PackedEncryptedVector`] against the cohort's [`HeadroomModel`] exactly
+/// like the single coordinator's `PackedRunningFold` would — slot layout,
+/// lane count, then the client budget, all **before** any multiply — and
+/// then advances the shard folds over the *ciphertext* index space. Shard
+/// boundaries over ciphertext indices never split a plaintext, so each lane
+/// stays whole inside one shard and the merged total is bit-identical to the
+/// single packed fold.
+fn fold_sharded_packed(
+    folds: &mut [Option<RunningFold>],
+    ranges_slot: &mut Option<Vec<Range<usize>>>,
+    lanes: &mut Option<usize>,
+    folded_so_far: usize,
+    v: &PackedEncryptedVector,
+    model: HeadroomModel,
+    shards: usize,
+) -> Result<(), ProtocolError> {
+    model.check_packer(&v.packer())?;
+    if let Some(expected) = *lanes {
+        if v.count() != expected {
+            return Err(ProtocolError::He(HeError::LengthMismatch {
+                left: expected,
+                right: v.count(),
+            }));
+        }
+    }
+    model.check_budget(folded_so_far as u64 + 1)?;
+    let ranges = ranges_slot
+        .get_or_insert_with(|| shard_ranges(v.ciphertext_count(), shards))
+        .clone();
+    fold_sharded(folds, v.vector(), &ranges)?;
+    *lanes = Some(v.count());
+    Ok(())
+}
+
+/// Merges per-shard folds of a packed aggregation back into one
+/// [`PackedEncryptedVector`] of `lanes` logical lanes.
+fn merge_packed(
+    folds: &[Option<RunningFold>],
+    lanes: usize,
+    packer: Packer,
+) -> Result<Option<PackedEncryptedVector>, ProtocolError> {
+    match merge(folds)? {
+        None => Ok(None),
+        Some(vector) => Ok(Some(
+            PackedEncryptedVector::from_vector(vector, lanes, packer).map_err(ProtocolError::He)?,
+        )),
+    }
+}
+
 /// Per-try sharded aggregation state.
 #[derive(Debug, Clone)]
 struct ShardedTryFold {
@@ -110,6 +164,9 @@ struct ShardedTryFold {
     received: usize,
     ranges: Option<Vec<Range<usize>>>,
     folds: Vec<Option<RunningFold>>,
+    /// Logical lane count of the packed vectors folded so far (`None` for an
+    /// element-wise try, or before the first packed contribution).
+    lanes: Option<usize>,
     /// When the try was announced — the straggler clock.
     opened: Instant,
 }
@@ -125,9 +182,16 @@ pub struct ShardedCoordinator {
     public_key: Option<PublicKey>,
     registered: Vec<bool>,
     registrations_received: usize,
-    /// Position ranges, fixed by the first registry's length.
+    /// Position ranges, fixed by the first registry's length (ciphertext
+    /// count for a packed cohort — ciphertext boundaries never split a
+    /// plaintext, so the partition is automatically lane-aligned).
     registry_ranges: Option<Vec<Range<usize>>>,
     registry_folds: Vec<Option<RunningFold>>,
+    /// Logical lane count of the packed registries folded so far.
+    registry_lanes: Option<usize>,
+    /// When set, packed-only folds under the policy's headroom budget —
+    /// identical acceptance policy to the single coordinator's.
+    packing: Option<PackingPolicy>,
     /// `true` once the registration total has been broadcast — naturally or
     /// by a partial close.
     registration_closed: bool,
@@ -160,6 +224,8 @@ impl ShardedCoordinator {
             registrations_received: 0,
             registry_ranges: None,
             registry_folds: vec![None; shards],
+            registry_lanes: None,
+            packing: None,
             registration_closed: false,
             epoch: 0,
             registration_opened: Instant::now(),
@@ -179,6 +245,21 @@ impl ShardedCoordinator {
     pub fn with_straggler_deadline(mut self, deadline: Duration) -> Self {
         self.straggler_deadline = Some(deadline);
         self
+    }
+
+    /// Builder: installs a [`PackingPolicy`] — same acceptance policy and
+    /// budget enforcement as
+    /// [`CoordinatorServer::with_packing`](super::roles::CoordinatorServer::with_packing),
+    /// with the shard partition computed over ciphertext indices (which
+    /// never split a plaintext, so lanes stay whole within a shard).
+    pub fn with_packing(mut self, policy: PackingPolicy) -> Self {
+        self.packing = Some(policy);
+        self
+    }
+
+    /// The installed packing policy, if any.
+    pub fn packing(&self) -> Option<&PackingPolicy> {
+        self.packing.as_ref()
     }
 
     /// A sharded coordinator that already learned the epoch public key
@@ -208,6 +289,15 @@ impl ShardedCoordinator {
     /// demand (`None` until every shard has folded at least one slice).
     pub fn encrypted_total(&self) -> Option<EncryptedVector> {
         merge(&self.registry_folds).ok().flatten()
+    }
+
+    /// The running **packed** encrypted overall registry, merged across
+    /// shards on demand.
+    pub fn packed_encrypted_total(&self) -> Option<PackedEncryptedVector> {
+        let (lanes, policy) = (self.registry_lanes?, self.packing.as_ref()?);
+        merge_packed(&self.registry_folds, lanes, policy.packer())
+            .ok()
+            .flatten()
     }
 
     /// Canonical wire bytes received so far.
@@ -270,6 +360,7 @@ impl ShardedCoordinator {
         self.registrations_received = 0;
         self.registry_ranges = None;
         self.registry_folds = vec![None; self.shards];
+        self.registry_lanes = None;
         self.registration_closed = false;
         self.registration_opened = Instant::now();
         self.tries.clear();
@@ -284,7 +375,15 @@ impl ShardedCoordinator {
     /// The registration broadcast for the current merged fold, addressed to
     /// every *contributing* client plus the agent.
     fn registration_broadcast(&self) -> Result<Vec<Envelope>, ProtocolError> {
-        let total = merge(&self.registry_folds)?.expect("caller checked a fold exists");
+        let msg = match (&self.packing, self.registry_lanes) {
+            (Some(policy), Some(lanes)) => ProtocolMsg::PackedTotalBroadcast {
+                total: merge_packed(&self.registry_folds, lanes, policy.packer())?
+                    .expect("caller checked a fold exists"),
+            },
+            _ => ProtocolMsg::EncryptedTotalBroadcast {
+                total: merge(&self.registry_folds)?.expect("caller checked a fold exists"),
+            },
+        };
         let mut out = Vec::with_capacity(self.registrations_received + 1);
         for (id, seen) in self.registered.iter().enumerate() {
             if *seen {
@@ -292,9 +391,7 @@ impl ShardedCoordinator {
                     from: Party::Server,
                     to: Party::Client(id),
                     epoch: self.epoch,
-                    msg: ProtocolMsg::EncryptedTotalBroadcast {
-                        total: total.clone(),
-                    },
+                    msg: msg.clone(),
                 });
             }
         }
@@ -302,7 +399,7 @@ impl ShardedCoordinator {
             from: Party::Server,
             to: Party::Agent,
             epoch: self.epoch,
-            msg: ProtocolMsg::EncryptedTotalBroadcast { total },
+            msg,
         });
         Ok(out)
     }
@@ -345,16 +442,24 @@ impl ShardedCoordinator {
         if slot.received == 0 {
             return Err(ProtocolError::NothingToClose { what: "try" });
         }
-        let sum = merge(&slot.folds)?.expect("every shard folded");
+        let msg = match (&self.packing, slot.lanes) {
+            (Some(policy), Some(lanes)) => ProtocolMsg::PackedDistributionSum {
+                try_index,
+                contributors: slot.received,
+                sum: merge_packed(&slot.folds, lanes, policy.packer())?
+                    .expect("every shard folded"),
+            },
+            _ => ProtocolMsg::EncryptedDistributionSum {
+                try_index,
+                contributors: slot.received,
+                sum: merge(&slot.folds)?.expect("every shard folded"),
+            },
+        };
         Ok(vec![Envelope {
             from: Party::Server,
             to: Party::Agent,
             epoch: self.epoch,
-            msg: ProtocolMsg::EncryptedDistributionSum {
-                try_index,
-                contributors: slot.received,
-                sum,
-            },
+            msg,
         }])
     }
 
@@ -411,11 +516,23 @@ impl ShardedCoordinator {
                 he_codec::encode_public_key(pk, &mut out);
             }
         }
+        match &self.packing {
+            None => out.push(0),
+            Some(policy) => {
+                out.push(1);
+                policy.encode(&mut out);
+            }
+        }
         match &self.registry_ranges {
             None => out.push(0),
             Some(ranges) => {
                 out.push(1);
                 he_codec::put_u64(&mut out, ranges.last().map_or(0, |r| r.end) as u64);
+                if self.packing.is_some() {
+                    // A packed cohort's ranges cover ciphertext indices; the
+                    // logical lane count is also needed to rebuild totals.
+                    he_codec::put_u64(&mut out, self.registry_lanes.unwrap_or(0) as u64);
+                }
             }
         }
         for fold in &self.registry_folds {
@@ -480,8 +597,31 @@ impl ShardedCoordinator {
         } else {
             None
         };
+        let packing = if take_flag(cur)? {
+            Some(PackingPolicy::decode(cur)?)
+        } else {
+            None
+        };
+        if let Some(policy) = &packing {
+            // A tampered snapshot cannot resurrect a cohort past its budget.
+            policy
+                .registry_model()
+                .check_budget(registrations_received as u64)
+                .map_err(he)?;
+        }
+        let mut registry_lanes = None;
         let registry_ranges = if take_flag(cur)? {
             let len = he_codec::take_u64(cur).map_err(he)? as usize;
+            if let Some(policy) = &packing {
+                let lanes = he_codec::take_u64(cur).map_err(he)? as usize;
+                let per = policy.packer().slots_per_plaintext().map_err(he)?;
+                if len != lanes.div_ceil(per) {
+                    return Err(ProtocolError::MalformedFrame {
+                        detail: "snapshot lane count disagrees with its shard partition".into(),
+                    });
+                }
+                registry_lanes = Some(lanes);
+            }
             Some(shard_ranges(len, shards))
         } else {
             None
@@ -504,7 +644,9 @@ impl ShardedCoordinator {
         server.bytes_received = bytes_received;
         server.messages_received = messages_received;
         server.public_key = public_key;
+        server.packing = packing;
         server.registry_ranges = registry_ranges;
+        server.registry_lanes = registry_lanes;
         server.registry_folds = registry_folds;
         Ok(server)
     }
@@ -523,9 +665,117 @@ impl ShardedCoordinator {
                 received: 0,
                 ranges: None,
                 folds: vec![None; self.shards],
+                lanes: None,
                 opened: Instant::now(),
             },
         );
+    }
+
+    /// Shared registration bookkeeping — same policy as
+    /// `CoordinatorServer::claim_registration_slot`: one registry per known
+    /// client, none after the close. Marks the client's slot.
+    fn claim_registration_slot(&mut self, client: ClientId) -> Result<(), ProtocolError> {
+        if self.registration_closed || self.registrations_received == self.registered.len() {
+            return Err(ProtocolError::EpochComplete { client });
+        }
+        match self.registered.get_mut(client) {
+            None => Err(ProtocolError::UnknownContributor {
+                client,
+                try_index: None,
+            }),
+            Some(seen) if *seen => Err(ProtocolError::DuplicateContribution {
+                client,
+                try_index: None,
+            }),
+            Some(seen) => {
+                *seen = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Counts one accepted registration and broadcasts the merged total when
+    /// the cohort completes.
+    fn finish_registration(&mut self) -> Result<Vec<Envelope>, ProtocolError> {
+        self.registrations_received += 1;
+        if self.registrations_received == self.registered.len() {
+            self.registration_closed = true;
+            self.cohort_outcomes.push(CohortOutcome {
+                epoch: self.epoch,
+                try_index: None,
+                expected: self.registered.len(),
+                contributed: self.registrations_received,
+                partial: false,
+            });
+            self.registration_broadcast()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// Shared per-try bookkeeping: announced try, announced participant,
+    /// first contribution. Marks it and returns the participant index.
+    fn claim_try_slot(
+        &mut self,
+        try_index: usize,
+        client: ClientId,
+    ) -> Result<usize, ProtocolError> {
+        let slot = self
+            .tries
+            .get_mut(&try_index)
+            .ok_or(ProtocolError::UnknownTry { try_index })?;
+        let idx = slot.participants.binary_search(&client).map_err(|_| {
+            ProtocolError::UnknownContributor {
+                client,
+                try_index: Some(try_index),
+            }
+        })?;
+        if slot.contributed[idx] {
+            return Err(ProtocolError::DuplicateContribution {
+                client,
+                try_index: Some(try_index),
+            });
+        }
+        slot.contributed[idx] = true;
+        Ok(idx)
+    }
+
+    /// If every announced participant contributed, removes the try and
+    /// forwards its merged sum — packed when the try folded packed vectors.
+    fn finish_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError> {
+        let done = {
+            let slot = self.tries.get(&try_index).expect("claimed above");
+            slot.received == slot.participants.len()
+        };
+        if !done {
+            return Ok(Vec::new());
+        }
+        let slot = self.tries.remove(&try_index).expect("present");
+        self.cohort_outcomes.push(CohortOutcome {
+            epoch: self.epoch,
+            try_index: Some(try_index),
+            expected: slot.participants.len(),
+            contributed: slot.received,
+            partial: false,
+        });
+        let msg = match (&self.packing, slot.lanes) {
+            (Some(policy), Some(lanes)) => ProtocolMsg::PackedDistributionSum {
+                try_index,
+                contributors: slot.received,
+                sum: merge_packed(&slot.folds, lanes, policy.packer())?.expect("non-empty try"),
+            },
+            _ => ProtocolMsg::EncryptedDistributionSum {
+                try_index,
+                contributors: slot.received,
+                sum: merge(&slot.folds)?.expect("non-empty try"),
+            },
+        };
+        Ok(vec![Envelope {
+            from: Party::Server,
+            to: Party::Agent,
+            epoch: self.epoch,
+            msg,
+        }])
     }
 
     /// Handles one incoming message, returning the messages it triggers.
@@ -546,25 +796,14 @@ impl ShardedCoordinator {
                 Ok(Vec::new())
             }
             ProtocolMsg::EncryptedRegistry { client, registry } => {
-                if self.registration_closed || self.registrations_received == self.registered.len()
-                {
-                    return Err(ProtocolError::EpochComplete { client });
+                if self.packing.is_some() {
+                    return Err(ProtocolError::PackingDisagreement {
+                        role: "server",
+                        expected_packed: true,
+                        kind: MsgKind::Registry,
+                    });
                 }
-                match self.registered.get_mut(client) {
-                    None => {
-                        return Err(ProtocolError::UnknownContributor {
-                            client,
-                            try_index: None,
-                        })
-                    }
-                    Some(seen) if *seen => {
-                        return Err(ProtocolError::DuplicateContribution {
-                            client,
-                            try_index: None,
-                        })
-                    }
-                    Some(seen) => *seen = true,
-                }
+                self.claim_registration_slot(client)?;
                 let ranges = self
                     .registry_ranges
                     .get_or_insert_with(|| shard_ranges(registry.len(), self.shards))
@@ -575,44 +814,46 @@ impl ShardedCoordinator {
                     self.registered[client] = false;
                     return Err(e);
                 }
-                self.registrations_received += 1;
-                if self.registrations_received == self.registered.len() {
-                    self.registration_closed = true;
-                    self.cohort_outcomes.push(CohortOutcome {
-                        epoch: self.epoch,
-                        try_index: None,
-                        expected: self.registered.len(),
-                        contributed: self.registrations_received,
-                        partial: false,
+                self.finish_registration()
+            }
+            ProtocolMsg::PackedRegistry { client, registry } => {
+                let Some(policy) = self.packing else {
+                    return Err(ProtocolError::PackingDisagreement {
+                        role: "server",
+                        expected_packed: false,
+                        kind: MsgKind::Registry,
                     });
-                    self.registration_broadcast()
-                } else {
-                    Ok(Vec::new())
+                };
+                self.claim_registration_slot(client)?;
+                if let Err(e) = fold_sharded_packed(
+                    &mut self.registry_folds,
+                    &mut self.registry_ranges,
+                    &mut self.registry_lanes,
+                    self.registrations_received,
+                    &registry,
+                    policy.registry_model(),
+                    self.shards,
+                ) {
+                    self.registered[client] = false;
+                    return Err(e);
                 }
+                self.finish_registration()
             }
             ProtocolMsg::EncryptedDistribution {
                 client,
                 try_index,
                 distribution,
             } => {
-                let shards = self.shards;
-                let slot = self
-                    .tries
-                    .get_mut(&try_index)
-                    .ok_or(ProtocolError::UnknownTry { try_index })?;
-                let idx = slot.participants.binary_search(&client).map_err(|_| {
-                    ProtocolError::UnknownContributor {
-                        client,
-                        try_index: Some(try_index),
-                    }
-                })?;
-                if slot.contributed[idx] {
-                    return Err(ProtocolError::DuplicateContribution {
-                        client,
-                        try_index: Some(try_index),
+                if self.packing.is_some_and(|p| p.packs_tries()) {
+                    return Err(ProtocolError::PackingDisagreement {
+                        role: "server",
+                        expected_packed: true,
+                        kind: MsgKind::Distribution,
                     });
                 }
-                slot.contributed[idx] = true;
+                let shards = self.shards;
+                let idx = self.claim_try_slot(try_index, client)?;
+                let slot = self.tries.get_mut(&try_index).expect("claimed above");
                 let ranges = slot
                     .ranges
                     .get_or_insert_with(|| shard_ranges(distribution.len(), shards))
@@ -622,29 +863,38 @@ impl ShardedCoordinator {
                     return Err(e);
                 }
                 slot.received += 1;
-                if slot.received == slot.participants.len() {
-                    let slot = self.tries.remove(&try_index).expect("present");
-                    let sum = merge(&slot.folds)?.expect("non-empty try");
-                    self.cohort_outcomes.push(CohortOutcome {
-                        epoch: self.epoch,
-                        try_index: Some(try_index),
-                        expected: slot.participants.len(),
-                        contributed: slot.received,
-                        partial: false,
+                self.finish_try(try_index)
+            }
+            ProtocolMsg::PackedDistribution {
+                client,
+                try_index,
+                distribution,
+            } => {
+                let Some(model) = self.packing.and_then(|p| p.try_model()) else {
+                    return Err(ProtocolError::PackingDisagreement {
+                        role: "server",
+                        expected_packed: false,
+                        kind: MsgKind::Distribution,
                     });
-                    Ok(vec![Envelope {
-                        from: Party::Server,
-                        to: Party::Agent,
-                        epoch: self.epoch,
-                        msg: ProtocolMsg::EncryptedDistributionSum {
-                            try_index,
-                            contributors: slot.received,
-                            sum,
-                        },
-                    }])
-                } else {
-                    Ok(Vec::new())
+                };
+                let shards = self.shards;
+                let idx = self.claim_try_slot(try_index, client)?;
+                let slot = self.tries.get_mut(&try_index).expect("claimed above");
+                let received = slot.received;
+                if let Err(e) = fold_sharded_packed(
+                    &mut slot.folds,
+                    &mut slot.ranges,
+                    &mut slot.lanes,
+                    received,
+                    &distribution,
+                    model,
+                    shards,
+                ) {
+                    slot.contributed[idx] = false;
+                    return Err(e);
                 }
+                slot.received += 1;
+                self.finish_try(try_index)
             }
             ProtocolMsg::TryVerdict { best_try, distance } => {
                 self.last_verdict = Some((best_try, distance));

@@ -13,13 +13,14 @@ use std::time::Duration;
 
 use dubhe_data::federated::{DatasetFamily, FederatedSpec};
 use dubhe_data::ClassDistribution;
-use dubhe_he::{EncryptedVector, Keypair};
+use dubhe_he::packing::Packer;
+use dubhe_he::{EncryptedVector, Keypair, PackedEncryptedVector};
 use dubhe_net::ReactorListener;
 use dubhe_select::protocol::{
-    pump, read_frame_negotiated, run_registration_with, write_frame_with, CodecKind, Coordinator,
-    CoordinatorListener, CoordinatorServer, Envelope, FaultPlan, FaultyTransport,
-    InMemoryTransport, ListenerConfig, Party, ProtocolMsg, ShardedCoordinator, TcpConfig,
-    TcpTransport, Transport, WireMsg,
+    pump, read_frame_negotiated, run_registration_with, run_registration_with_packing,
+    write_frame_with, CodecKind, Coordinator, CoordinatorListener, CoordinatorServer, Envelope,
+    FaultPlan, FaultyTransport, InMemoryTransport, ListenerConfig, PackingPolicy, Party,
+    ProtocolMsg, ShardedCoordinator, TcpConfig, TcpTransport, Transport, WireMsg,
 };
 use dubhe_select::{DubheConfig, ProtocolError, SelectError};
 use rand::SeedableRng;
@@ -220,6 +221,189 @@ fn stale_epoch_replays_are_refused_after_rotation() {
         }) => {}
         other => panic!("expected StaleEpoch, got {other:?}"),
     }
+}
+
+fn packed_registry_envelope(client: usize, registry: PackedEncryptedVector) -> Envelope {
+    Envelope {
+        from: Party::Client(client),
+        to: Party::Server,
+        epoch: 0,
+        msg: ProtocolMsg::PackedRegistry { client, registry },
+    }
+}
+
+#[test]
+fn mismatched_packer_metadata_is_refused_without_corrupting_the_fold() {
+    // Client and coordinator disagree about the slot layout (or whether to
+    // pack at all): every combination is a typed refusal, and the fold the
+    // honest cohort builds afterwards is untouched.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(231);
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+    let policy = PackingPolicy::new(32, KEY_BITS, 4).unwrap();
+    let mut server = CoordinatorServer::with_public_key(kp.public.clone(), 4).with_packing(policy);
+
+    // A client packing 16-bit lanes against the coordinator's 32-bit policy:
+    // folding across layouts would corrupt lanes, so the packer check fires.
+    let narrow = Packer::new(16, KEY_BITS);
+    let mismatched =
+        PackedEncryptedVector::encrypt(narrow, &kp.public, &[1, 0, 0, 0, 0, 0], &mut rng).unwrap();
+    match Coordinator::deliver(&mut server, packed_registry_envelope(0, mismatched)) {
+        Err(ProtocolError::He(dubhe_he::HeError::PackerMismatch { .. })) => {}
+        other => panic!("expected PackerMismatch, got {other:?}"),
+    }
+
+    // An element-wise registry at a packed coordinator is a layout
+    // disagreement by kind, before any ciphertext is touched.
+    let elementwise = EncryptedVector::encrypt_u64(&kp.public, &[1, 0, 0, 0, 0, 0], &mut rng);
+    match Coordinator::deliver(&mut server, registry_envelope(0, elementwise.clone())) {
+        Err(ProtocolError::PackingDisagreement {
+            role: "server",
+            expected_packed: true,
+            ..
+        }) => {}
+        other => panic!("expected PackingDisagreement, got {other:?}"),
+    }
+
+    // And a packed registry at a policy-less coordinator is the reverse.
+    let mut plain_server = CoordinatorServer::with_public_key(kp.public.clone(), 4);
+    let packed =
+        PackedEncryptedVector::encrypt(policy.packer(), &kp.public, &[1, 0, 0, 0, 0, 0], &mut rng)
+            .unwrap();
+    match Coordinator::deliver(&mut plain_server, packed_registry_envelope(0, packed)) {
+        Err(ProtocolError::PackingDisagreement {
+            role: "server",
+            expected_packed: false,
+            ..
+        }) => {}
+        other => panic!("expected PackingDisagreement, got {other:?}"),
+    }
+
+    // The refused attempts burned nothing: the same slots accept the honest
+    // uploads and the total decrypts to the full cohort.
+    for id in 0..4 {
+        let v = PackedEncryptedVector::encrypt(
+            policy.packer(),
+            &kp.public,
+            &[0, 1, 0, 0, 0, 0],
+            &mut rng,
+        )
+        .unwrap();
+        Coordinator::deliver(&mut server, packed_registry_envelope(id, v)).unwrap();
+    }
+    let total = server.packed_encrypted_total().expect("epoch complete");
+    assert_eq!(total.decrypt_u64(&kp.private), vec![0, 4, 0, 0, 0, 0]);
+}
+
+#[test]
+fn packed_frames_replayed_across_epochs_are_stale_after_rotation() {
+    // The packed twin of the stale-epoch gauntlet: a perfectly valid packed
+    // registry recorded in epoch 0 is a typed stale-frame rejection once the
+    // key rotates — packed payloads get the same replay protection as
+    // element-wise ones because they share the epoch-stamped envelope.
+    let dists = clients(4, 241);
+    let config = DubheConfig::group1();
+    let policy = PackingPolicy::new(32, KEY_BITS, 4).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(242);
+    let mut transport = InMemoryTransport::recording();
+    let mut run = run_registration_with_packing(
+        &dists,
+        &config,
+        KEY_BITS,
+        policy,
+        CoordinatorServer::new(4).with_packing(policy),
+        &mut transport,
+        &mut rng,
+    )
+    .unwrap();
+
+    let replayed = transport
+        .transcript()
+        .iter()
+        .find(|e| matches!(e.msg, ProtocolMsg::PackedRegistry { .. }))
+        .cloned()
+        .expect("a packed registry crossed the transport");
+    for e in run.agent.rotate_epoch(4, &mut rng) {
+        transport.send(e);
+    }
+    pump(
+        &mut transport,
+        &mut run.agent,
+        &mut run.clients,
+        &mut run.server,
+        &mut rng,
+    )
+    .unwrap();
+
+    match Coordinator::deliver(&mut run.server, replayed) {
+        Err(ProtocolError::StaleEpoch {
+            received: 0,
+            current: 1,
+        }) => {}
+        other => panic!("expected StaleEpoch, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_packed_dbh2_payloads_do_not_kill_the_listener() {
+    // A DBH2 frame whose header-announced length is honest but whose packed
+    // payload is internally cut short: the decoder hits the truncation as a
+    // typed error, the connection ends, and the listener keeps serving.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(251);
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+    let policy = PackingPolicy::new(32, KEY_BITS, 4).unwrap();
+    let listener = CoordinatorListener::spawn(
+        ShardedCoordinator::with_public_key(kp.public.clone(), 4, 2).with_packing(policy),
+    )
+    .unwrap();
+    let addr = listener.addr();
+
+    let registry =
+        PackedEncryptedVector::encrypt(policy.packer(), &kp.public, &[1, 0, 0, 0, 0, 0], &mut rng)
+            .unwrap();
+    let mut frame = Vec::new();
+    write_frame_with(
+        &mut frame,
+        &WireMsg::Envelope {
+            envelope: packed_registry_envelope(0, registry),
+        },
+        CodecKind::Binary,
+    )
+    .unwrap();
+    // Rebuild the frame with 10 payload bytes chopped off and the length
+    // header telling the truth about it — the *encoding* is what's cut.
+    let payload = &frame[8..frame.len() - 10];
+    let mut hostile = frame[..4].to_vec();
+    hostile.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    hostile.extend_from_slice(payload);
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&hostile).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // Best-effort typed-error reply, then hangup; either way the read ends.
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink);
+    drop(stream);
+
+    // The listener survived and a healthy packed session still works.
+    let mut client = TcpTransport::connect_with_timeout(addr, Duration::from_secs(5)).unwrap();
+    for id in 0..4 {
+        let v = PackedEncryptedVector::encrypt(
+            policy.packer(),
+            &kp.public,
+            &[0, 1, 0, 0, 0, 0],
+            &mut rng,
+        )
+        .unwrap();
+        client.deliver(packed_registry_envelope(id, v)).unwrap();
+    }
+    client.shutdown().unwrap();
+    let coordinator = listener.shutdown().expect("listener state");
+    let total = coordinator
+        .packed_encrypted_total()
+        .expect("epoch complete");
+    assert_eq!(total.decrypt_u64(&kp.private), vec![0, 4, 0, 0, 0, 0]);
 }
 
 #[test]

@@ -13,9 +13,9 @@ use std::time::Duration;
 use dubhe_data::federated::{DatasetFamily, FederatedSpec};
 use dubhe_data::ClassDistribution;
 use dubhe_select::protocol::{
-    pump, run_registration_with, run_try, run_try_with_dropouts, Coordinator, CoordinatorListener,
-    CoordinatorServer, Envelope, InMemoryTransport, Party, ProtocolMsg, ShardedCoordinator,
-    TcpTransport, Transport,
+    pump, run_registration_with, run_registration_with_packing, run_try, run_try_with_dropouts,
+    Coordinator, CoordinatorListener, CoordinatorServer, Envelope, InMemoryTransport,
+    PackingPolicy, Party, ProtocolMsg, ShardedCoordinator, TcpTransport, Transport,
 };
 use dubhe_select::{ClientSelector, DubheConfig, DubheSelector, ProtocolError};
 use rand::SeedableRng;
@@ -364,6 +364,140 @@ fn sharded_coordinator_killed_mid_aggregation_resumes_bit_identically() {
                     a.raw(),
                     b.raw(),
                     "shards {shards} cut {cut}: resumed fold diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The packed twin of [`recorded_registration`]: the same full registration
+/// driven under a 32-bit [`PackingPolicy`], returning the server-bound
+/// envelopes and the uninterrupted packed total.
+fn recorded_packed_registration(
+    n: usize,
+    seed: u64,
+    policy: PackingPolicy,
+) -> (Vec<Envelope>, dubhe_he::PackedEncryptedVector) {
+    let dists = clients(n, seed);
+    let config = DubheConfig::group1();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED);
+    let mut transport = InMemoryTransport::recording();
+    let run = run_registration_with_packing(
+        &dists,
+        &config,
+        KEY_BITS,
+        policy,
+        CoordinatorServer::new(n).with_packing(policy),
+        &mut transport,
+        &mut rng,
+    )
+    .unwrap();
+    let total = run.server.packed_encrypted_total().expect("epoch complete");
+    let replay: Vec<Envelope> = transport
+        .transcript()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.msg,
+                ProtocolMsg::PublicKeyDispatch { .. } | ProtocolMsg::PackedRegistry { .. }
+            ) && e.to == Party::Server
+        })
+        .cloned()
+        .collect();
+    (replay, total)
+}
+
+#[test]
+fn coordinator_killed_mid_packed_aggregation_resumes_bit_identically() {
+    // The packed crash-recovery pin: kill the coordinator between packed
+    // uploads (including right after the seeding upload and one short of
+    // completion), restore it from the snapshot bytes alone, and finish.
+    // The resumed packed total must be bit-identical, ciphertext for
+    // ciphertext, to the uninterrupted fold — and the restored coordinator
+    // must still know its slot layout (the snapshot carries the policy, and
+    // restore cross-validates fold against policy).
+    let n = 10;
+    let policy = PackingPolicy::new(32, KEY_BITS, n as u64).unwrap();
+    let (replay, reference) = recorded_packed_registration(n, 311, policy);
+    assert_eq!(replay.len(), n + 1);
+    // Length-56 registries at 7 lanes per 256-bit plaintext: 8 ciphertexts.
+    assert_eq!(reference.ciphertext_count(), 8);
+
+    for cut in [1usize, 4, 9] {
+        let mut live = CoordinatorServer::new(n).with_packing(policy);
+        for e in replay.iter().take(1 + cut) {
+            Coordinator::deliver(&mut live, e.clone()).unwrap();
+        }
+        let bytes = live.snapshot().unwrap();
+        drop(live);
+
+        let mut resumed = CoordinatorServer::restore(&bytes).unwrap();
+        assert_eq!(
+            resumed.packing(),
+            Some(&policy),
+            "policy survives the crash"
+        );
+        let mut broadcast = Vec::new();
+        for e in replay.iter().skip(1 + cut) {
+            broadcast = Coordinator::deliver(&mut resumed, e.clone()).unwrap();
+        }
+        let total = resumed.packed_encrypted_total().expect("epoch complete");
+        assert_eq!(total.count(), reference.count());
+        for (a, b) in total
+            .vector()
+            .elements()
+            .iter()
+            .zip(reference.vector().elements())
+        {
+            assert_eq!(a.raw(), b.raw(), "cut {cut}: resumed packed fold diverged");
+        }
+        assert!(
+            broadcast
+                .iter()
+                .any(|e| matches!(e.msg, ProtocolMsg::PackedTotalBroadcast { .. })),
+            "cut {cut}: completion must broadcast the packed total"
+        );
+    }
+}
+
+#[test]
+fn sharded_coordinator_killed_mid_packed_aggregation_resumes_bit_identically() {
+    // Same pin against the sharded coordinator, with shard counts that do
+    // NOT divide the 8-ciphertext layout evenly — the shard boundaries land
+    // mid-vector between plaintexts (3 shards -> ranges of 3/3/2
+    // ciphertexts, i.e. 21/21/14 lanes), so a crash straddles both a shard
+    // boundary and a plaintext boundary. The restored partition, lane count
+    // and every shard fold must line back up bit-identically.
+    let n = 12;
+    let policy = PackingPolicy::new(32, KEY_BITS, n as u64).unwrap();
+    let (replay, reference) = recorded_packed_registration(n, 321, policy);
+
+    for shards in [1usize, 3, 4] {
+        for cut in [2usize, 7, 11] {
+            let mut live = ShardedCoordinator::new(n, shards).with_packing(policy);
+            for e in replay.iter().take(1 + cut) {
+                Coordinator::deliver(&mut live, e.clone()).unwrap();
+            }
+            let bytes = live.snapshot().unwrap();
+            drop(live);
+
+            let mut resumed = ShardedCoordinator::restore(&bytes).unwrap();
+            assert_eq!(resumed.shards(), shards);
+            assert_eq!(resumed.packing(), Some(&policy));
+            for e in replay.iter().skip(1 + cut) {
+                Coordinator::deliver(&mut resumed, e.clone()).unwrap();
+            }
+            let total = resumed.packed_encrypted_total().expect("epoch complete");
+            for (a, b) in total
+                .vector()
+                .elements()
+                .iter()
+                .zip(reference.vector().elements())
+            {
+                assert_eq!(
+                    a.raw(),
+                    b.raw(),
+                    "shards {shards} cut {cut}: resumed packed fold diverged"
                 );
             }
         }
