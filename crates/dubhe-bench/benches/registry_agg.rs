@@ -30,7 +30,7 @@
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
-use dubhe_bench::synthetic_registries;
+use dubhe_bench::{allocs_during, synthetic_registries};
 use dubhe_he::{
     sum_vectors, sum_vectors_serial, HeadroomModel, Keypair, PackedEncryptedVector,
     PackedRunningFold, Packer, PublicKey, RunningFold,
@@ -127,6 +127,12 @@ struct AggRow {
     speedup_running: f64,
     /// Montgomery batch throughput in folded elements per second.
     mont_elems_per_s: f64,
+    /// Heap allocations per folded element in the Montgomery batch fold.
+    /// `null` unless built with `--features count-allocs`; the scratch
+    /// arenas hold this near zero (seeding amortises across the sweep).
+    mont_allocs_per_element: Option<f64>,
+    /// Same meter over the incremental running fold.
+    running_allocs_per_element: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -165,15 +171,17 @@ fn write_agg_report() {
         let serial_ms = t.elapsed().as_secs_f64() * 1e3;
 
         let t = Instant::now();
-        let mont = sum_vectors(&vectors).unwrap().unwrap();
+        let (mont, mont_allocs) = allocs_during(|| sum_vectors(&vectors).unwrap().unwrap());
         let mont_ms = t.elapsed().as_secs_f64() * 1e3;
 
         let t = Instant::now();
-        let mut fold = RunningFold::new(&vectors[0]);
-        for v in &vectors[1..] {
-            fold.fold(v).unwrap();
-        }
-        let running = fold.total();
+        let (running, running_allocs) = allocs_during(|| {
+            let mut fold = RunningFold::new(&vectors[0]);
+            for v in &vectors[1..] {
+                fold.fold(v).unwrap();
+            }
+            fold.total()
+        });
         let running_fold_ms = t.elapsed().as_secs_f64() * 1e3;
 
         assert_eq!(mont, serial, "Montgomery batch fold diverged at {count}");
@@ -190,6 +198,8 @@ fn write_agg_report() {
             speedup_mont: serial_ms / mont_ms,
             speedup_running: serial_ms / running_fold_ms,
             mont_elems_per_s: elems / (mont_ms / 1e3),
+            mont_allocs_per_element: mont_allocs.map(|a| a as f64 / elems),
+            running_allocs_per_element: running_allocs.map(|a| a as f64 / elems),
         });
     }
     println!(

@@ -1,8 +1,9 @@
 //! Criterion benchmarks of the pluggable wire codecs: encode/decode
-//! throughput and bytes-per-message for `DBH1` (JSON) vs `DBH2` (canonical
-//! binary) over the representative protocol payloads — a length-56 encrypted
-//! registry upload (element-wise and slot-packed at 16- and 32-bit widths)
-//! and a 10-class encrypted distribution.
+//! throughput and bytes-per-message for `DBH1` (JSON), `DBH2` (canonical
+//! binary) and `DBHZ` (LZSS-compressed JSON) over the representative
+//! protocol payloads — a length-56 encrypted registry upload (element-wise
+//! and slot-packed at 16- and 32-bit widths) and a 10-class encrypted
+//! distribution.
 //!
 //! Besides the criterion timings, the binary writes
 //! `results/BENCH_wire.json` with the measured bytes-per-message,
@@ -88,7 +89,7 @@ fn bench_encode(c: &mut Criterion) {
     let msgs = sample_messages();
     let mut group = c.benchmark_group("wire_encode");
     for (name, msg) in &msgs {
-        for codec in [CodecKind::Json, CodecKind::Binary] {
+        for codec in [CodecKind::Json, CodecKind::Binary, CodecKind::JsonLz] {
             group.bench_with_input(BenchmarkId::new(*name, codec.name()), msg, |b, msg| {
                 b.iter(|| codec.encode(black_box(msg)).unwrap());
             });
@@ -101,7 +102,7 @@ fn bench_decode(c: &mut Criterion) {
     let msgs = sample_messages();
     let mut group = c.benchmark_group("wire_decode");
     for (name, msg) in &msgs {
-        for codec in [CodecKind::Json, CodecKind::Binary] {
+        for codec in [CodecKind::Json, CodecKind::Binary, CodecKind::JsonLz] {
             let payload = codec.encode(msg).unwrap();
             group.bench_with_input(
                 BenchmarkId::new(*name, codec.name()),
@@ -153,7 +154,7 @@ fn write_wire_report() {
     };
     let mut rows = Vec::new();
     for (name, msg) in &sample_messages() {
-        for codec in [CodecKind::Json, CodecKind::Binary] {
+        for codec in [CodecKind::Json, CodecKind::Binary, CodecKind::JsonLz] {
             let payload = codec.encode(msg).unwrap();
             let t = Instant::now();
             for _ in 0..iters {
@@ -174,16 +175,20 @@ fn write_wire_report() {
             });
         }
     }
-    for pair in rows.chunks(2) {
-        println!(
-            "{:<18} {}: {:>7} B   {}: {:>7} B   ({:.2}x smaller)",
-            pair[0].message,
-            pair[0].codec,
-            pair[0].payload_bytes,
-            pair[1].codec,
-            pair[1].payload_bytes,
-            pair[0].payload_bytes as f64 / pair[1].payload_bytes as f64
-        );
+    for group in rows.chunks(3) {
+        let dbh1 = group[0].payload_bytes as f64;
+        let sized: Vec<String> = group
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}: {:>7} B ({:.2}x)",
+                    r.codec,
+                    r.payload_bytes,
+                    dbh1 / r.payload_bytes as f64
+                )
+            })
+            .collect();
+        println!("{:<24} {}", group[0].message, sized.join("   "));
     }
     // Packed-registry acceptance: the binary payload of the slot-packed
     // length-56 registry against the element-wise one, per slot width. The

@@ -28,15 +28,19 @@ use dubhe_fl::models::small_mlp;
 use dubhe_fl::{FlSimulation, ListenerKind, SecureMode, SimulationConfig};
 use dubhe_he::packing::Packer;
 use dubhe_he::transport::{measure_packed, measure_vector, CommunicationCount};
-use dubhe_he::{EncryptedVector, FixedPointCodec, Keypair};
+use dubhe_he::{
+    CrtEncryptor, EncryptedVector, Encryptor, FixedPointCodec, Keypair, PrecomputedEncryptor,
+    PrivateKey, PublicKey, RunningFold,
+};
 use dubhe_select::protocol::{
     pump, run_registration, run_registration_with, run_try, run_try_with_dropouts, CodecKind,
-    CoordinatorListener, CoordinatorServer, InMemoryTransport, LinkStats, ShardedCoordinator,
-    TcpTransport, Transport,
+    CoordinatorListener, CoordinatorServer, Envelope, InMemoryTransport, LinkStats, Party,
+    ProtocolMsg, RegistryFrame, ShardedCoordinator, TcpTransport, Transport, WireMsg,
 };
 use dubhe_select::{DubheConfig, DubheSelector};
 use rand::SeedableRng;
 use serde::Serialize;
+use std::hint::black_box;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -48,6 +52,46 @@ struct OverheadRow {
     expansion: f64,
     encrypt_ms: f64,
     decrypt_ms: f64,
+}
+
+/// One registration round of `clients` length-`registry_len` uploads, timed
+/// stage by stage along the exact path the binary listeners take.
+#[derive(Serialize)]
+struct LatencyBudget {
+    clients: usize,
+    registry_len: usize,
+    key_bits: u64,
+    /// Client side: fixed-base multi-exp encryption of every registry.
+    encrypt_ms: f64,
+    /// `DBH2` payload encoding of every upload.
+    wire_ms: f64,
+    /// Zero-copy deferral: envelope-prefix parse plus in-place residue
+    /// validation — no ciphertext bytes are copied or re-allocated.
+    decode_ms: f64,
+    /// Montgomery running fold straight over the borrowed frame views.
+    fold_ms: f64,
+    /// CRT batch decryption of the folded total.
+    decrypt_ms: f64,
+    total_ms: f64,
+}
+
+/// The multi-exponentiation acceptance measurement: the interleaved batch
+/// walk over a length-56 registry against 56 independent per-element
+/// encryptions of the same `CrtEncryptor`, at the paper-scale 1024-bit key.
+#[derive(Serialize)]
+struct MultiExpRow {
+    key_bits: u64,
+    registry_len: usize,
+    per_element_ms: f64,
+    multi_exp_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct OverheadReport {
+    sizes: Vec<OverheadRow>,
+    latency_budget: LatencyBudget,
+    multi_exp: MultiExpRow,
 }
 
 fn main() {
@@ -151,10 +195,218 @@ fn main() {
     let in_memory_stats = protocol_round_trip(key_bits);
     tcp_round_trip(key_bits, &in_memory_stats);
     aggregation_throughput(&pk);
+    let latency_budget = latency_budget_round(&pk, &sk);
+    let multi_exp = multi_exp_acceptance();
     epoch_lifecycle(key_bits);
     encrypted_simulation(key_bits);
 
-    dubhe_bench::dump_json("overhead_report", &rows);
+    dubhe_bench::dump_json(
+        "overhead_report",
+        &OverheadReport {
+            sizes: rows,
+            latency_budget,
+            multi_exp,
+        },
+    );
+}
+
+/// The end-to-end per-round latency budget: where one registration round of
+/// K = 20 clients actually spends its time, stage by stage, along the path
+/// the binary (`DBH2`) listeners take — multi-exp encryption on the clients,
+/// payload encoding, the zero-copy deferred decode (the envelope prefix is
+/// parsed and the residue block validated in place; the fold then reads
+/// ciphertext residues straight out of the frame payload), the Montgomery
+/// running fold over the borrowed views, and the CRT batch decrypt of the
+/// folded total.
+fn latency_budget_round(pk: &PublicKey, sk: &PrivateKey) -> LatencyBudget {
+    let clients = 20usize;
+    let registry_len = 56usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xB0D6);
+
+    // Client side: the shared fixed-base table is built once per epoch and
+    // is not part of the per-round budget.
+    let encryptor = PrecomputedEncryptor::new(pk, &mut rng);
+    let t = Instant::now();
+    let registries: Vec<EncryptedVector> = (0..clients)
+        .map(|i| {
+            let mut v = vec![0u64; registry_len];
+            v[i % registry_len] = 1;
+            EncryptedVector::encrypt_u64_with(&encryptor, &v, &mut rng)
+        })
+        .collect();
+    let encrypt_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let msgs: Vec<WireMsg> = registries
+        .into_iter()
+        .enumerate()
+        .map(|(i, registry)| WireMsg::Envelope {
+            envelope: Envelope {
+                from: Party::Client(i),
+                to: Party::Server,
+                epoch: 0,
+                msg: ProtocolMsg::EncryptedRegistry {
+                    client: i,
+                    registry,
+                },
+            },
+        })
+        .collect();
+    let t = Instant::now();
+    let payloads: Vec<Vec<u8>> = msgs
+        .iter()
+        .map(|m| {
+            CodecKind::Binary
+                .encode(m)
+                .expect("DBH2 encodes registries")
+        })
+        .collect();
+    let wire_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Server side: the frame payload arrives owned from the socket buffer;
+    // deferral consumes it without copying, and `view()` validates the
+    // residue block against `n²` in place.
+    let t = Instant::now();
+    let frames: Vec<RegistryFrame> = payloads
+        .into_iter()
+        .map(|p| RegistryFrame::try_from_payload(p).expect("registry uploads defer"))
+        .collect();
+    for frame in &frames {
+        black_box(frame.view().expect("well-formed residue block"));
+    }
+    let decode_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let mut fold: Option<RunningFold> = None;
+    for frame in &frames {
+        let view = frame.view().expect("validated above");
+        match &mut fold {
+            None => fold = Some(RunningFold::from_view(&view)),
+            Some(f) => f.fold_view(&view).expect("same key and length"),
+        }
+    }
+    let total = fold.expect("non-empty round").total();
+    let fold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let sums = total.decrypt_u64(sk).expect("counters fit in u64");
+    let decrypt_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        sums.iter().sum::<u64>(),
+        clients as u64,
+        "every one-hot registry must land in the folded total"
+    );
+
+    let budget = LatencyBudget {
+        clients,
+        registry_len,
+        key_bits: pk.bits(),
+        encrypt_ms,
+        wire_ms,
+        decode_ms,
+        fold_ms,
+        decrypt_ms,
+        total_ms: encrypt_ms + wire_ms + decode_ms + fold_ms + decrypt_ms,
+    };
+    println!(
+        "\nper-round latency budget ({clients} clients x length {registry_len}, {}-bit key):",
+        budget.key_bits
+    );
+    println!("  {:<10} {:>10} {:>7}", "stage", "ms", "share");
+    for (stage, ms) in [
+        ("encrypt", budget.encrypt_ms),
+        ("wire", budget.wire_ms),
+        ("decode", budget.decode_ms),
+        ("fold", budget.fold_ms),
+        ("decrypt", budget.decrypt_ms),
+    ] {
+        println!(
+            "  {:<10} {:>10.3} {:>6.1}%",
+            stage,
+            ms,
+            100.0 * ms / budget.total_ms
+        );
+    }
+    println!("  {:<10} {:>10.3}", "TOTAL", budget.total_ms);
+    budget
+}
+
+/// The raw-speed acceptance bar for registry encryption: the simultaneous
+/// multi-exponentiation walk must beat 56 independent per-element
+/// encryptions of the same `CrtEncryptor` by at least 1.5× at 1024-bit
+/// keys, while producing bit-identical ciphertexts on the same randomness
+/// stream (batch and per-element draw the identical exponent sequence).
+fn multi_exp_acceptance() -> MultiExpRow {
+    const KEY_BITS: u64 = 1024;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x517);
+    println!("\nmulti-exp acceptance: generating a {KEY_BITS}-bit keypair ...");
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+    let crt = CrtEncryptor::new(&kp, &mut rng).expect("valid keypair");
+    let mut registry = vec![0u64; 56];
+    registry[10] = 1;
+
+    // Bit-identity: same seed, both routes draw the same short exponents.
+    let mut rng_a = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng_b = rand::rngs::StdRng::seed_from_u64(7);
+    let batch = EncryptedVector::encrypt_u64_with(&crt, &registry, &mut rng_a);
+    let per: Vec<_> = registry
+        .iter()
+        .map(|&m| crt.encrypt_u64(m, &mut rng_b))
+        .collect();
+    for (a, b) in batch.elements().iter().zip(&per) {
+        assert_eq!(
+            a.raw(),
+            b.raw(),
+            "multi-exp and per-element ciphertexts must be bit-identical"
+        );
+    }
+
+    // Steady state of an epoch encryptor: the batch evaluator upgrades to
+    // its 8-bit wide tables once enough cumulative volume justifies the
+    // build (~512 elements). Warm past that threshold so the timed loop
+    // measures the per-round cost every subsequent batch pays, with the
+    // one-off table expansion amortised away — exactly the regime a
+    // coordinator-side or long-lived client encryptor runs in.
+    for _ in 0..10 {
+        black_box(EncryptedVector::encrypt_u64_with(&crt, &registry, &mut rng));
+    }
+
+    // Best-of-N timing: the minimum over repeated runs is the standard
+    // latency estimator under scheduler noise — both routes get the same
+    // treatment, so the ratio is the steady-state one.
+    let time_min = |f: &mut dyn FnMut()| -> f64 {
+        (0..12)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let multi_exp_ms = time_min(&mut || {
+        black_box(EncryptedVector::encrypt_u64_with(&crt, &registry, &mut rng));
+    });
+    let per_element_ms = time_min(&mut || {
+        for &m in &registry {
+            black_box(crt.encrypt_u64(m, &mut rng));
+        }
+    });
+    let speedup = per_element_ms / multi_exp_ms;
+    println!(
+        "  registry56 per-element {per_element_ms:.2} ms, multi-exp {multi_exp_ms:.2} ms \
+         ({speedup:.2}x, bit-identical)"
+    );
+    assert!(
+        speedup >= 1.5,
+        "simultaneous multi-exp must clear 1.5x over per-element encryption \
+         at {KEY_BITS}-bit keys (measured {speedup:.2}x)"
+    );
+    MultiExpRow {
+        key_bits: KEY_BITS,
+        registry_len: registry.len(),
+        per_element_ms,
+        multi_exp_ms,
+        speedup,
+    }
 }
 
 /// Prints the registry-aggregation throughput next to the codec table: how
@@ -261,11 +513,12 @@ fn protocol_round_trip(key_bits: u64) -> dubhe_select::TransportStats {
 
 /// The identical session over loopback TCP against a 4-shard coordinator,
 /// once per payload codec: every server-bound message crosses a real socket
-/// as a length-prefixed `DBH1` (JSON) or `DBH2` (canonical binary) frame.
-/// The canonical byte totals must match the in-memory run exactly for both;
-/// the measured frame bytes show what each codec's framing and encoding add
-/// on top. `DBH2` is asserted to stay within 1.10× of the canonical bytes —
-/// the paper's communication model — where `DBH1` pays ~2.5×.
+/// as a length-prefixed `DBH1` (JSON), `DBH2` (canonical binary) or `DBHZ`
+/// (LZSS-compressed JSON) frame. The canonical byte totals must match the
+/// in-memory run exactly for all three; the measured frame bytes show what
+/// each codec's framing and encoding add on top. `DBH2` is asserted to stay
+/// within 1.10× of the canonical bytes — the paper's communication model —
+/// where `DBH1` pays ~2.5× and `DBHZ` sits between them.
 fn tcp_round_trip(key_bits: u64, in_memory: &dubhe_select::TransportStats) {
     println!("\nsame session over loopback TCP (4-shard coordinator), per wire codec:");
     let spec = FederatedSpec {
@@ -283,7 +536,7 @@ fn tcp_round_trip(key_bits: u64, in_memory: &dubhe_select::TransportStats) {
         "codec", "frames", "measured (B)", "canonical (B)", "overhead", "time"
     );
     let mut overheads = Vec::new();
-    for codec in [CodecKind::Json, CodecKind::Binary] {
+    for codec in [CodecKind::Json, CodecKind::Binary, CodecKind::JsonLz] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(101);
         let dists = spec.build_partition(&mut rng).client_distributions();
         let mut config = DubheConfig::group1();

@@ -215,6 +215,64 @@ pub fn synthetic_registries(
         .collect()
 }
 
+/// The counting global allocator behind the `count-allocs` feature: every
+/// allocation entry point bumps one relaxed atomic, so the aggregation
+/// sweeps can report allocations/element alongside wall clock — the number
+/// that catches a scratch-arena regression even when the clock is noisy.
+#[cfg(feature = "count-allocs")]
+mod alloc_meter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingAlloc;
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    pub fn allocation_count() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs `f`, returning its result and — when the `count-allocs` feature is
+/// enabled — how many heap allocations it performed. `None` means the
+/// build carries no counter (the default), not "zero allocations".
+pub fn allocs_during<T>(f: impl FnOnce() -> T) -> (T, Option<u64>) {
+    #[cfg(feature = "count-allocs")]
+    {
+        let before = alloc_meter::allocation_count();
+        let out = f();
+        (out, Some(alloc_meter::allocation_count() - before))
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        (f(), None)
+    }
+}
+
 /// Writes any serialisable result object as JSON next to the binary output so
 /// EXPERIMENTS.md can reference machine-readable results.
 pub fn dump_json<T: Serialize>(experiment: &str, value: &T) {

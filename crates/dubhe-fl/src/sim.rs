@@ -161,6 +161,9 @@ impl SecureMode {
 
 /// The coordinator slot of an encrypted simulation: in-process, or a framed
 /// TCP connection to the loopback [`CoordinatorListener`].
+// One `SimCoordinator` exists per simulation and lives on the stack for its
+// whole run — the variant size gap buys nothing to box away.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum SimCoordinator {
     Local(CoordinatorServer),

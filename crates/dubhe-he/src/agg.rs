@@ -29,7 +29,7 @@ use crate::codec;
 use crate::error::HeError;
 use crate::keys::PublicKey;
 use crate::transport::ciphertext_size_bytes;
-use crate::vector::{map_indexed, EncryptedVector};
+use crate::vector::{for_each_chunk_with_scratch, map_indexed, EncryptedVector, ScratchPool};
 
 #[cfg(doc)]
 use num_bigint::MontgomeryContext;
@@ -57,6 +57,9 @@ pub struct RunningFold {
     /// How many vectors have been folded in (≥ 1).
     folded: u64,
     state: FoldState,
+    /// Pooled per-chunk CIOS scratch arenas: warmed by the first fold, then
+    /// reused so the steady state allocates nothing per element.
+    scratch: ScratchPool,
 }
 
 impl RunningFold {
@@ -76,6 +79,35 @@ impl RunningFold {
             public,
             folded: 1,
             state,
+            scratch: ScratchPool::new(),
+        }
+    }
+
+    /// Seeds the fold straight from a borrowed frame view — the zero-copy
+    /// twin of [`new`](Self::new), bit-identical to decoding the vector and
+    /// seeding from it.
+    pub fn from_view(v: &codec::EncryptedVectorView<'_>) -> Self {
+        let public = v.public_key().clone();
+        let state = match public.mont_n2() {
+            Some(ctx) => FoldState::Mont(
+                (0..v.len())
+                    .map(|i| {
+                        ctx.operand_from_be_bytes(v.residue_bytes(i))
+                            .expect("view residues are validated below n²")
+                    })
+                    .collect(),
+            ),
+            None => FoldState::Plain(
+                (0..v.len())
+                    .map(|i| BigUint::from_bytes_be(v.residue_bytes(i)))
+                    .collect(),
+            ),
+        };
+        RunningFold {
+            public,
+            folded: 1,
+            state,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -117,16 +149,64 @@ impl RunningFold {
         let public = &self.public;
         match &mut self.state {
             FoldState::Mont(elems) => {
+                // In-place CIOS through the pooled arenas: the steady-state
+                // fold touches the heap zero times per element (pinned by
+                // tests/alloc_counting.rs).
                 let ctx = public.mont_n2().expect("Mont state implies a context");
-                let next = map_indexed(elems.len(), |i| {
-                    ctx.montgomery_mul_residue(&elems[i], v.elements()[i].raw())
+                let arriving = v.elements();
+                for_each_chunk_with_scratch(elems, &self.scratch, |offset, block, scratch| {
+                    for (j, acc) in block.iter_mut().enumerate() {
+                        ctx.montgomery_mul_residue_assign(acc, arriving[offset + j].raw(), scratch);
+                    }
                 });
-                *elems = next;
             }
             FoldState::Plain(elems) => {
                 let n_squared = public.n_squared();
                 let next = map_indexed(elems.len(), |i| {
                     (&elems[i] * v.elements()[i].raw()) % n_squared
+                });
+                *elems = next;
+            }
+        }
+        self.folded += 1;
+        Ok(())
+    }
+
+    /// Folds a borrowed frame view into the running sum without ever
+    /// materialising its ciphertexts: each residue is staged from its
+    /// big-endian frame bytes directly into the CIOS kernel
+    /// ([`MontgomeryContext::montgomery_mul_be_assign`]), so the steady
+    /// state touches the heap zero times per element. Bit-identical to
+    /// [`fold`](Self::fold) of the materialised vector; shape and key
+    /// mismatches are the same typed errors.
+    pub fn fold_view(&mut self, v: &codec::EncryptedVectorView<'_>) -> Result<(), HeError> {
+        if v.len() != self.len() {
+            return Err(HeError::LengthMismatch {
+                left: self.len(),
+                right: v.len(),
+            });
+        }
+        if !v.public_key().same_key(&self.public) {
+            return Err(HeError::KeyMismatch);
+        }
+        let public = &self.public;
+        match &mut self.state {
+            FoldState::Mont(elems) => {
+                let ctx = public.mont_n2().expect("Mont state implies a context");
+                for_each_chunk_with_scratch(elems, &self.scratch, |offset, block, scratch| {
+                    for (j, acc) in block.iter_mut().enumerate() {
+                        // The view validated every residue below n² at decode
+                        // time, so the staging multiply cannot refuse.
+                        let ok =
+                            ctx.montgomery_mul_be_assign(acc, v.residue_bytes(offset + j), scratch);
+                        debug_assert!(ok, "view residues are validated below n²");
+                    }
+                });
+            }
+            FoldState::Plain(elems) => {
+                let n_squared = public.n_squared();
+                let next = map_indexed(elems.len(), |i| {
+                    (&elems[i] * &BigUint::from_bytes_be(v.residue_bytes(i))) % n_squared
                 });
                 *elems = next;
             }
@@ -242,6 +322,7 @@ impl RunningFold {
             public,
             folded,
             state,
+            scratch: ScratchPool::new(),
         })
     }
 }
@@ -280,6 +361,58 @@ mod tests {
                 assert_eq!(a.raw(), b.raw(), "count {count} len {len} position {i}");
             }
         }
+    }
+
+    #[test]
+    fn view_folds_are_bit_identical_to_owned_folds() {
+        for (count, len) in [(1usize, 5usize), (3, 9), (9, 56)] {
+            let (_kp, vs) = vectors(count, len);
+            let frames: Vec<Vec<u8>> = vs
+                .iter()
+                .map(|v| {
+                    let mut buf = Vec::new();
+                    codec::encode_vector(v, &mut buf).unwrap();
+                    buf
+                })
+                .collect();
+            let mut owned = RunningFold::new(&vs[0]);
+            let mut viewed =
+                RunningFold::from_view(&codec::decode_vector_view(&mut &frames[0][..]).unwrap());
+            for (v, frame) in vs[1..].iter().zip(&frames[1..]) {
+                owned.fold(v).unwrap();
+                let view = codec::decode_vector_view(&mut &frame[..]).unwrap();
+                viewed.fold_view(&view).unwrap();
+            }
+            assert_eq!(viewed.folded(), owned.folded());
+            let (a, b) = (viewed.total(), owned.total());
+            for (i, (x, y)) in a.elements().iter().zip(b.elements()).enumerate() {
+                assert_eq!(x.raw(), y.raw(), "count {count} len {len} position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn view_fold_mismatches_are_the_same_typed_errors() {
+        let (_kp, vs) = vectors(2, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let other = Keypair::generate(crate::TEST_KEY_BITS, &mut rng);
+        let mut fold = RunningFold::new(&vs[0]);
+
+        let mut buf = Vec::new();
+        let short = EncryptedVector::encrypt_u64(&other.public, &[1, 2, 3], &mut rng);
+        codec::encode_vector(&short, &mut buf).unwrap();
+        let view = codec::decode_vector_view(&mut &buf[..]).unwrap();
+        assert_eq!(
+            fold.fold_view(&view).unwrap_err(),
+            HeError::LengthMismatch { left: 4, right: 3 }
+        );
+
+        let mut buf = Vec::new();
+        let foreign = EncryptedVector::encrypt_u64(&other.public, &[1, 2, 3, 4], &mut rng);
+        codec::encode_vector(&foreign, &mut buf).unwrap();
+        let view = codec::decode_vector_view(&mut &buf[..]).unwrap();
+        assert_eq!(fold.fold_view(&view).unwrap_err(), HeError::KeyMismatch);
+        assert_eq!(fold.folded(), 1);
     }
 
     #[test]

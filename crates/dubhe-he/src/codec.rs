@@ -157,6 +157,132 @@ pub fn encoded_vector_bytes(vector: &EncryptedVector) -> usize {
         + crate::transport::vector_wire_bytes(vector)
 }
 
+/// A decoded-but-not-materialised encrypted vector: the public key plus a
+/// borrowed, fully validated fixed-width residue block still inside the
+/// buffer it arrived in.
+///
+/// Produced by [`decode_vector_view`], which performs every check
+/// [`decode_vector`] does (header shape, count-vs-payload, residues `< n²`)
+/// without allocating a [`BigUint`] per element. A view is therefore safe to
+/// fold directly — `RunningFold::fold_view` multiplies the residue bytes
+/// into its accumulators with zero per-element heap traffic — or to
+/// [`materialize`](Self::materialize) into an owned [`EncryptedVector`]
+/// when it must outlive the frame buffer.
+#[derive(Debug, Clone)]
+pub struct EncryptedVectorView<'a> {
+    public: PublicKey,
+    /// `count` residues of exactly `width` bytes each, all `< n²`.
+    residues: &'a [u8],
+    count: usize,
+    width: usize,
+}
+
+impl<'a> EncryptedVectorView<'a> {
+    /// The key every element was encrypted under.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` if the vector has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The fixed big-endian width of each residue
+    /// ([`ciphertext_size_bytes`] of the key).
+    pub fn residue_width(&self) -> usize {
+        self.width
+    }
+
+    /// The big-endian bytes of position `i`'s residue (validated `< n²`).
+    ///
+    /// # Panics
+    ///
+    /// If `i >= self.len()`.
+    pub fn residue_bytes(&self, i: usize) -> &'a [u8] {
+        &self.residues[i * self.width..(i + 1) * self.width]
+    }
+
+    /// The borrowed residue block for positions `start..end` — the per-shard
+    /// slice of a sharded fold.
+    ///
+    /// # Panics
+    ///
+    /// If the range is out of bounds.
+    pub fn residue_range(&self, start: usize, end: usize) -> EncryptedVectorView<'a> {
+        EncryptedVectorView {
+            public: self.public.clone(),
+            residues: &self.residues[start * self.width..end * self.width],
+            count: end - start,
+            width: self.width,
+        }
+    }
+
+    /// Total size of the residue block in bytes (`count × width`) — the
+    /// canonical ciphertext payload the transport model accounts.
+    pub fn ciphertext_payload_bytes(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Copies the view out into an owned [`EncryptedVector`], bit-identical
+    /// to what [`decode_vector`] returns for the same bytes. The escape
+    /// hatch for ciphertexts that must outlive the frame buffer.
+    pub fn materialize(&self) -> EncryptedVector {
+        let elements = (0..self.count)
+            .map(|i| {
+                Ciphertext::from_raw(
+                    BigUint::from_bytes_be(self.residue_bytes(i)),
+                    self.public.clone(),
+                )
+            })
+            .collect();
+        EncryptedVector::from_raw_parts(elements, self.public.clone())
+    }
+}
+
+/// Decodes an encrypted vector as a borrowed [`EncryptedVectorView`] over
+/// the input buffer — same validation and cursor discipline as
+/// [`decode_vector`], but no per-element allocation.
+///
+/// Residues are range-checked against `n²` by fixed-width big-endian byte
+/// comparison (equivalent to the numeric comparison), so a returned view
+/// upholds the same invariants as a decoded vector.
+pub fn decode_vector_view<'a>(cur: &mut &'a [u8]) -> Result<EncryptedVectorView<'a>, HeError> {
+    let public = decode_public_key(cur)?;
+    let count = take_u32(cur)? as usize;
+    let width = ciphertext_size_bytes(&public);
+    if count
+        .checked_mul(width)
+        .is_none_or(|total| total > cur.len())
+    {
+        return Err(HeError::MalformedEncoding {
+            detail: "vector element count overruns the payload",
+        });
+    }
+    let residues = take_bytes(cur, count * width)?;
+    let mut bound = Vec::with_capacity(width);
+    put_biguint_fixed(&mut bound, public.n_squared(), width)
+        .expect("n² fits the residue width derived from it");
+    for chunk in residues.chunks_exact(width) {
+        if chunk >= bound.as_slice() {
+            return Err(HeError::MalformedEncoding {
+                detail: "ciphertext residue is not below n²",
+            });
+        }
+    }
+    Ok(EncryptedVectorView {
+        public,
+        residues,
+        count,
+        width,
+    })
+}
+
 /// Decodes an encrypted vector. The announced element count is checked
 /// against the remaining payload before anything is allocated.
 pub fn decode_vector(cur: &mut &[u8]) -> Result<EncryptedVector, HeError> {
@@ -412,6 +538,80 @@ mod tests {
         assert!(matches!(
             decode_packed_vector(&mut &bad[..]).unwrap_err(),
             HeError::PackerMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn vector_view_agrees_with_the_owned_decoder() {
+        let (pk, sk, mut rng) = setup();
+        let values = vec![9u64, 0, 1 << 40, 3, 77];
+        let v = EncryptedVector::encrypt_u64(&pk, &values, &mut rng);
+        let mut buf = Vec::new();
+        encode_vector(&v, &mut buf).unwrap();
+        // Trailing bytes prove the two decoders consume identically.
+        buf.extend_from_slice(&[0xAB, 0xCD]);
+
+        let mut owned_cur = &buf[..];
+        let owned = decode_vector(&mut owned_cur).unwrap();
+        let mut view_cur = &buf[..];
+        let view = decode_vector_view(&mut view_cur).unwrap();
+        assert_eq!(owned_cur, view_cur, "cursor positions must agree");
+        assert_eq!(view.len(), owned.len());
+        assert_eq!(view.residue_width(), ciphertext_size_bytes(&pk));
+        assert_eq!(
+            view.ciphertext_payload_bytes(),
+            vector_wire_bytes(&owned),
+            "payload accounting must match the transport model"
+        );
+        assert_eq!(view.materialize(), owned);
+        assert_eq!(view.materialize().decrypt_u64(&sk).unwrap(), values);
+
+        // Per-position residue bytes are the canonical fixed-width limbs.
+        let width = view.residue_width();
+        for (i, ct) in owned.elements().iter().enumerate() {
+            let mut canonical = Vec::new();
+            put_biguint_fixed(&mut canonical, ct.raw(), width).unwrap();
+            assert_eq!(view.residue_bytes(i), &canonical[..], "position {i}");
+        }
+
+        // A sub-range view materializes to the matching element window.
+        let sub = view.residue_range(1, 4);
+        assert_eq!(sub.len(), 3);
+        for (i, ct) in sub.materialize().elements().iter().enumerate() {
+            assert_eq!(ct.raw(), owned.elements()[1 + i].raw());
+        }
+    }
+
+    #[test]
+    fn vector_view_rejects_exactly_what_the_owned_decoder_rejects() {
+        let (pk, _sk, mut rng) = setup();
+        let v = EncryptedVector::encrypt_u64(&pk, &[5, 6, 7], &mut rng);
+        let mut buf = Vec::new();
+        encode_vector(&v, &mut buf).unwrap();
+
+        for cut in 0..buf.len() {
+            let owned = decode_vector(&mut &buf[..cut]);
+            let view = decode_vector_view(&mut &buf[..cut]).map(|v| v.materialize());
+            assert_eq!(owned, view, "cut {cut}: decoders must agree");
+        }
+
+        // An out-of-range residue is refused by both, with the same error.
+        let mut hostile = buf.clone();
+        let tail = hostile.len();
+        let width = ciphertext_size_bytes(&pk);
+        hostile[tail - width..].fill(0xFF);
+        assert_eq!(
+            decode_vector(&mut &hostile[..]).unwrap_err(),
+            decode_vector_view(&mut &hostile[..]).unwrap_err(),
+        );
+
+        // A hostile count is refused before any allocation.
+        let mut hostile = Vec::new();
+        encode_public_key(&pk, &mut hostile);
+        put_u32(&mut hostile, u32::MAX);
+        assert!(matches!(
+            decode_vector_view(&mut &hostile[..]).unwrap_err(),
+            HeError::MalformedEncoding { .. }
         ));
     }
 

@@ -58,7 +58,10 @@
 //! [`EpochEncryptor::for_key_material`] picks the best tier the key
 //! material in hand supports.
 
-use num_bigint::{BigUint, MontgomeryContext, MontgomeryOperand, RandBigInt};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use num_bigint::{BigUint, MontgomeryContext, MontgomeryOperand, MontgomeryScratch, RandBigInt};
 use num_traits::{One, Zero};
 use rand::Rng;
 
@@ -66,6 +69,7 @@ use crate::ciphertext::Ciphertext;
 use crate::error::HeError;
 use crate::keys::{Keypair, PrivateKey, PublicKey};
 use crate::prime::mod_inverse;
+use crate::vector::map_indexed;
 
 /// Bit length of the short randomness exponent `x` (≈ 2× the 128-bit
 /// security level targeted by 2048-bit moduli).
@@ -75,14 +79,42 @@ pub const RANDOMNESS_EXPONENT_BITS: u64 = 256;
 /// window, one multiplication per window during exponentiation).
 const WINDOW_BITS: u64 = 4;
 
+/// Window width of the batch-only wide table (8 bits → 255 stored powers
+/// per window, half as many multiplications per exponent as the 4-bit walk).
+const WIDE_WINDOW_BITS: u64 = 8;
+
+/// Cumulative elements an encryptor must have batch-encrypted before its
+/// 8-bit wide tables are built. Expanding a wide table costs
+/// `32 rows × 254` multiplications per leg while saving ~28 per element, so
+/// the break-even sits near 300 elements per leg; one-shot registry
+/// encryptions (a simulated client encrypts one 56-element vector, ever)
+/// stay on the 4-bit tables and never pay the expansion.
+const WIDE_TABLE_MIN_ELEMENTS: u64 = 512;
+
+/// Elements per interleaved-walk chunk: one scratch arena (and one pass of
+/// table-row reuse) covers this many exponents, while leaving registry-sized
+/// batches enough chunks to fan out over cores.
+const BATCH_CHUNK: usize = 4;
+
 /// A windowed fixed-base power table for `h = g₀ⁿ mod n²`.
 ///
 /// Built lazily, once per key, behind the shared [`PublicKey`] handle; every
-/// ciphertext produced under the key amortises it.
+/// ciphertext produced under the key amortises it. Generated keys (odd `n²`)
+/// hold the table in the Montgomery domain of the key's cached context so
+/// each window step is one CIOS multiplication; a forged even-modulus key
+/// falls back to plain multiply-and-divide rows with identical results.
 #[derive(Debug)]
-pub(crate) struct FastBase {
-    /// `table[w][d-1] = h^(d · 2^(4w)) mod n²` for `d ∈ [1, 15]`.
-    table: Vec<Vec<BigUint>>,
+pub(crate) enum FastBase {
+    /// Montgomery-domain table + batch state (the real-key path).
+    Mont {
+        leg: WindowLeg,
+        batch: BatchState<WideLeg>,
+    },
+    /// Plain-residue table for even (forged) moduli.
+    Plain {
+        /// `table[w][d-1] = h^(d · 2^(4w)) mod n²` for `d ∈ [1, 15]`.
+        table: Vec<Vec<BigUint>>,
+    },
 }
 
 impl FastBase {
@@ -90,6 +122,12 @@ impl FastBase {
     /// (see [`sample_subgroup_h`] — both encryptor tiers derive from the
     /// same `h`, which is what keeps their ciphertexts interchangeable).
     pub(crate) fn new(public: &PublicKey, h: &BigUint) -> Self {
+        if let Some(ctx) = public.mont_n2() {
+            return FastBase::Mont {
+                leg: WindowLeg::new(ctx, h),
+                batch: BatchState::default(),
+            };
+        }
         let n_squared = public.n_squared();
         let windows = RANDOMNESS_EXPONENT_BITS.div_ceil(WINDOW_BITS) as usize;
         let mut table = Vec::with_capacity(windows);
@@ -107,26 +145,82 @@ impl FastBase {
             }
             table.push(row);
         }
-        FastBase { table }
+        FastBase::Plain { table }
     }
 
     /// `hˣ mod n²` by one table lookup + multiplication per non-zero 4-bit
     /// digit of `x`.
     pub(crate) fn pow(&self, x: &BigUint, n_squared: &BigUint) -> BigUint {
-        let mut acc: Option<BigUint> = None;
         let digits = x.to_u64_digits();
-        for (w, row) in self.table.iter().enumerate() {
-            let digit = window_digit(&digits, w);
-            if digit == 0 {
-                continue;
+        match self {
+            FastBase::Mont { leg, .. } => leg.pow(&digits),
+            FastBase::Plain { table } => {
+                let mut acc: Option<BigUint> = None;
+                for (w, row) in table.iter().enumerate() {
+                    let digit = window_digit(&digits, w);
+                    if digit == 0 {
+                        continue;
+                    }
+                    let factor = &row[digit - 1];
+                    acc = Some(match acc {
+                        None => factor.clone(),
+                        Some(a) => (a * factor) % n_squared,
+                    });
+                }
+                acc.unwrap_or_else(num_traits::One::one)
             }
-            let factor = &row[digit - 1];
-            acc = Some(match acc {
-                None => factor.clone(),
-                Some(a) => (a * factor) % n_squared,
-            });
         }
-        acc.unwrap_or_else(num_traits::One::one)
+    }
+
+    /// Batch `hˣ mod n²` for a whole exponent vector: the interleaved
+    /// multi-exponentiation walk when the table is Montgomery-domain, the
+    /// scalar path otherwise. Bit-identical to mapping [`pow`](Self::pow).
+    pub(crate) fn pow_batch(&self, xs: &[BigUint], n_squared: &BigUint) -> Vec<BigUint> {
+        match self {
+            FastBase::Mont { leg, batch } => {
+                let wide = batch.wide_for(xs.len(), || WideLeg::new(leg));
+                let digits: Vec<Vec<u64>> = xs.iter().map(BigUint::to_u64_digits).collect();
+                let chunks = digits.len().div_ceil(BATCH_CHUNK);
+                let per_chunk: Vec<Vec<BigUint>> = map_indexed(chunks, |ci| {
+                    let lo = ci * BATCH_CHUNK;
+                    let hi = (lo + BATCH_CHUNK).min(digits.len());
+                    let mut scratch = MontgomeryScratch::new();
+                    leg.pow_chunk(wide, &digits[lo..hi], &mut scratch)
+                });
+                per_chunk.concat()
+            }
+            FastBase::Plain { .. } => xs.iter().map(|x| self.pow(x, n_squared)).collect(),
+        }
+    }
+}
+
+/// Shared lazy-upgrade state for the batch evaluator of one encryptor tier:
+/// counts cumulative batch-encrypted elements and expands the 8-bit wide
+/// tables (`W` is one [`WideLeg`] or a pair) once the volume justifies it.
+#[derive(Debug)]
+pub(crate) struct BatchState<W> {
+    /// Cumulative elements routed through the batch path.
+    seen: AtomicU64,
+    /// The lazily expanded wide tables.
+    wide: OnceLock<W>,
+}
+
+impl<W> Default for BatchState<W> {
+    fn default() -> Self {
+        BatchState {
+            seen: AtomicU64::new(0),
+            wide: OnceLock::new(),
+        }
+    }
+}
+
+impl<W> BatchState<W> {
+    /// Accounts `count` more elements and returns the wide tables if the
+    /// cumulative volume has crossed [`WIDE_TABLE_MIN_ELEMENTS`] (expanding
+    /// them on the first crossing).
+    fn wide_for(&self, count: usize, build: impl FnOnce() -> W) -> Option<&W> {
+        let seen = self.seen.fetch_add(count as u64, Ordering::Relaxed) + count as u64;
+        (seen >= WIDE_TABLE_MIN_ELEMENTS).then(|| self.wide.get_or_init(build))
     }
 }
 
@@ -152,6 +246,14 @@ fn window_digit(digits: &[u64], w: usize) -> usize {
     let bit = w as u64 * WINDOW_BITS;
     let limb = digits.get((bit / 64) as usize).copied().unwrap_or(0);
     ((limb >> (bit % 64)) & 0xF) as usize
+}
+
+/// The `w`-th 8-bit window (byte) of an exponent given as little-endian
+/// limbs.
+fn window_digit_wide(digits: &[u64], w: usize) -> usize {
+    let bit = w as u64 * WIDE_WINDOW_BITS;
+    let limb = digits.get((bit / 64) as usize).copied().unwrap_or(0);
+    ((limb >> (bit % 64)) & 0xFF) as usize
 }
 
 /// Fast Paillier encryptor bound to one shared [`PublicKey`].
@@ -194,6 +296,12 @@ impl Encryptor for PrecomputedEncryptor {
             .fast_base(&mut NoRng)
             .pow(x, self.public.n_squared())
     }
+
+    fn randomizers_for(&self, xs: &[BigUint]) -> Vec<BigUint> {
+        self.public
+            .fast_base(&mut NoRng)
+            .pow_batch(xs, self.public.n_squared())
+    }
 }
 
 /// A source of Paillier ciphertext randomness bound to one shared
@@ -213,6 +321,18 @@ pub trait Encryptor: Sync {
     /// same `x`, same component, whichever implementation computes it.
     fn randomizer_for(&self, x: &BigUint) -> BigUint;
 
+    /// The randomness components for a whole exponent vector at once.
+    /// Semantically `xs.iter().map(|x| self.randomizer_for(x))` — and
+    /// bit-identical to it, which the property tests pin — but
+    /// implementations route it through the simultaneous
+    /// multi-exponentiation evaluator: an interleaved window walk over all
+    /// exponents with shared table rows, in-place CIOS through per-chunk
+    /// scratch arenas, and (past a volume threshold) lazily widened 8-bit
+    /// tables. Registry-vector encryption calls this once per vector.
+    fn randomizers_for(&self, xs: &[BigUint]) -> Vec<BigUint> {
+        map_indexed(xs.len(), |i| self.randomizer_for(&xs[i]))
+    }
+
     /// Samples a fresh randomness component `hˣ mod n²`.
     fn randomizer<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
         let x = sample_short_exponent(rng);
@@ -227,7 +347,14 @@ pub trait Encryptor: Sync {
         if m >= public.n() {
             return Err(HeError::PlaintextTooLarge);
         }
-        let value = (public.g_to_m(m) * self.randomizer(rng)) % public.n_squared();
+        // g⁰ = 1 and randomizers come out reduced below n², so encrypting
+        // zero (most elements of a one-hot registry) is the randomizer
+        // itself — no full-width multiply-and-divide.
+        let value = if m.is_zero() {
+            self.randomizer(rng)
+        } else {
+            (public.g_to_m(m) * self.randomizer(rng)) % public.n_squared()
+        };
         Ok(Ciphertext::from_raw(value, public.clone()))
     }
 
@@ -252,19 +379,20 @@ pub(crate) fn sample_exponents<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Ve
     (0..count).map(|_| sample_short_exponent(rng)).collect()
 }
 
-/// One CRT leg of the split encryptor: the fixed-base window table for
-/// `h mod s` (`s ∈ {p², q²}`), held entirely in the Montgomery domain of the
-/// key's cached context for `s`, so the per-ciphertext windowed product is a
-/// chain of half-width CIOS multiplications with a single conversion out.
+/// One fixed-base window-table leg: `h mod s` for a leg modulus `s` (`n²`
+/// for the single-modulus tier, `p²`/`q²` for the CRT tiers), held entirely
+/// in the Montgomery domain of the key's cached context for `s`, so the
+/// per-ciphertext windowed product is a chain of CIOS multiplications with a
+/// single conversion out.
 #[derive(Debug, Clone)]
-struct CrtLeg {
+pub(crate) struct WindowLeg {
     /// The key's Montgomery context for this leg's modulus.
     ctx: MontgomeryContext,
     /// `table[w][d-1]` = Montgomery form of `h^(d·16ʷ) mod s`.
     table: Vec<Vec<MontgomeryOperand>>,
 }
 
-impl CrtLeg {
+impl WindowLeg {
     fn new(ctx: &MontgomeryContext, h: &BigUint) -> Self {
         let windows = RANDOMNESS_EXPONENT_BITS.div_ceil(WINDOW_BITS) as usize;
         let mut table = Vec::with_capacity(windows);
@@ -281,7 +409,7 @@ impl CrtLeg {
             }
             table.push(row);
         }
-        CrtLeg {
+        WindowLeg {
             ctx: ctx.clone(),
             table,
         }
@@ -307,6 +435,84 @@ impl CrtLeg {
             Some(a) => self.ctx.from_montgomery(&a),
         }
     }
+
+    /// Simultaneous multi-exponentiation of one chunk of exponents: the
+    /// window loop is outermost and the per-exponent accumulators advance
+    /// together, so each table row is loaded once per chunk (not once per
+    /// element) and every multiplication is an in-place CIOS through one
+    /// shared scratch arena. With `wide` tables the walk reads 8-bit digits
+    /// (half the multiplications); either way the result is the unique
+    /// `hˣ mod s`, bit-identical to [`pow`](Self::pow).
+    fn pow_chunk(
+        &self,
+        wide: Option<&WideLeg>,
+        digits: &[Vec<u64>],
+        scratch: &mut MontgomeryScratch,
+    ) -> Vec<BigUint> {
+        let mut accs: Vec<Option<MontgomeryOperand>> = vec![None; digits.len()];
+        let rows: &[Vec<MontgomeryOperand>] = match wide {
+            Some(w) => &w.table,
+            None => &self.table,
+        };
+        let digit_of = if wide.is_some() {
+            window_digit_wide
+        } else {
+            window_digit
+        };
+        for (w, row) in rows.iter().enumerate() {
+            for (acc, d) in accs.iter_mut().zip(digits) {
+                let digit = digit_of(d, w);
+                if digit == 0 {
+                    continue;
+                }
+                let factor = &row[digit - 1];
+                if let Some(a) = acc.as_mut() {
+                    self.ctx.montgomery_mul_assign(a, factor, scratch);
+                } else {
+                    *acc = Some(factor.clone());
+                }
+            }
+        }
+        accs.iter()
+            .map(|acc| match acc {
+                None => BigUint::one(),
+                Some(a) => self.ctx.from_montgomery(a),
+            })
+            .collect()
+    }
+}
+
+/// The 8-bit wide-window companion of a [`WindowLeg`]: `table[w][d-1]` =
+/// Montgomery form of `h^(d·256ʷ) mod s` for `d ∈ [1, 255]`. Expanded
+/// lazily from the 4-bit table (window `w` here starts at the narrow
+/// table's window `2w`, digit 1) once an encryptor has batch-processed
+/// enough elements to amortise the `32 × 254` multiplications per leg.
+#[derive(Debug)]
+pub(crate) struct WideLeg {
+    table: Vec<Vec<MontgomeryOperand>>,
+}
+
+impl WideLeg {
+    fn new(narrow: &WindowLeg) -> Self {
+        let windows = RANDOMNESS_EXPONENT_BITS.div_ceil(WIDE_WINDOW_BITS) as usize;
+        // Rows are independent given the narrow table's window bases, so the
+        // (one-off) expansion fans out over cores.
+        let table = map_indexed(windows, |w| {
+            let base = &narrow.table[2 * w][0];
+            let mut scratch = MontgomeryScratch::new();
+            let mut row = Vec::with_capacity(255);
+            row.push(base.clone());
+            for d in 1..255 {
+                let mut next = row[d - 1].clone();
+                narrow
+                    .ctx
+                    .montgomery_mul_assign(&mut next, base, &mut scratch);
+                row.push(next);
+            }
+            row
+        });
+        WideLeg { table }
+    }
 }
 
 /// CRT-split fast Paillier encryptor — the hot path when the *keypair* is
@@ -324,14 +530,20 @@ impl CrtLeg {
 #[derive(Debug, Clone)]
 pub struct CrtEncryptor {
     public: PublicKey,
-    p_leg: CrtLeg,
-    q_leg: CrtLeg,
+    p_leg: WindowLeg,
+    q_leg: WindowLeg,
     /// `p²` (the p-leg modulus), cached for the recombination arithmetic.
     p_squared: BigUint,
     /// `q²` (the q-leg modulus).
     q_squared: BigUint,
-    /// `(q²)⁻¹ mod p²` (Garner's recombination constant).
-    q2_inv: BigUint,
+    /// `(q²)⁻¹ mod p²` (Garner's recombination constant), stored in the
+    /// Montgomery domain of the p² context so the recombination reduction
+    /// is one CIOS multiply — `(q2_inv·R)·diff·R⁻¹ = q2_inv·diff mod p²` —
+    /// instead of a full-width multiply plus a Knuth division.
+    q2_inv_mont: MontgomeryOperand,
+    /// Batch-volume counter + lazily widened per-leg 8-bit tables, shared
+    /// by clones so every handle to this encryptor amortises one expansion.
+    batch: Arc<BatchState<(WideLeg, WideLeg)>>,
 }
 
 impl CrtEncryptor {
@@ -366,12 +578,30 @@ impl CrtEncryptor {
             })?;
         Ok(CrtEncryptor {
             public: public.clone(),
-            p_leg: CrtLeg::new(p_ctx, &h),
-            q_leg: CrtLeg::new(q_ctx, &h),
+            p_leg: WindowLeg::new(p_ctx, &h),
+            q_leg: WindowLeg::new(q_ctx, &h),
             p_squared,
             q_squared,
-            q2_inv,
+            q2_inv_mont: p_ctx.to_montgomery(&q2_inv),
+            batch: Arc::new(BatchState::default()),
         })
+    }
+
+    /// Garner recombination of the two leg residues to the unique residue
+    /// below `n² = p²·q²`: `c = a_q + q²·((a_p − a_q)·(q²)⁻¹ mod p²)`.
+    fn recombine(&self, a_p: BigUint, a_q: BigUint) -> BigUint {
+        let a_q_mod_p = &a_q % &self.p_squared;
+        let diff = if a_p >= a_q_mod_p {
+            a_p - a_q_mod_p
+        } else {
+            &self.p_squared - (a_q_mod_p - a_p)
+        };
+        let t = self
+            .p_leg
+            .ctx
+            .montgomery_mul_residue(&self.q2_inv_mont, &diff)
+            .raw_residue();
+        a_q + &self.q_squared * t
     }
 }
 
@@ -384,16 +614,31 @@ impl Encryptor for CrtEncryptor {
         let digits = x.to_u64_digits();
         let a_p = self.p_leg.pow(&digits);
         let a_q = self.q_leg.pow(&digits);
-        // Garner recombination to the unique residue below n² = p²·q²:
-        // c = a_q + q²·((a_p − a_q)·(q²)⁻¹ mod p²).
-        let a_q_mod_p = &a_q % &self.p_squared;
-        let diff = if a_p >= a_q_mod_p {
-            a_p - a_q_mod_p
-        } else {
-            &self.p_squared - (a_q_mod_p - a_p)
-        };
-        let t = (diff * &self.q2_inv) % &self.p_squared;
-        a_q + &self.q_squared * t
+        self.recombine(a_p, a_q)
+    }
+
+    fn randomizers_for(&self, xs: &[BigUint]) -> Vec<BigUint> {
+        let wide = self.batch.wide_for(xs.len(), || {
+            (WideLeg::new(&self.p_leg), WideLeg::new(&self.q_leg))
+        });
+        let digits: Vec<Vec<u64>> = xs.iter().map(BigUint::to_u64_digits).collect();
+        let chunks = digits.len().div_ceil(BATCH_CHUNK);
+        let per_chunk: Vec<Vec<BigUint>> = map_indexed(chunks, |ci| {
+            let lo = ci * BATCH_CHUNK;
+            let hi = (lo + BATCH_CHUNK).min(digits.len());
+            let mut scratch = MontgomeryScratch::new();
+            let a_p = self
+                .p_leg
+                .pow_chunk(wide.map(|w| &w.0), &digits[lo..hi], &mut scratch);
+            let a_q = self
+                .q_leg
+                .pow_chunk(wide.map(|w| &w.1), &digits[lo..hi], &mut scratch);
+            a_p.into_iter()
+                .zip(a_q)
+                .map(|(p, q)| self.recombine(p, q))
+                .collect()
+        });
+        per_chunk.concat()
     }
 }
 
@@ -449,6 +694,13 @@ impl Encryptor for EpochEncryptor {
         match self {
             EpochEncryptor::Precomputed(e) => e.randomizer_for(x),
             EpochEncryptor::Crt(e) => e.randomizer_for(x),
+        }
+    }
+
+    fn randomizers_for(&self, xs: &[BigUint]) -> Vec<BigUint> {
+        match self {
+            EpochEncryptor::Precomputed(e) => e.randomizers_for(xs),
+            EpochEncryptor::Crt(e) => e.randomizers_for(xs),
         }
     }
 }
@@ -564,6 +816,44 @@ mod tests {
             .add(&public_only.encrypt_u64(22, &mut rng))
             .unwrap();
         assert_eq!(sk.decrypt_u64(&sum), 42);
+    }
+
+    #[test]
+    fn batch_randomizers_are_bit_identical_to_the_scalar_path() {
+        let (pk, sk, mut rng) = setup();
+        let crt = CrtEncryptor::from_keys(&pk, &sk, &mut rng).unwrap();
+        let pre = PrecomputedEncryptor::new(&pk, &mut rng);
+        for len in [0usize, 1, 3, 7, 56] {
+            let xs: Vec<BigUint> = (0..len)
+                .map(|_| rng.gen_biguint(RANDOMNESS_EXPONENT_BITS))
+                .collect();
+            let scalar: Vec<BigUint> = xs.iter().map(|x| crt.randomizer_for(x)).collect();
+            assert_eq!(crt.randomizers_for(&xs), scalar, "crt tier, len {len}");
+            assert_eq!(
+                pre.randomizers_for(&xs),
+                scalar,
+                "precomputed tier, len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_randomizers_stay_bit_identical_past_the_wide_table_upgrade() {
+        let (pk, sk, mut rng) = setup();
+        let crt = CrtEncryptor::from_keys(&pk, &sk, &mut rng).unwrap();
+        let pre = PrecomputedEncryptor::new(&pk, &mut rng);
+        let xs: Vec<BigUint> = (0..48)
+            .map(|_| rng.gen_biguint(RANDOMNESS_EXPONENT_BITS))
+            .collect();
+        let scalar: Vec<BigUint> = xs.iter().map(|x| crt.randomizer_for(x)).collect();
+        // Drive both tiers' cumulative counters across WIDE_TABLE_MIN_ELEMENTS;
+        // every round — before, straddling and after the 8-bit upgrade —
+        // must reproduce the scalar path exactly.
+        let rounds = (2 * WIDE_TABLE_MIN_ELEMENTS as usize) / xs.len() + 1;
+        for round in 0..rounds {
+            assert_eq!(crt.randomizers_for(&xs), scalar, "crt tier, round {round}");
+            assert_eq!(pre.randomizers_for(&xs), scalar, "pre tier, round {round}");
+        }
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub mod vector;
 
 pub use agg::RunningFold;
 pub use ciphertext::Ciphertext;
+pub use codec::{decode_vector_view, EncryptedVectorView};
 pub use error::HeError;
 pub use fast::{
     CrtEncryptor, Encryptor, EpochEncryptor, PrecomputedEncryptor, RANDOMNESS_EXPONENT_BITS,

@@ -20,7 +20,10 @@
 //! path is bit-for-bit equivalent to the serial naive one, which the property
 //! tests assert.
 
-use num_bigint::BigUint;
+use std::sync::Mutex;
+
+use num_bigint::{BigUint, MontgomeryScratch};
+use num_traits::Zero;
 use rand::Rng;
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -32,6 +35,74 @@ use crate::keys::{PrivateKey, PublicKey};
 /// Minimum number of elements before vector operations fan out over cores
 /// (below this the thread hand-off costs more than the modular arithmetic).
 pub(crate) const PARALLEL_THRESHOLD: usize = 8;
+
+/// Number of chunks (and pooled scratch arenas) a fold splits its
+/// accumulator slice into. Fixed — not a function of the element count — so
+/// the bookkeeping a steady-state fold allocates is O(1) in the vector
+/// length, which the counting-allocator test pins.
+pub(crate) const FOLD_CHUNKS: usize = 8;
+
+/// A fixed pool of CIOS scratch arenas, one per fold chunk. The arenas warm
+/// up on first use and are reused for every subsequent multiplication, which
+/// is what takes the steady-state fold to zero heap allocations per element.
+///
+/// The lanes sit behind uncontended `Mutex`es purely so disjoint parallel
+/// chunks can each borrow their own arena mutably through a shared pool
+/// reference; locks are taken once per chunk, not per element.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool {
+    lanes: Vec<Mutex<MontgomeryScratch>>,
+}
+
+impl ScratchPool {
+    pub(crate) fn new() -> Self {
+        ScratchPool {
+            lanes: (0..FOLD_CHUNKS).map(|_| Mutex::default()).collect(),
+        }
+    }
+}
+
+impl Clone for ScratchPool {
+    /// Cloning yields a fresh (cold) pool: scratch contents are meaningless
+    /// between operations, only the warmed capacity would carry over.
+    fn clone(&self) -> Self {
+        ScratchPool::new()
+    }
+}
+
+/// Runs `f` over contiguous chunks of `items` (at most [`FOLD_CHUNKS`] of
+/// them), each chunk with exclusive use of one pooled scratch arena; chunks
+/// run in parallel when the `parallel` feature is on and the slice is large
+/// enough. `f` receives the chunk's element offset, the chunk itself and its
+/// arena.
+pub(crate) fn for_each_chunk_with_scratch<T, F>(items: &mut [T], pool: &ScratchPool, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T], &mut MontgomeryScratch) + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    let chunk = items.len().div_ceil(FOLD_CHUNKS).max(1);
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        if items.len() >= PARALLEL_THRESHOLD {
+            items
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(ci, block)| {
+                    let mut scratch = pool.lanes[ci].lock().expect("scratch lane poisoned");
+                    f(ci * chunk, block, &mut scratch);
+                });
+            return;
+        }
+    }
+    let mut scratch = pool.lanes[0].lock().expect("scratch lane poisoned");
+    for (ci, block) in items.chunks_mut(chunk).enumerate() {
+        f(ci * chunk, block, &mut scratch);
+    }
+}
 
 /// Runs `f` over every index in `0..len`, in parallel when the `parallel`
 /// feature is on and the workload is large enough. Results keep input order.
@@ -125,12 +196,21 @@ impl EncryptedVector {
                 );
             }
         }
-        // RNG draws are sequential (cheap); the table exponentiations are the
-        // heavy part and run data-parallel.
+        // RNG draws are sequential (cheap); the randomness components are
+        // the heavy part and go through the batch multi-exponentiation
+        // evaluator in one call (which parallelises internally).
         let exponents = sample_exponents(values.len(), rng);
+        let randomizers = encryptor.randomizers_for(&exponents);
         let elements = map_indexed(values.len(), |i| {
-            let g_to_m = public.g_to_m(&BigUint::from(values[i]));
-            let value = (g_to_m * encryptor.randomizer_for(&exponents[i])) % public.n_squared();
+            // g⁰ = 1 and the randomizer is already reduced below n², so the
+            // zero elements that dominate one-hot registries skip the
+            // full-width multiply-and-divide entirely.
+            let value = if values[i] == 0 {
+                randomizers[i].clone()
+            } else {
+                let g_to_m = public.g_to_m(&BigUint::from(values[i]));
+                (g_to_m * &randomizers[i]) % public.n_squared()
+            };
             Ciphertext::from_raw(value, public.clone())
         });
         EncryptedVector { elements, public }
@@ -183,9 +263,16 @@ impl EncryptedVector {
             }
         }
         let exponents = sample_exponents(values.len(), rng);
+        let randomizers = encryptor.randomizers_for(&exponents);
         let elements = map_indexed(values.len(), |i| {
-            let g_to_m = public.g_to_m(&values[i]);
-            let value = (g_to_m * encryptor.randomizer_for(&exponents[i])) % public.n_squared();
+            // Same zero shortcut as the `u64` path: g⁰ = 1 makes the
+            // randomizer the finished ciphertext.
+            let value = if values[i].is_zero() {
+                randomizers[i].clone()
+            } else {
+                let g_to_m = public.g_to_m(&values[i]);
+                (g_to_m * &randomizers[i]) % public.n_squared()
+            };
             Ciphertext::from_raw(value, public.clone())
         });
         Ok(EncryptedVector { elements, public })
@@ -395,14 +482,33 @@ pub fn sum_vectors(vectors: &[EncryptedVector]) -> Result<Option<EncryptedVector
     // Folding V raw residues takes V − 1 in-domain multiplies (deficit
     // R^-(V-1)); multiplying by R^(V+1) and exiting restores the product.
     let correction = ctx.montgomery_residue(&ctx.r_power(vectors.len() as u64 + 1));
-    let elements = map_indexed(first.len(), |i| {
-        let mut acc = ctx.montgomery_residue(first.elements[i].raw());
-        for v in &vectors[1..] {
-            acc = ctx.montgomery_mul_residue(&acc, v.elements[i].raw());
-        }
-        let value = ctx.from_montgomery(&ctx.montgomery_mul(&acc, &correction));
-        Ciphertext::from_raw(value, public.clone())
+    // One accumulator per position, advanced in place through a pooled
+    // scratch arena: allocations are O(positions) for the seeds and the
+    // final exit, never O(positions × vectors).
+    let pool = ScratchPool::new();
+    let mut accs = map_indexed(first.len(), |i| {
+        ctx.montgomery_residue(first.elements[i].raw())
     });
+    for_each_chunk_with_scratch(&mut accs, &pool, |offset, block, scratch| {
+        // Vector-major: one sequential pass over the inputs per chunk, so
+        // the walk follows the heap layout of the vectors' limbs instead of
+        // striding one position across every vector — the block's
+        // accumulators stay resident while each input line is touched once.
+        // The multiply sequence per accumulator is unchanged, so totals
+        // stay bit-identical to the serial reference.
+        for v in &vectors[1..] {
+            for (j, acc) in block.iter_mut().enumerate() {
+                ctx.montgomery_mul_residue_assign(acc, v.elements[offset + j].raw(), scratch);
+            }
+        }
+        for acc in block.iter_mut() {
+            ctx.montgomery_mul_assign(acc, &correction, scratch);
+        }
+    });
+    let elements = accs
+        .iter()
+        .map(|acc| Ciphertext::from_raw(ctx.from_montgomery(acc), public.clone()))
+        .collect();
     Ok(Some(EncryptedVector { elements, public }))
 }
 

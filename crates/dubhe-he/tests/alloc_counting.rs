@@ -1,0 +1,131 @@
+//! Counting-allocator proof of the scratch-arena fold contract.
+//!
+//! Wall-clock benches show the arena win; this test pins the *mechanism*: a
+//! steady-state Montgomery fold performs **zero** heap allocations per folded
+//! element, and the bookkeeping of a parallel fold is O(1) in the vector
+//! length. An integration test gets its own binary, so installing a counting
+//! `#[global_allocator]` here observes exactly this file's workload.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dubhe_he::{EncryptedVector, Keypair, RunningFold};
+use rand::SeedableRng;
+
+/// Forwards to the system allocator, counting every allocation entry point.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Tests in one binary run concurrently; the global counter forces them to
+/// take turns (a poisoned lock just means a sibling failed — carry on).
+static TURN: Mutex<()> = Mutex::new(());
+
+/// Allocations performed while running `f`.
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+fn registry_vectors(count: usize, len: usize) -> Vec<EncryptedVector> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA110C);
+    let kp = Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
+    (0..count)
+        .map(|i| {
+            let v: Vec<u64> = (0..len).map(|j| ((i + j) % 3) as u64).collect();
+            EncryptedVector::encrypt_u64(&kp.public, &v, &mut rng)
+        })
+        .collect()
+}
+
+#[test]
+fn serial_steady_state_fold_allocates_exactly_zero() {
+    let _turn = TURN.lock().unwrap_or_else(|e| e.into_inner());
+    // Below the parallel threshold the fold runs on this thread through one
+    // pooled arena: after the first fold warms it, the steady state must not
+    // touch the heap at all.
+    let vs = registry_vectors(6, 7);
+    let mut fold = RunningFold::new(&vs[0]);
+    fold.fold(&vs[1]).unwrap(); // warms the scratch arena
+    for v in &vs[2..] {
+        let n = allocs_during(|| fold.fold(v).unwrap());
+        assert_eq!(n, 0, "steady-state serial fold touched the heap");
+    }
+    assert_eq!(fold.folded(), 6);
+}
+
+#[test]
+fn parallel_fold_bookkeeping_is_constant_in_the_vector_length() {
+    let _turn = TURN.lock().unwrap_or_else(|e| e.into_inner());
+    // Above the threshold the fold fans out over a fixed number of chunks;
+    // thread bookkeeping may allocate, but the count must not grow with the
+    // element count — i.e. the per-element term is exactly zero.
+    let steady = |len: usize| -> u64 {
+        let vs = registry_vectors(5, len);
+        let mut fold = RunningFold::new(&vs[0]);
+        fold.fold(&vs[1]).unwrap(); // warm every chunk's arena
+        let rounds = vs.len() as u64 - 2;
+        let n = allocs_during(|| {
+            for v in &vs[2..] {
+                fold.fold(v).unwrap();
+            }
+        });
+        n / rounds
+    };
+    let small = steady(64);
+    let large = steady(640);
+    assert!(
+        large <= small + 8,
+        "per-fold allocations grew with the vector length: {small} at 64 \
+         elements vs {large} at 640"
+    );
+    assert!(
+        large < 64,
+        "per-fold allocations ({large}) approach one per element at 640 elements"
+    );
+}
+
+#[test]
+fn sum_vectors_allocations_do_not_scale_with_the_vector_count() {
+    let _turn = TURN.lock().unwrap_or_else(|e| e.into_inner());
+    // sum_vectors seeds and exits one accumulator per position; folding more
+    // vectors into those positions must be allocation-free.
+    let vs = registry_vectors(16, 24);
+    let few = allocs_during(|| {
+        dubhe_he::sum_vectors(&vs[..4]).unwrap().unwrap();
+    });
+    let many = allocs_during(|| {
+        dubhe_he::sum_vectors(&vs).unwrap().unwrap();
+    });
+    assert!(
+        many <= few + 64,
+        "sum_vectors allocations scaled with the vector count: {few} for 4 \
+         vectors vs {many} for 16"
+    );
+}

@@ -22,6 +22,16 @@ fn keys() -> &'static (PublicKey, PrivateKey) {
     })
 }
 
+/// A second, larger keypair so the multi-exp and decode pins cover two key
+/// sizes (and with them two Montgomery limb widths), not just the CI size.
+fn wide_keys() -> &'static (PublicKey, PrivateKey) {
+    static KEYS: OnceLock<(PublicKey, PrivateKey)> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x71DE);
+        Keypair::generate(2 * dubhe_he::TEST_KEY_BITS, &mut rng).split()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -279,6 +289,86 @@ proptest! {
     }
 
     #[test]
+    fn batch_multi_exp_matches_per_element_encryption_across_key_sizes(
+        values in prop::collection::vec(0u64..1000, 1..60),
+        seed in any::<u64>(),
+    ) {
+        // The simultaneous multi-exponentiation walk behind vector
+        // encryption must be a pure evaluation-order change: batch and
+        // per-element encryption draw the identical exponent stream, so the
+        // same seed must yield bit-identical ciphertexts at every key size
+        // (two Montgomery limb widths) and vector length (straddling the
+        // interleaved-walk chunk size), for both encryptor tiers.
+        for (pk, sk) in [keys(), wide_keys()] {
+            let mut warm = rand::rngs::StdRng::seed_from_u64(seed ^ 0xCC);
+            let fast = PrecomputedEncryptor::new(pk, &mut warm);
+            let crt = CrtEncryptor::from_keys(pk, sk, &mut warm).unwrap();
+            batch_matches_per_element(&fast, &values, seed);
+            batch_matches_per_element(&crt, &values, seed);
+        }
+    }
+
+    #[test]
+    fn borrowed_view_decode_matches_owned_and_rejects_damage(
+        values in prop::collection::vec(0u64..100_000, 1..24),
+        cut_seed in any::<u64>(),
+        flip_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        use dubhe_he::codec::{decode_vector, decode_vector_view, encode_vector};
+        // The zero-copy borrowed decode must be observationally identical
+        // to the owned decoder: same ciphertexts on intact bytes, typed
+        // errors (never panics) on every truncation, and the same
+        // accept/reject verdict on a corrupted byte.
+        for (pk, sk) in [keys(), wide_keys()] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let vector = EncryptedVector::encrypt_u64(pk, &values, &mut rng);
+            let mut bytes = Vec::new();
+            encode_vector(&vector, &mut bytes).unwrap();
+
+            let mut cur = bytes.as_slice();
+            let owned = decode_vector(&mut cur).unwrap();
+            prop_assert!(cur.is_empty());
+            let mut cur = bytes.as_slice();
+            let view = decode_vector_view(&mut cur).unwrap();
+            prop_assert!(cur.is_empty());
+            let materialized = view.materialize();
+            for (a, b) in owned.elements().iter().zip(materialized.elements()) {
+                prop_assert_eq!(a.raw(), b.raw(), "borrowed decode diverged from owned");
+            }
+            prop_assert_eq!(materialized.decrypt_u64(sk).unwrap(), values.clone());
+
+            let cut = (cut_seed as usize) % bytes.len();
+            let mut cur = &bytes[..cut];
+            prop_assert!(decode_vector_view(&mut cur).is_err(), "view accepted a truncated buffer");
+            let mut cur = &bytes[..cut];
+            prop_assert!(decode_vector(&mut cur).is_err(), "owned decode accepted a truncated buffer");
+
+            let mut damaged = bytes.clone();
+            let flip_at = (flip_seed as usize) % damaged.len();
+            damaged[flip_at] ^= 0x01;
+            let mut cur = damaged.as_slice();
+            let view_result = decode_vector_view(&mut cur).map(|v| v.materialize());
+            let mut cur = damaged.as_slice();
+            let owned_result = decode_vector(&mut cur);
+            match (view_result, owned_result) {
+                (Ok(v), Ok(o)) => {
+                    for (a, b) in o.elements().iter().zip(v.elements()) {
+                        prop_assert_eq!(a.raw(), b.raw(), "decoders accepted different residues");
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (v, o) => prop_assert!(
+                    false,
+                    "decoders disagreed on damaged bytes: view ok={} owned ok={}",
+                    v.is_ok(),
+                    o.is_ok()
+                ),
+            }
+        }
+    }
+
+    #[test]
     fn running_fold_snapshot_resumes_bit_identically(len in 1usize..24,
                                                      count in 2usize..7,
                                                      cut_seed in any::<u64>(),
@@ -327,14 +417,35 @@ proptest! {
     }
 }
 
+/// Batch vector encryption against a per-element loop on the same encryptor
+/// and randomness stream — the bit-identity pin of the multi-exp walk.
+fn batch_matches_per_element<E: Encryptor>(enc: &E, values: &[u64], seed: u64) {
+    let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed);
+    let batch = EncryptedVector::encrypt_u64_with(enc, values, &mut rng_a);
+    for (i, (&m, c)) in values.iter().zip(batch.elements()).enumerate() {
+        let per = enc.encrypt_u64(m, &mut rng_b);
+        assert_eq!(
+            c.raw(),
+            per.raw(),
+            "batch multi-exp diverged from per-element encryption at element {i}"
+        );
+    }
+}
+
 /// The fold-equivalence grid the issue pins: every Montgomery-domain fold
 /// route (batch [`sum_vectors`] and the coordinator-style [`RunningFold`])
 /// must be bit-identical to the serial reference fold for registry lengths
-/// {1, 7, 56} × vector counts {1, 2, 33}. Runs under both `parallel` states
-/// (the CI matrix includes `--no-default-features`).
+/// {1, 7, 56} × vector counts {1, 2, 33}, at both key sizes. Runs under
+/// both `parallel` states (the CI matrix includes `--no-default-features`).
 #[test]
 fn montgomery_folds_match_serial_reference_across_the_grid() {
-    let (pk, _sk) = keys();
+    for (pk, _sk) in [keys(), wide_keys()] {
+        montgomery_fold_grid(pk);
+    }
+}
+
+fn montgomery_fold_grid(pk: &PublicKey) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xA66);
     for &len in &[1usize, 7, 56] {
         for &count in &[1usize, 2, 33] {

@@ -11,8 +11,8 @@
 //! payload — so a hostile header is refused after at most 8 bytes, with the
 //! same typed [`ProtocolError`]s the blocking reader produces.
 
-use dubhe_select::protocol::codec::CodecKind;
-use dubhe_select::protocol::wire::read_frame_limited;
+use dubhe_select::protocol::codec::{CodecKind, RegistryFrame};
+use dubhe_select::protocol::wire::{read_frame_limited, LazyMsg};
 use dubhe_select::protocol::WireMsg;
 use dubhe_select::ProtocolError;
 
@@ -70,7 +70,10 @@ impl FrameBuffer {
             && CodecKind::from_magic([avail[0], avail[1], avail[2], avail[3]]).is_none()
         {
             return Err(ProtocolError::MalformedFrame {
-                detail: format!("bad magic {:02x?}, expected DBH1 or DBH2", &avail[..4]),
+                detail: format!(
+                    "bad magic {:02x?}, expected DBH1, DBH2 or DBHZ",
+                    &avail[..4]
+                ),
             });
         }
         if avail.len() < HEADER_BYTES {
@@ -97,6 +100,64 @@ impl FrameBuffer {
             self.pos = 0;
         }
         Ok(Some(frame))
+    }
+
+    /// [`next_frame`](Self::next_frame), but `DBH2` registry uploads come
+    /// back *undecoded* as [`LazyMsg::DeferredRegistry`] — the router folds
+    /// their ciphertext block straight out of the payload bytes instead of
+    /// materialising per-element bignums on the event loop. Every other
+    /// frame decodes eagerly with identical validation and errors.
+    ///
+    /// The deferral check runs on the borrowed reassembly buffer; only a
+    /// recognised registry's payload is copied out (and when the frame is
+    /// the buffer's sole content, the buffer itself is taken — no copy).
+    pub fn next_frame_lazy(
+        &mut self,
+        max_frame_bytes: usize,
+    ) -> Result<Option<(LazyMsg, usize, CodecKind)>, ProtocolError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_BYTES {
+            return self
+                .next_frame(max_frame_bytes)
+                .map(|f| f.map(|(msg, n, c)| (LazyMsg::Eager(msg), n, c)));
+        }
+        let len = u32::from_be_bytes([avail[4], avail[5], avail[6], avail[7]]) as usize;
+        let total = HEADER_BYTES + len;
+        let is_deferrable = CodecKind::from_magic([avail[0], avail[1], avail[2], avail[3]])
+            == Some(CodecKind::Binary)
+            && len <= max_frame_bytes
+            && avail.len() >= total
+            && RegistryFrame::matches_prefix(&avail[HEADER_BYTES..total]);
+        if !is_deferrable {
+            return self
+                .next_frame(max_frame_bytes)
+                .map(|f| f.map(|(msg, n, c)| (LazyMsg::Eager(msg), n, c)));
+        }
+        let payload = if self.pos == 0 && self.buf.len() == total {
+            // The frame is the buffer's whole content: take it, shave the
+            // header — zero copies of the (dominant) ciphertext block.
+            let mut taken = std::mem::take(&mut self.buf);
+            taken.drain(..HEADER_BYTES);
+            taken
+        } else {
+            let payload = self.buf[self.pos + HEADER_BYTES..self.pos + total].to_vec();
+            self.pos += total;
+            if self.pos == self.buf.len() {
+                self.buf.clear();
+                self.pos = 0;
+            } else if self.pos > COMPACT_THRESHOLD {
+                self.buf.drain(..self.pos);
+                self.pos = 0;
+            }
+            payload
+        };
+        let frame =
+            RegistryFrame::try_from_payload(payload).expect("matches_prefix accepted this payload");
+        Ok(Some((
+            LazyMsg::DeferredRegistry(frame),
+            total,
+            CodecKind::Binary,
+        )))
     }
 }
 
@@ -167,5 +228,110 @@ mod tests {
         assert_eq!(fb.next_frame(1024).unwrap(), None);
         fb.extend(&frame[6..]);
         assert!(fb.next_frame(1024).unwrap().is_some());
+    }
+
+    fn registry_msg() -> WireMsg {
+        use dubhe_select::protocol::{Envelope, Party, ProtocolMsg};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let kp = dubhe_he::Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
+        WireMsg::Envelope {
+            envelope: Envelope {
+                from: Party::Client(4),
+                to: Party::Server,
+                epoch: 2,
+                msg: ProtocolMsg::EncryptedRegistry {
+                    client: 4,
+                    registry: dubhe_he::EncryptedVector::encrypt_u64(
+                        &kp.public,
+                        &[1, 0, 2],
+                        &mut rng,
+                    ),
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn lazy_pull_defers_registries_in_every_buffer_shape() {
+        let registry = registry_msg();
+        let frame = encode(&registry, CodecKind::Binary);
+        let max = frame.len() * 4;
+
+        // Sole content of the buffer: the zero-copy take path.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame);
+        let (lazy, bytes, codec) = fb.next_frame_lazy(max).unwrap().unwrap();
+        assert_eq!((bytes, codec), (frame.len(), CodecKind::Binary));
+        assert!(matches!(lazy, LazyMsg::DeferredRegistry(_)));
+        assert_eq!(lazy.force().unwrap(), registry);
+        assert!(!fb.is_mid_frame());
+
+        // Byte-at-a-time: defers only once the frame completes.
+        let mut fb = FrameBuffer::new();
+        for &byte in &frame {
+            assert!(fb.next_frame_lazy(max).unwrap().is_none());
+            fb.extend(&[byte]);
+        }
+        let (lazy, _, _) = fb.next_frame_lazy(max).unwrap().unwrap();
+        assert_eq!(lazy.force().unwrap(), registry);
+
+        // Pipelined behind and ahead of eager frames: the registry mid-
+        // buffer takes the copy path, neighbours stay eager, order holds.
+        let ack = encode(&WireMsg::Ack, CodecKind::Binary);
+        let mut fb = FrameBuffer::new();
+        fb.extend(&ack);
+        fb.extend(&frame);
+        fb.extend(&ack);
+        let (lazy, _, _) = fb.next_frame_lazy(max).unwrap().unwrap();
+        assert!(matches!(lazy, LazyMsg::Eager(WireMsg::Ack)));
+        let (lazy, _, _) = fb.next_frame_lazy(max).unwrap().unwrap();
+        assert!(matches!(lazy, LazyMsg::DeferredRegistry(_)));
+        assert_eq!(lazy.force().unwrap(), registry);
+        let (lazy, _, _) = fb.next_frame_lazy(max).unwrap().unwrap();
+        assert!(matches!(lazy, LazyMsg::Eager(WireMsg::Ack)));
+        assert!(fb.next_frame_lazy(max).unwrap().is_none());
+    }
+
+    #[test]
+    fn lazy_pull_keeps_the_eager_error_contract() {
+        let registry = registry_msg();
+        let frame = encode(&registry, CodecKind::Binary);
+
+        // Over the ceiling: refused with the same typed error, even though
+        // the payload would have matched the registry prefix.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame);
+        assert!(matches!(
+            fb.next_frame_lazy(16),
+            Err(ProtocolError::FrameTooLarge { max: 16, .. })
+        ));
+
+        // Bad magic: refused after four bytes, exactly like next_frame.
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"HTTPxxxx");
+        assert!(matches!(
+            fb.next_frame_lazy(1024),
+            Err(ProtocolError::MalformedFrame { .. })
+        ));
+
+        // A corrupted ciphertext block still defers (the prefix is intact);
+        // the typed error surfaces at view time in the router, not here —
+        // but a corrupted *prefix* falls back to the eager decoder's error.
+        let mut corrupt = frame.clone();
+        let len = corrupt.len();
+        corrupt[len - 1] ^= 0xFF;
+        let mut fb = FrameBuffer::new();
+        fb.extend(&corrupt);
+        assert!(fb.next_frame_lazy(len * 2).unwrap().is_some());
+
+        let mut bad_prefix = frame;
+        bad_prefix[8] = 9; // unknown envelope tag
+        let mut fb = FrameBuffer::new();
+        fb.extend(&bad_prefix);
+        assert!(matches!(
+            fb.next_frame_lazy(1024 * 1024),
+            Err(ProtocolError::MalformedFrame { .. })
+        ));
     }
 }

@@ -57,7 +57,7 @@ use std::time::{Duration, Instant};
 
 use dubhe_select::protocol::codec::CodecKind;
 use dubhe_select::protocol::stats::{ListenerMetrics, ListenerStats};
-use dubhe_select::protocol::wire::{write_frame_limited, WireMsg, MAX_FRAME_BYTES};
+use dubhe_select::protocol::wire::{write_frame_limited, LazyMsg, WireMsg, MAX_FRAME_BYTES};
 use dubhe_select::protocol::Coordinator;
 use dubhe_select::ProtocolError;
 use mini_mio::{Backend, Events, Interest, Poll, Registry, Token, Waker};
@@ -150,10 +150,11 @@ impl ReactorConfig {
     }
 }
 
-/// A decoded request crossing from the event loop to the router.
+/// A decoded (or deferred — see [`LazyMsg`]) request crossing from the
+/// event loop to the router.
 struct Job {
     token: usize,
-    msg: WireMsg,
+    msg: LazyMsg,
     codec: CodecKind,
     started: Instant,
 }
@@ -337,7 +338,7 @@ fn route_jobs<C: Coordinator>(
 
 /// Maps one request onto the [`Coordinator`] trait — the same dispatch the
 /// threaded listener performs, so both backends answer identically.
-fn route_msg<C: Coordinator>(coordinator: &mut C, msg: WireMsg) -> WireMsg {
+fn route_msg<C: Coordinator>(coordinator: &mut C, msg: LazyMsg) -> WireMsg {
     let batch_or_error = |r: Result<Vec<dubhe_select::protocol::Envelope>, ProtocolError>| match r {
         Ok(envelopes) => WireMsg::Batch { envelopes },
         Err(e) => WireMsg::Error {
@@ -349,6 +350,14 @@ fn route_msg<C: Coordinator>(coordinator: &mut C, msg: WireMsg) -> WireMsg {
         Err(e) => WireMsg::Error {
             detail: e.to_string(),
         },
+    };
+    let msg = match msg {
+        // Registry uploads arrive undecoded: the fold reads ciphertext
+        // residues straight out of the frame payload.
+        LazyMsg::DeferredRegistry(frame) => {
+            return batch_or_error(coordinator.deliver_registry_frame(frame));
+        }
+        LazyMsg::Eager(msg) => msg,
     };
     match msg {
         WireMsg::Envelope { envelope } => batch_or_error(coordinator.deliver(envelope)),
@@ -586,8 +595,8 @@ impl EventLoop {
             if conn.closing {
                 return;
             }
-            match conn.frames.next_frame(max) {
-                Ok(Some((WireMsg::Shutdown, bytes, _))) => {
+            match conn.frames.next_frame_lazy(max) {
+                Ok(Some((LazyMsg::Eager(WireMsg::Shutdown), bytes, _))) => {
                     self.metrics.frame_received(bytes);
                     conn.closing = true;
                     if conn.out.len() == conn.out_pos {

@@ -86,6 +86,9 @@ pub enum CodecKind {
     Json,
     /// `DBH2`: canonical binary payloads.
     Binary,
+    /// `DBHZ`: `DBH1` JSON payloads under transparent per-frame LZSS
+    /// compression (see [`super::compress`]).
+    JsonLz,
 }
 
 impl CodecKind {
@@ -94,6 +97,7 @@ impl CodecKind {
         match self {
             CodecKind::Json => *b"DBH1",
             CodecKind::Binary => *b"DBH2",
+            CodecKind::JsonLz => *b"DBHZ",
         }
     }
 
@@ -102,15 +106,17 @@ impl CodecKind {
         match &magic {
             b"DBH1" => Some(CodecKind::Json),
             b"DBH2" => Some(CodecKind::Binary),
+            b"DBHZ" => Some(CodecKind::JsonLz),
             _ => None,
         }
     }
 
-    /// The wire-format name (`"DBH1"` / `"DBH2"`).
+    /// The wire-format name (`"DBH1"` / `"DBH2"` / `"DBHZ"`).
     pub fn name(self) -> &'static str {
         match self {
             CodecKind::Json => "DBH1",
             CodecKind::Binary => "DBH2",
+            CodecKind::JsonLz => "DBHZ",
         }
     }
 
@@ -119,6 +125,7 @@ impl CodecKind {
         match self {
             CodecKind::Json => &JsonCodec,
             CodecKind::Binary => &BinaryCodec,
+            CodecKind::JsonLz => &CompressedJsonCodec,
         }
     }
 
@@ -166,6 +173,31 @@ impl WireCodec for JsonCodec {
         serde_json::from_str(text).map_err(|e| ProtocolError::MalformedFrame {
             detail: format!("payload is not a wire message: {e}"),
         })
+    }
+}
+
+/// The `DBHZ` payload codec: the exact `DBH1` JSON rendering, LZSS-
+/// compressed per frame (see [`super::compress`]).
+///
+/// Compatibility is inherited from [`JsonCodec`] — inflate a `DBHZ`
+/// payload and a legacy DBH1 peer could read it verbatim. The declared
+/// inflated length is capped at the default frame ceiling, so a
+/// decompression bomb is refused before a byte of it is inflated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompressedJsonCodec;
+
+impl WireCodec for CompressedJsonCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::JsonLz
+    }
+
+    fn encode(&self, msg: &WireMsg) -> Result<Vec<u8>, ProtocolError> {
+        Ok(super::compress::compress(&JsonCodec.encode(msg)?))
+    }
+
+    fn decode(&self, payload: &[u8]) -> Result<WireMsg, ProtocolError> {
+        let inflated = super::compress::decompress(payload, super::wire::MAX_FRAME_BYTES)?;
+        JsonCodec.decode(&inflated)
     }
 }
 
@@ -416,6 +448,131 @@ fn encode_envelope(e: &Envelope, out: &mut Vec<u8>) -> Result<(), ProtocolError>
         }
     }
     Ok(())
+}
+
+/// A recognised-but-undecoded `DBH2` registry upload: the owned frame
+/// payload plus the envelope prefix parsed out of it.
+///
+/// Registry uploads are the coordinator's hot path — thousands per round,
+/// each dominated by its fixed-width ciphertext block. Materialising that
+/// block into per-element [`BigUint`](num_bigint::BigUint)s on the
+/// connection thread, only to multiply the values into a fold and drop
+/// them, is pure allocator traffic. [`RegistryFrame::try_from_payload`]
+/// instead parses just the constant-size envelope prefix (`O(1)`, no
+/// ciphertext touched) so the transport can ship the raw payload to the
+/// router, where [`view`](Self::view) decodes the vector as a borrowed
+/// [`EncryptedVectorView`](he::EncryptedVectorView) and the fold multiplies
+/// residues straight out of the frame bytes.
+///
+/// Anything that is not a plain single-registry `DBH2` envelope is handed
+/// back unparsed, so the eager path keeps its exact error behaviour.
+#[derive(Debug, Clone)]
+pub struct RegistryFrame {
+    payload: Vec<u8>,
+    from: Party,
+    to: Party,
+    epoch: u64,
+    client: usize,
+    /// Offset of the encoded vector inside `payload`.
+    vector_offset: usize,
+}
+
+impl RegistryFrame {
+    /// Parses the envelope prefix of a `DBH2` frame payload. Returns the
+    /// payload unchanged (`Err`) when it is anything other than a plain
+    /// `Envelope { msg: EncryptedRegistry }` — truncated prefixes included,
+    /// so the eager decoder owns every malformed-frame diagnosis.
+    ///
+    /// The ciphertext block is *not* validated here; [`view`](Self::view)
+    /// performs the full vector validation at fold time.
+    pub fn try_from_payload(payload: Vec<u8>) -> Result<RegistryFrame, Vec<u8>> {
+        match Self::parse_prefix(&payload) {
+            Some((from, to, epoch, client, vector_offset)) => Ok(RegistryFrame {
+                payload,
+                from,
+                to,
+                epoch,
+                client,
+                vector_offset,
+            }),
+            None => Err(payload),
+        }
+    }
+
+    /// `true` iff [`try_from_payload`](Self::try_from_payload) would accept
+    /// this payload — the borrowed check an event loop runs before copying
+    /// the payload out of its reassembly buffer.
+    pub fn matches_prefix(payload: &[u8]) -> bool {
+        Self::parse_prefix(payload).is_some()
+    }
+
+    /// The envelope-prefix parse shared by the owned and borrowed entry
+    /// points: `(from, to, epoch, client, vector_offset)`.
+    fn parse_prefix(payload: &[u8]) -> Option<(Party, Party, u64, usize, usize)> {
+        let mut cur = payload;
+        let parsed = (|cur: &mut &[u8]| -> Result<(Party, Party, u64, usize), ProtocolError> {
+            if take_u8(cur)? != 0 {
+                return Err(malformed("not an envelope"));
+            }
+            let from = decode_party(cur)?;
+            let to = decode_party(cur)?;
+            let epoch = he::take_u64(cur).map_err(he_err)?;
+            if take_u8(cur)? != 1 {
+                return Err(malformed("not a registry"));
+            }
+            let client = take_usize(cur)?;
+            Ok((from, to, epoch, client))
+        })(&mut cur);
+        let (from, to, epoch, client) = parsed.ok()?;
+        Some((from, to, epoch, client, payload.len() - cur.len()))
+    }
+
+    /// Sender of the deferred envelope.
+    pub fn from(&self) -> Party {
+        self.from
+    }
+
+    /// Recipient of the deferred envelope.
+    pub fn to(&self) -> Party {
+        self.to
+    }
+
+    /// Epoch stamp of the deferred envelope.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Registering client id.
+    pub fn client(&self) -> usize {
+        self.client
+    }
+
+    /// Size in bytes of the whole frame payload.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Decodes the registry as a borrowed view over the frame payload —
+    /// full vector validation (header shape, count-vs-payload, residues
+    /// `< n²`, no trailing bytes), zero per-element allocation.
+    pub fn view(&self) -> Result<he::EncryptedVectorView<'_>, ProtocolError> {
+        let mut cur = &self.payload[self.vector_offset..];
+        let view = he::decode_vector_view(&mut cur).map_err(he_err)?;
+        if !cur.is_empty() {
+            return Err(malformed("trailing bytes after the wire message"));
+        }
+        Ok(view)
+    }
+
+    /// Decodes the whole payload eagerly into the envelope it defers — the
+    /// escape hatch for receivers that need an owned [`Envelope`] (and the
+    /// path that keeps error behaviour identical to an undeferred frame).
+    pub fn materialize(&self) -> Result<Envelope, ProtocolError> {
+        match BinaryCodec.decode(&self.payload)? {
+            WireMsg::Envelope { envelope } => Ok(envelope),
+            _ => Err(malformed("deferred frame is not an envelope")),
+        }
+    }
 }
 
 fn take_u8(cur: &mut &[u8]) -> Result<u8, ProtocolError> {
@@ -689,7 +846,7 @@ mod tests {
     #[test]
     fn every_variant_round_trips_through_both_codecs() {
         for msg in sample_msgs() {
-            for kind in [CodecKind::Json, CodecKind::Binary] {
+            for kind in [CodecKind::Json, CodecKind::Binary, CodecKind::JsonLz] {
                 let payload = kind.encode(&msg).unwrap();
                 let back = kind.decode(&payload).unwrap();
                 assert_eq!(back, msg, "{} round trip", kind.name());
@@ -842,11 +999,149 @@ mod tests {
 
     #[test]
     fn magic_negotiation_is_a_bijection() {
-        for kind in [CodecKind::Json, CodecKind::Binary] {
+        for kind in [CodecKind::Json, CodecKind::Binary, CodecKind::JsonLz] {
             assert_eq!(CodecKind::from_magic(kind.magic()), Some(kind));
             assert_eq!(kind.as_codec().kind(), kind);
         }
         assert_eq!(CodecKind::from_magic(*b"DBH3"), None);
         assert_eq!(CodecKind::from_magic(*b"HTTP"), None);
+    }
+
+    #[test]
+    fn registry_frames_defer_exactly_the_binary_registry_payloads() {
+        // The deferral gate must accept the unpacked-registry envelope and
+        // nothing else — every other payload falls back to the eager
+        // decoder byte-for-byte unchanged.
+        for msg in sample_msgs() {
+            let payload = CodecKind::Binary.encode(&msg).unwrap();
+            let is_registry = matches!(
+                &msg,
+                WireMsg::Envelope {
+                    envelope: Envelope {
+                        msg: ProtocolMsg::EncryptedRegistry { .. },
+                        ..
+                    }
+                }
+            );
+            assert_eq!(
+                RegistryFrame::matches_prefix(&payload),
+                is_registry,
+                "prefix gate disagrees for {msg:?}"
+            );
+            match RegistryFrame::try_from_payload(payload.clone()) {
+                Ok(frame) => {
+                    assert!(is_registry);
+                    assert_eq!(frame.payload_len(), payload.len());
+                }
+                Err(returned) => {
+                    assert!(!is_registry);
+                    assert_eq!(returned, payload, "fallback must not disturb the payload");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_view_agrees_with_the_eager_decoder() {
+        let msg = sample_msgs()
+            .into_iter()
+            .find(|m| {
+                matches!(
+                    m,
+                    WireMsg::Envelope {
+                        envelope: Envelope {
+                            msg: ProtocolMsg::EncryptedRegistry { .. },
+                            ..
+                        }
+                    }
+                )
+            })
+            .expect("sample set carries a registry");
+        let payload = CodecKind::Binary.encode(&msg).unwrap();
+        let WireMsg::Envelope { envelope } = CodecKind::Binary.decode(&payload).unwrap() else {
+            panic!("registry payload decodes to an envelope");
+        };
+        let ProtocolMsg::EncryptedRegistry { client, registry } = &envelope.msg else {
+            panic!("registry payload decodes to a registry");
+        };
+
+        let frame = RegistryFrame::try_from_payload(payload).expect("registry payload defers");
+        assert_eq!(frame.from(), envelope.from);
+        assert_eq!(frame.to(), envelope.to);
+        assert_eq!(frame.epoch(), envelope.epoch);
+        assert_eq!(frame.client(), *client);
+        // The borrowed view sees exactly the ciphertext the eager decoder
+        // materialises, and full materialisation is the same envelope.
+        let view = frame.view().expect("well-formed block");
+        assert_eq!(view.len(), registry.len());
+        assert_eq!(&view.materialize(), registry);
+        assert_eq!(frame.materialize().unwrap(), envelope);
+    }
+
+    #[test]
+    fn truncated_deferred_frames_never_reach_the_fold() {
+        // Cutting a registry payload anywhere must end in a typed error,
+        // whether the cut lands in the prefix (deferral falls back and the
+        // eager decoder reports it) or inside the ciphertext block (the
+        // frame is accepted but `view()` refuses before any fold state is
+        // touched). Never a panic, never a dangling borrow.
+        let msg = sample_msgs()
+            .into_iter()
+            .find(|m| {
+                matches!(
+                    m,
+                    WireMsg::Envelope {
+                        envelope: Envelope {
+                            msg: ProtocolMsg::EncryptedRegistry { .. },
+                            ..
+                        }
+                    }
+                )
+            })
+            .expect("sample set carries a registry");
+        let payload = CodecKind::Binary.encode(&msg).unwrap();
+        for cut in 0..payload.len() {
+            match RegistryFrame::try_from_payload(payload[..cut].to_vec()) {
+                Err(returned) => {
+                    // Prefix incomplete: the eager decoder owns the error.
+                    let err = CodecKind::Binary.decode(&returned).unwrap_err();
+                    assert!(
+                        matches!(err, ProtocolError::MalformedFrame { .. }),
+                        "cut {cut}: {err}"
+                    );
+                }
+                Ok(frame) => {
+                    let err = frame.view().unwrap_err();
+                    assert!(
+                        matches!(err, ProtocolError::MalformedFrame { .. }),
+                        "cut {cut}: {err}"
+                    );
+                }
+            }
+        }
+        // Trailing garbage after an intact block is refused too — the
+        // deferred path keeps the eager decoder's exact-length contract.
+        let mut padded = payload.clone();
+        padded.push(0);
+        let frame = RegistryFrame::try_from_payload(padded).expect("prefix still matches");
+        assert!(matches!(
+            frame.view().unwrap_err(),
+            ProtocolError::MalformedFrame { .. }
+        ));
+        // An out-of-range residue (≥ n²) is caught by validation, exactly
+        // like the owned decoder.
+        let width = RegistryFrame::try_from_payload(payload.clone())
+            .expect("prefix matches")
+            .view()
+            .expect("well-formed block")
+            .residue_width();
+        let mut bad = payload;
+        let len = bad.len();
+        bad[len - width..].fill(0xFF);
+        let frame = RegistryFrame::try_from_payload(bad).expect("prefix still matches");
+        assert!(matches!(
+            frame.view().unwrap_err(),
+            ProtocolError::MalformedFrame { .. }
+        ));
     }
 }

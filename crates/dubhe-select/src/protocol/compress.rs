@@ -1,0 +1,270 @@
+//! Self-contained LZSS frame compression for the `DBHZ` codec.
+//!
+//! The DBH1 compatibility path pays for its JSON rendering in bytes —
+//! repeated object keys, decimal bignums, quoted field names on every
+//! envelope of a batch. `DBHZ` keeps those payloads *exactly* DBH1 JSON but
+//! runs them through this dependency-free LZSS pass on the way to the
+//! frame, trading a little CPU for the redundancy JSON carries. The binary
+//! `DBH2` path is already within 1.10× of the canonical ciphertext bytes
+//! and is not compressed.
+//!
+//! ## Format
+//!
+//! ```text
+//! compressed := u32 raw_len | group*
+//! group      := flags | token{1..8}       (one flag bit per token, LSB first)
+//! token      := literal byte              (flag bit 1)
+//!             | u16 pair                  (flag bit 0)
+//! pair       := offset:12 len:4           (big-endian u16)
+//! ```
+//!
+//! A pair copies `len + MIN_MATCH` bytes starting `offset + 1` bytes behind
+//! the write head (copies may overlap themselves, as in every LZ). The
+//! leading `raw_len` lets the decompressor allocate once and acts as the
+//! decompression-bomb guard: a declared length above the caller's ceiling
+//! is refused before any token is read.
+//!
+//! Decompression is *total*: any byte sequence either inflates to exactly
+//! `raw_len` bytes or surfaces a typed [`ProtocolError::MalformedFrame`] —
+//! never a panic, never an out-of-bounds copy, never unbounded memory.
+
+use crate::error::ProtocolError;
+
+/// Matches reach back at most this far (12 offset bits).
+const WINDOW: usize = 1 << 12;
+/// Shortest match worth a 2-byte pair (a 16-bit pair must beat the 3
+/// literal bytes it replaces plus their flag bits).
+const MIN_MATCH: usize = 3;
+/// Longest match a 4-bit length field can name.
+const MAX_MATCH: usize = MIN_MATCH + 15;
+/// Hash-chain positions probed per match attempt.
+const MAX_CHAIN: usize = 16;
+
+fn hash3(window: &[u8]) -> usize {
+    let key = u32::from(window[0]) << 16 | u32::from(window[1]) << 8 | u32::from(window[2]);
+    (key.wrapping_mul(2654435761) >> 17) as usize & (HASH_SLOTS - 1)
+}
+
+const HASH_SLOTS: usize = 1 << 14;
+
+/// Compresses `input`. The output always inflates back to `input`
+/// byte-for-byte; it is only *smaller* when the input carries redundancy
+/// (worst case: `4 + ⌈9/8 · len⌉` bytes for incompressible data).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + input.len() / 2);
+    out.extend_from_slice(&(input.len() as u32).to_be_bytes());
+
+    // Most recent position for each 3-byte hash, chained through `prev` so
+    // a probe can walk the last MAX_CHAIN occurrences inside the window.
+    let mut head = vec![usize::MAX; HASH_SLOTS];
+    let mut prev = vec![usize::MAX; input.len()];
+
+    let mut pos = 0;
+    let mut flags_at = 0; // index of the current group's flag byte in `out`
+    let mut flag_bit = 8; // 8 = group full, start a new one
+    while pos < input.len() {
+        if flag_bit == 8 {
+            flags_at = out.len();
+            out.push(0);
+            flag_bit = 0;
+        }
+        // Probe the chain for the longest match ending within the window.
+        let mut best_len = 0;
+        let mut best_off = 0;
+        if pos + MIN_MATCH <= input.len() {
+            let mut cand = head[hash3(&input[pos..])];
+            let mut probes = 0;
+            while cand != usize::MAX && pos - cand <= WINDOW && probes < MAX_CHAIN {
+                let limit = (input.len() - pos).min(MAX_MATCH);
+                let mut len = 0;
+                while len < limit && input[cand + len] == input[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_off = pos - cand;
+                    if len == MAX_MATCH {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                probes += 1;
+            }
+        }
+        let advance = if best_len >= MIN_MATCH {
+            let pair = ((best_off - 1) << 4 | (best_len - MIN_MATCH)) as u16;
+            out.extend_from_slice(&pair.to_be_bytes());
+            best_len
+        } else {
+            out.push(input[pos]);
+            *out.get_mut(flags_at).expect("flag byte exists") |= 1 << flag_bit;
+            1
+        };
+        // Enter every covered position into the hash chains so later
+        // probes can match into the middle of this token.
+        for p in pos..(pos + advance).min(input.len().saturating_sub(MIN_MATCH - 1)) {
+            let slot = hash3(&input[p..]);
+            prev[p] = head[slot];
+            head[slot] = p;
+        }
+        pos += advance;
+        flag_bit += 1;
+    }
+    out
+}
+
+fn malformed(detail: &str) -> ProtocolError {
+    ProtocolError::MalformedFrame {
+        detail: detail.to_string(),
+    }
+}
+
+/// Inflates a [`compress`] payload, refusing declared lengths above
+/// `max_len` before allocating.
+pub fn decompress(input: &[u8], max_len: usize) -> Result<Vec<u8>, ProtocolError> {
+    let Some(header) = input.get(..4) else {
+        return Err(malformed("compressed payload shorter than its header"));
+    };
+    let raw_len = u32::from_be_bytes(header.try_into().expect("4 bytes")) as usize;
+    if raw_len > max_len {
+        return Err(ProtocolError::FrameTooLarge {
+            len: raw_len,
+            max: max_len,
+        });
+    }
+    let mut out = Vec::with_capacity(raw_len);
+    let mut cur = &input[4..];
+    'groups: while out.len() < raw_len {
+        let Some((&flags, rest)) = cur.split_first() else {
+            return Err(malformed("compressed payload ends mid-stream"));
+        };
+        cur = rest;
+        for bit in 0..8 {
+            if out.len() == raw_len {
+                break 'groups;
+            }
+            if flags >> bit & 1 == 1 {
+                let Some((&byte, rest)) = cur.split_first() else {
+                    return Err(malformed("compressed payload ends mid-literal"));
+                };
+                cur = rest;
+                out.push(byte);
+            } else {
+                let Some(pair) = cur.get(..2) else {
+                    return Err(malformed("compressed payload ends mid-pair"));
+                };
+                cur = &cur[2..];
+                let pair = u16::from_be_bytes(pair.try_into().expect("2 bytes"));
+                let offset = (pair >> 4) as usize + 1;
+                let len = (pair & 0xF) as usize + MIN_MATCH;
+                if offset > out.len() {
+                    return Err(malformed("back-reference reaches before the output"));
+                }
+                if out.len() + len > raw_len {
+                    return Err(malformed("back-reference overruns the declared length"));
+                }
+                let start = out.len() - offset;
+                for i in 0..len {
+                    // Overlapping copies are self-referential by design.
+                    out.push(out[start + i]);
+                }
+            }
+        }
+    }
+    if !cur.is_empty() {
+        return Err(malformed("trailing bytes after the compressed stream"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(input: &[u8]) -> Vec<u8> {
+        let packed = compress(input);
+        decompress(&packed, input.len()).expect("inflates")
+    }
+
+    #[test]
+    fn round_trips_every_shape_of_input() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![42],
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".to_vec(),
+            b"abcabcabcabcabcabcabcabcabc".to_vec(),
+            (0..=255u8).collect(),
+            (0..10_000).map(|i| (i * 37 % 251) as u8).collect(),
+            br#"{"Envelope":{"from":"Agent","to":"Server","epoch":0}}"#.repeat(40),
+        ];
+        for input in cases {
+            assert_eq!(round_trip(&input), input, "len {}", input.len());
+        }
+    }
+
+    #[test]
+    fn repetitive_payloads_shrink_and_random_ones_stay_bounded() {
+        let json = br#"{"Envelope":{"from":"Agent","to":"Server","epoch":0}}"#.repeat(40);
+        assert!(
+            compress(&json).len() * 4 < json.len(),
+            "repeated JSON should compress at least 4:1"
+        );
+        // Worst case: incompressible bytes cost the flag-bit overhead only.
+        let noise: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        assert!(compress(&noise).len() <= 4 + noise.len() + noise.len().div_ceil(8) + 1);
+    }
+
+    #[test]
+    fn hostile_streams_are_typed_errors_never_panics() {
+        // Declared length above the ceiling: refused before allocation.
+        let packed = compress(b"hello world, hello world");
+        assert!(matches!(
+            decompress(&packed, 8),
+            Err(ProtocolError::FrameTooLarge { max: 8, .. })
+        ));
+        // Every truncation point of a real stream is a typed error.
+        for cut in 0..packed.len() {
+            assert!(matches!(
+                decompress(&packed[..cut], 1024),
+                Err(ProtocolError::MalformedFrame { .. })
+                    | Err(ProtocolError::FrameTooLarge { .. })
+            ));
+        }
+        // A back-reference with nothing behind it.
+        let mut bogus = 3u32.to_be_bytes().to_vec();
+        bogus.push(0); // flags: first token is a pair
+        bogus.extend_from_slice(&0u16.to_be_bytes());
+        assert!(matches!(
+            decompress(&bogus, 1024),
+            Err(ProtocolError::MalformedFrame { .. })
+        ));
+        // A pair that would overrun the declared raw length.
+        let mut overrun = 4u32.to_be_bytes().to_vec();
+        overrun.push(0b0000_0011); // two literals, then a pair
+        overrun.extend_from_slice(b"ab");
+        overrun.extend_from_slice(&0u16.to_be_bytes()); // offset 1, len 3 -> 5 > 4
+        assert!(matches!(
+            decompress(&overrun, 1024),
+            Err(ProtocolError::MalformedFrame { .. })
+        ));
+        // Trailing garbage after a complete stream.
+        let mut padded = compress(b"abc");
+        padded.push(0xFF);
+        assert!(matches!(
+            decompress(&padded, 1024),
+            Err(ProtocolError::MalformedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_copies_inflate_like_the_classics() {
+        // "aaaa..." forces offset-1 self-overlapping copies.
+        let runs = vec![b'a'; 300];
+        assert_eq!(round_trip(&runs), runs);
+        // A two-byte period exercises offset-2 overlap.
+        let alt: Vec<u8> = (0..301).map(|i| b"xy"[i % 2]).collect();
+        assert_eq!(round_trip(&alt), alt);
+    }
+}

@@ -83,6 +83,7 @@
 //! [`PackedDistributionSum`]: ProtocolMsg::PackedDistributionSum
 
 pub mod codec;
+pub mod compress;
 pub mod driver;
 pub mod fault;
 pub mod message;
@@ -94,7 +95,7 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use codec::{BinaryCodec, CodecKind, JsonCodec, WireCodec};
+pub use codec::{BinaryCodec, CodecKind, CompressedJsonCodec, JsonCodec, RegistryFrame, WireCodec};
 pub use driver::{
     pump, run_registration, run_registration_with, run_registration_with_packing, run_try,
     run_try_with_dropouts, RegistrationRun,
@@ -110,6 +111,7 @@ pub use tcp::{
 };
 pub use transport::{InMemoryTransport, LinkStats, Transport, TransportStats};
 pub use wire::{
-    read_frame, read_frame_limited, read_frame_negotiated, write_frame, write_frame_limited,
-    write_frame_with, WireMsg, FRAME_MAGIC, FRAME_MAGIC_V2, MAX_FRAME_BYTES,
+    read_frame, read_frame_lazy, read_frame_limited, read_frame_negotiated, write_frame,
+    write_frame_limited, write_frame_with, LazyMsg, WireMsg, FRAME_MAGIC, FRAME_MAGIC_V2,
+    MAX_FRAME_BYTES,
 };

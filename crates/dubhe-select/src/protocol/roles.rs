@@ -26,6 +26,7 @@ use dubhe_he::{
 };
 use rand::Rng;
 
+use super::codec::RegistryFrame;
 use super::message::{ciphertext_width, Envelope, MsgKind, Party, ProtocolMsg};
 use super::packing::PackingPolicy;
 use crate::codebook::RegistryLayout;
@@ -92,6 +93,21 @@ pub trait Coordinator {
     /// [`ProtocolError::NothingToClose`] if nobody contributed (the try is
     /// abandoned either way — never a hang).
     fn close_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError>;
+
+    /// Delivers one deferred `DBH2` registry upload (see [`RegistryFrame`]).
+    ///
+    /// The default materialises the envelope and routes through
+    /// [`deliver`](Self::deliver) — correct for every implementation. Local
+    /// coordinators override it to decode the ciphertext block as a
+    /// borrowed view and fold residues straight out of the frame bytes,
+    /// with the same epoch/slot/packing checks and the same typed errors
+    /// as the eager path.
+    fn deliver_registry_frame(
+        &mut self,
+        frame: RegistryFrame,
+    ) -> Result<Vec<Envelope>, ProtocolError> {
+        self.deliver(frame.materialize()?)
+    }
 }
 
 /// The record a coordinator keeps of every closed aggregation: who was
@@ -122,6 +138,22 @@ fn fold_in(acc: &mut Option<RunningFold>, v: &EncryptedVector) -> Result<(), Pro
             Ok(())
         }
         Some(fold) => Ok(fold.fold(v)?),
+    }
+}
+
+/// The zero-copy counterpart of [`fold_in`]: seeds or advances the fold
+/// straight from a borrowed frame view — no per-element ciphertext is ever
+/// materialised. Bit-identical to [`fold_in`] of the decoded vector.
+fn fold_in_view(
+    acc: &mut Option<RunningFold>,
+    v: &he_codec::EncryptedVectorView<'_>,
+) -> Result<(), ProtocolError> {
+    match acc {
+        None => {
+            *acc = Some(RunningFold::from_view(v));
+            Ok(())
+        }
+        Some(fold) => Ok(fold.fold_view(v)?),
     }
 }
 
@@ -893,6 +925,51 @@ impl Coordinator for CoordinatorServer {
 
     fn close_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError> {
         CoordinatorServer::close_try(self, try_index)
+    }
+
+    fn deliver_registry_frame(
+        &mut self,
+        frame: RegistryFrame,
+    ) -> Result<Vec<Envelope>, ProtocolError> {
+        // The vector decode happens first: a malformed ciphertext block
+        // surfaces before any delivery bookkeeping, exactly where the eager
+        // path's frame decode would have refused the frame.
+        let view = frame.view()?;
+        // `check_epoch` for a message that is never a key dispatch.
+        match frame.epoch().cmp(&self.epoch) {
+            std::cmp::Ordering::Equal => {}
+            std::cmp::Ordering::Less => {
+                return Err(ProtocolError::StaleEpoch {
+                    received: frame.epoch(),
+                    current: self.epoch,
+                })
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(ProtocolError::FutureEpoch {
+                    received: frame.epoch(),
+                    current: self.epoch,
+                })
+            }
+        }
+        self.messages_received += 1;
+        // `ProtocolMsg::wire_bytes` for a registry: the client scalar plus
+        // the canonical ciphertext payload — which is the view's block.
+        self.bytes_received += 8 + view.ciphertext_payload_bytes();
+        if self.packing.is_some() {
+            return Err(ProtocolError::PackingDisagreement {
+                role: "server",
+                expected_packed: true,
+                kind: MsgKind::Registry,
+            });
+        }
+        let client = frame.client();
+        self.claim_registration_slot(client)?;
+        // Same un-burn discipline as the eager arm.
+        if let Err(e) = fold_in_view(&mut self.registry_fold, &view) {
+            self.registered[client] = false;
+            return Err(e);
+        }
+        Ok(self.finish_registration())
     }
 }
 

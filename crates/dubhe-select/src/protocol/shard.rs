@@ -28,6 +28,7 @@ use dubhe_he::{
     PublicKey, RunningFold,
 };
 
+use super::codec::RegistryFrame;
 use super::message::{Envelope, MsgKind, Party, ProtocolMsg};
 use super::packing::PackingPolicy;
 use super::roles::{CohortOutcome, Coordinator};
@@ -81,6 +82,48 @@ fn fold_sharded(
                 None => RunningFold::new(&slice),
                 Some(mut fold) => {
                     fold.fold(&slice)?;
+                    fold
+                }
+            }))
+        })();
+    });
+    for (slot, fold) in work.into_iter().zip(folds.iter_mut()) {
+        *fold = slot?;
+    }
+    Ok(())
+}
+
+/// The zero-copy counterpart of [`fold_sharded`]: advances every shard fold
+/// by its borrowed slice of a deferred frame's residue block, in parallel
+/// across shards. No per-element ciphertext is ever materialised — each
+/// shard multiplies residues straight out of the frame bytes — and the
+/// merged result stays bit-identical to the eager sharded fold.
+fn fold_sharded_view(
+    folds: &mut [Option<RunningFold>],
+    v: &he_codec::EncryptedVectorView<'_>,
+    ranges: &[Range<usize>],
+) -> Result<(), ProtocolError> {
+    use rayon::prelude::*;
+    let expected = ranges.last().map_or(0, |r| r.end);
+    if v.len() != expected {
+        return Err(ProtocolError::He(HeError::LengthMismatch {
+            left: expected,
+            right: v.len(),
+        }));
+    }
+    let mut work: Vec<Result<Option<RunningFold>, ProtocolError>> =
+        folds.iter_mut().map(|slot| Ok(slot.take())).collect();
+    work.par_chunks_mut(1).enumerate().for_each(|(i, chunk)| {
+        let prev = match chunk[0].as_mut() {
+            Ok(prev) => prev.take(),
+            Err(_) => return,
+        };
+        chunk[0] = (|| {
+            let slice = v.residue_range(ranges[i].start, ranges[i].end);
+            Ok(Some(match prev {
+                None => RunningFold::from_view(&slice),
+                Some(mut fold) => {
+                    fold.fold_view(&slice)?;
                     fold
                 }
             }))
@@ -938,6 +981,50 @@ impl Coordinator for ShardedCoordinator {
 
     fn close_try(&mut self, try_index: usize) -> Result<Vec<Envelope>, ProtocolError> {
         ShardedCoordinator::close_try(self, try_index)
+    }
+
+    fn deliver_registry_frame(
+        &mut self,
+        frame: RegistryFrame,
+    ) -> Result<Vec<Envelope>, ProtocolError> {
+        // Mirror of `CoordinatorServer::deliver_registry_frame`, with the
+        // fold fanned out across shards over the borrowed residue block.
+        let view = frame.view()?;
+        match frame.epoch().cmp(&self.epoch) {
+            std::cmp::Ordering::Equal => {}
+            std::cmp::Ordering::Less => {
+                return Err(ProtocolError::StaleEpoch {
+                    received: frame.epoch(),
+                    current: self.epoch,
+                })
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(ProtocolError::FutureEpoch {
+                    received: frame.epoch(),
+                    current: self.epoch,
+                })
+            }
+        }
+        self.messages_received += 1;
+        self.bytes_received += 8 + view.ciphertext_payload_bytes();
+        if self.packing.is_some() {
+            return Err(ProtocolError::PackingDisagreement {
+                role: "server",
+                expected_packed: true,
+                kind: MsgKind::Registry,
+            });
+        }
+        let client = frame.client();
+        self.claim_registration_slot(client)?;
+        let ranges = self
+            .registry_ranges
+            .get_or_insert_with(|| shard_ranges(view.len(), self.shards))
+            .clone();
+        if let Err(e) = fold_sharded_view(&mut self.registry_folds, &view, &ranges) {
+            self.registered[client] = false;
+            return Err(e);
+        }
+        self.finish_registration()
     }
 }
 

@@ -53,7 +53,9 @@ use super::roles::Coordinator;
 use super::shard::ShardedCoordinator;
 use super::stats::{ListenerMetrics, ListenerStats};
 use super::transport::TransportStats;
-use super::wire::{read_frame_limited, write_frame_limited, WireMsg, MAX_FRAME_BYTES};
+use super::wire::{
+    read_frame_lazy, read_frame_limited, write_frame_limited, LazyMsg, WireMsg, MAX_FRAME_BYTES,
+};
 use crate::error::ProtocolError;
 use crate::selector::ClientId;
 
@@ -371,8 +373,11 @@ impl Coordinator for TcpTransport {
 }
 
 /// A request forwarded from a connection thread to the router thread.
+/// `DBH2` registry uploads travel as [`LazyMsg::DeferredRegistry`] — raw
+/// payload bytes the router folds through a borrowed view instead of
+/// materialising per-element ciphertexts on the connection thread.
 struct RouterRequest {
-    msg: WireMsg,
+    msg: LazyMsg,
     reply: mpsc::Sender<WireMsg>,
 }
 
@@ -557,6 +562,18 @@ fn route(
         },
     };
     while let Ok(RouterRequest { msg, reply }) = rx.recv() {
+        let msg = match msg {
+            // A deferred registry folds straight out of its frame bytes —
+            // the router is where the borrowed view finally gets decoded
+            // (and where a malformed ciphertext block earns its typed
+            // error reply).
+            LazyMsg::DeferredRegistry(frame) => {
+                let response = batch_or_error(coordinator.deliver_registry_frame(frame));
+                let _ = reply.send(response);
+                continue;
+            }
+            LazyMsg::Eager(msg) => msg,
+        };
         let response = match msg {
             // Epoch checks live in `deliver`, not `handle`: a stale or
             // future-epoch frame from a remote peer earns a typed error
@@ -643,39 +660,37 @@ fn serve_connection(
         }
         // Frame in flight: the full read timeout applies from here on.
         let _ = reader.get_ref().set_read_timeout(Some(config.read_timeout));
-        let (msg, frame_bytes) = match read_frame_limited(
-            &mut (&first[..]).chain(&mut reader),
-            config.max_frame_bytes,
-        ) {
-            Ok((WireMsg::Shutdown, bytes, _)) => {
-                metrics.frame_received(bytes);
-                return;
-            }
-            Err(ProtocolError::Disconnected) => return,
-            Ok((msg, bytes, frame_codec)) => {
-                codec = frame_codec;
-                (msg, bytes)
-            }
-            Err(e) => {
-                // A malformed/truncated frame poisons the stream (framing is
-                // lost); report and hang up rather than guessing at bytes.
-                match e {
-                    ProtocolError::TruncatedFrame { .. } | ProtocolError::Io { .. } => {
-                        metrics.truncated_frame()
-                    }
-                    _ => metrics.decode_error(),
+        let (msg, frame_bytes) =
+            match read_frame_lazy(&mut (&first[..]).chain(&mut reader), config.max_frame_bytes) {
+                Ok((LazyMsg::Eager(WireMsg::Shutdown), bytes, _)) => {
+                    metrics.frame_received(bytes);
+                    return;
                 }
-                let _ = write_frame_limited(
-                    reader.get_mut(),
-                    &WireMsg::Error {
-                        detail: e.to_string(),
-                    },
-                    codec,
-                    config.max_frame_bytes,
-                );
-                return;
-            }
-        };
+                Err(ProtocolError::Disconnected) => return,
+                Ok((msg, bytes, frame_codec)) => {
+                    codec = frame_codec;
+                    (msg, bytes)
+                }
+                Err(e) => {
+                    // A malformed/truncated frame poisons the stream (framing is
+                    // lost); report and hang up rather than guessing at bytes.
+                    match e {
+                        ProtocolError::TruncatedFrame { .. } | ProtocolError::Io { .. } => {
+                            metrics.truncated_frame()
+                        }
+                        _ => metrics.decode_error(),
+                    }
+                    let _ = write_frame_limited(
+                        reader.get_mut(),
+                        &WireMsg::Error {
+                            detail: e.to_string(),
+                        },
+                        codec,
+                        config.max_frame_bytes,
+                    );
+                    return;
+                }
+            };
         metrics.frame_received(frame_bytes);
         let started = Instant::now();
         let (reply_tx, reply_rx) = mpsc::channel();

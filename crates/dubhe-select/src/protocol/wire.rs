@@ -36,7 +36,7 @@ use std::io::{ErrorKind, Read, Write};
 
 use serde::{Deserialize, Serialize};
 
-use super::codec::CodecKind;
+use super::codec::{CodecKind, RegistryFrame};
 use super::message::Envelope;
 use crate::error::ProtocolError;
 use crate::selector::ClientId;
@@ -229,9 +229,7 @@ pub fn read_frame_limited<R: Read>(
     read_exact_or(r, &mut magic, "header", true)?;
     let Some(codec) = CodecKind::from_magic(magic) else {
         return Err(ProtocolError::MalformedFrame {
-            detail: format!(
-                "bad magic {magic:02x?}, expected {FRAME_MAGIC:02x?} or {FRAME_MAGIC_V2:02x?}"
-            ),
+            detail: format!("bad magic {magic:02x?}, expected DBH1, DBH2 or DBHZ"),
         });
     };
     let mut len_bytes = [0u8; 4];
@@ -254,6 +252,79 @@ pub fn read_frame_limited<R: Read>(
 /// know which codec the peer speaks.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<(WireMsg, usize), ProtocolError> {
     read_frame_negotiated(r).map(|(msg, n, _)| (msg, n))
+}
+
+/// A frame read whose payload decoding may have been *deferred*.
+///
+/// `DBH2` registry uploads — the coordinator's hot path — are recognised by
+/// their constant-size envelope prefix and shipped to the router as raw
+/// payload bytes ([`RegistryFrame`]); the router folds their ciphertext
+/// block through a borrowed view with zero per-element allocation. Every
+/// other frame decodes eagerly, exactly as [`read_frame_limited`] would.
+// The size gap between variants is irrelevant: a `LazyMsg` lives for one
+// dispatch — decoded off the socket, matched, and consumed — never stored
+// in collections, so boxing `WireMsg` would add an allocation to the hot
+// path to save stack bytes nobody keeps.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum LazyMsg {
+    /// A fully decoded message (everything that is not a `DBH2` registry).
+    Eager(WireMsg),
+    /// A recognised `DBH2` registry upload, still in frame-payload form.
+    DeferredRegistry(RegistryFrame),
+}
+
+impl LazyMsg {
+    /// Forces the message: deferred registries are materialised through the
+    /// eager decoder (same validation, same errors), decoded messages pass
+    /// through unchanged.
+    pub fn force(self) -> Result<WireMsg, ProtocolError> {
+        match self {
+            LazyMsg::Eager(msg) => Ok(msg),
+            LazyMsg::DeferredRegistry(frame) => Ok(WireMsg::Envelope {
+                envelope: frame.materialize()?,
+            }),
+        }
+    }
+}
+
+/// [`read_frame_limited`], but `DBH2` registry payloads are returned
+/// *undecoded* as [`LazyMsg::DeferredRegistry`] so the receiver can fold
+/// them straight out of the payload bytes. All other payloads (and every
+/// malformed prefix) go through the eager decoder, keeping its exact error
+/// behaviour; note a deferred registry's ciphertext block is validated
+/// only when the receiver decodes its view.
+pub fn read_frame_lazy<R: Read>(
+    r: &mut R,
+    max_frame_bytes: usize,
+) -> Result<(LazyMsg, usize, CodecKind), ProtocolError> {
+    let mut magic = [0u8; 4];
+    read_exact_or(r, &mut magic, "header", true)?;
+    let Some(codec) = CodecKind::from_magic(magic) else {
+        return Err(ProtocolError::MalformedFrame {
+            detail: format!("bad magic {magic:02x?}, expected DBH1, DBH2 or DBHZ"),
+        });
+    };
+    let mut len_bytes = [0u8; 4];
+    read_exact_or(r, &mut len_bytes, "header", false)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > max_frame_bytes {
+        return Err(ProtocolError::FrameTooLarge {
+            len,
+            max: max_frame_bytes,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, "payload", false)?;
+    let total = magic.len() + 4 + len;
+    if codec == CodecKind::Binary {
+        match RegistryFrame::try_from_payload(payload) {
+            Ok(frame) => return Ok((LazyMsg::DeferredRegistry(frame), total, codec)),
+            Err(returned) => payload = returned,
+        }
+    }
+    let msg = codec.decode(&payload)?;
+    Ok((LazyMsg::Eager(msg), total, codec))
 }
 
 #[cfg(test)]
@@ -385,6 +456,73 @@ mod tests {
         assert_eq!(
             read_frame_negotiated(&mut cursor),
             Err(ProtocolError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn lazy_reads_defer_binary_registries_and_nothing_else() {
+        use dubhe_he::{EncryptedVector, Keypair};
+        use rand::SeedableRng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let kp = Keypair::generate(dubhe_he::TEST_KEY_BITS, &mut rng);
+        let registry = WireMsg::Envelope {
+            envelope: Envelope {
+                from: Party::Client(2),
+                to: Party::Server,
+                epoch: 1,
+                msg: ProtocolMsg::EncryptedRegistry {
+                    client: 2,
+                    registry: EncryptedVector::encrypt_u64(&kp.public, &[1, 0, 3], &mut rng),
+                },
+            },
+        };
+
+        // A DBH2 registry comes back deferred, with the same byte count the
+        // eager reader charges, and forces to the identical message.
+        let mut buf = Vec::new();
+        let written = write_frame_with(&mut buf, &registry, CodecKind::Binary).unwrap();
+        let (lazy, bytes, codec) = read_frame_lazy(&mut &buf[..], MAX_FRAME_BYTES).unwrap();
+        assert_eq!((bytes, codec), (written, CodecKind::Binary));
+        assert!(matches!(lazy, LazyMsg::DeferredRegistry(_)));
+        assert_eq!(lazy.force().unwrap(), registry);
+
+        // The same message over DBH1 decodes eagerly — deferral is a
+        // binary-layout optimisation, never a JSON one.
+        let mut buf = Vec::new();
+        write_frame_with(&mut buf, &registry, CodecKind::Json).unwrap();
+        let (lazy, _, codec) = read_frame_lazy(&mut &buf[..], MAX_FRAME_BYTES).unwrap();
+        assert_eq!(codec, CodecKind::Json);
+        assert!(matches!(lazy, LazyMsg::Eager(ref m) if *m == registry));
+
+        // Non-registry binary frames decode eagerly too.
+        let mut buf = Vec::new();
+        write_frame_with(
+            &mut buf,
+            &WireMsg::Envelope {
+                envelope: verdict_envelope(),
+            },
+            CodecKind::Binary,
+        )
+        .unwrap();
+        let (lazy, _, _) = read_frame_lazy(&mut &buf[..], MAX_FRAME_BYTES).unwrap();
+        assert!(matches!(lazy, LazyMsg::Eager(WireMsg::Envelope { .. })));
+
+        // Error paths are byte-for-byte the eager reader's: truncation,
+        // oversized lengths, bad magic.
+        let mut full = Vec::new();
+        write_frame_with(&mut full, &registry, CodecKind::Binary).unwrap();
+        for cut in [2, 6, full.len() - 1] {
+            let lazy_err = read_frame_lazy(&mut &full[..cut], MAX_FRAME_BYTES).unwrap_err();
+            let eager_err = read_frame_limited(&mut &full[..cut], MAX_FRAME_BYTES).unwrap_err();
+            assert_eq!(lazy_err, eager_err, "cut at {cut}");
+        }
+        assert_eq!(
+            read_frame_lazy(&mut &full[..], 16).unwrap_err(),
+            ProtocolError::FrameTooLarge {
+                len: full.len() - 8,
+                max: 16
+            }
         );
     }
 

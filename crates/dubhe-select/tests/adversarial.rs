@@ -406,6 +406,90 @@ fn truncated_packed_dbh2_payloads_do_not_kill_the_listener() {
     assert_eq!(total.decrypt_u64(&kp.private), vec![0, 4, 0, 0, 0, 0]);
 }
 
+/// Drives the deferred-registry recovery exchange against whichever
+/// listener answers at `addr`: a registry whose ciphertext block is corrupt
+/// (but whose prefix is intact, so it takes the zero-copy deferred path)
+/// earns a typed Error *without* losing the connection — the fold never saw
+/// it and the client's slot is still free — and the same connection then
+/// completes the epoch with healthy uploads.
+fn corrupt_deferred_registry_then_recover(
+    addr: std::net::SocketAddr,
+    kp: &Keypair,
+    rng: &mut rand::rngs::StdRng,
+) {
+    let width = (2 * KEY_BITS as usize).div_ceil(8);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    let registry = EncryptedVector::encrypt_u64(&kp.public, &[1, 0, 2], rng);
+    let mut frame = Vec::new();
+    write_frame_with(
+        &mut frame,
+        &WireMsg::Envelope {
+            envelope: registry_envelope(0, registry),
+        },
+        CodecKind::Binary,
+    )
+    .unwrap();
+    // Blow the last residue past n² — prefix and framing stay honest.
+    let len = frame.len();
+    frame[len - width..].fill(0xFF);
+    stream.write_all(&frame).unwrap();
+    let (reply, _, _) = read_frame_negotiated(&mut stream).unwrap();
+    assert!(
+        matches!(reply, WireMsg::Error { .. }),
+        "corrupt block must earn a typed error, got {reply:?}"
+    );
+
+    // Same connection, same client id: the slot was not burned, the epoch
+    // completes, framing never desynchronised.
+    for id in 0..2 {
+        let v = EncryptedVector::encrypt_u64(&kp.public, &[id as u64 + 1, 0, 2], rng);
+        let mut f = Vec::new();
+        write_frame_with(
+            &mut f,
+            &WireMsg::Envelope {
+                envelope: registry_envelope(id, v),
+            },
+            CodecKind::Binary,
+        )
+        .unwrap();
+        stream.write_all(&f).unwrap();
+        let (reply, _, _) = read_frame_negotiated(&mut stream).unwrap();
+        assert!(
+            matches!(reply, WireMsg::Batch { .. }),
+            "healthy upload {id} after the refusal: got {reply:?}"
+        );
+    }
+    let mut f = Vec::new();
+    write_frame_with(&mut f, &WireMsg::Shutdown, CodecKind::Binary).unwrap();
+    stream.write_all(&f).unwrap();
+}
+
+#[test]
+fn corrupt_deferred_registries_keep_the_connection_on_both_listeners() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(271);
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+
+    let listener =
+        CoordinatorListener::spawn(ShardedCoordinator::with_public_key(kp.public.clone(), 2, 2))
+            .unwrap();
+    corrupt_deferred_registry_then_recover(listener.addr(), &kp, &mut rng);
+    let coordinator = listener.shutdown().expect("listener state");
+    let total = coordinator.encrypted_total().expect("epoch complete");
+    assert_eq!(total.decrypt_u64(&kp.private).unwrap(), vec![3, 0, 4]);
+
+    let reactor =
+        ReactorListener::spawn(ShardedCoordinator::with_public_key(kp.public.clone(), 2, 2))
+            .unwrap();
+    corrupt_deferred_registry_then_recover(reactor.addr(), &kp, &mut rng);
+    let coordinator = reactor.shutdown().expect("reactor state");
+    let total = coordinator.encrypted_total().expect("epoch complete");
+    assert_eq!(total.decrypt_u64(&kp.private).unwrap(), vec![3, 0, 4]);
+}
+
 #[test]
 fn garbage_bytes_do_not_kill_the_listener() {
     let listener = CoordinatorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();

@@ -371,6 +371,32 @@ impl MontgomeryOperand {
     }
 }
 
+/// A reusable CIOS work area: the `k + 2`-limb accumulator every Montgomery
+/// multiplication needs, plus a `k`-limb staging buffer for residues parsed
+/// out of raw big-endian bytes.
+///
+/// The `*_assign` multiplication methods on [`MontgomeryContext`] write
+/// through a caller-provided scratch instead of allocating per call, which
+/// is what makes a steady-state ciphertext fold allocation-free: one scratch
+/// per fold (or per worker thread), zero heap traffic per element. A scratch
+/// is not tied to the context that sized it — the buffers are resized on
+/// entry (a no-op once warm), so one scratch can serve e.g. both CRT legs of
+/// a Paillier key.
+#[derive(Debug, Default, Clone)]
+pub struct MontgomeryScratch {
+    /// CIOS accumulator (`k + 2` limbs while a multiply is in flight).
+    t: Vec<u64>,
+    /// Staging buffer for big-endian byte residues (`k` limbs).
+    staged: Vec<u64>,
+}
+
+impl MontgomeryScratch {
+    /// An empty scratch; buffers grow to the needed width on first use.
+    pub fn new() -> Self {
+        MontgomeryScratch::default()
+    }
+}
+
 impl MontgomeryContext {
     /// Builds the context for an odd modulus.
     ///
@@ -405,14 +431,34 @@ impl MontgomeryContext {
 
     /// CIOS Montgomery product `a·b·R⁻¹ mod m` over k-limb operands.
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut t = vec![0u64; self.m.len() + 2];
+        self.mont_mul_into(a, b, &mut t);
+        t.truncate(self.m.len());
+        t
+    }
+
+    /// The CIOS kernel: computes `a·b·R⁻¹ mod m` into `t[..k]`, using `t`
+    /// (length `k + 2`) as the working accumulator. `a` must be exactly `k`
+    /// limbs; `b` may be up to `k` limbs (shorter operands are treated as
+    /// zero-extended, skipping the multiply work for the missing limbs) and
+    /// its value must be below the modulus.
+    fn mont_mul_into(&self, a: &[u64], b: &[u64], t: &mut [u64]) {
         let k = self.m.len();
-        let mut t = vec![0u64; k + 2];
+        debug_assert_eq!(a.len(), k);
+        debug_assert!(b.len() <= k);
+        debug_assert_eq!(t.len(), k + 2);
+        t.fill(0);
         for &ai in a.iter().take(k) {
             // t += ai * b
             let mut carry = 0u128;
-            for j in 0..k {
+            for j in 0..b.len() {
                 let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
                 t[j] = s as u64;
+                carry = s >> 64;
+            }
+            for tj in t.iter_mut().take(k).skip(b.len()) {
+                let s = *tj as u128 + carry;
+                *tj = s as u64;
                 carry = s >> 64;
             }
             let s = t[k] as u128 + carry;
@@ -461,8 +507,6 @@ impl MontgomeryContext {
             }
             t[k] = (t[k] as i128 - borrow) as u64;
         }
-        t.truncate(k);
-        t
     }
 
     /// Windowed exponentiation (4-bit fixed window).
@@ -569,6 +613,138 @@ impl MontgomeryContext {
             };
         }
         self.montgomery_mul(a, &self.montgomery_residue(b))
+    }
+
+    /// Prepares `scratch` for this context's width. A no-op (and in
+    /// particular allocation-free) once the scratch has been used at this
+    /// width or wider.
+    fn warm_scratch<'s>(&self, scratch: &'s mut MontgomeryScratch) -> &'s mut MontgomeryScratch {
+        let k = self.m.len();
+        if scratch.t.len() != k + 2 {
+            scratch.t.resize(k + 2, 0);
+        }
+        if scratch.staged.len() != k {
+            scratch.staged.resize(k, 0);
+        }
+        scratch
+    }
+
+    /// In-place CIOS product: `acc ← acc·b·R⁻¹ mod m`, through a caller
+    /// scratch. Performs no heap allocation (once the scratch is warm) —
+    /// this is the steady-state fold and multi-exponentiation kernel.
+    pub fn montgomery_mul_assign(
+        &self,
+        acc: &mut MontgomeryOperand,
+        b: &MontgomeryOperand,
+        scratch: &mut MontgomeryScratch,
+    ) {
+        let k = self.m.len();
+        debug_assert_eq!(acc.limbs.len(), k, "operand from a different context");
+        let scratch = self.warm_scratch(scratch);
+        self.mont_mul_into(&acc.limbs, &b.limbs, &mut scratch.t);
+        acc.limbs.copy_from_slice(&scratch.t[..k]);
+    }
+
+    /// In-place [`montgomery_mul_residue`](Self::montgomery_mul_residue):
+    /// `acc ← acc·b·R⁻¹ mod m` for a plain residue `b`. Allocation-free when
+    /// `b < m` (the CIOS kernel zero-extends a short `b` directly); a
+    /// residue at or above the modulus falls back to the reducing path,
+    /// which allocates.
+    pub fn montgomery_mul_residue_assign(
+        &self,
+        acc: &mut MontgomeryOperand,
+        b: &BigUint,
+        scratch: &mut MontgomeryScratch,
+    ) {
+        let k = self.m.len();
+        debug_assert_eq!(acc.limbs.len(), k, "operand from a different context");
+        if b.limbs.len() <= k && (b.limbs.len() < k || b < &self.modulus) {
+            let scratch = self.warm_scratch(scratch);
+            self.mont_mul_into(&acc.limbs, &b.limbs, &mut scratch.t);
+            acc.limbs.copy_from_slice(&scratch.t[..k]);
+            return;
+        }
+        let reduced = self.montgomery_residue(b);
+        let scratch = self.warm_scratch(scratch);
+        self.mont_mul_into(&acc.limbs, &reduced.limbs, &mut scratch.t);
+        acc.limbs.copy_from_slice(&scratch.t[..k]);
+    }
+
+    /// Parses a big-endian byte residue into `out` (little-endian limbs).
+    /// Returns `false` when the value needs more than `out.len()` limbs.
+    fn stage_be_bytes(bytes: &[u8], out: &mut [u64]) -> bool {
+        out.fill(0);
+        let mut limb = 0usize;
+        let mut shift = 0u32;
+        for &byte in bytes.iter().rev() {
+            if limb >= out.len() {
+                if byte != 0 {
+                    return false;
+                }
+            } else {
+                out[limb] |= (byte as u64) << shift;
+            }
+            shift += 8;
+            if shift == 64 {
+                shift = 0;
+                limb += 1;
+            }
+        }
+        true
+    }
+
+    /// `true` iff the k-limb little-endian value `limbs` is below the
+    /// modulus.
+    fn limbs_below_modulus(&self, limbs: &[u64]) -> bool {
+        for (l, m) in limbs.iter().zip(&self.m).rev() {
+            match l.cmp(m) {
+                Ordering::Less => return true,
+                Ordering::Greater => return false,
+                Ordering::Equal => {}
+            }
+        }
+        false
+    }
+
+    /// In-place fold of a residue parsed straight from big-endian bytes:
+    /// `acc ← acc·v·R⁻¹ mod m` where `v` is the integer the bytes spell.
+    /// The bytes are staged into the scratch's limb buffer — no allocation,
+    /// no intermediate [`BigUint`] — which is what lets a ciphertext fold
+    /// run directly over a network frame buffer. Returns `false` (leaving
+    /// `acc` untouched) when the value is not below the modulus.
+    pub fn montgomery_mul_be_assign(
+        &self,
+        acc: &mut MontgomeryOperand,
+        be_bytes: &[u8],
+        scratch: &mut MontgomeryScratch,
+    ) -> bool {
+        let k = self.m.len();
+        debug_assert_eq!(acc.limbs.len(), k, "operand from a different context");
+        let scratch = self.warm_scratch(scratch);
+        if !Self::stage_be_bytes(be_bytes, &mut scratch.staged) {
+            return false;
+        }
+        if !self.limbs_below_modulus(&scratch.staged) {
+            return false;
+        }
+        self.mont_mul_into(&acc.limbs, &scratch.staged, &mut scratch.t);
+        acc.limbs.copy_from_slice(&scratch.t[..k]);
+        true
+    }
+
+    /// Wraps a residue spelled as big-endian bytes as a plain (`x·R⁰`)
+    /// operand — the byte-level [`montgomery_residue`](Self::montgomery_residue),
+    /// used to seed a fold accumulator straight from a frame buffer.
+    /// Returns `None` when the value is not below the modulus.
+    pub fn operand_from_be_bytes(&self, be_bytes: &[u8]) -> Option<MontgomeryOperand> {
+        let mut limbs = vec![0u64; self.m.len()];
+        if !Self::stage_be_bytes(be_bytes, &mut limbs) {
+            return None;
+        }
+        if !self.limbs_below_modulus(&limbs) {
+            return None;
+        }
+        Some(MontgomeryOperand { limbs })
     }
 
     /// Maps an operand out of the Montgomery domain: returns `a·R⁻¹ mod m`
@@ -1027,6 +1203,73 @@ mod tests {
             let folded = ctx.from_montgomery(&ctx.montgomery_mul(&acc, &correction));
             assert_eq!(folded, naive, "count {count}");
         }
+    }
+
+    #[test]
+    fn scratch_assign_multiplies_match_the_allocating_path() {
+        let m = big("340282366920938463463374607431768211507");
+        let ctx = MontgomeryContext::new(&m);
+        let mut scratch = MontgomeryScratch::new();
+        let a = big("123456789012345678901234567890");
+        let bs = [
+            BigUint::default(),
+            BigUint::one(),
+            big("42"), // short operand: fewer limbs than the modulus
+            big("340282366920938463463374607431768211480"),
+            big("680564733841876926926749214863536422975"), // ≥ m: reducing fallback
+        ];
+        for b in &bs {
+            // montgomery_mul vs montgomery_mul_assign.
+            let expected = ctx.montgomery_mul(&ctx.to_montgomery(&a), &ctx.to_montgomery(b));
+            let mut acc = ctx.to_montgomery(&a);
+            ctx.montgomery_mul_assign(&mut acc, &ctx.to_montgomery(b), &mut scratch);
+            assert_eq!(acc.raw_residue(), expected.raw_residue(), "b = {b}");
+            // montgomery_mul_residue vs montgomery_mul_residue_assign.
+            let expected = ctx.montgomery_mul_residue(&ctx.to_montgomery(&a), b);
+            let mut acc = ctx.to_montgomery(&a);
+            ctx.montgomery_mul_residue_assign(&mut acc, b, &mut scratch);
+            assert_eq!(acc.raw_residue(), expected.raw_residue(), "residue b = {b}");
+        }
+    }
+
+    #[test]
+    fn byte_level_fold_matches_the_biguint_path() {
+        let m = big("340282366920938463463374607431768211507");
+        let ctx = MontgomeryContext::new(&m);
+        let mut scratch = MontgomeryScratch::new();
+        let a = big("123456789012345678901234567890");
+        for b in [
+            BigUint::one(),
+            big("42"),
+            big("340282366920938463463374607431768211480"),
+        ] {
+            let expected = ctx.montgomery_mul_residue(&ctx.to_montgomery(&a), &b);
+            // Fixed-width big-endian encoding, as a wire frame would carry.
+            let mut bytes = vec![0u8; 32 - b.to_bytes_be().len()];
+            bytes.extend(b.to_bytes_be());
+            let mut acc = ctx.to_montgomery(&a);
+            assert!(ctx.montgomery_mul_be_assign(&mut acc, &bytes, &mut scratch));
+            assert_eq!(acc.raw_residue(), expected.raw_residue(), "b = {b}");
+            // Seeding an operand from the same bytes round-trips.
+            let seeded = ctx.operand_from_be_bytes(&bytes).expect("below modulus");
+            assert_eq!(seeded.raw_residue(), b);
+        }
+        // A residue at the modulus (or past it) is refused, acc untouched.
+        let mut acc = ctx.to_montgomery(&a);
+        let before = acc.raw_residue();
+        assert!(!ctx.montgomery_mul_be_assign(&mut acc, &m.to_bytes_be(), &mut scratch));
+        assert_eq!(acc.raw_residue(), before);
+        assert!(ctx.operand_from_be_bytes(&m.to_bytes_be()).is_none());
+        // A value too wide for the staging buffer is refused, not truncated.
+        let wide = vec![0xffu8; 40];
+        assert!(!ctx.montgomery_mul_be_assign(&mut acc, &wide, &mut scratch));
+        assert!(ctx.operand_from_be_bytes(&wide).is_none());
+        // Leading zero bytes beyond the limb width are harmless.
+        let mut padded = vec![0u8; 48 - 32];
+        let b = big("987654321");
+        padded.extend(vec![0u8; 32 - b.to_bytes_be().len()]);
+        padded.extend(b.to_bytes_be());
+        assert!(ctx.operand_from_be_bytes(&padded).is_some());
     }
 
     #[test]

@@ -12,5 +12,5 @@ mod biguint;
 mod rand_support;
 
 pub use bigint::{BigInt, Sign};
-pub use biguint::{BigUint, MontgomeryContext, MontgomeryOperand};
+pub use biguint::{BigUint, MontgomeryContext, MontgomeryOperand, MontgomeryScratch};
 pub use rand_support::RandBigInt;
