@@ -24,8 +24,16 @@
 //!
 //! ```text
 //! load_gen [--clients 10000] [--shards 4] [--key-bits 256] [--tries 3]
-//!          [--select 2048] [--threaded-cap 9000] [--seed 42]
+//!          [--select 2048] [--threaded-cap 9000] [--seed 42] [--channel]
 //! ```
+//!
+//! `--channel` runs the whole bench over the authenticated channel: both
+//! sides derive the listener's long-term identity deterministically from the
+//! shared `--seed` (so the parent can pin it without extra IPC), every
+//! connection runs the X25519 handshake, and every frame crosses the socket
+//! AEAD-sealed. The digest acceptance check additionally asserts the
+//! listener's auth counters: one completed handshake per connection, zero
+//! failures, zero AEAD rejections, zero downgrades.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -34,11 +42,11 @@ use std::time::{Duration, Instant};
 
 use dubhe_bench::dump_json;
 use dubhe_he::{EncryptedVector, Keypair, PublicKey};
-use dubhe_net::{MuxClient, MuxConfig, ReactorListener};
+use dubhe_net::{MuxClient, MuxConfig, ReactorConfig, ReactorListener};
 use dubhe_select::protocol::stats::{LatencySummary, ListenerStats};
 use dubhe_select::protocol::{
-    CodecKind, Coordinator, CoordinatorListener, Envelope, Party, ProtocolMsg, ShardedCoordinator,
-    WireMsg,
+    ChannelPolicy, CodecKind, Coordinator, CoordinatorListener, Envelope, ListenerConfig,
+    NodeIdentity, Party, ProtocolMsg, ShardedCoordinator, WireMsg,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +60,14 @@ const POOL: usize = 64;
 const CLASSES: usize = 10;
 const EPOCH: u64 = 0;
 const VERDICT: (usize, f64) = (0, 0.25);
+/// Salt folded into `--seed` to derive the listener's long-term channel
+/// identity. Parent and `--serve` child share seed and salt, so the parent
+/// can compute the public key to pin without an extra IPC line.
+const IDENTITY_SALT: u64 = 0x5EA1_1DE0_57A7_1C5E;
+
+fn server_identity_seed(seed: u64) -> u64 {
+    seed ^ IDENTITY_SALT
+}
 
 fn value_after(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -209,11 +225,18 @@ fn state_digest(state: &ShardedCoordinator) -> u64 {
 /// Serves one session: binds the requested listener, prints `ADDR`, waits
 /// for the parent to finish (a line or EOF on stdin), then reports the final
 /// coordinator digest and the listener's connection metrics.
-fn serve(kind: &str, n: usize, shards: usize) {
+fn serve(kind: &str, n: usize, shards: usize, channel: ChannelPolicy, seed: u64) {
     let coordinator = ShardedCoordinator::new(n, shards);
+    let identity_seed = server_identity_seed(seed);
     let (addr, stats, state): (_, ListenerStats, ShardedCoordinator) = match kind {
         "threaded" => {
-            let listener = CoordinatorListener::spawn(coordinator).expect("spawn listener");
+            let listener = CoordinatorListener::spawn_with(
+                coordinator,
+                ListenerConfig::default()
+                    .with_channel(channel)
+                    .with_identity_seed(identity_seed),
+            )
+            .expect("spawn listener");
             let addr = listener.addr();
             announce_ready(addr);
             wait_for_parent();
@@ -222,7 +245,13 @@ fn serve(kind: &str, n: usize, shards: usize) {
             (addr, stats, state)
         }
         "reactor" => {
-            let listener = ReactorListener::spawn(coordinator).expect("spawn listener");
+            let listener = ReactorListener::spawn_with(
+                coordinator,
+                ReactorConfig::default()
+                    .with_channel(channel)
+                    .with_identity_seed(identity_seed),
+            )
+            .expect("spawn listener");
             let addr = listener.addr();
             announce_ready(addr);
             wait_for_parent();
@@ -283,6 +312,7 @@ struct NetBenchReport {
     select: usize,
     threaded_cap: usize,
     codec: String,
+    channel: String,
     ciphertext_pool: usize,
     seed: u64,
     runs: Vec<BackendReport>,
@@ -294,17 +324,29 @@ struct ServerChild {
     addr: std::net::SocketAddr,
 }
 
-fn spawn_server(kind: &str, n: usize, shards: usize) -> ServerChild {
+fn spawn_server(
+    kind: &str,
+    n: usize,
+    shards: usize,
+    channel: ChannelPolicy,
+    seed: u64,
+) -> ServerChild {
     let exe = std::env::current_exe().expect("current exe");
+    let mut args = vec![
+        "--serve".to_string(),
+        kind.to_string(),
+        "--clients".to_string(),
+        n.to_string(),
+        "--shards".to_string(),
+        shards.to_string(),
+        "--seed".to_string(),
+        seed.to_string(),
+    ];
+    if channel.is_required() {
+        args.push("--channel".to_string());
+    }
     let mut child = Command::new(exe)
-        .args([
-            "--serve",
-            kind,
-            "--clients",
-            &n.to_string(),
-            "--shards",
-            &shards.to_string(),
-        ])
+        .args(&args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .spawn()
@@ -340,23 +382,28 @@ fn run_backend(
     shards: usize,
     script: &SessionScript,
     references: &mut HashMap<usize, (u64, usize)>,
+    channel: ChannelPolicy,
+    seed: u64,
 ) -> BackendReport {
     let (ref_digest, ref_msgs) = *references
         .entry(n)
         .or_insert_with(|| script.reference(n, shards));
 
     println!("[{kind} n={n}] spawning listener subprocess...");
-    let mut server = spawn_server(kind, n, shards);
+    let mut server = spawn_server(kind, n, shards, channel, seed);
 
+    let mut mux_config = MuxConfig::default()
+        .with_codec(CodecKind::Binary)
+        .with_exchange_timeout(Duration::from_secs(300));
+    if channel.is_required() {
+        // The child derived its identity from the shared seed; pin it.
+        let pin = NodeIdentity::from_seed(server_identity_seed(seed)).public_bytes();
+        mux_config = mux_config
+            .with_channel(ChannelPolicy::Required)
+            .with_expected_server(pin);
+    }
     let t = Instant::now();
-    let mut mux = MuxClient::connect(
-        server.addr,
-        n,
-        MuxConfig::default()
-            .with_codec(CodecKind::Binary)
-            .with_exchange_timeout(Duration::from_secs(300)),
-    )
-    .expect("connect mux clients");
+    let mut mux = MuxClient::connect(server.addr, n, mux_config).expect("connect mux clients");
     let connect_s = t.elapsed().as_secs_f64();
     println!("[{kind} n={n}] {n} connections in {connect_s:.2}s");
 
@@ -476,6 +523,20 @@ fn run_backend(
         format!("{} {}", VERDICT.0, VERDICT.1),
         "[{kind} n={n}] verdict diverged"
     );
+    // The auth counters are part of the acceptance surface: with the channel
+    // on, every connection authenticated exactly once and nothing was
+    // rejected; with it off, no handshake ever ran.
+    if channel.is_required() {
+        assert_eq!(
+            stats.handshakes_completed, n,
+            "[{kind} n={n}] every connection must complete its handshake"
+        );
+    } else {
+        assert_eq!(stats.handshakes_completed, 0, "[{kind} n={n}]");
+    }
+    assert_eq!(stats.handshakes_failed, 0, "[{kind} n={n}]");
+    assert_eq!(stats.aead_rejections, 0, "[{kind} n={n}]");
+    assert_eq!(stats.downgrades_refused, 0, "[{kind} n={n}]");
     println!(
         "[{kind} n={n}] bit-identical to reference (digest {digest}); p50 {:.0}us p99 {:.0}us, peak queue {}B",
         latency_us.p50_us, latency_us.p99_us, stats.peak_write_queue
@@ -507,15 +568,20 @@ fn main() {
     let select: usize = parsed_after(&args, "--select", 2048);
     let threaded_cap: usize = parsed_after(&args, "--threaded-cap", 9_000);
     let seed: u64 = parsed_after(&args, "--seed", 42);
+    let channel = if args.iter().any(|a| a == "--channel") {
+        ChannelPolicy::Required
+    } else {
+        ChannelPolicy::Plaintext
+    };
 
     if let Some(kind) = value_after(&args, "--serve") {
-        serve(&kind, clients, shards);
+        serve(&kind, clients, shards, channel, seed);
         return;
     }
 
     println!(
         "load_gen: {clients} clients, {shards} shards, {key_bits}-bit keys, \
-         H={tries} tries of {select}, DBH2 framing"
+         H={tries} tries of {select}, DBH2 framing, channel {channel:?}"
     );
     let script = SessionScript::build(key_bits, tries, select, seed);
     let mut references = HashMap::new();
@@ -531,6 +597,8 @@ fn main() {
         shards,
         &script,
         &mut references,
+        channel,
+        seed,
     ));
     runs.push(run_backend(
         "reactor",
@@ -538,6 +606,8 @@ fn main() {
         shards,
         &script,
         &mut references,
+        channel,
+        seed,
     ));
     if clients > n_eq {
         runs.push(run_backend(
@@ -546,6 +616,8 @@ fn main() {
             shards,
             &script,
             &mut references,
+            channel,
+            seed,
         ));
     }
 
@@ -557,6 +629,7 @@ fn main() {
         select,
         threaded_cap,
         codec: "DBH2".to_string(),
+        channel: format!("{channel:?}").to_lowercase(),
         ciphertext_pool: POOL,
         seed,
         runs,

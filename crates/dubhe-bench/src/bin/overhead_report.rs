@@ -33,9 +33,11 @@ use dubhe_he::{
     PrivateKey, PublicKey, RunningFold,
 };
 use dubhe_select::protocol::{
-    pump, run_registration, run_registration_with, run_try, run_try_with_dropouts, CodecKind,
-    CoordinatorListener, CoordinatorServer, Envelope, InMemoryTransport, LinkStats, Party,
-    ProtocolMsg, RegistryFrame, ShardedCoordinator, TcpTransport, Transport, WireMsg,
+    client_handshake, pump, run_registration, run_registration_with, run_try,
+    run_try_with_dropouts, ChannelPolicy, CodecKind, CoordinatorListener, CoordinatorServer,
+    Envelope, InMemoryTransport, LinkStats, ListenerConfig, NodeIdentity, Party, ProtocolMsg,
+    RegistryFrame, ShardedCoordinator, TcpConfig, TcpTransport, Transport, WireMsg,
+    HANDSHAKE_WIRE_BYTES, MAX_FRAME_BYTES, SEALED_FRAME_OVERHEAD,
 };
 use dubhe_select::{DubheConfig, DubheSelector};
 use rand::SeedableRng;
@@ -87,11 +89,36 @@ struct MultiExpRow {
     speedup: f64,
 }
 
+/// What the authenticated channel costs on top of the plaintext protocol:
+/// the one-time handshake (latency + its fixed wire bytes) and the 32-byte
+/// seal every frame carries afterwards. The report asserts the total stays
+/// within a 15% envelope over the inner protocol bytes — in practice the
+/// ciphertext-heavy frames dwarf the seal by orders of magnitude.
+#[derive(Serialize)]
+struct ChannelOverheadRow {
+    key_bits: u64,
+    /// Mean X25519 handshake latency over loopback (connect excluded).
+    handshake_ms: f64,
+    /// Fixed handshake wire cost, both directions (`HANDSHAKE_WIRE_BYTES`).
+    handshake_wire_bytes: usize,
+    /// Sealed protocol frames the measured session exchanged.
+    frames: usize,
+    /// Inner protocol bytes (identical to the plaintext run by design).
+    protocol_bytes: usize,
+    /// Handshake + sealing bytes the channel added on top.
+    channel_bytes: usize,
+    /// Sealing bytes per frame (the constant `SEALED_FRAME_OVERHEAD`).
+    sealed_overhead_per_frame: f64,
+    /// (protocol + channel) / protocol — asserted ≤ 1.15.
+    overhead_ratio: f64,
+}
+
 #[derive(Serialize)]
 struct OverheadReport {
     sizes: Vec<OverheadRow>,
     latency_budget: LatencyBudget,
     multi_exp: MultiExpRow,
+    channel: ChannelOverheadRow,
 }
 
 fn main() {
@@ -194,6 +221,7 @@ fn main() {
 
     let in_memory_stats = protocol_round_trip(key_bits);
     tcp_round_trip(key_bits, &in_memory_stats);
+    let channel = channel_overhead(key_bits, &in_memory_stats);
     aggregation_throughput(&pk);
     let latency_budget = latency_budget_round(&pk, &sk);
     let multi_exp = multi_exp_acceptance();
@@ -206,8 +234,130 @@ fn main() {
             sizes: rows,
             latency_budget,
             multi_exp,
+            channel,
         },
     );
+}
+
+/// Measures what turning the authenticated channel on costs: handshake
+/// latency in isolation, then the full TCP session from [`tcp_round_trip`]
+/// re-run under `ChannelPolicy::Required` — same canonical traffic, plus a
+/// metered handshake and a 32-byte seal per frame. Asserts the channel's
+/// total wire cost stays within 15% of the inner protocol bytes.
+fn channel_overhead(key_bits: u64, in_memory: &dubhe_select::TransportStats) -> ChannelOverheadRow {
+    println!("\nauthenticated channel overhead (DBH2, 4-shard coordinator):");
+    let listener = CoordinatorListener::spawn_with(
+        ShardedCoordinator::new(30, 4),
+        ListenerConfig::default().with_channel(ChannelPolicy::Required),
+    )
+    .expect("spawn channel listener");
+    let pin = listener.public_identity().expect("identity resolved");
+
+    // Handshake latency in isolation: raw connect first, then time only the
+    // three-message exchange.
+    let reps = 20;
+    let t = Instant::now();
+    let mut streams: Vec<std::net::TcpStream> = (0..reps)
+        .map(|_| std::net::TcpStream::connect(listener.addr()).expect("connect"))
+        .collect();
+    let connect_ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let t = Instant::now();
+    for (i, stream) in streams.iter_mut().enumerate() {
+        let identity = NodeIdentity::from_seed(7000 + i as u64);
+        client_handshake(stream, &identity, Some(pin), MAX_FRAME_BYTES).expect("handshake");
+    }
+    let handshake_ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    drop(streams);
+
+    // The full session, sealed end-to-end.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+    let spec = FederatedSpec {
+        family: DatasetFamily::MnistLike,
+        rho: 10.0,
+        emd_avg: 1.5,
+        clients: 30,
+        samples_per_client: 100,
+        test_samples_per_class: 1,
+        seed: 101,
+    };
+    let dists = spec.build_partition(&mut rng).client_distributions();
+    let mut config = DubheConfig::group1();
+    config.k = 10;
+    let endpoint = TcpTransport::connect_with_config(
+        listener.addr(),
+        TcpConfig::default()
+            .with_codec(CodecKind::Binary)
+            .with_channel(ChannelPolicy::Required)
+            .with_expected_server(pin),
+    )
+    .expect("sealed connect");
+    let mut transport = InMemoryTransport::new();
+    let mut run = run_registration_with(
+        &dists,
+        &config,
+        key_bits,
+        endpoint,
+        &mut transport,
+        &mut rng,
+    )
+    .expect("registration epoch over the sealed channel");
+    let mut selector = DubheSelector::new(&dists, config);
+    run.agent.expect_tries(3);
+    for try_index in 0..3 {
+        let tentative = dubhe_select::ClientSelector::select(&mut selector, &mut rng);
+        run_try(
+            try_index,
+            &tentative,
+            &mut run.agent,
+            &mut run.clients,
+            &mut run.server,
+            &mut transport,
+            &mut rng,
+        )
+        .expect("multi-time try over the sealed channel");
+    }
+    assert_eq!(
+        transport.stats(),
+        in_memory,
+        "the sealed session must meter the identical canonical traffic"
+    );
+    let wire = *run.server.wire_stats();
+    run.server.shutdown().expect("polite shutdown");
+    drop(listener);
+
+    let frames = wire.frames_sent + wire.frames_received;
+    let protocol_bytes = wire.total_bytes();
+    let channel_bytes = wire.channel_overhead_bytes();
+    let per_frame = wire.sealed_overhead_bytes as f64 / frames as f64;
+    let ratio = (protocol_bytes + channel_bytes) as f64 / protocol_bytes as f64;
+    assert_eq!(
+        per_frame, SEALED_FRAME_OVERHEAD as f64,
+        "every sealed frame carries exactly the constant seal"
+    );
+    assert_eq!(wire.handshake_bytes, HANDSHAKE_WIRE_BYTES);
+    assert!(
+        ratio <= 1.15,
+        "channel overhead {ratio:.4}x exceeds the 1.15x budget over protocol bytes"
+    );
+    println!(
+        "  handshake: {handshake_ms:.3} ms (TCP connect {connect_ms:.3} ms), \
+         {HANDSHAKE_WIRE_BYTES} B on the wire"
+    );
+    println!(
+        "  sealing: {frames} frames x {SEALED_FRAME_OVERHEAD} B seal = {} B on \
+         {protocol_bytes} protocol B -> {ratio:.4}x total (budget 1.15x)",
+        wire.sealed_overhead_bytes
+    );
+    ChannelOverheadRow {
+        key_bits,
+        handshake_ms,
+        handshake_wire_bytes: HANDSHAKE_WIRE_BYTES,
+        frames,
+        protocol_bytes,
+        channel_bytes,
+        sealed_overhead_per_frame: per_frame,
+        overhead_ratio: ratio,
+    }
 }
 
 /// The end-to-end per-round latency budget: where one registration round of
@@ -746,6 +896,7 @@ fn encrypted_simulation(key_bits: u64) {
         codec: CodecKind::Json,
         listener: ListenerKind::Threaded,
         packing: None,
+        channel: ChannelPolicy::Plaintext,
     });
     let (tcp_binary, binary_time) = run_mode(SecureMode::EncryptedTcp {
         key_bits,
@@ -753,6 +904,7 @@ fn encrypted_simulation(key_bits: u64) {
         codec: CodecKind::Binary,
         listener: ListenerKind::Threaded,
         packing: None,
+        channel: ChannelPolicy::Plaintext,
     });
     println!(
         "  modeled   : {:>12} ciphertext bytes, {:>5} overhead messages ({modeled_time:.2?})",
@@ -823,6 +975,7 @@ fn encrypted_simulation(key_bits: u64) {
         codec: CodecKind::Binary,
         listener: ListenerKind::Threaded,
         packing: Some(32),
+        channel: ChannelPolicy::Plaintext,
     });
     let ct_reduction =
         encrypted.total_ciphertext_bytes() as f64 / packed.total_ciphertext_bytes() as f64;

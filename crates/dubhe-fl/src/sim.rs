@@ -21,13 +21,14 @@
 
 use dubhe_data::{l1_distance, ClassDistribution, Dataset};
 use dubhe_ml::Sequential;
-use dubhe_net::ReactorListener;
+use dubhe_net::{ReactorConfig, ReactorListener};
 use dubhe_select::multi_time_select;
 use dubhe_select::protocol::stats::ListenerStats;
 use dubhe_select::protocol::{
     pump, run_registration_with, run_registration_with_packing, run_try, run_try_with_dropouts,
-    CodecKind, Coordinator, CoordinatorListener, CoordinatorServer, Envelope, InMemoryTransport,
-    PackingPolicy, RegistrationRun, ShardedCoordinator, TcpTransport, Transport,
+    ChannelPolicy, CodecKind, Coordinator, CoordinatorListener, CoordinatorServer, Envelope,
+    InMemoryTransport, ListenerConfig, PackingPolicy, RegistrationRun, ShardedCoordinator,
+    TcpConfig, TcpTransport, Transport,
 };
 use dubhe_select::selector::{population_distribution, ClientSelector};
 use dubhe_select::{ProtocolError, SelectError};
@@ -110,6 +111,17 @@ pub enum SecureMode {
         /// packed frames cross the socket like any other, so the measured
         /// wire bytes shrink along with the canonical ciphertext accounting.
         packing: Option<u32>,
+        /// Whether the loopback connection runs the authenticated channel:
+        /// under [`ChannelPolicy::Required`] the listener and connector run
+        /// the handshake at round 0 (the connector pins the listener's
+        /// public identity) and every protocol frame crosses the socket
+        /// AEAD-sealed. Selections, histories and canonical byte ledgers
+        /// are bit-identical to a `Plaintext` run on the same seed — the
+        /// channel pays only handshake + per-frame sealing bytes, metered
+        /// separately in the connector's [`WireStats`].
+        ///
+        /// [`WireStats`]: dubhe_select::protocol::WireStats
+        channel: ChannelPolicy,
     },
 }
 
@@ -248,6 +260,14 @@ impl SimListener {
         match self {
             SimListener::Threaded(l) => l.stats(),
             SimListener::Reactor(l) => l.stats(),
+        }
+    }
+
+    /// The listener's public channel identity (`None` under `Plaintext`).
+    fn public_identity(&self) -> Option<[u8; 32]> {
+        match self {
+            SimListener::Threaded(l) => l.public_identity(),
+            SimListener::Reactor(l) => l.public_identity(),
         }
     }
 }
@@ -501,6 +521,7 @@ impl FlSimulation {
                         shards,
                         codec,
                         listener,
+                        channel,
                         ..
                     } => {
                         let mut coordinator = ShardedCoordinator::new(n, shards);
@@ -509,13 +530,28 @@ impl FlSimulation {
                         }
                         let listener = match listener {
                             ListenerKind::Threaded => {
-                                SimListener::Threaded(CoordinatorListener::spawn(coordinator)?)
+                                SimListener::Threaded(CoordinatorListener::spawn_with(
+                                    coordinator,
+                                    ListenerConfig::default().with_channel(channel),
+                                )?)
                             }
                             ListenerKind::Reactor => {
-                                SimListener::Reactor(ReactorListener::spawn(coordinator)?)
+                                SimListener::Reactor(ReactorListener::spawn_with(
+                                    coordinator,
+                                    ReactorConfig::default().with_channel(channel),
+                                )?)
                             }
                         };
-                        let endpoint = TcpTransport::connect_with_codec(listener.addr(), codec)?;
+                        // Under Required the connector pins the identity the
+                        // listener just minted — trust is established at
+                        // spawn, not on first use.
+                        let mut tcp_config =
+                            TcpConfig::default().with_codec(codec).with_channel(channel);
+                        if let Some(pin) = listener.public_identity() {
+                            tcp_config = tcp_config.with_expected_server(pin);
+                        }
+                        let endpoint =
+                            TcpTransport::connect_with_config(listener.addr(), tcp_config)?;
                         self.listener = Some(listener);
                         SimCoordinator::Remote(endpoint)
                     }
@@ -1075,6 +1111,7 @@ mod tests {
             codec: CodecKind::Json,
             listener: ListenerKind::Threaded,
             packing: None,
+            channel: ChannelPolicy::Plaintext,
         });
         let (binary_hist, binary_ledger, _) = run_mode(SecureMode::EncryptedTcp {
             key_bits: 256,
@@ -1082,6 +1119,7 @@ mod tests {
             codec: CodecKind::Binary,
             listener: ListenerKind::Threaded,
             packing: None,
+            channel: ChannelPolicy::Plaintext,
         });
         let (reactor_hist, reactor_ledger, reactor_stats) = run_mode(SecureMode::EncryptedTcp {
             key_bits: 256,
@@ -1089,6 +1127,7 @@ mod tests {
             codec: CodecKind::Binary,
             listener: ListenerKind::Reactor,
             packing: None,
+            channel: ChannelPolicy::Plaintext,
         });
 
         assert_eq!(json_hist, modeled_hist, "TCP must reproduce the decisions");
@@ -1155,6 +1194,63 @@ mod tests {
     }
 
     #[test]
+    fn authenticated_channel_leaves_every_ledger_byte_identical() {
+        // The acceptance pin of the channel satellite: the same socket-backed
+        // simulation with the AEAD channel Required vs Plaintext — on both
+        // listener shapes — must produce bit-identical histories *and*
+        // bit-identical ledgers (canonical ciphertext bytes AND measured
+        // wire-frame bytes, which meter the inner protocol frames, not the
+        // seals). Authentication is pure armor: it changes what crosses the
+        // socket, never what the protocol decides or accounts.
+        let (client_data, test, dists) = build_federation(24, 10.0, 1.5, 9);
+        let run_mode = |secure: SecureMode| {
+            let selector = Box::new(DubheSelector::new(&dists, DubheConfig::group1()));
+            let model = small_mlp(32, 10, 6);
+            let mut config = SimulationConfig::quick(3, 19);
+            config.multi_time_h = 3;
+            config.secure = secure;
+            let mut sim = FlSimulation::from_datasets(
+                client_data.clone(),
+                test.clone(),
+                model,
+                selector,
+                config,
+            );
+            let history = sim.run().unwrap();
+            let stats = sim.listener_stats();
+            (history, sim.ledger().clone(), stats)
+        };
+        let tcp_mode = |listener, channel| SecureMode::EncryptedTcp {
+            key_bits: 256,
+            shards: 4,
+            codec: CodecKind::Binary,
+            listener,
+            packing: None,
+            channel,
+        };
+
+        for listener in [ListenerKind::Threaded, ListenerKind::Reactor] {
+            let (plain_hist, plain_ledger, _) =
+                run_mode(tcp_mode(listener, ChannelPolicy::Plaintext));
+            let (sealed_hist, sealed_ledger, sealed_stats) =
+                run_mode(tcp_mode(listener, ChannelPolicy::Required));
+            assert_eq!(
+                sealed_hist, plain_hist,
+                "{listener:?}: the channel must not change a single decision"
+            );
+            assert_eq!(
+                sealed_ledger, plain_ledger,
+                "{listener:?}: the channel must not change a single ledger byte"
+            );
+            let stats = sealed_stats.expect("socket-backed runs have stats");
+            assert_eq!(stats.handshakes_completed, 1, "{listener:?}");
+            assert_eq!(stats.handshakes_failed, 0, "{listener:?}");
+            assert_eq!(stats.aead_rejections, 0, "{listener:?}");
+            assert_eq!(stats.downgrades_refused, 0, "{listener:?}");
+        }
+    }
+
+    #[test]
     fn packed_modes_match_unpacked_decisions_with_at_least_4x_fewer_ciphertext_bytes() {
         // The acceptance pin of the packed protocol: same seeds, same
         // selector — element-wise runs against 32-bit slot-packed runs,
@@ -1197,6 +1293,7 @@ mod tests {
             codec: CodecKind::Binary,
             listener: ListenerKind::Threaded,
             packing: None,
+            channel: ChannelPolicy::Plaintext,
         });
         let (tcp_packed_hist, tcp_packed_ledger, _) = run_mode(SecureMode::EncryptedTcp {
             key_bits: 256,
@@ -1204,6 +1301,7 @@ mod tests {
             codec: CodecKind::Binary,
             listener: ListenerKind::Threaded,
             packing: Some(32),
+            channel: ChannelPolicy::Plaintext,
         });
         let (reactor_hist, reactor_ledger, reactor_stats) = run_mode(SecureMode::EncryptedTcp {
             key_bits: 256,
@@ -1211,6 +1309,7 @@ mod tests {
             codec: CodecKind::Binary,
             listener: ListenerKind::Reactor,
             packing: Some(32),
+            channel: ChannelPolicy::Plaintext,
         });
 
         assert_eq!(

@@ -11,6 +11,9 @@
 //! payload — so a hostile header is refused after at most 8 bytes, with the
 //! same typed [`ProtocolError`]s the blocking reader produces.
 
+use dubhe_select::protocol::channel::{
+    ChannelFrame, FRAME_MAGIC_HANDSHAKE, FRAME_MAGIC_SEALED, SEALED_FRAME_OVERHEAD,
+};
 use dubhe_select::protocol::codec::{CodecKind, RegistryFrame};
 use dubhe_select::protocol::wire::{read_frame_limited, LazyMsg};
 use dubhe_select::protocol::WireMsg;
@@ -159,6 +162,69 @@ impl FrameBuffer {
             CodecKind::Binary,
         )))
     }
+
+    /// Pulls the next frame of *any* known magic — `DBHS` handshake, `DBHE`
+    /// sealed or plaintext protocol — still undecoded, as a
+    /// [`ChannelFrame`]. The nonblocking twin of
+    /// [`read_channel_frame`](dubhe_select::protocol::channel::read_channel_frame):
+    /// the reactor's pre-protocol handshake phase and its sealed sessions
+    /// pull through this, and the caller decides which variants its policy
+    /// and phase accept. Same contract as [`next_frame`](Self::next_frame):
+    /// magic validated after 4 bytes, announced length checked against the
+    /// ceiling *before* buffering (sealed frames may exceed the inner
+    /// ceiling by exactly the seal), `Ok(None)` means "need more bytes".
+    pub fn next_channel_frame(
+        &mut self,
+        max_frame_bytes: usize,
+    ) -> Result<Option<(ChannelFrame, usize)>, ProtocolError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let magic = [avail[0], avail[1], avail[2], avail[3]];
+        let known = magic == FRAME_MAGIC_HANDSHAKE
+            || magic == FRAME_MAGIC_SEALED
+            || CodecKind::from_magic(magic).is_some();
+        if !known {
+            return Err(ProtocolError::MalformedFrame {
+                detail: format!("bad magic {magic:02x?}, expected DBH1, DBH2, DBHZ, DBHS or DBHE"),
+            });
+        }
+        if avail.len() < HEADER_BYTES {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[4], avail[5], avail[6], avail[7]]) as usize;
+        let ceiling = max_frame_bytes + SEALED_FRAME_OVERHEAD;
+        if len > ceiling {
+            return Err(ProtocolError::FrameTooLarge {
+                len,
+                max: max_frame_bytes,
+            });
+        }
+        let total = HEADER_BYTES + len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = if magic == FRAME_MAGIC_HANDSHAKE {
+            ChannelFrame::Handshake(avail[HEADER_BYTES..total].to_vec())
+        } else if magic == FRAME_MAGIC_SEALED {
+            ChannelFrame::Sealed(avail[HEADER_BYTES..total].to_vec())
+        } else {
+            ChannelFrame::Plaintext {
+                codec: CodecKind::from_magic(magic).expect("validated above"),
+                frame: avail[..total].to_vec(),
+            }
+        };
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some((frame, total)))
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +357,62 @@ mod tests {
         let (lazy, _, _) = fb.next_frame_lazy(max).unwrap().unwrap();
         assert!(matches!(lazy, LazyMsg::Eager(WireMsg::Ack)));
         assert!(fb.next_frame_lazy(max).unwrap().is_none());
+    }
+
+    #[test]
+    fn channel_pull_classifies_every_magic_and_keeps_the_error_contract() {
+        use dubhe_select::protocol::channel::write_handshake_frame;
+
+        // A handshake frame, a sealed frame and a plaintext frame pipelined
+        // in one burst classify in order, byte-at-a-time included.
+        let mut hs = Vec::new();
+        write_handshake_frame(&mut hs, &[7u8; 64]).unwrap();
+        let mut sealed = Vec::new();
+        sealed.extend_from_slice(&FRAME_MAGIC_SEALED);
+        sealed.extend_from_slice(&(24u32).to_be_bytes());
+        sealed.extend_from_slice(&[9u8; 24]);
+        let plain = encode(&WireMsg::Ack, CodecKind::Binary);
+        let mut burst = hs.clone();
+        burst.extend_from_slice(&sealed);
+        burst.extend_from_slice(&plain);
+
+        let mut fb = FrameBuffer::new();
+        for &byte in &burst[..hs.len()] {
+            assert!(fb.next_channel_frame(1024).unwrap().is_none());
+            fb.extend(&[byte]);
+        }
+        fb.extend(&burst[hs.len()..]);
+        let (frame, n) = fb.next_channel_frame(1024).unwrap().unwrap();
+        assert_eq!(frame, ChannelFrame::Handshake(vec![7u8; 64]));
+        assert_eq!(n, hs.len());
+        let (frame, _) = fb.next_channel_frame(1024).unwrap().unwrap();
+        assert_eq!(frame, ChannelFrame::Sealed(vec![9u8; 24]));
+        let (frame, _) = fb.next_channel_frame(1024).unwrap().unwrap();
+        assert!(
+            matches!(frame, ChannelFrame::Plaintext { codec: CodecKind::Binary, ref frame } if *frame == plain)
+        );
+        assert!(fb.next_channel_frame(1024).unwrap().is_none());
+        assert!(!fb.is_mid_frame());
+
+        // Unknown magic refused after 4 bytes; a sealed frame may exceed the
+        // inner ceiling by exactly the seal, but no more.
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"HTTP");
+        assert!(matches!(
+            fb.next_channel_frame(1024),
+            Err(ProtocolError::MalformedFrame { .. })
+        ));
+        let mut fb = FrameBuffer::new();
+        fb.extend(&FRAME_MAGIC_SEALED);
+        fb.extend(&((64 + SEALED_FRAME_OVERHEAD) as u32).to_be_bytes());
+        assert!(fb.next_channel_frame(64).unwrap().is_none()); // exactly at ceiling: wait
+        let mut fb = FrameBuffer::new();
+        fb.extend(&FRAME_MAGIC_SEALED);
+        fb.extend(&((65 + SEALED_FRAME_OVERHEAD) as u32).to_be_bytes());
+        assert!(matches!(
+            fb.next_channel_frame(64),
+            Err(ProtocolError::FrameTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -20,9 +20,15 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+use dubhe_select::protocol::channel::{
+    client_handshake, secret_bytes_from_seed, ChannelFrame, ChannelPolicy, NodeIdentity,
+    RetrySchedule, SecureChannel,
+};
 use dubhe_select::protocol::codec::CodecKind;
 use dubhe_select::protocol::stats::{LatencyHistogram, LatencySummary};
-use dubhe_select::protocol::wire::{write_frame_limited, WireMsg, MAX_FRAME_BYTES};
+use dubhe_select::protocol::wire::{
+    read_frame_limited, write_frame_limited, WireMsg, MAX_FRAME_BYTES,
+};
 use dubhe_select::ProtocolError;
 use mini_mio::{Backend, Events, Interest, Poll, Registry, Token};
 
@@ -48,6 +54,30 @@ pub struct MuxConfig {
     pub exchange_timeout: Duration,
     /// Readiness backend; `None` picks the platform default.
     pub backend: Option<Backend>,
+    /// Whether every connection runs the authenticated-channel handshake
+    /// before its socket turns nonblocking. Under
+    /// [`ChannelPolicy::Required`] all traffic travels in `DBHE` sealed
+    /// frames; connection `i` handshakes with a deterministic identity
+    /// derived from [`identity_seed`](Self::identity_seed)` + i`.
+    pub channel: ChannelPolicy,
+    /// Base seed of the per-connection client identities (connection `i`
+    /// derives its X25519 secret from `identity_seed + i`), so the
+    /// session-hijack binding sees synthetic client `i` speak with the
+    /// same identity on every run.
+    pub identity_seed: u64,
+    /// Pins the server's public channel identity; `None` trusts first use.
+    pub expected_server: Option<[u8; 32]>,
+    /// Dial + handshake attempts per connection before giving up (≥ 1).
+    /// Transient failures retry under bounded exponential backoff with
+    /// deterministic jitter; exhaustion surfaces
+    /// [`ProtocolError::RetriesExhausted`].
+    pub connect_attempts: usize,
+    /// Base delay of the retry backoff (attempt `i` sleeps
+    /// `retry_base · 2^i` plus jitter).
+    pub retry_base: Duration,
+    /// Seed of the deterministic retry jitter (XORed with the connection
+    /// index so a thundering herd still spreads out).
+    pub retry_seed: u64,
 }
 
 impl Default for MuxConfig {
@@ -57,6 +87,12 @@ impl Default for MuxConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
             exchange_timeout: Duration::from_secs(120),
             backend: None,
+            channel: ChannelPolicy::Plaintext,
+            identity_seed: 0,
+            expected_server: None,
+            connect_attempts: 1,
+            retry_base: Duration::from_millis(25),
+            retry_seed: 0,
         }
     }
 }
@@ -85,6 +121,38 @@ impl MuxConfig {
         self.backend = Some(backend);
         self
     }
+
+    /// Replaces the channel policy.
+    pub fn with_channel(mut self, channel: ChannelPolicy) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Replaces the base seed of the per-connection client identities.
+    pub fn with_identity_seed(mut self, identity_seed: u64) -> Self {
+        self.identity_seed = identity_seed;
+        self
+    }
+
+    /// Pins the server's public channel identity.
+    pub fn with_expected_server(mut self, public: [u8; 32]) -> Self {
+        self.expected_server = Some(public);
+        self
+    }
+
+    /// Enables bounded-backoff retries: `attempts` total dial+handshake
+    /// tries per connection, starting from a `retry_base` initial delay.
+    pub fn with_retries(mut self, attempts: usize, retry_base: Duration) -> Self {
+        self.connect_attempts = attempts.max(1);
+        self.retry_base = retry_base;
+        self
+    }
+
+    /// Replaces the retry-jitter seed.
+    pub fn with_retry_seed(mut self, retry_seed: u64) -> Self {
+        self.retry_seed = retry_seed;
+        self
+    }
 }
 
 struct MuxConn {
@@ -95,6 +163,71 @@ struct MuxConn {
     /// Queue instants of requests still awaiting their reply, FIFO.
     pending: VecDeque<Instant>,
     wants_write: bool,
+    /// The established secure channel, when the config requires one:
+    /// requests seal on queue, replies unseal on read.
+    channel: Option<SecureChannel>,
+}
+
+/// One dial (+ handshake under a `Required` policy) with the config's
+/// bounded-backoff retry schedule. Transient failures — socket errors,
+/// disconnects, truncated handshakes — retry; deterministic refusals
+/// (authentication failures, a wrong pinned key, downgrades) never do.
+fn connect_conn(
+    addr: SocketAddr,
+    index: usize,
+    config: &MuxConfig,
+) -> Result<(TcpStream, Option<SecureChannel>), ProtocolError> {
+    let attempts = config.connect_attempts.max(1);
+    let mut schedule = RetrySchedule::new(config.retry_base, config.retry_seed ^ index as u64);
+    let mut last = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(schedule.delay(attempt as u32 - 1));
+        }
+        match connect_conn_once(addr, index, config) {
+            Ok(ok) => return Ok(ok),
+            Err(
+                e @ (ProtocolError::Io { .. }
+                | ProtocolError::Disconnected
+                | ProtocolError::TruncatedFrame { .. }),
+            ) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    if attempts == 1 {
+        Err(last.expect("one failed attempt recorded"))
+    } else {
+        Err(ProtocolError::RetriesExhausted { attempts })
+    }
+}
+
+fn connect_conn_once(
+    addr: SocketAddr,
+    index: usize,
+    config: &MuxConfig,
+) -> Result<(TcpStream, Option<SecureChannel>), ProtocolError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| io_error("connect", e))?;
+    let _ = stream.set_nodelay(true);
+    if !config.channel.is_required() {
+        return Ok((stream, None));
+    }
+    // The handshake runs while the socket is still blocking (it turns
+    // nonblocking only after), bounded by the exchange timeout so a silent
+    // server cannot hang the connector.
+    stream
+        .set_read_timeout(Some(config.exchange_timeout))
+        .map_err(|e| io_error("configure socket", e))?;
+    let identity = NodeIdentity::from_secret_bytes(secret_bytes_from_seed(
+        config.identity_seed.wrapping_add(index as u64),
+    ));
+    let channel = client_handshake(
+        &mut stream,
+        &identity,
+        config.expected_server,
+        config.max_frame_bytes,
+    )?;
+    let _ = stream.set_read_timeout(None);
+    Ok((stream, Some(channel)))
 }
 
 /// Many persistent client connections to one coordinator listener, driven
@@ -136,8 +269,7 @@ impl MuxClient {
             // every further SYN waits out a 1 s retransmit. Descheduling for
             // a moment every half-backlog of connects lets the acceptor
             // drain; the pause is dwarfed by the retransmits it prevents.
-            let stream =
-                TcpStream::connect(addrs[i % addrs.len()]).map_err(|e| io_error("connect", e))?;
+            let (stream, channel) = connect_conn(addrs[i % addrs.len()], i, &config)?;
             if i % 64 == 63 {
                 std::thread::sleep(Duration::from_millis(2));
             } else {
@@ -146,7 +278,6 @@ impl MuxClient {
             stream
                 .set_nonblocking(true)
                 .map_err(|e| io_error("configure socket", e))?;
-            let _ = stream.set_nodelay(true);
             registry
                 .register(&stream, Token(i), Interest::READABLE)
                 .map_err(|e| io_error("register socket", e))?;
@@ -157,6 +288,7 @@ impl MuxClient {
                 out_pos: 0,
                 pending: VecDeque::new(),
                 wants_write: false,
+                channel,
             });
         }
         Ok(MuxClient {
@@ -190,16 +322,29 @@ impl MuxClient {
         self.latency.summary()
     }
 
-    /// Queues one request frame on connection `conn`. Bytes move on the
-    /// next [`collect`](Self::collect) (or [`exchange`](Self::exchange)).
+    /// Queues one request frame on connection `conn` — sealed into a `DBHE`
+    /// frame when the connection runs the channel. Bytes move on the next
+    /// [`collect`](Self::collect) (or [`exchange`](Self::exchange)).
     pub fn send(&mut self, conn: usize, msg: &WireMsg) -> Result<(), ProtocolError> {
         let c = &mut self.conns[conn];
-        write_frame_limited(
-            &mut c.out,
-            msg,
-            self.config.codec,
-            self.config.max_frame_bytes,
-        )?;
+        if let Some(channel) = c.channel.as_mut() {
+            let mut inner = Vec::new();
+            write_frame_limited(
+                &mut inner,
+                msg,
+                self.config.codec,
+                self.config.max_frame_bytes,
+            )?;
+            let sealed = channel.seal_frame(&inner);
+            c.out.extend_from_slice(&sealed);
+        } else {
+            write_frame_limited(
+                &mut c.out,
+                msg,
+                self.config.codec,
+                self.config.max_frame_bytes,
+            )?;
+        }
         c.pending.push_back(Instant::now());
         Ok(())
     }
@@ -260,12 +405,23 @@ impl MuxClient {
     pub fn shutdown(mut self) {
         for token in 0..self.conns.len() {
             let c = &mut self.conns[token];
-            let _ = write_frame_limited(
-                &mut c.out,
+            let mut inner = Vec::new();
+            if write_frame_limited(
+                &mut inner,
                 &WireMsg::Shutdown,
                 self.config.codec,
                 self.config.max_frame_bytes,
-            );
+            )
+            .is_ok()
+            {
+                match c.channel.as_mut() {
+                    Some(channel) => {
+                        let sealed = channel.seal_frame(&inner);
+                        c.out.extend_from_slice(&sealed);
+                    }
+                    None => c.out.extend_from_slice(&inner),
+                }
+            }
             // No reply follows a shutdown frame.
             let _ = self.flush(token);
         }
@@ -332,11 +488,42 @@ impl MuxClient {
                 Err(e) => return Err(io_error("read frame", e)),
             }
         }
-        while let Some((msg, _, _)) = c.frames.next_frame(self.config.max_frame_bytes)? {
-            if let Some(queued_at) = c.pending.pop_front() {
-                self.latency.record(queued_at.elapsed());
+        if let Some(channel) = c.channel.as_mut() {
+            // Channel connections accept nothing but sealed frames: a
+            // plaintext reply is a downgrade (or an unauthenticated
+            // splice), a handshake frame is out of phase, and a seal that
+            // fails to open — tamper, replay, reorder — is a typed error.
+            while let Some((frame, _)) = c.frames.next_channel_frame(self.config.max_frame_bytes)? {
+                let msg = match frame {
+                    ChannelFrame::Sealed(payload) => {
+                        let inner = channel.open_payload(&payload)?;
+                        let (msg, _, _) =
+                            read_frame_limited(&mut &inner[..], self.config.max_frame_bytes)?;
+                        msg
+                    }
+                    ChannelFrame::Plaintext { frame, .. } => {
+                        return Err(ProtocolError::DowngradeRefused {
+                            magic: frame[..4].try_into().expect("4-byte magic"),
+                        });
+                    }
+                    ChannelFrame::Handshake(_) => {
+                        return Err(ProtocolError::AuthFailure {
+                            detail: "handshake frame after the channel was established".to_string(),
+                        });
+                    }
+                };
+                if let Some(queued_at) = c.pending.pop_front() {
+                    self.latency.record(queued_at.elapsed());
+                }
+                replies.push((token, msg));
             }
-            replies.push((token, msg));
+        } else {
+            while let Some((msg, _, _)) = c.frames.next_frame(self.config.max_frame_bytes)? {
+                if let Some(queued_at) = c.pending.pop_front() {
+                    self.latency.record(queued_at.elapsed());
+                }
+                replies.push((token, msg));
+            }
         }
         Ok(())
     }

@@ -41,6 +41,20 @@
 //! progress — identical semantics to the blocking listener's per-read
 //! timeout.
 //!
+//! ## Authenticated channel
+//!
+//! Under [`ReactorConfig::channel`] = [`ChannelPolicy::Required`] every
+//! connection walks the same pre-protocol state machine as the threaded
+//! listener: a `Handshake` phase accepting nothing but `DBHS` frames (fed
+//! one payload at a time from readiness events, with the whole prelude
+//! under the read timeout so a handshake slow-loris is swept), then an
+//! `Established` phase accepting nothing but `DBHE` sealed frames.
+//! Plaintext protocol frames are refused as downgrade attempts in both
+//! phases, tampered or replayed seals earn typed errors sealed back before
+//! the hangup, and the router binds each `ClientId` to the first
+//! authenticated identity that speaks for it (session-hijack refusal, with
+//! reconnects presenting the same identity sailing through).
+//!
 //! Because every coordinator fold is commutative (Montgomery-domain
 //! ciphertext multiplication), the ledgers this listener produces are
 //! bit-identical to the threaded listener's and the in-memory transport's,
@@ -55,11 +69,15 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use dubhe_select::protocol::channel::{ChannelFrame, ChannelPolicy, NodeIdentity, ServerHandshake};
 use dubhe_select::protocol::codec::CodecKind;
 use dubhe_select::protocol::stats::{ListenerMetrics, ListenerStats};
-use dubhe_select::protocol::wire::{write_frame_limited, LazyMsg, WireMsg, MAX_FRAME_BYTES};
+use dubhe_select::protocol::tcp::claimed_client;
+use dubhe_select::protocol::wire::{
+    read_frame_lazy, write_frame_limited, LazyMsg, WireMsg, MAX_FRAME_BYTES,
+};
 use dubhe_select::protocol::Coordinator;
-use dubhe_select::ProtocolError;
+use dubhe_select::{ClientId, ProtocolError};
 use mini_mio::{Backend, Events, Interest, Poll, Registry, Token, Waker};
 
 use crate::frames::FrameBuffer;
@@ -100,6 +118,17 @@ pub struct ReactorConfig {
     /// Events drained per poll call (level-triggered polling re-reports
     /// whatever does not fit).
     pub events_capacity: usize,
+    /// Whether connections must run the authenticated-channel handshake
+    /// before any protocol frame is accepted. Under
+    /// [`ChannelPolicy::Required`] every connection starts in a
+    /// pre-protocol phase speaking nothing but `DBHS` frames; after mutual
+    /// authentication completes, nothing but `DBHE` sealed frames — the
+    /// same state machine as the thread-per-connection listener.
+    pub channel: ChannelPolicy,
+    /// The listener's static X25519 identity secret under a `Required`
+    /// policy; `None` generates a fresh identity at spawn (readable via
+    /// [`ReactorListener::public_identity`] so clients can pin it).
+    pub identity: Option<[u8; 32]>,
 }
 
 impl Default for ReactorConfig {
@@ -111,6 +140,8 @@ impl Default for ReactorConfig {
             listen_addrs: vec![SocketAddr::from(([127, 0, 0, 1], 0))],
             backend: None,
             events_capacity: 1024,
+            channel: ChannelPolicy::Plaintext,
+            identity: None,
         }
     }
 }
@@ -148,6 +179,27 @@ impl ReactorConfig {
         self.backend = Some(backend);
         self
     }
+
+    /// Replaces the channel policy.
+    pub fn with_channel(mut self, channel: ChannelPolicy) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Pins the listener's static channel identity to a deterministic
+    /// secret derived from `seed`.
+    pub fn with_identity_seed(mut self, seed: u64) -> Self {
+        self.identity = Some(dubhe_select::protocol::channel::secret_bytes_from_seed(
+            seed,
+        ));
+        self
+    }
+
+    /// Pins the listener's static channel identity (the X25519 secret).
+    pub fn with_identity_bytes(mut self, secret: [u8; 32]) -> Self {
+        self.identity = Some(secret);
+        self
+    }
 }
 
 /// A decoded (or deferred — see [`LazyMsg`]) request crossing from the
@@ -156,6 +208,10 @@ struct Job {
     token: usize,
     msg: LazyMsg,
     codec: CodecKind,
+    /// The authenticated channel identity of the connection this request
+    /// arrived on, when it ran the handshake — what the router's
+    /// session-hijack binding keys on.
+    identity: Option<[u8; 32]>,
     started: Instant,
 }
 
@@ -178,6 +234,9 @@ pub struct ReactorListener<C: Coordinator + Send + 'static> {
     metrics: Arc<ListenerMetrics>,
     event_thread: Option<JoinHandle<()>>,
     router_thread: Option<JoinHandle<C>>,
+    /// The listener's public channel identity, when it requires the
+    /// authenticated channel — what clients pin.
+    public_identity: Option<[u8; 32]>,
 }
 
 impl<C: Coordinator + Send + 'static> ReactorListener<C> {
@@ -223,6 +282,14 @@ impl<C: Coordinator + Send + 'static> ReactorListener<C> {
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
 
+        // Resolve the channel identity once at spawn so every connection
+        // handshakes as the same server (and so clients can pin it).
+        let identity = config.channel.is_required().then(|| match config.identity {
+            Some(bytes) => NodeIdentity::from_secret_bytes(bytes),
+            None => NodeIdentity::generate(),
+        });
+        let public_identity = identity.as_ref().map(|id| id.public_bytes());
+
         let router_waker = Arc::clone(&waker);
         let router_thread =
             std::thread::spawn(move || route_jobs(coordinator, job_rx, reply_tx, router_waker));
@@ -240,6 +307,7 @@ impl<C: Coordinator + Send + 'static> ReactorListener<C> {
             reply_rx,
             stop: Arc::clone(&stop),
             metrics: Arc::clone(&metrics),
+            identity,
             config,
         };
         let event_thread = std::thread::spawn(move || event_loop.run());
@@ -251,6 +319,7 @@ impl<C: Coordinator + Send + 'static> ReactorListener<C> {
             metrics,
             event_thread: Some(event_thread),
             router_thread: Some(router_thread),
+            public_identity,
         })
     }
 
@@ -262,6 +331,13 @@ impl<C: Coordinator + Send + 'static> ReactorListener<C> {
     /// Every bound address, in [`ReactorConfig::listen_addrs`] order.
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+
+    /// The listener's public channel identity under
+    /// [`ChannelPolicy::Required`] — what clients pin; `None` when the
+    /// listener serves plaintext.
+    pub fn public_identity(&self) -> Option<[u8; 32]> {
+        self.public_identity
     }
 
     /// A point-in-time [`ListenerStats`] snapshot — the same shape the
@@ -305,6 +381,12 @@ fn route_jobs<C: Coordinator>(
     tx: mpsc::Sender<Reply>,
     waker: Arc<Waker>,
 ) -> C {
+    // Session-hijack refusal, identical to the threaded listener's router:
+    // the first authenticated identity to speak as a ClientId owns that id
+    // for the listener's lifetime. A different channel identity reusing the
+    // id gets a typed refusal before the coordinator ever sees the message;
+    // reconnects present the same identity and sail through.
+    let mut bindings: HashMap<ClientId, [u8; 32]> = HashMap::new();
     loop {
         let first = match rx.recv() {
             Ok(job) => job,
@@ -318,13 +400,41 @@ fn route_jobs<C: Coordinator>(
             }
         }
         for job in jobs {
-            let msg = route_msg(&mut coordinator, job.msg);
+            let Job {
+                token,
+                msg,
+                codec,
+                identity,
+                started,
+            } = job;
+            let hijacked = match (claimed_client(&msg), identity) {
+                (Some(id), Some(who)) => match bindings.get(&id) {
+                    Some(bound) if *bound != who => Some(id),
+                    _ => {
+                        bindings.insert(id, who);
+                        None
+                    }
+                },
+                _ => None,
+            };
+            let msg = match hijacked {
+                Some(id) => WireMsg::Error {
+                    detail: ProtocolError::AuthFailure {
+                        detail: format!(
+                            "client {id} is bound to a different channel identity \
+                             (session hijack refused)"
+                        ),
+                    }
+                    .to_string(),
+                },
+                None => route_msg(&mut coordinator, msg),
+            };
             if tx
                 .send(Reply {
-                    token: job.token,
+                    token,
                     msg,
-                    codec: job.codec,
-                    started: job.started,
+                    codec,
+                    started,
                 })
                 .is_err()
             {
@@ -390,10 +500,27 @@ struct PendingSend {
     bytes: usize,
 }
 
+/// Which language a connection currently speaks — the pre-protocol state
+/// machine of the authenticated channel. Plaintext-policy listeners never
+/// leave [`ConnPhase::Plaintext`]; `Required` listeners walk
+/// `Handshake → Established` and refuse everything off-phase.
+enum ConnPhase {
+    /// Ordinary protocol frames (`DBH1`/`DBH2`/`DBHZ`), no channel.
+    Plaintext,
+    /// Pre-protocol: nothing but `DBHS` handshake frames is accepted.
+    Handshake(ServerHandshake),
+    /// Mutually authenticated: nothing but `DBHE` sealed frames is.
+    Established(dubhe_select::protocol::channel::SecureChannel),
+}
+
 /// Per-connection state owned by the event loop.
 struct Conn {
     stream: TcpStream,
     frames: FrameBuffer,
+    /// Channel phase; see [`ConnPhase`].
+    phase: ConnPhase,
+    /// The peer's authenticated identity once the handshake completes.
+    peer: Option<[u8; 32]>,
     /// Encoded-but-unwritten reply bytes; `out[out_pos..]` is pending.
     out: Vec<u8>,
     out_pos: usize,
@@ -437,6 +564,9 @@ struct EventLoop {
     reply_rx: mpsc::Receiver<Reply>,
     stop: Arc<AtomicBool>,
     metrics: Arc<ListenerMetrics>,
+    /// The resolved server identity under a `Required` channel policy;
+    /// every accepted connection handshakes against a clone of it.
+    identity: Option<NodeIdentity>,
     config: ReactorConfig,
 }
 
@@ -511,18 +641,32 @@ impl EventLoop {
                         eprintln!("reactor listener: register failed, refusing connection: {e}");
                         continue;
                     }
+                    // Under a `Required` policy the connection starts in the
+                    // handshake phase with the whole prelude under the read
+                    // timeout — a peer that connects and then trickles or
+                    // stays silent (handshake slow-loris) is swept, never
+                    // parked.
+                    let (phase, frame_deadline) = match &self.identity {
+                        Some(id) => (
+                            ConnPhase::Handshake(ServerHandshake::new(id.clone())),
+                            Some(Instant::now() + self.config.read_timeout),
+                        ),
+                        None => (ConnPhase::Plaintext, None),
+                    };
                     self.conns.insert(
                         token,
                         Conn {
                             stream,
                             frames: FrameBuffer::new(),
+                            phase,
+                            peer: None,
                             out: Vec::new(),
                             out_pos: 0,
                             queued_total: 0,
                             sent_total: 0,
                             pending_sends: VecDeque::new(),
                             codec: CodecKind::Json,
-                            frame_deadline: None,
+                            frame_deadline,
                             closing: false,
                             wants_write: false,
                         },
@@ -585,76 +729,344 @@ impl EventLoop {
     }
 
     /// Pulls every complete frame out of a connection's buffer and ships it
-    /// to the router; maintains the mid-frame stall deadline.
+    /// to the router; maintains the mid-frame stall deadline. Dispatches on
+    /// the connection's channel phase: plaintext connections pull protocol
+    /// frames directly, handshake-phase connections feed the server
+    /// handshake state machine, established connections unseal `DBHE`
+    /// frames first — each phase refusing the other phases' traffic with
+    /// the same typed errors the threaded listener produces.
     fn parse_frames(&mut self, token: usize, progressed: bool) {
-        let max = self.config.max_frame_bytes;
         loop {
-            let Some(conn) = self.conns.get_mut(&token) else {
-                return;
+            let again = match self.conns.get_mut(&token) {
+                None => return,
+                Some(conn) if conn.closing => return,
+                Some(conn) => match conn.phase {
+                    ConnPhase::Plaintext => self.step_plaintext(token, progressed),
+                    ConnPhase::Handshake(_) => self.step_handshake(token, progressed),
+                    ConnPhase::Established(_) => self.step_established(token, progressed),
+                },
             };
-            if conn.closing {
+            if !again {
                 return;
-            }
-            match conn.frames.next_frame_lazy(max) {
-                Ok(Some((LazyMsg::Eager(WireMsg::Shutdown), bytes, _))) => {
-                    self.metrics.frame_received(bytes);
-                    conn.closing = true;
-                    if conn.out.len() == conn.out_pos {
-                        self.close_conn(token, CloseReason::Clean);
-                    }
-                    return;
-                }
-                Ok(Some((msg, bytes, codec))) => {
-                    self.metrics.frame_received(bytes);
-                    conn.codec = codec;
-                    if self
-                        .job_tx
-                        .send(Job {
-                            token,
-                            msg,
-                            codec,
-                            started: Instant::now(),
-                        })
-                        .is_err()
-                    {
-                        // Router gone: the listener is shutting down.
-                        self.close_conn(token, CloseReason::Clean);
-                        return;
-                    }
-                }
-                Ok(None) => {
-                    if conn.frames.is_mid_frame() {
-                        if progressed || conn.frame_deadline.is_none() {
-                            conn.frame_deadline = Some(Instant::now() + self.config.read_timeout);
-                        }
-                    } else {
-                        conn.frame_deadline = None;
-                    }
-                    return;
-                }
-                Err(e) => {
-                    // Framing is lost: report in the last good codec, flush,
-                    // hang up — the blocking listener's exact contract.
-                    self.metrics.decode_error();
-                    let codec = conn.codec;
-                    conn.closing = true;
-                    conn.frame_deadline = None;
-                    self.queue_frame(
-                        token,
-                        &WireMsg::Error {
-                            detail: e.to_string(),
-                        },
-                        codec,
-                        None,
-                    );
-                    return;
-                }
             }
         }
     }
 
+    /// One plaintext-phase pull: protocol frames straight off the buffer.
+    fn step_plaintext(&mut self, token: usize, progressed: bool) -> bool {
+        let max = self.config.max_frame_bytes;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        match conn.frames.next_frame_lazy(max) {
+            Ok(Some((LazyMsg::Eager(WireMsg::Shutdown), bytes, _))) => {
+                self.metrics.frame_received(bytes);
+                conn.closing = true;
+                if conn.out.len() == conn.out_pos {
+                    self.close_conn(token, CloseReason::Clean);
+                }
+                false
+            }
+            Ok(Some((msg, bytes, codec))) => {
+                self.metrics.frame_received(bytes);
+                conn.codec = codec;
+                let identity = conn.peer;
+                if self
+                    .job_tx
+                    .send(Job {
+                        token,
+                        msg,
+                        codec,
+                        identity,
+                        started: Instant::now(),
+                    })
+                    .is_err()
+                {
+                    // Router gone: the listener is shutting down.
+                    self.close_conn(token, CloseReason::Clean);
+                    return false;
+                }
+                true
+            }
+            Ok(None) => {
+                self.update_deadline(token, progressed);
+                false
+            }
+            Err(e) => {
+                // Framing is lost: report in the last good codec, flush,
+                // hang up — the blocking listener's exact contract.
+                self.metrics.decode_error();
+                let codec = conn.codec;
+                conn.closing = true;
+                conn.frame_deadline = None;
+                self.queue_frame(
+                    token,
+                    &WireMsg::Error {
+                        detail: e.to_string(),
+                    },
+                    codec,
+                    None,
+                );
+                false
+            }
+        }
+    }
+
+    /// One handshake-phase pull: nothing but `DBHS` frames is legal.
+    /// Plaintext protocol frames are refused as downgrade attempts, sealed
+    /// frames as out-of-phase; the M2 reply rides the ordinary write queue.
+    fn step_handshake(&mut self, token: usize, progressed: bool) -> bool {
+        let max = self.config.max_frame_bytes;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        match conn.frames.next_channel_frame(max) {
+            Ok(Some((ChannelFrame::Handshake(payload), _))) => {
+                let ConnPhase::Handshake(hs) = &mut conn.phase else {
+                    return false;
+                };
+                match hs.on_payload(&payload) {
+                    Ok(step) => {
+                        if let Some(channel) = step.established {
+                            conn.peer = Some(channel.peer_identity());
+                            conn.phase = ConnPhase::Established(channel);
+                            conn.frame_deadline = None;
+                            self.metrics.handshake_completed();
+                        }
+                        if let Some(reply) = step.reply {
+                            self.queue_bytes(token, &reply);
+                        }
+                        true
+                    }
+                    Err(e) => {
+                        self.fail_handshake(token, &e);
+                        false
+                    }
+                }
+            }
+            Ok(Some((ChannelFrame::Plaintext { frame, .. }, _))) => {
+                self.metrics.downgrade_refused();
+                let e = ProtocolError::DowngradeRefused {
+                    magic: frame[..4].try_into().expect("4-byte magic"),
+                };
+                self.fail_handshake(token, &e);
+                false
+            }
+            Ok(Some((ChannelFrame::Sealed(_), _))) => {
+                let e = ProtocolError::AuthFailure {
+                    detail: "sealed frame before the handshake finished".to_string(),
+                };
+                self.fail_handshake(token, &e);
+                false
+            }
+            Ok(None) => {
+                self.update_deadline(token, progressed);
+                false
+            }
+            Err(e) => {
+                self.fail_handshake(token, &e);
+                false
+            }
+        }
+    }
+
+    /// One established-phase pull: unseal a `DBHE` frame, parse exactly one
+    /// inner protocol frame out of it, ship it to the router. Tampered or
+    /// replayed seals, plaintext downgrades and stray handshake frames all
+    /// earn typed errors sealed back to the peer (the send direction
+    /// survives a receive failure), then a hangup.
+    fn step_established(&mut self, token: usize, progressed: bool) -> bool {
+        let max = self.config.max_frame_bytes;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        match conn.frames.next_channel_frame(max) {
+            Ok(Some((ChannelFrame::Sealed(payload), wire_bytes))) => {
+                let ConnPhase::Established(channel) = &mut conn.phase else {
+                    return false;
+                };
+                let inner = match channel.open_payload(&payload) {
+                    Ok(inner) => inner,
+                    Err(e) => {
+                        // Tampered ciphertext or replayed/reordered
+                        // sequence: the receive direction is dead, the
+                        // connection with it.
+                        self.metrics.aead_rejection();
+                        self.fail_established(token, &e);
+                        return false;
+                    }
+                };
+                match read_frame_lazy(&mut &inner[..], max) {
+                    Ok((LazyMsg::Eager(WireMsg::Shutdown), _, _)) => {
+                        self.metrics.frame_received(wire_bytes);
+                        conn.closing = true;
+                        if conn.out.len() == conn.out_pos {
+                            self.close_conn(token, CloseReason::Clean);
+                        }
+                        false
+                    }
+                    Ok((msg, _, codec)) => {
+                        self.metrics.frame_received(wire_bytes);
+                        conn.codec = codec;
+                        let identity = conn.peer;
+                        if self
+                            .job_tx
+                            .send(Job {
+                                token,
+                                msg,
+                                codec,
+                                identity,
+                                started: Instant::now(),
+                            })
+                            .is_err()
+                        {
+                            self.close_conn(token, CloseReason::Clean);
+                            return false;
+                        }
+                        true
+                    }
+                    Err(e) => {
+                        self.metrics.decode_error();
+                        self.fail_established(token, &e);
+                        false
+                    }
+                }
+            }
+            Ok(Some((ChannelFrame::Plaintext { frame, .. }, _))) => {
+                // A plaintext protocol frame mid-session is a downgrade
+                // attempt (or an unauthenticated splice); refused.
+                self.metrics.downgrade_refused();
+                let e = ProtocolError::DowngradeRefused {
+                    magic: frame[..4].try_into().expect("4-byte magic"),
+                };
+                self.fail_established(token, &e);
+                false
+            }
+            Ok(Some((ChannelFrame::Handshake(_), _))) => {
+                self.metrics.decode_error();
+                let e = ProtocolError::AuthFailure {
+                    detail: "handshake frame after the channel was established".to_string(),
+                };
+                self.fail_established(token, &e);
+                false
+            }
+            Ok(None) => {
+                self.update_deadline(token, progressed);
+                false
+            }
+            Err(e) => {
+                match e {
+                    ProtocolError::TruncatedFrame { .. } | ProtocolError::Io { .. } => {
+                        self.metrics.truncated_frame()
+                    }
+                    _ => self.metrics.decode_error(),
+                }
+                self.fail_established(token, &e);
+                false
+            }
+        }
+    }
+
+    /// Maintains the stall deadline after a pull came up short. A
+    /// handshake-phase connection keeps a deadline even with an empty
+    /// buffer — the whole prelude runs under the read timeout, exactly like
+    /// the threaded listener's blocking prelude.
+    fn update_deadline(&mut self, token: usize, progressed: bool) {
+        let read_timeout = self.config.read_timeout;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.frames.is_mid_frame() || matches!(conn.phase, ConnPhase::Handshake(_)) {
+            if progressed || conn.frame_deadline.is_none() {
+                conn.frame_deadline = Some(Instant::now() + read_timeout);
+            }
+        } else {
+            conn.frame_deadline = None;
+        }
+    }
+
+    /// Terminal handshake failure: count it, tell the peer in plaintext
+    /// (there is no channel to seal with — refusals go back in the
+    /// attempted codec when there was one, lowest-common DBH1 otherwise),
+    /// hang up once the reply drains.
+    fn fail_handshake(&mut self, token: usize, e: &ProtocolError) {
+        self.metrics.handshake_failed();
+        let reply_codec = match e {
+            ProtocolError::DowngradeRefused { magic } => {
+                CodecKind::from_magic(*magic).unwrap_or(CodecKind::Json)
+            }
+            _ => CodecKind::Json,
+        };
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        // Leave the handshake phase so the close does not count the failure
+        // a second time.
+        conn.phase = ConnPhase::Plaintext;
+        conn.closing = true;
+        conn.frame_deadline = None;
+        conn.codec = reply_codec;
+        self.queue_frame(
+            token,
+            &WireMsg::Error {
+                detail: e.to_string(),
+            },
+            reply_codec,
+            None,
+        );
+    }
+
+    /// Terminal failure on an established channel: the typed error is
+    /// sealed back (via the ordinary write queue, which seals in this
+    /// phase), then the connection closes once it drains.
+    fn fail_established(&mut self, token: usize, e: &ProtocolError) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.closing = true;
+        conn.frame_deadline = None;
+        let codec = conn.codec;
+        self.queue_frame(
+            token,
+            &WireMsg::Error {
+                detail: e.to_string(),
+            },
+            codec,
+            None,
+        );
+    }
+
+    /// Appends pre-encoded bytes (handshake replies) to a connection's
+    /// write queue. They advance the cumulative offsets but carry no
+    /// [`PendingSend`] entry: handshake traffic is not a protocol frame and
+    /// is not counted as one — same accounting as the threaded listener.
+    fn queue_bytes(&mut self, token: usize, bytes: &[u8]) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.out.extend_from_slice(bytes);
+        conn.queued_total += bytes.len() as u64;
+        self.flush_conn(token);
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        let queued = conn.out.len() - conn.out_pos;
+        self.metrics.write_queue_depth(queued);
+        if queued > self.config.high_water {
+            let err = ProtocolError::Backpressure {
+                queued,
+                high_water: self.config.high_water,
+            };
+            eprintln!("reactor listener: {err}");
+            self.close_conn(token, CloseReason::Backpressure);
+        }
+    }
+
     /// Encodes a frame into a connection's write queue, flushes what the
-    /// socket will take, and enforces the high-water mark.
+    /// socket will take, and enforces the high-water mark. On an
+    /// established channel the encoded frame is sealed into a `DBHE` frame
+    /// first; metrics count the sealed bytes, exactly like the threaded
+    /// listener's sealed reply path.
     fn queue_frame(
         &mut self,
         token: usize,
@@ -666,7 +1078,17 @@ impl EventLoop {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        match write_frame_limited(&mut conn.out, msg, codec, max) {
+        let written = if let ConnPhase::Established(channel) = &mut conn.phase {
+            let mut inner = Vec::new();
+            write_frame_limited(&mut inner, msg, codec, max).map(|_| {
+                let sealed = channel.seal_frame(&inner);
+                conn.out.extend_from_slice(&sealed);
+                sealed.len()
+            })
+        } else {
+            write_frame_limited(&mut conn.out, msg, codec, max)
+        };
+        match written {
             Ok(written) => {
                 conn.queued_total += written as u64;
                 conn.pending_sends.push_back(PendingSend {
@@ -799,18 +1221,30 @@ impl EventLoop {
             .collect();
         for token in stalled {
             if let Some(conn) = self.conns.get_mut(&token) {
-                let notice = WireMsg::Error {
-                    detail: format!(
+                let detail = if matches!(conn.phase, ConnPhase::Handshake(_)) {
+                    format!(
+                        "handshake stalled past the {:?} read timeout",
+                        self.config.read_timeout
+                    )
+                } else {
+                    format!(
                         "transport I/O failed while trying to read frame: \
                          stalled mid-frame past the {:?} read timeout",
                         self.config.read_timeout
-                    ),
+                    )
                 };
+                let notice = WireMsg::Error { detail };
                 let mut buf = Vec::new();
                 if write_frame_limited(&mut buf, &notice, conn.codec, self.config.max_frame_bytes)
                     .is_ok()
                 {
-                    let _ = conn.stream.write(&buf);
+                    // An established peer only accepts sealed frames; the
+                    // courtesy notice must arrive in one it can open.
+                    let bytes = match &mut conn.phase {
+                        ConnPhase::Established(channel) => channel.seal_frame(&buf),
+                        _ => buf,
+                    };
+                    let _ = conn.stream.write(&bytes);
                 }
             }
             self.close_conn(token, CloseReason::Truncated);
@@ -822,6 +1256,12 @@ impl EventLoop {
             return;
         };
         let _ = self.registry.deregister(&conn.stream);
+        // A connection that dies before mutual authentication completes is
+        // a failed handshake, whatever killed it — the same accounting the
+        // threaded prelude's error path produces.
+        if matches!(conn.phase, ConnPhase::Handshake(_)) {
+            self.metrics.handshake_failed();
+        }
         match reason {
             CloseReason::Clean => {}
             CloseReason::Truncated => self.metrics.truncated_frame(),

@@ -17,9 +17,9 @@ use dubhe_data::federated::{DatasetFamily, FederatedSpec};
 use dubhe_data::ClassDistribution;
 use dubhe_net::{MuxClient, MuxConfig, ReactorConfig, ReactorListener};
 use dubhe_select::protocol::{
-    read_frame, run_registration_with, run_try, CodecKind, Coordinator, CoordinatorListener,
-    Envelope, InMemoryTransport, Party, ProtocolMsg, ShardedCoordinator, TcpTransport,
-    TransportStats, WireMsg,
+    read_frame, run_registration_with, run_try, ChannelPolicy, CodecKind, Coordinator,
+    CoordinatorListener, Envelope, InMemoryTransport, Party, ProtocolMsg, ShardedCoordinator,
+    TcpConfig, TcpTransport, TransportStats, WireMsg,
 };
 use dubhe_select::{ClientSelector, DubheConfig, DubheSelector};
 use mini_mio::Backend;
@@ -154,6 +154,176 @@ fn reactor_session_is_bit_identical_to_memory_and_threaded_listener() {
         assert_eq!(state.messages_received(), server.messages_received());
         assert_eq!(state.bytes_received(), threaded_state.bytes_received());
         assert_eq!(state.last_verdict(), Some(verdict_mem));
+    }
+}
+
+#[test]
+fn required_channel_session_is_bit_identical_to_plaintext_on_both_backends() {
+    let dists = clients(20, 91);
+    let (overall_mem, verdict_mem, stats_mem, _server) =
+        drive_session(&dists, 92, dubhe_select::CoordinatorServer::new(20));
+
+    for backend in [Backend::Epoll, Backend::Portable] {
+        let reactor = ReactorListener::spawn_with(
+            ShardedCoordinator::new(20, 2),
+            ReactorConfig::default()
+                .with_backend(backend)
+                .with_channel(ChannelPolicy::Required),
+        )
+        .unwrap();
+        let pin = reactor
+            .public_identity()
+            .expect("required channel resolves an identity");
+        let endpoint = TcpTransport::connect_with_config(
+            reactor.addr(),
+            TcpConfig::default()
+                .with_codec(CodecKind::Binary)
+                .with_channel(ChannelPolicy::Required)
+                .with_expected_server(pin),
+        )
+        .unwrap();
+        let (overall, verdict, stats, endpoint) = drive_session(&dists, 92, endpoint);
+        // Every protocol-level ledger — decrypted registry, verdict, per-kind
+        // transport accounting — is bit-identical with the channel on.
+        assert_eq!(overall, overall_mem, "{backend:?}");
+        assert_eq!(verdict, verdict_mem, "{backend:?}");
+        assert_eq!(stats, stats_mem, "{backend:?}");
+        endpoint.shutdown().unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while reactor.stats().connections_open > 0 {
+            assert!(Instant::now() < deadline, "connection never drained");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let listener_stats = reactor.stats();
+        assert_eq!(listener_stats.handshakes_completed, 1, "{backend:?}");
+        assert_eq!(listener_stats.handshakes_failed, 0, "{backend:?}");
+        assert_eq!(listener_stats.aead_rejections, 0, "{backend:?}");
+        assert_eq!(listener_stats.downgrades_refused, 0, "{backend:?}");
+        assert_eq!(listener_stats.decode_errors, 0, "{backend:?}");
+        assert!(reactor.shutdown().is_some());
+    }
+}
+
+#[test]
+fn mux_client_runs_sealed_sessions_end_to_end() {
+    let n = 24;
+    let reactor = ReactorListener::spawn_with(
+        ShardedCoordinator::new(0, 1),
+        ReactorConfig::default().with_channel(ChannelPolicy::Required),
+    )
+    .unwrap();
+    let pin = reactor.public_identity().expect("identity resolved");
+    let mut mux = MuxClient::connect(
+        reactor.addr(),
+        n,
+        MuxConfig::default()
+            .with_codec(CodecKind::Binary)
+            .with_channel(ChannelPolicy::Required)
+            .with_expected_server(pin)
+            .with_exchange_timeout(Duration::from_secs(30)),
+    )
+    .unwrap();
+
+    // Two phases over persistent sealed connections: every request earns
+    // its (empty batch) reply through the seal in both directions.
+    let requests: Vec<(usize, WireMsg)> = (0..n).map(|i| (i, verdict_envelope(i % 5))).collect();
+    let replies = mux.exchange(&requests).unwrap();
+    assert_eq!(replies.len(), n);
+    assert!(replies
+        .iter()
+        .all(|(_, msg)| matches!(msg, WireMsg::Batch { envelopes } if envelopes.is_empty())));
+    let replies = mux.exchange(&requests[..7]).unwrap();
+    assert_eq!(replies.len(), 7);
+    mux.shutdown();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while reactor.stats().connections_open > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "connections never drained: {:?}",
+            reactor.stats()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = reactor.stats();
+    assert_eq!(stats.connections_accepted, n);
+    assert_eq!(stats.handshakes_completed, n);
+    assert_eq!(stats.handshakes_failed, 0);
+    assert_eq!(stats.aead_rejections, 0);
+    assert_eq!(stats.downgrades_refused, 0);
+    assert_eq!(stats.frames_received, n + 7 + n, "requests + shutdowns");
+    assert_eq!(stats.frames_sent, n + 7);
+    assert_eq!(stats.decode_errors, 0);
+    let state = reactor.shutdown().expect("listener state");
+    assert_eq!(state.messages_received(), n + 7);
+}
+
+#[test]
+fn downgrades_and_handshake_stalls_get_typed_refusals_on_both_backends() {
+    for backend in [Backend::Epoll, Backend::Portable] {
+        let reactor = ReactorListener::spawn_with(
+            ShardedCoordinator::new(0, 1),
+            ReactorConfig::default()
+                .with_backend(backend)
+                .with_channel(ChannelPolicy::Required)
+                .with_read_timeout(Duration::from_millis(300)),
+        )
+        .unwrap();
+
+        // Plaintext protocol traffic at a Required listener: refused as a
+        // downgrade attempt, in the codec the client attempted, then cut.
+        let mut raw = TcpStream::connect(reactor.addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        dubhe_select::protocol::write_frame_with(&mut raw, &verdict_envelope(0), CodecKind::Binary)
+            .unwrap();
+        let (reply, _) = read_frame(&mut raw).expect("a refusal frame before the hangup");
+        match reply {
+            WireMsg::Error { detail } => {
+                assert!(detail.contains("authenticated channel"), "{detail}")
+            }
+            other => panic!("expected a downgrade refusal, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        assert_eq!(raw.read_to_end(&mut rest).unwrap(), 0, "{backend:?}");
+
+        // Handshake slow-loris: a connection that opens the prelude and
+        // stalls is swept at the read timeout, with a courtesy notice.
+        let mut loris = TcpStream::connect(reactor.addr()).unwrap();
+        loris
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        loris.write_all(b"DBHS").unwrap(); // valid handshake magic, then silence
+        let (reply, _) = read_frame(&mut loris).expect("a stall notice before the hangup");
+        match reply {
+            WireMsg::Error { detail } => assert!(detail.contains("stalled"), "{detail}"),
+            other => panic!("expected a stall notice, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        assert_eq!(loris.read_to_end(&mut rest).unwrap(), 0, "{backend:?}");
+
+        // A connection that never sends a byte is swept too — silence is
+        // not a way to hold a pre-authentication slot open.
+        let silent = TcpStream::connect(reactor.addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while reactor.stats().connections_open > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "{backend:?}: silent pre-auth connection never swept: {:?}",
+                reactor.stats()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        drop(silent);
+
+        let stats = reactor.stats();
+        assert_eq!(stats.downgrades_refused, 1, "{backend:?}");
+        assert_eq!(
+            stats.handshakes_failed, 3,
+            "{backend:?}: downgrade + loris + silent"
+        );
+        assert_eq!(stats.handshakes_completed, 0, "{backend:?}");
+        assert!(reactor.shutdown().is_some());
     }
 }
 

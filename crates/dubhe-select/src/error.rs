@@ -201,6 +201,38 @@ pub enum ProtocolError {
         /// The coordinator-side error, rendered.
         detail: String,
     },
+    /// Channel authentication failed: a handshake message did not verify,
+    /// a sealed frame's AEAD tag was wrong (tampering or a ciphertext bit
+    /// flip), or a peer presented a different identity than the session was
+    /// bound to (a hijack attempt). The connection is cut — decrypting or
+    /// folding anything after an authentication failure is unsound.
+    AuthFailure {
+        /// What failed to authenticate.
+        detail: String,
+    },
+    /// A sealed frame arrived with the wrong nonce sequence number — a
+    /// replayed, reordered or dropped frame on an authenticated channel.
+    /// The channel's framing is strictly ordered, so this is always an
+    /// attack or a broken peer, never a benign race.
+    ReplayDetected {
+        /// The sequence number the receiver expected next.
+        expected: u64,
+        /// The sequence number the frame carried.
+        got: u64,
+    },
+    /// A plaintext protocol frame arrived on a connection whose policy
+    /// requires the authenticated channel — a downgrade attempt (or a
+    /// misconfigured peer). Refused before any payload is decoded.
+    DowngradeRefused {
+        /// The plaintext frame magic that was refused.
+        magic: [u8; 4],
+    },
+    /// Every connect/handshake attempt failed within the configured retry
+    /// budget; the transport gave up after backing off between attempts.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: usize,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -306,6 +338,31 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Remote { detail } => {
                 write!(f, "remote coordinator rejected the message: {detail}")
             }
+            ProtocolError::AuthFailure { detail } => {
+                write!(f, "channel authentication failed: {detail}")
+            }
+            ProtocolError::ReplayDetected { expected, got } => {
+                write!(
+                    f,
+                    "sealed frame out of sequence: expected nonce {expected}, got {got} \
+                     (replayed, reordered or dropped frame)"
+                )
+            }
+            ProtocolError::DowngradeRefused { magic } => {
+                write!(
+                    f,
+                    "plaintext frame {} refused: this connection requires the \
+                     authenticated channel",
+                    String::from_utf8_lossy(magic)
+                )
+            }
+            ProtocolError::RetriesExhausted { attempts } => {
+                write!(
+                    f,
+                    "gave up after {attempts} connect/handshake attempts (bounded backoff \
+                     exhausted)"
+                )
+            }
         }
     }
 }
@@ -352,5 +409,24 @@ mod tests {
         assert!(ProtocolError::NothingToClose { what: "try" }
             .to_string()
             .contains("close"));
+    }
+
+    #[test]
+    fn channel_errors_display() {
+        let auth = ProtocolError::AuthFailure {
+            detail: "bad tag".to_string(),
+        };
+        assert!(auth.to_string().contains("authentication failed"));
+        let replay = ProtocolError::ReplayDetected {
+            expected: 4,
+            got: 2,
+        };
+        assert!(replay.to_string().contains("expected nonce 4"));
+        assert!(replay.to_string().contains("got 2"));
+        let downgrade = ProtocolError::DowngradeRefused { magic: *b"DBH2" };
+        assert!(downgrade.to_string().contains("DBH2"));
+        assert!(downgrade.to_string().contains("authenticated channel"));
+        let retries = ProtocolError::RetriesExhausted { attempts: 5 };
+        assert!(retries.to_string().contains("5 connect/handshake attempts"));
     }
 }

@@ -455,7 +455,7 @@ fn encode_envelope(e: &Envelope, out: &mut Vec<u8>) -> Result<(), ProtocolError>
 ///
 /// Registry uploads are the coordinator's hot path — thousands per round,
 /// each dominated by its fixed-width ciphertext block. Materialising that
-/// block into per-element [`BigUint`](num_bigint::BigUint)s on the
+/// block into per-element `BigUint`s on the
 /// connection thread, only to multiply the values into a fold and drop
 /// them, is pure allocator traffic. [`RegistryFrame::try_from_payload`]
 /// instead parses just the constant-size envelope prefix (`O(1)`, no

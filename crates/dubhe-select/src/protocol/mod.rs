@@ -82,6 +82,7 @@
 //! [`PackedDistribution`]: ProtocolMsg::PackedDistribution
 //! [`PackedDistributionSum`]: ProtocolMsg::PackedDistributionSum
 
+pub mod channel;
 pub mod codec;
 pub mod compress;
 pub mod driver;
@@ -95,6 +96,11 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use channel::{
+    client_handshake, read_channel_frame, secret_bytes_from_seed, ChannelFrame, ChannelPolicy,
+    NodeIdentity, RetrySchedule, SecureChannel, ServerHandshake, FRAME_MAGIC_HANDSHAKE,
+    FRAME_MAGIC_SEALED, HANDSHAKE_WIRE_BYTES, SEALED_FRAME_OVERHEAD,
+};
 pub use codec::{BinaryCodec, CodecKind, CompressedJsonCodec, JsonCodec, RegistryFrame, WireCodec};
 pub use driver::{
     pump, run_registration, run_registration_with, run_registration_with_packing, run_try,
@@ -107,7 +113,8 @@ pub use roles::{AgentNode, CohortOutcome, Coordinator, CoordinatorServer, Select
 pub use shard::{shard_ranges, ShardedCoordinator};
 pub use stats::{LatencyHistogram, LatencySummary, ListenerMetrics, ListenerStats};
 pub use tcp::{
-    CoordinatorListener, ListenerConfig, TcpConfig, TcpTransport, WireStats, DEFAULT_READ_TIMEOUT,
+    claimed_client, CoordinatorListener, ListenerConfig, TcpConfig, TcpTransport, WireStats,
+    DEFAULT_READ_TIMEOUT,
 };
 pub use transport::{InMemoryTransport, LinkStats, Transport, TransportStats};
 pub use wire::{

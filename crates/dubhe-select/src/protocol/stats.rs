@@ -163,6 +163,17 @@ pub struct ListenerStats {
     pub backpressure_disconnects: usize,
     /// Largest per-connection write-queue depth observed, in bytes.
     pub peak_write_queue: usize,
+    /// Channel handshakes that ran to completion (session keys established).
+    pub handshakes_completed: usize,
+    /// Channel handshakes that failed before establishment: malformed hello,
+    /// bad confirmation tag, or a peer that stalled out mid-handshake.
+    pub handshakes_failed: usize,
+    /// Sealed frames refused after establishment: tag mismatch (tampering)
+    /// or nonce replay/reorder.
+    pub aead_rejections: usize,
+    /// Plaintext protocol frames refused because the listener requires the
+    /// authenticated channel (downgrade attempts).
+    pub downgrades_refused: usize,
     /// Per-request latency (frame decoded → reply handed to the socket).
     pub latency: LatencySummary,
 }
@@ -185,6 +196,10 @@ pub struct ListenerMetrics {
     truncated_frames: AtomicUsize,
     backpressure_disconnects: AtomicUsize,
     peak_write_queue: AtomicUsize,
+    handshakes_completed: AtomicUsize,
+    handshakes_failed: AtomicUsize,
+    aead_rejections: AtomicUsize,
+    downgrades_refused: AtomicUsize,
     latency_us_hist: Mutex<LatencyHistogram>,
     /// Kept alongside the histogram mutex so `record_latency` stays a single
     /// lock even under merge-heavy load.
@@ -252,6 +267,26 @@ impl ListenerMetrics {
         bump_max(&self.peak_write_queue, bytes);
     }
 
+    /// Counts one completed channel handshake.
+    pub fn handshake_completed(&self) {
+        self.handshakes_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one failed channel handshake.
+    pub fn handshake_failed(&self) {
+        self.handshakes_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one sealed frame refused after establishment (tamper/replay).
+    pub fn aead_rejection(&self) {
+        self.aead_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one plaintext frame refused by a channel-required listener.
+    pub fn downgrade_refused(&self) {
+        self.downgrades_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one request latency (frame decoded → reply handed off).
     pub fn record_latency(&self, latency: Duration) {
         self.latency_us_hist
@@ -278,6 +313,10 @@ impl ListenerMetrics {
             truncated_frames: self.truncated_frames.load(Ordering::Relaxed),
             backpressure_disconnects: self.backpressure_disconnects.load(Ordering::Relaxed),
             peak_write_queue: self.peak_write_queue.load(Ordering::Relaxed),
+            handshakes_completed: self.handshakes_completed.load(Ordering::Relaxed),
+            handshakes_failed: self.handshakes_failed.load(Ordering::Relaxed),
+            aead_rejections: self.aead_rejections.load(Ordering::Relaxed),
+            downgrades_refused: self.downgrades_refused.load(Ordering::Relaxed),
             latency: self
                 .latency_us_hist
                 .lock()
@@ -335,6 +374,11 @@ mod tests {
         m.decode_error();
         m.write_queue_depth(4096);
         m.write_queue_depth(1024);
+        m.handshake_completed();
+        m.handshake_failed();
+        m.aead_rejection();
+        m.aead_rejection();
+        m.downgrade_refused();
         m.record_latency(Duration::from_micros(42));
         let s = m.snapshot();
         assert_eq!(s.connections_accepted, 2);
@@ -344,6 +388,10 @@ mod tests {
         assert_eq!((s.frames_sent, s.bytes_sent), (1, 60));
         assert_eq!(s.decode_errors, 1);
         assert_eq!(s.peak_write_queue, 4096);
+        assert_eq!(s.handshakes_completed, 1);
+        assert_eq!(s.handshakes_failed, 1);
+        assert_eq!(s.aead_rejections, 2);
+        assert_eq!(s.downgrades_refused, 1);
         assert_eq!(s.latency.count, 1);
         // Snapshots serialize for the bench report.
         let json = serde_json::to_string(&s).unwrap();

@@ -47,8 +47,12 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use super::channel::{
+    client_handshake, read_channel_frame, secret_bytes_from_seed, server_handshake_blocking,
+    ChannelFrame, ChannelPolicy, NodeIdentity, RetrySchedule, SecureChannel, HANDSHAKE_WIRE_BYTES,
+};
 use super::codec::CodecKind;
-use super::message::Envelope;
+use super::message::{Envelope, Party};
 use super::roles::Coordinator;
 use super::shard::ShardedCoordinator;
 use super::stats::{ListenerMetrics, ListenerStats};
@@ -77,6 +81,27 @@ pub struct TcpConfig {
     pub max_frame_bytes: usize,
     /// Payload codec requests are framed in (replies negotiate per frame).
     pub codec: CodecKind,
+    /// Whether to run the authenticated channel handshake after connecting
+    /// and seal every frame (default: [`ChannelPolicy::Plaintext`]).
+    pub channel: ChannelPolicy,
+    /// Static-secret bytes of this endpoint's long-term channel identity.
+    /// `None` generates a fresh identity per connect — fine for anonymous
+    /// clients, but a reconnecting client that wants its cohort slot back
+    /// must present the *same* identity, so persistent clients set this.
+    pub identity: Option<[u8; 32]>,
+    /// Pinned server public identity: the handshake refuses any server
+    /// whose static key differs. `None` trusts first use.
+    pub expected_server: Option<[u8; 32]>,
+    /// Total connect (+ handshake) attempts, ≥ 1. With the default of 1 a
+    /// failure surfaces raw; with more, transient failures are retried
+    /// under bounded exponential backoff and exhaustion surfaces
+    /// [`ProtocolError::RetriesExhausted`].
+    pub connect_attempts: usize,
+    /// Base backoff delay between attempts (attempt `i` waits
+    /// `retry_base · 2^i` plus jitter).
+    pub retry_base: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub retry_seed: u64,
 }
 
 impl Default for TcpConfig {
@@ -85,6 +110,12 @@ impl Default for TcpConfig {
             read_timeout: DEFAULT_READ_TIMEOUT,
             max_frame_bytes: MAX_FRAME_BYTES,
             codec: CodecKind::Json,
+            channel: ChannelPolicy::Plaintext,
+            identity: None,
+            expected_server: None,
+            connect_attempts: 1,
+            retry_base: Duration::from_millis(25),
+            retry_seed: 0,
         }
     }
 }
@@ -107,6 +138,45 @@ impl TcpConfig {
         self.codec = codec;
         self
     }
+
+    /// Replaces the channel policy.
+    pub fn with_channel(mut self, channel: ChannelPolicy) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Installs a deterministic long-term identity derived from `seed`
+    /// (what tests and simulations use so reconnects present the same key).
+    pub fn with_identity_seed(mut self, seed: u64) -> Self {
+        self.identity = Some(secret_bytes_from_seed(seed));
+        self
+    }
+
+    /// Installs explicit identity static-secret bytes.
+    pub fn with_identity_bytes(mut self, bytes: [u8; 32]) -> Self {
+        self.identity = Some(bytes);
+        self
+    }
+
+    /// Pins the server's public identity.
+    pub fn with_expected_server(mut self, public: [u8; 32]) -> Self {
+        self.expected_server = Some(public);
+        self
+    }
+
+    /// Enables bounded-backoff retries: `attempts` total tries with
+    /// `retry_base` initial delay.
+    pub fn with_retries(mut self, attempts: usize, retry_base: Duration) -> Self {
+        self.connect_attempts = attempts.max(1);
+        self.retry_base = retry_base;
+        self
+    }
+
+    /// Replaces the backoff jitter seed.
+    pub fn with_retry_seed(mut self, seed: u64) -> Self {
+        self.retry_seed = seed;
+        self
+    }
 }
 
 /// Socket knobs for the listener, builder-style.
@@ -124,6 +194,15 @@ pub struct ListenerConfig {
     pub idle_poll: Duration,
     /// Largest frame payload a connection will accept.
     pub max_frame_bytes: usize,
+    /// Whether connections must run the authenticated channel handshake
+    /// before any protocol frame (default: [`ChannelPolicy::Plaintext`]).
+    /// Under `Required`, plaintext protocol frames are refused as downgrade
+    /// attempts at every phase of the connection.
+    pub channel: ChannelPolicy,
+    /// Static-secret bytes of the listener's long-term identity. `None`
+    /// with a `Required` policy generates a fresh identity at spawn (fine
+    /// for tests; deployments pin a stable one so clients can pin it back).
+    pub identity: Option<[u8; 32]>,
 }
 
 impl Default for ListenerConfig {
@@ -132,6 +211,8 @@ impl Default for ListenerConfig {
             read_timeout: DEFAULT_READ_TIMEOUT,
             idle_poll: IDLE_POLL,
             max_frame_bytes: MAX_FRAME_BYTES,
+            channel: ChannelPolicy::Plaintext,
+            identity: None,
         }
     }
 }
@@ -154,6 +235,24 @@ impl ListenerConfig {
         self.max_frame_bytes = max_frame_bytes;
         self
     }
+
+    /// Replaces the channel policy.
+    pub fn with_channel(mut self, channel: ChannelPolicy) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Installs a deterministic listener identity derived from `seed`.
+    pub fn with_identity_seed(mut self, seed: u64) -> Self {
+        self.identity = Some(secret_bytes_from_seed(seed));
+        self
+    }
+
+    /// Installs explicit identity static-secret bytes.
+    pub fn with_identity_bytes(mut self, bytes: [u8; 32]) -> Self {
+        self.identity = Some(bytes);
+        self
+    }
 }
 
 /// Real bytes and frames observed on one socket (header + payload, both
@@ -173,12 +272,32 @@ pub struct WireStats {
     pub bytes_sent: usize,
     /// Bytes read (headers + payloads).
     pub bytes_received: usize,
+    /// Bytes the channel handshake(s) put on the wire, both directions.
+    /// Metered apart from the frame counters so the protocol ledger stays
+    /// bit-identical with the channel on or off.
+    pub handshake_bytes: usize,
+    /// Extra bytes sealing added on top of the inner plaintext frames
+    /// ([`SEALED_FRAME_OVERHEAD`](super::channel::SEALED_FRAME_OVERHEAD)
+    /// per frame, both directions). Same separation rationale as
+    /// `handshake_bytes`.
+    pub sealed_overhead_bytes: usize,
+    /// Successful [`TcpTransport::reconnect`] cycles on this connector.
+    pub reconnects: usize,
 }
 
 impl WireStats {
-    /// Total bytes that crossed the socket in either direction.
+    /// Total *protocol* bytes that crossed the socket in either direction —
+    /// inner frame bytes only, by design: this feeds the FL ledger's
+    /// communication accounting, which must not move when the channel turns
+    /// on. The channel's own cost is [`WireStats::channel_overhead_bytes`].
     pub fn total_bytes(&self) -> usize {
         self.bytes_sent + self.bytes_received
+    }
+
+    /// Bytes the authenticated channel itself cost: handshakes plus
+    /// per-frame sealing overhead.
+    pub fn channel_overhead_bytes(&self) -> usize {
+        self.handshake_bytes + self.sealed_overhead_bytes
     }
 }
 
@@ -204,6 +323,13 @@ pub struct TcpTransport {
     wire: WireStats,
     codec: CodecKind,
     max_frame_bytes: usize,
+    /// The established AEAD session, when the config's policy is
+    /// [`ChannelPolicy::Required`]; `None` means bare plaintext frames.
+    channel: Option<SecureChannel>,
+    /// Remembered so [`reconnect`](Self::reconnect) can redial and re-run
+    /// the handshake with the same knobs and identity.
+    addr: SocketAddr,
+    config: TcpConfig,
 }
 
 impl TcpTransport {
@@ -248,7 +374,42 @@ impl TcpTransport {
     }
 
     /// Connects with every socket knob spelled out in a [`TcpConfig`].
+    ///
+    /// With `connect_attempts > 1`, *transient* failures (socket errors,
+    /// disconnects, truncated handshakes — a coordinator that is still
+    /// binding its port or restarting) are retried under bounded
+    /// exponential backoff with deterministic jitter; exhaustion surfaces
+    /// [`ProtocolError::RetriesExhausted`]. Deterministic refusals —
+    /// authentication failures, a wrong pinned server key, downgrades —
+    /// are *never* retried: repeating them cannot help and would hammer a
+    /// peer that already said no.
     pub fn connect_with_config(addr: SocketAddr, config: TcpConfig) -> Result<Self, ProtocolError> {
+        let attempts = config.connect_attempts.max(1);
+        let mut schedule = RetrySchedule::new(config.retry_base, config.retry_seed);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(schedule.delay(attempt as u32 - 1));
+            }
+            match Self::connect_once(addr, &config) {
+                Ok(transport) => return Ok(transport),
+                Err(
+                    e @ (ProtocolError::Io { .. }
+                    | ProtocolError::Disconnected
+                    | ProtocolError::TruncatedFrame { .. }),
+                ) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        if attempts == 1 {
+            Err(last.expect("one failed attempt recorded"))
+        } else {
+            Err(ProtocolError::RetriesExhausted { attempts })
+        }
+    }
+
+    /// One dial + (policy permitting) handshake.
+    fn connect_once(addr: SocketAddr, config: &TcpConfig) -> Result<Self, ProtocolError> {
         let stream = TcpStream::connect(addr).map_err(|e| io_error("connect", e))?;
         stream
             .set_read_timeout(Some(config.read_timeout))
@@ -256,13 +417,73 @@ impl TcpTransport {
         stream
             .set_nodelay(true)
             .map_err(|e| io_error("configure socket", e))?;
-        Ok(TcpTransport {
+        let mut transport = TcpTransport {
             reader: BufReader::new(stream),
             stats: TransportStats::default(),
             wire: WireStats::default(),
             codec: config.codec,
             max_frame_bytes: config.max_frame_bytes,
-        })
+            channel: None,
+            addr,
+            config: *config,
+        };
+        if config.channel.is_required() {
+            let identity = match config.identity {
+                Some(bytes) => NodeIdentity::from_secret_bytes(bytes),
+                None => NodeIdentity::generate(),
+            };
+            // The handshake reads the raw stream (nothing is buffered yet:
+            // the server cannot speak before M1).
+            let channel = client_handshake(
+                transport.reader.get_mut(),
+                &identity,
+                config.expected_server,
+                config.max_frame_bytes,
+            )?;
+            transport.wire.handshake_bytes += HANDSHAKE_WIRE_BYTES;
+            transport.channel = Some(channel);
+        }
+        Ok(transport)
+    }
+
+    /// Tears the current socket down and dials + handshakes afresh with the
+    /// connection's original config (same identity, same pinned server, same
+    /// retry schedule). Protocol and wire counters carry over — a reconnect
+    /// is the *same logical session* recovering, not a new connector — and
+    /// the cycle is counted in [`WireStats::reconnects`].
+    ///
+    /// The server keys cohort state off the authenticated identity, so a
+    /// reconnecting registered client resumes idempotently instead of
+    /// burning a second cohort slot; see
+    /// [`deliver_idempotent`](Self::deliver_idempotent).
+    pub fn reconnect(&mut self) -> Result<(), ProtocolError> {
+        let _ = self.reader.get_ref().shutdown(Shutdown::Both);
+        let fresh = Self::connect_with_config(self.addr, self.config)?;
+        self.reader = fresh.reader;
+        self.channel = fresh.channel;
+        self.wire.handshake_bytes += fresh.wire.handshake_bytes;
+        self.wire.reconnects += 1;
+        Ok(())
+    }
+
+    /// [`deliver`](Coordinator::deliver), but a remote duplicate-contribution
+    /// refusal counts as success with no replies: the resume path for a
+    /// client that reconnected without knowing whether its upload landed.
+    /// Safe because the coordinator's fold rejects duplicates *before*
+    /// folding — replaying a landed registry cannot double-count it.
+    pub fn deliver_idempotent(
+        &mut self,
+        envelope: Envelope,
+    ) -> Result<Vec<Envelope>, ProtocolError> {
+        match self.deliver(envelope) {
+            Err(ProtocolError::Remote { detail })
+                if detail.contains("already uploaded its registry")
+                    || detail.contains("already contributed to try") =>
+            {
+                Ok(Vec::new())
+            }
+            other => other,
+        }
     }
 
     /// The payload codec this connector frames requests in.
@@ -282,15 +503,72 @@ impl TcpTransport {
         &self.wire
     }
 
-    /// Sends one wire message and reads the peer's single reply frame.
+    /// The server's authenticated public identity, once a `Required`
+    /// channel is established.
+    pub fn peer_identity(&self) -> Option<[u8; 32]> {
+        self.channel.as_ref().map(|c| c.peer_identity())
+    }
+
+    /// Sends one wire message and reads the peer's single reply frame —
+    /// bare on a plaintext connection, sealed end-to-end on a channel.
     fn request(&mut self, msg: &WireMsg) -> Result<WireMsg, ProtocolError> {
-        let written =
-            write_frame_limited(self.reader.get_mut(), msg, self.codec, self.max_frame_bytes)?;
+        if self.channel.is_none() {
+            let written =
+                write_frame_limited(self.reader.get_mut(), msg, self.codec, self.max_frame_bytes)?;
+            self.wire.frames_sent += 1;
+            self.wire.bytes_sent += written;
+            let (reply, read, _) = read_frame_limited(&mut self.reader, self.max_frame_bytes)?;
+            self.wire.frames_received += 1;
+            self.wire.bytes_received += read;
+            return Ok(reply);
+        }
+        // Encode the inner plaintext frame, seal it, put one DBHE frame on
+        // the wire. The ledger-facing counters meter the *inner* bytes; the
+        // seal's cost goes to the channel-overhead counters.
+        let mut inner = Vec::new();
+        let inner_len = write_frame_limited(&mut inner, msg, self.codec, self.max_frame_bytes)?;
+        let sealed = self
+            .channel
+            .as_mut()
+            .expect("channel checked above")
+            .seal_frame(&inner);
+        {
+            use std::io::Write as _;
+            let stream = self.reader.get_mut();
+            stream
+                .write_all(&sealed)
+                .map_err(|e| io_error("write sealed frame", e))?;
+            stream
+                .flush()
+                .map_err(|e| io_error("write sealed frame", e))?;
+        }
         self.wire.frames_sent += 1;
-        self.wire.bytes_sent += written;
-        let (reply, read, _) = read_frame_limited(&mut self.reader, self.max_frame_bytes)?;
+        self.wire.bytes_sent += inner_len;
+        self.wire.sealed_overhead_bytes += sealed.len() - inner_len;
+
+        let (frame, wire_read) = read_channel_frame(&mut self.reader, self.max_frame_bytes)?;
+        let payload = match frame {
+            ChannelFrame::Sealed(payload) => payload,
+            ChannelFrame::Plaintext { frame, .. } => {
+                return Err(ProtocolError::DowngradeRefused {
+                    magic: frame[..4].try_into().expect("4-byte magic"),
+                })
+            }
+            ChannelFrame::Handshake(_) => {
+                return Err(ProtocolError::AuthFailure {
+                    detail: "handshake frame after the channel was established".to_string(),
+                })
+            }
+        };
+        let opened = self
+            .channel
+            .as_mut()
+            .expect("channel checked above")
+            .open_payload(&payload)?;
+        let (reply, read, _) = read_frame_limited(&mut &opened[..], self.max_frame_bytes)?;
         self.wire.frames_received += 1;
         self.wire.bytes_received += read;
+        self.wire.sealed_overhead_bytes += wire_read - read;
         Ok(reply)
     }
 
@@ -323,14 +601,39 @@ impl TcpTransport {
 
     /// Ends the session politely; the listener closes the connection.
     pub fn shutdown(mut self) -> Result<(), ProtocolError> {
-        let written = write_frame_limited(
-            self.reader.get_mut(),
-            &WireMsg::Shutdown,
-            self.codec,
-            self.max_frame_bytes,
-        )?;
-        self.wire.frames_sent += 1;
-        self.wire.bytes_sent += written;
+        match self.channel.as_mut() {
+            None => {
+                let written = write_frame_limited(
+                    self.reader.get_mut(),
+                    &WireMsg::Shutdown,
+                    self.codec,
+                    self.max_frame_bytes,
+                )?;
+                self.wire.frames_sent += 1;
+                self.wire.bytes_sent += written;
+            }
+            Some(channel) => {
+                use std::io::Write as _;
+                let mut inner = Vec::new();
+                let inner_len = write_frame_limited(
+                    &mut inner,
+                    &WireMsg::Shutdown,
+                    self.codec,
+                    self.max_frame_bytes,
+                )?;
+                let sealed = channel.seal_frame(&inner);
+                let stream = self.reader.get_mut();
+                stream
+                    .write_all(&sealed)
+                    .map_err(|e| io_error("write sealed frame", e))?;
+                stream
+                    .flush()
+                    .map_err(|e| io_error("write sealed frame", e))?;
+                self.wire.frames_sent += 1;
+                self.wire.bytes_sent += inner_len;
+                self.wire.sealed_overhead_bytes += sealed.len() - inner_len;
+            }
+        }
         Ok(())
     }
 }
@@ -378,7 +681,26 @@ impl Coordinator for TcpTransport {
 /// materialising per-element ciphertexts on the connection thread.
 struct RouterRequest {
     msg: LazyMsg,
+    /// The authenticated channel identity of the connection this request
+    /// arrived on, when it ran the handshake. The router binds each
+    /// `ClientId` to the first identity that speaks for it and refuses a
+    /// different identity reusing the same id (session hijack).
+    identity: Option<[u8; 32]>,
     reply: mpsc::Sender<WireMsg>,
+}
+
+/// The `ClientId` a request speaks *as*, if any — what the router's
+/// identity-binding check keys on. Public so the event-driven listener in
+/// `dubhe-net` can enforce the identical session-hijack refusal.
+pub fn claimed_client(msg: &LazyMsg) -> Option<ClientId> {
+    match msg {
+        LazyMsg::DeferredRegistry(frame) => Some(frame.client()),
+        LazyMsg::Eager(WireMsg::Envelope { envelope }) => match envelope.from {
+            Party::Client(id) => Some(id),
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 /// The multi-threaded coordinator listener.
@@ -400,6 +722,10 @@ pub struct CoordinatorListener {
     /// Idle connections park on a blocking read; shutting these sockets
     /// down is what wakes them when the listener stops.
     conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    /// The listener's public channel identity, when it requires the
+    /// authenticated channel — what clients pin via
+    /// [`TcpConfig::with_expected_server`].
+    public_identity: Option<[u8; 32]>,
 }
 
 impl CoordinatorListener {
@@ -419,6 +745,13 @@ impl CoordinatorListener {
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ListenerMetrics::new());
         let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        // Resolve the channel identity once at spawn so every connection
+        // handshakes as the same server (and so clients can pin it).
+        let identity = config.channel.is_required().then(|| match config.identity {
+            Some(bytes) => NodeIdentity::from_secret_bytes(bytes),
+            None => NodeIdentity::generate(),
+        });
+        let public_identity = identity.as_ref().map(|id| id.public_bytes());
 
         // The accept thread owns the only long-lived Sender; when it exits
         // (joining every connection thread first) the channel hangs up and
@@ -475,8 +808,16 @@ impl CoordinatorListener {
                 let conn_stop = Arc::clone(&accept_stop);
                 let conn_metrics = Arc::clone(&accept_metrics);
                 let conn_registry = Arc::clone(&accept_conns);
+                let conn_identity = identity.clone();
                 connections.push(std::thread::spawn(move || {
-                    serve_connection(stream, router, conn_stop, config, &conn_metrics);
+                    serve_connection(
+                        stream,
+                        router,
+                        conn_stop,
+                        config,
+                        conn_identity,
+                        &conn_metrics,
+                    );
                     conn_registry
                         .lock()
                         .expect("connection registry poisoned")
@@ -496,12 +837,20 @@ impl CoordinatorListener {
             router_thread: Some(router_thread),
             metrics,
             conns,
+            public_identity,
         })
     }
 
     /// The loopback address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The listener's public channel identity (present iff the config's
+    /// policy is [`ChannelPolicy::Required`]); clients pin it via
+    /// [`TcpConfig::with_expected_server`].
+    pub fn public_identity(&self) -> Option<[u8; 32]> {
+        self.public_identity
     }
 
     /// A point-in-time snapshot of everything the listener observed:
@@ -561,7 +910,37 @@ fn route(
             detail: e.to_string(),
         },
     };
-    while let Ok(RouterRequest { msg, reply }) = rx.recv() {
+    // Session-hijack refusal: the first authenticated identity to speak as a
+    // ClientId owns that id for the listener's lifetime. A different channel
+    // identity reusing the id gets a typed refusal before the coordinator
+    // ever sees the message. (Reconnects present the same identity, so the
+    // idempotent-resume path sails through this check.)
+    let mut bindings: HashMap<ClientId, [u8; 32]> = HashMap::new();
+    while let Ok(RouterRequest {
+        msg,
+        identity,
+        reply,
+    }) = rx.recv()
+    {
+        if let (Some(id), Some(who)) = (claimed_client(&msg), identity) {
+            match bindings.get(&id) {
+                Some(bound) if *bound != who => {
+                    let _ = reply.send(WireMsg::Error {
+                        detail: ProtocolError::AuthFailure {
+                            detail: format!(
+                                "client {id} is bound to a different channel identity \
+                                 (session hijack refused)"
+                            ),
+                        }
+                        .to_string(),
+                    });
+                    continue;
+                }
+                _ => {
+                    bindings.insert(id, who);
+                }
+            }
+        }
         let msg = match msg {
             // A deferred registry folds straight out of its frame bytes —
             // the router is where the borrowed view finally gets decoded
@@ -609,15 +988,49 @@ fn route(
 /// waking at this interval).
 const IDLE_POLL: Duration = Duration::from_millis(200);
 
+/// Seals a typed error into a `DBHE` frame and writes it best-effort (the
+/// connection is about to close either way; the peer deserves to know why).
+fn send_sealed_error<W: std::io::Write>(
+    channel: &mut SecureChannel,
+    w: &mut W,
+    err: &ProtocolError,
+    codec: CodecKind,
+    max_frame_bytes: usize,
+) {
+    let mut inner = Vec::new();
+    if write_frame_limited(
+        &mut inner,
+        &WireMsg::Error {
+            detail: err.to_string(),
+        },
+        codec,
+        max_frame_bytes,
+    )
+    .is_ok()
+    {
+        let sealed = channel.seal_frame(&inner);
+        let _ = w.write_all(&sealed);
+        let _ = w.flush();
+    }
+}
+
 /// One connection's I/O loop: decode a frame, forward it to the router,
 /// relay the reply. Exits on shutdown frames, disconnects, or anything
 /// undecodable (after telling the peer what was wrong, best-effort).
 ///
+/// Under a [`ChannelPolicy::Required`] config the loop is preceded by the
+/// pre-protocol handshake phase: nothing but `DBHS` frames is accepted
+/// until mutual authentication completes, after which nothing but `DBHE`
+/// sealed frames is — plaintext protocol frames are refused as downgrade
+/// attempts at every phase, and the per-connection coordinator state is
+/// keyed off the authenticated identity.
+///
 /// The payload codec is negotiated per connection from the frame magic:
 /// every reply is framed in the codec the request arrived in, so one
 /// listener serves `DBH1` and `DBH2` peers concurrently and a peer may even
-/// switch codecs mid-session. (Negotiation selects a *format*, nothing more —
-/// it is not authentication; see `docs/THREAT_MODEL.md`.)
+/// switch codecs mid-session. (Negotiation selects a *format*, nothing
+/// more — authentication is the handshake's job; see
+/// `docs/THREAT_MODEL.md`.)
 ///
 /// Idleness *between* frames is healthy — a client may train for minutes
 /// between protocol rounds — so the wait for a frame's first byte is a plain
@@ -630,10 +1043,50 @@ fn serve_connection(
     router: mpsc::Sender<RouterRequest>,
     stop: Arc<AtomicBool>,
     config: ListenerConfig,
+    identity: Option<NodeIdentity>,
     metrics: &ListenerMetrics,
 ) {
-    use std::io::Read as _;
+    use std::io::{Read as _, Write as _};
     let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    // Pre-protocol phase: under a `Required` policy the connection speaks
+    // nothing but DBHS until mutual authentication completes. The whole
+    // prelude runs under the read timeout — a peer that connects and then
+    // trickles or stalls (handshake slow-loris) is cut, never parked — and
+    // plaintext protocol frames here are refused as downgrade attempts.
+    let mut session: Option<SecureChannel> = None;
+    if config.channel.is_required() {
+        let identity = identity.expect("required channel resolves an identity at spawn");
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        match server_handshake_blocking(&mut stream, identity, config.max_frame_bytes) {
+            Ok(channel) => {
+                metrics.handshake_completed();
+                session = Some(channel);
+            }
+            Err(e) => {
+                metrics.handshake_failed();
+                // Refusals go back in the attempted plaintext codec when
+                // there was one; everything else gets lowest-common DBH1.
+                let reply_codec = match &e {
+                    ProtocolError::DowngradeRefused { magic } => {
+                        metrics.downgrade_refused();
+                        CodecKind::from_magic(*magic).unwrap_or(CodecKind::Json)
+                    }
+                    _ => CodecKind::Json,
+                };
+                let _ = write_frame_limited(
+                    &mut stream,
+                    &WireMsg::Error {
+                        detail: e.to_string(),
+                    },
+                    reply_codec,
+                    config.max_frame_bytes,
+                );
+                return;
+            }
+        }
+    }
+    let peer_identity = session.as_ref().map(|s| s.peer_identity());
     let mut reader = BufReader::new(stream);
     // Until the first frame decodes, error replies default to DBH1 (a peer
     // whose magic we could not even parse gets the lowest common format).
@@ -660,7 +1113,74 @@ fn serve_connection(
         }
         // Frame in flight: the full read timeout applies from here on.
         let _ = reader.get_ref().set_read_timeout(Some(config.read_timeout));
-        let (msg, frame_bytes) =
+        let (msg, frame_bytes) = if let Some(channel) = session.as_mut() {
+            // Sealed phase: only DBHE frames are legal traffic. Every
+            // refusal is a typed error sealed back to the peer (our send
+            // direction survives a receive failure), then hang up.
+            let (frame, wire_bytes) = match read_channel_frame(
+                &mut (&first[..]).chain(&mut reader),
+                config.max_frame_bytes,
+            ) {
+                Ok(ok) => ok,
+                Err(ProtocolError::Disconnected) => return,
+                Err(e) => {
+                    match e {
+                        ProtocolError::TruncatedFrame { .. } | ProtocolError::Io { .. } => {
+                            metrics.truncated_frame()
+                        }
+                        _ => metrics.decode_error(),
+                    }
+                    send_sealed_error(channel, reader.get_mut(), &e, codec, config.max_frame_bytes);
+                    return;
+                }
+            };
+            let payload = match frame {
+                ChannelFrame::Sealed(payload) => payload,
+                ChannelFrame::Plaintext { frame, .. } => {
+                    // A plaintext protocol frame mid-session is a downgrade
+                    // attempt (or an unauthenticated splice); refused.
+                    metrics.downgrade_refused();
+                    let e = ProtocolError::DowngradeRefused {
+                        magic: frame[..4].try_into().expect("4-byte magic"),
+                    };
+                    send_sealed_error(channel, reader.get_mut(), &e, codec, config.max_frame_bytes);
+                    return;
+                }
+                ChannelFrame::Handshake(_) => {
+                    metrics.decode_error();
+                    let e = ProtocolError::AuthFailure {
+                        detail: "handshake frame after the channel was established".to_string(),
+                    };
+                    send_sealed_error(channel, reader.get_mut(), &e, codec, config.max_frame_bytes);
+                    return;
+                }
+            };
+            let inner = match channel.open_payload(&payload) {
+                Ok(inner) => inner,
+                Err(e) => {
+                    // Tampered ciphertext or replayed/reordered sequence:
+                    // the receive direction is dead, the connection with it.
+                    metrics.aead_rejection();
+                    send_sealed_error(channel, reader.get_mut(), &e, codec, config.max_frame_bytes);
+                    return;
+                }
+            };
+            match read_frame_lazy(&mut &inner[..], config.max_frame_bytes) {
+                Ok((LazyMsg::Eager(WireMsg::Shutdown), _, _)) => {
+                    metrics.frame_received(wire_bytes);
+                    return;
+                }
+                Ok((msg, _, frame_codec)) => {
+                    codec = frame_codec;
+                    (msg, wire_bytes)
+                }
+                Err(e) => {
+                    metrics.decode_error();
+                    send_sealed_error(channel, reader.get_mut(), &e, codec, config.max_frame_bytes);
+                    return;
+                }
+            }
+        } else {
             match read_frame_lazy(&mut (&first[..]).chain(&mut reader), config.max_frame_bytes) {
                 Ok((LazyMsg::Eager(WireMsg::Shutdown), bytes, _)) => {
                     metrics.frame_received(bytes);
@@ -690,13 +1210,15 @@ fn serve_connection(
                     );
                     return;
                 }
-            };
+            }
+        };
         metrics.frame_received(frame_bytes);
         let started = Instant::now();
         let (reply_tx, reply_rx) = mpsc::channel();
         if router
             .send(RouterRequest {
                 msg,
+                identity: peer_identity,
                 reply: reply_tx,
             })
             .is_err()
@@ -706,15 +1228,32 @@ fn serve_connection(
         let Ok(response) = reply_rx.recv() else {
             return;
         };
-        match write_frame_limited(reader.get_mut(), &response, codec, config.max_frame_bytes) {
-            Ok(written) => {
-                metrics.frame_sent(written);
-                // A thread-per-connection reply is written synchronously, so
-                // the "queue" is exactly the one in-flight reply frame.
-                metrics.write_queue_depth(written);
-                metrics.record_latency(started.elapsed());
+        if let Some(channel) = session.as_mut() {
+            let mut out = Vec::new();
+            if write_frame_limited(&mut out, &response, codec, config.max_frame_bytes).is_err() {
+                return;
             }
-            Err(_) => return,
+            let sealed = channel.seal_frame(&out);
+            let stream = reader.get_mut();
+            match stream.write_all(&sealed).and_then(|_| stream.flush()) {
+                Ok(()) => {
+                    metrics.frame_sent(sealed.len());
+                    metrics.write_queue_depth(sealed.len());
+                    metrics.record_latency(started.elapsed());
+                }
+                Err(_) => return,
+            }
+        } else {
+            match write_frame_limited(reader.get_mut(), &response, codec, config.max_frame_bytes) {
+                Ok(written) => {
+                    metrics.frame_sent(written);
+                    // A thread-per-connection reply is written synchronously, so
+                    // the "queue" is exactly the one in-flight reply frame.
+                    metrics.write_queue_depth(written);
+                    metrics.record_latency(started.elapsed());
+                }
+                Err(_) => return,
+            }
         }
     }
 }
@@ -817,6 +1356,163 @@ mod tests {
         let coordinator = listener.shutdown().expect("state returned");
         assert_eq!(coordinator.messages_received(), 2);
         assert_eq!(coordinator.last_verdict(), Some((2, 0.1)));
+    }
+
+    #[test]
+    fn required_channel_serves_sealed_sessions() {
+        let listener = CoordinatorListener::spawn_with(
+            ShardedCoordinator::new(0, 2),
+            ListenerConfig::default()
+                .with_channel(ChannelPolicy::Required)
+                .with_identity_seed(99),
+        )
+        .unwrap();
+        let server_pub = listener
+            .public_identity()
+            .expect("required listener has identity");
+        let config = TcpConfig::default()
+            .with_read_timeout(Duration::from_secs(5))
+            .with_channel(ChannelPolicy::Required)
+            .with_identity_seed(1)
+            .with_expected_server(server_pub);
+        let mut client = TcpTransport::connect_with_config(listener.addr(), config).unwrap();
+        assert_eq!(client.peer_identity(), Some(server_pub));
+
+        let out = client.deliver(verdict(3)).unwrap();
+        assert!(out.is_empty());
+        client.announce_try(0, &[1, 2]).unwrap();
+
+        // The seal's cost lives in the overhead counters, not the
+        // ledger-facing frame bytes.
+        let wire = *client.wire_stats();
+        assert_eq!(wire.frames_sent, 2);
+        assert_eq!(wire.frames_received, 2);
+        assert!(wire.handshake_bytes >= HANDSHAKE_WIRE_BYTES);
+        assert_eq!(
+            wire.sealed_overhead_bytes,
+            4 * super::super::channel::SEALED_FRAME_OVERHEAD
+        );
+
+        client.shutdown().unwrap();
+        let coordinator = listener.shutdown().expect("state returned");
+        assert_eq!(coordinator.messages_received(), 1);
+        assert_eq!(coordinator.last_verdict(), Some((3, 0.1)));
+    }
+
+    #[test]
+    fn sealed_and_plaintext_sessions_meter_identical_protocol_bytes() {
+        // The FL ledger charges wire bytes off these counters; turning the
+        // channel on must not move them by a single byte.
+        let run = |policy: ChannelPolicy| {
+            let listener = CoordinatorListener::spawn_with(
+                ShardedCoordinator::new(0, 2),
+                ListenerConfig::default()
+                    .with_channel(policy)
+                    .with_identity_seed(7),
+            )
+            .unwrap();
+            let mut config = TcpConfig::default()
+                .with_read_timeout(Duration::from_secs(5))
+                .with_codec(CodecKind::Binary)
+                .with_channel(policy)
+                .with_identity_seed(1);
+            if let Some(pin) = listener.public_identity() {
+                config = config.with_expected_server(pin);
+            }
+            let mut client = TcpTransport::connect_with_config(listener.addr(), config).unwrap();
+            client.deliver(verdict(1)).unwrap();
+            client.announce_try(0, &[4, 5, 6]).unwrap();
+            let wire = *client.wire_stats();
+            client.shutdown().unwrap();
+            drop(listener);
+            wire
+        };
+        let sealed = run(ChannelPolicy::Required);
+        let plain = run(ChannelPolicy::Plaintext);
+        assert_eq!(sealed.frames_sent, plain.frames_sent);
+        assert_eq!(sealed.frames_received, plain.frames_received);
+        assert_eq!(sealed.bytes_sent, plain.bytes_sent);
+        assert_eq!(sealed.bytes_received, plain.bytes_received);
+        assert_eq!(sealed.total_bytes(), plain.total_bytes());
+        assert_eq!(plain.channel_overhead_bytes(), 0);
+        assert!(sealed.channel_overhead_bytes() > 0);
+    }
+
+    #[test]
+    fn connect_retries_surface_typed_exhaustion() {
+        // A port with nothing listening refuses instantly; all attempts are
+        // transient failures, so the bounded backoff runs dry.
+        let dead_addr = {
+            let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        let started = Instant::now();
+        let err = TcpTransport::connect_with_config(
+            dead_addr,
+            TcpConfig::default().with_retries(3, Duration::from_millis(5)),
+        )
+        .unwrap_err();
+        assert_eq!(err, ProtocolError::RetriesExhausted { attempts: 3 });
+        // Backoff is bounded: 5 + 10 ms (+ jitter < 5 ms each) at most.
+        assert!(started.elapsed() < Duration::from_secs(5));
+
+        // A single attempt keeps the raw error for back-compat.
+        let err = TcpTransport::connect(dead_addr).unwrap_err();
+        assert!(matches!(err, ProtocolError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn session_hijack_is_refused_and_reconnect_resumes() {
+        let listener = CoordinatorListener::spawn_with(
+            ShardedCoordinator::new(0, 4),
+            ListenerConfig::default()
+                .with_channel(ChannelPolicy::Required)
+                .with_identity_seed(42),
+        )
+        .unwrap();
+        let pin = listener.public_identity().unwrap();
+        let config_for = |seed: u64| {
+            TcpConfig::default()
+                .with_read_timeout(Duration::from_secs(5))
+                .with_channel(ChannelPolicy::Required)
+                .with_identity_seed(seed)
+                .with_expected_server(pin)
+        };
+        let client_envelope = Envelope {
+            from: Party::Client(7),
+            to: Party::Server,
+            epoch: 0,
+            msg: ProtocolMsg::TryVerdict {
+                best_try: 0,
+                distance: 0.5,
+            },
+        };
+
+        // Identity A speaks as ClientId 7 and binds it.
+        let mut honest = TcpTransport::connect_with_config(listener.addr(), config_for(1)).unwrap();
+        honest.deliver(client_envelope.clone()).unwrap();
+
+        // Identity B replaying ClientId 7 is refused with the typed error.
+        let mut hijacker =
+            TcpTransport::connect_with_config(listener.addr(), config_for(2)).unwrap();
+        let err = hijacker.deliver(client_envelope.clone()).unwrap_err();
+        match err {
+            ProtocolError::Remote { detail } => {
+                assert!(detail.contains("session hijack refused"), "{detail}")
+            }
+            other => panic!("expected remote hijack refusal, got {other}"),
+        }
+
+        // The honest identity reconnecting resumes its binding untouched.
+        honest.reconnect().unwrap();
+        honest.deliver(client_envelope).unwrap();
+        assert_eq!(honest.wire_stats().reconnects, 1);
+
+        honest.shutdown().unwrap();
+        let stats = listener.stats();
+        assert_eq!(stats.handshakes_completed, 3);
+        assert_eq!(stats.handshakes_failed, 0);
+        drop(listener);
     }
 
     #[test]

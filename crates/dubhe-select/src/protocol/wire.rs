@@ -171,7 +171,7 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &WireMsg) -> Result<usize, Protocol
 /// Reads exactly `buf.len()` bytes. `at_frame_start` distinguishes a clean
 /// close (EOF before any byte of this frame → [`ProtocolError::Disconnected`])
 /// from a cut-off frame ([`ProtocolError::TruncatedFrame`]).
-fn read_exact_or(
+pub(crate) fn read_exact_or(
     r: &mut impl Read,
     buf: &mut [u8],
     context: &'static str,

@@ -15,12 +15,14 @@ use dubhe_data::federated::{DatasetFamily, FederatedSpec};
 use dubhe_data::ClassDistribution;
 use dubhe_he::packing::Packer;
 use dubhe_he::{EncryptedVector, Keypair, PackedEncryptedVector};
-use dubhe_net::ReactorListener;
+use dubhe_net::{ReactorConfig, ReactorListener};
 use dubhe_select::protocol::{
-    pump, read_frame_negotiated, run_registration_with, run_registration_with_packing,
-    write_frame_with, CodecKind, Coordinator, CoordinatorListener, CoordinatorServer, Envelope,
-    FaultPlan, FaultyTransport, InMemoryTransport, ListenerConfig, PackingPolicy, Party,
-    ProtocolMsg, ShardedCoordinator, TcpConfig, TcpTransport, Transport, WireMsg,
+    client_handshake, pump, read_channel_frame, read_frame, read_frame_negotiated,
+    run_registration_with, run_registration_with_packing, write_frame_with, ChannelFrame,
+    ChannelPolicy, CodecKind, Coordinator, CoordinatorListener, CoordinatorServer, Envelope,
+    FaultPlan, FaultyTransport, InMemoryTransport, ListenerConfig, ListenerStats, NodeIdentity,
+    PackingPolicy, Party, ProtocolMsg, SecureChannel, ShardedCoordinator, TcpConfig, TcpTransport,
+    Transport, WireMsg, MAX_FRAME_BYTES,
 };
 use dubhe_select::{DubheConfig, ProtocolError, SelectError};
 use rand::SeedableRng;
@@ -880,4 +882,376 @@ fn reactor_survives_the_garbage_gauntlet_and_still_serves_tcp_transport() {
     client.shutdown().unwrap();
     let coordinator = reactor.shutdown().expect("listener state");
     assert_eq!(coordinator.last_verdict(), Some((1, 0.5)));
+}
+
+// ---------------------------------------------------------------------------
+// The authenticated-channel gauntlet: a man-in-the-middle who can read,
+// flip, replay, or inject bytes on the wire — and a peer who simply refuses
+// to authenticate — against BOTH listener shapes. Every attack is a typed
+// refusal (sealed when a channel exists to seal with, plaintext before one
+// does), never a panic, never a hang, and never a corrupted fold.
+// `docs/THREAT_MODEL.md` maps each scenario to the claim it makes executable.
+// ---------------------------------------------------------------------------
+
+/// Connects and runs the client half of the handshake with a deterministic
+/// per-seed identity, pinning the listener's public key.
+fn sealed_session(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    pin: [u8; 32],
+) -> (TcpStream, SecureChannel) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let identity = NodeIdentity::from_seed(seed);
+    let channel = client_handshake(&mut stream, &identity, Some(pin), MAX_FRAME_BYTES).unwrap();
+    (stream, channel)
+}
+
+/// Encodes `msg` as a Binary inner frame and returns the sealed wire bytes
+/// (without sending them — tamper/replay tests want the raw frame).
+fn sealed_bytes(channel: &mut SecureChannel, msg: &WireMsg) -> Vec<u8> {
+    let mut inner = Vec::new();
+    write_frame_with(&mut inner, msg, CodecKind::Binary).unwrap();
+    channel.seal_frame(&inner)
+}
+
+/// Reads one sealed frame off the stream and opens it into a protocol
+/// message.
+fn read_sealed(stream: &mut TcpStream, channel: &mut SecureChannel) -> WireMsg {
+    let (frame, _) = read_channel_frame(stream, MAX_FRAME_BYTES).unwrap();
+    let ChannelFrame::Sealed(payload) = frame else {
+        panic!("expected a sealed reply, got {frame:?}");
+    };
+    let inner = channel.open_payload(&payload).unwrap();
+    read_frame(&mut inner.as_slice()).unwrap().0
+}
+
+/// The MITM tamper + replay script, against whichever Required listener
+/// answers at `addr`. Returns nothing; every step asserts.
+fn tamper_and_replay_gauntlet(addr: std::net::SocketAddr, pin: [u8; 32]) {
+    // Tamper: a single flipped ciphertext bit voids the tag. The refusal
+    // comes back *sealed* (the send direction outlives the poisoned
+    // receive direction), then the connection ends.
+    let (mut stream, mut channel) = sealed_session(addr, 31, pin);
+    let good = sealed_bytes(&mut channel, &verdict_envelope(1));
+    stream.write_all(&good).unwrap();
+    assert!(
+        matches!(
+            read_sealed(&mut stream, &mut channel),
+            WireMsg::Batch { .. }
+        ),
+        "the untampered frame establishes a healthy session first"
+    );
+    let mut evil = sealed_bytes(&mut channel, &verdict_envelope(2));
+    evil[16] ^= 0x01; // first ciphertext byte: header(8) + nonce(8) = 16
+    stream.write_all(&evil).unwrap();
+    match read_sealed(&mut stream, &mut channel) {
+        WireMsg::Error { detail } => {
+            assert!(detail.contains("authentication failed"), "{detail}")
+        }
+        other => panic!("expected a sealed auth failure, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0, "then a hangup");
+
+    // Replay: byte-identical sealed frames do not re-enter. The nonce
+    // sequence makes the second copy a typed out-of-sequence rejection.
+    let (mut stream, mut channel) = sealed_session(addr, 32, pin);
+    let once = sealed_bytes(&mut channel, &verdict_envelope(3));
+    stream.write_all(&once).unwrap();
+    assert!(matches!(
+        read_sealed(&mut stream, &mut channel),
+        WireMsg::Batch { .. }
+    ));
+    stream.write_all(&once).unwrap();
+    match read_sealed(&mut stream, &mut channel) {
+        WireMsg::Error { detail } => assert!(detail.contains("out of sequence"), "{detail}"),
+        other => panic!("expected a replay rejection, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+}
+
+fn assert_tamper_replay_stats(stats: &ListenerStats, shape: &str) {
+    assert_eq!(stats.handshakes_completed, 2, "{shape}");
+    assert_eq!(stats.handshakes_failed, 0, "{shape}");
+    assert_eq!(stats.aead_rejections, 2, "{shape}: one tamper + one replay");
+    assert_eq!(stats.downgrades_refused, 0, "{shape}");
+}
+
+#[test]
+fn mitm_tampering_and_replay_are_sealed_refusals_on_both_shapes() {
+    let threaded = CoordinatorListener::spawn_with(
+        ShardedCoordinator::new(0, 1),
+        ListenerConfig::default().with_channel(ChannelPolicy::Required),
+    )
+    .unwrap();
+    let pin = threaded.public_identity().expect("identity resolved");
+    tamper_and_replay_gauntlet(threaded.addr(), pin);
+    assert_tamper_replay_stats(&threaded.stats(), "threaded");
+    threaded.shutdown();
+
+    let reactor = ReactorListener::spawn_with(
+        ShardedCoordinator::new(0, 1),
+        ReactorConfig::default().with_channel(ChannelPolicy::Required),
+    )
+    .unwrap();
+    let pin = reactor.public_identity().expect("identity resolved");
+    tamper_and_replay_gauntlet(reactor.addr(), pin);
+    assert_tamper_replay_stats(&reactor.stats(), "reactor");
+    reactor.shutdown();
+}
+
+/// The session-hijack script: identity A claims a client slot, identity B
+/// tries to speak for it, A resumes after a reconnect. Ends with a complete,
+/// uncorrupted epoch.
+fn hijack_gauntlet(
+    addr: std::net::SocketAddr,
+    pin: [u8; 32],
+    kp: &Keypair,
+    rng: &mut rand::rngs::StdRng,
+) {
+    // Identity A (seed 41) registers as client 0.
+    let (mut alice, mut alice_ch) = sealed_session(addr, 41, pin);
+    let upload = WireMsg::Envelope {
+        envelope: registry_envelope(0, EncryptedVector::encrypt_u64(&kp.public, &[1, 0], rng)),
+    };
+    let frame = sealed_bytes(&mut alice_ch, &upload);
+    alice.write_all(&frame).unwrap();
+    assert!(matches!(
+        read_sealed(&mut alice, &mut alice_ch),
+        WireMsg::Batch { .. }
+    ));
+
+    // Identity B (seed 42) authenticates fine — but cannot speak as
+    // client 0, which is bound to A's channel identity.
+    let (mut mallory, mut mallory_ch) = sealed_session(addr, 42, pin);
+    let forged = WireMsg::Envelope {
+        envelope: registry_envelope(0, EncryptedVector::encrypt_u64(&kp.public, &[9, 9], rng)),
+    };
+    let frame = sealed_bytes(&mut mallory_ch, &forged);
+    mallory.write_all(&frame).unwrap();
+    match read_sealed(&mut mallory, &mut mallory_ch) {
+        WireMsg::Error { detail } => {
+            assert!(detail.contains("session hijack refused"), "{detail}")
+        }
+        other => panic!("expected a hijack refusal, got {other:?}"),
+    }
+
+    // A reconnects — fresh TCP connection, fresh handshake, same long-term
+    // identity — and still owns the binding: the re-sent registry reaches
+    // the coordinator (which refuses it as a duplicate, proving the channel
+    // layer let it through) rather than the hijack check.
+    drop(alice);
+    let (mut alice2, mut alice2_ch) = sealed_session(addr, 41, pin);
+    let frame = sealed_bytes(&mut alice2_ch, &upload);
+    alice2.write_all(&frame).unwrap();
+    match read_sealed(&mut alice2, &mut alice2_ch) {
+        WireMsg::Error { detail } => {
+            assert!(
+                detail.contains("already uploaded") && !detail.contains("hijack"),
+                "resume must pass the binding and hit the idempotency layer: {detail}"
+            );
+        }
+        other => panic!("expected the coordinator's duplicate refusal, got {other:?}"),
+    }
+
+    // Mallory is free to be client 1 under their own name; the epoch
+    // completes and the fold holds exactly A's and Mallory's vectors.
+    let honest = WireMsg::Envelope {
+        envelope: registry_envelope(1, EncryptedVector::encrypt_u64(&kp.public, &[0, 2], rng)),
+    };
+    let frame = sealed_bytes(&mut mallory_ch, &honest);
+    mallory.write_all(&frame).unwrap();
+    assert!(matches!(
+        read_sealed(&mut mallory, &mut mallory_ch),
+        WireMsg::Batch { .. }
+    ));
+}
+
+#[test]
+fn session_hijack_is_refused_and_resume_survives_on_both_shapes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(411);
+    let kp = Keypair::generate(KEY_BITS, &mut rng);
+
+    let threaded = CoordinatorListener::spawn_with(
+        ShardedCoordinator::with_public_key(kp.public.clone(), 2, 1),
+        ListenerConfig::default().with_channel(ChannelPolicy::Required),
+    )
+    .unwrap();
+    let pin = threaded.public_identity().expect("identity resolved");
+    hijack_gauntlet(threaded.addr(), pin, &kp, &mut rng);
+    let coordinator = threaded.shutdown().expect("listener state");
+    let total = coordinator.encrypted_total().expect("epoch complete");
+    assert_eq!(total.decrypt_u64(&kp.private).unwrap(), vec![1, 2]);
+
+    let reactor = ReactorListener::spawn_with(
+        ShardedCoordinator::with_public_key(kp.public.clone(), 2, 1),
+        ReactorConfig::default().with_channel(ChannelPolicy::Required),
+    )
+    .unwrap();
+    let pin = reactor.public_identity().expect("identity resolved");
+    hijack_gauntlet(reactor.addr(), pin, &kp, &mut rng);
+    let coordinator = reactor.shutdown().expect("reactor state");
+    let total = coordinator.encrypted_total().expect("epoch complete");
+    assert_eq!(total.decrypt_u64(&kp.private).unwrap(), vec![1, 2]);
+}
+
+/// Downgrade attempts at every phase of a Required connection, plus the
+/// codec-confusion inverse (sealed frames at a plaintext listener).
+fn downgrade_gauntlet(addr: std::net::SocketAddr, pin: [u8; 32]) {
+    // Before the handshake: a plaintext protocol frame is refused in the
+    // codec it arrived in, then the connection ends.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_frame_with(&mut stream, &verdict_envelope(0), CodecKind::Binary).unwrap();
+    let (reply, _, codec) = read_frame_negotiated(&mut stream).unwrap();
+    match reply {
+        WireMsg::Error { detail } => {
+            assert!(detail.contains("authenticated channel"), "{detail}")
+        }
+        other => panic!("expected a downgrade refusal, got {other:?}"),
+    }
+    assert_eq!(codec, CodecKind::Binary, "refused in the attempted codec");
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+
+    // After establishment: falling back to plaintext mid-session is the
+    // same refusal, now sealed (the peer proved it holds the session keys,
+    // so the error travels under them).
+    let (mut stream, mut channel) = sealed_session(addr, 51, pin);
+    let good = sealed_bytes(&mut channel, &verdict_envelope(1));
+    stream.write_all(&good).unwrap();
+    assert!(matches!(
+        read_sealed(&mut stream, &mut channel),
+        WireMsg::Batch { .. }
+    ));
+    write_frame_with(&mut stream, &verdict_envelope(2), CodecKind::Json).unwrap();
+    match read_sealed(&mut stream, &mut channel) {
+        WireMsg::Error { detail } => {
+            assert!(detail.contains("authenticated channel"), "{detail}")
+        }
+        other => panic!("expected a sealed downgrade refusal, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+}
+
+#[test]
+fn downgrade_attempts_are_refused_at_every_phase_on_both_shapes() {
+    let threaded = CoordinatorListener::spawn_with(
+        ShardedCoordinator::new(0, 1),
+        ListenerConfig::default().with_channel(ChannelPolicy::Required),
+    )
+    .unwrap();
+    let pin = threaded.public_identity().expect("identity resolved");
+    downgrade_gauntlet(threaded.addr(), pin);
+    let stats = threaded.stats();
+    assert_eq!(
+        stats.downgrades_refused, 2,
+        "threaded: pre + post handshake"
+    );
+    assert_eq!(stats.handshakes_completed, 1, "threaded");
+    threaded.shutdown();
+
+    let reactor = ReactorListener::spawn_with(
+        ShardedCoordinator::new(0, 1),
+        ReactorConfig::default().with_channel(ChannelPolicy::Required),
+    )
+    .unwrap();
+    let pin = reactor.public_identity().expect("identity resolved");
+    downgrade_gauntlet(reactor.addr(), pin);
+    let stats = reactor.stats();
+    assert_eq!(stats.downgrades_refused, 2, "reactor: pre + post handshake");
+    assert_eq!(stats.handshakes_completed, 1, "reactor");
+    reactor.shutdown();
+}
+
+#[test]
+fn sealed_frames_at_a_plaintext_listener_are_codec_confusion_not_a_crash() {
+    // The inverse direction: DBHS/DBHE frames arriving at listeners that
+    // never opted into the channel are unknown magics — a typed decode
+    // refusal and a hangup, and the listener keeps serving plaintext.
+    let mut probe = Vec::new();
+    probe.extend_from_slice(b"DBHE");
+    probe.extend_from_slice(&32u32.to_be_bytes());
+    probe.extend_from_slice(&[0u8; 32]);
+
+    let threaded = CoordinatorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();
+    let reactor = ReactorListener::spawn(ShardedCoordinator::new(0, 1)).unwrap();
+    for addr in [threaded.addr(), reactor.addr()] {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(&probe).unwrap();
+        // Best-effort typed-error reply, then hangup; either way the read
+        // ends and the next (plaintext) session works.
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+
+        let mut client = TcpTransport::connect_with_timeout(addr, Duration::from_secs(5)).unwrap();
+        let out = client
+            .deliver(Envelope {
+                from: Party::Agent,
+                to: Party::Server,
+                epoch: 0,
+                msg: ProtocolMsg::TryVerdict {
+                    best_try: 2,
+                    distance: 0.25,
+                },
+            })
+            .unwrap();
+        assert!(out.is_empty());
+        client.shutdown().unwrap();
+    }
+    assert_eq!(threaded.stats().decode_errors, 1);
+    assert_eq!(reactor.stats().decode_errors, 1);
+    assert_eq!(threaded.shutdown().unwrap().last_verdict(), Some((2, 0.25)));
+    assert_eq!(reactor.shutdown().unwrap().last_verdict(), Some((2, 0.25)));
+}
+
+#[test]
+fn handshake_slow_loris_is_cut_by_the_threaded_prelude() {
+    // A peer that opens the handshake and stalls — or never sends a byte —
+    // cannot hold a pre-authentication slot open past the read timeout.
+    // (The reactor twin lives in dubhe-net's test suite.)
+    let listener = CoordinatorListener::spawn_with(
+        ShardedCoordinator::new(0, 1),
+        ListenerConfig::default()
+            .with_channel(ChannelPolicy::Required)
+            .with_read_timeout(Duration::from_millis(300)),
+    )
+    .unwrap();
+    let pin = listener.public_identity().expect("identity resolved");
+
+    let mut loris = TcpStream::connect(listener.addr()).unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    loris.write_all(b"DBHS").unwrap(); // a valid opening, then silence
+    let mut sink = Vec::new();
+    let _ = loris.read_to_end(&mut sink); // cut at the timeout, not held
+
+    let silent = TcpStream::connect(listener.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    drop(silent);
+
+    // Slots freed: an honest client authenticates and is served.
+    let (mut stream, mut channel) = sealed_session(listener.addr(), 61, pin);
+    let frame = sealed_bytes(&mut channel, &verdict_envelope(4));
+    stream.write_all(&frame).unwrap();
+    assert!(matches!(
+        read_sealed(&mut stream, &mut channel),
+        WireMsg::Batch { .. }
+    ));
+
+    let stats = listener.stats();
+    assert_eq!(stats.handshakes_failed, 2, "loris + silent");
+    assert_eq!(stats.handshakes_completed, 1);
+    listener.shutdown();
 }

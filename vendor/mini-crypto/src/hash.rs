@@ -1,0 +1,227 @@
+//! FIPS 180-4 SHA-256, RFC 2104 HMAC-SHA-256, RFC 5869 HKDF.
+//!
+//! One-shot free functions: the channel layer hashes handshake
+//! transcripts and expands session keys; nothing here needs incremental
+//! state across calls.
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+fn compress(state: &mut [u32; 8], block: &[u8]) {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *s = s.wrapping_add(v);
+    }
+}
+
+/// One-shot SHA-256 over any number of input parts (equivalent to
+/// hashing their concatenation).
+pub fn sha256_parts(parts: &[&[u8]]) -> [u8; 32] {
+    let mut state: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    let mut buf = [0u8; 64];
+    let mut buf_len = 0usize;
+    let mut total: u64 = 0;
+    for part in parts {
+        let mut data: &[u8] = part;
+        total += data.len() as u64;
+        if buf_len > 0 {
+            let take = (64 - buf_len).min(data.len());
+            buf[buf_len..buf_len + take].copy_from_slice(&data[..take]);
+            buf_len += take;
+            data = &data[take..];
+            if buf_len == 64 {
+                let block = buf;
+                compress(&mut state, &block);
+                buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            compress(&mut state, &data[..64]);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            buf[..data.len()].copy_from_slice(data);
+            buf_len = data.len();
+        }
+    }
+    // Padding: 0x80, zeros, 64-bit big-endian bit length.
+    let bits = total * 8;
+    let mut tail = [0u8; 128];
+    tail[..buf_len].copy_from_slice(&buf[..buf_len]);
+    tail[buf_len] = 0x80;
+    let tail_len = if buf_len < 56 { 64 } else { 128 };
+    tail[tail_len - 8..tail_len].copy_from_slice(&bits.to_be_bytes());
+    for block in tail[..tail_len].chunks(64) {
+        compress(&mut state, block);
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    sha256_parts(&[data])
+}
+
+/// RFC 2104 HMAC-SHA-256.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    hmac_sha256_parts(key, &[data])
+}
+
+/// HMAC-SHA-256 over the concatenation of `parts`.
+pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> [u8; 32] {
+    let mut block_key = [0u8; 64];
+    if key.len() > 64 {
+        block_key[..32].copy_from_slice(&sha256(key));
+    } else {
+        block_key[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0u8; 64];
+    let mut opad = [0u8; 64];
+    for i in 0..64 {
+        ipad[i] = block_key[i] ^ 0x36;
+        opad[i] = block_key[i] ^ 0x5c;
+    }
+    let mut inner_parts: Vec<&[u8]> = Vec::with_capacity(parts.len() + 1);
+    inner_parts.push(&ipad);
+    inner_parts.extend_from_slice(parts);
+    let inner = sha256_parts(&inner_parts);
+    sha256_parts(&[&opad, &inner])
+}
+
+/// RFC 5869 HKDF (extract + expand) with SHA-256: derives `len` bytes of
+/// keying material from `ikm`, bound to `salt` and `info`.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "HKDF output length out of range");
+    let prk = hmac_sha256(salt, ikm);
+    let mut okm = Vec::with_capacity(len);
+    let mut t: [u8; 32] = [0; 32];
+    let mut block: u8 = 1;
+    while okm.len() < len {
+        let prev: &[u8] = if block == 1 { &[] } else { &t };
+        t = hmac_sha256_parts(&prk, &[prev, info, &[block]]);
+        let take = (len - okm.len()).min(32);
+        okm.extend_from_slice(&t[..take]);
+        block += 1;
+    }
+    okm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// FIPS 180-4 known-answer vectors.
+    #[test]
+    fn sha256_vectors() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Two-block message (56 bytes forces the 128-byte padding tail).
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    /// Split inputs hash like their concatenation.
+    #[test]
+    fn sha256_parts_matches_concat() {
+        let whole = sha256(b"hello world, split across parts");
+        let split = sha256_parts(&[b"hello world", b", split", b" across parts"]);
+        assert_eq!(whole, split);
+    }
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn hmac_vector() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 5869 test case 1.
+    #[test]
+    fn hkdf_vector() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00u8..=0x0c).collect();
+        let info: Vec<u8> = (0xf0u8..=0xf9).collect();
+        let okm = hkdf(&salt, &ikm, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    /// Different salts/infos yield independent keys; output length holds.
+    #[test]
+    fn hkdf_separates_contexts() {
+        let a = hkdf(b"salt-a", b"ikm", b"info", 96);
+        let b = hkdf(b"salt-b", b"ikm", b"info", 96);
+        let c = hkdf(b"salt-a", b"ikm", b"other", 96);
+        assert_eq!(a.len(), 96);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, hkdf(b"salt-a", b"ikm", b"info", 96));
+    }
+}

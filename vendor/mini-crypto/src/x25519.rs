@@ -1,0 +1,375 @@
+//! RFC 7748 X25519: Diffie-Hellman over Curve25519.
+//!
+//! Field elements are five 51-bit limbs over p = 2^255 - 19; the scalar
+//! multiplication is the standard Montgomery ladder with a masked
+//! conditional swap. The public types mirror `x25519-dalek`'s shapes:
+//! [`StaticSecret`] (reusable, `diffie_hellman(&self, ..)`),
+//! [`EphemeralSecret`] (consumed by `diffie_hellman(self, ..)`),
+//! [`PublicKey`], [`SharedSecret`].
+
+const LIMB_MASK: u64 = (1 << 51) - 1;
+
+/// Field element mod 2^255 - 19, five 51-bit limbs, little-endian.
+#[derive(Clone, Copy)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_le_bytes(b)
+        };
+        Fe([
+            load(0) & LIMB_MASK,
+            (load(6) >> 3) & LIMB_MASK,
+            (load(12) >> 6) & LIMB_MASK,
+            (load(19) >> 1) & LIMB_MASK,
+            (load(24) >> 12) & LIMB_MASK, // masks off bit 255 per RFC 7748
+        ])
+    }
+
+    /// Canonical (fully reduced) little-endian encoding.
+    fn to_bytes(self) -> [u8; 32] {
+        let mut h = self.0;
+        // Partial carry so every limb is below 2^52.
+        let mut c;
+        for _ in 0..2 {
+            c = h[0] >> 51;
+            h[0] &= LIMB_MASK;
+            h[1] += c;
+            c = h[1] >> 51;
+            h[1] &= LIMB_MASK;
+            h[2] += c;
+            c = h[2] >> 51;
+            h[2] &= LIMB_MASK;
+            h[3] += c;
+            c = h[3] >> 51;
+            h[3] &= LIMB_MASK;
+            h[4] += c;
+            c = h[4] >> 51;
+            h[4] &= LIMB_MASK;
+            h[0] += c * 19;
+        }
+        // q = 1 iff h >= p, computed by propagating the +19 carry.
+        let mut q = (h[0] + 19) >> 51;
+        q = (h[1] + q) >> 51;
+        q = (h[2] + q) >> 51;
+        q = (h[3] + q) >> 51;
+        q = (h[4] + q) >> 51;
+        h[0] += 19 * q;
+        c = h[0] >> 51;
+        h[0] &= LIMB_MASK;
+        h[1] += c;
+        c = h[1] >> 51;
+        h[1] &= LIMB_MASK;
+        h[2] += c;
+        c = h[2] >> 51;
+        h[2] &= LIMB_MASK;
+        h[3] += c;
+        c = h[3] >> 51;
+        h[3] &= LIMB_MASK;
+        h[4] += c;
+        h[4] &= LIMB_MASK; // drops the 2^255 bit when h was >= p
+
+        let mut out = [0u8; 32];
+        let words = [
+            h[0] | (h[1] << 51),
+            (h[1] >> 13) | (h[2] << 38),
+            (h[2] >> 26) | (h[3] << 25),
+            (h[3] >> 39) | (h[4] << 12),
+        ];
+        for (i, w) in words.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        Fe([
+            a[0] + b[0],
+            a[1] + b[1],
+            a[2] + b[2],
+            a[3] + b[3],
+            a[4] + b[4],
+        ])
+    }
+
+    /// `self - rhs`, biased by 2p so limbs never underflow.
+    fn sub(self, rhs: Fe) -> Fe {
+        const TWO_P0: u64 = 0x000f_ffff_ffff_ffda; // 2 * (2^51 - 19)
+        const TWO_PX: u64 = 0x000f_ffff_ffff_fffe; // 2 * (2^51 - 1)
+        let a = self.0;
+        let b = rhs.0;
+        Fe([
+            a[0] + TWO_P0 - b[0],
+            a[1] + TWO_PX - b[1],
+            a[2] + TWO_PX - b[2],
+            a[3] + TWO_PX - b[3],
+            a[4] + TWO_PX - b[4],
+        ])
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = self.0.map(u128::from);
+        let b = rhs.0.map(u128::from);
+        let b19 = [b[0], b[1] * 19, b[2] * 19, b[3] * 19, b[4] * 19];
+        let d = [
+            a[0] * b[0] + a[1] * b19[4] + a[2] * b19[3] + a[3] * b19[2] + a[4] * b19[1],
+            a[0] * b[1] + a[1] * b[0] + a[2] * b19[4] + a[3] * b19[3] + a[4] * b19[2],
+            a[0] * b[2] + a[1] * b[1] + a[2] * b[0] + a[3] * b19[4] + a[4] * b19[3],
+            a[0] * b[3] + a[1] * b[2] + a[2] * b[1] + a[3] * b[0] + a[4] * b19[4],
+            a[0] * b[4] + a[1] * b[3] + a[2] * b[2] + a[3] * b[1] + a[4] * b[0],
+        ];
+        Fe::carry(d)
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, k: u64) -> Fe {
+        let k = u128::from(k);
+        Fe::carry(self.0.map(|l| u128::from(l) * k))
+    }
+
+    fn carry(mut d: [u128; 5]) -> Fe {
+        let mask = u128::from(LIMB_MASK);
+        let mut c: u128 = 0;
+        for limb in d.iter_mut() {
+            *limb += c;
+            c = *limb >> 51;
+            *limb &= mask;
+        }
+        d[0] += c * 19;
+        d[1] += d[0] >> 51;
+        d[0] &= mask;
+        Fe([
+            d[0] as u64,
+            d[1] as u64,
+            d[2] as u64,
+            d[3] as u64,
+            d[4] as u64,
+        ])
+    }
+
+    /// Multiplicative inverse via Fermat: self^(p - 2). The exponent
+    /// 2^255 - 21 is all ones except bits 2 and 4.
+    fn invert(self) -> Fe {
+        let mut r = Fe::ONE;
+        for i in (0..255).rev() {
+            r = r.square();
+            if i != 2 && i != 4 {
+                r = r.mul(self);
+            }
+        }
+        r
+    }
+
+    /// Masked swap: exchanges `a` and `b` when `swap` is 1.
+    fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+        let mask = 0u64.wrapping_sub(swap);
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+/// RFC 7748 scalar clamping.
+fn clamp(mut scalar: [u8; 32]) -> [u8; 32] {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+    scalar
+}
+
+/// The raw X25519 function: `scalar * point` on the Montgomery curve.
+pub fn x25519(scalar: [u8; 32], point: [u8; 32]) -> [u8; 32] {
+    let k = clamp(scalar);
+    let x1 = Fe::from_bytes(&point);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+        swap ^= k_t;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121_665)));
+    }
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The curve's base point u = 9.
+const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// A reusable Diffie-Hellman secret (a node's long-term identity key).
+#[derive(Clone)]
+pub struct StaticSecret([u8; 32]);
+
+impl StaticSecret {
+    pub fn from_bytes(bytes: [u8; 32]) -> StaticSecret {
+        StaticSecret(clamp(bytes))
+    }
+
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0
+    }
+
+    pub fn diffie_hellman(&self, their_public: &PublicKey) -> SharedSecret {
+        SharedSecret(x25519(self.0, their_public.0))
+    }
+}
+
+/// A single-use Diffie-Hellman secret, consumed by the key agreement.
+pub struct EphemeralSecret([u8; 32]);
+
+impl EphemeralSecret {
+    pub fn from_bytes(bytes: [u8; 32]) -> EphemeralSecret {
+        EphemeralSecret(clamp(bytes))
+    }
+
+    pub fn diffie_hellman(self, their_public: &PublicKey) -> SharedSecret {
+        SharedSecret(x25519(self.0, their_public.0))
+    }
+}
+
+/// A Curve25519 public key (the u-coordinate of `scalar * basepoint`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PublicKey([u8; 32]);
+
+impl PublicKey {
+    pub fn from_bytes(bytes: [u8; 32]) -> PublicKey {
+        PublicKey(bytes)
+    }
+
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    pub fn to_bytes(self) -> [u8; 32] {
+        self.0
+    }
+}
+
+impl From<&StaticSecret> for PublicKey {
+    fn from(secret: &StaticSecret) -> PublicKey {
+        PublicKey(x25519(secret.0, BASEPOINT))
+    }
+}
+
+impl From<&EphemeralSecret> for PublicKey {
+    fn from(secret: &EphemeralSecret) -> PublicKey {
+        PublicKey(x25519(secret.0, BASEPOINT))
+    }
+}
+
+/// The result of a key agreement.
+pub struct SharedSecret([u8; 32]);
+
+impl SharedSecret {
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    pub fn to_bytes(self) -> [u8; 32] {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        out
+    }
+
+    /// RFC 7748 §5.2, first test vector.
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let point = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let expect = unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+        assert_eq!(x25519(scalar, point), expect);
+    }
+
+    /// RFC 7748 §5.2, one iteration of the ladder from (scalar = u = 9).
+    #[test]
+    fn rfc7748_iterated_once() {
+        let k = BASEPOINT;
+        let expect = unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+        assert_eq!(x25519(k, k), expect);
+    }
+
+    /// DH agreement: both directions derive the same shared secret, and
+    /// it is not the all-zero point.
+    #[test]
+    fn diffie_hellman_agrees() {
+        let a = StaticSecret::from_bytes([0x11; 32]);
+        let b = StaticSecret::from_bytes([0x42; 32]);
+        let a_pub = PublicKey::from(&a);
+        let b_pub = PublicKey::from(&b);
+        let ab = a.diffie_hellman(&b_pub);
+        let ba = b.diffie_hellman(&a_pub);
+        assert_eq!(ab.as_bytes(), ba.as_bytes());
+        assert_ne!(ab.as_bytes(), &[0u8; 32]);
+        // Distinct keys disagree.
+        let c = StaticSecret::from_bytes([0x43; 32]);
+        assert_ne!(c.diffie_hellman(&a_pub).as_bytes(), ba.as_bytes());
+    }
+
+    /// Ephemeral secrets are consumed but agree the same way.
+    #[test]
+    fn ephemeral_agrees_with_static() {
+        let e = EphemeralSecret::from_bytes([0x07; 32]);
+        let e_pub = PublicKey::from(&e);
+        let s = StaticSecret::from_bytes([0x09; 32]);
+        let s_pub = PublicKey::from(&s);
+        assert_eq!(
+            e.diffie_hellman(&s_pub).as_bytes(),
+            s.diffie_hellman(&e_pub).as_bytes()
+        );
+    }
+
+    /// Field round-trip stays canonical.
+    #[test]
+    fn field_encoding_round_trips() {
+        let v = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(Fe::from_bytes(&v).to_bytes(), v);
+    }
+}
